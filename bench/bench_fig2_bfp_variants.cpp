@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 2: perplexity of the BF16 baseline vs MSFP, SMX and MX formats
+ * at high (H), moderate (M) and low (L) bit widths across models.
+ * Expected shape: MX <= SMX <= MSFP at each width; all H formats close to
+ * the baseline, L formats diverging with MXFP4 the least-bad of the three.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/eval.h"
+
+using namespace mxplus;
+
+int
+main()
+{
+    bench::header("Figure 2: perplexity across industry BFP variants");
+    const size_t seq = bench::fullRuns() ? 1024 : 384;
+    const size_t n_seq = bench::fullRuns() ? 4 : 3;
+
+    // Width classes from the paper: L in [4, 4.5], M in [6, 6.5],
+    // H in [8.25, 9] average bits per element.
+    const std::vector<std::pair<std::string, std::string>> columns = {
+        {"BF16", "B"},
+        {"MXFP8", "H"}, {"SMX9", "H"}, {"MSFP16", "H"},
+        {"MXFP6", "M"}, {"SMX6", "M"}, {"MSFP14", "M"},
+        {"MXFP4", "L"}, {"SMX4", "L"}, {"MSFP12", "L"},
+    };
+
+    std::vector<std::string> head_cells;
+    for (const auto &[fmt, cls] : columns)
+        head_cells.push_back(fmt + "(" + cls + ")");
+    bench::row("model", head_cells);
+
+    const auto models = bench::fullRuns()
+        ? std::vector<ModelConfig>{simOpt66b(), simLlama31_8b(),
+                                   simLlama31_70b(), simMistral7b()}
+        : std::vector<ModelConfig>{simLlama31_8b(), simMistral7b()};
+
+    for (const auto &cfg : models) {
+        const Transformer model(cfg);
+        const Dataset data =
+            makeTeacherDataset(model, "wiki-sim", n_seq, seq, 1.0, 42);
+        std::vector<std::string> cells;
+        for (const auto &[fmt, cls] : columns) {
+            const double ppl =
+                perplexity(model, data, QuantConfig::fromFormat(fmt));
+            cells.push_back(bench::num(ppl));
+        }
+        bench::row(cfg.name, cells);
+    }
+    std::printf("\n(paper shape: MX best in class; L-width formats "
+                "diverge, MSFP12/SMX4 far worse than MXFP4)\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the host-side kernels: block
+ * quantization throughput across formats/modes, the two-MMA software
+ * GEMM path, and the functional DPE. These measure the CPU reference
+ * implementation itself (not the GPU model) and track regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gpusim/dpe.h"
+#include "mx/mx_quantizer.h"
+#include "mx/nvfp4.h"
+#include "mx/software_path.h"
+
+namespace mxplus {
+namespace {
+
+std::vector<float>
+randomData(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> data(n);
+    for (auto &v : data) {
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+        if (rng.uniform() < 0.03)
+            v *= 30.0f;
+    }
+    return data;
+}
+
+void
+BM_MxQuantize(benchmark::State &state)
+{
+    const auto format = static_cast<ElementFormat>(state.range(0));
+    const auto mode = static_cast<MxMode>(state.range(1));
+    const MxQuantizer q(format, mode);
+    const auto data = randomData(1 << 16, 1);
+    std::vector<float> out(data.size());
+    for (auto _ : state) {
+        q.fakeQuantize(data.data(), out.data(), data.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * data.size()));
+}
+
+BENCHMARK(BM_MxQuantize)
+    ->ArgsProduct({{static_cast<long>(ElementFormat::E2M1),
+                    static_cast<long>(ElementFormat::E4M3)},
+                   {static_cast<long>(MxMode::Standard),
+                    static_cast<long>(MxMode::Plus),
+                    static_cast<long>(MxMode::PlusPlus)}})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Nvfp4Quantize(benchmark::State &state)
+{
+    const Nvfp4Quantizer q(state.range(0) != 0);
+    const auto data = randomData(1 << 16, 2);
+    std::vector<float> out(data.size());
+    for (auto _ : state) {
+        q.fakeQuantize(data.data(), out.data(), data.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * data.size()));
+}
+
+BENCHMARK(BM_Nvfp4Quantize)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TwoMmaGemm(benchmark::State &state)
+{
+    const MxQuantizer qa(ElementFormat::E2M1, MxMode::Plus);
+    const MxQuantizer qb(ElementFormat::E2M1, MxMode::Standard);
+    const auto a_data = randomData(16 * 256, 3);
+    const auto b_data = randomData(16 * 256, 4);
+    const PackedMatrix a(qa, a_data.data(), 16, 256);
+    const PackedMatrix b(qb, b_data.data(), 16, 256);
+    for (auto _ : state) {
+        auto d = mxplusGemmTwoMma(a, b);
+        benchmark::DoNotOptimize(d.data());
+    }
+}
+
+BENCHMARK(BM_TwoMmaGemm)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalDpeGemm(benchmark::State &state)
+{
+    const MxQuantizer qa(ElementFormat::E2M1, MxMode::Plus);
+    const MxQuantizer qb(ElementFormat::E2M1, MxMode::Standard);
+    const auto a_data = randomData(16 * 256, 5);
+    const auto b_data = randomData(16 * 256, 6);
+    const PackedMatrix a(qa, a_data.data(), 16, 256);
+    const PackedMatrix b(qb, b_data.data(), 16, 256);
+    for (auto _ : state) {
+        TensorCoreStats stats;
+        auto d = tensorCoreGemm(a, b, &stats);
+        benchmark::DoNotOptimize(d.data());
+        benchmark::DoNotOptimize(&stats);
+    }
+}
+
+BENCHMARK(BM_FunctionalDpeGemm)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace mxplus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 10: the MX+ idea applied to the integer microscaling formats:
+ * MXINT8+ vs MXINT8 and the hypothetical MXINT4+ vs MXINT4. Expected
+ * shape: the extra fraction bit barely moves MXINT8 (already 7 fraction
+ * bits) but clearly helps MXINT4.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/eval.h"
+
+using namespace mxplus;
+
+int
+main()
+{
+    bench::header("Table 10: perplexity of integer microscaling formats");
+    bench::row("model", {"MXINT8+", "MXINT8", "MXINT4+", "MXINT4"});
+
+    const size_t seq = bench::fullRuns() ? 1024 : 384;
+    const size_t n_seq = bench::fullRuns() ? 4 : 3;
+
+    for (const auto &cfg : {simLlama31_8b(), simMistral7b()}) {
+        const Transformer model(cfg);
+        const Dataset data =
+            makeTeacherDataset(model, "wiki-sim", n_seq, seq, 1.0, 42);
+        std::vector<std::string> cells;
+        for (const char *fmt :
+             {"MXINT8+", "MXINT8", "MXINT4+", "MXINT4"}) {
+            cells.push_back(bench::num(
+                perplexity(model, data, QuantConfig::fromFormat(fmt)),
+                3));
+        }
+        bench::row(cfg.name, cells);
+    }
+    std::printf("\n(paper shape: MXINT8+ ~= MXINT8; MXINT4+ clearly "
+                "below MXINT4)\n");
+    return 0;
+}

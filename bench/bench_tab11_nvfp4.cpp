@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 11: NVFP4 vs NVFP4+ (the MX+ extension applied to NVIDIA's
+ * 16-element E4M3-scaled 4-bit format) on the zero-shot task suite.
+ * Expected shape: NVFP4+ above NVFP4 on every task.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/eval.h"
+
+using namespace mxplus;
+
+int
+main()
+{
+    bench::header("Table 11: NVFP4 vs NVFP4+ zero-shot accuracy (%)");
+    const auto tasks =
+        bench::fullRuns() ? paperTaskSuite() : quickTaskSuite();
+
+    for (const auto &cfg : {simLlama31_8b(), simMistral7b()}) {
+        const Transformer model(cfg);
+        std::printf("\n-- %s --\n", cfg.name.c_str());
+        std::vector<std::string> head;
+        for (const auto &t : tasks)
+            head.push_back(t.name.substr(0, 10));
+        bench::row("format", head);
+
+        std::vector<TaskSet> sets;
+        for (const auto &spec : tasks)
+            sets.push_back(makeTaskSet(model, spec, 78));
+
+        for (const char *fmt : {"NVFP4", "NVFP4+"}) {
+            std::vector<std::string> cells;
+            for (const auto &set : sets) {
+                cells.push_back(bench::num(
+                    taskAccuracy(model, set,
+                                 QuantConfig::fromFormat(fmt)), 1));
+            }
+            bench::row(fmt, cells);
+        }
+    }
+    std::printf("\n(paper shape: NVFP4+ >= NVFP4 on every task; MXFP4+ "
+                "comparable or better thanks to extra BM precision)\n");
+    return 0;
+}

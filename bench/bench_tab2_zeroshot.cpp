@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 2: zero-shot task accuracy across formats and models. Expected
+ * shape: MX+ >= its MX counterpart everywhere, with the gap largest at
+ * 4 bits (MXFP4 near chance on outlier-heavy models); A-MXFP4+ between
+ * MXFP4 and MXFP4+; MXFP4++ >= MXFP4+.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/eval.h"
+
+using namespace mxplus;
+
+int
+main()
+{
+    bench::header("Table 2: zero-shot accuracy (%), direct-cast");
+    const auto tasks =
+        bench::fullRuns() ? paperTaskSuite() : quickTaskSuite();
+    const auto models =
+        bench::fullRuns() ? paperModelSuite() : quickModelSuite();
+
+    const std::vector<std::string> formats = {
+        "BF16", "MXFP8+", "MXFP8", "MXFP6+", "MXFP6",
+        "MXFP4++", "MXFP4+", "A-MXFP4+", "MXFP4"};
+
+    for (const auto &cfg : models) {
+        const Transformer model(cfg);
+        std::printf("\n-- %s --\n", cfg.name.c_str());
+        std::vector<std::string> head;
+        for (const auto &t : tasks)
+            head.push_back(t.name.substr(0, 10));
+        bench::row("format", head);
+
+        std::vector<TaskSet> sets;
+        for (const auto &spec : tasks)
+            sets.push_back(makeTaskSet(model, spec, 77));
+
+        for (const auto &fmt : formats) {
+            QuantConfig qc;
+            if (fmt == "BF16") {
+                qc = QuantConfig::bf16Baseline();
+            } else if (fmt == "A-MXFP4+") {
+                qc = QuantConfig::fromFormats("MXFP4+", "MXFP4");
+            } else {
+                qc = QuantConfig::fromFormat(fmt);
+            }
+            std::vector<std::string> cells;
+            for (const auto &set : sets)
+                cells.push_back(bench::num(taskAccuracy(model, set, qc),
+                                           1));
+            bench::row(fmt, cells);
+        }
+    }
+    std::printf("\n(paper shape: MX+ >= MX at every width; MXFP4 "
+                "collapses toward chance while MXFP4+ stays usable)\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 3: perplexity across two corpora ("wiki-like" and "web-like", the
+ * WikiText-2 / C4 substitutes) and two sequence lengths, for all formats.
+ * Expected shape: MX+ and MX++ always below their MX counterparts;
+ * MXFP4 collapses; orderings consistent across corpora and lengths.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/eval.h"
+
+using namespace mxplus;
+
+int
+main()
+{
+    bench::header("Table 3: perplexity, direct-cast");
+    const std::vector<size_t> seqlens = bench::fullRuns()
+        ? std::vector<size_t>{1024, 2048}
+        : std::vector<size_t>{256, 512};
+    const size_t n_seq = bench::fullRuns() ? 4 : 2;
+
+    const auto models =
+        bench::fullRuns() ? paperModelSuite() : quickModelSuite();
+    const std::vector<std::string> formats = {
+        "BF16", "MXFP8+", "MXFP8", "MXFP6+", "MXFP6",
+        "MXFP4++", "MXFP4+", "A-MXFP4+", "MXFP4"};
+
+    for (const size_t seq : seqlens) {
+        std::printf("\n--- sequence length %zu ---\n", seq);
+        std::vector<std::string> head;
+        for (const auto &cfg : models) {
+            head.push_back(cfg.name.substr(4, 9) + ":wiki");
+            head.push_back(cfg.name.substr(4, 9) + ":web");
+        }
+        bench::row("format", head);
+
+        // Datasets per model (generated once per seqlen).
+        std::vector<Transformer> xs;
+        std::vector<Dataset> wiki;
+        std::vector<Dataset> web;
+        for (const auto &cfg : models) {
+            xs.emplace_back(cfg);
+            wiki.push_back(makeTeacherDataset(xs.back(), "wiki-sim",
+                                              n_seq, seq, 1.0, 42));
+            web.push_back(makeTeacherDataset(xs.back(), "web-sim",
+                                             n_seq, seq, 1.15, 43));
+        }
+
+        for (const auto &fmt : formats) {
+            std::vector<std::string> cells;
+            for (size_t mi = 0; mi < xs.size(); ++mi) {
+                QuantConfig qc;
+                if (fmt == "BF16") {
+                    qc = QuantConfig::bf16Baseline();
+                } else if (fmt == "A-MXFP4+") {
+                    qc = QuantConfig::fromFormats("MXFP4+", "MXFP4");
+                } else {
+                    qc = QuantConfig::fromFormat(fmt);
+                }
+                cells.push_back(
+                    bench::num(perplexity(xs[mi], wiki[mi], qc)));
+                cells.push_back(
+                    bench::num(perplexity(xs[mi], web[mi], qc)));
+            }
+            bench::row(fmt, cells);
+        }
+    }
+    std::printf("\n(paper shape: MX+/MX++ always lower than MX at the "
+                "same width, across datasets and sequence lengths)\n");
+    return 0;
+}

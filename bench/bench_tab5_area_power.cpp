@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 5: area and power of the MX+ Tensor-Core additions (28 nm),
+ * reproduced from the component-level bill-of-materials model. Also costs
+ * the Section 8.2 systolic-array variant (one BCU shared per column).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpusim/area_power.h"
+
+using namespace mxplus;
+
+int
+main()
+{
+    bench::header("Table 5: area and power per Tensor Core (28 nm)");
+    const AreaPowerModel model; // paper configuration: 32 DPEs x 16 FSUs
+    const AreaPowerReport rep = model.report();
+
+    bench::row("component", {"count", "area mm^2", "power mW"});
+    for (const auto &c : rep.components) {
+        bench::row(c.name,
+                   {std::to_string(c.count),
+                    bench::num(c.unit_area_mm2 * c.count, 3),
+                    bench::num(c.unit_power_mw * c.count, 2)});
+    }
+    bench::row("Total", {"", bench::num(rep.total_area_mm2, 3),
+                         bench::num(rep.total_power_mw, 2)});
+    bench::row("(paper total)", {"",
+                bench::num(AreaPowerModel::paperTotalAreaMm2(), 3),
+                bench::num(AreaPowerModel::paperTotalPowerMw(), 2)});
+
+    bench::header("Section 8.2 variant: 32x32 systolic array, one BCU "
+                  "per column");
+    const AreaPowerModel systolic(32, 32, 1.0 / 32.0);
+    const AreaPowerReport srep = systolic.report();
+    bench::row("Total (systolic)", {"",
+                bench::num(srep.total_area_mm2, 3),
+                bench::num(srep.total_power_mw, 2)});
+    return 0;
+}

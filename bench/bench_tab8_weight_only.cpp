@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 8: weight-focused quantization. Left half: BF16 activations with
+ * AWQ-scaled 4-bit weights (INT4 vs MXFP4 vs MXFP4+). Right half: MXFP8
+ * activations with MXFP4 vs MXFP4+ weights (A8W4). Expected shape: AWQ +
+ * MXFP4+ beats AWQ + INT4 and AWQ + MXFP4 (scaling makes important
+ * weights the block max); MXFP4+ weights also win under MXFP8
+ * activations.
+ */
+
+#include <cstdio>
+
+#include "baselines/scheme_factory.h"
+#include "bench_util.h"
+#include "model/eval.h"
+
+using namespace mxplus;
+
+int
+main()
+{
+    bench::header("Table 8: weight-only and A8W4 perplexity");
+    const size_t seq = bench::fullRuns() ? 1024 : 320;
+    const size_t n_seq = bench::fullRuns() ? 4 : 2;
+
+    const auto models =
+        std::vector<ModelConfig>{simLlama31_8b(), simMistral7b()};
+    bench::row("scheme", {"llama-3.1-8b", "mistral-7b"});
+
+    struct RowSpec
+    {
+        std::string label;
+        std::string scheme; ///< empty = format pair
+        std::string act;
+        std::string weight;
+    };
+    const std::vector<RowSpec> rows = {
+        {"AWQ A16 W-INT4", "AWQ-INT4", "", ""},
+        {"AWQ A16 W-MXFP4", "AWQ-MXFP4", "", ""},
+        {"AWQ A16 W-MXFP4+", "AWQ-MXFP4+", "", ""},
+        {"A-MXFP8 W-MXFP4", "", "MXFP8", "MXFP4"},
+        {"A-MXFP8 W-MXFP4+", "", "MXFP8", "MXFP4+"},
+    };
+
+    std::vector<Transformer> xs;
+    std::vector<Dataset> data;
+    std::vector<std::vector<int>> calib;
+    for (const auto &cfg : models) {
+        xs.emplace_back(cfg);
+        data.push_back(makeTeacherDataset(xs.back(), "wiki-sim", n_seq,
+                                          seq, 1.0, 42));
+        Rng rng(56);
+        calib.push_back(xs.back().sample(rng, 128, 1.0));
+    }
+
+    for (const auto &spec : rows) {
+        std::vector<std::string> cells;
+        for (size_t mi = 0; mi < xs.size(); ++mi) {
+            QuantConfig qc;
+            if (!spec.scheme.empty()) {
+                qc = QuantConfig::bf16Baseline();
+                qc.quantize_head = false;
+                qc.scheme_lookup = calibrateSchemes(
+                    xs[mi], calib[mi],
+                    [&] { return makeSchemeByName(spec.scheme); });
+            } else {
+                qc = QuantConfig::fromFormats(spec.act, spec.weight);
+                qc.quantize_head = false;
+            }
+            cells.push_back(
+                bench::num(perplexity(xs[mi], data[mi], qc)));
+        }
+        bench::row(spec.label, cells);
+    }
+    std::printf("\n(paper shape: MXFP4+ weights beat INT4/MXFP4 under "
+                "both AWQ-BF16 and MXFP8 activations)\n");
+    return 0;
+}

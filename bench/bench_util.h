@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the per-table/figure benchmark harnesses: fixed-width
+ * table printing and the workload-size switch.
+ *
+ * Every bench prints the same rows/series as the corresponding paper
+ * table or figure. Set MXPLUS_FULL=1 in the environment for the
+ * full-size sweeps (paper-scale model suites, longer sequences); the
+ * default sizes finish the whole bench directory in a few minutes.
+ */
+
+#ifndef MXPLUS_BENCH_BENCH_UTIL_H
+#define MXPLUS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mxplus::bench {
+
+/** True when MXPLUS_FULL=1: run the paper-scale workload sizes. */
+inline bool
+fullRuns()
+{
+    const char *env = std::getenv("MXPLUS_FULL");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Print a separator + header line for a bench section. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Print one row of labeled cells with a fixed first-column width. */
+inline void
+row(const std::string &label, const std::vector<std::string> &cells,
+    int label_width = 22, int cell_width = 11)
+{
+    std::printf("%-*s", label_width, label.c_str());
+    for (const auto &c : cells)
+        std::printf("%*s", cell_width, c.c_str());
+    std::printf("\n");
+}
+
+/** Format a double with the given precision. */
+inline std::string
+num(double v, int precision = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace mxplus::bench
+
+#endif // MXPLUS_BENCH_BENCH_UTIL_H

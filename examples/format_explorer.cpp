@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Format explorer: dump the bit-level encodings (Figures 6/7) of any
+ * block of numbers under every MX-family format in the library.
+ *
+ * Usage:
+ *   ./build/examples/format_explorer [v0 v1 v2 ...]
+ * Without arguments, the paper's Figure 6 block is used.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "formats/scale.h"
+#include "mx/mx_quantizer.h"
+#include "mx/nvfp4.h"
+
+using namespace mxplus;
+
+namespace {
+
+std::string
+bits(uint32_t code, int width)
+{
+    std::string s;
+    for (int b = width - 1; b >= 0; --b)
+        s += ((code >> b) & 1u) ? '1' : '0';
+    return s;
+}
+
+void
+dumpMx(const char *title, ElementFormat fmt, MxMode mode,
+       const std::vector<float> &vals)
+{
+    const MxQuantizer q(fmt, mode);
+    const int n = static_cast<int>(vals.size());
+    const MxBlock enc = q.encodeBlock(vals.data(), n);
+    std::vector<float> dec(n);
+    q.decodeBlock(enc, dec.data(), n);
+
+    std::printf("\n%s (avg %.3f bits/elem)\n", title,
+                q.avgBitsPerElement());
+    if (enc.scale_code == E8M0::kZeroBlock &&
+        mode != MxMode::Standard) {
+        std::printf("  zero block (reserved scale code 0)\n");
+        return;
+    }
+    std::printf("  shared scale: 2^%d (E8M0 code %s)\n",
+                E8M0::decode(enc.scale_code),
+                bits(enc.scale_code, 8).c_str());
+    if (mode != MxMode::Standard) {
+        std::printf("  BM index: %u", enc.bm_index);
+        if (mode == MxMode::PlusPlus)
+            std::printf(", NBM scale delta: %u", enc.nbm_delta);
+        std::printf("\n");
+    }
+    const int width = elementFormatInfo(fmt).bits;
+    for (int i = 0; i < n; ++i) {
+        const bool is_bm =
+            mode != MxMode::Standard && i == enc.bm_index;
+        std::printf("  [%2d] %10.4f -> %-8s -> %10.4f%s\n", i, vals[i],
+                    bits(enc.codes[i], width).c_str(), dec[i],
+                    is_bm ? "  (BM: S+extended mantissa)" : "");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<float> vals;
+    for (int i = 1; i < argc; ++i)
+        vals.push_back(std::strtof(argv[i], nullptr));
+    if (vals.empty())
+        vals = {-0.27f, -0.19f, 0.99f, -0.20f, -9.84f, -0.39f};
+
+    std::printf("exploring %zu values\n", vals.size());
+    dumpMx("MXFP4 (E2M1)", ElementFormat::E2M1, MxMode::Standard, vals);
+    dumpMx("MXFP4+ (E2M1, extended BM)", ElementFormat::E2M1,
+           MxMode::Plus, vals);
+    dumpMx("MXFP4++ (decoupled NBM scale)", ElementFormat::E2M1,
+           MxMode::PlusPlus, vals);
+    dumpMx("MXFP6+ (E2M3)", ElementFormat::E2M3, MxMode::Plus, vals);
+    dumpMx("MXFP8+ (E4M3)", ElementFormat::E4M3, MxMode::Plus, vals);
+    dumpMx("MXINT8+", ElementFormat::INT8, MxMode::Plus, vals);
+
+    // NVFP4+ uses 16-element blocks with an E4M3 (non power-of-two)
+    // scale.
+    if (vals.size() <= 16) {
+        const Nvfp4Quantizer nv(true);
+        const Nvfp4Block enc =
+            nv.encodeBlock(vals.data(), static_cast<int>(vals.size()));
+        std::printf("\nNVFP4+ (16-elem block, E4M3 scale)\n");
+        std::printf("  scale code %s, BM index %u, extended: %s\n",
+                    bits(enc.scale_code, 8).c_str(), enc.bm_index,
+                    enc.bm_extended ? "yes" : "no (fallback)");
+    }
+    return 0;
+}

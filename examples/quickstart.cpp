@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: quantize a block of values with MXFP4 and MXFP4+, inspect
+ * the encodings, and see why the MX+ extension matters when a block
+ * contains an outlier.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "formats/scale.h"
+#include "mx/mx_quantizer.h"
+#include "tensor/stats.h"
+
+using namespace mxplus;
+
+int
+main()
+{
+    // A 6-element sample with one outlier (-9.84), straight from the
+    // paper's Figure 4/6.
+    const std::vector<float> block =
+        {-0.27f, -0.19f, 0.99f, -0.20f, -9.84f, -0.39f};
+    const int n = static_cast<int>(block.size());
+
+    std::printf("input block:       ");
+    for (float v : block)
+        std::printf("%8.2f", v);
+    std::printf("\n\n");
+
+    // Quantize with standard MXFP4 and with the MX+ extension.
+    const MxQuantizer mxfp4(ElementFormat::E2M1, MxMode::Standard);
+    const MxQuantizer mxfp4p(ElementFormat::E2M1, MxMode::Plus);
+
+    std::vector<float> q4(n);
+    std::vector<float> q4p(n);
+    mxfp4.fakeQuantizeBlock(block.data(), q4.data(), n);
+    mxfp4p.fakeQuantizeBlock(block.data(), q4p.data(), n);
+
+    std::printf("MXFP4  (%.2f bits/elem): ",
+                mxfp4.avgBitsPerElement());
+    for (float v : q4)
+        std::printf("%8.2f", v);
+    std::printf("\nMXFP4+ (%.2f bits/elem): ",
+                mxfp4p.avgBitsPerElement());
+    for (float v : q4p)
+        std::printf("%8.2f", v);
+    std::printf("\n\n");
+
+    std::printf("block MSE: MXFP4 = %.4f, MXFP4+ = %.4f\n",
+                mse(block.data(), q4.data(), n),
+                mse(block.data(), q4p.data(), n));
+
+    // Peek at the bit-level MX+ encoding: the block max keeps no private
+    // exponent; its exponent field is repurposed as extra mantissa.
+    const MxBlock enc = mxfp4p.encodeBlock(block.data(), n);
+    std::printf("\nMX+ encoding: shared scale 2^%d, BM index %u\n",
+                E8M0::decode(enc.scale_code), enc.bm_index);
+    for (int i = 0; i < n; ++i) {
+        std::printf("  elem %d: code 0x%X%s\n", i, enc.codes[i],
+                    i == enc.bm_index
+                        ? "  <- BM, sign+3-bit extended mantissa"
+                        : "");
+    }
+    std::printf("\nThe outlier is represented as -10.00 instead of "
+                "-8.00: one extra digit of precision at zero storage "
+                "cost beyond the per-block BM index byte.\n");
+    return 0;
+}

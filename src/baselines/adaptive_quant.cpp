@@ -1,0 +1,203 @@
+#include "baselines/adaptive_quant.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "formats/minifloat.h"
+
+namespace mxplus {
+
+namespace {
+
+double
+groupAmax(const float *in, size_t n)
+{
+    double amax = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        MXPLUS_CHECK_MSG(std::isfinite(in[i]), "group input must be finite");
+        amax = std::max(amax, std::fabs(static_cast<double>(in[i])));
+    }
+    return amax;
+}
+
+/** Snap to the nearest value of a sorted non-negative grid (sign kept). */
+double
+snapToGrid(double x, const std::vector<double> &grid)
+{
+    const double ax = std::fabs(x);
+    double best = grid[0];
+    double best_d = std::fabs(ax - grid[0]);
+    for (double g : grid) {
+        const double d = std::fabs(ax - g);
+        if (d < best_d) {
+            best_d = d;
+            best = g;
+        }
+    }
+    return std::copysign(best, x);
+}
+
+/** The three candidate 4-bit grids of the ANT reimplementation. */
+const std::vector<double> &
+antGrid(int dtype)
+{
+    // int4: 0..7 (sign-magnitude view of symmetric int4).
+    static const std::vector<double> int4 = {0, 1, 2, 3, 4, 5, 6, 7};
+    // fp4 (E2M1 magnitudes).
+    static const std::vector<double> fp4 =
+        {0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0};
+    // flint4: power-of-two grid (ANT's float-int hybrid skews this way).
+    static const std::vector<double> flint4 =
+        {0, 1, 2, 4, 8, 16, 32, 64};
+    switch (dtype) {
+      case 0: return int4;
+      case 1: return fp4;
+      default: return flint4;
+    }
+}
+
+} // namespace
+
+AntQuantizer::AntQuantizer(int group_size) : group_size_(group_size)
+{
+    MXPLUS_CHECK(group_size_ >= 0);
+}
+
+int
+AntQuantizer::quantizeGroup(const float *in, float *out, size_t n) const
+{
+    const double amax = groupAmax(in, n);
+    if (amax == 0.0) {
+        std::fill(out, out + n, 0.0f);
+        return 0;
+    }
+
+    int best_dtype = 0;
+    double best_err = -1.0;
+    std::vector<float> tmp(n);
+    std::vector<float> best(n);
+    for (int dtype = 0; dtype < 3; ++dtype) {
+        const auto &grid = antGrid(dtype);
+        const double scale = amax / grid.back();
+        double err = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double q =
+                snapToGrid(static_cast<double>(in[i]) / scale, grid) * scale;
+            tmp[i] = static_cast<float>(q);
+            const double d = q - in[i];
+            err += d * d;
+        }
+        if (best_err < 0.0 || err < best_err) {
+            best_err = err;
+            best_dtype = dtype;
+            best = tmp;
+        }
+    }
+    std::copy(best.begin(), best.end(), out);
+    return best_dtype;
+}
+
+void
+AntQuantizer::quantizeRows(const float *in, float *out, size_t rows,
+                           size_t cols) const
+{
+    if (group_size_ == 0) {
+        quantizeGroup(in, out, rows * cols);
+        return;
+    }
+    const size_t group = static_cast<size_t>(group_size_);
+    for (size_t r = 0; r < rows; ++r) {
+        size_t c = 0;
+        while (c < cols) {
+            const size_t len = std::min(group, cols - c);
+            quantizeGroup(in + r * cols + c, out + r * cols + c, len);
+            c += len;
+        }
+    }
+}
+
+std::string
+AntQuantizer::name() const
+{
+    return group_size_ == 0 ? "ANT" : "MX-ANT";
+}
+
+OliveQuantizer::OliveQuantizer(int group_size) : group_size_(group_size)
+{
+    MXPLUS_CHECK(group_size_ >= 0);
+}
+
+void
+OliveQuantizer::quantizeGroup(const float *in, float *out, size_t n) const
+{
+    const double amax = groupAmax(in, n);
+    if (amax == 0.0) {
+        std::fill(out, out + n, 0.0f);
+        return;
+    }
+
+    // Locate the outlier and its victim (adjacent pair partner).
+    size_t outlier = 0;
+    for (size_t i = 1; i < n; ++i) {
+        if (std::fabs(in[i]) > std::fabs(in[outlier]))
+            outlier = i;
+    }
+    const size_t victim = (outlier ^ 1) < n ? (outlier ^ 1) : outlier;
+
+    // Body scale from the largest non-outlier magnitude.
+    double body_amax = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        if (i == outlier)
+            continue;
+        body_amax = std::max(
+            body_amax, std::fabs(static_cast<double>(in[i])));
+    }
+
+    const double body_scale = body_amax > 0.0 ? body_amax / 7.0 : 1.0;
+    for (size_t i = 0; i < n; ++i) {
+        if (i == outlier) {
+            // Outlier: 8-bit grid reusing the victim's storage.
+            const double s = amax / 127.0;
+            double q = std::nearbyint(static_cast<double>(in[i]) / s);
+            q = std::clamp(q, -128.0, 127.0);
+            out[i] = static_cast<float>(q * s);
+        } else if (i == victim && victim != outlier) {
+            out[i] = 0.0f; // sacrificed
+        } else {
+            double q = std::nearbyint(
+                static_cast<double>(in[i]) / body_scale);
+            q = std::clamp(q, -8.0, 7.0);
+            out[i] = static_cast<float>(q * body_scale);
+        }
+    }
+}
+
+void
+OliveQuantizer::quantizeRows(const float *in, float *out, size_t rows,
+                             size_t cols) const
+{
+    if (group_size_ == 0) {
+        quantizeGroup(in, out, rows * cols);
+        return;
+    }
+    const size_t group = static_cast<size_t>(group_size_);
+    for (size_t r = 0; r < rows; ++r) {
+        size_t c = 0;
+        while (c < cols) {
+            const size_t len = std::min(group, cols - c);
+            quantizeGroup(in + r * cols + c, out + r * cols + c, len);
+            c += len;
+        }
+    }
+}
+
+std::string
+OliveQuantizer::name() const
+{
+    return group_size_ == 0 ? "OliVe" : "MX-OliVe";
+}
+
+} // namespace mxplus

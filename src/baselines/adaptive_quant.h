@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ANT- and OliVe-style adaptive datatype quantizers (Table 7 comparison
+ * points). Both are reimplemented at the granularity the paper evaluates:
+ * the original schemes use per-tensor scaling (and collapse at 4 bits on
+ * LLMs), while the "MX-" variants use group-wise scaling with group size
+ * 32 and full-precision per-group scale factors.
+ *
+ *  - ANT (Guo et al., MICRO'22): each group adaptively picks the numeric
+ *    grid (int4, fp4 or power-of-two "flint") that minimizes its MSE.
+ *  - OliVe (Guo et al., ISCA'23): each group stores its outlier at 8-bit
+ *    precision by sacrificing the adjacent "victim" element (set to zero),
+ *    letting the remaining elements use a tighter int4 scale.
+ */
+
+#ifndef MXPLUS_BASELINES_ADAPTIVE_QUANT_H
+#define MXPLUS_BASELINES_ADAPTIVE_QUANT_H
+
+#include "tensor/quantizer_iface.h"
+
+namespace mxplus {
+
+/** ANT: per-group adaptive datatype selection among int4/fp4/flint4. */
+class AntQuantizer final : public TensorQuantizer
+{
+  public:
+    /** @param group_size scale-group length along a row; 0 = whole tensor */
+    explicit AntQuantizer(int group_size);
+
+    void quantizeRows(const float *in, float *out, size_t rows,
+                      size_t cols) const override;
+    std::string name() const override;
+    double avgBits() const override { return 4.0; }
+
+    /** Quantize one group; returns the chosen datatype index (tests). */
+    int quantizeGroup(const float *in, float *out, size_t n) const;
+
+  private:
+    int group_size_;
+};
+
+/** OliVe: outlier-victim pair encoding with int4 body. */
+class OliveQuantizer final : public TensorQuantizer
+{
+  public:
+    /** @param group_size scale-group length along a row; 0 = whole tensor */
+    explicit OliveQuantizer(int group_size);
+
+    void quantizeRows(const float *in, float *out, size_t rows,
+                      size_t cols) const override;
+    std::string name() const override;
+    double avgBits() const override { return 4.0; }
+
+    void quantizeGroup(const float *in, float *out, size_t n) const;
+
+  private:
+    int group_size_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_ADAPTIVE_QUANT_H

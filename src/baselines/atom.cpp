@@ -1,0 +1,85 @@
+#include "baselines/atom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+AtomScheme::AtomScheme(double outlier_fraction, int group_size)
+    : outlier_fraction_(outlier_fraction),
+      int4_(4, group_size), int8_(8, group_size)
+{
+    MXPLUS_CHECK(outlier_fraction_ >= 0.0 && outlier_fraction_ < 1.0);
+}
+
+std::string
+AtomScheme::name() const
+{
+    return "Atom(INT4+INT8)";
+}
+
+void
+AtomScheme::calibrate(const Matrix &acts, const Matrix &w)
+{
+    (void)w;
+    const size_t k = acts.cols();
+    std::vector<double> amax(k, 0.0);
+    for (size_t r = 0; r < acts.rows(); ++r) {
+        for (size_t c = 0; c < k; ++c)
+            amax[c] = std::max(
+                amax[c], std::fabs(static_cast<double>(acts.at(r, c))));
+    }
+    std::vector<size_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return amax[a] < amax[b];
+    });
+    n_outlier_ = static_cast<size_t>(
+        std::round(outlier_fraction_ * static_cast<double>(k)));
+    perm_ = order; // ascending magnitude: outliers end up at the back
+}
+
+void
+AtomScheme::transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                      Matrix &wq) const
+{
+    MXPLUS_CHECK_MSG(perm_.size() == a.cols(),
+                     "Atom scheme was not calibrated");
+    const size_t k = a.cols();
+    const size_t split = k - n_outlier_;
+
+    // Permute both operands identically (product-preserving), then
+    // quantize the normal slice in INT4 and the outlier slice in INT8.
+    auto permute = [&](const Matrix &m) {
+        Matrix out(m.rows(), m.cols());
+        for (size_t r = 0; r < m.rows(); ++r) {
+            for (size_t c = 0; c < k; ++c)
+                out.at(r, c) = m.at(r, perm_[c]);
+        }
+        return out;
+    };
+    Matrix ap = permute(a);
+    Matrix wp = permute(w);
+
+    aq = Matrix(a.rows(), a.cols());
+    wq = Matrix(w.rows(), w.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        int4_.quantizeRows(ap.row(r), aq.row(r), 1, split);
+        if (n_outlier_ > 0) {
+            int8_.quantizeRows(ap.row(r) + split, aq.row(r) + split, 1,
+                               n_outlier_);
+        }
+    }
+    for (size_t r = 0; r < w.rows(); ++r) {
+        int4_.quantizeRows(wp.row(r), wq.row(r), 1, split);
+        if (n_outlier_ > 0) {
+            int8_.quantizeRows(wp.row(r) + split, wq.row(r) + split, 1,
+                               n_outlier_);
+        }
+    }
+}
+
+} // namespace mxplus

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Atom-style mixed-precision quantization (Zhao et al., MLSys'24), a
+ * Table 7 comparison point ("Atom (INT4+INT8)"). Channels are reordered by
+ * calibration-time activation magnitude; a small fraction of outlier
+ * channels is kept in INT8 while the rest use group-wise INT4. Applying
+ * the same channel permutation to both operands preserves the product.
+ */
+
+#ifndef MXPLUS_BASELINES_ATOM_H
+#define MXPLUS_BASELINES_ATOM_H
+
+#include <vector>
+
+#include "baselines/gemm_scheme.h"
+#include "baselines/int_group_quant.h"
+
+namespace mxplus {
+
+/** Atom mixed INT4/INT8 GEMM scheme. */
+class AtomScheme final : public GemmScheme
+{
+  public:
+    /**
+     * @param outlier_fraction fraction of input channels kept in INT8
+     * @param group_size       INT4 group size along the reduction dim
+     */
+    explicit AtomScheme(double outlier_fraction = 0.125,
+                        int group_size = 128);
+
+    std::string name() const override;
+    void calibrate(const Matrix &acts, const Matrix &w) override;
+    void transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                   Matrix &wq) const override;
+
+    size_t outlierChannels() const { return n_outlier_; }
+
+  private:
+    double outlier_fraction_;
+    IntGroupQuantizer int4_;
+    IntGroupQuantizer int8_;
+    std::vector<size_t> perm_; ///< normal channels first, outliers last
+    size_t n_outlier_ = 0;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_ATOM_H

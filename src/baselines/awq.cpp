@@ -1,0 +1,79 @@
+#include "baselines/awq.h"
+
+#include <cmath>
+
+#include "common/bf16.h"
+#include "common/check.h"
+
+namespace mxplus {
+
+AwqScheme::AwqScheme(QuantizerPtr weight_quant, double alpha)
+    : weight_quant_(std::move(weight_quant)), alpha_(alpha)
+{
+    MXPLUS_CHECK(weight_quant_);
+    MXPLUS_CHECK(alpha_ > 0.0 && alpha_ <= 1.0);
+}
+
+std::string
+AwqScheme::name() const
+{
+    return "AWQ(W-" + weight_quant_->name() + ")";
+}
+
+void
+AwqScheme::calibrate(const Matrix &acts, const Matrix &w)
+{
+    MXPLUS_CHECK(acts.cols() == w.cols());
+    const size_t k = acts.cols();
+
+    // Per-channel mean activation magnitude, normalized so the geometric
+    // mean of the scales is ~1 (keeps the overall dynamic range stable).
+    std::vector<double> amean(k, 0.0);
+    for (size_t r = 0; r < acts.rows(); ++r) {
+        for (size_t c = 0; c < k; ++c)
+            amean[c] += std::fabs(static_cast<double>(acts.at(r, c)));
+    }
+    double log_sum = 0.0;
+    size_t n_pos = 0;
+    for (size_t c = 0; c < k; ++c) {
+        amean[c] /= static_cast<double>(acts.rows());
+        if (amean[c] > 0.0) {
+            log_sum += std::log(amean[c]);
+            ++n_pos;
+        }
+    }
+    const double gmean = n_pos ? std::exp(log_sum /
+        static_cast<double>(n_pos)) : 1.0;
+
+    scales_.assign(k, 1.0f);
+    for (size_t c = 0; c < k; ++c) {
+        if (amean[c] <= 0.0)
+            continue;
+        const double s = std::pow(amean[c] / gmean, alpha_);
+        if (s > 0.0 && std::isfinite(s))
+            scales_[c] = static_cast<float>(s);
+    }
+}
+
+void
+AwqScheme::transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                     Matrix &wq) const
+{
+    MXPLUS_CHECK_MSG(scales_.size() == a.cols(),
+                     "AWQ scheme was not calibrated");
+    // Activations: divide by the scale and keep BF16 precision (A16W4).
+    aq = Matrix(a.rows(), a.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        for (size_t c = 0; c < a.cols(); ++c)
+            aq.at(r, c) = roundToBf16(a.at(r, c) / scales_[c]);
+    }
+    // Weights: scale up, then quantize.
+    Matrix w_s(w.rows(), w.cols());
+    for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t c = 0; c < w.cols(); ++c)
+            w_s.at(r, c) = w.at(r, c) * scales_[c];
+    }
+    wq = weight_quant_->quantized(w_s);
+}
+
+} // namespace mxplus

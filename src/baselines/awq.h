@@ -1,0 +1,46 @@
+/**
+ * @file
+ * AWQ-style activation-aware weight scaling (Lin et al., MLSys'23), used in
+ * the Table 8 weight-only experiment. Important weight channels (those fed
+ * by large activations) are scaled up before weight quantization, and the
+ * inverse scale is folded into the (high-precision) activations. The paper
+ * shows AWQ composes synergistically with MXFP4+: scaling makes important
+ * weights more likely to be identified as the block-max.
+ */
+
+#ifndef MXPLUS_BASELINES_AWQ_H
+#define MXPLUS_BASELINES_AWQ_H
+
+#include <vector>
+
+#include "baselines/gemm_scheme.h"
+
+namespace mxplus {
+
+/** AWQ weight-only GEMM scheme (activations stay in BF16). */
+class AwqScheme final : public GemmScheme
+{
+  public:
+    /**
+     * @param weight_quant quantizer for the scaled weights (INT4-g128,
+     *                     MXFP4 or MXFP4+ in Table 8)
+     * @param alpha        scaling exponent on activation magnitude (0.5)
+     */
+    explicit AwqScheme(QuantizerPtr weight_quant, double alpha = 0.5);
+
+    std::string name() const override;
+    void calibrate(const Matrix &acts, const Matrix &w) override;
+    void transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                   Matrix &wq) const override;
+
+    const std::vector<float> &scales() const { return scales_; }
+
+  private:
+    QuantizerPtr weight_quant_;
+    double alpha_;
+    std::vector<float> scales_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_AWQ_H

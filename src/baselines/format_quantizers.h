@@ -1,0 +1,57 @@
+/**
+ * @file
+ * TensorQuantizer adapters for every storage format in the library, plus a
+ * string-keyed factory used by the benchmark harness ("MXFP4+", "MSFP12",
+ * "BF16", ...).
+ */
+
+#ifndef MXPLUS_TENSOR_FORMAT_QUANTIZERS_H
+#define MXPLUS_TENSOR_FORMAT_QUANTIZERS_H
+
+#include <vector>
+
+#include "baselines/msfp.h"
+#include "baselines/smx.h"
+#include "mx/mx_quantizer.h"
+#include "mx/nvfp4.h"
+#include "mx/topk.h"
+#include "tensor/quantizer_iface.h"
+
+namespace mxplus {
+
+/** Identity: leaves values untouched (the FP32 reference). */
+QuantizerPtr makeIdentityQuantizer();
+
+/** Rounds every element to BF16 (the paper's baseline precision). */
+QuantizerPtr makeBf16Quantizer();
+
+/** MX / MX+ / MX++ for any element format. */
+QuantizerPtr makeMxQuantizer(ElementFormat format, MxMode mode,
+                             int block_size = kMxMaxBlockSize);
+
+/** NVFP4 or NVFP4+. */
+QuantizerPtr makeNvfp4Quantizer(bool plus);
+
+/** MSFP12/14/16. */
+QuantizerPtr makeMsfpQuantizer(int total_bits);
+
+/** SMX4/6/9. */
+QuantizerPtr makeSmxQuantizer(int avg_bits);
+
+/** Top-k-in-MXFP6 mixed block format (Figure 14). */
+QuantizerPtr makeTopKQuantizer(int k);
+
+/**
+ * Factory by name: "FP32", "BF16", "MXFP4", "MXFP4+", "MXFP4++", "MXFP6",
+ * "MXFP6+", "MXFP8", "MXFP8+", "MXINT8", "MXINT8+", "MXINT4", "MXINT4+",
+ * "NVFP4", "NVFP4+", "MSFP12", "MSFP14", "MSFP16", "SMX4", "SMX6", "SMX9".
+ * Calls mxplus::fatal on unknown names.
+ */
+QuantizerPtr makeQuantizerByName(const std::string &name);
+
+/** All names known to makeQuantizerByName (for sweeps and tests). */
+std::vector<std::string> knownQuantizerNames();
+
+} // namespace mxplus
+
+#endif // MXPLUS_TENSOR_FORMAT_QUANTIZERS_H

@@ -1,0 +1,46 @@
+#include "baselines/gemm_scheme.h"
+
+#include "baselines/format_quantizers.h"
+#include "common/check.h"
+
+namespace mxplus {
+
+FormatGemmScheme::FormatGemmScheme(QuantizerPtr act_quant,
+                                   QuantizerPtr weight_quant)
+    : act_quant_(std::move(act_quant)), weight_quant_(std::move(weight_quant))
+{
+    MXPLUS_CHECK(act_quant_ && weight_quant_);
+}
+
+std::string
+FormatGemmScheme::name() const
+{
+    if (act_quant_->name() == weight_quant_->name())
+        return act_quant_->name();
+    return "A-" + act_quant_->name() + ",W-" + weight_quant_->name();
+}
+
+void
+FormatGemmScheme::transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                            Matrix &wq) const
+{
+    aq = act_quant_->quantized(a);
+    wq = weight_quant_->quantized(w);
+}
+
+GemmSchemePtr
+makeFormatScheme(const std::string &format_name)
+{
+    return std::make_shared<FormatGemmScheme>(
+        makeQuantizerByName(format_name), makeQuantizerByName(format_name));
+}
+
+GemmSchemePtr
+makeFormatScheme(const std::string &act_format,
+                 const std::string &weight_format)
+{
+    return std::make_shared<FormatGemmScheme>(
+        makeQuantizerByName(act_format), makeQuantizerByName(weight_format));
+}
+
+} // namespace mxplus

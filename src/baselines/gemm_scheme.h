@@ -1,0 +1,82 @@
+/**
+ * @file
+ * GEMM-level quantization scheme interface for the Table 7 / Table 8
+ * comparison points. Unlike a plain TensorQuantizer, a GemmScheme may apply
+ * a mathematically-compensated transformation to BOTH operands (channel
+ * smoothing, rotation, reordering, weight scaling) before quantizing, and
+ * may require offline calibration from sample activations.
+ */
+
+#ifndef MXPLUS_BASELINES_GEMM_SCHEME_H
+#define MXPLUS_BASELINES_GEMM_SCHEME_H
+
+#include <memory>
+#include <string>
+
+#include "tensor/quantizer_iface.h"
+#include "tensor/tensor.h"
+
+namespace mxplus {
+
+/**
+ * A quantized-GEMM recipe: out = Aq * Wq^T where (Aq, Wq) come from
+ * transform(). A is [M x K] activations; W is [N x K] weights.
+ */
+class GemmScheme
+{
+  public:
+    virtual ~GemmScheme() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Offline calibration. @p acts is a sample activation matrix for this
+     * layer ([tokens x K]); @p w is the layer weight ([N x K]). Default:
+     * nothing to calibrate.
+     */
+    virtual void
+    calibrate(const Matrix &acts, const Matrix &w)
+    {
+        (void)acts;
+        (void)w;
+    }
+
+    /** Produce the effective quantized operand pair. */
+    virtual void transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                           Matrix &wq) const = 0;
+};
+
+using GemmSchemePtr = std::shared_ptr<GemmScheme>;
+
+/**
+ * The trivial scheme: quantize each operand independently with per-tensor
+ * format quantizers. This is how all MX / MX+ / NVFP4 / MSFP / SMX results
+ * in the paper are produced.
+ */
+class FormatGemmScheme final : public GemmScheme
+{
+  public:
+    FormatGemmScheme(QuantizerPtr act_quant, QuantizerPtr weight_quant);
+
+    std::string name() const override;
+    void transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                   Matrix &wq) const override;
+
+    const QuantizerPtr &actQuantizer() const { return act_quant_; }
+    const QuantizerPtr &weightQuantizer() const { return weight_quant_; }
+
+  private:
+    QuantizerPtr act_quant_;
+    QuantizerPtr weight_quant_;
+};
+
+/** Convenience: both operands in the same named format. */
+GemmSchemePtr makeFormatScheme(const std::string &format_name);
+
+/** Convenience: different formats for activations and weights. */
+GemmSchemePtr makeFormatScheme(const std::string &act_format,
+                               const std::string &weight_format);
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_GEMM_SCHEME_H

@@ -1,0 +1,74 @@
+#include "baselines/int_group_quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+IntGroupQuantizer::IntGroupQuantizer(int bits, int group_size)
+    : bits_(bits), group_size_(group_size),
+      qmax_((1 << (bits - 1)) - 1)
+{
+    MXPLUS_CHECK(bits_ >= 2 && bits_ <= 16);
+    MXPLUS_CHECK(group_size_ >= 0);
+}
+
+void
+IntGroupQuantizer::quantizeGroup(const float *in, float *out, size_t n) const
+{
+    double amax = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        MXPLUS_CHECK_MSG(std::isfinite(in[i]), "int quant input not finite");
+        amax = std::max(amax, std::fabs(static_cast<double>(in[i])));
+    }
+    if (amax == 0.0) {
+        std::fill(out, out + n, 0.0f);
+        return;
+    }
+    const double scale = amax / static_cast<double>(qmax_);
+    for (size_t i = 0; i < n; ++i) {
+        double q = std::nearbyint(static_cast<double>(in[i]) / scale);
+        q = std::clamp(q, -static_cast<double>(qmax_) - 1,
+                       static_cast<double>(qmax_));
+        out[i] = static_cast<float>(q * scale);
+    }
+}
+
+void
+IntGroupQuantizer::quantizeRows(const float *in, float *out, size_t rows,
+                                size_t cols) const
+{
+    const size_t group =
+        group_size_ == 0 ? cols : static_cast<size_t>(group_size_);
+    for (size_t r = 0; r < rows; ++r) {
+        size_t c = 0;
+        while (c < cols) {
+            const size_t len = std::min(group, cols - c);
+            quantizeGroup(in + r * cols + c, out + r * cols + c, len);
+            c += len;
+        }
+    }
+}
+
+std::string
+IntGroupQuantizer::name() const
+{
+    std::string n = "INT" + std::to_string(bits_);
+    if (group_size_ > 0)
+        n += "-g" + std::to_string(group_size_);
+    return n;
+}
+
+double
+IntGroupQuantizer::avgBits() const
+{
+    // FP32 scale amortized over the group (row-sized groups report the
+    // element width only, matching common usage).
+    if (group_size_ == 0)
+        return bits_;
+    return bits_ + 32.0 / group_size_;
+}
+
+} // namespace mxplus

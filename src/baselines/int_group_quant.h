@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Symmetric integer group quantization: the conventional uniform scheme
+ * from the paper's preliminaries, with a full-precision scale factor
+ *   s = max|x| / (2^(b-1) - 1)
+ * per group. Group size 0 means one group per row (per-token activation /
+ * per-output-channel weight quantization).
+ */
+
+#ifndef MXPLUS_BASELINES_INT_GROUP_QUANT_H
+#define MXPLUS_BASELINES_INT_GROUP_QUANT_H
+
+#include "tensor/quantizer_iface.h"
+
+namespace mxplus {
+
+/** Symmetric INTb quantizer with FP32 per-group scales. */
+class IntGroupQuantizer final : public TensorQuantizer
+{
+  public:
+    /**
+     * @param bits       integer width (e.g. 4 or 8)
+     * @param group_size elements per scale group along a row; 0 = whole row
+     */
+    IntGroupQuantizer(int bits, int group_size);
+
+    void quantizeRows(const float *in, float *out, size_t rows,
+                      size_t cols) const override;
+
+    /** Quantize one contiguous group. */
+    void quantizeGroup(const float *in, float *out, size_t n) const;
+
+    std::string name() const override;
+    double avgBits() const override;
+    int bits() const { return bits_; }
+    int groupSize() const { return group_size_; }
+
+  private:
+    int bits_;
+    int group_size_;
+    int qmax_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_INT_GROUP_QUANT_H

@@ -1,0 +1,83 @@
+#include "baselines/msfp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "formats/scale.h"
+#include "mx/mx_quantizer.h"
+
+namespace mxplus {
+
+MsfpQuantizer::MsfpQuantizer(int total_bits, int block_size)
+    : total_bits_(total_bits), mbits_(total_bits - 9),
+      block_size_(block_size)
+{
+    MXPLUS_CHECK_MSG(mbits_ >= 1 && mbits_ <= 10,
+                     "MSFP total bits must be in [10, 19]");
+    MXPLUS_CHECK(block_size_ >= 1);
+}
+
+void
+MsfpQuantizer::fakeQuantizeBlock(const float *in, float *out, int n) const
+{
+    MXPLUS_CHECK(n >= 1 && n <= block_size_);
+    const int bm = MxQuantizer::bmIndex(in, n);
+    const double amax = std::fabs(static_cast<double>(in[bm]));
+    if (amax == 0.0) {
+        std::fill(out, out + n, 0.0f);
+        return;
+    }
+
+    // Shared exponent = exponent of the largest magnitude (no element
+    // exponent bias to subtract: MSFP elements have no private exponent).
+    const int shared_exp = E8M0::clampExp(MxQuantizer::floorLog2(amax));
+    // The mantissa grid puts the leading bit of the largest value at
+    // bit (mbits - 1): step = 2^(shared_exp - mbits + 1).
+    const int log2_step = shared_exp - mbits_ + 1;
+    const double max_code = static_cast<double>((1 << mbits_) - 1);
+
+    for (int i = 0; i < n; ++i) {
+        MXPLUS_CHECK_MSG(std::isfinite(in[i]), "MSFP input must be finite");
+        const double a = std::fabs(static_cast<double>(in[i]));
+        double m = std::nearbyint(a / pow2d(log2_step));
+        m = std::min(m, max_code);
+        out[i] = static_cast<float>(
+            std::copysign(m * pow2d(log2_step), in[i]));
+    }
+}
+
+void
+MsfpQuantizer::fakeQuantize(const float *in, float *out, size_t n) const
+{
+    size_t i = 0;
+    while (i < n) {
+        const int len = static_cast<int>(
+            std::min<size_t>(block_size_, n - i));
+        fakeQuantizeBlock(in + i, out + i, len);
+        i += len;
+    }
+}
+
+void
+MsfpQuantizer::fakeQuantizeRows(const float *in, float *out, size_t rows,
+                                size_t cols) const
+{
+    for (size_t r = 0; r < rows; ++r)
+        fakeQuantize(in + r * cols, out + r * cols, cols);
+}
+
+double
+MsfpQuantizer::avgBitsPerElement() const
+{
+    return 1.0 + mbits_ + 8.0 / block_size_;
+}
+
+std::string
+MsfpQuantizer::name() const
+{
+    return "MSFP" + std::to_string(total_bits_);
+}
+
+} // namespace mxplus

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Microsoft Floating Point (MSFP) block format (Section 2 of the paper).
+ *
+ * An MSFP block groups 16 elements under one 8-bit shared exponent set to
+ * the exponent of the largest absolute value. Each element keeps a sign and
+ * a mantissa with NO implicit leading bit; the mantissa is the original
+ * value right-shifted by the difference between the shared exponent and its
+ * own. Formats are named by total bit width: MSFP12 has 1 sign + 3 mantissa
+ * bits per element (avg 4.5 bits/element), MSFP14 has 5 mantissa bits,
+ * MSFP16 has 7.
+ */
+
+#ifndef MXPLUS_BASELINES_MSFP_H
+#define MXPLUS_BASELINES_MSFP_H
+
+#include <cstddef>
+#include <string>
+
+namespace mxplus {
+
+/** MSFP block quantizer. */
+class MsfpQuantizer
+{
+  public:
+    /**
+     * @param total_bits the MSFP name number (12, 14 or 16): 8 shared
+     *                   exponent bits + 1 sign + (total_bits - 9) mantissa
+     * @param block_size elements per block (16 in the typical deployment)
+     */
+    explicit MsfpQuantizer(int total_bits, int block_size = 16);
+
+    void fakeQuantize(const float *in, float *out, size_t n) const;
+    void fakeQuantizeRows(const float *in, float *out, size_t rows,
+                          size_t cols) const;
+    void fakeQuantizeBlock(const float *in, float *out, int n) const;
+
+    int mantissaBits() const { return mbits_; }
+    int blockSize() const { return block_size_; }
+    double avgBitsPerElement() const;
+    std::string name() const;
+
+  private:
+    int total_bits_;
+    int mbits_;
+    int block_size_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_MSFP_H

@@ -1,0 +1,86 @@
+#include "baselines/quarot.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mxplus {
+
+void
+fwht(float *data, size_t n)
+{
+    MXPLUS_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+                     "FWHT length must be a power of two");
+    for (size_t len = 1; len < n; len <<= 1) {
+        for (size_t i = 0; i < n; i += len << 1) {
+            for (size_t j = i; j < i + len; ++j) {
+                const float x = data[j];
+                const float y = data[j + len];
+                data[j] = x + y;
+                data[j + len] = x - y;
+            }
+        }
+    }
+}
+
+QuaRotScheme::QuaRotScheme(QuantizerPtr inner, uint64_t seed)
+    : inner_(std::move(inner)), seed_(seed)
+{
+    MXPLUS_CHECK(inner_);
+}
+
+std::string
+QuaRotScheme::name() const
+{
+    return "QuaRot(" + inner_->name() + ")";
+}
+
+void
+QuaRotScheme::calibrate(const Matrix &acts, const Matrix &w)
+{
+    (void)acts;
+    const size_t k = w.cols();
+    if ((k & (k - 1)) != 0) {
+        // Fast Hadamard needs a power-of-two length; real deployments
+        // compose Kronecker factors for other sizes. Here such layers
+        // skip the rotation (quantize-only), keeping the product exact.
+        signs_.clear();
+        return;
+    }
+    Rng rng(seed_);
+    signs_.resize(k);
+    for (size_t i = 0; i < k; ++i)
+        signs_[i] = (rng.next() & 1) ? 1.0f : -1.0f;
+}
+
+Matrix
+QuaRotScheme::rotate(const Matrix &m) const
+{
+    if (signs_.empty())
+        return m; // non-power-of-two layer: rotation skipped
+    MXPLUS_CHECK_MSG(signs_.size() == m.cols(),
+                     "QuaRot scheme was not calibrated");
+    Matrix out(m.rows(), m.cols());
+    const float norm = 1.0f / std::sqrt(static_cast<float>(m.cols()));
+    for (size_t r = 0; r < m.rows(); ++r) {
+        float *row = out.row(r);
+        const float *src = m.row(r);
+        for (size_t c = 0; c < m.cols(); ++c)
+            row[c] = src[c] * signs_[c];
+        fwht(row, m.cols());
+        for (size_t c = 0; c < m.cols(); ++c)
+            row[c] *= norm;
+    }
+    return out;
+}
+
+void
+QuaRotScheme::transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                        Matrix &wq) const
+{
+    aq = inner_->quantized(rotate(a));
+    wq = inner_->quantized(rotate(w));
+}
+
+} // namespace mxplus

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * QuaRot-style randomized Hadamard rotation (Ashkboos et al., NeurIPS'24),
+ * a Table 7 comparison point. Both GEMM operands are multiplied by the same
+ * orthogonal matrix Q = diag(signs) * H / sqrt(K), which preserves the
+ * product (A Q)(W Q)^T = A W^T exactly while spreading outlier energy
+ * across channels before quantization with an inner quantizer.
+ */
+
+#ifndef MXPLUS_BASELINES_QUAROT_H
+#define MXPLUS_BASELINES_QUAROT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/gemm_scheme.h"
+
+namespace mxplus {
+
+/**
+ * In-place fast Walsh-Hadamard transform of a length-n buffer
+ * (n must be a power of two). Unnormalized: callers divide by sqrt(n).
+ */
+void fwht(float *data, size_t n);
+
+/** Randomized-Hadamard-rotation GEMM scheme. */
+class QuaRotScheme final : public GemmScheme
+{
+  public:
+    /**
+     * @param inner quantizer applied to both rotated operands
+     * @param seed  seed for the random sign diagonal
+     */
+    explicit QuaRotScheme(QuantizerPtr inner, uint64_t seed = 0x9a407);
+
+    std::string name() const override;
+    void calibrate(const Matrix &acts, const Matrix &w) override;
+    void transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                   Matrix &wq) const override;
+
+    /** Apply Q to every row of @p m (exposed for tests). */
+    Matrix rotate(const Matrix &m) const;
+
+  private:
+    QuantizerPtr inner_;
+    uint64_t seed_;
+    std::vector<float> signs_; ///< +-1 diagonal, sized at calibration
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_QUAROT_H

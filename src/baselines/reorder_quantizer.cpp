@@ -1,0 +1,59 @@
+#include "baselines/reorder_quantizer.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "mx/reorder.h"
+
+namespace mxplus {
+
+ReorderQuantizer::ReorderQuantizer(QuantizerPtr inner, size_t block_size)
+    : inner_(std::move(inner)), block_size_(block_size)
+{
+    MXPLUS_CHECK(inner_);
+}
+
+void
+ReorderQuantizer::quantizeRows(const float *in, float *out, size_t rows,
+                               size_t cols) const
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (perm_.size() != cols) {
+            // Calibrate the ordering from this first matrix.
+            const auto counts = countChannelOutliers(in, rows, cols);
+            perm_ = buildReorderPermutation(counts, block_size_);
+            inv_perm_.assign(cols, 0);
+            for (size_t p = 0; p < cols; ++p)
+                inv_perm_[perm_[p]] = p;
+        }
+    }
+
+    std::vector<float> permuted(rows * cols);
+    applyColumnPermutation(in, permuted.data(), rows, cols, perm_);
+    std::vector<float> quantized(rows * cols);
+    inner_->quantizeRows(permuted.data(), quantized.data(), rows, cols);
+    applyColumnPermutation(quantized.data(), out, rows, cols, inv_perm_);
+}
+
+std::string
+ReorderQuantizer::name() const
+{
+    return "Reorder(" + inner_->name() + ")";
+}
+
+double
+ReorderQuantizer::avgBits() const
+{
+    return inner_->avgBits();
+}
+
+void
+ReorderQuantizer::resetPermutation() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perm_.clear();
+    inv_perm_.clear();
+}
+
+} // namespace mxplus

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Channel-reordering wrapper around any TensorQuantizer (Section 8.3,
+ * Table 12 / Figure 14). Columns are permuted so outlier-heavy channels
+ * scatter across MX blocks, quantized with the inner format, and permuted
+ * back — only the block grouping changes, not element positions, so any
+ * downstream dot product remains mathematically correct.
+ *
+ * The permutation is determined once from the first (calibration) matrix
+ * seen, mirroring the paper's predetermined channel ordering from 10% of
+ * samples; outlier channels persist across tokens, so one ordering serves
+ * the whole run.
+ */
+
+#ifndef MXPLUS_BASELINES_REORDER_QUANTIZER_H
+#define MXPLUS_BASELINES_REORDER_QUANTIZER_H
+
+#include <mutex>
+#include <vector>
+
+#include "tensor/quantizer_iface.h"
+
+namespace mxplus {
+
+/** Reorder-then-quantize wrapper. */
+class ReorderQuantizer final : public TensorQuantizer
+{
+  public:
+    /**
+     * @param inner      the block format applied after reordering
+     * @param block_size MX block size used to place outlier leaders
+     */
+    explicit ReorderQuantizer(QuantizerPtr inner, size_t block_size = 32);
+
+    void quantizeRows(const float *in, float *out, size_t rows,
+                      size_t cols) const override;
+    std::string name() const override;
+    double avgBits() const override;
+
+    /** Drop the cached permutation (e.g. between models). */
+    void resetPermutation() const;
+
+  private:
+    QuantizerPtr inner_;
+    size_t block_size_;
+    mutable std::mutex mu_;
+    mutable std::vector<size_t> perm_;     ///< keyed by column count
+    mutable std::vector<size_t> inv_perm_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_REORDER_QUANTIZER_H

@@ -1,0 +1,91 @@
+#include "baselines/scheme_factory.h"
+
+#include "baselines/adaptive_quant.h"
+#include "baselines/atom.h"
+#include "baselines/awq.h"
+#include "baselines/format_quantizers.h"
+#include "baselines/quarot.h"
+#include "baselines/smoothquant.h"
+#include "baselines/tender.h"
+#include "common/check.h"
+
+namespace mxplus {
+
+namespace {
+
+QuantizerPtr
+intPerRow(int bits)
+{
+    return std::make_shared<IntGroupQuantizer>(bits, 0);
+}
+
+} // namespace
+
+GemmSchemePtr
+makeSchemeByName(const std::string &name)
+{
+    if (name == "SMQ-INT4")
+        return std::make_shared<SmoothQuantScheme>(intPerRow(4));
+    if (name == "SMQ-MXFP4") {
+        return std::make_shared<SmoothQuantScheme>(
+            makeQuantizerByName("MXFP4"));
+    }
+    if (name == "QuaRot-INT4")
+        return std::make_shared<QuaRotScheme>(intPerRow(4));
+    if (name == "QuaRot-MXFP4") {
+        return std::make_shared<QuaRotScheme>(
+            makeQuantizerByName("MXFP4"));
+    }
+    if (name == "Atom-INT4+INT8")
+        return std::make_shared<AtomScheme>();
+    if (name == "ANT") {
+        return std::make_shared<FormatGemmScheme>(
+            std::make_shared<AntQuantizer>(0),
+            std::make_shared<AntQuantizer>(0));
+    }
+    if (name == "MX-ANT") {
+        // Per-tensor dtype for activations, group-of-32 for weights.
+        return std::make_shared<FormatGemmScheme>(
+            std::make_shared<AntQuantizer>(0),
+            std::make_shared<AntQuantizer>(32));
+    }
+    if (name == "OliVe") {
+        return std::make_shared<FormatGemmScheme>(
+            std::make_shared<OliveQuantizer>(0),
+            std::make_shared<OliveQuantizer>(0));
+    }
+    if (name == "MX-OliVe") {
+        return std::make_shared<FormatGemmScheme>(
+            std::make_shared<OliveQuantizer>(0),
+            std::make_shared<OliveQuantizer>(32));
+    }
+    if (name == "Tender")
+        return std::make_shared<TenderScheme>(false);
+    if (name == "MX-Tender")
+        return std::make_shared<TenderScheme>(true);
+    if (name == "AWQ-INT4") {
+        return std::make_shared<AwqScheme>(
+            std::make_shared<IntGroupQuantizer>(4, 128));
+    }
+    if (name == "AWQ-MXFP4")
+        return std::make_shared<AwqScheme>(makeQuantizerByName("MXFP4"));
+    if (name == "AWQ-MXFP4+")
+        return std::make_shared<AwqScheme>(makeQuantizerByName("MXFP4+"));
+
+    // Fall back to a plain per-tensor format scheme ("BF16", "MXFP4+"...).
+    return makeFormatScheme(name);
+}
+
+std::vector<std::string>
+table7SchemeNames()
+{
+    return {"BF16",
+            "SMQ-INT4", "SMQ-MXFP4",
+            "QuaRot-INT4", "QuaRot-MXFP4",
+            "Atom-INT4+INT8",
+            "ANT", "OliVe", "Tender",
+            "MX-ANT", "MX-OliVe", "MX-Tender",
+            "MXFP4+", "MXFP4++"};
+}
+
+} // namespace mxplus

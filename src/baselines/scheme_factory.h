@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Name-keyed factory for every GEMM scheme the Table 7 / Table 8 benches
+ * sweep over, wiring the baseline reimplementations to the inner
+ * quantizers the paper pairs them with.
+ */
+
+#ifndef MXPLUS_BASELINES_SCHEME_FACTORY_H
+#define MXPLUS_BASELINES_SCHEME_FACTORY_H
+
+#include <string>
+#include <vector>
+
+#include "baselines/gemm_scheme.h"
+
+namespace mxplus {
+
+/**
+ * Supported names:
+ *   "BF16",
+ *   any format name accepted by makeQuantizerByName (applied to both
+ *   operands), plus
+ *   "SMQ-INT4", "SMQ-MXFP4", "QuaRot-INT4", "QuaRot-MXFP4",
+ *   "Atom-INT4+INT8", "ANT", "OliVe", "Tender",
+ *   "MX-ANT", "MX-OliVe", "MX-Tender",
+ *   "AWQ-INT4", "AWQ-MXFP4", "AWQ-MXFP4+".
+ */
+GemmSchemePtr makeSchemeByName(const std::string &name);
+
+/** The Table 7 scheme list, in presentation order. */
+std::vector<std::string> table7SchemeNames();
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_SCHEME_FACTORY_H

@@ -1,0 +1,72 @@
+#include "baselines/smoothquant.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+SmoothQuantScheme::SmoothQuantScheme(QuantizerPtr inner, double alpha)
+    : inner_(std::move(inner)), alpha_(alpha)
+{
+    MXPLUS_CHECK(inner_);
+    MXPLUS_CHECK(alpha_ > 0.0 && alpha_ < 1.0);
+}
+
+std::string
+SmoothQuantScheme::name() const
+{
+    return "SMQ(" + inner_->name() + ")";
+}
+
+void
+SmoothQuantScheme::calibrate(const Matrix &acts, const Matrix &w)
+{
+    const size_t k = acts.cols();
+    MXPLUS_CHECK(w.cols() == k);
+
+    std::vector<double> amax_a(k, 0.0);
+    std::vector<double> amax_w(k, 0.0);
+    for (size_t r = 0; r < acts.rows(); ++r) {
+        for (size_t c = 0; c < k; ++c)
+            amax_a[c] = std::max(
+                amax_a[c], std::fabs(static_cast<double>(acts.at(r, c))));
+    }
+    for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t c = 0; c < k; ++c)
+            amax_w[c] = std::max(
+                amax_w[c], std::fabs(static_cast<double>(w.at(r, c))));
+    }
+
+    scales_.assign(k, 1.0f);
+    for (size_t c = 0; c < k; ++c) {
+        if (amax_a[c] <= 0.0 || amax_w[c] <= 0.0)
+            continue;
+        const double s = std::pow(amax_a[c], alpha_) /
+            std::pow(amax_w[c], 1.0 - alpha_);
+        if (s > 0.0 && std::isfinite(s))
+            scales_[c] = static_cast<float>(s);
+    }
+}
+
+void
+SmoothQuantScheme::transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                             Matrix &wq) const
+{
+    MXPLUS_CHECK_MSG(scales_.size() == a.cols(),
+                     "SmoothQuant scheme was not calibrated");
+    Matrix a_s(a.rows(), a.cols());
+    Matrix w_s(w.rows(), w.cols());
+    for (size_t r = 0; r < a.rows(); ++r) {
+        for (size_t c = 0; c < a.cols(); ++c)
+            a_s.at(r, c) = a.at(r, c) / scales_[c];
+    }
+    for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t c = 0; c < w.cols(); ++c)
+            w_s.at(r, c) = w.at(r, c) * scales_[c];
+    }
+    aq = inner_->quantized(a_s);
+    wq = inner_->quantized(w_s);
+}
+
+} // namespace mxplus

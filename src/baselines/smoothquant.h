@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SmoothQuant-style channel smoothing (Xiao et al., ICML'23), one of the
+ * Table 7 comparison points. Activation outlier channels are divided by a
+ * per-channel factor s_j = amax_A(j)^alpha / amax_W(j)^(1-alpha) that is
+ * folded into the weights, shifting quantization difficulty from
+ * activations to weights. Both operands are then quantized with an inner
+ * quantizer (per-token/per-channel INT4 for "SMQ (INT4)", MXFP4 for
+ * "SMQ (MXFP4)" in the paper's table).
+ */
+
+#ifndef MXPLUS_BASELINES_SMOOTHQUANT_H
+#define MXPLUS_BASELINES_SMOOTHQUANT_H
+
+#include <vector>
+
+#include "baselines/gemm_scheme.h"
+
+namespace mxplus {
+
+/** SmoothQuant channel-smoothing GEMM scheme. */
+class SmoothQuantScheme final : public GemmScheme
+{
+  public:
+    /**
+     * @param inner  quantizer applied to both smoothed operands
+     * @param alpha  migration strength (0.5 in the paper)
+     */
+    SmoothQuantScheme(QuantizerPtr inner, double alpha = 0.5);
+
+    std::string name() const override;
+    void calibrate(const Matrix &acts, const Matrix &w) override;
+    void transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                   Matrix &wq) const override;
+
+    const std::vector<float> &scales() const { return scales_; }
+
+  private:
+    QuantizerPtr inner_;
+    double alpha_;
+    std::vector<float> scales_; ///< per input-channel smoothing factors
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_SMOOTHQUANT_H

@@ -1,0 +1,97 @@
+#include "baselines/smx.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "formats/scale.h"
+#include "mx/mx_quantizer.h"
+
+namespace mxplus {
+
+SmxQuantizer::SmxQuantizer(int avg_bits, int group_size, int sub_size)
+    : avg_bits_(avg_bits), group_size_(group_size), sub_size_(sub_size)
+{
+    // avg bits = 1 sign + mbits + 8/group + 1/sub; with the typical
+    // group 16 / sub 2 this is mbits + 2, so SMX4/6/9 -> 2/4/7 mantissa.
+    mbits_ = avg_bits_ - 2;
+    MXPLUS_CHECK_MSG(mbits_ >= 1 && mbits_ <= 10, "unsupported SMX width");
+    MXPLUS_CHECK(group_size_ >= 1 && sub_size_ >= 1);
+    MXPLUS_CHECK(group_size_ % sub_size_ == 0);
+}
+
+void
+SmxQuantizer::fakeQuantizeBlock(const float *in, float *out, int n) const
+{
+    MXPLUS_CHECK(n >= 1 && n <= group_size_);
+    const int bm = MxQuantizer::bmIndex(in, n);
+    const double amax = std::fabs(static_cast<double>(in[bm]));
+    if (amax == 0.0) {
+        std::fill(out, out + n, 0.0f);
+        return;
+    }
+
+    const int shared_exp = E8M0::clampExp(MxQuantizer::floorLog2(amax));
+    const double max_code = static_cast<double>((1 << mbits_) - 1);
+
+    for (int s0 = 0; s0 < n; s0 += sub_size_) {
+        const int s1 = std::min(n, s0 + sub_size_);
+        // 1-bit microexponent: shift the subgroup's grid down by one when
+        // every element in the pair is below half the group maximum.
+        double sub_amax = 0.0;
+        for (int i = s0; i < s1; ++i)
+            sub_amax = std::max(
+                sub_amax, std::fabs(static_cast<double>(in[i])));
+        int micro = 0;
+        if (sub_amax > 0.0 &&
+            MxQuantizer::floorLog2(sub_amax) < shared_exp) {
+            micro = 1;
+        }
+
+        const int log2_step = shared_exp - micro - mbits_ + 1;
+        for (int i = s0; i < s1; ++i) {
+            MXPLUS_CHECK_MSG(std::isfinite(in[i]),
+                             "SMX input must be finite");
+            const double a = std::fabs(static_cast<double>(in[i]));
+            double m = std::nearbyint(a / pow2d(log2_step));
+            m = std::min(m, max_code);
+            out[i] = static_cast<float>(
+                std::copysign(m * pow2d(log2_step), in[i]));
+        }
+    }
+}
+
+void
+SmxQuantizer::fakeQuantize(const float *in, float *out, size_t n) const
+{
+    size_t i = 0;
+    while (i < n) {
+        const int len = static_cast<int>(
+            std::min<size_t>(group_size_, n - i));
+        fakeQuantizeBlock(in + i, out + i, len);
+        i += len;
+    }
+}
+
+void
+SmxQuantizer::fakeQuantizeRows(const float *in, float *out, size_t rows,
+                               size_t cols) const
+{
+    for (size_t r = 0; r < rows; ++r)
+        fakeQuantize(in + r * cols, out + r * cols, cols);
+}
+
+double
+SmxQuantizer::avgBitsPerElement() const
+{
+    return 1.0 + mbits_ + 8.0 / group_size_ + 1.0 / sub_size_;
+}
+
+std::string
+SmxQuantizer::name() const
+{
+    return "SMX" + std::to_string(avg_bits_);
+}
+
+} // namespace mxplus

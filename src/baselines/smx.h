@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared microexponents (SMX) block format (Section 2 of the paper).
+ *
+ * SMX uses two-level scaling: a group of k1 = 16 elements shares an 8-bit
+ * first-level exponent, and each pair (k2 = 2) of elements shares a 1-bit
+ * microexponent that subtracts at most one from the shared exponent. Like
+ * MSFP, elements carry a sign and a mantissa with no implicit leading bit.
+ * SMX4 / SMX6 / SMX9 carry 2 / 4 / 7 mantissa bits, giving average widths
+ * of 4 / 6 / 9 bits per element.
+ */
+
+#ifndef MXPLUS_BASELINES_SMX_H
+#define MXPLUS_BASELINES_SMX_H
+
+#include <cstddef>
+#include <string>
+
+namespace mxplus {
+
+/** SMX two-level-scaled block quantizer. */
+class SmxQuantizer
+{
+  public:
+    /**
+     * @param avg_bits the SMX name number (4, 6 or 9)
+     * @param group_size first-level group (16)
+     * @param sub_size second-level subgroup (2)
+     */
+    explicit SmxQuantizer(int avg_bits, int group_size = 16,
+                          int sub_size = 2);
+
+    void fakeQuantize(const float *in, float *out, size_t n) const;
+    void fakeQuantizeRows(const float *in, float *out, size_t rows,
+                          size_t cols) const;
+    void fakeQuantizeBlock(const float *in, float *out, int n) const;
+
+    int mantissaBits() const { return mbits_; }
+    int groupSize() const { return group_size_; }
+    double avgBitsPerElement() const;
+    std::string name() const;
+
+  private:
+    int avg_bits_;
+    int mbits_;
+    int group_size_;
+    int sub_size_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_SMX_H

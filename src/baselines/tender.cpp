@@ -1,0 +1,92 @@
+#include "baselines/tender.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace mxplus {
+
+TenderScheme::TenderScheme(bool fine_grained) : fine_grained_(fine_grained)
+{
+}
+
+std::string
+TenderScheme::name() const
+{
+    return fine_grained_ ? "MX-Tender" : "Tender";
+}
+
+void
+TenderScheme::calibrate(const Matrix &acts, const Matrix &w)
+{
+    (void)w;
+    const size_t k = acts.cols();
+    std::vector<double> amax(k, 0.0);
+    double tensor_amax = 0.0;
+    for (size_t r = 0; r < acts.rows(); ++r) {
+        for (size_t c = 0; c < k; ++c) {
+            const double a =
+                std::fabs(static_cast<double>(acts.at(r, c)));
+            amax[c] = std::max(amax[c], a);
+            tensor_amax = std::max(tensor_amax, a);
+        }
+    }
+
+    // Channels with small dynamic range are shifted up by a power of two so
+    // they share the INT4 grid of the large channels; the shift is folded
+    // into the weights (exactly representable, no extra error).
+    shifts_.assign(k, 0);
+    if (tensor_amax <= 0.0)
+        return;
+    for (size_t c = 0; c < k; ++c) {
+        if (amax[c] <= 0.0)
+            continue;
+        const int shift = static_cast<int>(
+            std::floor(std::log2(tensor_amax / amax[c])));
+        shifts_[c] = std::clamp(shift, 0, 7);
+    }
+}
+
+void
+TenderScheme::transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                        Matrix &wq) const
+{
+    MXPLUS_CHECK_MSG(shifts_.size() == a.cols(),
+                     "Tender scheme was not calibrated");
+    const size_t k = a.cols();
+
+    Matrix a_s(a.rows(), k);
+    Matrix w_s(w.rows(), k);
+    for (size_t r = 0; r < a.rows(); ++r) {
+        for (size_t c = 0; c < k; ++c)
+            a_s.at(r, c) =
+                a.at(r, c) * static_cast<float>(pow2d(shifts_[c]));
+    }
+    for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t c = 0; c < k; ++c)
+            w_s.at(r, c) =
+                w.at(r, c) * static_cast<float>(pow2d(-shifts_[c]));
+    }
+
+    // Activations: original Tender quantizes with a tensor-level scale;
+    // MX-Tender forms runtime groups of two rows. Weights: per-row INT4.
+    aq = Matrix(a.rows(), k);
+    IntGroupQuantizer int4_row(4, 0);
+    if (fine_grained_) {
+        for (size_t r = 0; r < a.rows(); r += 2) {
+            const size_t nrows = std::min<size_t>(2, a.rows() - r);
+            IntGroupQuantizer int4_pair(4, static_cast<int>(nrows * k));
+            int4_pair.quantizeRows(a_s.row(r), aq.row(r), 1, nrows * k);
+        }
+    } else {
+        IntGroupQuantizer int4_tensor(4, 0);
+        int4_tensor.quantizeRows(a_s.data(), aq.data(), 1,
+                                 a.rows() * k);
+    }
+    wq = Matrix(w.rows(), k);
+    int4_row.quantizeRows(w_s.data(), wq.data(), w.rows(), k);
+}
+
+} // namespace mxplus

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tender-style channel decomposition (Lee et al., ISCA'24), a Table 7
+ * comparison point. Channels of similar dynamic range are grouped and
+ * rescaled by powers of two before standard INT4 quantization, so the
+ * per-group rescaling can be folded into exponent arithmetic. The original
+ * scheme uses coarse (tensor-level) scale groups; "MX-Tender" groups
+ * activations at runtime over every two rows with full-precision scales.
+ */
+
+#ifndef MXPLUS_BASELINES_TENDER_H
+#define MXPLUS_BASELINES_TENDER_H
+
+#include <vector>
+
+#include "baselines/gemm_scheme.h"
+#include "baselines/int_group_quant.h"
+
+namespace mxplus {
+
+/** Tender channel-decomposition GEMM scheme. */
+class TenderScheme final : public GemmScheme
+{
+  public:
+    /**
+     * @param fine_grained false = original Tender (per-tensor activation
+     *        scale); true = MX-Tender (per-2-row runtime scale groups)
+     */
+    explicit TenderScheme(bool fine_grained);
+
+    std::string name() const override;
+    void calibrate(const Matrix &acts, const Matrix &w) override;
+    void transform(const Matrix &a, const Matrix &w, Matrix &aq,
+                   Matrix &wq) const override;
+
+    const std::vector<int> &channelShifts() const { return shifts_; }
+
+  private:
+    bool fine_grained_;
+    std::vector<int> shifts_; ///< power-of-two up-shift per input channel
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_BASELINES_TENDER_H

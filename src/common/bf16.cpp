@@ -1,0 +1,110 @@
+#include "common/bf16.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace mxplus {
+
+namespace {
+
+uint32_t
+f2u(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+u2f(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+uint16_t
+fp32ToBf16Bits(float f)
+{
+    uint32_t u = f2u(f);
+    if (std::isnan(f)) {
+        // Preserve NaN; force a quiet NaN payload that survives truncation.
+        return static_cast<uint16_t>((u >> 16) | 0x0040u);
+    }
+    // Round to nearest even on the low 16 bits.
+    const uint32_t lsb = (u >> 16) & 1u;
+    const uint32_t rounding_bias = 0x7FFFu + lsb;
+    u += rounding_bias;
+    return static_cast<uint16_t>(u >> 16);
+}
+
+float
+bf16BitsToFp32(uint16_t bits)
+{
+    return u2f(static_cast<uint32_t>(bits) << 16);
+}
+
+uint16_t
+fp32ToFp16Bits(float f)
+{
+    const uint32_t u = f2u(f);
+    const uint32_t sign = (u >> 16) & 0x8000u;
+    int32_t exp = static_cast<int32_t>((u >> 23) & 0xFFu) - 127;
+    uint32_t mant = u & 0x007FFFFFu;
+
+    if (std::isnan(f))
+        return static_cast<uint16_t>(sign | 0x7E00u);
+    if (std::isinf(f))
+        return static_cast<uint16_t>(sign | 0x7C00u);
+    if (exp > 15)
+        return static_cast<uint16_t>(sign | 0x7C00u); // overflow -> inf
+
+    if (exp >= -14) {
+        // Normal range: keep 10 mantissa bits with RNE.
+        uint32_t m = mant >> 13;
+        const uint32_t rem = mant & 0x1FFFu;
+        if (rem > 0x1000u || (rem == 0x1000u && (m & 1u)))
+            ++m;
+        uint32_t out = (static_cast<uint32_t>(exp + 15) << 10) + m;
+        return static_cast<uint16_t>(sign | out); // mantissa carry bumps exp
+    }
+
+    // Subnormal range (including underflow to zero). The result unit is
+    // 2^-24, so m = mant24 * 2^(exp+1) with mant24 = 1.mant * 2^23.
+    if (exp < -25)
+        return static_cast<uint16_t>(sign);
+    mant |= 0x00800000u; // make leading 1 explicit
+    const int shift = -exp - 1; // 14 for exp == -15, up to 24 for exp == -25
+    uint32_t m = mant >> shift;
+    const uint32_t rem_mask = (1u << shift) - 1u;
+    const uint32_t rem = mant & rem_mask;
+    const uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (m & 1u)))
+        ++m;
+    return static_cast<uint16_t>(sign | m);
+}
+
+float
+fp16BitsToFp32(uint16_t bits)
+{
+    const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+    const uint32_t exp = (bits >> 10) & 0x1Fu;
+    const uint32_t mant = bits & 0x3FFu;
+
+    if (exp == 0x1Fu) {
+        // Inf / NaN.
+        return u2f(sign | 0x7F800000u | (mant << 13));
+    }
+    if (exp == 0) {
+        if (mant == 0)
+            return u2f(sign);
+        // Subnormal: value = mant * 2^-24.
+        float v = static_cast<float>(mant) * 0x1p-24f;
+        return sign ? -v : v;
+    }
+    return u2f(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+} // namespace mxplus

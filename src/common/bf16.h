@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bfloat16 and IEEE half-precision codecs.
+ *
+ * The evaluation flow of the paper keeps the "baseline" precision in BF16:
+ * tensors are rounded to BF16 before any block-format conversion, and
+ * element-wise operations run in BF16 (softmax in FP32). These helpers give
+ * bit-exact round-to-nearest-even conversion between float and the two
+ * 16-bit storage formats.
+ */
+
+#ifndef MXPLUS_COMMON_BF16_H
+#define MXPLUS_COMMON_BF16_H
+
+#include <cstdint>
+
+namespace mxplus {
+
+/** Round an FP32 value to BF16 (round-to-nearest-even), returning bits. */
+uint16_t fp32ToBf16Bits(float f);
+
+/** Expand BF16 bits back to FP32. */
+float bf16BitsToFp32(uint16_t bits);
+
+/** Round-trip a float through BF16 (the usual "cast to BF16" operation). */
+inline float
+roundToBf16(float f)
+{
+    return bf16BitsToFp32(fp32ToBf16Bits(f));
+}
+
+/** Round an FP32 value to IEEE binary16 (RNE, with subnormal support). */
+uint16_t fp32ToFp16Bits(float f);
+
+/** Expand IEEE binary16 bits to FP32. */
+float fp16BitsToFp32(uint16_t bits);
+
+/** Round-trip a float through FP16. */
+inline float
+roundToFp16(float f)
+{
+    return fp16BitsToFp32(fp32ToFp16Bits(f));
+}
+
+} // namespace mxplus
+
+#endif // MXPLUS_COMMON_BF16_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the format codecs.
+ */
+
+#ifndef MXPLUS_COMMON_BITS_H
+#define MXPLUS_COMMON_BITS_H
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+/** Extract bits [lo, lo+width) of @p v. */
+constexpr uint32_t
+extractBits(uint32_t v, int lo, int width)
+{
+    return (v >> lo) & ((width >= 32) ? ~0u : ((1u << width) - 1u));
+}
+
+/** Insert the low @p width bits of @p field into bits [lo, lo+width) of v. */
+constexpr uint32_t
+insertBits(uint32_t v, int lo, int width, uint32_t field)
+{
+    const uint32_t mask = ((width >= 32) ? ~0u : ((1u << width) - 1u)) << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+/** Mask with the low @p n bits set. */
+constexpr uint32_t
+lowMask(int n)
+{
+    return (n >= 32) ? ~0u : ((1u << n) - 1u);
+}
+
+/** Two-to-the-power for integer exponents, as double (exact for |e|<1024). */
+inline double
+pow2d(int e)
+{
+    MXPLUS_CHECK(e > -1023 && e < 1024);
+    uint64_t bits = static_cast<uint64_t>(e + 1023) << 52;
+    double out;
+    __builtin_memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+} // namespace mxplus
+
+#endif // MXPLUS_COMMON_BITS_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-checking helpers shared across the mxplus library.
+ *
+ * Two levels are provided, mirroring the usual simulator convention:
+ *  - MXPLUS_CHECK: a precondition that holds whenever the library is used
+ *    correctly. Violations indicate a caller bug; the process aborts with a
+ *    message identifying the failing expression and location.
+ *  - mxplus::fatal: unrecoverable user-facing errors (bad configuration),
+ *    which exit with a formatted message.
+ */
+
+#ifndef MXPLUS_COMMON_CHECK_H
+#define MXPLUS_COMMON_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mxplus {
+
+/** Print a fatal configuration error and exit(1). */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "mxplus fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+namespace detail {
+
+[[noreturn]] inline void
+checkFailed(const char *expr, const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "mxplus check failed: (%s) at %s:%d%s%s\n",
+                 expr, file, line, msg[0] ? " - " : "", msg);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace mxplus
+
+/** Abort with a diagnostic if @p expr is false. Always enabled. */
+#define MXPLUS_CHECK(expr) \
+    do { \
+        if (!(expr)) \
+            ::mxplus::detail::checkFailed(#expr, __FILE__, __LINE__, ""); \
+    } while (0)
+
+/** MXPLUS_CHECK with an extra human-readable message. */
+#define MXPLUS_CHECK_MSG(expr, msg) \
+    do { \
+        if (!(expr)) \
+            ::mxplus::detail::checkFailed(#expr, __FILE__, __LINE__, msg); \
+    } while (0)
+
+#endif // MXPLUS_COMMON_CHECK_H

@@ -1,0 +1,148 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    MXPLUS_CHECK(n > 0);
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        const uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+double
+Rng::studentT(double dof)
+{
+    MXPLUS_CHECK(dof > 0.0);
+    // t = Z / sqrt(ChiSq(dof) / dof); ChiSq via sum of squared Gaussians is
+    // slow for large dof, so use the Bailey polar method instead.
+    for (;;) {
+        const double u = 2.0 * uniform() - 1.0;
+        const double v = 2.0 * uniform() - 1.0;
+        const double w = u * u + v * v;
+        if (w <= 0.0 || w >= 1.0)
+            continue;
+        const double c = u / std::sqrt(w);
+        const double r2 = dof * (std::pow(w, -2.0 / dof) - 1.0);
+        return c * std::sqrt(r2);
+    }
+}
+
+size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    MXPLUS_CHECK(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        MXPLUS_CHECK(w >= 0.0);
+        total += w;
+    }
+    MXPLUS_CHECK(total > 0.0);
+    double x = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xD1B54A32D192ED03ull);
+}
+
+} // namespace mxplus

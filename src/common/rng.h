@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * Every experiment in the benchmark harness must be bit-reproducible across
+ * runs, so we avoid std::mt19937 seeding subtleties and implement a small
+ * xoshiro256** generator with SplitMix64 seeding, plus the handful of
+ * distributions the workload generators need (uniform, Gaussian, lognormal,
+ * Student-t for heavy-tailed outlier magnitudes, categorical).
+ */
+
+#ifndef MXPLUS_COMMON_RNG_H
+#define MXPLUS_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mxplus {
+
+/** xoshiro256** PRNG with deterministic SplitMix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @p n must be positive. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard Gaussian via Box-Muller (cached pair). */
+    double gaussian();
+
+    /** Gaussian with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Lognormal: exp(N(mu, sigma^2)). */
+    double lognormal(double mu, double sigma);
+
+    /**
+     * Student-t with @p dof degrees of freedom. Low dof produces the
+     * heavy-tailed magnitudes used to synthesize activation outliers.
+     */
+    double studentT(double dof);
+
+    /** Sample an index from unnormalized non-negative weights. */
+    size_t categorical(const std::vector<double> &weights);
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+    bool has_cached_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_COMMON_RNG_H

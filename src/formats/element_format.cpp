@@ -1,0 +1,96 @@
+#include "formats/element_format.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+namespace {
+
+const std::array<ElementFormatInfo, 7> kInfos = {{
+    {ElementFormat::E2M1, "E2M1", "MXFP4", 4, true, 2, 3},
+    {ElementFormat::E2M3, "E2M3", "MXFP6", 6, true, 2, 5},
+    {ElementFormat::E3M2, "E3M2", "MXFP6-E3M2", 6, true, 4, 5},
+    {ElementFormat::E4M3, "E4M3", "MXFP8", 8, true, 8, 7},
+    {ElementFormat::E5M2, "E5M2", "MXFP8-E5M2", 8, true, 15, 7},
+    {ElementFormat::INT8, "INT8", "MXINT8", 8, false, 0, 7},
+    {ElementFormat::INT4, "INT4", "MXINT4", 4, false, 0, 3},
+}};
+
+} // namespace
+
+const ElementFormatInfo &
+elementFormatInfo(ElementFormat f)
+{
+    for (const auto &info : kInfos) {
+        if (info.format == f)
+            return info;
+    }
+    fatal("unknown element format");
+}
+
+const Minifloat &
+elementMinifloat(ElementFormat f)
+{
+    switch (f) {
+      case ElementFormat::E2M1: return Minifloat::e2m1();
+      case ElementFormat::E2M3: return Minifloat::e2m3();
+      case ElementFormat::E3M2: return Minifloat::e3m2();
+      case ElementFormat::E4M3: return Minifloat::e4m3();
+      case ElementFormat::E5M2: return Minifloat::e5m2();
+      default: fatal("element format is not a minifloat");
+    }
+}
+
+const FixedPointCodec &
+elementFixedPoint(ElementFormat f)
+{
+    switch (f) {
+      case ElementFormat::INT8: return FixedPointCodec::int8();
+      case ElementFormat::INT4: return FixedPointCodec::int4();
+      default: fatal("element format is not fixed-point");
+    }
+}
+
+const ExtendedMantissa &
+bmCodec(ElementFormat f)
+{
+    // Floats: exponent bits are repurposed as mantissa, the private exponent
+    // is implicitly e_max (Section 4.2: E0M3 / E0M5 / E0M7 stored, effective
+    // E2M3 / E2M5 / E4M7). Integers: the leading "1." bit becomes implicit,
+    // with implicit exponent 0 (Section 8.2).
+    switch (f) {
+      case ElementFormat::E2M1: {
+        static const ExtendedMantissa c(3, 2, "E0M3@e2");
+        return c;
+      }
+      case ElementFormat::E2M3: {
+        static const ExtendedMantissa c(5, 2, "E0M5@e2");
+        return c;
+      }
+      case ElementFormat::E3M2: {
+        static const ExtendedMantissa c(5, 4, "E0M5@e4");
+        return c;
+      }
+      case ElementFormat::E4M3: {
+        static const ExtendedMantissa c(7, 8, "E0M7@e8");
+        return c;
+      }
+      case ElementFormat::E5M2: {
+        static const ExtendedMantissa c(7, 15, "E0M7@e15");
+        return c;
+      }
+      case ElementFormat::INT8: {
+        static const ExtendedMantissa c(7, 0, "S1.7i");
+        return c;
+      }
+      case ElementFormat::INT4: {
+        static const ExtendedMantissa c(3, 0, "S1.3i");
+        return c;
+      }
+    }
+    fatal("unknown element format");
+}
+
+} // namespace mxplus

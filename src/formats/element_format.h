@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Registry of concrete MX-compliant element data types (Table 1 of the
+ * paper) and their MX+ extended-mantissa counterparts.
+ */
+
+#ifndef MXPLUS_FORMATS_ELEMENT_FORMAT_H
+#define MXPLUS_FORMATS_ELEMENT_FORMAT_H
+
+#include <string>
+
+#include "formats/intcodec.h"
+#include "formats/minifloat.h"
+
+namespace mxplus {
+
+/** Element data types selectable for an MX block. */
+enum class ElementFormat
+{
+    E2M1, ///< MXFP4
+    E2M3, ///< MXFP6 (higher-mantissa variant, used throughout the paper)
+    E3M2, ///< MXFP6 (higher-exponent variant)
+    E4M3, ///< MXFP8 (higher-mantissa variant, used throughout the paper)
+    E5M2, ///< MXFP8 (higher-exponent variant)
+    INT8, ///< MXINT8
+    INT4, ///< hypothetical MXINT4 (Section 8.2)
+};
+
+/** Static description of an element format. */
+struct ElementFormatInfo
+{
+    ElementFormat format;
+    std::string name;       ///< e.g. "E2M1"
+    std::string mx_name;    ///< e.g. "MXFP4"
+    int bits;               ///< element width in bits
+    bool is_float;          ///< minifloat vs fixed-point element
+    int emax;               ///< e_max of MX Eq. 1 (0 for integer formats)
+    /**
+     * Mantissa width of the MX+ block-max encoding, i.e. the element width
+     * minus the sign bit: exponent bits are repurposed for floats, and the
+     * integer bit becomes implicit for fixed-point elements.
+     */
+    int bm_mbits;
+};
+
+/** Look up the descriptor for @p f. */
+const ElementFormatInfo &elementFormatInfo(ElementFormat f);
+
+/** The minifloat codec for a floating element format. */
+const Minifloat &elementMinifloat(ElementFormat f);
+
+/** The fixed-point codec for an integer element format. */
+const FixedPointCodec &elementFixedPoint(ElementFormat f);
+
+/** The MX+ block-max codec for @p f (extended mantissa at 2^emax). */
+const ExtendedMantissa &bmCodec(ElementFormat f);
+
+} // namespace mxplus
+
+#endif // MXPLUS_FORMATS_ELEMENT_FORMAT_H

@@ -1,0 +1,75 @@
+#include "formats/intcodec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace mxplus {
+
+FixedPointCodec::FixedPointCodec(int bits, int frac_bits, std::string name)
+    : bits_(bits), frac_bits_(frac_bits), name_(std::move(name))
+{
+    MXPLUS_CHECK(bits_ >= 2 && bits_ <= 16);
+    MXPLUS_CHECK(frac_bits_ >= 0 && frac_bits_ < bits_);
+}
+
+const FixedPointCodec &
+FixedPointCodec::int8()
+{
+    static const FixedPointCodec c(8, 6, "INT8");
+    return c;
+}
+
+const FixedPointCodec &
+FixedPointCodec::int4()
+{
+    static const FixedPointCodec c(4, 2, "INT4");
+    return c;
+}
+
+double
+FixedPointCodec::step() const
+{
+    return pow2d(-frac_bits_);
+}
+
+double
+FixedPointCodec::maxValue() const
+{
+    return static_cast<double>((1 << (bits_ - 1)) - 1) * step();
+}
+
+double
+FixedPointCodec::minValue() const
+{
+    return -static_cast<double>(1 << (bits_ - 1)) * step();
+}
+
+int32_t
+FixedPointCodec::encodeRaw(double x) const
+{
+    MXPLUS_CHECK_MSG(std::isfinite(x), "fixed-point input must be finite");
+    const double scaled = x / step();
+    const int64_t lo = -(1ll << (bits_ - 1));
+    const int64_t hi = (1ll << (bits_ - 1)) - 1;
+    int64_t m = std::llrint(scaled); // RNE under default rounding mode
+    m = std::clamp(m, lo, hi);
+    return static_cast<int32_t>(m);
+}
+
+double
+FixedPointCodec::quantize(double x) const
+{
+    return decode(encodeRaw(x));
+}
+
+double
+FixedPointCodec::decode(int32_t code) const
+{
+    return static_cast<double>(code) * step();
+}
+
+} // namespace mxplus

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Two's-complement fixed-point element codec (MXINT8 / hypothetical MXINT4).
+ *
+ * The OCP MXINT8 element is an 8-bit two's-complement number with an
+ * implicit scale of 2^-6, i.e. one sign bit, one integer bit and six
+ * fractional bits covering [-2, 1.984375]. The paper's Section 8.2 also
+ * evaluates a hypothetical MXINT4 (one sign, one integer, two fractional
+ * bits). This codec is parametric in total width and fractional bits.
+ */
+
+#ifndef MXPLUS_FORMATS_INTCODEC_H
+#define MXPLUS_FORMATS_INTCODEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace mxplus {
+
+/** Parametric two's-complement fixed-point codec. */
+class FixedPointCodec
+{
+  public:
+    /**
+     * @param bits      total width including the sign bit (2..16)
+     * @param frac_bits number of fractional bits (implicit scale 2^-frac)
+     */
+    FixedPointCodec(int bits, int frac_bits, std::string name);
+
+    static const FixedPointCodec &int8(); ///< MXINT8 element (s1.6)
+    static const FixedPointCodec &int4(); ///< hypothetical MXINT4 (s1.2)
+
+    /** Snap @p x to the nearest representable value (RNE, saturating). */
+    double quantize(double x) const;
+
+    /** Quantize and return the two's-complement code. */
+    int32_t encodeRaw(double x) const;
+
+    /** Decode a two's-complement code. */
+    double decode(int32_t code) const;
+
+    int bits() const { return bits_; }
+    int fracBits() const { return frac_bits_; }
+    double maxValue() const;
+    double minValue() const;
+    /** Grid step, 2^-frac_bits. */
+    double step() const;
+    const std::string &name() const { return name_; }
+
+  private:
+    int bits_;
+    int frac_bits_;
+    std::string name_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_FORMATS_INTCODEC_H

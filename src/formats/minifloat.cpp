@@ -1,0 +1,217 @@
+#include "formats/minifloat.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace mxplus {
+
+double
+roundToGrid(double x, int log2_step)
+{
+    const double step = pow2d(log2_step);
+    const double scaled = x / step;
+    // nearbyint honours the current rounding mode, which is
+    // round-to-nearest-even by default and never changed by this library.
+    return std::nearbyint(scaled) * step;
+}
+
+Minifloat::Minifloat(int ebits, int mbits, int bias, int emax,
+                     double max_normal, std::string name)
+    : ebits_(ebits), mbits_(mbits), bias_(bias), emax_(emax),
+      max_normal_(max_normal), name_(std::move(name))
+{
+    MXPLUS_CHECK(ebits_ >= 1 && ebits_ <= 8);
+    MXPLUS_CHECK(mbits_ >= 0 && mbits_ <= 10);
+    MXPLUS_CHECK(emax_ <= (lowMask(ebits_) > 0 ?
+                 static_cast<int>(lowMask(ebits_)) - bias_ : 0));
+}
+
+const Minifloat &
+Minifloat::e2m1()
+{
+    // Max normal 1.1_2 * 2^2 = 6.0; all exponent codes usable (no NaN/Inf).
+    static const Minifloat f(2, 1, 1, 2, 6.0, "E2M1");
+    return f;
+}
+
+const Minifloat &
+Minifloat::e2m3()
+{
+    // Max normal 1.111_2 * 2^2 = 7.5.
+    static const Minifloat f(2, 3, 1, 2, 7.5, "E2M3");
+    return f;
+}
+
+const Minifloat &
+Minifloat::e3m2()
+{
+    // Max normal 1.11_2 * 2^4 = 28.
+    static const Minifloat f(3, 2, 3, 4, 28.0, "E3M2");
+    return f;
+}
+
+const Minifloat &
+Minifloat::e4m3()
+{
+    // Exponent code 15 with mantissa 111 is NaN, so the largest finite
+    // value is 1.110_2 * 2^8 = 448 (OFP8 convention adopted by OCP MX).
+    static const Minifloat f(4, 3, 7, 8, 448.0, "E4M3");
+    return f;
+}
+
+const Minifloat &
+Minifloat::e5m2()
+{
+    // Exponent code 31 is reserved for Inf/NaN; max normal 1.75 * 2^15.
+    static const Minifloat f(5, 2, 15, 15, 57344.0, "E5M2");
+    return f;
+}
+
+double
+Minifloat::minNormal() const
+{
+    return pow2d(emin());
+}
+
+double
+Minifloat::minSubnormal() const
+{
+    return pow2d(emin() - mbits_);
+}
+
+double
+Minifloat::quantize(double x) const
+{
+    MXPLUS_CHECK_MSG(std::isfinite(x), "minifloat input must be finite");
+    if (x == 0.0)
+        return 0.0;
+
+    const double ax = std::fabs(x);
+    int e = std::ilogb(ax); // floor(log2 |x|)
+    if (e < emin())
+        e = emin(); // subnormal grid has the min-normal step size
+
+    double q = roundToGrid(ax, e - mbits_);
+    // Rounding can carry into the next binade (q == 2^(e+1)); that value is
+    // exactly representable so no fixup is required, only saturation.
+    if (q > max_normal_)
+        q = max_normal_;
+    return std::copysign(q, x);
+}
+
+uint32_t
+Minifloat::encode(double x) const
+{
+    const double q = quantize(x);
+    const uint32_t sign = std::signbit(x) ? 1u : 0u;
+    if (q == 0.0)
+        return sign << (ebits_ + mbits_);
+
+    const double aq = std::fabs(q);
+    int e = std::ilogb(aq);
+    uint32_t exp_field;
+    uint32_t man_field;
+    if (e < emin()) {
+        // Subnormal: exponent field zero, mantissa in units of 2^(emin-M).
+        exp_field = 0;
+        man_field = static_cast<uint32_t>(
+            std::lrint(aq / pow2d(emin() - mbits_)));
+    } else {
+        exp_field = static_cast<uint32_t>(e + bias_);
+        const double frac = aq / pow2d(e) - 1.0; // in [0, 1)
+        man_field = static_cast<uint32_t>(std::lrint(frac * pow2d(mbits_)));
+    }
+    MXPLUS_CHECK(man_field <= lowMask(mbits_));
+    MXPLUS_CHECK(exp_field <= lowMask(ebits_));
+    return (sign << (ebits_ + mbits_)) | (exp_field << mbits_) | man_field;
+}
+
+double
+Minifloat::decode(uint32_t code) const
+{
+    const uint32_t sign = extractBits(code, ebits_ + mbits_, 1);
+    const uint32_t exp_field = extractBits(code, mbits_, ebits_);
+    const uint32_t man_field = extractBits(code, 0, mbits_);
+
+    double v;
+    if (exp_field == 0) {
+        v = static_cast<double>(man_field) * pow2d(emin() - mbits_);
+    } else {
+        const int e = static_cast<int>(exp_field) - bias_;
+        v = (1.0 + static_cast<double>(man_field) / pow2d(mbits_)) * pow2d(e);
+    }
+    return sign ? -v : v;
+}
+
+std::vector<double>
+Minifloat::positiveValues() const
+{
+    std::vector<double> vals;
+    const uint32_t n_codes = 1u << (ebits_ + mbits_);
+    for (uint32_t c = 0; c < n_codes; ++c) {
+        const double v = decode(c);
+        if (v <= max_normal_)
+            vals.push_back(v);
+    }
+    return vals;
+}
+
+ExtendedMantissa::ExtendedMantissa(int mbits, int implicit_exp,
+                                   std::string name)
+    : mbits_(mbits), implicit_exp_(implicit_exp), name_(std::move(name))
+{
+    MXPLUS_CHECK(mbits_ >= 1 && mbits_ <= 10);
+}
+
+double
+ExtendedMantissa::minValue() const
+{
+    return pow2d(implicit_exp_);
+}
+
+double
+ExtendedMantissa::maxValue() const
+{
+    return pow2d(implicit_exp_) *
+        (2.0 - 1.0 / static_cast<double>(1u << mbits_));
+}
+
+double
+ExtendedMantissa::quantize(double x) const
+{
+    MXPLUS_CHECK_MSG(std::isfinite(x), "extended-mantissa input not finite");
+    const double ax = std::fabs(x);
+    double q = roundToGrid(ax, implicit_exp_ - mbits_);
+    if (q < minValue())
+        q = minValue();
+    if (q > maxValue())
+        q = maxValue();
+    return std::copysign(q, x);
+}
+
+uint32_t
+ExtendedMantissa::encode(double x) const
+{
+    const double q = quantize(x);
+    const uint32_t sign = std::signbit(x) ? 1u : 0u;
+    const double frac = std::fabs(q) / pow2d(implicit_exp_) - 1.0;
+    const uint32_t man = static_cast<uint32_t>(
+        std::lrint(frac * pow2d(mbits_)));
+    MXPLUS_CHECK(man <= lowMask(mbits_));
+    return (sign << mbits_) | man;
+}
+
+double
+ExtendedMantissa::decode(uint32_t code) const
+{
+    const uint32_t sign = extractBits(code, mbits_, 1);
+    const uint32_t man = extractBits(code, 0, mbits_);
+    const double v =
+        (1.0 + static_cast<double>(man) / pow2d(mbits_)) * pow2d(implicit_exp_);
+    return sign ? -v : v;
+}
+
+} // namespace mxplus

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Parametric low-bit floating-point codec.
+ *
+ * This implements the element data types of the OCP Microscaling (MX)
+ * specification (E2M1, E2M3, E3M2, E4M3, E5M2) as well as the extended
+ * "mantissa only" encodings that MX+ uses for the block-max element
+ * (E0M3, E0M5, E0M7 with an implicit exponent of e_max).
+ *
+ * All quantization uses round-to-nearest-even on the target grid and
+ * saturates to the maximum normal magnitude, which matches the conversion
+ * behaviour the OCP spec prescribes and the paper's emulation flow uses.
+ * Inputs are expected to be finite; NaN/Inf handling is the caller's job
+ * (the library asserts on non-finite block inputs).
+ */
+
+#ifndef MXPLUS_FORMATS_MINIFLOAT_H
+#define MXPLUS_FORMATS_MINIFLOAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mxplus {
+
+/**
+ * An IEEE-like minifloat with @p ebits exponent bits and @p mbits mantissa
+ * bits. Subnormals are supported. Encodings reserved for NaN/Inf (E4M3's
+ * all-ones code point, E5M2's exponent 31) reduce the representable range
+ * and are never produced by the encoder.
+ */
+class Minifloat
+{
+  public:
+    /**
+     * @param ebits     exponent field width (>= 1)
+     * @param mbits     mantissa field width (>= 0)
+     * @param bias      exponent bias
+     * @param emax      largest usable unbiased exponent
+     * @param max_normal largest finite magnitude the encoder may produce
+     * @param name      human-readable name, e.g. "E2M1"
+     */
+    Minifloat(int ebits, int mbits, int bias, int emax, double max_normal,
+              std::string name);
+
+    /** The concrete MX element data types. */
+    static const Minifloat &e2m1(); ///< FP4 (MXFP4 element)
+    static const Minifloat &e2m3(); ///< FP6 variant with 3 mantissa bits
+    static const Minifloat &e3m2(); ///< FP6 variant with 2 mantissa bits
+    static const Minifloat &e4m3(); ///< FP8 with reserved NaN code point
+    static const Minifloat &e5m2(); ///< FP8 with IEEE-style Inf/NaN
+
+    /** Snap @p x to the nearest representable value (RNE, saturating). */
+    double quantize(double x) const;
+
+    /** Quantize and return the bit pattern (sign|exp|mantissa). */
+    uint32_t encode(double x) const;
+
+    /** Decode a bit pattern produced by encode(). */
+    double decode(uint32_t code) const;
+
+    /** All non-negative representable values, ascending (for tests). */
+    std::vector<double> positiveValues() const;
+
+    int ebits() const { return ebits_; }
+    int mbits() const { return mbits_; }
+    int bias() const { return bias_; }
+    /** Largest usable unbiased exponent (the e_max of MX Eq. 1). */
+    int emax() const { return emax_; }
+    /** Smallest normal exponent, i.e. 1 - bias. */
+    int emin() const { return 1 - bias_; }
+    double maxNormal() const { return max_normal_; }
+    double minNormal() const;
+    double minSubnormal() const;
+    int totalBits() const { return 1 + ebits_ + mbits_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    int ebits_;
+    int mbits_;
+    int bias_;
+    int emax_;
+    double max_normal_;
+    std::string name_;
+};
+
+/**
+ * The MX+ block-max element encoding: sign plus @p mbits mantissa bits with
+ * an implicit leading one and an implicit exponent. The represented value is
+ *   (-1)^s * 2^implicit_exp * (1 + m / 2^mbits),
+ * covering [2^e, 2^(e+1)) exactly where the block-max always lands after
+ * scaling by the MX shared scale (DESIGN.md contract 2).
+ */
+class ExtendedMantissa
+{
+  public:
+    ExtendedMantissa(int mbits, int implicit_exp, std::string name);
+
+    /** Snap |x| to the nearest representable magnitude; keeps the sign. */
+    double quantize(double x) const;
+
+    /** Quantize and return sign|mantissa bits (1 + mbits wide). */
+    uint32_t encode(double x) const;
+
+    /** Decode a bit pattern produced by encode(). */
+    double decode(uint32_t code) const;
+
+    int mbits() const { return mbits_; }
+    int implicitExp() const { return implicit_exp_; }
+    double minValue() const;  ///< 2^implicit_exp
+    double maxValue() const;  ///< 2^implicit_exp * (2 - 2^-mbits)
+    int totalBits() const { return 1 + mbits_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    int mbits_;
+    int implicit_exp_;
+    std::string name_;
+};
+
+/**
+ * Round @p x to the nearest multiple of 2^log2_step, ties to even.
+ * Shared by every codec in the library so the rounding behaviour is
+ * uniform and testable in one place.
+ */
+double roundToGrid(double x, int log2_step);
+
+} // namespace mxplus
+
+#endif // MXPLUS_FORMATS_MINIFLOAT_H

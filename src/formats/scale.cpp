@@ -1,0 +1,56 @@
+#include "formats/scale.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "formats/minifloat.h"
+
+namespace mxplus {
+
+uint8_t
+E8M0::encode(int unbiased_exp)
+{
+    MXPLUS_CHECK(unbiased_exp >= -kBias && unbiased_exp <= kBias);
+    return static_cast<uint8_t>(unbiased_exp + kBias);
+}
+
+int
+E8M0::decode(uint8_t code)
+{
+    MXPLUS_CHECK(code != kNaN);
+    return static_cast<int>(code) - kBias;
+}
+
+double
+E8M0::value(uint8_t code)
+{
+    return pow2d(decode(code));
+}
+
+int
+E8M0::clampExp(int unbiased_exp)
+{
+    return std::clamp(unbiased_exp, -kBias, kBias);
+}
+
+double
+E4M3Scale::quantize(double scale)
+{
+    MXPLUS_CHECK(scale >= 0.0);
+    return Minifloat::e4m3().quantize(scale);
+}
+
+uint8_t
+E4M3Scale::encode(double scale)
+{
+    return static_cast<uint8_t>(Minifloat::e4m3().encode(scale));
+}
+
+double
+E4M3Scale::decode(uint8_t code)
+{
+    return Minifloat::e4m3().decode(code);
+}
+
+} // namespace mxplus

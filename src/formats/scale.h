@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Block scale-factor codecs.
+ *
+ * MX blocks carry an E8M0 shared scale: a bare 8-bit exponent with bias 127
+ * covering 2^-127 .. 2^127, code 255 reserved for NaN. MX+ additionally
+ * reserves biased code 0 to mean "every element in this block is zero"
+ * (Section 4.1 of the paper). NVFP4 uses an E4M3 (FP8) scale instead.
+ */
+
+#ifndef MXPLUS_FORMATS_SCALE_H
+#define MXPLUS_FORMATS_SCALE_H
+
+#include <cstdint>
+
+namespace mxplus {
+
+/** E8M0 power-of-two scale codec. */
+class E8M0
+{
+  public:
+    static constexpr int kBias = 127;
+    static constexpr uint8_t kNaN = 0xFF;
+    /** MX+ reserved code: the whole block is zero. */
+    static constexpr uint8_t kZeroBlock = 0x00;
+
+    /** Encode an unbiased exponent in [-127, 127]. */
+    static uint8_t encode(int unbiased_exp);
+
+    /** Decode to the unbiased exponent. @p code must not be kNaN. */
+    static int decode(uint8_t code);
+
+    /** The scale value 2^decode(code) as double. */
+    static double value(uint8_t code);
+
+    /** Clamp an arbitrary exponent into the representable range. */
+    static int clampExp(int unbiased_exp);
+};
+
+/**
+ * E4M3 scale codec used by NVFP4: the per-block scale is a full FP8 value
+ * (not restricted to powers of two). Encoding uses RNE with saturation.
+ */
+class E4M3Scale
+{
+  public:
+    /** Quantize a positive scale to the nearest E4M3 value. */
+    static double quantize(double scale);
+
+    /** Bit pattern of the quantized scale (sign always 0). */
+    static uint8_t encode(double scale);
+
+    /** Decode an E4M3 bit pattern to its value. */
+    static double decode(uint8_t code);
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_FORMATS_SCALE_H

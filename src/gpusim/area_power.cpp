@@ -1,0 +1,52 @@
+#include "gpusim/area_power.h"
+
+#include <cmath>
+
+namespace mxplus {
+
+namespace {
+
+// Per-unit constants back-derived from Table 5 (28 nm synthesis of the
+// paper's configuration: 32 DPEs x 16 FSUs, 32 detectors, 32 BCUs).
+constexpr double kFsuUnitAreaMm2 = 0.004 / (32.0 * 16.0);
+constexpr double kFsuUnitPowerMw = 0.59 / (32.0 * 16.0);
+constexpr double kDetectorUnitAreaMm2 = 0.004 / 32.0;
+constexpr double kDetectorUnitPowerMw = 2.86 / 32.0;
+constexpr double kBcuUnitAreaMm2 = 0.012 / 32.0;
+constexpr double kBcuUnitPowerMw = 8.66 / 32.0;
+
+} // namespace
+
+AreaPowerModel::AreaPowerModel(size_t dpes_per_core, size_t fsus_per_dpe,
+                               double bcu_share)
+    : dpes_per_core_(dpes_per_core), fsus_per_dpe_(fsus_per_dpe),
+      bcu_share_(bcu_share)
+{
+}
+
+AreaPowerReport
+AreaPowerModel::report() const
+{
+    AreaPowerReport rep;
+    const size_t n_fsu = dpes_per_core_ * fsus_per_dpe_;
+    const size_t n_det = dpes_per_core_;
+    const size_t n_bcu = static_cast<size_t>(
+        std::ceil(bcu_share_ * static_cast<double>(dpes_per_core_)));
+
+    rep.components = {
+        {"Forward and Swap Unit", kFsuUnitAreaMm2, kFsuUnitPowerMw,
+         n_fsu},
+        {"BM Detector", kDetectorUnitAreaMm2, kDetectorUnitPowerMw,
+         n_det},
+        {"BM Compute Unit", kBcuUnitAreaMm2, kBcuUnitPowerMw, n_bcu},
+    };
+    for (const auto &c : rep.components) {
+        rep.total_area_mm2 +=
+            c.unit_area_mm2 * static_cast<double>(c.count);
+        rep.total_power_mw +=
+            c.unit_power_mw * static_cast<double>(c.count);
+    }
+    return rep;
+}
+
+} // namespace mxplus

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Area/power model for the MX+ Tensor-Core extension (Table 5).
+ *
+ * The paper synthesizes the added components (FSU, BM Detector, BCU) in a
+ * commercial 28 nm node. We model the bill of materials: per-unit area and
+ * power constants taken from that synthesis, multiplied by the component
+ * counts per Tensor Core (32 DPEs, 16 FSUs per DPE, one detector and one
+ * BCU per DPE). The counts are configurable so the Section 8.2 systolic-
+ * array variants (one BCU shared per column) can be costed too.
+ */
+
+#ifndef MXPLUS_GPUSIM_AREA_POWER_H
+#define MXPLUS_GPUSIM_AREA_POWER_H
+
+#include <string>
+#include <vector>
+
+namespace mxplus {
+
+/** One synthesized component type. */
+struct ComponentSpec
+{
+    std::string name;
+    double unit_area_mm2; ///< area of one instance at 28 nm
+    double unit_power_mw; ///< power of one instance
+    size_t count;         ///< instances per Tensor Core (or array)
+};
+
+/** A costed design: components plus totals. */
+struct AreaPowerReport
+{
+    std::vector<ComponentSpec> components;
+    double total_area_mm2 = 0.0;
+    double total_power_mw = 0.0;
+};
+
+/** Cost model for the MX+ hardware additions. */
+class AreaPowerModel
+{
+  public:
+    /**
+     * @param dpes_per_core DPEs in one Tensor Core (32 in the paper)
+     * @param fsus_per_dpe  FSUs in one DPE (16: one per input pair)
+     * @param bcus_per_dpe  BCUs per DPE (1 on GPUs; systolic arrays
+     *                      share one BCU per column, so < 1 is allowed
+     *                      via bcu_share)
+     */
+    AreaPowerModel(size_t dpes_per_core = 32, size_t fsus_per_dpe = 16,
+                   double bcu_share = 1.0);
+
+    /** Per-Tensor-Core bill of materials (reproduces Table 5). */
+    AreaPowerReport report() const;
+
+    /** The paper's published per-Tensor-Core totals, for comparison. */
+    static double paperTotalAreaMm2() { return 0.020; }
+    static double paperTotalPowerMw() { return 12.11; }
+
+  private:
+    size_t dpes_per_core_;
+    size_t fsus_per_dpe_;
+    double bcu_share_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_GPUSIM_AREA_POWER_H

@@ -1,0 +1,149 @@
+#include "gpusim/dpe.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "formats/scale.h"
+
+namespace mxplus {
+
+namespace {
+
+/** Per-lane element value (on the element grid, before block scaling). */
+double
+laneValue(const MxQuantizer &q, const MxBlock &blk, int lane)
+{
+    const ElementFormat f = q.format();
+    if (q.mode() != MxMode::Standard && lane == blk.bm_index)
+        return bmCodec(f).decode(blk.codes[lane]);
+    if (elementFormatInfo(f).is_float)
+        return elementMinifloat(f).decode(blk.codes[lane]);
+    const auto &codec = elementFixedPoint(f);
+    return codec.decode(static_cast<int32_t>(blk.codes[lane]) -
+                        (1 << (codec.bits() - 1)));
+}
+
+} // namespace
+
+DotProductEngine::DotProductEngine(const MxQuantizer &qa,
+                                   const MxQuantizer &qb)
+    : qa_(qa), qb_(qb)
+{
+    MXPLUS_CHECK(qa_.blockSize() == qb_.blockSize());
+}
+
+int
+DotProductEngine::cyclesPerBlockPair() const
+{
+    // Section 6.2: each DPE processes one MXFP4 block pair every two
+    // cycles (16 FP4 input pairs per cycle); FP6/FP8 take four cycles.
+    const int bits = elementFormatInfo(qa_.format()).bits;
+    return bits <= 4 ? 2 : 4;
+}
+
+DpeResult
+DotProductEngine::compute(const MxBlock &a, const MxBlock &b) const
+{
+    DpeResult r;
+    const int n = a.n;
+    MXPLUS_CHECK(n == b.n);
+
+    // Zero blocks (MX+ reserved scale code) contribute nothing.
+    const bool a_zero =
+        qa_.mode() != MxMode::Standard && a.scale_code == E8M0::kZeroBlock;
+    const bool b_zero =
+        qb_.mode() != MxMode::Standard && b.scale_code == E8M0::kZeroBlock;
+    if (a_zero || b_zero)
+        return r;
+
+    const double xa = E8M0::value(a.scale_code);
+    const double xb = E8M0::value(b.scale_code);
+    // MX++ NBM scale deltas (encoded in the reserved bits of the BM
+    // index byte); zero for MX and MX+.
+    const int delta_a = a.nbm_delta;
+    const int delta_b = b.nbm_delta;
+
+    // BM Detector: raise the BM lane signals.
+    const int bma = qa_.mode() != MxMode::Standard ? a.bm_index : -1;
+    const int bmb = qb_.mode() != MxMode::Standard ? b.bm_index : -1;
+
+    // Accumulate in NBM-product units: x_a * x_b * 2^-(delta_a+delta_b).
+    double tree = 0.0; // adder tree over FSU-forwarded lanes
+    double bcu = 0.0;  // BCU output, in the same units
+
+    for (int lane = 0; lane < n; ++lane) {
+        const bool is_bma = lane == bma;
+        const bool is_bmb = lane == bmb;
+        const double av = laneValue(qa_, a, lane);
+        const double bv = laneValue(qb_, b, lane);
+
+        if (!is_bma && !is_bmb) {
+            // FSU inactive: the lane feeds the dot-product pipeline.
+            tree += av * bv;
+            continue;
+        }
+
+        if (is_bma && is_bmb) {
+            // Swap rule: both operands are BMs; compute the single term
+            // A_BM * B_BM, left-shifted by both deltas.
+            bcu += av * bv * pow2d(delta_a + delta_b);
+            r.bcu_mults += 1;
+            r.swapped = true;
+            r.bm_a_routed = r.bm_b_routed = true;
+            continue;
+        }
+
+        if (is_bma) {
+            // A_BM x B_NBM, shifted by delta_a (the BM sits at the full
+            // shared scale while the accumulator is in NBM units).
+            bcu += av * bv * pow2d(delta_a);
+            r.bcu_mults += 1;
+            r.bm_a_routed = true;
+        } else {
+            bcu += av * bv * pow2d(delta_b);
+            r.bcu_mults += 1;
+            r.bm_b_routed = true;
+        }
+    }
+
+    const double unit = xa * xb * pow2d(-(delta_a + delta_b));
+    r.tree_value = tree * unit;
+    r.bcu_value = bcu * unit;
+    r.value = r.tree_value + r.bcu_value;
+    return r;
+}
+
+std::vector<double>
+tensorCoreGemm(const PackedMatrix &a, const PackedMatrix &b,
+               TensorCoreStats *stats)
+{
+    MXPLUS_CHECK(a.cols() == b.cols());
+    const DotProductEngine dpe(a.quantizer(), b.quantizer());
+    const size_t m = a.rows();
+    const size_t n = b.rows();
+    const size_t nblk = a.blocksPerRow();
+
+    std::vector<double> d(m * n, 0.0);
+    TensorCoreStats local;
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (size_t kb = 0; kb < nblk; ++kb) {
+                const DpeResult r =
+                    dpe.compute(a.block(i, kb), b.block(j, kb));
+                acc += r.value;
+                ++local.block_pairs;
+                local.bcu_mults += static_cast<size_t>(r.bcu_mults);
+                if (r.swapped)
+                    ++local.swap_events;
+            }
+            d[i * n + j] = acc;
+        }
+    }
+    local.cycles = local.block_pairs *
+        static_cast<size_t>(dpe.cyclesPerBlockPair());
+    if (stats)
+        *stats = local;
+    return d;
+}
+
+} // namespace mxplus

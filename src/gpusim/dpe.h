@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional (bit-exact) model of the MX+-extended dot product engine of
+ * Section 6: BM Detector, Forward & Swap Units (FSU) and BM Compute Unit
+ * (BCU) wrapped around a conventional MX adder-tree DPE.
+ *
+ * The DPE consumes one pair of MX blocks (an A block, possibly MX+/MX++,
+ * and a B block, MX or MX+) and produces their dot product. The BM
+ * Detector raises BMA/BMB at the block-max lanes; the FSUs forward zero
+ * into the dot-product pipeline at those lanes and route the BM values
+ * with their matching operands to the BCU, which computes
+ *     A_BM * B_NBM + B_BM * A_NBM
+ * (with MX++ shared-exponent-delta shifts) and adds the result to the
+ * adder-tree output. When both BM indices coincide, the swap rule computes
+ * the single A_BM * B_BM term. DESIGN contract 7: the result equals the
+ * straight dequantized dot product bit-for-bit in double precision.
+ */
+
+#ifndef MXPLUS_GPUSIM_DPE_H
+#define MXPLUS_GPUSIM_DPE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "mx/packed_matrix.h"
+
+namespace mxplus {
+
+/** Outcome of one DPE block-pair computation. */
+struct DpeResult
+{
+    double value = 0.0;     ///< dot product of the dequantized blocks
+    double tree_value = 0.0; ///< adder-tree (NBM-only) partial result
+    double bcu_value = 0.0; ///< BCU contribution
+    int bcu_mults = 0;      ///< multiplications issued in the BCU
+    bool bm_a_routed = false;
+    bool bm_b_routed = false;
+    bool swapped = false;   ///< both BMs on the same lane (swap rule)
+};
+
+/** Statistics of a whole simulated Tensor-Core GEMM. */
+struct TensorCoreStats
+{
+    size_t block_pairs = 0;
+    size_t bcu_mults = 0;
+    size_t swap_events = 0;
+    /** DPE cycles: one block pair per 2 cycles for FP4, 4 for FP6/FP8. */
+    size_t cycles = 0;
+};
+
+/** The extended dot-product engine. */
+class DotProductEngine
+{
+  public:
+    /**
+     * @param qa quantizer describing the A-side block layout
+     * @param qb quantizer describing the B-side block layout
+     */
+    DotProductEngine(const MxQuantizer &qa, const MxQuantizer &qb);
+
+    /** Compute the dot product of one block pair through the datapath. */
+    DpeResult compute(const MxBlock &a, const MxBlock &b) const;
+
+    /** DPE cycles per block pair for this element format. */
+    int cyclesPerBlockPair() const;
+
+  private:
+    MxQuantizer qa_;
+    MxQuantizer qb_;
+};
+
+/**
+ * Simulate a full GEMM D[M x N] = A * B^T on MX+-extended Tensor Cores:
+ * functional output plus activity statistics.
+ */
+std::vector<double> tensorCoreGemm(const PackedMatrix &a,
+                                   const PackedMatrix &b,
+                                   TensorCoreStats *stats = nullptr);
+
+} // namespace mxplus
+
+#endif // MXPLUS_GPUSIM_DPE_H

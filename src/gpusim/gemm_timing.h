@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Analytical GEMM timing for quantized serving (the AccelSim / CUTLASS /
+ * Triton measurement substitute).
+ *
+ * A GEMM D[M x N] = A[M x K] * B[N x K]^T is modeled as
+ * max(compute time, memory time) plus integration-specific overheads:
+ *
+ *  - Direct MX compute (RTX 5090 path): compute at the format's
+ *    Tensor-Core rate. The MX+ software integration (Section 5.2) issues
+ *    one extra sparse MMA per two dense MMAs, a 1.5x instruction factor
+ *    on the A-operand pipeline, plus fragment preparation; decode stays
+ *    memory-bound so the overhead vanishes there.
+ *  - MX+ hardware integration (Section 6): the BCU computes BM terms in
+ *    parallel with the adder tree, so only a per-instruction register
+ *    file access overhead remains (sub-1%).
+ *  - Convert-then-compute (A6000 / Triton path, Table 4): BF16 MMA plus a
+ *    per-weight-element conversion cost; MX+ adds per-block BM handling
+ *    in the conversion kernel.
+ *  - CUDA-core fallback for the BM (Section 5.1): modeled for completeness;
+ *    reproduces the paper's >5x slowdown and motivates Section 5.2.
+ */
+
+#ifndef MXPLUS_GPUSIM_GEMM_TIMING_H
+#define MXPLUS_GPUSIM_GEMM_TIMING_H
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/gpu_config.h"
+
+namespace mxplus {
+
+/** Storage/compute format of one GEMM operand. */
+enum class OperandFormat
+{
+    BF16,
+    MXFP8,      ///< E4M3 + shared scale
+    MXFP6,
+    MXFP4,
+    MXFP4Plus,  ///< MXFP4 + BM byte (MX+ or MX++: same data volume)
+};
+
+/** Bits per element of an operand format (incl. scale/metadata). */
+double operandBits(OperandFormat f);
+
+/** How the GEMM consumes quantized operands. */
+enum class IntegrationPath
+{
+    /** Native MX Tensor-Core compute (both operands in MX formats). */
+    DirectMx,
+    /** Section 5.2: dense MMA with BM_L + extra sparse MMA with BM_H. */
+    MxPlusSoftware,
+    /** Section 6: FSU/BCU hardware, BM computed beside the adder tree. */
+    MxPlusHardware,
+    /** Convert weights to BF16 inside the kernel, BF16 MMA (Table 4). */
+    ConvertToBf16,
+    /** Section 5.1 strawman: BM handled by CUDA-core FMAs. */
+    CudaCoreFallback,
+};
+
+/** One GEMM's shape and configuration. */
+struct GemmShape
+{
+    size_t m;
+    size_t n;
+    size_t k;
+    OperandFormat a_format;
+    OperandFormat b_format;
+    IntegrationPath path;
+};
+
+/** Timing breakdown in microseconds. */
+struct GemmTime
+{
+    double compute_us = 0.0;
+    double memory_us = 0.0;
+    double overhead_us = 0.0; ///< conversion / BM handling / fallback
+    double total_us = 0.0;
+};
+
+/** Model the execution time of one GEMM on @p gpu. */
+GemmTime gemmTime(const GpuConfig &gpu, const GemmShape &shape);
+
+/**
+ * Quantization (BF16 -> MX) kernel time for an [M x K] activation tensor
+ * (Table 6). MXFP4+ reuses the BM found while computing the shared scale;
+ * MXFP4++ needs a second-max reduction, a small extra cost.
+ */
+double quantizeTime(const GpuConfig &gpu, size_t m, size_t k,
+                    const std::string &format);
+
+} // namespace mxplus
+
+#endif // MXPLUS_GPUSIM_GEMM_TIMING_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * GPU hardware parameter sets for the serving-performance models
+ * (Sections 5-7 of the paper). Two machines appear in the evaluation:
+ * an RTX 5090-class part with native MX Tensor-Core support (direct
+ * computation, Figures 11-13) and an RTX A6000-class part without it
+ * (convert-to-BF16 path, Table 4).
+ *
+ * Absolute numbers are calibrated to public specifications; the paper's
+ * conclusions depend on ratios (FP4 : FP8 : BF16 throughput, compute vs
+ * memory bandwidth), which these parameters reproduce.
+ */
+
+#ifndef MXPLUS_GPUSIM_GPU_CONFIG_H
+#define MXPLUS_GPUSIM_GPU_CONFIG_H
+
+#include <string>
+
+namespace mxplus {
+
+/** Dense-compute and memory capabilities of a simulated GPU. */
+struct GpuConfig
+{
+    std::string name;
+    double fp4_tflops;   ///< dense FP4 Tensor-Core throughput
+    double fp8_tflops;   ///< dense FP8 (and FP6) throughput
+    double bf16_tflops;  ///< dense BF16 throughput
+    double mem_bw_gbps;  ///< DRAM bandwidth (GB/s)
+    double compute_eff;  ///< achievable fraction of peak compute
+    double mem_eff;      ///< achievable fraction of peak bandwidth
+    bool native_mx;      ///< Tensor Cores consume MX formats directly
+
+    /** RTX 5090-class Blackwell GPU (native MXFP4 Tensor Cores). */
+    static GpuConfig rtx5090();
+
+    /** RTX A6000-class Ampere GPU (no native MX: convert to BF16). */
+    static GpuConfig a6000();
+};
+
+inline GpuConfig
+GpuConfig::rtx5090()
+{
+    return {"rtx5090-sim", 1676.0, 838.0, 419.0, 1792.0, 0.55, 0.80,
+            true};
+}
+
+inline GpuConfig
+GpuConfig::a6000()
+{
+    return {"a6000-sim", 0.0, 0.0, 155.0, 768.0, 0.50, 0.75, false};
+}
+
+} // namespace mxplus
+
+#endif // MXPLUS_GPUSIM_GPU_CONFIG_H

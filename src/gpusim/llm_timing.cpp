@@ -1,0 +1,95 @@
+#include "gpusim/llm_timing.h"
+
+namespace mxplus {
+
+LlmDims
+LlmDims::llama2_7b()
+{
+    return {"Llama-2-7B", 4096, 32, 11008, 32000, true};
+}
+
+LlmDims
+LlmDims::llama2_13b()
+{
+    return {"Llama-2-13B", 5120, 40, 13824, 32000, true};
+}
+
+LlmDims
+LlmDims::llama31_8b()
+{
+    return {"Llama-3.1-8B", 4096, 32, 14336, 128256, true};
+}
+
+namespace {
+
+/** Sum the linear GEMMs of one full model pass with M tokens. */
+double
+modelPassUs(const GpuConfig &gpu, const LlmDims &model, size_t m_tokens,
+            OperandFormat act, OperandFormat weight, IntegrationPath path)
+{
+    double us = 0.0;
+    auto add = [&](size_t n, size_t k) {
+        GemmShape s{m_tokens, n, k, act, weight, path};
+        us += gemmTime(gpu, s).total_us;
+    };
+    const size_t d = model.d_model;
+    const size_t dff = model.d_ff;
+    for (size_t l = 0; l < model.n_layers; ++l) {
+        add(3 * d, d);  // fused QKV projection
+        add(d, d);      // output projection
+        if (model.gated_mlp) {
+            add(2 * dff, d); // fused gate+up
+            add(d, dff);     // down
+        } else {
+            add(dff, d);
+            add(d, dff);
+        }
+    }
+    add(model.vocab, d); // LM head
+    return us;
+}
+
+} // namespace
+
+ServingTime
+servingTime(const GpuConfig &gpu, const LlmDims &model,
+            const ServingConfig &cfg)
+{
+    ServingTime t;
+    // Prefill: all input tokens of every request in one batched pass.
+    const size_t prefill_tokens = cfg.batch * cfg.input_tokens;
+    t.prefill_ms = modelPassUs(gpu, model, prefill_tokens,
+                               cfg.act_format, cfg.weight_format,
+                               cfg.path) / 1000.0;
+    // Decode: one pass per output token with M = batch rows.
+    const double step_us = modelPassUs(gpu, model, cfg.batch,
+                                       cfg.act_format, cfg.weight_format,
+                                       cfg.path);
+    t.decode_ms = step_us * static_cast<double>(cfg.output_tokens) /
+        1000.0;
+    return t;
+}
+
+std::vector<NamedScheme>
+figure13Schemes()
+{
+    using OF = OperandFormat;
+    using IP = IntegrationPath;
+    std::vector<NamedScheme> schemes;
+    auto add = [&](const std::string &name, OF act, OF weight, IP path) {
+        ServingConfig c;
+        c.act_format = act;
+        c.weight_format = weight;
+        c.path = path;
+        schemes.push_back({name, c});
+    };
+    add("MXFP4", OF::MXFP4, OF::MXFP4, IP::DirectMx);
+    add("A-MXFP4+ (SW)", OF::MXFP4Plus, OF::MXFP4, IP::MxPlusSoftware);
+    add("MXFP8", OF::MXFP8, OF::MXFP8, IP::DirectMx);
+    add("MXFP4+ (HW)", OF::MXFP4Plus, OF::MXFP4Plus, IP::MxPlusHardware);
+    add("MXFP4++ (HW)", OF::MXFP4Plus, OF::MXFP4Plus, IP::MxPlusHardware);
+    add("A8W4", OF::MXFP8, OF::MXFP4, IP::DirectMx);
+    return schemes;
+}
+
+} // namespace mxplus

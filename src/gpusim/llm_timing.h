@@ -1,0 +1,69 @@
+/**
+ * @file
+ * End-to-end LLM serving time model (Figures 11-13): sums the linear-layer
+ * GEMM times of a decoder model over the prefill and decode stages for a
+ * batch of concurrent requests, the quantity the paper reports as
+ * "execution time" (aggregated matrix multiplication time in vLLM).
+ */
+
+#ifndef MXPLUS_GPUSIM_LLM_TIMING_H
+#define MXPLUS_GPUSIM_LLM_TIMING_H
+
+#include <string>
+#include <vector>
+
+#include "gpusim/gemm_timing.h"
+
+namespace mxplus {
+
+/** Dimensions of a served (full-size) LLM. */
+struct LlmDims
+{
+    std::string name;
+    size_t d_model;
+    size_t n_layers;
+    size_t d_ff;
+    size_t vocab;
+    bool gated_mlp; ///< SwiGLU (3 MLP matrices) vs plain (2)
+
+    static LlmDims llama2_7b();
+    static LlmDims llama2_13b();
+    static LlmDims llama31_8b();
+};
+
+/** Serving configuration for one timing experiment. */
+struct ServingConfig
+{
+    size_t batch = 4;          ///< concurrent requests
+    size_t input_tokens = 1024;
+    size_t output_tokens = 64;
+    OperandFormat act_format = OperandFormat::MXFP4;
+    OperandFormat weight_format = OperandFormat::MXFP4;
+    IntegrationPath path = IntegrationPath::DirectMx;
+};
+
+/** Stage-resolved execution time (milliseconds). */
+struct ServingTime
+{
+    double prefill_ms = 0.0;
+    double decode_ms = 0.0;
+    double total() const { return prefill_ms + decode_ms; }
+};
+
+/** Model the aggregated linear-GEMM time of serving one batch. */
+ServingTime servingTime(const GpuConfig &gpu, const LlmDims &model,
+                        const ServingConfig &cfg);
+
+/** The named serving schemes of Figure 13. */
+struct NamedScheme
+{
+    std::string name;
+    ServingConfig scheme; ///< formats+path only; batch/tokens overwritten
+};
+
+/** MXFP4 / A-MXFP4+ / MXFP8 / MXFP4+ (HW) / MXFP4++ (HW) / A8W4. */
+std::vector<NamedScheme> figure13Schemes();
+
+} // namespace mxplus
+
+#endif // MXPLUS_GPUSIM_LLM_TIMING_H

@@ -1,0 +1,101 @@
+#include "model/config.h"
+
+namespace mxplus {
+
+namespace {
+
+/**
+ * Common knobs (calibrated against the paper's Table 3 shape):
+ * logit_scale 4.0 and residual_scale 0.10 keep the high-bit formats
+ * (MXFP8/MXFP6) within a few percent of the BF16 baseline, while
+ * outlier_gain/outlier_channel_frac set how hard MXFP4 collapses.
+ */
+ModelConfig
+base(const std::string &name, size_t d_model, size_t n_layers,
+     size_t n_heads, double outlier_frac, double outlier_gain,
+     uint64_t seed)
+{
+    ModelConfig c;
+    c.name = name;
+    c.d_model = d_model;
+    c.n_layers = n_layers;
+    c.n_heads = n_heads;
+    c.d_ff = d_model * 5 / 2;
+    c.outlier_channel_frac = outlier_frac;
+    c.outlier_gain = outlier_gain;
+    c.logit_scale = 4.5;
+    c.residual_scale = 0.05;
+    c.seed = seed;
+    return c;
+}
+
+} // namespace
+
+ModelConfig
+simOpt66b()
+{
+    // OPT-66B has notoriously extreme activation outliers; MXFP4 collapses
+    // completely on it in Table 3 (perplexity 20x the baseline and worse).
+    return base("sim-opt-66b", 192, 4, 6, 0.025, 120.0, 101);
+}
+
+ModelConfig
+simLlama31_8b()
+{
+    return base("sim-llama-3.1-8b", 128, 4, 4, 0.015, 150.0, 102);
+}
+
+ModelConfig
+simLlama31_70b()
+{
+    // Bigger and more robust: larger width dilutes per-channel damage.
+    ModelConfig c = base("sim-llama-3.1-70b", 256, 4, 8, 0.010, 90.0, 103);
+    c.residual_scale = 0.04; // extra damping: widest model, most robust
+    return c;
+}
+
+ModelConfig
+simMistral7b()
+{
+    // Mistral degrades most gracefully in the paper's tables.
+    return base("sim-mistral-7b", 128, 4, 4, 0.010, 60.0, 104);
+}
+
+ModelConfig
+simPhi4_14b()
+{
+    return base("sim-phi-4-14b", 160, 4, 5, 0.008, 40.0, 105);
+}
+
+ModelConfig
+simQwen25_14b()
+{
+    return base("sim-qwen-2.5-14b", 160, 4, 5, 0.015, 100.0, 136);
+}
+
+ModelConfig
+simLlama2_7b()
+{
+    return base("sim-llama-2-7b", 128, 4, 4, 0.012, 100.0, 107);
+}
+
+ModelConfig
+simLlama2_13b()
+{
+    return base("sim-llama-2-13b", 160, 5, 5, 0.012, 100.0, 108);
+}
+
+std::vector<ModelConfig>
+paperModelSuite()
+{
+    return {simOpt66b(), simLlama31_8b(), simLlama31_70b(), simMistral7b(),
+            simPhi4_14b(), simQwen25_14b()};
+}
+
+std::vector<ModelConfig>
+quickModelSuite()
+{
+    return {simLlama31_8b(), simMistral7b()};
+}
+
+} // namespace mxplus

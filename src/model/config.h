@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Model configurations for the transformer substrate.
+ *
+ * The paper evaluates pretrained LLMs (OPT-66B, Llama-3.1, Mistral, Phi-4,
+ * Qwen-2.5, Llama-2). Offline we substitute synthetic GPT-style models
+ * whose *activation statistics* are calibrated to the paper's observations:
+ * heavy-tailed activations with channel-concentrated outliers produced by
+ * a few large RMSNorm gain channels (see WeightSynthesis in transformer.h).
+ * Each "sim-" config differs in width, depth and outlier intensity so that
+ * per-model sensitivity to low-bit formats varies the way the paper's
+ * models do (e.g. sim-opt-66b has the strongest outliers and collapses
+ * hardest under MXFP4, like the real OPT-66B).
+ */
+
+#ifndef MXPLUS_MODEL_CONFIG_H
+#define MXPLUS_MODEL_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mxplus {
+
+/** Hyperparameters of one synthetic model. */
+struct ModelConfig
+{
+    std::string name;
+    size_t vocab = 256;
+    size_t d_model = 128;
+    size_t n_layers = 4;
+    size_t n_heads = 4;
+    size_t d_ff = 320;
+    size_t max_seq = 2304;
+    /** Fraction of channels given an outlier-sized RMSNorm gain. */
+    double outlier_channel_frac = 0.03;
+    /** Gain multiplier of outlier channels (lognormal around this). */
+    double outlier_gain = 20.0;
+    /** Sharpens the output distribution (controls baseline perplexity). */
+    double logit_scale = 6.0;
+    /**
+     * Residual-branch damping: scales wo / w_down on top of the usual
+     * 1/sqrt(2L). Trained networks are noise-robust; random networks are
+     * chaotic, so this knob keeps perturbation growth through depth at
+     * realistic levels (calibrated so MXFP6/MXFP8 barely move perplexity,
+     * as in the paper's Table 3).
+     */
+    double residual_scale = 0.35;
+    uint64_t seed = 1;
+
+    size_t headDim() const { return d_model / n_heads; }
+};
+
+/** Stand-ins for the paper's evaluation models (Tables 2, 3, 7, ...). */
+ModelConfig simOpt66b();
+ModelConfig simLlama31_8b();
+ModelConfig simLlama31_70b();
+ModelConfig simMistral7b();
+ModelConfig simPhi4_14b();
+ModelConfig simQwen25_14b();
+ModelConfig simLlama2_7b();
+ModelConfig simLlama2_13b();
+
+/** The six models of Tables 2/3, in the paper's order. */
+std::vector<ModelConfig> paperModelSuite();
+
+/** A small model suite for quick benches and tests. */
+std::vector<ModelConfig> quickModelSuite();
+
+} // namespace mxplus
+
+#endif // MXPLUS_MODEL_CONFIG_H

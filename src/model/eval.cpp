@@ -1,0 +1,177 @@
+#include "model/eval.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+Dataset
+makeTeacherDataset(const Transformer &model, const std::string &name,
+                   size_t n_sequences, size_t seq_len, double temperature,
+                   uint64_t seed)
+{
+    Dataset data;
+    data.name = name;
+    Rng rng(seed);
+    for (size_t i = 0; i < n_sequences; ++i) {
+        Rng child = rng.split();
+        data.sequences.push_back(
+            model.sample(child, seq_len, temperature));
+        // sample() may return seq_len + 1 tokens (seed token included);
+        // trim to the requested length for uniform evaluation cost.
+        if (data.sequences.back().size() > seq_len)
+            data.sequences.back().resize(seq_len);
+    }
+    return data;
+}
+
+double
+perplexity(const Transformer &model, const Dataset &data,
+           const QuantConfig &qc)
+{
+    MXPLUS_CHECK(!data.sequences.empty());
+    double total_ce = 0.0;
+    size_t total_tokens = 0;
+    for (const auto &seq : data.sequences) {
+        total_ce += model.crossEntropy(seq, qc) *
+            static_cast<double>(seq.size() - 1);
+        total_tokens += seq.size() - 1;
+    }
+    return std::exp(total_ce / static_cast<double>(total_tokens));
+}
+
+std::vector<TaskSpec>
+paperTaskSuite()
+{
+    // Stand-ins for ARC-easy, ARC-challenge, Lambada, College CS,
+    // International Law and Jurisprudence: difficulty is controlled by
+    // context length, continuation length, choice count and distractor
+    // temperature (lower temperature = distractors closer to the teacher
+    // distribution = harder).
+    return {
+        {"arc-easy-sim", 60, 24, 10, 4, 2.2},
+        {"arc-challenge-sim", 60, 24, 10, 4, 1.4},
+        {"lambada-sim", 60, 40, 4, 4, 1.8},
+        {"college-cs-sim", 50, 32, 12, 4, 1.2},
+        {"intl-law-sim", 50, 48, 8, 4, 1.5},
+        {"jurisprudence-sim", 50, 40, 12, 4, 1.3},
+    };
+}
+
+std::vector<TaskSpec>
+quickTaskSuite()
+{
+    return {
+        {"arc-easy-sim", 30, 24, 10, 4, 2.2},
+        {"arc-challenge-sim", 30, 24, 10, 4, 1.4},
+    };
+}
+
+TaskSet
+makeTaskSet(const Transformer &model, const TaskSpec &spec, uint64_t seed)
+{
+    TaskSet task;
+    task.name = spec.name;
+    Rng rng(seed);
+    for (size_t qi = 0; qi < spec.n_questions; ++qi) {
+        TaskQuestion q;
+        // Context: a natural sample from the teacher.
+        Rng ctx_rng = rng.split();
+        q.context = model.sample(ctx_rng, spec.context_len, 1.0);
+        q.context.resize(spec.context_len);
+
+        // Correct answer: a low-temperature (high-likelihood)
+        // continuation of the context.
+        Rng ans_rng = rng.split();
+        auto full = model.sample(ans_rng, spec.continuation_len, 0.4,
+                                 q.context);
+        std::vector<int> correct(full.begin() + spec.context_len,
+                                 full.end());
+        correct.resize(spec.continuation_len);
+
+        q.correct = rng.uniformInt(spec.n_choices);
+        for (size_t c = 0; c < spec.n_choices; ++c) {
+            if (c == q.correct) {
+                q.choices.push_back(correct);
+                continue;
+            }
+            // Distractor: a high-temperature continuation (plausible
+            // token statistics, lower likelihood).
+            Rng d_rng = rng.split();
+            auto dfull = model.sample(d_rng, spec.continuation_len,
+                                      spec.distractor_temp, q.context);
+            std::vector<int> distractor(dfull.begin() + spec.context_len,
+                                        dfull.end());
+            distractor.resize(spec.continuation_len);
+            q.choices.push_back(distractor);
+        }
+        task.questions.push_back(std::move(q));
+    }
+    return task;
+}
+
+double
+taskAccuracy(const Transformer &model, const TaskSet &task,
+             const QuantConfig &qc)
+{
+    MXPLUS_CHECK(!task.questions.empty());
+    size_t correct = 0;
+    // Questions are independent forward passes; parallelize across them
+    // (the model, quantizers and schemes are const / thread-safe here).
+    #pragma omp parallel for schedule(dynamic) reduction(+ : correct)
+    for (size_t qi = 0; qi < task.questions.size(); ++qi) {
+        const auto &q = task.questions[qi];
+        double best = -1e300;
+        size_t best_idx = 0;
+        for (size_t c = 0; c < q.choices.size(); ++c) {
+            const double lp =
+                model.continuationLogProb(q.context, q.choices[c], qc);
+            if (lp > best) {
+                best = lp;
+                best_idx = c;
+            }
+        }
+        if (best_idx == q.correct)
+            correct += 1;
+    }
+    return 100.0 * static_cast<double>(correct) /
+        static_cast<double>(task.questions.size());
+}
+
+std::function<GemmSchemePtr(const std::string &)>
+calibrateSchemes(const Transformer &model,
+                 const std::vector<int> &calib_tokens,
+                 const std::function<GemmSchemePtr()> &factory)
+{
+    // Capture each linear's input on a BF16 calibration pass.
+    auto captured = std::make_shared<std::map<std::string, Matrix>>();
+    model.setCaptureHook(
+        [captured](const std::string &name, const Matrix &acts) {
+            // Keep the first captured batch per layer.
+            captured->emplace(name, acts);
+        });
+    model.forward(calib_tokens, QuantConfig::bf16Baseline());
+    model.clearCaptureHook();
+
+    auto schemes =
+        std::make_shared<std::map<std::string, GemmSchemePtr>>();
+    for (const auto &name : model.linearNames()) {
+        if (name == "head")
+            continue; // Table 7 protocol: LM head stays in BF16
+        const auto it = captured->find(name);
+        if (it == captured->end())
+            continue;
+        GemmSchemePtr scheme = factory();
+        scheme->calibrate(it->second, model.linearWeight(name));
+        (*schemes)[name] = std::move(scheme);
+    }
+
+    return [schemes](const std::string &name) -> GemmSchemePtr {
+        const auto it = schemes->find(name);
+        return it == schemes->end() ? nullptr : it->second;
+    };
+}
+
+} // namespace mxplus

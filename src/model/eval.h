@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Evaluation harness: teacher-data perplexity (the WikiText-2 / C4
+ * substitute), the synthetic zero-shot task suite (the lm-eval-harness
+ * substitute), and GEMM-scheme calibration plumbing.
+ *
+ * Teacher-data protocol: sequences are sampled FROM the BF16 model, so the
+ * BF16 model is the reference distribution of the corpus. Every quantized
+ * variant's cross-entropy on that corpus then measures exactly the
+ * quantization-induced degradation — the relative orderings the paper
+ * reports (Tables 2, 3, 7, 8, 10-12, Figures 2, 3, 13, 14) are preserved
+ * while absolute numbers differ from the real LLM values (DESIGN.md).
+ */
+
+#ifndef MXPLUS_MODEL_EVAL_H
+#define MXPLUS_MODEL_EVAL_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace mxplus {
+
+/** A corpus of token sequences sampled from a teacher model. */
+struct Dataset
+{
+    std::string name;
+    std::vector<std::vector<int>> sequences;
+};
+
+/**
+ * Sample a dataset from the BF16 model.
+ *
+ * @param temperature sampling temperature; the "wiki-like" corpus uses
+ *        1.0 and the "web-like" (C4 substitute) 1.15, giving the two
+ *        datasets different entropy as in the paper's two corpora
+ */
+Dataset makeTeacherDataset(const Transformer &model,
+                           const std::string &name, size_t n_sequences,
+                           size_t seq_len, double temperature,
+                           uint64_t seed);
+
+/** Perplexity (exp of mean next-token cross-entropy) under @p qc. */
+double perplexity(const Transformer &model, const Dataset &data,
+                  const QuantConfig &qc);
+
+/** One multiple-choice question. */
+struct TaskQuestion
+{
+    std::vector<int> context;
+    std::vector<std::vector<int>> choices;
+    size_t correct;
+};
+
+/** A generated task (the lm-eval-harness substitute). */
+struct TaskSet
+{
+    std::string name;
+    std::vector<TaskQuestion> questions;
+};
+
+/** Parameters of one synthetic task family. */
+struct TaskSpec
+{
+    std::string name;
+    size_t n_questions;
+    size_t context_len;
+    size_t continuation_len;
+    size_t n_choices;
+    /** Distractor sampling temperature: higher = easier task. */
+    double distractor_temp;
+};
+
+/** The six task families standing in for the paper's Table 2 tasks. */
+std::vector<TaskSpec> paperTaskSuite();
+
+/** A two-task subset for quick runs. */
+std::vector<TaskSpec> quickTaskSuite();
+
+/** Generate a task set from the BF16 model (deterministic in seed). */
+TaskSet makeTaskSet(const Transformer &model, const TaskSpec &spec,
+                    uint64_t seed);
+
+/**
+ * Accuracy (%) of the model under @p qc: a question is correct when the
+ * teacher-preferred continuation has the highest log-probability.
+ */
+double taskAccuracy(const Transformer &model, const TaskSet &task,
+                    const QuantConfig &qc);
+
+/**
+ * Calibrate one GEMM scheme per linear layer from a BF16 calibration
+ * forward pass, and return a scheme lookup usable in QuantConfig
+ * (the Table 7 protocol; the LM head is excluded).
+ */
+std::function<GemmSchemePtr(const std::string &)> calibrateSchemes(
+    const Transformer &model, const std::vector<int> &calib_tokens,
+    const std::function<GemmSchemePtr()> &factory);
+
+} // namespace mxplus
+
+#endif // MXPLUS_MODEL_EVAL_H

@@ -1,0 +1,105 @@
+#include "model/layers.h"
+
+#include <cmath>
+
+#include "common/bf16.h"
+#include "common/check.h"
+
+namespace mxplus {
+
+Matrix
+rmsnorm(const Matrix &x, const std::vector<float> &gain)
+{
+    MXPLUS_CHECK(gain.size() == x.cols());
+    Matrix out(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+        double ssq = 0.0;
+        const float *row = x.row(r);
+        for (size_t c = 0; c < x.cols(); ++c)
+            ssq += static_cast<double>(row[c]) * row[c];
+        const double inv_rms =
+            1.0 / std::sqrt(ssq / static_cast<double>(x.cols()) + 1e-6);
+        float *orow = out.row(r);
+        for (size_t c = 0; c < x.cols(); ++c) {
+            orow[c] = roundToBf16(static_cast<float>(
+                row[c] * inv_rms * gain[c]));
+        }
+    }
+    return out;
+}
+
+void
+softmaxRowsInPlace(Matrix &m)
+{
+    for (size_t r = 0; r < m.rows(); ++r) {
+        float *row = m.row(r);
+        double mx = row[0];
+        for (size_t c = 1; c < m.cols(); ++c)
+            mx = std::max(mx, static_cast<double>(row[c]));
+        double sum = 0.0;
+        for (size_t c = 0; c < m.cols(); ++c) {
+            const double e = std::exp(static_cast<double>(row[c]) - mx);
+            row[c] = static_cast<float>(e);
+            sum += e;
+        }
+        const double inv = 1.0 / sum;
+        for (size_t c = 0; c < m.cols(); ++c)
+            row[c] = static_cast<float>(row[c] * inv);
+    }
+}
+
+Matrix
+swiglu(const Matrix &gate, const Matrix &up)
+{
+    MXPLUS_CHECK(gate.rows() == up.rows() && gate.cols() == up.cols());
+    Matrix out(gate.rows(), gate.cols());
+    for (size_t i = 0; i < out.size(); ++i) {
+        const float g = gate.data()[i];
+        const float silu =
+            g / (1.0f + std::exp(-g));
+        out.data()[i] = roundToBf16(silu * up.data()[i]);
+    }
+    return out;
+}
+
+void
+roundMatrixToBf16(Matrix &m)
+{
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = roundToBf16(m.data()[i]);
+}
+
+Matrix
+sinusoidalPositions(size_t max_len, size_t d)
+{
+    Matrix pos(max_len, d);
+    for (size_t t = 0; t < max_len; ++t) {
+        for (size_t c = 0; c < d; ++c) {
+            const double freq = std::pow(
+                10000.0, -2.0 * static_cast<double>(c / 2) /
+                static_cast<double>(d));
+            const double angle = static_cast<double>(t) * freq;
+            pos.at(t, c) = static_cast<float>(
+                (c % 2 == 0) ? std::sin(angle) : std::cos(angle));
+        }
+    }
+    return pos;
+}
+
+std::vector<double>
+logSoftmax(const float *logits, size_t n)
+{
+    double mx = logits[0];
+    for (size_t i = 1; i < n; ++i)
+        mx = std::max(mx, static_cast<double>(logits[i]));
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum += std::exp(static_cast<double>(logits[i]) - mx);
+    const double log_z = mx + std::log(sum);
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(logits[i]) - log_z;
+    return out;
+}
+
+} // namespace mxplus

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Elementary transformer layers, factored out of the model for unit
+ * testing. Precision policy follows the paper's baseline: element-wise
+ * operations round to BF16, softmax runs in FP32/FP64.
+ */
+
+#ifndef MXPLUS_MODEL_LAYERS_H
+#define MXPLUS_MODEL_LAYERS_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mxplus {
+
+/** RMSNorm with per-channel gain; output rounded to BF16. */
+Matrix rmsnorm(const Matrix &x, const std::vector<float> &gain);
+
+/** Row-wise softmax computed in double precision. */
+void softmaxRowsInPlace(Matrix &m);
+
+/** SiLU(gate) * up, rounded to BF16 (the SwiGLU nonlinearity). */
+Matrix swiglu(const Matrix &gate, const Matrix &up);
+
+/** Round every element to BF16 in place. */
+void roundMatrixToBf16(Matrix &m);
+
+/** Sinusoidal positional encoding table [max_len x d]. */
+Matrix sinusoidalPositions(size_t max_len, size_t d);
+
+/** Numerically stable log-softmax of one logits row (double precision). */
+std::vector<double> logSoftmax(const float *logits, size_t n);
+
+} // namespace mxplus
+
+#endif // MXPLUS_MODEL_LAYERS_H

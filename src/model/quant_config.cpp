@@ -1,0 +1,38 @@
+#include "model/quant_config.h"
+
+#include "baselines/format_quantizers.h"
+
+namespace mxplus {
+
+QuantConfig
+QuantConfig::bf16Baseline()
+{
+    QuantConfig qc;
+    qc.act = makeBf16Quantizer();
+    qc.weight = makeBf16Quantizer();
+    qc.attention = makeBf16Quantizer();
+    return qc;
+}
+
+QuantConfig
+QuantConfig::fromFormat(const std::string &format)
+{
+    QuantConfig qc;
+    qc.act = makeQuantizerByName(format);
+    qc.weight = makeQuantizerByName(format);
+    qc.attention = makeQuantizerByName(format);
+    return qc;
+}
+
+QuantConfig
+QuantConfig::fromFormats(const std::string &act_format,
+                         const std::string &weight_format)
+{
+    QuantConfig qc;
+    qc.act = makeQuantizerByName(act_format);
+    qc.weight = makeQuantizerByName(weight_format);
+    qc.attention = makeQuantizerByName(act_format);
+    return qc;
+}
+
+} // namespace mxplus

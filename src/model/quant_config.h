@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-inference quantization configuration for the transformer substrate.
+ *
+ * Mirrors the paper's evaluation flow (Section 7.1): MX / MX+ formats are
+ * applied to every tensor involved in a dot product (linears, LM head,
+ * Q/K/P/V including the KV cache), while element-wise operations stay in
+ * BF16 and softmax in FP32. GEMM-level schemes (SmoothQuant, QuaRot, ...)
+ * replace the per-tensor quantizers on linear layers only, matching the
+ * Table 7 protocol ("quantize matmul between weights and activations,
+ * excluding language modeling head").
+ */
+
+#ifndef MXPLUS_MODEL_QUANT_CONFIG_H
+#define MXPLUS_MODEL_QUANT_CONFIG_H
+
+#include <functional>
+#include <string>
+
+#include "baselines/gemm_scheme.h"
+#include "tensor/quantizer_iface.h"
+
+namespace mxplus {
+
+/** How one forward pass quantizes its dot-product operands. */
+struct QuantConfig
+{
+    /** Activation-side quantizer for linear layers. */
+    QuantizerPtr act;
+    /** Weight-side quantizer for linear layers. */
+    QuantizerPtr weight;
+    /** Quantizer for attention operands (Q, K, P, V / KV cache). */
+    QuantizerPtr attention;
+    /**
+     * Optional override for the query/key operands only (used by the
+     * Section 8.3 channel-reordering experiments, which reorder the
+     * query and key matrices with one shared permutation).
+     */
+    QuantizerPtr qk_override;
+    /**
+     * Optional per-layer GEMM scheme lookup (Table 7 baselines). When it
+     * returns non-null for a layer name, the scheme's transform() replaces
+     * the act/weight quantizers for that linear.
+     */
+    std::function<GemmSchemePtr(const std::string &layer)> scheme_lookup;
+    /** Quantize the LM head linear (true for Tables 2/3, false for 7). */
+    bool quantize_head = true;
+
+    /** The paper's BF16 baseline. */
+    static QuantConfig bf16Baseline();
+
+    /** Both operands and attention in one named format. */
+    static QuantConfig fromFormat(const std::string &format);
+
+    /**
+     * Different formats for activations and weights; attention operands
+     * follow the activation format (they are all activations).
+     */
+    static QuantConfig fromFormats(const std::string &act_format,
+                                   const std::string &weight_format);
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_MODEL_QUANT_CONFIG_H

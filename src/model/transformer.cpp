@@ -1,0 +1,471 @@
+#include "model/transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bf16.h"
+#include "common/check.h"
+#include "model/layers.h"
+#include "tensor/matmul.h"
+
+namespace mxplus {
+
+namespace {
+
+/** y = W x for a [N x K] weight and length-K vector (decode path). */
+std::vector<float>
+matvec(const Matrix &w, const std::vector<float> &x)
+{
+    MXPLUS_CHECK(w.cols() == x.size());
+    std::vector<float> y(w.rows());
+    for (size_t n = 0; n < w.rows(); ++n) {
+        const float *row = w.row(n);
+        double acc = 0.0;
+        for (size_t k = 0; k < x.size(); ++k)
+            acc += static_cast<double>(row[k]) * x[k];
+        y[n] = static_cast<float>(acc);
+    }
+    return y;
+}
+
+std::vector<float>
+rmsnormVec(const std::vector<float> &x, const std::vector<float> &gain)
+{
+    double ssq = 0.0;
+    for (float v : x)
+        ssq += static_cast<double>(v) * v;
+    const double inv_rms =
+        1.0 / std::sqrt(ssq / static_cast<double>(x.size()) + 1e-6);
+    std::vector<float> out(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        out[i] = static_cast<float>(x[i] * inv_rms * gain[i]);
+    return out;
+}
+
+} // namespace
+
+Transformer::Transformer(const ModelConfig &cfg) : cfg_(cfg)
+{
+    MXPLUS_CHECK_MSG(cfg_.d_model % cfg_.n_heads == 0,
+                     "d_model must divide by n_heads");
+    MXPLUS_CHECK_MSG(cfg_.headDim() % 32 == 0,
+                     "head dim should be a multiple of the MX block size");
+    Rng rng(cfg_.seed);
+
+    const size_t d = cfg_.d_model;
+    const size_t dff = cfg_.d_ff;
+    const double res_scale =
+        cfg_.residual_scale / std::sqrt(2.0 * cfg_.n_layers);
+
+    auto gauss_matrix = [&](size_t rows, size_t cols, double stddev) {
+        Matrix m(rows, cols);
+        for (size_t i = 0; i < m.size(); ++i)
+            m.data()[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+        return m;
+    };
+
+    // Quantization-robust weight synthesis: random sign, magnitude
+    // log-uniform over one octave around stddev. Trained LLM weights sit
+    // in flat minima and tolerate direct-cast 4-bit rounding almost for
+    // free (paper Fig. 3 / Table 8); random Gaussian weights do not (the
+    // E2M1 grid flushes ~12% of Gaussian mass to zero and every weight
+    // perturbation changes the random function directly). Limiting the
+    // magnitudes to one binade bounds the per-weight MXFP4 error to
+    // ~8%, reproducing the trained-network behaviour (see DESIGN.md).
+    auto weight_matrix = [&](size_t rows, size_t cols, double stddev) {
+        Matrix m(rows, cols);
+        for (size_t i = 0; i < m.size(); ++i) {
+            const double mag =
+                stddev * std::exp2(rng.uniform(-0.5, 0.5));
+            m.data()[i] = static_cast<float>(
+                (rng.next() & 1) ? mag : -mag);
+        }
+        return m;
+    };
+
+    embedding_ = gauss_matrix(cfg_.vocab, d, 0.7);
+    positions_ = sinusoidalPositions(cfg_.max_seq, d);
+    head_ = Matrix(); // assigned below, after weight_matrix is defined
+    final_gain_.assign(d, 1.0f);
+
+    const double w_std = 1.0 / std::sqrt(static_cast<double>(d));
+    const double dff_std = 1.0 / std::sqrt(static_cast<double>(dff));
+    // The LM head is a quantized linear too (Tables 2/3 include it).
+    head_ = weight_matrix(cfg_.vocab, d,
+                          cfg_.logit_scale /
+                              std::sqrt(static_cast<double>(d)));
+
+    // Real LLMs have PERSISTENT outlier channels: the same few channels
+    // carry outliers across tokens and layers (Fig. 4). Pick that channel
+    // set once per model and give those channels an outlier-sized RMSNorm
+    // gain in every layer (with per-layer magnitude variation).
+    const size_t n_out = std::max<size_t>(
+        1, static_cast<size_t>(cfg_.outlier_channel_frac *
+                               static_cast<double>(d)));
+    std::vector<size_t> outlier_channels;
+    while (outlier_channels.size() < n_out) {
+        const size_t c = rng.uniformInt(d);
+        if (std::find(outlier_channels.begin(), outlier_channels.end(),
+                      c) == outlier_channels.end()) {
+            outlier_channels.push_back(c);
+        }
+    }
+
+    auto gain_vector = [&]() {
+        std::vector<float> g(d);
+        for (auto &v : g)
+            v = static_cast<float>(rng.lognormal(0.0, 0.5));
+        for (const size_t c : outlier_channels) {
+            g[c] = static_cast<float>(
+                cfg_.outlier_gain * rng.lognormal(0.0, 0.4));
+        }
+        return g;
+    };
+
+    layers_.resize(cfg_.n_layers);
+    for (auto &lw : layers_) {
+        lw.wq = weight_matrix(d, d, w_std);
+        lw.wk = weight_matrix(d, d, w_std);
+        lw.wv = weight_matrix(d, d, w_std);
+        lw.wo = weight_matrix(d, d, w_std * res_scale);
+        lw.w_gate = weight_matrix(dff, d, w_std);
+        lw.w_up = weight_matrix(dff, d, w_std);
+        lw.w_down = weight_matrix(d, dff, dff_std * res_scale);
+        lw.attn_gain = gain_vector();
+        lw.mlp_gain = gain_vector();
+    }
+}
+
+Matrix
+Transformer::embed(const std::vector<int> &tokens) const
+{
+    MXPLUS_CHECK(tokens.size() <= cfg_.max_seq);
+    Matrix x(tokens.size(), cfg_.d_model);
+    for (size_t t = 0; t < tokens.size(); ++t) {
+        const int tok = tokens[t];
+        MXPLUS_CHECK(tok >= 0 &&
+                     static_cast<size_t>(tok) < cfg_.vocab);
+        for (size_t c = 0; c < cfg_.d_model; ++c) {
+            x.at(t, c) = embedding_.at(static_cast<size_t>(tok), c) +
+                positions_.at(t, c);
+        }
+    }
+    return x;
+}
+
+Matrix
+Transformer::applyLinear(const std::string &name, const Matrix &x,
+                         const Matrix &w, const QuantConfig &qc,
+                         bool is_head) const
+{
+    if (capture_)
+        capture_(name, x);
+
+    if (is_head && !qc.quantize_head) {
+        Matrix xq = x;
+        roundMatrixToBf16(xq);
+        return matmulNT(xq, w);
+    }
+
+    GemmSchemePtr scheme;
+    if (qc.scheme_lookup)
+        scheme = qc.scheme_lookup(name);
+    if (scheme) {
+        Matrix aq;
+        Matrix wq;
+        scheme->transform(x, w, aq, wq);
+        return matmulNT(aq, wq);
+    }
+
+    const Matrix aq = qc.act->quantized(x);
+    const Matrix wq = qc.weight->quantized(w);
+    return matmulNT(aq, wq);
+}
+
+Matrix
+Transformer::attentionBlock(size_t layer, const Matrix &x,
+                            const QuantConfig &qc) const
+{
+    const LayerWeights &lw = layers_[layer];
+    const size_t t_len = x.rows();
+    const size_t d = cfg_.d_model;
+    const size_t heads = cfg_.n_heads;
+    const size_t dh = cfg_.headDim();
+    const std::string prefix = "L" + std::to_string(layer) + ".";
+
+    const Matrix h = rmsnorm(x, lw.attn_gain);
+    if (capture_)
+        capture_(prefix + "attn_in", h);
+
+    const Matrix q = applyLinear(prefix + "wq", h, lw.wq, qc, false);
+    const Matrix k = applyLinear(prefix + "wk", h, lw.wk, qc, false);
+    const Matrix v = applyLinear(prefix + "wv", h, lw.wv, qc, false);
+
+    Matrix attn_out(t_len, d);
+    const float inv_sqrt_dh =
+        1.0f / std::sqrt(static_cast<float>(dh));
+
+    for (size_t hd = 0; hd < heads; ++hd) {
+        const size_t c0 = hd * dh;
+        // Slice this head's Q/K/V ([T x dh], contiguous along head dim so
+        // MX blocks run along the dot-product dimension).
+        Matrix qh(t_len, dh);
+        Matrix kh(t_len, dh);
+        Matrix vt(dh, t_len); // V transposed: rows along the seq dim
+        for (size_t t = 0; t < t_len; ++t) {
+            for (size_t c = 0; c < dh; ++c) {
+                qh.at(t, c) = q.at(t, c0 + c);
+                kh.at(t, c) = k.at(t, c0 + c);
+                vt.at(c, t) = v.at(t, c0 + c);
+            }
+        }
+        // KV-cache / attention quantization: Q and K along the head dim.
+        const TensorQuantizer &qk_quant =
+            qc.qk_override ? *qc.qk_override : *qc.attention;
+        const Matrix qhq = qk_quant.quantized(qh);
+        const Matrix khq = qk_quant.quantized(kh);
+
+        Matrix scores = matmulNT(qhq, khq); // [T x T]
+        for (size_t i = 0; i < t_len; ++i) {
+            for (size_t j = 0; j < t_len; ++j) {
+                if (j > i)
+                    scores.at(i, j) = -1e30f; // causal mask
+                else
+                    scores.at(i, j) *= inv_sqrt_dh;
+            }
+        }
+        softmaxRowsInPlace(scores); // FP32/FP64 softmax (paper baseline)
+
+        // P along seq, V along seq: both reduction-dim blocked.
+        const Matrix pq = qc.attention->quantized(scores);
+        const Matrix vtq = qc.attention->quantized(vt);
+        const Matrix out_h = matmulNT(pq, vtq); // [T x dh]
+        for (size_t t = 0; t < t_len; ++t) {
+            for (size_t c = 0; c < dh; ++c)
+                attn_out.at(t, c0 + c) = out_h.at(t, c);
+        }
+    }
+
+    return applyLinear(prefix + "wo", attn_out, lw.wo, qc, false);
+}
+
+Matrix
+Transformer::mlpBlock(size_t layer, const Matrix &x,
+                      const QuantConfig &qc) const
+{
+    const LayerWeights &lw = layers_[layer];
+    const std::string prefix = "L" + std::to_string(layer) + ".";
+
+    const Matrix h = rmsnorm(x, lw.mlp_gain);
+    if (capture_)
+        capture_(prefix + "mlp_in", h);
+
+    const Matrix gate = applyLinear(prefix + "w_gate", h, lw.w_gate, qc,
+                                    false);
+    const Matrix up = applyLinear(prefix + "w_up", h, lw.w_up, qc, false);
+    const Matrix act = swiglu(gate, up);
+    if (capture_)
+        capture_(prefix + "down_in", act);
+    return applyLinear(prefix + "w_down", act, lw.w_down, qc, false);
+}
+
+Matrix
+Transformer::forward(const std::vector<int> &tokens,
+                     const QuantConfig &qc) const
+{
+    MXPLUS_CHECK(!tokens.empty());
+    Matrix x = embed(tokens);
+    for (size_t layer = 0; layer < cfg_.n_layers; ++layer) {
+        const Matrix attn = attentionBlock(layer, x, qc);
+        for (size_t i = 0; i < x.size(); ++i)
+            x.data()[i] = roundToBf16(x.data()[i] + attn.data()[i]);
+        const Matrix mlp = mlpBlock(layer, x, qc);
+        for (size_t i = 0; i < x.size(); ++i)
+            x.data()[i] = roundToBf16(x.data()[i] + mlp.data()[i]);
+    }
+    const Matrix h = rmsnorm(x, final_gain_);
+    return applyLinear("head", h, head_, qc, true);
+}
+
+double
+Transformer::crossEntropy(const std::vector<int> &tokens,
+                          const QuantConfig &qc) const
+{
+    MXPLUS_CHECK(tokens.size() >= 2);
+    const Matrix logits = forward(tokens, qc);
+    double total = 0.0;
+    for (size_t t = 0; t + 1 < tokens.size(); ++t) {
+        const auto lsm = logSoftmax(logits.row(t), cfg_.vocab);
+        total -= lsm[static_cast<size_t>(tokens[t + 1])];
+    }
+    return total / static_cast<double>(tokens.size() - 1);
+}
+
+double
+Transformer::continuationLogProb(const std::vector<int> &context,
+                                 const std::vector<int> &continuation,
+                                 const QuantConfig &qc) const
+{
+    MXPLUS_CHECK(!context.empty() && !continuation.empty());
+    std::vector<int> all = context;
+    all.insert(all.end(), continuation.begin(), continuation.end());
+    const Matrix logits = forward(all, qc);
+    double total = 0.0;
+    for (size_t i = 0; i < continuation.size(); ++i) {
+        const size_t pos = context.size() + i - 1; // predicts token pos+1
+        const auto lsm = logSoftmax(logits.row(pos), cfg_.vocab);
+        total += lsm[static_cast<size_t>(continuation[i])];
+    }
+    return total;
+}
+
+std::vector<int>
+Transformer::sample(Rng &rng, size_t length, double temperature,
+                    const std::vector<int> &prefix) const
+{
+    const size_t d = cfg_.d_model;
+    const size_t heads = cfg_.n_heads;
+    const size_t dh = cfg_.headDim();
+    const float inv_sqrt_dh =
+        1.0f / std::sqrt(static_cast<float>(dh));
+
+    std::vector<int> tokens = prefix;
+    if (tokens.empty())
+        tokens.push_back(static_cast<int>(rng.uniformInt(cfg_.vocab)));
+
+    // Float KV cache per layer (the teacher always runs in BF16/FP32).
+    std::vector<std::vector<std::vector<float>>> kcache(cfg_.n_layers);
+    std::vector<std::vector<std::vector<float>>> vcache(cfg_.n_layers);
+
+    std::vector<float> logits_last(cfg_.vocab);
+    const size_t target =
+        prefix.size() + length + (prefix.empty() ? 1 : 0);
+    size_t pos = 0;
+    while (tokens.size() < target && pos < cfg_.max_seq) {
+        const bool warming = pos + 1 < tokens.size();
+        const int tok = tokens[pos];
+        std::vector<float> x(d);
+        for (size_t c = 0; c < d; ++c) {
+            x[c] = embedding_.at(static_cast<size_t>(tok), c) +
+                positions_.at(pos, c);
+        }
+        for (size_t layer = 0; layer < cfg_.n_layers; ++layer) {
+            const LayerWeights &lw = layers_[layer];
+            const auto h = rmsnormVec(x, lw.attn_gain);
+            auto qv = matvec(lw.wq, h);
+            auto kv = matvec(lw.wk, h);
+            auto vv = matvec(lw.wv, h);
+            kcache[layer].push_back(kv);
+            vcache[layer].push_back(vv);
+
+            std::vector<float> attn_out(d, 0.0f);
+            const size_t t_len = kcache[layer].size();
+            for (size_t hd = 0; hd < heads; ++hd) {
+                const size_t c0 = hd * dh;
+                std::vector<double> scores(t_len);
+                double mx = -1e300;
+                for (size_t s = 0; s < t_len; ++s) {
+                    double dot = 0.0;
+                    for (size_t c = 0; c < dh; ++c) {
+                        dot += static_cast<double>(qv[c0 + c]) *
+                            kcache[layer][s][c0 + c];
+                    }
+                    scores[s] = dot * inv_sqrt_dh;
+                    mx = std::max(mx, scores[s]);
+                }
+                double z = 0.0;
+                for (auto &s : scores) {
+                    s = std::exp(s - mx);
+                    z += s;
+                }
+                for (size_t s = 0; s < t_len; ++s) {
+                    const double p = scores[s] / z;
+                    for (size_t c = 0; c < dh; ++c) {
+                        attn_out[c0 + c] += static_cast<float>(
+                            p * vcache[layer][s][c0 + c]);
+                    }
+                }
+            }
+            const auto o = matvec(lw.wo, attn_out);
+            for (size_t c = 0; c < d; ++c)
+                x[c] += o[c];
+
+            const auto h2 = rmsnormVec(x, lw.mlp_gain);
+            const auto gate = matvec(lw.w_gate, h2);
+            const auto up = matvec(lw.w_up, h2);
+            std::vector<float> act(cfg_.d_ff);
+            for (size_t i = 0; i < cfg_.d_ff; ++i) {
+                const float g = gate[i];
+                act[i] = (g / (1.0f + std::exp(-g))) * up[i];
+            }
+            const auto down = matvec(lw.w_down, act);
+            for (size_t c = 0; c < d; ++c)
+                x[c] += down[c];
+        }
+
+        const auto hf = rmsnormVec(x, final_gain_);
+        logits_last = matvec(head_, hf);
+
+        ++pos;
+        if (warming)
+            continue; // still consuming the prefix
+        // Sample the next token at the given temperature.
+        std::vector<double> probs(cfg_.vocab);
+        double mx = logits_last[0];
+        for (float l : logits_last)
+            mx = std::max(mx, static_cast<double>(l));
+        for (size_t i = 0; i < cfg_.vocab; ++i) {
+            probs[i] = std::exp(
+                (static_cast<double>(logits_last[i]) - mx) /
+                std::max(temperature, 1e-3));
+        }
+        tokens.push_back(static_cast<int>(rng.categorical(probs)));
+    }
+    return tokens;
+}
+
+std::vector<std::string>
+Transformer::linearNames() const
+{
+    std::vector<std::string> names;
+    for (size_t l = 0; l < cfg_.n_layers; ++l) {
+        const std::string p = "L" + std::to_string(l) + ".";
+        for (const char *s :
+             {"wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down"}) {
+            names.push_back(p + s);
+        }
+    }
+    names.push_back("head");
+    return names;
+}
+
+const Matrix &
+Transformer::linearWeight(const std::string &name) const
+{
+    if (name == "head")
+        return head_;
+    MXPLUS_CHECK(name.size() > 3 && name[0] == 'L');
+    const size_t dot = name.find('.');
+    MXPLUS_CHECK(dot != std::string::npos);
+    const size_t layer = std::stoul(name.substr(1, dot - 1));
+    MXPLUS_CHECK(layer < layers_.size());
+    const std::string field = name.substr(dot + 1);
+    const LayerWeights &lw = layers_[layer];
+    if (field == "wq")
+        return lw.wq;
+    if (field == "wk")
+        return lw.wk;
+    if (field == "wv")
+        return lw.wv;
+    if (field == "wo")
+        return lw.wo;
+    if (field == "w_gate")
+        return lw.w_gate;
+    if (field == "w_up")
+        return lw.w_up;
+    if (field == "w_down")
+        return lw.w_down;
+    fatal("unknown linear name: " + name);
+}
+
+} // namespace mxplus

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * GPT-style decoder with synthetic, outlier-calibrated weights — the LLM
+ * substrate of the reproduction.
+ *
+ * Architecture: token embedding + sinusoidal positions, pre-RMSNorm
+ * multi-head causal attention, SwiGLU MLP, tied-free LM head. Outlier
+ * structure: a sparse set of RMSNorm gain channels per layer is given a
+ * large gain, which makes the attention/MLP input activations exhibit the
+ * channel-concentrated outliers of Figure 4. Quantization is injected at
+ * every dot-product operand through a QuantConfig (activations, weights,
+ * Q/K/P/V incl. the KV cache, LM head), exactly mirroring the paper's
+ * emulation flow.
+ */
+
+#ifndef MXPLUS_MODEL_TRANSFORMER_H
+#define MXPLUS_MODEL_TRANSFORMER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/config.h"
+#include "model/quant_config.h"
+#include "tensor/tensor.h"
+
+namespace mxplus {
+
+/** Weights of one decoder layer. All linears are stored [N x K]. */
+struct LayerWeights
+{
+    Matrix wq, wk, wv, wo;  ///< attention projections [d x d]
+    Matrix w_gate, w_up;    ///< SwiGLU in-projections [d_ff x d]
+    Matrix w_down;          ///< SwiGLU out-projection [d x d_ff]
+    std::vector<float> attn_gain; ///< pre-attention RMSNorm gain
+    std::vector<float> mlp_gain;  ///< pre-MLP RMSNorm gain
+};
+
+/** The decoder-only transformer. */
+class Transformer
+{
+  public:
+    /** Synthesize a model from the config (deterministic in cfg.seed). */
+    explicit Transformer(const ModelConfig &cfg);
+
+    /**
+     * Full-sequence causal forward pass.
+     * @return logits [T x vocab] for every position.
+     */
+    Matrix forward(const std::vector<int> &tokens,
+                   const QuantConfig &qc) const;
+
+    /**
+     * Autoregressively sample @p length tokens from the BF16 model (the
+     * teacher-data protocol), optionally continuing @p prefix.
+     * Uses a float KV cache; temperature scales the logits.
+     */
+    std::vector<int> sample(Rng &rng, size_t length, double temperature,
+                            const std::vector<int> &prefix = {}) const;
+
+    /**
+     * Mean cross-entropy (nats/token) of the model's next-token
+     * predictions on @p tokens under quantization config @p qc.
+     */
+    double crossEntropy(const std::vector<int> &tokens,
+                        const QuantConfig &qc) const;
+
+    /**
+     * Sum of continuation log-probabilities: log p(cont | context) under
+     * @p qc. Used by the zero-shot task harness.
+     */
+    double continuationLogProb(const std::vector<int> &context,
+                               const std::vector<int> &continuation,
+                               const QuantConfig &qc) const;
+
+    /** Names of all quantized linear layers ("L0.wq", ..., "head"). */
+    std::vector<std::string> linearNames() const;
+
+    /** The weight matrix of a named linear (for scheme calibration). */
+    const Matrix &linearWeight(const std::string &name) const;
+
+    /**
+     * Observation hook: called with (layer_name, activation matrix) for
+     * every linear input during forward. Used for Fig. 4/5/14 analyses
+     * and for calibrating GEMM schemes.
+     */
+    using CaptureHook =
+        std::function<void(const std::string &, const Matrix &)>;
+    /** The hook is observational, so installing it is const-safe. */
+    void
+    setCaptureHook(CaptureHook hook) const
+    {
+        capture_ = std::move(hook);
+    }
+    void clearCaptureHook() const { capture_ = nullptr; }
+
+    const ModelConfig &config() const { return cfg_; }
+
+  private:
+    Matrix embed(const std::vector<int> &tokens) const;
+    Matrix applyLinear(const std::string &name, const Matrix &x,
+                       const Matrix &w, const QuantConfig &qc,
+                       bool is_head) const;
+    Matrix attentionBlock(size_t layer, const Matrix &x,
+                          const QuantConfig &qc) const;
+    Matrix mlpBlock(size_t layer, const Matrix &x,
+                    const QuantConfig &qc) const;
+
+    ModelConfig cfg_;
+    Matrix embedding_;  ///< [vocab x d]
+    Matrix positions_;  ///< [max_seq x d]
+    Matrix head_;       ///< [vocab x d]
+    std::vector<float> final_gain_;
+    std::vector<LayerWeights> layers_;
+    mutable CaptureHook capture_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_MODEL_TRANSFORMER_H

@@ -1,0 +1,53 @@
+#include "mx/bm_decompose.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "formats/element_format.h"
+
+namespace mxplus {
+
+BmSplit
+decomposeBm(uint32_t bm_code)
+{
+    const auto &codec = bmCodec(ElementFormat::E2M1);
+    const int emax = codec.implicitExp();
+
+    const uint32_t sign = extractBits(bm_code, 3, 1);
+    const uint32_t m = extractBits(bm_code, 0, 3); // m3 m2 m1
+    const uint32_t m3 = (m >> 2) & 1u;
+    const uint32_t m2 = (m >> 1) & 1u;
+    const uint32_t m1 = m & 1u;
+
+    // BM_H = 2^emax * (1 + m3/2): exponent emax, mantissa bit m3.
+    const double bm_h_mag = pow2d(emax) * (1.0 + 0.5 * m3);
+    // BM_L = 2^emax * (m2/4 + m1/8).
+    const double bm_l_mag = pow2d(emax) * (0.25 * m2 + 0.125 * m1);
+
+    BmSplit split;
+    split.bm_h = sign ? -bm_h_mag : bm_h_mag;
+    split.bm_l = sign ? -bm_l_mag : bm_l_mag;
+
+    const auto &fp4 = Minifloat::e2m1();
+    split.bm_h_code = fp4.encode(split.bm_h);
+    split.bm_l_code = fp4.encode(split.bm_l);
+
+    // Both halves must be exactly representable in E2M1 (tested invariant).
+    MXPLUS_CHECK(fp4.decode(split.bm_h_code) == split.bm_h);
+    MXPLUS_CHECK(fp4.decode(split.bm_l_code) == split.bm_l);
+    MXPLUS_CHECK(split.bm_h + split.bm_l == codec.decode(bm_code));
+    return split;
+}
+
+BmSplit
+decomposeBmValue(double bm_scaled)
+{
+    const auto &codec = bmCodec(ElementFormat::E2M1);
+    const uint32_t code = codec.encode(bm_scaled);
+    MXPLUS_CHECK_MSG(codec.decode(code) == bm_scaled,
+                     "value is not an MXFP4+ BM grid point");
+    return decomposeBm(code);
+}
+
+} // namespace mxplus

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Block-max decomposition for the software Tensor-Core path (Section 5).
+ *
+ * In MXFP4+, the BM is effectively E2M3 (private exponent e_max, 3 stored
+ * mantissa bits), but FP4 compute units operate on E2M1. Equation 3 of the
+ * paper splits the BM into a sum of two E2M1-representable values:
+ *
+ *   BM   = (-1)^s * 2^emax * u_m[3:0]          (u_m = 1.m3m2m1, explicit 1)
+ *   BM_H = (-1)^s * 2^emax * u_m[3:2]          (= 2^emax * 1.m3)
+ *   BM_L = (-1)^s * 2^(emax-2) * u_m[1:0]      (= 2^emax * 0.0m2m1)
+ *
+ * so a dense MMA with BM replaced by BM_L plus a sparse MMA carrying only
+ * BM_H reproduces the exact MX+ product.
+ */
+
+#ifndef MXPLUS_MX_BM_DECOMPOSE_H
+#define MXPLUS_MX_BM_DECOMPOSE_H
+
+#include <cstdint>
+
+namespace mxplus {
+
+/** The two E2M1 halves of a decomposed MXFP4+ block-max element. */
+struct BmSplit
+{
+    uint32_t bm_h_code; ///< E2M1 code of the high part
+    uint32_t bm_l_code; ///< E2M1 code of the low part (possibly zero)
+    double bm_h;        ///< decoded high part
+    double bm_l;        ///< decoded low part
+};
+
+/**
+ * Decompose an MXFP4+ BM code (1 sign + 3 mantissa bits, implicit exponent
+ * e_max = 2) into its E2M1 halves per Eq. 3.
+ */
+BmSplit decomposeBm(uint32_t bm_code);
+
+/** Decompose by value: @p bm_scaled must be an MXFP4+ BM grid point. */
+BmSplit decomposeBmValue(double bm_scaled);
+
+} // namespace mxplus
+
+#endif // MXPLUS_MX_BM_DECOMPOSE_H

@@ -1,0 +1,124 @@
+#include "mx/nvfp4.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "formats/minifloat.h"
+#include "formats/scale.h"
+#include "mx/mx_quantizer.h"
+
+namespace mxplus {
+
+namespace {
+
+/** The NVFP4+ block-max codec: effective E2M3 with implicit exponent 2. */
+const ExtendedMantissa &
+nvBmCodec()
+{
+    static const ExtendedMantissa c(3, 2, "E0M3@e2");
+    return c;
+}
+
+} // namespace
+
+Nvfp4Quantizer::Nvfp4Quantizer(bool plus) : plus_(plus)
+{
+}
+
+Nvfp4Block
+Nvfp4Quantizer::encodeBlock(const float *in, int n) const
+{
+    MXPLUS_CHECK(n >= 1 && n <= kBlockSize);
+    Nvfp4Block block;
+    block.n = n;
+
+    const int bm = MxQuantizer::bmIndex(in, n);
+    const double amax = std::fabs(static_cast<double>(in[bm]));
+    if (amax == 0.0)
+        return block; // scale_code 0 == zero block
+
+    // The scale maps the BM as closely as possible onto the FP4 maximum.
+    const double scale = E4M3Scale::quantize(amax / 6.0);
+    if (scale == 0.0)
+        return block; // underflowed scale: block is ~0 anyway
+    block.scale_code = E4M3Scale::encode(amax / 6.0);
+
+    const auto &fp4 = Minifloat::e2m1();
+    for (int i = 0; i < n; ++i) {
+        MXPLUS_CHECK_MSG(std::isfinite(in[i]), "NVFP4 input must be finite");
+        block.codes[i] = fp4.encode(static_cast<double>(in[i]) / scale);
+    }
+
+    if (!plus_)
+        return block;
+
+    // NVFP4+ extension: replace the BM with the extended-mantissa encoding
+    // unless the scale is too small to guarantee the BM's exponent is
+    // e_max (paper: X_E4M3 <= 0b00000010), or the scaled BM actually falls
+    // below 2^e_max (belt-and-braces: quantized scales can overshoot).
+    block.bm_index = static_cast<uint8_t>(bm);
+    const double scaled_bm = std::fabs(static_cast<double>(in[bm])) / scale;
+    if (block.scale_code > kFallbackScaleCode && scaled_bm >= 4.0) {
+        block.bm_extended = true;
+        block.codes[bm] = nvBmCodec().encode(
+            static_cast<double>(in[bm]) / scale);
+    }
+    return block;
+}
+
+void
+Nvfp4Quantizer::decodeBlock(const Nvfp4Block &block, float *out, int n) const
+{
+    MXPLUS_CHECK(n == block.n);
+    if (block.scale_code == 0) {
+        std::fill(out, out + n, 0.0f);
+        return;
+    }
+    const double scale = E4M3Scale::decode(block.scale_code);
+    const auto &fp4 = Minifloat::e2m1();
+    for (int i = 0; i < n; ++i) {
+        double v;
+        if (block.bm_extended && i == block.bm_index)
+            v = nvBmCodec().decode(block.codes[i]) * scale;
+        else
+            v = fp4.decode(block.codes[i]) * scale;
+        out[i] = static_cast<float>(v);
+    }
+}
+
+void
+Nvfp4Quantizer::fakeQuantizeBlock(const float *in, float *out, int n) const
+{
+    const Nvfp4Block block = encodeBlock(in, n);
+    decodeBlock(block, out, n);
+}
+
+void
+Nvfp4Quantizer::fakeQuantize(const float *in, float *out, size_t n) const
+{
+    size_t i = 0;
+    while (i < n) {
+        const int len =
+            static_cast<int>(std::min<size_t>(kBlockSize, n - i));
+        fakeQuantizeBlock(in + i, out + i, len);
+        i += len;
+    }
+}
+
+void
+Nvfp4Quantizer::fakeQuantizeRows(const float *in, float *out, size_t rows,
+                                 size_t cols) const
+{
+    for (size_t r = 0; r < rows; ++r)
+        fakeQuantize(in + r * cols, out + r * cols, cols);
+}
+
+double
+Nvfp4Quantizer::avgBitsPerElement() const
+{
+    // 4-bit elements + 8-bit E4M3 scale per 16, + 4-bit BM index for plus.
+    return 4.0 + 8.0 / kBlockSize + (plus_ ? 4.0 / kBlockSize : 0.0);
+}
+
+} // namespace mxplus

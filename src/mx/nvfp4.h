@@ -1,0 +1,71 @@
+/**
+ * @file
+ * NVFP4 and NVFP4+ quantizers (Section 8.2 of the paper).
+ *
+ * NVFP4 resembles MXFP4 but uses a 16-element block and an E4M3 (full FP8,
+ * not power-of-two) scale factor computed as amax / 6.0. NVFP4+ applies the
+ * MX+ idea: the block-max element is stored with an extended mantissa
+ * (effective E2M3) because its private exponent equals e_max, except for
+ * blocks whose scale is so small that this guarantee breaks (scale code
+ * <= 0b00000010), which fall back to the plain NVFP4 encoding.
+ */
+
+#ifndef MXPLUS_MX_NVFP4_H
+#define MXPLUS_MX_NVFP4_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mxplus {
+
+/** Bit-level encoding of one NVFP4 / NVFP4+ block. */
+struct Nvfp4Block
+{
+    uint8_t scale_code = 0;   ///< E4M3 scale bits (0 == zero block)
+    uint8_t bm_index = 0;     ///< 4-bit BM index (NVFP4+ only)
+    bool bm_extended = false; ///< false when the block fell back to NVFP4
+    int n = 0;
+    std::array<uint32_t, 16> codes{};
+};
+
+/** NVFP4 family quantizer. */
+class Nvfp4Quantizer
+{
+  public:
+    static constexpr int kBlockSize = 16;
+
+    /** @param plus true for NVFP4+, false for plain NVFP4. */
+    explicit Nvfp4Quantizer(bool plus);
+
+    /** Quantize @p n contiguous values in blocks of 16. */
+    void fakeQuantize(const float *in, float *out, size_t n) const;
+
+    /** Quantize each row of a row-major [rows x cols] matrix. */
+    void fakeQuantizeRows(const float *in, float *out, size_t rows,
+                          size_t cols) const;
+
+    /** Quantize one block of @p n <= 16 values. */
+    void fakeQuantizeBlock(const float *in, float *out, int n) const;
+
+    /** Bit-exact encoding of one block. */
+    Nvfp4Block encodeBlock(const float *in, int n) const;
+
+    /** Decode a block produced by encodeBlock(). */
+    void decodeBlock(const Nvfp4Block &block, float *out, int n) const;
+
+    bool plus() const { return plus_; }
+    const char *name() const { return plus_ ? "NVFP4+" : "NVFP4"; }
+    /** Average bits per element including scale (and BM index for plus). */
+    double avgBitsPerElement() const;
+
+  private:
+    /** Scale code threshold below which NVFP4+ falls back to NVFP4. */
+    static constexpr uint8_t kFallbackScaleCode = 0x02;
+
+    bool plus_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_MX_NVFP4_H

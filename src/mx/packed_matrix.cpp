@@ -1,0 +1,57 @@
+#include "mx/packed_matrix.h"
+
+#include "common/check.h"
+
+namespace mxplus {
+
+PackedMatrix::PackedMatrix(const MxQuantizer &quantizer, const float *data,
+                           size_t rows, size_t cols)
+    : quantizer_(quantizer), rows_(rows), cols_(cols)
+{
+    const size_t bs = static_cast<size_t>(quantizer_.blockSize());
+    MXPLUS_CHECK_MSG(cols_ % bs == 0,
+                     "matrix cols must be a multiple of the block size");
+    blocks_per_row_ = cols_ / bs;
+    blocks_.reserve(rows_ * blocks_per_row_);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t b = 0; b < blocks_per_row_; ++b) {
+            blocks_.push_back(quantizer_.encodeBlock(
+                data + r * cols_ + b * bs, static_cast<int>(bs)));
+        }
+    }
+}
+
+const MxBlock &
+PackedMatrix::block(size_t r, size_t block_idx) const
+{
+    MXPLUS_CHECK(r < rows_ && block_idx < blocks_per_row_);
+    return blocks_[r * blocks_per_row_ + block_idx];
+}
+
+std::vector<float>
+PackedMatrix::dequantize() const
+{
+    std::vector<float> out(rows_ * cols_);
+    const size_t bs = static_cast<size_t>(quantizer_.blockSize());
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t b = 0; b < blocks_per_row_; ++b) {
+            quantizer_.decodeBlock(block(r, b),
+                                   out.data() + r * cols_ + b * bs,
+                                   static_cast<int>(bs));
+        }
+    }
+    return out;
+}
+
+double
+PackedMatrix::element(size_t r, size_t c) const
+{
+    MXPLUS_CHECK(r < rows_ && c < cols_);
+    const size_t bs = static_cast<size_t>(quantizer_.blockSize());
+    const size_t b = c / bs;
+    float tmp[kMxMaxBlockSize];
+    quantizer_.decodeBlock(block(r, b), tmp, static_cast<int>(bs));
+    return tmp[c % bs];
+}
+
+} // namespace mxplus

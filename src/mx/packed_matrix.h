@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Block-structured storage of a quantized matrix: the representation the
+ * GPU-side kernels (Section 5) and the dot-product-engine simulator
+ * (Section 6) operate on. Rows are split into MX blocks along the reduction
+ * dimension, exactly as both GEMM operands are blocked along K.
+ */
+
+#ifndef MXPLUS_MX_PACKED_MATRIX_H
+#define MXPLUS_MX_PACKED_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "mx/mx_quantizer.h"
+
+namespace mxplus {
+
+/**
+ * A [rows x cols] matrix stored as MX / MX+ / MX++ blocks along each row.
+ * @p cols must be a multiple of the quantizer's block size.
+ */
+class PackedMatrix
+{
+  public:
+    /** Quantize and pack row-major float data. */
+    PackedMatrix(const MxQuantizer &quantizer, const float *data,
+                 size_t rows, size_t cols);
+
+    /** Dequantize the whole matrix back to row-major floats. */
+    std::vector<float> dequantize() const;
+
+    /** Dequantized value of one element. */
+    double element(size_t r, size_t c) const;
+
+    const MxBlock &block(size_t r, size_t block_idx) const;
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t blocksPerRow() const { return blocks_per_row_; }
+    const MxQuantizer &quantizer() const { return quantizer_; }
+
+  private:
+    MxQuantizer quantizer_;
+    size_t rows_;
+    size_t cols_;
+    size_t blocks_per_row_;
+    std::vector<MxBlock> blocks_; ///< row-major [rows x blocks_per_row]
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_MX_PACKED_MATRIX_H

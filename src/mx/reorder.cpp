@@ -1,0 +1,133 @@
+#include "mx/reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+namespace {
+
+/** Global mean/stddev of a buffer. */
+void
+meanStddev(const float *data, size_t n, double &mean, double &stddev)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum += data[i];
+    mean = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = data[i] - mean;
+        var += d * d;
+    }
+    stddev = std::sqrt(var / static_cast<double>(n));
+}
+
+} // namespace
+
+std::vector<size_t>
+countChannelOutliers(const float *data, size_t rows, size_t cols)
+{
+    std::vector<size_t> counts(cols, 0);
+    double mean = 0.0;
+    double stddev = 0.0;
+    meanStddev(data, rows * cols, mean, stddev);
+    const double thresh = 3.0 * stddev;
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+            if (std::fabs(data[r * cols + c] - mean) > thresh)
+                ++counts[c];
+        }
+    }
+    return counts;
+}
+
+std::vector<size_t>
+buildReorderPermutation(const std::vector<size_t> &counts, size_t block_size)
+{
+    const size_t cols = counts.size();
+    MXPLUS_CHECK(cols >= 1 && block_size >= 1);
+
+    // Channels sorted by outlier count, most outliers first.
+    std::vector<size_t> sorted(cols);
+    std::iota(sorted.begin(), sorted.end(), 0);
+    std::stable_sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+        return counts[a] > counts[b];
+    });
+
+    const size_t n_blocks = (cols + block_size - 1) / block_size;
+    const size_t n_leaders = std::min(n_blocks, cols);
+
+    std::vector<size_t> perm(cols, SIZE_MAX);
+    // One leader (outlier-heavy channel) at the head of every block.
+    for (size_t b = 0; b < n_leaders; ++b)
+        perm[b * block_size] = sorted[b];
+
+    // Remaining channels: split the sorted remainder in half; the lower
+    // half (fewer outliers) fills the leftover slots in descending order
+    // first, then the upper half in the same manner (Section 8.3).
+    std::vector<size_t> rest(sorted.begin() + n_leaders, sorted.end());
+    const size_t half = rest.size() / 2;
+    std::vector<size_t> fill_order;
+    fill_order.reserve(rest.size());
+    for (size_t i = half; i < rest.size(); ++i)
+        fill_order.push_back(rest[i]); // lower half (fewer outliers)
+    for (size_t i = 0; i < half; ++i)
+        fill_order.push_back(rest[i]); // upper half
+
+    size_t next = 0;
+    for (size_t pos = 0; pos < cols; ++pos) {
+        if (perm[pos] == SIZE_MAX) {
+            MXPLUS_CHECK(next < fill_order.size());
+            perm[pos] = fill_order[next++];
+        }
+    }
+    return perm;
+}
+
+void
+applyColumnPermutation(const float *in, float *out, size_t rows, size_t cols,
+                       const std::vector<size_t> &perm)
+{
+    MXPLUS_CHECK(perm.size() == cols);
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c)
+            out[r * cols + c] = in[r * cols + perm[c]];
+    }
+}
+
+double
+multiOutlierBlockFraction(const float *data, size_t rows, size_t cols,
+                          size_t block_size)
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    meanStddev(data, rows * cols, mean, stddev);
+    const double thresh = 3.0 * stddev;
+
+    size_t blocks_with_outlier = 0;
+    size_t blocks_with_multi = 0;
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c0 = 0; c0 < cols; c0 += block_size) {
+            const size_t c1 = std::min(cols, c0 + block_size);
+            size_t n_out = 0;
+            for (size_t c = c0; c < c1; ++c) {
+                if (std::fabs(data[r * cols + c] - mean) > thresh)
+                    ++n_out;
+            }
+            if (n_out >= 1)
+                ++blocks_with_outlier;
+            if (n_out >= 2)
+                ++blocks_with_multi;
+        }
+    }
+    if (blocks_with_outlier == 0)
+        return 0.0;
+    return static_cast<double>(blocks_with_multi) /
+        static_cast<double>(blocks_with_outlier);
+}
+
+} // namespace mxplus

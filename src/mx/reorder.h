@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Channel reordering (Section 8.3): scatter outlier-heavy channels across
+ * MX blocks so more outliers become the block-max of their own block.
+ *
+ * The permutation is computed offline from per-channel outlier counts
+ * (3-sigma rule) measured on calibration activations: the channels with the
+ * most outliers are placed one per block, and the remaining channels are
+ * split into two sorted halves that fill the leftover slots in descending
+ * order. Applying the same permutation to both operands of a dot product
+ * (e.g. query and key) preserves mathematical correctness.
+ */
+
+#ifndef MXPLUS_MX_REORDER_H
+#define MXPLUS_MX_REORDER_H
+
+#include <cstddef>
+#include <vector>
+
+namespace mxplus {
+
+/**
+ * Count per-channel outliers with the 3-sigma rule.
+ *
+ * @param data row-major [rows x cols] activations; channels are columns
+ * @return one count per column
+ */
+std::vector<size_t> countChannelOutliers(const float *data, size_t rows,
+                                         size_t cols);
+
+/**
+ * Build the reordering permutation from outlier counts.
+ *
+ * @param counts     per-channel outlier counts
+ * @param block_size MX block size
+ * @return perm where perm[new_pos] = old_channel
+ */
+std::vector<size_t> buildReorderPermutation(
+    const std::vector<size_t> &counts, size_t block_size = 32);
+
+/** Permute the columns of a row-major [rows x cols] matrix. */
+void applyColumnPermutation(const float *in, float *out, size_t rows,
+                            size_t cols, const std::vector<size_t> &perm);
+
+/** Fraction of outlier-containing blocks holding more than one outlier. */
+double multiOutlierBlockFraction(const float *data, size_t rows,
+                                 size_t cols, size_t block_size = 32);
+
+} // namespace mxplus
+
+#endif // MXPLUS_MX_REORDER_H

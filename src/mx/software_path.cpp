@@ -1,0 +1,122 @@
+#include "mx/software_path.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "formats/scale.h"
+#include "mx/bm_decompose.h"
+
+namespace mxplus {
+
+namespace {
+
+/** Decode every element of a block into @p out (length block size). */
+void
+decodeInto(const PackedMatrix &m, size_t row, size_t blk, float *out)
+{
+    m.quantizer().decodeBlock(m.block(row, blk), out,
+                              m.quantizer().blockSize());
+}
+
+} // namespace
+
+std::vector<double>
+mxGemmReference(const PackedMatrix &a, const PackedMatrix &b)
+{
+    MXPLUS_CHECK(a.cols() == b.cols());
+    MXPLUS_CHECK(a.quantizer().blockSize() == b.quantizer().blockSize());
+    const size_t m = a.rows();
+    const size_t n = b.rows();
+    const size_t nblk = a.blocksPerRow();
+    const int bs = a.quantizer().blockSize();
+
+    std::vector<double> d(m * n, 0.0);
+    std::vector<float> arow(a.cols());
+    std::vector<float> brow(b.cols());
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t kb = 0; kb < nblk; ++kb)
+            decodeInto(a, i, kb, arow.data() + kb * bs);
+        for (size_t j = 0; j < n; ++j) {
+            for (size_t kb = 0; kb < nblk; ++kb)
+                decodeInto(b, j, kb, brow.data() + kb * bs);
+            double acc = 0.0;
+            for (size_t k = 0; k < a.cols(); ++k)
+                acc += static_cast<double>(arow[k]) * brow[k];
+            d[i * n + j] = acc;
+        }
+    }
+    return d;
+}
+
+std::vector<double>
+mxplusGemmTwoMma(const PackedMatrix &a, const PackedMatrix &b)
+{
+    MXPLUS_CHECK(a.cols() == b.cols());
+    MXPLUS_CHECK_MSG(a.quantizer().format() == ElementFormat::E2M1 &&
+                     a.quantizer().mode() == MxMode::Plus,
+                     "A must be MXFP4+");
+    MXPLUS_CHECK_MSG(b.quantizer().format() == ElementFormat::E2M1 &&
+                     b.quantizer().mode() == MxMode::Standard,
+                     "B must be MXFP4");
+
+    const size_t m = a.rows();
+    const size_t n = b.rows();
+    const size_t nblk = a.blocksPerRow();
+    const int bs = a.quantizer().blockSize();
+    const auto &fp4 = Minifloat::e2m1();
+
+    std::vector<double> d(m * n, 0.0);
+    // Per-block fragments: dense lane values (BM replaced by BM_L) and the
+    // sparse fragment holding only BM_H at the BM lane.
+    std::vector<double> dense(bs);
+    std::vector<float> brow(bs);
+
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t kb = 0; kb < nblk; ++kb) {
+            const MxBlock &ablk = a.block(i, kb);
+            double bm_h = 0.0;
+            int bm_lane = -1;
+            double a_scale = 0.0;
+
+            if (ablk.scale_code == E8M0::kZeroBlock) {
+                std::fill(dense.begin(), dense.end(), 0.0);
+            } else {
+                a_scale = E8M0::value(ablk.scale_code);
+                for (int k = 0; k < bs; ++k) {
+                    if (k == ablk.bm_index) {
+                        // ReplaceBM (Alg. 1 line 9) + MakeFragment (line 11).
+                        const BmSplit split = decomposeBm(ablk.codes[k]);
+                        dense[k] = split.bm_l;
+                        bm_h = split.bm_h;
+                        bm_lane = k;
+                    } else {
+                        dense[k] = fp4.decode(ablk.codes[k]);
+                    }
+                }
+            }
+
+            for (size_t j = 0; j < n; ++j) {
+                const MxBlock &bblk = b.block(j, kb);
+                const double b_scale = E8M0::value(bblk.scale_code);
+                b.quantizer().decodeBlock(bblk, brow.data(), bs);
+
+                if (ablk.scale_code == E8M0::kZeroBlock)
+                    continue;
+
+                // Dense MMA (Alg. 1 line 18): per-block dot product scaled
+                // by the two shared scales.
+                double acc = 0.0;
+                for (int k = 0; k < bs; ++k)
+                    acc += dense[k] * (brow[k] / b_scale);
+                // Sparse MMA for BM_H (Alg. 1 line 21).
+                if (bm_lane >= 0)
+                    acc += bm_h * (brow[bm_lane] / b_scale);
+                d[i * n + j] += acc * a_scale * b_scale;
+            }
+        }
+    }
+    return d;
+}
+
+} // namespace mxplus

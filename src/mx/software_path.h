@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CPU-functional model of the two GPU software-integration paths of
+ * Section 5, expressed over PackedMatrix operands:
+ *
+ *  1. mxGemmReference — dequantize-and-multiply, the ground truth that any
+ *     integration scheme must match (also models the "convert to BF16 then
+ *     MMA" Triton path of Section 5 / Table 4).
+ *  2. mxplusGemmTwoMma — Algorithm 1: replace each MXFP4+ BM with BM_L and
+ *     issue the dense MMA, then issue one extra (sparse) MMA whose A
+ *     fragment carries only the BM_H values. The result is bit-identical to
+ *     the reference when accumulating in double.
+ *
+ * A is an activation matrix in MXFP4+ (or MXFP4), B is a weight matrix in
+ * MXFP4, both blocked along the reduction dimension K; B is stored as
+ * [N x K] so rows of both operands align on K-blocks.
+ */
+
+#ifndef MXPLUS_MX_SOFTWARE_PATH_H
+#define MXPLUS_MX_SOFTWARE_PATH_H
+
+#include <vector>
+
+#include "mx/packed_matrix.h"
+
+namespace mxplus {
+
+/** D[M x N] = A[M x K] * B[N x K]^T via straight dequantization. */
+std::vector<double> mxGemmReference(const PackedMatrix &a,
+                                    const PackedMatrix &b);
+
+/**
+ * D[M x N] via Algorithm 1 (dense MMA with BM_L + sparse MMA with BM_H).
+ * Requires A to be MXFP4+ (E2M1, MxMode::Plus) and B MXFP4.
+ */
+std::vector<double> mxplusGemmTwoMma(const PackedMatrix &a,
+                                     const PackedMatrix &b);
+
+} // namespace mxplus
+
+#endif // MXPLUS_MX_SOFTWARE_PATH_H

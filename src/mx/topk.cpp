@@ -1,0 +1,79 @@
+#include "mx/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "formats/minifloat.h"
+#include "formats/scale.h"
+#include "mx/mx_quantizer.h"
+
+namespace mxplus {
+
+TopKQuantizer::TopKQuantizer(int k, int block_size)
+    : k_(k), block_size_(block_size)
+{
+    MXPLUS_CHECK(k_ >= 0 && k_ <= block_size_);
+    MXPLUS_CHECK(block_size_ >= 1 && block_size_ <= kMxMaxBlockSize);
+}
+
+void
+TopKQuantizer::fakeQuantizeBlock(const float *in, float *out, int n) const
+{
+    MXPLUS_CHECK(n >= 1 && n <= block_size_);
+
+    const int bm = MxQuantizer::bmIndex(in, n);
+    const double amax = std::fabs(static_cast<double>(in[bm]));
+    if (amax == 0.0) {
+        std::fill(out, out + n, 0.0f);
+        return;
+    }
+
+    // Both E2M1 and E2M3 have e_max = 2, so one Eq. 1 scale serves both.
+    const int emax = Minifloat::e2m1().emax();
+    const int shared_exp =
+        E8M0::clampExp(MxQuantizer::floorLog2(amax) - emax);
+    const double scale = pow2d(shared_exp);
+
+    // Rank elements by magnitude; the top k use the E2M3 grid.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return std::fabs(in[a]) > std::fabs(in[b]);
+    });
+    std::vector<bool> is_top(n, false);
+    for (int i = 0; i < std::min(k_, n); ++i)
+        is_top[order[i]] = true;
+
+    for (int i = 0; i < n; ++i) {
+        const double scaled = static_cast<double>(in[i]) / scale;
+        const auto &codec =
+            is_top[i] ? Minifloat::e2m3() : Minifloat::e2m1();
+        out[i] = static_cast<float>(codec.quantize(scaled) * scale);
+    }
+}
+
+void
+TopKQuantizer::fakeQuantize(const float *in, float *out, size_t n) const
+{
+    size_t i = 0;
+    while (i < n) {
+        const int len = static_cast<int>(
+            std::min<size_t>(block_size_, n - i));
+        fakeQuantizeBlock(in + i, out + i, len);
+        i += len;
+    }
+}
+
+void
+TopKQuantizer::fakeQuantizeRows(const float *in, float *out, size_t rows,
+                                size_t cols) const
+{
+    for (size_t r = 0; r < rows; ++r)
+        fakeQuantize(in + r * cols, out + r * cols, cols);
+}
+
+} // namespace mxplus

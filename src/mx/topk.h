@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Top-k mixed-precision block quantizer used by the paper's Section 8.3
+ * outlier analysis (Figure 14): the k largest-magnitude elements of each MX
+ * block are represented in MXFP6 (E2M3) while the rest stay in MXFP4
+ * (E2M1), all under the common Eq. 1 shared scale (both element types have
+ * e_max = 2, so the scale is identical).
+ */
+
+#ifndef MXPLUS_MX_TOPK_H
+#define MXPLUS_MX_TOPK_H
+
+#include <cstddef>
+
+namespace mxplus {
+
+/** Quantizer with the k largest magnitudes per block kept in E2M3. */
+class TopKQuantizer
+{
+  public:
+    /**
+     * @param k           how many elements per block get E2M3 precision
+     *                    (0 reproduces plain MXFP4)
+     * @param block_size  MX block size (32)
+     */
+    explicit TopKQuantizer(int k, int block_size = 32);
+
+    /** Quantize @p n contiguous values in blocks. */
+    void fakeQuantize(const float *in, float *out, size_t n) const;
+
+    /** Quantize each row of a row-major [rows x cols] matrix. */
+    void fakeQuantizeRows(const float *in, float *out, size_t rows,
+                          size_t cols) const;
+
+    /** Quantize one block of @p n values. */
+    void fakeQuantizeBlock(const float *in, float *out, int n) const;
+
+    int k() const { return k_; }
+    int blockSize() const { return block_size_; }
+
+  private:
+    int k_;
+    int block_size_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_MX_TOPK_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * GEMM kernels for the transformer substrate.
+ *
+ * The model-quality experiments follow the paper's emulation flow: tensors
+ * are fake-quantized (rounded to the target format) and the multiply itself
+ * runs in FP32 with FP32 accumulation (the paper uses BF16 MMA with FP32
+ * accumulate; on CPU we accumulate FP32 which is strictly tighter and does
+ * not change format orderings). The kernel is cache-blocked and OpenMP
+ * parallel so full-table sweeps finish in minutes.
+ */
+
+#ifndef MXPLUS_TENSOR_MATMUL_H
+#define MXPLUS_TENSOR_MATMUL_H
+
+#include "tensor/tensor.h"
+
+namespace mxplus {
+
+/**
+ * C[M x N] = A[M x K] * B[N x K]^T.
+ *
+ * B is stored row-per-output-channel ([N x K]) so both operands are
+ * contiguous along the reduction dimension — the layout every MX block
+ * quantizer in this library expects.
+ */
+void matmulNT(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** Convenience wrapper returning a fresh output matrix. */
+Matrix matmulNT(const Matrix &a, const Matrix &b);
+
+/** C[M x N] = A[M x K] * B[K x N] (row-major B). */
+void matmulNN(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** Convenience wrapper returning a fresh output matrix. */
+Matrix matmulNN(const Matrix &a, const Matrix &b);
+
+} // namespace mxplus
+
+#endif // MXPLUS_TENSOR_MATMUL_H

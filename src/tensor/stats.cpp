@@ -1,0 +1,143 @@
+#include "tensor/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+double
+mse(const float *ref, const float *test, size_t n)
+{
+    MXPLUS_CHECK(n > 0);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(ref[i]) - test[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(n);
+}
+
+double
+sqnrDb(const float *ref, const float *test, size_t n)
+{
+    MXPLUS_CHECK(n > 0);
+    double sig = 0.0;
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double r = ref[i];
+        const double d = r - static_cast<double>(test[i]);
+        sig += r * r;
+        err += d * d;
+    }
+    if (err == 0.0)
+        return 300.0; // effectively lossless
+    return 10.0 * std::log10(sig / err);
+}
+
+double
+cosineSimilarity(const float *a, const float *b, size_t n)
+{
+    MXPLUS_CHECK(n > 0);
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+        na += static_cast<double>(a[i]) * a[i];
+        nb += static_cast<double>(b[i]) * b[i];
+    }
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return dot / std::sqrt(na * nb);
+}
+
+BlockErrorBreakdown
+analyzeBlockError(const MxQuantizer &quantizer, const float *data, size_t n)
+{
+    const int bs = quantizer.blockSize();
+    BlockErrorBreakdown out;
+
+    std::vector<float> q(bs);
+    double total_sq = 0.0;
+    double largest_sq = 0.0;
+    double bm_sq = 0.0;
+
+    size_t i = 0;
+    while (i < n) {
+        const int len = static_cast<int>(
+            std::min<size_t>(bs, n - i));
+        quantizer.fakeQuantizeBlock(data + i, q.data(), len);
+
+        int bm = MxQuantizer::bmIndex(data + i, len);
+        double block_largest = 0.0;
+        for (int j = 0; j < len; ++j) {
+            const double d = static_cast<double>(data[i + j]) - q[j];
+            const double sq = d * d;
+            total_sq += sq;
+            block_largest = std::max(block_largest, sq);
+            if (j == bm)
+                bm_sq += sq;
+        }
+        largest_sq += block_largest;
+        ++out.n_blocks;
+        i += len;
+    }
+
+    out.total_mse = total_sq / static_cast<double>(n);
+    if (total_sq > 0.0) {
+        out.largest_error_share = largest_sq / total_sq;
+        out.bm_share = bm_sq / total_sq;
+    }
+    return out;
+}
+
+double
+outlierTopKCoverage(const float *data, size_t n, int k, int block_size)
+{
+    MXPLUS_CHECK(n > 0 && k >= 0);
+    // Global 3-sigma threshold, as in the paper's outlier analysis.
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        mean += data[i];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = data[i] - mean;
+        var += d * d;
+    }
+    const double thresh = 3.0 * std::sqrt(var / static_cast<double>(n));
+
+    size_t outliers = 0;
+    size_t covered = 0;
+    std::vector<int> order(block_size);
+    size_t i = 0;
+    while (i < n) {
+        const int len = static_cast<int>(
+            std::min<size_t>(block_size, n - i));
+        order.resize(len);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            return std::fabs(data[i + a]) > std::fabs(data[i + b]);
+        });
+        std::vector<bool> is_top(len, false);
+        for (int j = 0; j < std::min(k, len); ++j)
+            is_top[order[j]] = true;
+        for (int j = 0; j < len; ++j) {
+            if (std::fabs(data[i + j] - mean) > thresh) {
+                ++outliers;
+                if (is_top[j])
+                    ++covered;
+            }
+        }
+        i += len;
+    }
+    if (outliers == 0)
+        return 1.0;
+    return static_cast<double>(covered) / static_cast<double>(outliers);
+}
+
+} // namespace mxplus

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quantization-error statistics and the block analytics behind the paper's
+ * Section 3.2 analysis (Figure 5: how much of the MSE the block-max element
+ * is responsible for).
+ */
+
+#ifndef MXPLUS_TENSOR_STATS_H
+#define MXPLUS_TENSOR_STATS_H
+
+#include <cstddef>
+
+#include "mx/mx_quantizer.h"
+
+namespace mxplus {
+
+/** Mean squared error between two buffers. */
+double mse(const float *ref, const float *test, size_t n);
+
+/** Signal-to-quantization-noise ratio in dB (10*log10(P_sig / P_err)). */
+double sqnrDb(const float *ref, const float *test, size_t n);
+
+/** Cosine similarity between two buffers. */
+double cosineSimilarity(const float *a, const float *b, size_t n);
+
+/** Breakdown of where the quantization error of an MX tensor comes from. */
+struct BlockErrorBreakdown
+{
+    double total_mse = 0.0;
+    /** MSE share (0..1) of the element with the largest error per block. */
+    double largest_error_share = 0.0;
+    /** MSE share (0..1) of the block-max (BM) element per block. */
+    double bm_share = 0.0;
+    size_t n_blocks = 0;
+};
+
+/**
+ * Quantize @p data with @p quantizer block-by-block and attribute the
+ * squared error to (a) the element with the largest error in each block and
+ * (b) the BM element of each block — the Figure 5 experiment.
+ */
+BlockErrorBreakdown analyzeBlockError(const MxQuantizer &quantizer,
+                                      const float *data, size_t n);
+
+/**
+ * Fraction of elements flagged as outliers by the 3-sigma rule that land in
+ * the top-k magnitude positions of their block (Figure 14's "% of outliers
+ * in MXFP6" metric).
+ */
+double outlierTopKCoverage(const float *data, size_t n, int k,
+                           int block_size = 32);
+
+} // namespace mxplus
+
+#endif // MXPLUS_TENSOR_STATS_H

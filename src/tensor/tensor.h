@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal row-major dense tensor used throughout the library.
+ *
+ * This is intentionally small: contiguous float storage with shape
+ * bookkeeping for up to 3 dimensions, plus the handful of linear-algebra
+ * operations the transformer substrate needs. Heavy lifting (GEMM) lives in
+ * matmul.h so it can be optimized independently.
+ */
+
+#ifndef MXPLUS_TENSOR_TENSOR_H
+#define MXPLUS_TENSOR_TENSOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+/** Row-major float matrix (the 2-D workhorse type). */
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    Matrix(size_t rows, size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    Matrix(size_t rows, size_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        MXPLUS_CHECK(data_.size() == rows_ * cols_);
+    }
+
+    float &at(size_t r, size_t c)
+    {
+        MXPLUS_CHECK(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float at(size_t r, size_t c) const
+    {
+        MXPLUS_CHECK(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float *row(size_t r) { return data_.data() + r * cols_; }
+    const float *row(size_t r) const { return data_.data() + r * cols_; }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+  private:
+    size_t rows_;
+    size_t cols_;
+    std::vector<float> data_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_TENSOR_TENSOR_H

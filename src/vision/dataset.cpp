@@ -1,0 +1,82 @@
+#include "vision/dataset.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mxplus {
+
+namespace {
+
+/** Smooth random template: a sum of a few random 2-D cosine waves. */
+std::vector<float>
+makeTemplate(Rng &rng, size_t side)
+{
+    std::vector<float> tpl(side * side, 0.0f);
+    for (int wave = 0; wave < 4; ++wave) {
+        const double fx = rng.uniform(0.5, 2.5);
+        const double fy = rng.uniform(0.5, 2.5);
+        const double phase = rng.uniform(0.0, 2.0 * M_PI);
+        const double amp = rng.uniform(0.4, 1.0);
+        for (size_t y = 0; y < side; ++y) {
+            for (size_t x = 0; x < side; ++x) {
+                tpl[y * side + x] += static_cast<float>(
+                    amp * std::cos(2.0 * M_PI *
+                                   (fx * x + fy * y) /
+                                   static_cast<double>(side) + phase));
+            }
+        }
+    }
+    return tpl;
+}
+
+void
+fillSplit(ImageDataset &ds, const std::vector<std::vector<float>> &tpls,
+          size_t n, Rng &rng)
+{
+    const size_t side = ds.side;
+    ds.images = Matrix(n, side * side);
+    ds.labels.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t cls = rng.uniformInt(ds.n_classes);
+        ds.labels[i] = static_cast<int>(cls);
+        const auto &tpl = tpls[cls];
+        const size_t dx = rng.uniformInt(3);
+        const size_t dy = rng.uniformInt(3);
+        const float contrast =
+            static_cast<float>(rng.uniform(0.8, 1.2));
+        const float bright =
+            static_cast<float>(rng.gaussian(0.0, 0.1));
+        for (size_t y = 0; y < side; ++y) {
+            for (size_t x = 0; x < side; ++x) {
+                const size_t sy = (y + dy) % side;
+                const size_t sx = (x + dx) % side;
+                const float noise =
+                    static_cast<float>(rng.gaussian(0.0, 1.1));
+                ds.images.at(i, y * side + x) =
+                    contrast * tpl[sy * side + sx] + bright + noise;
+            }
+        }
+    }
+}
+
+} // namespace
+
+VisionData
+makeVisionData(size_t n_train, size_t n_test, uint64_t seed, size_t side,
+               size_t n_classes)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> tpls;
+    for (size_t c = 0; c < n_classes; ++c)
+        tpls.push_back(makeTemplate(rng, side));
+
+    VisionData data;
+    data.train.side = data.test.side = side;
+    data.train.n_classes = data.test.n_classes = n_classes;
+    fillSplit(data.train, tpls, n_train, rng);
+    fillSplit(data.test, tpls, n_test, rng);
+    return data;
+}
+
+} // namespace mxplus

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic image-classification dataset (the ImageNet substitute for
+ * Table 9). Each class is a smooth random template; samples are the
+ * template plus Gaussian noise, a random brightness/contrast jitter and a
+ * small cyclic shift, so the task is learnable but not trivial.
+ */
+
+#ifndef MXPLUS_VISION_DATASET_H
+#define MXPLUS_VISION_DATASET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mxplus {
+
+/** A labeled image set; images are flattened side*side grayscale rows. */
+struct ImageDataset
+{
+    size_t side = 12;
+    size_t n_classes = 10;
+    Matrix images; ///< [n x side*side]
+    std::vector<int> labels;
+};
+
+/** Deterministically generate train/test splits from one seed. */
+struct VisionData
+{
+    ImageDataset train;
+    ImageDataset test;
+};
+
+VisionData makeVisionData(size_t n_train, size_t n_test, uint64_t seed,
+                          size_t side = 12, size_t n_classes = 10);
+
+} // namespace mxplus
+
+#endif // MXPLUS_VISION_DATASET_H

@@ -1,0 +1,114 @@
+#include "vision/experiment.h"
+
+#include <numeric>
+
+#include "baselines/format_quantizers.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mxplus {
+
+namespace {
+
+/** One epoch of shuffled mini-batch training. */
+double
+runEpoch(VisionModel &model, const ImageDataset &train, size_t batch,
+         float lr, const TensorQuantizer *quant, Rng &rng)
+{
+    const size_t n = train.images.rows();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    // Fisher-Yates shuffle with the experiment RNG.
+    for (size_t i = n - 1; i > 0; --i) {
+        const size_t j = rng.uniformInt(i + 1);
+        std::swap(order[i], order[j]);
+    }
+
+    double loss = 0.0;
+    size_t steps = 0;
+    for (size_t start = 0; start + batch <= n; start += batch) {
+        Matrix xb(batch, train.images.cols());
+        std::vector<int> yb(batch);
+        for (size_t i = 0; i < batch; ++i) {
+            const size_t src = order[start + i];
+            std::copy(train.images.row(src),
+                      train.images.row(src) + train.images.cols(),
+                      xb.row(i));
+            yb[i] = train.labels[src];
+        }
+        loss += model.trainStep(xb, yb, lr, quant);
+        ++steps;
+    }
+    return steps ? loss / static_cast<double>(steps) : 0.0;
+}
+
+std::unique_ptr<VisionModel>
+buildModel(const std::string &family, const ImageDataset &ds,
+           uint64_t seed)
+{
+    if (family == "cnn")
+        return makeTinyCnn(ds.side, ds.n_classes, seed);
+    if (family == "patch")
+        return makeTinyPatchNet(ds.side, ds.n_classes, seed);
+    fatal("unknown vision model family: " + family);
+}
+
+} // namespace
+
+void
+trainFp32(VisionModel &model, const ImageDataset &train,
+          const VisionTrainSpec &spec, uint64_t seed)
+{
+    Rng rng(seed);
+    for (size_t e = 0; e < spec.epochs; ++e)
+        runEpoch(model, train, spec.batch, spec.lr, nullptr, rng);
+}
+
+void
+finetuneQuantAware(VisionModel &model, const ImageDataset &train,
+                   const VisionTrainSpec &spec,
+                   const TensorQuantizer &quant, uint64_t seed)
+{
+    Rng rng(seed ^ 0xF17E0000ull);
+    for (size_t e = 0; e < spec.finetune_epochs; ++e) {
+        runEpoch(model, train, spec.batch, spec.finetune_lr, &quant,
+                 rng);
+    }
+}
+
+std::vector<VisionResult>
+runVisionExperiment(const std::string &family,
+                    const std::vector<std::string> &formats,
+                    const VisionData &data, const VisionTrainSpec &spec,
+                    uint64_t seed)
+{
+    std::vector<VisionResult> results;
+    // FP32 reference training (once).
+    auto fp32_model = buildModel(family, data.train, seed);
+    trainFp32(*fp32_model, data.train, spec, seed + 7);
+    const double fp32_acc =
+        fp32_model->accuracy(data.test.images, data.test.labels, nullptr);
+
+    for (const auto &fmt : formats) {
+        VisionResult r;
+        r.model = family;
+        r.format = fmt;
+        r.fp32_acc = fp32_acc;
+        const auto quant = makeQuantizerByName(fmt);
+        r.direct_cast_acc = fp32_model->accuracy(
+            data.test.images, data.test.labels, quant.get());
+
+        // QA fine-tuning: rebuild + retrain FP32 (same seeds, so same
+        // starting point), then fine-tune with the quantized forward.
+        auto ft_model = buildModel(family, data.train, seed);
+        trainFp32(*ft_model, data.train, spec, seed + 7);
+        finetuneQuantAware(*ft_model, data.train, spec, *quant,
+                           seed + 13);
+        r.qa_finetune_acc = ft_model->accuracy(
+            data.test.images, data.test.labels, quant.get());
+        results.push_back(r);
+    }
+    return results;
+}
+
+} // namespace mxplus

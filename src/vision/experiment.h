@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Table 9 experiment driver: train a vision model in FP32, then
+ * measure top-1 accuracy under (a) direct-cast quantized inference and
+ * (b) quantization-aware fine-tuning.
+ */
+
+#ifndef MXPLUS_VISION_EXPERIMENT_H
+#define MXPLUS_VISION_EXPERIMENT_H
+
+#include <string>
+#include <vector>
+
+#include "vision/dataset.h"
+#include "vision/net.h"
+
+namespace mxplus {
+
+/** Accuracy results for one model family and one format. */
+struct VisionResult
+{
+    std::string model;
+    std::string format;
+    double fp32_acc = 0.0;
+    double direct_cast_acc = 0.0;
+    double qa_finetune_acc = 0.0;
+};
+
+/** Training hyperparameters. */
+struct VisionTrainSpec
+{
+    size_t epochs = 20;
+    size_t batch = 64;
+    float lr = 3e-3f;
+    size_t finetune_epochs = 6;
+    float finetune_lr = 5e-4f;
+};
+
+/** Train in FP32 (mini-batch SGD over the whole train set per epoch). */
+void trainFp32(VisionModel &model, const ImageDataset &train,
+               const VisionTrainSpec &spec, uint64_t seed);
+
+/** Fine-tune with fake-quantized forward (straight-through backward). */
+void finetuneQuantAware(VisionModel &model, const ImageDataset &train,
+                        const VisionTrainSpec &spec,
+                        const TensorQuantizer &quant, uint64_t seed);
+
+/**
+ * Run the full Table 9 protocol for one model family ("cnn" or "patch")
+ * and a list of format names; FP32 training happens once, each format is
+ * then direct-cast evaluated and QA-fine-tuned from the FP32 weights.
+ * NOTE: fine-tuning mutates a fresh copy per format (models are rebuilt
+ * and retrained), keeping runs independent.
+ */
+std::vector<VisionResult> runVisionExperiment(
+    const std::string &family, const std::vector<std::string> &formats,
+    const VisionData &data, const VisionTrainSpec &spec, uint64_t seed);
+
+} // namespace mxplus
+
+#endif // MXPLUS_VISION_EXPERIMENT_H

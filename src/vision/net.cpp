@@ -1,0 +1,386 @@
+#include "vision/net.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "model/layers.h"
+#include "tensor/matmul.h"
+
+namespace mxplus {
+
+namespace {
+
+void
+adamUpdate(Matrix &param, const Matrix &grad, AdamState &state, float lr)
+{
+    constexpr float kBeta1 = 0.9f;
+    constexpr float kBeta2 = 0.999f;
+    constexpr float kEps = 1e-8f;
+    if (state.m.empty()) {
+        state.m = Matrix(param.rows(), param.cols());
+        state.v = Matrix(param.rows(), param.cols());
+    }
+    ++state.t;
+    const float bc1 =
+        1.0f - std::pow(kBeta1, static_cast<float>(state.t));
+    const float bc2 =
+        1.0f - std::pow(kBeta2, static_cast<float>(state.t));
+    for (size_t i = 0; i < param.size(); ++i) {
+        const float g = grad.data()[i];
+        float &m = state.m.data()[i];
+        float &v = state.v.data()[i];
+        m = kBeta1 * m + (1.0f - kBeta1) * g;
+        v = kBeta2 * v + (1.0f - kBeta2) * g * g;
+        param.data()[i] -=
+            lr * (m / bc1) / (std::sqrt(v / bc2) + kEps);
+    }
+}
+
+} // namespace
+
+DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, uint64_t seed,
+                       std::string name)
+    : w_(out_dim, in_dim), b_(out_dim, 0.0f), name_(std::move(name))
+{
+    Rng rng(seed);
+    const double stddev = std::sqrt(2.0 / static_cast<double>(in_dim));
+    for (size_t i = 0; i < w_.size(); ++i)
+        w_.data()[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+Matrix
+DenseLayer::forward(const Matrix &x, const TensorQuantizer *quant)
+{
+    x_cache_ = x;
+    Matrix out;
+    if (quant) {
+        // Fake-quantize both GEMM operands (straight-through estimator:
+        // backward uses the unquantized cache).
+        const Matrix xq = quant->quantized(x);
+        const Matrix wq = quant->quantized(w_);
+        out = matmulNT(xq, wq);
+    } else {
+        out = matmulNT(x, w_);
+    }
+    for (size_t r = 0; r < out.rows(); ++r) {
+        for (size_t c = 0; c < out.cols(); ++c)
+            out.at(r, c) += b_[c];
+    }
+    return out;
+}
+
+Matrix
+DenseLayer::backward(const Matrix &grad)
+{
+    MXPLUS_CHECK(grad.rows() == x_cache_.rows() &&
+                 grad.cols() == w_.rows());
+    // dW[n,k] = sum_b grad[b,n] * x[b,k]; dx[b,k] = sum_n grad[b,n] W[n,k].
+    w_grad_ = Matrix(w_.rows(), w_.cols());
+    for (size_t b = 0; b < grad.rows(); ++b) {
+        const float *grow = grad.row(b);
+        const float *xrow = x_cache_.row(b);
+        for (size_t n = 0; n < w_.rows(); ++n) {
+            const float g = grow[n];
+            if (g == 0.0f)
+                continue;
+            float *wrow = w_grad_.row(n);
+            for (size_t k = 0; k < w_.cols(); ++k)
+                wrow[k] += g * xrow[k];
+        }
+    }
+    b_grad_.assign(b_.size(), 0.0f);
+    for (size_t b = 0; b < grad.rows(); ++b) {
+        for (size_t n = 0; n < b_.size(); ++n)
+            b_grad_[n] += grad.at(b, n);
+    }
+    return matmulNN(grad, w_);
+}
+
+void
+DenseLayer::step(float lr)
+{
+    adamUpdate(w_, w_grad_, adam_w_, lr);
+    // Bias Adam.
+    constexpr float kBeta1 = 0.9f;
+    constexpr float kBeta2 = 0.999f;
+    constexpr float kEps = 1e-8f;
+    if (adam_bm_.empty()) {
+        adam_bm_.assign(b_.size(), 0.0f);
+        adam_bv_.assign(b_.size(), 0.0f);
+    }
+    ++adam_bt_;
+    const float bc1 =
+        1.0f - std::pow(kBeta1, static_cast<float>(adam_bt_));
+    const float bc2 =
+        1.0f - std::pow(kBeta2, static_cast<float>(adam_bt_));
+    for (size_t i = 0; i < b_.size(); ++i) {
+        const float g = b_grad_[i];
+        adam_bm_[i] = kBeta1 * adam_bm_[i] + (1.0f - kBeta1) * g;
+        adam_bv_[i] = kBeta2 * adam_bv_[i] + (1.0f - kBeta2) * g * g;
+        b_[i] -= lr * (adam_bm_[i] / bc1) /
+            (std::sqrt(adam_bv_[i] / bc2) + kEps);
+    }
+}
+
+ConvLayer::ConvLayer(size_t side, size_t in_ch, size_t out_ch,
+                     size_t ksize, size_t stride, uint64_t seed,
+                     std::string name)
+    : side_(side), in_ch_(in_ch), out_ch_(out_ch), ksize_(ksize),
+      stride_(stride),
+      out_side_((side - ksize) / stride + 1),
+      dense_(ksize * ksize * in_ch, out_ch, seed, name + ".kernel"),
+      name_(std::move(name))
+{
+    MXPLUS_CHECK(side_ >= ksize_ && stride_ >= 1);
+}
+
+Matrix
+ConvLayer::im2col(const Matrix &x) const
+{
+    const size_t n_pos = out_side_ * out_side_;
+    const size_t patch = ksize_ * ksize_ * in_ch_;
+    Matrix cols(x.rows() * n_pos, patch);
+    for (size_t b = 0; b < x.rows(); ++b) {
+        const float *img = x.row(b);
+        for (size_t py = 0; py < out_side_; ++py) {
+            for (size_t px = 0; px < out_side_; ++px) {
+                float *dst =
+                    cols.row(b * n_pos + py * out_side_ + px);
+                size_t di = 0;
+                for (size_t ky = 0; ky < ksize_; ++ky) {
+                    for (size_t kx = 0; kx < ksize_; ++kx) {
+                        const size_t y = py * stride_ + ky;
+                        const size_t xx = px * stride_ + kx;
+                        for (size_t c = 0; c < in_ch_; ++c) {
+                            dst[di++] = img[(y * side_ + xx) *
+                                            in_ch_ + c];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Matrix
+ConvLayer::forward(const Matrix &x, const TensorQuantizer *quant)
+{
+    MXPLUS_CHECK(x.cols() == side_ * side_ * in_ch_);
+    batch_cache_ = x.rows();
+    const Matrix cols = im2col(x);
+    const Matrix out_cols = dense_.forward(cols, quant);
+    // Reshape [batch*n_pos x out_ch] -> [batch x n_pos*out_ch].
+    const size_t n_pos = out_side_ * out_side_;
+    Matrix out(x.rows(), n_pos * out_ch_);
+    for (size_t b = 0; b < x.rows(); ++b) {
+        for (size_t p = 0; p < n_pos; ++p) {
+            for (size_t c = 0; c < out_ch_; ++c)
+                out.at(b, p * out_ch_ + c) =
+                    out_cols.at(b * n_pos + p, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+ConvLayer::backward(const Matrix &grad)
+{
+    const size_t n_pos = out_side_ * out_side_;
+    Matrix grad_cols(batch_cache_ * n_pos, out_ch_);
+    for (size_t b = 0; b < batch_cache_; ++b) {
+        for (size_t p = 0; p < n_pos; ++p) {
+            for (size_t c = 0; c < out_ch_; ++c)
+                grad_cols.at(b * n_pos + p, c) =
+                    grad.at(b, p * out_ch_ + c);
+        }
+    }
+    const Matrix dcols = dense_.backward(grad_cols);
+    // col2im: scatter-add patch gradients back to input pixels.
+    Matrix dx(batch_cache_, side_ * side_ * in_ch_);
+    for (size_t b = 0; b < batch_cache_; ++b) {
+        for (size_t py = 0; py < out_side_; ++py) {
+            for (size_t px = 0; px < out_side_; ++px) {
+                const float *src =
+                    dcols.row(b * n_pos + py * out_side_ + px);
+                size_t si = 0;
+                for (size_t ky = 0; ky < ksize_; ++ky) {
+                    for (size_t kx = 0; kx < ksize_; ++kx) {
+                        const size_t y = py * stride_ + ky;
+                        const size_t xx = px * stride_ + kx;
+                        for (size_t c = 0; c < in_ch_; ++c) {
+                            dx.at(b, (y * side_ + xx) * in_ch_ + c) +=
+                                src[si++];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+void
+ConvLayer::step(float lr)
+{
+    dense_.step(lr);
+}
+
+ScaleLayer::ScaleLayer(size_t dim, double outlier_gain, size_t n_outliers,
+                       uint64_t seed, std::string name)
+    : gains_(dim, 1.0f), name_(std::move(name))
+{
+    Rng rng(seed);
+    for (auto &g : gains_)
+        g = static_cast<float>(rng.lognormal(0.0, 0.3));
+    for (size_t i = 0; i < n_outliers; ++i) {
+        gains_[rng.uniformInt(dim)] =
+            static_cast<float>(outlier_gain * rng.lognormal(0.0, 0.3));
+    }
+}
+
+Matrix
+ScaleLayer::forward(const Matrix &x, const TensorQuantizer *)
+{
+    Matrix out(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+        for (size_t c = 0; c < x.cols(); ++c)
+            out.at(r, c) = x.at(r, c) * gains_[c % gains_.size()];
+    }
+    return out;
+}
+
+Matrix
+ScaleLayer::backward(const Matrix &grad)
+{
+    Matrix out(grad.rows(), grad.cols());
+    for (size_t r = 0; r < grad.rows(); ++r) {
+        for (size_t c = 0; c < grad.cols(); ++c)
+            out.at(r, c) = grad.at(r, c) * gains_[c % gains_.size()];
+    }
+    return out;
+}
+
+Matrix
+ReluLayer::forward(const Matrix &x, const TensorQuantizer *)
+{
+    x_cache_ = x;
+    Matrix out(x.rows(), x.cols());
+    for (size_t i = 0; i < x.size(); ++i)
+        out.data()[i] = x.data()[i] > 0.0f ? x.data()[i] : 0.0f;
+    return out;
+}
+
+Matrix
+ReluLayer::backward(const Matrix &grad)
+{
+    Matrix out(grad.rows(), grad.cols());
+    for (size_t i = 0; i < grad.size(); ++i)
+        out.data()[i] =
+            x_cache_.data()[i] > 0.0f ? grad.data()[i] : 0.0f;
+    return out;
+}
+
+Matrix
+VisionModel::forward(const Matrix &x, const TensorQuantizer *quant)
+{
+    Matrix h = x;
+    for (auto &layer : layers_)
+        h = layer->forward(h, quant);
+    return h;
+}
+
+double
+VisionModel::trainStep(const Matrix &x, const std::vector<int> &labels,
+                       float lr, const TensorQuantizer *quant)
+{
+    MXPLUS_CHECK(labels.size() == x.rows());
+    Matrix logits = forward(x, quant);
+    const size_t n_classes = logits.cols();
+    const size_t batch = logits.rows();
+
+    // Softmax cross-entropy and its gradient.
+    double loss = 0.0;
+    Matrix grad(batch, n_classes);
+    for (size_t b = 0; b < batch; ++b) {
+        const auto lsm = logSoftmax(logits.row(b), n_classes);
+        loss -= lsm[static_cast<size_t>(labels[b])];
+        for (size_t c = 0; c < n_classes; ++c) {
+            const double p = std::exp(lsm[c]);
+            grad.at(b, c) = static_cast<float>(
+                (p - (static_cast<int>(c) == labels[b] ? 1.0 : 0.0)) /
+                static_cast<double>(batch));
+        }
+    }
+
+    Matrix g = grad;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    for (auto &layer : layers_)
+        layer->step(lr);
+    return loss / static_cast<double>(batch);
+}
+
+double
+VisionModel::accuracy(const Matrix &x, const std::vector<int> &labels,
+                      const TensorQuantizer *quant)
+{
+    Matrix logits = forward(x, quant);
+    size_t correct = 0;
+    for (size_t b = 0; b < logits.rows(); ++b) {
+        size_t best = 0;
+        for (size_t c = 1; c < logits.cols(); ++c) {
+            if (logits.at(b, c) > logits.at(b, best))
+                best = c;
+        }
+        if (static_cast<int>(best) == labels[b])
+            ++correct;
+    }
+    return 100.0 * static_cast<double>(correct) /
+        static_cast<double>(logits.rows());
+}
+
+std::unique_ptr<VisionModel>
+makeTinyCnn(size_t side, size_t n_classes, uint64_t seed)
+{
+    auto model = std::make_unique<VisionModel>();
+    auto conv1 = std::make_unique<ConvLayer>(side, 1, 16, 3, 2, seed + 1,
+                                             "conv1");
+    const size_t s1 = conv1->outSide();
+    model->add(std::move(conv1));
+    model->add(std::make_unique<ScaleLayer>(16, 14.0, 2, seed + 2,
+                                            "outlier_scale"));
+    model->add(std::make_unique<ReluLayer>("relu1"));
+    auto conv2 = std::make_unique<ConvLayer>(s1, 16, 32, 3, 2, seed + 3,
+                                             "conv2");
+    const size_t out_dim = conv2->outDim();
+    model->add(std::move(conv2));
+    model->add(std::make_unique<ReluLayer>("relu2"));
+    model->add(std::make_unique<DenseLayer>(out_dim, n_classes, seed + 4,
+                                            "fc"));
+    return model;
+}
+
+std::unique_ptr<VisionModel>
+makeTinyPatchNet(size_t side, size_t n_classes, uint64_t seed)
+{
+    auto model = std::make_unique<VisionModel>();
+    auto embed = std::make_unique<ConvLayer>(side, 1, 32, 4, 4, seed + 1,
+                                             "patch_embed");
+    const size_t tokens_dim = embed->outDim();
+    model->add(std::move(embed));
+    model->add(std::make_unique<ScaleLayer>(32, 14.0, 2, seed + 2,
+                                            "outlier_scale"));
+    model->add(std::make_unique<ReluLayer>("relu1"));
+    model->add(std::make_unique<DenseLayer>(tokens_dim, 96, seed + 3,
+                                            "mix1"));
+    model->add(std::make_unique<ReluLayer>("relu2"));
+    model->add(std::make_unique<DenseLayer>(96, 96, seed + 4, "mix2"));
+    model->add(std::make_unique<ReluLayer>("relu3"));
+    model->add(std::make_unique<DenseLayer>(96, n_classes, seed + 5,
+                                            "fc"));
+    return model;
+}
+
+} // namespace mxplus

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * A compact neural-network toolkit with manual backpropagation, used for
+ * the Table 9 vision experiments (direct-cast vs quantization-aware
+ * fine-tuning). Supports dense layers, 3x3 strided convolutions (via
+ * im2col, so both layer types reduce to GEMMs whose operands can be
+ * fake-quantized), ReLU, softmax cross-entropy, and Adam.
+ *
+ * Quantization-aware training uses the straight-through estimator: the
+ * forward pass sees fake-quantized operands, gradients flow as if the
+ * quantizer were the identity.
+ */
+
+#ifndef MXPLUS_VISION_NET_H
+#define MXPLUS_VISION_NET_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/quantizer_iface.h"
+#include "tensor/tensor.h"
+
+namespace mxplus {
+
+/** Adam state for one parameter matrix. */
+struct AdamState
+{
+    Matrix m;
+    Matrix v;
+    int t = 0;
+};
+
+/** Base layer interface. */
+class VisionLayer
+{
+  public:
+    virtual ~VisionLayer() = default;
+
+    /**
+     * @param x     input [batch x in_dim]
+     * @param quant optional operand quantizer (nullptr = FP32)
+     */
+    virtual Matrix forward(const Matrix &x, const TensorQuantizer *quant) = 0;
+
+    /** @param grad dL/dout; returns dL/dx and accumulates weight grads. */
+    virtual Matrix backward(const Matrix &grad) = 0;
+
+    /** Adam update with the given learning rate. */
+    virtual void step(float lr) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Fully connected layer (weights [out x in], bias [out]). */
+class DenseLayer final : public VisionLayer
+{
+  public:
+    DenseLayer(size_t in_dim, size_t out_dim, uint64_t seed,
+               std::string name);
+
+    Matrix forward(const Matrix &x, const TensorQuantizer *quant) override;
+    Matrix backward(const Matrix &grad) override;
+    void step(float lr) override;
+    std::string name() const override { return name_; }
+
+    Matrix &weights() { return w_; }
+
+  private:
+    Matrix w_;
+    std::vector<float> b_;
+    Matrix x_cache_;
+    Matrix w_grad_;
+    std::vector<float> b_grad_;
+    AdamState adam_w_;
+    std::vector<float> adam_bm_, adam_bv_;
+    int adam_bt_ = 0;
+    std::string name_;
+};
+
+/**
+ * k x k convolution with a given stride (im2col + dense). Inputs are
+ * [batch x side*side*in_ch] with channel-minor layout. k = stride turns
+ * this into a ViT-style patch embedding.
+ */
+class ConvLayer final : public VisionLayer
+{
+  public:
+    ConvLayer(size_t side, size_t in_ch, size_t out_ch, size_t ksize,
+              size_t stride, uint64_t seed, std::string name);
+
+    Matrix forward(const Matrix &x, const TensorQuantizer *quant) override;
+    Matrix backward(const Matrix &grad) override;
+    void step(float lr) override;
+    std::string name() const override { return name_; }
+
+    size_t outSide() const { return out_side_; }
+    size_t outDim() const { return out_side_ * out_side_ * out_ch_; }
+
+  private:
+    Matrix im2col(const Matrix &x) const;
+
+    size_t side_;
+    size_t in_ch_;
+    size_t out_ch_;
+    size_t ksize_;
+    size_t stride_;
+    size_t out_side_;
+    DenseLayer dense_; ///< [out_ch x k*k*in_ch] applied per patch
+    size_t batch_cache_ = 0;
+    std::string name_;
+};
+
+/**
+ * Fixed (non-trainable) per-dimension scaling with a few outlier-sized
+ * gains: injects the channel-concentrated activation outliers the paper
+ * observes in DeiT/ResNet models (Section 8.2).
+ */
+class ScaleLayer final : public VisionLayer
+{
+  public:
+    ScaleLayer(size_t dim, double outlier_gain, size_t n_outliers,
+               uint64_t seed, std::string name);
+
+    Matrix forward(const Matrix &x, const TensorQuantizer *quant) override;
+    Matrix backward(const Matrix &grad) override;
+    void step(float) override {}
+    std::string name() const override { return name_; }
+
+  private:
+    std::vector<float> gains_;
+    std::string name_;
+};
+
+/** ReLU activation. */
+class ReluLayer final : public VisionLayer
+{
+  public:
+    explicit ReluLayer(std::string name) : name_(std::move(name)) {}
+
+    Matrix forward(const Matrix &x, const TensorQuantizer *quant) override;
+    Matrix backward(const Matrix &grad) override;
+    void step(float) override {}
+    std::string name() const override { return name_; }
+
+  private:
+    Matrix x_cache_;
+    std::string name_;
+};
+
+/** A sequential model. */
+class VisionModel
+{
+  public:
+    void
+    add(std::unique_ptr<VisionLayer> layer)
+    {
+        layers_.push_back(std::move(layer));
+    }
+
+    /** Forward through all layers, quantizing GEMM operands if set. */
+    Matrix forward(const Matrix &x, const TensorQuantizer *quant);
+
+    /**
+     * One training step on a batch: softmax cross-entropy loss, full
+     * backward pass, Adam update. Returns the batch loss.
+     * Quantization-aware when @p quant is non-null (straight-through).
+     */
+    double trainStep(const Matrix &x, const std::vector<int> &labels,
+                     float lr, const TensorQuantizer *quant);
+
+    /** Top-1 accuracy (%) of the model on a labeled set. */
+    double accuracy(const Matrix &x, const std::vector<int> &labels,
+                    const TensorQuantizer *quant);
+
+  private:
+    std::vector<std::unique_ptr<VisionLayer>> layers_;
+};
+
+/** The "ResNet-family" stand-in: conv3x3/s2 -> relu -> conv -> relu -> fc. */
+std::unique_ptr<VisionModel> makeTinyCnn(size_t side, size_t n_classes,
+                                         uint64_t seed);
+
+/** The "ViT-family" stand-in: 4x4 patch embedding -> MLP blocks -> fc. */
+std::unique_ptr<VisionModel> makeTinyPatchNet(size_t side,
+                                              size_t n_classes,
+                                              uint64_t seed);
+
+} // namespace mxplus
+
+#endif // MXPLUS_VISION_NET_H

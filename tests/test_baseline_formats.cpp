@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the industry BFP baselines (MSFP, SMX), the top-k variant,
+ * channel reordering, and the format quantizer factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "baselines/format_quantizers.h"
+#include "baselines/msfp.h"
+#include "baselines/smx.h"
+#include "common/rng.h"
+#include "mx/reorder.h"
+#include "mx/topk.h"
+#include "tensor/stats.h"
+
+namespace mxplus {
+namespace {
+
+TEST(Msfp, AvgBitsMatchPaper)
+{
+    // Section 2: MSFP12 averages 4.5 bits/element (4 + 8/16).
+    EXPECT_DOUBLE_EQ(MsfpQuantizer(12).avgBitsPerElement(), 4.5);
+    EXPECT_DOUBLE_EQ(MsfpQuantizer(14).avgBitsPerElement(), 6.5);
+    EXPECT_DOUBLE_EQ(MsfpQuantizer(16).avgBitsPerElement(), 8.5);
+}
+
+TEST(Msfp, SharedExponentGrid)
+{
+    // Block max 1.5 -> shared exp 0; MSFP12 mantissa step = 2^(0-3+1)
+    // = 0.25 with max code 7 -> max magnitude 1.75.
+    const MsfpQuantizer q(12);
+    float block[4] = {1.5f, 0.3f, -0.6f, 0.05f};
+    float out[4];
+    q.fakeQuantizeBlock(block, out, 4);
+    EXPECT_FLOAT_EQ(out[0], 1.5f);
+    EXPECT_FLOAT_EQ(out[1], 0.25f);
+    EXPECT_FLOAT_EQ(out[2], -0.5f);
+    EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(Msfp, NoImplicitBitMeansCoarserThanMxfp4)
+{
+    // With an outlier block, MSFP12 (4.5 avg bits) should have at least
+    // the error of MXFP4-style private-exponent representation for small
+    // values: everything below amax/16 quantizes to 0 or one step.
+    const MsfpQuantizer q(12);
+    float block[16] = {};
+    block[0] = 8.0f;
+    block[1] = 0.4f;
+    float out[16];
+    q.fakeQuantizeBlock(block, out, 16);
+    EXPECT_FLOAT_EQ(out[1], 0.0f); // 0.4 < step 1.0
+}
+
+TEST(Msfp, ZeroBlock)
+{
+    const MsfpQuantizer q(14);
+    float zeros[16] = {};
+    float out[16] = {1};
+    q.fakeQuantizeBlock(zeros, out, 16);
+    for (float v : out)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Smx, AvgBitsMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(SmxQuantizer(4).avgBitsPerElement(), 4.0);
+    EXPECT_DOUBLE_EQ(SmxQuantizer(6).avgBitsPerElement(), 6.0);
+    EXPECT_DOUBLE_EQ(SmxQuantizer(9).avgBitsPerElement(), 9.0);
+}
+
+TEST(Smx, MicroexponentRefinesSmallPairs)
+{
+    // A pair whose max sits one binade below the group max gets a one-bit
+    // finer grid than MSFP would give it.
+    const SmxQuantizer smx(6); // 4 mantissa bits
+    const MsfpQuantizer msfp(13); // 4 mantissa bits, same element width
+    float block[4] = {4.0f, 3.9f, 1.3f, 1.1f};
+    float out_smx[4];
+    float out_msfp[4];
+    smx.fakeQuantizeBlock(block, out_smx, 4);
+    msfp.fakeQuantizeBlock(block, out_msfp, 4);
+    // Pair (1.3, 1.1) has microexponent 1 -> step 0.25 instead of 0.5.
+    EXPECT_LE(std::fabs(out_smx[2] - 1.3), std::fabs(out_msfp[2] - 1.3));
+    EXPECT_LE(std::fabs(out_smx[3] - 1.1), std::fabs(out_msfp[3] - 1.1));
+    EXPECT_LT(mse(block, out_smx, 4), mse(block, out_msfp, 4) + 1e-12);
+}
+
+TEST(Smx, QuantizeIdempotent)
+{
+    Rng rng(55);
+    const SmxQuantizer q(6);
+    for (int trial = 0; trial < 200; ++trial) {
+        float block[16];
+        for (auto &v : block)
+            v = static_cast<float>(rng.gaussian(0.0, 2.0));
+        float once[16];
+        float twice[16];
+        q.fakeQuantizeBlock(block, once, 16);
+        q.fakeQuantizeBlock(once, twice, 16);
+        for (int i = 0; i < 16; ++i)
+            EXPECT_EQ(once[i], twice[i]);
+    }
+}
+
+TEST(TopK, KZeroEqualsMxfp4)
+{
+    Rng rng(66);
+    const TopKQuantizer topk(0);
+    const MxQuantizer mx(ElementFormat::E2M1, MxMode::Standard);
+    for (int trial = 0; trial < 100; ++trial) {
+        float block[32];
+        for (auto &v : block)
+            v = static_cast<float>(rng.gaussian(0.0, 1.0));
+        float a[32];
+        float b[32];
+        topk.fakeQuantizeBlock(block, a, 32);
+        mx.fakeQuantizeBlock(block, b, 32);
+        for (int i = 0; i < 32; ++i)
+            EXPECT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(TopK, MonotoneInK)
+{
+    // More elements in MXFP6 can only reduce block MSE.
+    Rng rng(67);
+    for (int trial = 0; trial < 100; ++trial) {
+        float block[32];
+        for (auto &v : block) {
+            v = static_cast<float>(rng.gaussian(0.0, 1.0));
+            if (rng.uniform() < 0.1)
+                v *= 15.0f;
+        }
+        double prev = 1e30;
+        for (int k : {0, 1, 2, 4, 32}) {
+            const TopKQuantizer q(k);
+            float out[32];
+            q.fakeQuantizeBlock(block, out, 32);
+            const double e = mse(block, out, 32);
+            EXPECT_LE(e, prev + 1e-12) << "k=" << k;
+            prev = e;
+        }
+    }
+}
+
+TEST(Reorder, PermutationIsValid)
+{
+    std::vector<size_t> counts = {5, 0, 9, 1, 2, 7, 0, 0};
+    const auto perm = buildReorderPermutation(counts, 4);
+    ASSERT_EQ(perm.size(), counts.size());
+    std::set<size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), counts.size()); // a true permutation
+    // Block leaders (positions 0 and 4) are the two outlier-heaviest.
+    EXPECT_EQ(perm[0], 2u); // count 9
+    EXPECT_EQ(perm[4], 5u); // count 7
+}
+
+TEST(Reorder, ScattersOutliersAcrossBlocks)
+{
+    // Build activations whose outliers concentrate in a few channels (the
+    // paper's Fig. 4 structure); after reordering, the fraction of
+    // outlier-bearing blocks with more than one outlier must drop.
+    Rng rng(68);
+    const size_t rows = 64;
+    const size_t cols = 128;
+    Matrix acts(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+            float v = static_cast<float>(rng.gaussian(0.0, 0.1));
+            // Channels 0..3 carry outliers; they land in the same block.
+            if (c < 4 && rng.uniform() < 0.8)
+                v = static_cast<float>(rng.gaussian(0.0, 5.0));
+            acts.at(r, c) = v;
+        }
+    }
+    const double before =
+        multiOutlierBlockFraction(acts.data(), rows, cols);
+    const auto counts = countChannelOutliers(acts.data(), rows, cols);
+    const auto perm = buildReorderPermutation(counts);
+    Matrix reordered(rows, cols);
+    applyColumnPermutation(acts.data(), reordered.data(), rows, cols, perm);
+    const double after =
+        multiOutlierBlockFraction(reordered.data(), rows, cols);
+    EXPECT_LT(after, before);
+    EXPECT_LT(after, 0.1);
+}
+
+TEST(FormatFactory, AllKnownNamesConstruct)
+{
+    for (const auto &name : knownQuantizerNames()) {
+        const auto q = makeQuantizerByName(name);
+        ASSERT_NE(q, nullptr) << name;
+        // Identity sanity: quantizing zeros returns zeros.
+        Matrix zeros(2, 64, 0.0f);
+        Matrix out = q->quantized(zeros);
+        for (size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out.data()[i], 0.0f) << name;
+    }
+}
+
+TEST(FormatFactory, QualityOrderingOnOutlierData)
+{
+    // Coarse sanity of the whole format zoo: on outlier-bearing data the
+    // SQNR ordering must be MXFP4 < MXFP4+ <= MXFP4++ and
+    // MXFP4 < MXFP6 < MXFP8.
+    Rng rng(69);
+    Matrix data(16, 256);
+    for (size_t i = 0; i < data.size(); ++i) {
+        data.data()[i] = static_cast<float>(rng.gaussian(0.0, 0.5));
+        if (rng.uniform() < 0.03)
+            data.data()[i] *= 30.0f;
+    }
+    auto sqnr = [&](const char *name) {
+        const auto q = makeQuantizerByName(name);
+        Matrix out = q->quantized(data);
+        return sqnrDb(data.data(), out.data(), data.size());
+    };
+    EXPECT_LT(sqnr("MXFP4"), sqnr("MXFP4+"));
+    EXPECT_LE(sqnr("MXFP4+"), sqnr("MXFP4++") + 1e-9);
+    EXPECT_LT(sqnr("MXFP4"), sqnr("MXFP6"));
+    EXPECT_LT(sqnr("MXFP6"), sqnr("MXFP8"));
+    EXPECT_LT(sqnr("MSFP12"), sqnr("MXFP4+"));
+    EXPECT_LT(sqnr("SMX4"), sqnr("MXFP4+"));
+}
+
+TEST(FormatFactory, UnknownNameFatals)
+{
+    EXPECT_EXIT(makeQuantizerByName("FP99"),
+                ::testing::ExitedWithCode(1), "unknown quantizer");
+}
+
+} // namespace
+} // namespace mxplus

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the common substrate: BF16/FP16 codecs, RNG, bit utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bf16.h"
+#include "common/bits.h"
+#include "common/rng.h"
+
+namespace mxplus {
+namespace {
+
+TEST(Bf16, ExactValuesRoundTrip)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.5f, 1024.0f}) {
+        EXPECT_EQ(roundToBf16(v), v);
+    }
+}
+
+TEST(Bf16, RoundsToNearestEven)
+{
+    // 1 + 2^-8 is exactly between BF16 neighbours 1.0 and 1 + 2^-7;
+    // RNE picks the even mantissa (1.0).
+    const float mid = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(roundToBf16(mid), 1.0f);
+    // Slightly above the midpoint rounds up.
+    const float above = 1.0f + std::ldexp(1.0f, -8) + std::ldexp(1.0f, -16);
+    EXPECT_EQ(roundToBf16(above), 1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(Bf16, PreservesSignAndLargeMagnitudes)
+{
+    EXPECT_EQ(roundToBf16(-65504.0f), roundToBf16(-65504.0f));
+    EXPECT_LT(roundToBf16(-1e30f), 0.0f);
+    EXPECT_GT(roundToBf16(1e30f), 0.0f);
+}
+
+TEST(Bf16, NanSurvives)
+{
+    EXPECT_TRUE(std::isnan(
+        bf16BitsToFp32(fp32ToBf16Bits(std::nanf("")))));
+}
+
+TEST(Fp16, ExactValuesRoundTrip)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2048.0f, -65504.0f}) {
+        EXPECT_EQ(roundToFp16(v), v);
+    }
+}
+
+TEST(Fp16, SubnormalsRepresentable)
+{
+    const float min_sub = std::ldexp(1.0f, -24);
+    EXPECT_EQ(roundToFp16(min_sub), min_sub);
+    EXPECT_EQ(roundToFp16(min_sub * 3), min_sub * 3);
+    EXPECT_EQ(roundToFp16(std::ldexp(1.0f, -26)), 0.0f); // underflow
+}
+
+TEST(Fp16, OverflowToInf)
+{
+    EXPECT_TRUE(std::isinf(roundToFp16(1e6f)));
+    EXPECT_TRUE(std::isinf(roundToFp16(-1e6f)));
+}
+
+TEST(Fp16, RandomRoundTripThroughDouble)
+{
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        const float x = static_cast<float>(rng.gaussian(0.0, 100.0));
+        const float q = roundToFp16(x);
+        // Idempotence.
+        EXPECT_EQ(roundToFp16(q), q);
+        // Error bounded by half an FP16 ulp.
+        const int e = std::max(std::ilogb(std::fabs(x)), -14);
+        EXPECT_LE(std::fabs(q - x), std::ldexp(1.0, e - 11) + 1e-30);
+    }
+}
+
+TEST(Bits, ExtractInsert)
+{
+    EXPECT_EQ(extractBits(0xABCD1234u, 8, 8), 0x12u);
+    EXPECT_EQ(insertBits(0x0u, 4, 4, 0xFu), 0xF0u);
+    EXPECT_EQ(insertBits(0xFFFFFFFFu, 0, 8, 0x00u), 0xFFFFFF00u);
+    EXPECT_EQ(lowMask(4), 0xFu);
+    EXPECT_EQ(lowMask(32), 0xFFFFFFFFu);
+}
+
+TEST(Bits, Pow2d)
+{
+    EXPECT_DOUBLE_EQ(pow2d(0), 1.0);
+    EXPECT_DOUBLE_EQ(pow2d(10), 1024.0);
+    EXPECT_DOUBLE_EQ(pow2d(-3), 0.125);
+    EXPECT_DOUBLE_EQ(pow2d(-127), std::ldexp(1.0, -127));
+    EXPECT_DOUBLE_EQ(pow2d(127), std::ldexp(1.0, 127));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntUnbiasedish)
+{
+    Rng rng(6);
+    std::vector<int> counts(7, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(7)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 7 - 800);
+        EXPECT_LT(c, n / 7 + 800);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(8);
+    double sum = 0.0;
+    double sumsq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sumsq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, StudentTHeavyTails)
+{
+    // Student-t with 3 dof should produce far more 5-sigma events than a
+    // Gaussian: that is exactly why the workload generator uses it for
+    // outliers.
+    Rng rng(9);
+    const int n = 100000;
+    int t_tail = 0;
+    int g_tail = 0;
+    for (int i = 0; i < n; ++i) {
+        if (std::fabs(rng.studentT(3.0)) > 5.0)
+            ++t_tail;
+        if (std::fabs(rng.gaussian()) > 5.0)
+            ++g_tail;
+    }
+    EXPECT_GT(t_tail, 100);
+    EXPECT_LT(g_tail, 10);
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    Rng rng(10);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 40000; ++i)
+        ++counts[rng.categorical(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, SplitIndependentStreams)
+{
+    Rng parent(11);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent.next() == child.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+} // namespace
+} // namespace mxplus

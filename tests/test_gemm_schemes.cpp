@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the GEMM-level baseline schemes (Table 7 / Table 8):
+ * SmoothQuant, QuaRot, Atom, AWQ, ANT, OliVe, Tender and the factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/adaptive_quant.h"
+#include "baselines/atom.h"
+#include "baselines/awq.h"
+#include "baselines/format_quantizers.h"
+#include "baselines/quarot.h"
+#include "baselines/scheme_factory.h"
+#include "baselines/smoothquant.h"
+#include "baselines/tender.h"
+#include "common/rng.h"
+#include "tensor/matmul.h"
+#include "tensor/stats.h"
+
+namespace mxplus {
+namespace {
+
+/** Activations with channel-concentrated outliers + a weight matrix. */
+struct Workload
+{
+    Matrix acts;
+    Matrix weights;
+};
+
+Workload
+makeWorkload(uint64_t seed, size_t tokens = 64, size_t k = 128,
+             size_t n = 48)
+{
+    Rng rng(seed);
+    Workload w{Matrix(tokens, k), Matrix(n, k)};
+    for (size_t r = 0; r < tokens; ++r) {
+        for (size_t c = 0; c < k; ++c) {
+            float v = static_cast<float>(rng.gaussian(0.0, 0.3));
+            // Sparse outlier channels (at most one per MX block) whose
+            // magnitude varies strongly per token, as in real LLM
+            // activations — static channel smoothing cannot fully fix it.
+            if (c == 5 || c == 70)
+                v *= static_cast<float>(20.0 * rng.lognormal(0.0, 1.0));
+            w.acts.at(r, c) = v;
+        }
+    }
+    for (size_t i = 0; i < w.weights.size(); ++i)
+        w.weights.data()[i] = static_cast<float>(rng.gaussian(0.0, 0.1));
+    return w;
+}
+
+/** Relative GEMM output error of a scheme on the workload. */
+double
+gemmRelError(GemmScheme &scheme, const Workload &w)
+{
+    scheme.calibrate(w.acts, w.weights);
+    Matrix aq;
+    Matrix wq;
+    scheme.transform(w.acts, w.weights, aq, wq);
+    const Matrix ref = matmulNT(w.acts, w.weights);
+    const Matrix out = matmulNT(aq, wq);
+    double num = 0.0;
+    double den = 0.0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        const double d =
+            static_cast<double>(ref.data()[i]) - out.data()[i];
+        num += d * d;
+        den += static_cast<double>(ref.data()[i]) * ref.data()[i];
+    }
+    return std::sqrt(num / den);
+}
+
+TEST(Fwht, SelfInverseUpToScale)
+{
+    Rng rng(1);
+    std::vector<float> v(64);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian(0.0, 1.0));
+    std::vector<float> w = v;
+    fwht(w.data(), w.size());
+    fwht(w.data(), w.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_NEAR(w[i] / 64.0f, v[i], 1e-4);
+}
+
+TEST(QuaRot, RotationPreservesProduct)
+{
+    const Workload w = makeWorkload(2);
+    QuaRotScheme scheme(makeQuantizerByName("FP32"));
+    scheme.calibrate(w.acts, w.weights);
+    const Matrix ar = scheme.rotate(w.acts);
+    const Matrix wr = scheme.rotate(w.weights);
+    const Matrix ref = matmulNT(w.acts, w.weights);
+    const Matrix rot = matmulNT(ar, wr);
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(rot.data()[i], ref.data()[i],
+                    1e-3 * (1.0 + std::fabs(ref.data()[i])));
+}
+
+TEST(QuaRot, RotationSpreadsOutliers)
+{
+    const Workload w = makeWorkload(3);
+    QuaRotScheme scheme(makeQuantizerByName("FP32"));
+    scheme.calibrate(w.acts, w.weights);
+    const Matrix ar = scheme.rotate(w.acts);
+    // Kurtosis of the rotated activations must drop dramatically.
+    auto kurtosis = [](const Matrix &m) {
+        double mean = 0.0;
+        for (size_t i = 0; i < m.size(); ++i)
+            mean += m.data()[i];
+        mean /= static_cast<double>(m.size());
+        double m2 = 0.0;
+        double m4 = 0.0;
+        for (size_t i = 0; i < m.size(); ++i) {
+            const double d = m.data()[i] - mean;
+            m2 += d * d;
+            m4 += d * d * d * d;
+        }
+        m2 /= static_cast<double>(m.size());
+        m4 /= static_cast<double>(m.size());
+        return m4 / (m2 * m2);
+    };
+    EXPECT_LT(kurtosis(ar), kurtosis(w.acts) / 2.0);
+}
+
+TEST(SmoothQuant, ScalesShrinkOutlierChannels)
+{
+    const Workload w = makeWorkload(4);
+    SmoothQuantScheme scheme(makeQuantizerByName("FP32"));
+    scheme.calibrate(w.acts, w.weights);
+    Matrix aq;
+    Matrix wq;
+    scheme.transform(w.acts, w.weights, aq, wq);
+    // With an identity inner quantizer the product must be preserved.
+    const Matrix ref = matmulNT(w.acts, w.weights);
+    const Matrix out = matmulNT(aq, wq);
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(out.data()[i], ref.data()[i],
+                    1e-3 * (1.0 + std::fabs(ref.data()[i])));
+    // Outlier channel magnitudes in A must shrink.
+    double amax_out = 0.0;
+    double amax_in = 0.0;
+    for (size_t r = 0; r < w.acts.rows(); ++r) {
+        amax_in = std::max(amax_in,
+            std::fabs(static_cast<double>(w.acts.at(r, 5))));
+        amax_out = std::max(amax_out,
+            std::fabs(static_cast<double>(aq.at(r, 5))));
+    }
+    EXPECT_LT(amax_out, amax_in);
+}
+
+TEST(Atom, OutlierChannelsGetInt8)
+{
+    const Workload w = makeWorkload(5);
+    AtomScheme scheme(0.125, 32);
+    const double err = gemmRelError(scheme, w);
+    // Atom must beat plain per-row INT4 on this outlier workload.
+    auto int4 = std::make_shared<IntGroupQuantizer>(4, 0);
+    FormatGemmScheme plain(int4, int4);
+    const double err_plain = gemmRelError(plain, w);
+    EXPECT_LT(err, err_plain);
+    EXPECT_GT(scheme.outlierChannels(), 0u);
+}
+
+TEST(Awq, WeightScalingHelpsMxfp4Weights)
+{
+    // Table 8's synergy: AWQ scaling makes important weights the BM of
+    // their block, so AWQ+MXFP4+ beats plain MXFP4 weight quantization.
+    const Workload w = makeWorkload(6);
+    AwqScheme awq_plus(makeQuantizerByName("MXFP4+"));
+    const double err_awq = gemmRelError(awq_plus, w);
+
+    FormatGemmScheme plain(makeBf16Quantizer(),
+                           makeQuantizerByName("MXFP4"));
+    const double err_plain = gemmRelError(plain, w);
+    EXPECT_LT(err_awq, err_plain);
+}
+
+TEST(Ant, PicksDatatypePerGroupAndNeverIncreasesError)
+{
+    // The adaptive choice must be at least as good as always-int4.
+    Rng rng(7);
+    const AntQuantizer ant(32);
+    for (int trial = 0; trial < 100; ++trial) {
+        float group[32];
+        for (auto &v : group)
+            v = static_cast<float>(rng.studentT(2.5));
+        float out[32];
+        ant.quantizeGroup(group, out, 32);
+        // int4 reference.
+        IntGroupQuantizer int4(4, 32);
+        float out_i[32];
+        int4.quantizeGroup(group, out_i, 32);
+        EXPECT_LE(mse(group, out, 32), mse(group, out_i, 32) + 1e-12);
+    }
+}
+
+TEST(Ant, GaussianGroupPrefersNonFlint)
+{
+    const AntQuantizer ant(32);
+    Rng rng(8);
+    float group[32];
+    for (auto &v : group)
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    float out[32];
+    const int dtype = ant.quantizeGroup(group, out, 32);
+    EXPECT_NE(dtype, 2); // flint is for extreme dynamic range only
+}
+
+TEST(Olive, VictimSacrificedOutlierPreserved)
+{
+    const OliveQuantizer olive(32);
+    float group[32] = {};
+    for (int i = 0; i < 32; ++i)
+        group[i] = 0.1f * static_cast<float>((i % 5) - 2);
+    group[10] = 50.0f; // outlier; victim is index 11
+    group[11] = 0.2f;
+    float out[32];
+    olive.quantizeGroup(group, out, 32);
+    EXPECT_NEAR(out[10], 50.0f, 0.25);
+    EXPECT_EQ(out[11], 0.0f);
+    // Body keeps a fine grid despite the outlier.
+    EXPECT_NEAR(out[0], group[0], 0.05);
+}
+
+TEST(Tender, ChannelShiftsCompensated)
+{
+    const Workload w = makeWorkload(9);
+    TenderScheme coarse(false);
+    TenderScheme fine(true);
+    const double err_coarse = gemmRelError(coarse, w);
+    const double err_fine = gemmRelError(fine, w);
+    // Finer runtime grouping must not be worse.
+    EXPECT_LE(err_fine, err_coarse + 1e-9);
+}
+
+TEST(SchemeFactory, Table7SchemesConstructAndRun)
+{
+    const Workload w = makeWorkload(10);
+    for (const auto &name : table7SchemeNames()) {
+        auto scheme = makeSchemeByName(name);
+        ASSERT_NE(scheme, nullptr) << name;
+        const double err = gemmRelError(*scheme, w);
+        EXPECT_GE(err, 0.0) << name;
+        EXPECT_LT(err, 10.0) << name;
+    }
+}
+
+TEST(SchemeFactory, MxfpPlusBeatsBaselinesOnOutlierWorkload)
+{
+    // The Table 7 headline, at GEMM-error level: MXFP4+ has lower output
+    // error than the per-tensor baselines and SmoothQuant at 4 bits.
+    const Workload w = makeWorkload(11);
+    auto err = [&](const std::string &name) {
+        auto scheme = makeSchemeByName(name);
+        return gemmRelError(*scheme, w);
+    };
+    // Note: at single-GEMM granularity the gap between schemes is much
+    // smaller than the end-to-end perplexity gap (errors compound across
+    // layers); the model-level ordering is exercised by bench_tab7.
+    const double mxfp4p = err("MXFP4+");
+    EXPECT_LT(mxfp4p, err("ANT"));
+    EXPECT_LT(mxfp4p, err("OliVe"));
+    EXPECT_LT(mxfp4p, err("Tender"));
+    EXPECT_LT(mxfp4p, err("MXFP4"));
+    EXPECT_LE(err("MXFP4++"), mxfp4p + 1e-9);
+}
+
+} // namespace
+} // namespace mxplus

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the GPU performance models and the functional DPE:
+ * roofline behaviour, integration-path overheads, Figure 11/12 shapes,
+ * Table 5 totals, and DESIGN contract 7 (DPE == reference GEMM).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gpusim/area_power.h"
+#include "gpusim/dpe.h"
+#include "gpusim/gemm_timing.h"
+#include "gpusim/llm_timing.h"
+#include "mx/software_path.h"
+#include "tensor/tensor.h"
+
+namespace mxplus {
+namespace {
+
+GemmShape
+shape(size_t m, size_t n, size_t k, OperandFormat a, OperandFormat b,
+      IntegrationPath p)
+{
+    return GemmShape{m, n, k, a, b, p};
+}
+
+TEST(GemmTiming, DecodeShapesAreMemoryBound)
+{
+    const GpuConfig gpu = GpuConfig::rtx5090();
+    const auto t = gemmTime(gpu, shape(4, 5120, 5120,
+                                       OperandFormat::MXFP4,
+                                       OperandFormat::MXFP4,
+                                       IntegrationPath::DirectMx));
+    EXPECT_GT(t.memory_us, t.compute_us * 5.0);
+    EXPECT_DOUBLE_EQ(t.total_us, t.memory_us);
+}
+
+TEST(GemmTiming, PrefillShapesAreComputeBound)
+{
+    const GpuConfig gpu = GpuConfig::rtx5090();
+    const auto t = gemmTime(gpu, shape(4096, 5120, 5120,
+                                       OperandFormat::MXFP4,
+                                       OperandFormat::MXFP4,
+                                       IntegrationPath::DirectMx));
+    EXPECT_GT(t.compute_us, t.memory_us);
+}
+
+TEST(GemmTiming, MxPlusSoftwareOverheadVanishesWhenMemoryBound)
+{
+    const GpuConfig gpu = GpuConfig::rtx5090();
+    // Decode-like shape: the extra sparse MMA hides under memory time.
+    const auto base = gemmTime(gpu, shape(4, 5120, 5120,
+                                          OperandFormat::MXFP4,
+                                          OperandFormat::MXFP4,
+                                          IntegrationPath::DirectMx));
+    const auto sw = gemmTime(gpu, shape(4, 5120, 5120,
+                                        OperandFormat::MXFP4Plus,
+                                        OperandFormat::MXFP4,
+                                        IntegrationPath::MxPlusSoftware));
+    EXPECT_LT(sw.total_us / base.total_us, 1.05);
+    // Prefill-like shape: the 1.5x instruction factor shows.
+    const auto base_p = gemmTime(gpu, shape(4096, 5120, 5120,
+                                            OperandFormat::MXFP4,
+                                            OperandFormat::MXFP4,
+                                            IntegrationPath::DirectMx));
+    const auto sw_p = gemmTime(gpu, shape(4096, 5120, 5120,
+                                          OperandFormat::MXFP4Plus,
+                                          OperandFormat::MXFP4,
+                                          IntegrationPath::MxPlusSoftware));
+    EXPECT_GT(sw_p.total_us / base_p.total_us, 1.3);
+    EXPECT_LT(sw_p.total_us / base_p.total_us, 1.6);
+}
+
+TEST(GemmTiming, HardwareOverheadSubPercent)
+{
+    const GpuConfig gpu = GpuConfig::rtx5090();
+    const auto base = gemmTime(gpu, shape(4096, 4096, 4096,
+                                          OperandFormat::MXFP4,
+                                          OperandFormat::MXFP4,
+                                          IntegrationPath::DirectMx));
+    const auto hw = gemmTime(gpu, shape(4096, 4096, 4096,
+                                        OperandFormat::MXFP4Plus,
+                                        OperandFormat::MXFP4Plus,
+                                        IntegrationPath::MxPlusHardware));
+    const double ratio = hw.total_us / base.total_us;
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 1.01);
+}
+
+TEST(GemmTiming, CudaCoreFallbackMoreThanFiveTimesSlower)
+{
+    const GpuConfig gpu = GpuConfig::rtx5090();
+    const auto base = gemmTime(gpu, shape(4096, 4096, 4096,
+                                          OperandFormat::MXFP4,
+                                          OperandFormat::MXFP4,
+                                          IntegrationPath::DirectMx));
+    const auto fb = gemmTime(gpu, shape(4096, 4096, 4096,
+                                        OperandFormat::MXFP4Plus,
+                                        OperandFormat::MXFP4,
+                                        IntegrationPath::CudaCoreFallback));
+    EXPECT_GT(fb.total_us / base.total_us, 5.0);
+}
+
+TEST(GemmTiming, ConversionOverheadLargerAtSmallM)
+{
+    const GpuConfig gpu = GpuConfig::a6000();
+    auto ratio = [&](size_t m) {
+        const auto base = gemmTime(gpu, shape(m, 4096, 4096,
+                                              OperandFormat::BF16,
+                                              OperandFormat::MXFP4,
+                                              IntegrationPath::ConvertToBf16));
+        const auto plus = gemmTime(gpu, shape(m, 4096, 4096,
+                                              OperandFormat::BF16,
+                                              OperandFormat::MXFP4Plus,
+                                              IntegrationPath::ConvertToBf16));
+        return plus.total_us / base.total_us;
+    };
+    EXPECT_GT(ratio(8), ratio(4096));
+    EXPECT_LT(ratio(8), 1.15);   // small but visible (paper: 1.08)
+    EXPECT_LT(ratio(4096), 1.03); // amortized (paper: 1.01)
+}
+
+TEST(QuantizeTime, OrderingAndAmortization)
+{
+    const GpuConfig gpu = GpuConfig::rtx5090();
+    for (size_t tokens : {32, 512, 2048}) {
+        const double t4 = quantizeTime(gpu, tokens, 5120, "MXFP4");
+        const double t4p = quantizeTime(gpu, tokens, 5120, "MXFP4+");
+        const double t4pp = quantizeTime(gpu, tokens, 5120, "MXFP4++");
+        EXPECT_LE(t4, t4p);
+        EXPECT_LT(t4p, t4pp);
+        EXPECT_LT(t4pp / t4, 1.16); // paper: at most 1.15
+    }
+}
+
+TEST(LlmTiming, DecodeDominatesLongOutputs)
+{
+    const GpuConfig gpu = GpuConfig::rtx5090();
+    ServingConfig c;
+    c.output_tokens = 64;
+    const ServingTime t =
+        servingTime(gpu, LlmDims::llama2_13b(), c);
+    EXPECT_GT(t.decode_ms, t.prefill_ms);
+}
+
+TEST(LlmTiming, MxPlusGapShrinksWithOutputLength)
+{
+    const GpuConfig gpu = GpuConfig::rtx5090();
+    auto ratio = [&](size_t out) {
+        ServingConfig base;
+        base.output_tokens = out;
+        ServingConfig sw = base;
+        sw.act_format = OperandFormat::MXFP4Plus;
+        sw.path = IntegrationPath::MxPlusSoftware;
+        const double t0 =
+            servingTime(gpu, LlmDims::llama2_13b(), base).total();
+        const double t1 =
+            servingTime(gpu, LlmDims::llama2_13b(), sw).total();
+        return t1 / t0;
+    };
+    EXPECT_GT(ratio(8), ratio(256));
+    EXPECT_LT(ratio(256), 1.06);
+}
+
+TEST(LlmTiming, SpeedupOverBf16MatchesPaperBallpark)
+{
+    const GpuConfig gpu = GpuConfig::rtx5090();
+    const LlmDims dims = LlmDims::llama2_13b();
+    ServingConfig bf16;
+    bf16.act_format = OperandFormat::BF16;
+    bf16.weight_format = OperandFormat::BF16;
+    ServingConfig hw;
+    hw.act_format = OperandFormat::MXFP4Plus;
+    hw.weight_format = OperandFormat::MXFP4Plus;
+    hw.path = IntegrationPath::MxPlusHardware;
+    for (size_t out : {8, 64}) {
+        bf16.output_tokens = hw.output_tokens = out;
+        const double speedup =
+            servingTime(gpu, dims, bf16).total() /
+            servingTime(gpu, dims, hw).total();
+        // Paper: 3.34x (prefill-dominant) and 2.73x (decode-dominant).
+        EXPECT_GT(speedup, 2.0) << out;
+        EXPECT_LT(speedup, 4.5) << out;
+    }
+}
+
+TEST(AreaPower, ReproducesTable5Totals)
+{
+    const AreaPowerModel model;
+    const AreaPowerReport rep = model.report();
+    EXPECT_NEAR(rep.total_area_mm2, 0.020, 1e-9);
+    EXPECT_NEAR(rep.total_power_mw, 12.11, 1e-9);
+    ASSERT_EQ(rep.components.size(), 3u);
+    EXPECT_EQ(rep.components[0].count, 512u);
+    EXPECT_EQ(rep.components[1].count, 32u);
+    EXPECT_EQ(rep.components[2].count, 32u);
+}
+
+TEST(AreaPower, SystolicSharingReducesBcuCost)
+{
+    const AreaPowerModel gpu_model;
+    const AreaPowerModel systolic(32, 32, 1.0 / 32.0);
+    EXPECT_LT(systolic.report().total_power_mw -
+                  systolic.report().components[0].unit_power_mw *
+                      systolic.report().components[0].count,
+              gpu_model.report().total_power_mw);
+}
+
+// ---------------------------------------------------------------------------
+// Functional DPE (DESIGN contract 7).
+// ---------------------------------------------------------------------------
+
+class DpeTest : public ::testing::Test
+{
+  protected:
+    Matrix
+    randomMatrix(Rng &rng, size_t rows, size_t cols, double outlier_p)
+    {
+        Matrix m(rows, cols);
+        for (size_t i = 0; i < m.size(); ++i) {
+            m.data()[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+            if (rng.uniform() < outlier_p)
+                m.data()[i] *= 30.0f;
+        }
+        return m;
+    }
+};
+
+TEST_F(DpeTest, MatchesReferenceGemmMxPlusTimesMx)
+{
+    Rng rng(41);
+    const MxQuantizer qa(ElementFormat::E2M1, MxMode::Plus);
+    const MxQuantizer qb(ElementFormat::E2M1, MxMode::Standard);
+    const Matrix a = randomMatrix(rng, 5, 128, 0.05);
+    const Matrix b = randomMatrix(rng, 7, 128, 0.0);
+    const PackedMatrix pa(qa, a.data(), a.rows(), a.cols());
+    const PackedMatrix pb(qb, b.data(), b.rows(), b.cols());
+    const auto ref = mxGemmReference(pa, pb);
+    TensorCoreStats stats;
+    const auto out = tensorCoreGemm(pa, pb, &stats);
+    ASSERT_EQ(ref.size(), out.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_DOUBLE_EQ(ref[i], out[i]);
+    EXPECT_EQ(stats.block_pairs, 5u * 7u * 4u);
+    EXPECT_EQ(stats.cycles, stats.block_pairs * 2);
+    EXPECT_GT(stats.bcu_mults, 0u);
+}
+
+TEST_F(DpeTest, MatchesReferenceBothOperandsMxPlus)
+{
+    Rng rng(42);
+    for (ElementFormat fmt :
+         {ElementFormat::E2M1, ElementFormat::E2M3,
+          ElementFormat::E4M3}) {
+        const MxQuantizer q(fmt, MxMode::Plus);
+        const Matrix a = randomMatrix(rng, 4, 96, 0.08);
+        const Matrix b = randomMatrix(rng, 4, 96, 0.08);
+        const PackedMatrix pa(q, a.data(), a.rows(), a.cols());
+        const PackedMatrix pb(q, b.data(), b.rows(), b.cols());
+        const auto ref = mxGemmReference(pa, pb);
+        const auto out = tensorCoreGemm(pa, pb);
+        for (size_t i = 0; i < ref.size(); ++i)
+            EXPECT_DOUBLE_EQ(ref[i], out[i])
+                << elementFormatInfo(fmt).name;
+    }
+}
+
+TEST_F(DpeTest, MatchesReferenceMxPlusPlusDeltas)
+{
+    Rng rng(43);
+    const MxQuantizer qa(ElementFormat::E2M1, MxMode::PlusPlus);
+    const MxQuantizer qb(ElementFormat::E2M1, MxMode::PlusPlus);
+    const Matrix a = randomMatrix(rng, 4, 128, 0.1);
+    const Matrix b = randomMatrix(rng, 4, 128, 0.1);
+    const PackedMatrix pa(qa, a.data(), a.rows(), a.cols());
+    const PackedMatrix pb(qb, b.data(), b.rows(), b.cols());
+    const auto ref = mxGemmReference(pa, pb);
+    const auto out = tensorCoreGemm(pa, pb);
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_DOUBLE_EQ(ref[i], out[i]);
+}
+
+TEST_F(DpeTest, SwapRuleWhenBmIndicesCoincide)
+{
+    // Force both blocks to have their BM at lane 0.
+    const MxQuantizer q(ElementFormat::E2M1, MxMode::Plus);
+    float a[32] = {};
+    float b[32] = {};
+    a[0] = 50.0f;
+    b[0] = -40.0f;
+    for (int i = 1; i < 32; ++i) {
+        a[i] = 0.5f;
+        b[i] = 0.25f;
+    }
+    const MxBlock ba = q.encodeBlock(a, 32);
+    const MxBlock bb = q.encodeBlock(b, 32);
+    const DotProductEngine dpe(q, q);
+    const DpeResult r = dpe.compute(ba, bb);
+    EXPECT_TRUE(r.swapped);
+    // Reference dot product of the dequantized blocks.
+    float da[32];
+    float db[32];
+    q.decodeBlock(ba, da, 32);
+    q.decodeBlock(bb, db, 32);
+    double ref = 0.0;
+    for (int i = 0; i < 32; ++i)
+        ref += static_cast<double>(da[i]) * db[i];
+    EXPECT_DOUBLE_EQ(r.value, ref);
+}
+
+TEST_F(DpeTest, ZeroBlocksContributeNothing)
+{
+    const MxQuantizer q(ElementFormat::E2M1, MxMode::Plus);
+    float tiny[32] = {};
+    tiny[3] = 1e-40f;
+    float normal[32];
+    for (auto &v : normal)
+        v = 1.0f;
+    const MxBlock bz = q.encodeBlock(tiny, 32);
+    const MxBlock bn = q.encodeBlock(normal, 32);
+    const DotProductEngine dpe(q, q);
+    EXPECT_EQ(dpe.compute(bz, bn).value, 0.0);
+}
+
+TEST_F(DpeTest, CycleModelMatchesSection62)
+{
+    const MxQuantizer fp4(ElementFormat::E2M1, MxMode::Plus);
+    const MxQuantizer fp8(ElementFormat::E4M3, MxMode::Plus);
+    EXPECT_EQ(DotProductEngine(fp4, fp4).cyclesPerBlockPair(), 2);
+    EXPECT_EQ(DotProductEngine(fp8, fp8).cyclesPerBlockPair(), 4);
+}
+
+} // namespace
+} // namespace mxplus

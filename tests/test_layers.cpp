@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the elementary transformer layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/layers.h"
+
+namespace mxplus {
+namespace {
+
+TEST(Rmsnorm, UnitGainNormalizesRms)
+{
+    Matrix x(1, 4, {2.0f, -2.0f, 2.0f, -2.0f});
+    std::vector<float> gain(4, 1.0f);
+    const Matrix out = rmsnorm(x, gain);
+    for (size_t c = 0; c < 4; ++c)
+        EXPECT_NEAR(std::fabs(out.at(0, c)), 1.0f, 1e-2);
+}
+
+TEST(Rmsnorm, GainScalesChannels)
+{
+    Matrix x(1, 2, {1.0f, 1.0f});
+    std::vector<float> gain = {1.0f, 10.0f};
+    const Matrix out = rmsnorm(x, gain);
+    EXPECT_NEAR(out.at(0, 1) / out.at(0, 0), 10.0f, 0.1f);
+}
+
+TEST(Rmsnorm, ZeroInputSafe)
+{
+    Matrix x(1, 4, 0.0f);
+    std::vector<float> gain(4, 1.0f);
+    const Matrix out = rmsnorm(x, gain);
+    for (size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(out.at(0, c), 0.0f);
+}
+
+TEST(Softmax, RowsSumToOne)
+{
+    Rng rng(3);
+    Matrix m(8, 16);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = static_cast<float>(rng.gaussian(0.0, 5.0));
+    softmaxRowsInPlace(m);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        double sum = 0.0;
+        for (size_t c = 0; c < m.cols(); ++c) {
+            EXPECT_GE(m.at(r, c), 0.0f);
+            sum += m.at(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Softmax, HandlesLargeLogitsWithoutOverflow)
+{
+    Matrix m(1, 3, {1e4f, 1e4f, -1e30f});
+    softmaxRowsInPlace(m);
+    EXPECT_NEAR(m.at(0, 0), 0.5f, 1e-5);
+    EXPECT_NEAR(m.at(0, 1), 0.5f, 1e-5);
+    EXPECT_NEAR(m.at(0, 2), 0.0f, 1e-10);
+}
+
+TEST(Swiglu, MatchesScalarFormula)
+{
+    Matrix gate(1, 2, {1.0f, -2.0f});
+    Matrix up(1, 2, {3.0f, 4.0f});
+    const Matrix out = swiglu(gate, up);
+    const float silu1 = 1.0f / (1.0f + std::exp(-1.0f));
+    const float silu2 = -2.0f / (1.0f + std::exp(2.0f));
+    EXPECT_NEAR(out.at(0, 0), silu1 * 3.0f, 0.05f);
+    EXPECT_NEAR(out.at(0, 1), silu2 * 4.0f, 0.05f);
+}
+
+TEST(Positions, DistinctAndBounded)
+{
+    const Matrix pos = sinusoidalPositions(64, 32);
+    for (size_t i = 0; i < pos.size(); ++i) {
+        EXPECT_LE(std::fabs(pos.data()[i]), 1.0f);
+    }
+    // Rows differ (positions are distinguishable).
+    bool differ = false;
+    for (size_t c = 0; c < 32; ++c)
+        differ = differ || pos.at(1, c) != pos.at(2, c);
+    EXPECT_TRUE(differ);
+}
+
+TEST(LogSoftmax, NormalizedAndStable)
+{
+    const float logits[4] = {1e4f, 0.0f, -1.0f, 2.0f};
+    const auto lsm = logSoftmax(logits, 4);
+    double sum = 0.0;
+    for (double v : lsm)
+        sum += std::exp(v);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_NEAR(lsm[0], 0.0, 1e-6); // the huge logit dominates
+}
+
+} // namespace
+} // namespace mxplus

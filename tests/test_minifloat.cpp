@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit and property tests for the parametric minifloat codec — the
+ * numerical foundation of every MX format in the library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "formats/minifloat.h"
+
+namespace mxplus {
+namespace {
+
+TEST(Minifloat, E2M1ValueTable)
+{
+    // The complete non-negative FP4 (E2M1) value set from the OCP spec.
+    const std::vector<double> expected =
+        {0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0};
+    EXPECT_EQ(Minifloat::e2m1().positiveValues(), expected);
+}
+
+TEST(Minifloat, E2M1QuantizeKnownValues)
+{
+    const auto &f = Minifloat::e2m1();
+    EXPECT_DOUBLE_EQ(f.quantize(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(f.quantize(0.2), 0.0);   // below half of min subnormal
+    EXPECT_DOUBLE_EQ(f.quantize(0.25), 0.0);  // tie -> even (0)
+    EXPECT_DOUBLE_EQ(f.quantize(0.3), 0.5);
+    EXPECT_DOUBLE_EQ(f.quantize(1.2), 1.0);
+    EXPECT_DOUBLE_EQ(f.quantize(1.25), 1.0);  // tie -> even mantissa
+    EXPECT_DOUBLE_EQ(f.quantize(1.3), 1.5);
+    EXPECT_DOUBLE_EQ(f.quantize(2.5), 2.0);   // tie between 2 and 3 -> 2
+    EXPECT_DOUBLE_EQ(f.quantize(4.9), 4.0);
+    EXPECT_DOUBLE_EQ(f.quantize(5.1), 6.0);
+    EXPECT_DOUBLE_EQ(f.quantize(100.0), 6.0); // saturation
+    EXPECT_DOUBLE_EQ(f.quantize(-5.1), -6.0);
+    EXPECT_DOUBLE_EQ(f.quantize(-100.0), -6.0);
+}
+
+TEST(Minifloat, E4M3MaxNormalExcludesNaNCode)
+{
+    const auto &f = Minifloat::e4m3();
+    EXPECT_DOUBLE_EQ(f.maxNormal(), 448.0);
+    EXPECT_DOUBLE_EQ(f.quantize(1e9), 448.0);
+    // 464 is the midpoint between 448 and the (nonexistent) 480; anything
+    // above max normal saturates.
+    EXPECT_DOUBLE_EQ(f.quantize(465.0), 448.0);
+}
+
+TEST(Minifloat, E5M2Range)
+{
+    const auto &f = Minifloat::e5m2();
+    EXPECT_DOUBLE_EQ(f.maxNormal(), 57344.0);
+    EXPECT_EQ(f.emax(), 15);
+    EXPECT_DOUBLE_EQ(f.minNormal(), std::ldexp(1.0, -14));
+    EXPECT_DOUBLE_EQ(f.minSubnormal(), std::ldexp(1.0, -16));
+}
+
+TEST(Minifloat, E3M2Range)
+{
+    const auto &f = Minifloat::e3m2();
+    EXPECT_DOUBLE_EQ(f.maxNormal(), 28.0);
+    EXPECT_EQ(f.emax(), 4);
+}
+
+TEST(Minifloat, SubnormalHandling)
+{
+    const auto &f = Minifloat::e2m1();
+    // E2M1: emin = 0, min subnormal = 0.5.
+    EXPECT_EQ(f.emin(), 0);
+    EXPECT_DOUBLE_EQ(f.minSubnormal(), 0.5);
+    EXPECT_DOUBLE_EQ(f.quantize(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(f.quantize(0.74), 0.5);
+    EXPECT_DOUBLE_EQ(f.quantize(0.76), 1.0);
+}
+
+class MinifloatFormatTest
+    : public ::testing::TestWithParam<const Minifloat *>
+{
+};
+
+TEST_P(MinifloatFormatTest, EncodeDecodeRoundTripAllCodes)
+{
+    const auto &f = *GetParam();
+    // decode -> encode must reproduce every value up to max normal.
+    for (double v : f.positiveValues()) {
+        EXPECT_DOUBLE_EQ(f.decode(f.encode(v)), v) << f.name();
+        EXPECT_DOUBLE_EQ(f.decode(f.encode(-v)), v == 0.0 ? 0.0 : -v)
+            << f.name();
+    }
+}
+
+TEST_P(MinifloatFormatTest, QuantizeIsIdempotent)
+{
+    const auto &f = *GetParam();
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.gaussian(0.0, f.maxNormal() / 2.0);
+        const double q = f.quantize(x);
+        EXPECT_DOUBLE_EQ(f.quantize(q), q) << f.name() << " x=" << x;
+    }
+}
+
+TEST_P(MinifloatFormatTest, QuantizeSelectsNearestValue)
+{
+    const auto &f = *GetParam();
+    const auto grid = f.positiveValues();
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        const double x =
+            rng.uniform(-1.2 * f.maxNormal(), 1.2 * f.maxNormal());
+        const double q = f.quantize(x);
+        // Brute-force nearest magnitude from the value table.
+        double best = grid[0];
+        for (double g : grid) {
+            if (std::fabs(std::fabs(x) - g) <
+                std::fabs(std::fabs(x) - best)) {
+                best = g;
+            }
+        }
+        EXPECT_NEAR(std::fabs(q), best, 0.0)
+            << f.name() << " x=" << x << " q=" << q;
+    }
+}
+
+TEST_P(MinifloatFormatTest, QuantizeMonotonic)
+{
+    const auto &f = *GetParam();
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i) {
+        const double a = rng.gaussian(0.0, f.maxNormal() / 3.0);
+        const double b = a + std::fabs(rng.gaussian(0.0, 1.0));
+        EXPECT_LE(f.quantize(a), f.quantize(b)) << f.name();
+    }
+}
+
+TEST_P(MinifloatFormatTest, ErrorBoundedByHalfUlp)
+{
+    const auto &f = *GetParam();
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        // Stay inside the representable range to avoid saturation error.
+        const double x = rng.uniform(-f.maxNormal(), f.maxNormal());
+        const double q = f.quantize(x);
+        const double ax = std::fabs(x);
+        int e = ax == 0.0 ? f.emin() : std::ilogb(ax);
+        e = std::max(e, f.emin());
+        const double ulp = std::ldexp(1.0, e - f.mbits());
+        EXPECT_LE(std::fabs(q - x), ulp / 2.0 + 1e-300)
+            << f.name() << " x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, MinifloatFormatTest,
+    ::testing::Values(&Minifloat::e2m1(), &Minifloat::e2m3(),
+                      &Minifloat::e3m2(), &Minifloat::e4m3(),
+                      &Minifloat::e5m2()),
+    [](const ::testing::TestParamInfo<const Minifloat *> &info) {
+        return info.param->name();
+    });
+
+TEST(ExtendedMantissa, E0M3RangeAndGrid)
+{
+    // The MXFP4+ BM codec: 2^2 * (1 + m/8), m in 0..7.
+    const ExtendedMantissa c(3, 2, "E0M3@e2");
+    EXPECT_DOUBLE_EQ(c.minValue(), 4.0);
+    EXPECT_DOUBLE_EQ(c.maxValue(), 7.5);
+    EXPECT_DOUBLE_EQ(c.quantize(4.92), 5.0);  // the paper's Fig. 6 example
+    EXPECT_DOUBLE_EQ(c.quantize(-4.92), -5.0);
+    EXPECT_DOUBLE_EQ(c.quantize(7.9), 7.5);   // saturates
+    EXPECT_DOUBLE_EQ(c.quantize(3.0), 4.0);   // clamps up to min
+}
+
+TEST(ExtendedMantissa, RoundTripAllCodes)
+{
+    const ExtendedMantissa c(5, 2, "E0M5@e2");
+    for (uint32_t code = 0; code < (1u << 6); ++code) {
+        const double v = c.decode(code);
+        EXPECT_EQ(c.encode(v), code);
+    }
+}
+
+TEST(ExtendedMantissa, FinerThanElementGrid)
+{
+    // The BM grid at 2^emax must be strictly finer than E2M1's grid there:
+    // E2M1 step at exponent 2 is 2; E0M3 step is 0.5.
+    const ExtendedMantissa bm(3, 2, "E0M3@e2");
+    const auto &f = Minifloat::e2m1();
+    const double x = 4.7;
+    EXPECT_LT(std::fabs(bm.quantize(x) - x), std::fabs(f.quantize(x) - x));
+}
+
+TEST(RoundToGrid, TiesToEven)
+{
+    EXPECT_DOUBLE_EQ(roundToGrid(2.5, 0), 2.0);
+    EXPECT_DOUBLE_EQ(roundToGrid(3.5, 0), 4.0);
+    EXPECT_DOUBLE_EQ(roundToGrid(-2.5, 0), -2.0);
+    EXPECT_DOUBLE_EQ(roundToGrid(1.25, -1), 1.0);
+    EXPECT_DOUBLE_EQ(roundToGrid(1.75, -1), 2.0);
+}
+
+} // namespace
+} // namespace mxplus

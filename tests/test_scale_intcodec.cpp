@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the E8M0 / E4M3 scale codecs and the fixed-point element codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "formats/intcodec.h"
+#include "formats/scale.h"
+
+namespace mxplus {
+namespace {
+
+TEST(E8M0, EncodeDecodeFullRange)
+{
+    for (int e = -127; e <= 127; ++e) {
+        const uint8_t code = E8M0::encode(e);
+        EXPECT_EQ(E8M0::decode(code), e);
+        EXPECT_DOUBLE_EQ(E8M0::value(code), pow2d(e));
+    }
+}
+
+TEST(E8M0, ReservedCodes)
+{
+    EXPECT_EQ(E8M0::encode(-127), E8M0::kZeroBlock);
+    EXPECT_EQ(E8M0::kNaN, 0xFF);
+    // Biased 255 would be exponent +128, which encode() must reject and
+    // clampExp() must avoid.
+    EXPECT_EQ(E8M0::clampExp(500), 127);
+    EXPECT_EQ(E8M0::clampExp(-500), -127);
+    EXPECT_EQ(E8M0::clampExp(42), 42);
+}
+
+TEST(E4M3Scale, QuantizeRoundTrip)
+{
+    for (double s : {1.0, 0.5, 448.0, 0.015625, 3.75}) {
+        const uint8_t code = E4M3Scale::encode(s);
+        EXPECT_DOUBLE_EQ(E4M3Scale::decode(code), s);
+    }
+}
+
+TEST(E4M3Scale, RelativeErrorSmallForNormals)
+{
+    for (double s = 0.02; s < 400.0; s *= 1.37) {
+        const double q = E4M3Scale::quantize(s);
+        EXPECT_LT(std::fabs(q - s) / s, 1.0 / 16.0) << s;
+    }
+}
+
+TEST(FixedPoint, Int8KnownValues)
+{
+    const auto &c = FixedPointCodec::int8();
+    EXPECT_EQ(c.bits(), 8);
+    EXPECT_EQ(c.fracBits(), 6);
+    EXPECT_DOUBLE_EQ(c.step(), 1.0 / 64.0);
+    EXPECT_DOUBLE_EQ(c.maxValue(), 127.0 / 64.0);
+    EXPECT_DOUBLE_EQ(c.minValue(), -2.0);
+    EXPECT_DOUBLE_EQ(c.quantize(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.quantize(1.0 / 128.0), 0.0); // tie -> even (0)
+    EXPECT_DOUBLE_EQ(c.quantize(3.0 / 128.0), 1.0 / 32.0); // tie -> even
+    EXPECT_DOUBLE_EQ(c.quantize(5.0), 127.0 / 64.0); // saturate high
+    EXPECT_DOUBLE_EQ(c.quantize(-5.0), -2.0);        // saturate low
+}
+
+TEST(FixedPoint, Int4KnownValues)
+{
+    const auto &c = FixedPointCodec::int4();
+    EXPECT_DOUBLE_EQ(c.step(), 0.25);
+    EXPECT_DOUBLE_EQ(c.maxValue(), 1.75);
+    EXPECT_DOUBLE_EQ(c.minValue(), -2.0);
+}
+
+TEST(FixedPoint, EncodeDecodeAllCodes)
+{
+    const auto &c = FixedPointCodec::int8();
+    for (int32_t code = -128; code <= 127; ++code) {
+        const double v = c.decode(code);
+        EXPECT_EQ(c.encodeRaw(v), code);
+    }
+}
+
+TEST(FixedPoint, QuantizeIdempotent)
+{
+    const auto &c = FixedPointCodec::int4();
+    for (double x = -3.0; x <= 3.0; x += 0.013) {
+        const double q = c.quantize(x);
+        EXPECT_DOUBLE_EQ(c.quantize(q), q);
+    }
+}
+
+} // namespace
+} // namespace mxplus

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the BM decomposition (Eq. 3), packed matrices, and the
+ * two-MMA software compute path (Algorithm 1) — DESIGN contract 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "mx/bm_decompose.h"
+#include "mx/packed_matrix.h"
+#include "mx/software_path.h"
+#include "tensor/tensor.h"
+
+namespace mxplus {
+namespace {
+
+TEST(BmDecompose, AllSixteenCodesSplitExactly)
+{
+    // Eq. 3 must hold for every possible MXFP4+ BM code: BM = BM_H + BM_L
+    // with both halves E2M1-representable (checked inside decomposeBm).
+    const auto &codec = bmCodec(ElementFormat::E2M1);
+    for (uint32_t code = 0; code < 16; ++code) {
+        const BmSplit split = decomposeBm(code);
+        EXPECT_DOUBLE_EQ(split.bm_h + split.bm_l, codec.decode(code));
+    }
+}
+
+TEST(BmDecompose, KnownValues)
+{
+    // BM = 5.0 = 2^2 * 1.010: BM_H = 2^2 * 1.0 = 4, BM_L = 2^2 * 0.25 = 1.
+    const BmSplit s = decomposeBmValue(5.0);
+    EXPECT_DOUBLE_EQ(s.bm_h, 4.0);
+    EXPECT_DOUBLE_EQ(s.bm_l, 1.0);
+    // BM = -7.5 = -(2^2 * 1.111): BM_H = -6, BM_L = -1.5.
+    const BmSplit s2 = decomposeBmValue(-7.5);
+    EXPECT_DOUBLE_EQ(s2.bm_h, -6.0);
+    EXPECT_DOUBLE_EQ(s2.bm_l, -1.5);
+}
+
+TEST(BmDecompose, HighPartIsE2M1TopBinade)
+{
+    for (uint32_t code = 0; code < 16; ++code) {
+        const BmSplit split = decomposeBm(code);
+        const double ah = std::fabs(split.bm_h);
+        EXPECT_TRUE(ah == 4.0 || ah == 6.0);
+    }
+}
+
+class PackedMatrixTest : public ::testing::Test
+{
+  protected:
+    Matrix
+    randomMatrix(Rng &rng, size_t rows, size_t cols, double outlier_p)
+    {
+        Matrix m(rows, cols);
+        for (size_t i = 0; i < m.size(); ++i) {
+            m.data()[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+            if (rng.uniform() < outlier_p)
+                m.data()[i] *= 25.0f;
+        }
+        return m;
+    }
+};
+
+TEST_F(PackedMatrixTest, DequantizeMatchesFakeQuantize)
+{
+    Rng rng(31);
+    const MxQuantizer q(ElementFormat::E2M1, MxMode::Plus);
+    const Matrix m = randomMatrix(rng, 8, 96, 0.05);
+    const PackedMatrix packed(q, m.data(), m.rows(), m.cols());
+    const auto deq = packed.dequantize();
+    std::vector<float> fake(m.size());
+    q.fakeQuantizeRows(m.data(), fake.data(), m.rows(), m.cols());
+    for (size_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(deq[i], fake[i]);
+}
+
+TEST_F(PackedMatrixTest, ElementAccessor)
+{
+    Rng rng(32);
+    const MxQuantizer q(ElementFormat::E2M1, MxMode::Standard);
+    const Matrix m = randomMatrix(rng, 4, 64, 0.0);
+    const PackedMatrix packed(q, m.data(), m.rows(), m.cols());
+    const auto deq = packed.dequantize();
+    for (size_t r = 0; r < 4; ++r) {
+        for (size_t c = 0; c < 64; ++c)
+            EXPECT_EQ(packed.element(r, c), deq[r * 64 + c]);
+    }
+}
+
+TEST_F(PackedMatrixTest, TwoMmaPathMatchesReferenceExactly)
+{
+    // DESIGN contract 6: dense MMA with BM_L + sparse MMA with BM_H equals
+    // the straight dequantized GEMM bit-for-bit in double accumulation.
+    Rng rng(33);
+    const MxQuantizer qa(ElementFormat::E2M1, MxMode::Plus);
+    const MxQuantizer qb(ElementFormat::E2M1, MxMode::Standard);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Matrix a = randomMatrix(rng, 6, 128, 0.06);
+        const Matrix w = randomMatrix(rng, 5, 128, 0.0);
+        const PackedMatrix pa(qa, a.data(), a.rows(), a.cols());
+        const PackedMatrix pb(qb, w.data(), w.rows(), w.cols());
+        const auto ref = mxGemmReference(pa, pb);
+        const auto two = mxplusGemmTwoMma(pa, pb);
+        ASSERT_EQ(ref.size(), two.size());
+        for (size_t i = 0; i < ref.size(); ++i)
+            EXPECT_DOUBLE_EQ(ref[i], two[i]) << "trial " << trial;
+    }
+}
+
+TEST_F(PackedMatrixTest, TwoMmaHandlesZeroBlocks)
+{
+    const MxQuantizer qa(ElementFormat::E2M1, MxMode::Plus);
+    const MxQuantizer qb(ElementFormat::E2M1, MxMode::Standard);
+    // First 32 columns of A are tiny -> flushed to a zero block.
+    Matrix a(2, 64, 0.0f);
+    for (size_t c = 0; c < 32; ++c)
+        a.at(0, c) = 1e-40f;
+    for (size_t c = 32; c < 64; ++c)
+        a.at(0, c) = static_cast<float>(c) * 0.1f;
+    for (size_t c = 0; c < 64; ++c)
+        a.at(1, c) = 1.0f;
+    Matrix w(3, 64, 0.5f);
+    const PackedMatrix pa(qa, a.data(), a.rows(), a.cols());
+    const PackedMatrix pb(qb, w.data(), w.rows(), w.cols());
+    const auto ref = mxGemmReference(pa, pb);
+    const auto two = mxplusGemmTwoMma(pa, pb);
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_DOUBLE_EQ(ref[i], two[i]);
+}
+
+TEST_F(PackedMatrixTest, RejectsMisalignedCols)
+{
+    const MxQuantizer q(ElementFormat::E2M1, MxMode::Plus);
+    Matrix m(2, 33, 1.0f);
+    EXPECT_DEATH(PackedMatrix(q, m.data(), 2, 33), "multiple");
+}
+
+} // namespace
+} // namespace mxplus

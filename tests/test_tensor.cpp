@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the tensor substrate: Matrix, GEMM kernels and error stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/matmul.h"
+#include "tensor/stats.h"
+#include "tensor/tensor.h"
+
+namespace mxplus {
+namespace {
+
+TEST(Matrix, BasicAccess)
+{
+    Matrix m(2, 3, 1.5f);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    m.at(1, 2) = 4.0f;
+    EXPECT_EQ(m.at(1, 2), 4.0f);
+    EXPECT_EQ(m.row(1)[2], 4.0f);
+    EXPECT_EQ(m.at(0, 0), 1.5f);
+}
+
+TEST(Matrix, FromVector)
+{
+    Matrix m(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_EQ(m.at(0, 1), 2.0f);
+    EXPECT_EQ(m.at(1, 0), 3.0f);
+}
+
+TEST(MatmulNT, KnownResult)
+{
+    // A = [[1,2],[3,4]], B (as [N x K]) = [[5,6],[7,8]]:
+    // C = A * B^T = [[17,23],[39,53]].
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 2, {5, 6, 7, 8});
+    const Matrix c = matmulNT(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 17.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 23.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 39.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 53.0f);
+}
+
+TEST(MatmulNN, KnownResult)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 2, {5, 6, 7, 8});
+    const Matrix c = matmulNN(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matmul, NTAgreesWithNNOnTransposedOperand)
+{
+    Rng rng(5);
+    Matrix a(7, 33);
+    Matrix b_nk(9, 33); // [N x K]
+    for (size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+    for (size_t i = 0; i < b_nk.size(); ++i)
+        b_nk.data()[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+    Matrix b_kn(33, 9);
+    for (size_t n = 0; n < 9; ++n) {
+        for (size_t k = 0; k < 33; ++k)
+            b_kn.at(k, n) = b_nk.at(n, k);
+    }
+    const Matrix c1 = matmulNT(a, b_nk);
+    const Matrix c2 = matmulNN(a, b_kn);
+    for (size_t i = 0; i < c1.size(); ++i)
+        EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-4);
+}
+
+TEST(Stats, MseAndSqnr)
+{
+    float ref[4] = {1, 2, 3, 4};
+    float same[4] = {1, 2, 3, 4};
+    float off[4] = {1.1f, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mse(ref, same, 4), 0.0);
+    EXPECT_NEAR(mse(ref, off, 4), 0.01f * 0.01f * 100 / 4.0, 1e-6);
+    EXPECT_GT(sqnrDb(ref, same, 4), 200.0);
+    EXPECT_LT(sqnrDb(ref, off, 4), 100.0);
+}
+
+TEST(Stats, CosineSimilarity)
+{
+    float a[3] = {1, 0, 0};
+    float b[3] = {0, 1, 0};
+    float c[3] = {2, 0, 0};
+    EXPECT_NEAR(cosineSimilarity(a, b, 3), 0.0, 1e-12);
+    EXPECT_NEAR(cosineSimilarity(a, c, 3), 1.0, 1e-12);
+}
+
+TEST(Stats, OutlierTopKCoverageIncreasesWithK)
+{
+    Rng rng(6);
+    std::vector<float> data(32 * 64);
+    for (auto &v : data) {
+        v = static_cast<float>(rng.gaussian(0.0, 0.2));
+        if (rng.uniform() < 0.04)
+            v = static_cast<float>(rng.gaussian(0.0, 5.0));
+    }
+    double prev = -1.0;
+    for (int k : {0, 1, 2, 3, 4, 32}) {
+        const double cov = outlierTopKCoverage(data.data(), data.size(), k);
+        EXPECT_GE(cov, prev);
+        prev = cov;
+    }
+    EXPECT_DOUBLE_EQ(
+        outlierTopKCoverage(data.data(), data.size(), 32), 1.0);
+}
+
+} // namespace
+} // namespace mxplus

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Integration tests for the transformer substrate and its evaluation
+ * harness: determinism, quantization hooks, outlier structure, and the
+ * headline quality orderings the paper depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "baselines/scheme_factory.h"
+#include "model/eval.h"
+#include "mx/reorder.h"
+
+namespace mxplus {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig cfg = simLlama31_8b();
+    cfg.n_layers = 2;
+    return cfg;
+}
+
+TEST(Transformer, DeterministicConstruction)
+{
+    const ModelConfig cfg = tinyConfig();
+    const Transformer a(cfg);
+    const Transformer b(cfg);
+    const std::vector<int> tokens = {1, 5, 9, 200, 3};
+    const Matrix la = a.forward(tokens, QuantConfig::bf16Baseline());
+    const Matrix lb = b.forward(tokens, QuantConfig::bf16Baseline());
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i)
+        EXPECT_EQ(la.data()[i], lb.data()[i]);
+}
+
+TEST(Transformer, ForwardShape)
+{
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const std::vector<int> tokens = {0, 1, 2, 3, 4, 5, 6, 7};
+    const Matrix logits =
+        model.forward(tokens, QuantConfig::bf16Baseline());
+    EXPECT_EQ(logits.rows(), tokens.size());
+    EXPECT_EQ(logits.cols(), cfg.vocab);
+    for (size_t i = 0; i < logits.size(); ++i)
+        EXPECT_TRUE(std::isfinite(logits.data()[i]));
+}
+
+TEST(Transformer, CausalityPrefixInvariance)
+{
+    // Logits at position t must not depend on tokens after t.
+    const Transformer model(tinyConfig());
+    const std::vector<int> long_seq = {3, 1, 4, 1, 5, 9, 2, 6};
+    const std::vector<int> short_seq(long_seq.begin(),
+                                     long_seq.begin() + 4);
+    const Matrix l_long =
+        model.forward(long_seq, QuantConfig::bf16Baseline());
+    const Matrix l_short =
+        model.forward(short_seq, QuantConfig::bf16Baseline());
+    for (size_t t = 0; t < short_seq.size(); ++t) {
+        for (size_t v = 0; v < l_short.cols(); ++v) {
+            EXPECT_NEAR(l_long.at(t, v), l_short.at(t, v), 2e-2)
+                << "position " << t;
+        }
+    }
+}
+
+TEST(Transformer, SampleMatchesForwardDistributionSupport)
+{
+    const Transformer model(tinyConfig());
+    Rng rng(5);
+    const auto tokens = model.sample(rng, 32, 1.0);
+    EXPECT_GE(tokens.size(), 32u);
+    for (int t : tokens) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(static_cast<size_t>(t),
+                  model.config().vocab);
+    }
+}
+
+TEST(Transformer, SampleIncrementalConsistentWithForward)
+{
+    // The decode-path (KV cache) and the full-sequence path must assign
+    // consistent logits: teacher sequences should have much lower
+    // full-forward cross-entropy than random sequences.
+    const Transformer model(tinyConfig());
+    Rng rng(6);
+    const auto teacher_seq = model.sample(rng, 64, 1.0);
+    std::vector<int> random_seq(teacher_seq.size());
+    for (auto &t : random_seq)
+        t = static_cast<int>(rng.uniformInt(model.config().vocab));
+    const double ce_teacher =
+        model.crossEntropy(teacher_seq, QuantConfig::bf16Baseline());
+    const double ce_random =
+        model.crossEntropy(random_seq, QuantConfig::bf16Baseline());
+    EXPECT_LT(ce_teacher + 0.5, ce_random);
+}
+
+TEST(Transformer, CaptureHookSeesAllLinears)
+{
+    const Transformer model(tinyConfig());
+    std::set<std::string> seen;
+    model.setCaptureHook([&](const std::string &name, const Matrix &m) {
+        EXPECT_GT(m.size(), 0u);
+        seen.insert(name);
+    });
+    model.forward({1, 2, 3, 4}, QuantConfig::bf16Baseline());
+    model.clearCaptureHook();
+    for (const auto &name : model.linearNames())
+        EXPECT_TRUE(seen.count(name)) << name;
+}
+
+TEST(Transformer, LinearWeightLookup)
+{
+    const Transformer model(tinyConfig());
+    for (const auto &name : model.linearNames()) {
+        const Matrix &w = model.linearWeight(name);
+        EXPECT_GT(w.size(), 0u) << name;
+    }
+    EXPECT_EQ(model.linearWeight("head").rows(),
+              model.config().vocab);
+    EXPECT_EQ(model.linearWeight("L0.w_down").cols(),
+              model.config().d_ff);
+}
+
+TEST(Transformer, ActivationsHaveChannelOutliers)
+{
+    // The Fig. 4 structure must be present: a few channels of the
+    // attention input carry 3-sigma outliers for most tokens.
+    const Transformer model(simLlama31_8b());
+    Rng rng(8);
+    const auto tokens = model.sample(rng, 48, 1.0);
+    std::map<std::string, Matrix> captured;
+    model.setCaptureHook([&](const std::string &name, const Matrix &m) {
+        captured.emplace(name, m);
+    });
+    model.forward(tokens, QuantConfig::bf16Baseline());
+    model.clearCaptureHook();
+
+    const Matrix &acts = captured.at("L1.attn_in");
+    const auto counts =
+        countChannelOutliers(acts.data(), acts.rows(), acts.cols());
+    size_t persistent = 0;
+    for (size_t c = 0; c < counts.size(); ++c) {
+        if (counts[c] > acts.rows() / 2)
+            ++persistent;
+    }
+    EXPECT_GE(persistent, 1u);
+    EXPECT_LE(persistent, counts.size() / 8);
+}
+
+TEST(Eval, TeacherDatasetDeterministicAndSized)
+{
+    const Transformer model(tinyConfig());
+    const Dataset a = makeTeacherDataset(model, "d", 3, 40, 1.0, 9);
+    const Dataset b = makeTeacherDataset(model, "d", 3, 40, 1.0, 9);
+    ASSERT_EQ(a.sequences.size(), 3u);
+    EXPECT_EQ(a.sequences, b.sequences);
+    for (const auto &seq : a.sequences)
+        EXPECT_EQ(seq.size(), 40u);
+}
+
+TEST(Eval, PerplexityOrderingAcrossFormats)
+{
+    // The paper's central quality ordering, end to end.
+    const Transformer model(simLlama31_8b());
+    const Dataset data =
+        makeTeacherDataset(model, "d", 2, 160, 1.0, 10);
+    const double bf16 =
+        perplexity(model, data, QuantConfig::bf16Baseline());
+    const double fp8 =
+        perplexity(model, data, QuantConfig::fromFormat("MXFP8"));
+    const double fp4 =
+        perplexity(model, data, QuantConfig::fromFormat("MXFP4"));
+    const double fp4p =
+        perplexity(model, data, QuantConfig::fromFormat("MXFP4+"));
+    EXPECT_LT(bf16, fp8);
+    EXPECT_LT(fp8, fp4);
+    EXPECT_LT(fp4p, fp4);
+    EXPECT_GT(fp4, 2.0 * bf16); // MXFP4 collapses
+}
+
+TEST(Eval, ActivationQuantizationDominatesDegradation)
+{
+    // Figure 3's observation, on the strongest-outlier model: quantizing
+    // activations alone reproduces most of the full-MXFP4 damage, while
+    // quantizing weights alone costs much less.
+    const Transformer model(simOpt66b());
+    const Dataset data =
+        makeTeacherDataset(model, "d", 2, 192, 1.0, 11);
+    const double bf16 =
+        perplexity(model, data, QuantConfig::bf16Baseline());
+    const double w_only = perplexity(
+        model, data, QuantConfig::fromFormats("BF16", "MXFP4"));
+    const double a_only = perplexity(
+        model, data, QuantConfig::fromFormats("MXFP4", "BF16"));
+    const double both = perplexity(
+        model, data, QuantConfig::fromFormat("MXFP4"));
+    EXPECT_GT(a_only, w_only);
+    EXPECT_LT(w_only, both);
+    EXPECT_GT(bf16, 0.0);
+}
+
+TEST(Eval, TaskAccuracyBaselineHighQuantizedLower)
+{
+    const Transformer model(simLlama31_8b());
+    const TaskSpec spec{"t", 24, 24, 8, 4, 2.0};
+    const TaskSet task = makeTaskSet(model, spec, 12);
+    const double bf16 =
+        taskAccuracy(model, task, QuantConfig::bf16Baseline());
+    const double fp4 =
+        taskAccuracy(model, task, QuantConfig::fromFormat("MXFP4"));
+    EXPECT_GT(bf16, 60.0); // teacher prefers its own continuation
+    EXPECT_LE(fp4, bf16);
+}
+
+TEST(Eval, CalibratedSchemesCoverAllLinearsExceptHead)
+{
+    const Transformer model(tinyConfig());
+    Rng rng(13);
+    const auto calib = model.sample(rng, 32, 1.0);
+    int created = 0;
+    auto lookup = calibrateSchemes(model, calib, [&] {
+        ++created;
+        return makeSchemeByName("MXFP4+");
+    });
+    for (const auto &name : model.linearNames()) {
+        if (name == "head")
+            EXPECT_EQ(lookup(name), nullptr);
+        else
+            EXPECT_NE(lookup(name), nullptr) << name;
+    }
+    EXPECT_EQ(created,
+              static_cast<int>(model.linearNames().size()) - 1);
+}
+
+TEST(Eval, SchemeLookupChangesOutput)
+{
+    const Transformer model(tinyConfig());
+    Rng rng(14);
+    const auto calib = model.sample(rng, 32, 1.0);
+    QuantConfig qc = QuantConfig::bf16Baseline();
+    qc.quantize_head = false;
+    qc.scheme_lookup = calibrateSchemes(
+        model, calib, [] { return makeSchemeByName("SMQ-INT4"); });
+    const Dataset data = makeTeacherDataset(model, "d", 1, 64, 1.0, 15);
+    const double smq = perplexity(model, data, qc);
+    const double bf16 =
+        perplexity(model, data, QuantConfig::bf16Baseline());
+    EXPECT_GT(smq, bf16);
+}
+
+} // namespace
+} // namespace mxplus
