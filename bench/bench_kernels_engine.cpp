@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Machine-readable microbenchmark of the KernelDispatch engine: GEMM
+ * GFLOP/s and block-quantization GB/s per backend and shape, emitted as
+ * JSON so future PRs have a performance trajectory to regress against
+ * (the committed snapshot lives in BENCH_kernels.json).
+ *
+ * Usage: bench_kernels_engine [--quick] [--out FILE]
+ *
+ *  --quick   small shapes / single repetition (CI smoke run)
+ *  --out     write the JSON to FILE instead of stdout
+ *
+ * See docs/PERFORMANCE.md for how to interpret the output.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/kernel_dispatch.h"
+#include "mx/mx_quantizer.h"
+#include "tensor/tensor.h"
+
+namespace mxplus {
+namespace {
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+Matrix
+randomMatrix(size_t rows, size_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return m;
+}
+
+std::vector<float>
+randomActivations(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> data(n);
+    for (auto &v : data) {
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+        if (rng.uniform() < 0.03)
+            v *= 30.0f; // outlier channels, as the paper's activations have
+    }
+    return data;
+}
+
+/** Run @p fn repeatedly until ~min_time elapses; return seconds/run. */
+template <typename Fn>
+double
+timeIt(Fn &&fn, double min_time)
+{
+    fn(); // warm-up (page faults, panel allocation, dispatch resolution)
+    int reps = 0;
+    const double t0 = now();
+    double elapsed = 0.0;
+    do {
+        fn();
+        ++reps;
+        elapsed = now() - t0;
+    } while (elapsed < min_time);
+    return elapsed / reps;
+}
+
+struct GemmResult
+{
+    const char *op;
+    size_t m, n, k;
+    double ref_gflops;
+    double simd_gflops;
+};
+
+struct QuantResult
+{
+    std::string format;
+    const char *mode;
+    const char *api;
+    double ref_gbps;
+    double simd_gbps;
+};
+
+GemmResult
+benchGemm(const char *op, size_t m, size_t n, size_t k, double min_time)
+{
+    const Matrix a = randomMatrix(m, k, 1);
+    const bool nt = std::strcmp(op, "NT") == 0;
+    const Matrix b = nt ? randomMatrix(n, k, 2) : randomMatrix(k, n, 2);
+    Matrix c(m, n);
+    const double flops = 2.0 * static_cast<double>(m) *
+        static_cast<double>(n) * static_cast<double>(k);
+
+    auto run = [&](KernelBackend backend) {
+        const double sec = timeIt(
+            [&] {
+                if (nt)
+                    KernelDispatch::gemmNT(backend, a, b, c);
+                else
+                    KernelDispatch::gemmNN(backend, a, b, c);
+            },
+            min_time);
+        return flops / sec * 1e-9;
+    };
+    GemmResult r{op, m, n, k, 0.0, 0.0};
+    r.ref_gflops = run(KernelBackend::Reference);
+    r.simd_gflops = run(KernelBackend::Simd);
+    return r;
+}
+
+QuantResult
+benchQuantize(ElementFormat fmt, MxMode mode, size_t rows, size_t cols,
+              double min_time)
+{
+    const MxQuantizer q(fmt, mode);
+    const auto data = randomActivations(rows * cols, 3);
+    std::vector<float> out(data.size());
+    const double bytes = static_cast<double>(data.size()) * sizeof(float);
+
+    auto run = [&](KernelBackend backend) {
+        const double sec = timeIt(
+            [&] {
+                KernelDispatch::quantizeRows(backend, q, data.data(),
+                                             out.data(), rows, cols);
+            },
+            min_time);
+        return bytes / sec * 1e-9;
+    };
+    QuantResult r{q.name(), mxModeName(mode), "quantizeRows", 0.0, 0.0};
+    r.ref_gbps = run(KernelBackend::Reference);
+    r.simd_gbps = run(KernelBackend::Simd);
+    return r;
+}
+
+QuantResult
+benchPack(ElementFormat fmt, MxMode mode, size_t rows, size_t cols,
+          double min_time)
+{
+    const MxQuantizer q(fmt, mode);
+    const auto data = randomActivations(rows * cols, 4);
+    const double bytes = static_cast<double>(data.size()) * sizeof(float);
+
+    auto run = [&](KernelBackend backend) {
+        const double sec = timeIt(
+            [&] {
+                auto blocks = KernelDispatch::quantizePack(
+                    backend, q, data.data(), rows, cols);
+                (void)blocks;
+            },
+            min_time);
+        return bytes / sec * 1e-9;
+    };
+    QuantResult r{q.name(), mxModeName(mode), "quantizePack", 0.0, 0.0};
+    r.ref_gbps = run(KernelBackend::Reference);
+    r.simd_gbps = run(KernelBackend::Simd);
+    return r;
+}
+
+} // namespace
+} // namespace mxplus
+
+int
+main(int argc, char **argv)
+{
+    using namespace mxplus;
+
+    bool quick = false;
+    const char *out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--out FILE]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const double min_time = quick ? 0.02 : 0.25;
+    std::vector<size_t> sizes =
+        quick ? std::vector<size_t>{256} : std::vector<size_t>{512, 1024,
+                                                               2048};
+
+    std::vector<GemmResult> gemm;
+    for (const char *op : {"NT", "NN"}) {
+        for (size_t s : sizes) {
+            std::fprintf(stderr, "gemm %s %zu...\n", op, s);
+            gemm.push_back(benchGemm(op, s, s, s, min_time));
+        }
+    }
+    if (!quick) {
+        // One transformer-shaped rectangle (prefill: T=256 tokens,
+        // d_model=1024, d_ff=2816).
+        gemm.push_back(benchGemm("NT", 256, 2816, 1024, min_time));
+    }
+
+    const size_t qrows = quick ? 256 : 1024;
+    const size_t qcols = 1024;
+    std::vector<QuantResult> quant;
+    const std::pair<ElementFormat, MxMode> qconfigs[] = {
+        {ElementFormat::E2M1, MxMode::Standard},
+        {ElementFormat::E2M1, MxMode::Plus},
+        {ElementFormat::E2M1, MxMode::PlusPlus},
+        {ElementFormat::E4M3, MxMode::Standard},
+        {ElementFormat::INT8, MxMode::Plus},
+    };
+    for (const auto &[fmt, mode] : qconfigs) {
+        std::fprintf(stderr, "quantize %d/%d...\n", static_cast<int>(fmt),
+                     static_cast<int>(mode));
+        quant.push_back(benchQuantize(fmt, mode, qrows, qcols, min_time));
+    }
+    quant.push_back(
+        benchPack(ElementFormat::E2M1, MxMode::Plus, qrows, qcols,
+                  min_time));
+
+    FILE *out = stdout;
+    if (out_path != nullptr) {
+        out = std::fopen(out_path, "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", out_path);
+            return 1;
+        }
+    }
+
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"bench_kernels_engine\",\n");
+    std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(out, "  \"simd_uses_avx2\": %s,\n",
+                 KernelDispatch::simdUsesAvx2() ? "true" : "false");
+    std::fprintf(out, "  \"gemm\": [\n");
+    for (size_t i = 0; i < gemm.size(); ++i) {
+        const auto &g = gemm[i];
+        std::fprintf(out,
+                     "    {\"op\": \"%s\", \"m\": %zu, \"n\": %zu, "
+                     "\"k\": %zu, \"reference_gflops\": %.3f, "
+                     "\"simd_gflops\": %.3f, \"speedup\": %.2f}%s\n",
+                     g.op, g.m, g.n, g.k, g.ref_gflops, g.simd_gflops,
+                     g.simd_gflops / g.ref_gflops,
+                     i + 1 < gemm.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"quantize\": [\n");
+    for (size_t i = 0; i < quant.size(); ++i) {
+        const auto &q = quant[i];
+        std::fprintf(out,
+                     "    {\"api\": \"%s\", \"format\": \"%s\", "
+                     "\"mode\": \"%s\", \"reference_gbps\": %.3f, "
+                     "\"simd_gbps\": %.3f, \"speedup\": %.2f}%s\n",
+                     q.api, q.format.c_str(), q.mode, q.ref_gbps,
+                     q.simd_gbps, q.simd_gbps / q.ref_gbps,
+                     i + 1 < quant.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n");
+    std::fprintf(out, "}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Vectorized elementwise kernels. BF16 rounding is the one elementwise
+ * operation hot enough to matter: every residual add, RMSNorm output and
+ * SwiGLU activation in the transformer substrate rounds through BF16
+ * (the paper's baseline precision). The AVX2 path is bit-identical to
+ * fp32ToBf16Bits (same RNE bias trick, same quiet-NaN forcing).
+ */
+
+#include "kernels/kernel_dispatch.h"
+
+#include "common/bf16.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MXPLUS_X86 1
+#include <immintrin.h>
+#else
+#define MXPLUS_X86 0
+#endif
+
+namespace mxplus {
+
+namespace {
+
+#if MXPLUS_X86
+
+__attribute__((target("avx2"))) void
+roundRowsToBf16Avx2(float *data, size_t n)
+{
+    const __m256i exp_mask = _mm256_set1_epi32(0x7F800000);
+    const __m256i mant_mask = _mm256_set1_epi32(0x007FFFFF);
+    const __m256i bias = _mm256_set1_epi32(0x7FFF);
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i quiet = _mm256_set1_epi32(0x00400000);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i u =
+            _mm256_castps_si256(_mm256_loadu_ps(data + i));
+        // RNE on the low 16 bits, then truncate.
+        const __m256i lsb =
+            _mm256_and_si256(_mm256_srli_epi32(u, 16), one);
+        __m256i r =
+            _mm256_add_epi32(u, _mm256_add_epi32(bias, lsb));
+        r = _mm256_slli_epi32(_mm256_srli_epi32(r, 16), 16);
+        // NaN lanes: truncate and force a quiet payload instead.
+        const __m256i is_exp_max = _mm256_cmpeq_epi32(
+            _mm256_and_si256(u, exp_mask), exp_mask);
+        const __m256i has_mant = _mm256_cmpgt_epi32(
+            _mm256_and_si256(u, mant_mask), _mm256_setzero_si256());
+        const __m256i is_nan = _mm256_and_si256(is_exp_max, has_mant);
+        const __m256i nan_r = _mm256_or_si256(
+            _mm256_and_si256(
+                u, _mm256_set1_epi32(static_cast<int>(0xFFFF0000u))),
+            quiet);
+        r = _mm256_blendv_epi8(r, nan_r, is_nan);
+        _mm256_storeu_ps(data + i, _mm256_castsi256_ps(r));
+    }
+    for (; i < n; ++i)
+        data[i] = roundToBf16(data[i]);
+}
+
+#endif // MXPLUS_X86
+
+} // namespace
+
+void
+KernelDispatch::roundRowsToBf16(float *data, size_t n)
+{
+#if MXPLUS_X86
+    if (cpuHasAvx2Fma()) {
+        roundRowsToBf16Avx2(data, n);
+        return;
+    }
+#endif
+    for (size_t i = 0; i < n; ++i)
+        data[i] = roundToBf16(data[i]);
+}
+
+} // namespace mxplus

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * AVX2/FMA 6x16 GEMM microkernel. Compiled with a function-level target
+ * attribute so the library builds for a baseline x86-64 ISA; the dispatcher
+ * only routes here after a cpuid check (KernelDispatch::cpuHasAvx2Fma).
+ */
+
+#include "kernels/kernels_internal.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+namespace mxplus::kernels {
+
+__attribute__((target("avx2,fma"))) void
+microKernelAvx2(size_t kc, const float *a, size_t lda, const float *bpanel,
+                float *c, size_t ldc, size_t mr, size_t nr, bool accumulate)
+{
+    if (mr != kMR || nr != kNR) {
+        // Edge tiles are rare (< 1/6 of rows, < 1/16 of cols); the portable
+        // kernel handles the padded-lane bookkeeping there.
+        microKernelPortable(kc, a, lda, bpanel, c, ldc, mr, nr, accumulate);
+        return;
+    }
+
+    // 6 rows x 2 ymm lanes = 12 accumulators; 2 B loads + 1 A broadcast
+    // per depth step keeps all accumulators in registers.
+    __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+    __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+    __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+    __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+    __m256 acc40 = _mm256_setzero_ps(), acc41 = _mm256_setzero_ps();
+    __m256 acc50 = _mm256_setzero_ps(), acc51 = _mm256_setzero_ps();
+
+    const float *a0 = a;
+    const float *a1 = a + lda;
+    const float *a2 = a + 2 * lda;
+    const float *a3 = a + 3 * lda;
+    const float *a4 = a + 4 * lda;
+    const float *a5 = a + 5 * lda;
+
+    for (size_t kk = 0; kk < kc; ++kk) {
+        const __m256 b0 = _mm256_loadu_ps(bpanel + kk * kNR);
+        const __m256 b1 = _mm256_loadu_ps(bpanel + kk * kNR + 8);
+        __m256 av;
+        av = _mm256_broadcast_ss(a0 + kk);
+        acc00 = _mm256_fmadd_ps(av, b0, acc00);
+        acc01 = _mm256_fmadd_ps(av, b1, acc01);
+        av = _mm256_broadcast_ss(a1 + kk);
+        acc10 = _mm256_fmadd_ps(av, b0, acc10);
+        acc11 = _mm256_fmadd_ps(av, b1, acc11);
+        av = _mm256_broadcast_ss(a2 + kk);
+        acc20 = _mm256_fmadd_ps(av, b0, acc20);
+        acc21 = _mm256_fmadd_ps(av, b1, acc21);
+        av = _mm256_broadcast_ss(a3 + kk);
+        acc30 = _mm256_fmadd_ps(av, b0, acc30);
+        acc31 = _mm256_fmadd_ps(av, b1, acc31);
+        av = _mm256_broadcast_ss(a4 + kk);
+        acc40 = _mm256_fmadd_ps(av, b0, acc40);
+        acc41 = _mm256_fmadd_ps(av, b1, acc41);
+        av = _mm256_broadcast_ss(a5 + kk);
+        acc50 = _mm256_fmadd_ps(av, b0, acc50);
+        acc51 = _mm256_fmadd_ps(av, b1, acc51);
+    }
+
+    float *c0 = c;
+    float *c1 = c + ldc;
+    float *c2 = c + 2 * ldc;
+    float *c3 = c + 3 * ldc;
+    float *c4 = c + 4 * ldc;
+    float *c5 = c + 5 * ldc;
+    if (accumulate) {
+        acc00 = _mm256_add_ps(acc00, _mm256_loadu_ps(c0));
+        acc01 = _mm256_add_ps(acc01, _mm256_loadu_ps(c0 + 8));
+        acc10 = _mm256_add_ps(acc10, _mm256_loadu_ps(c1));
+        acc11 = _mm256_add_ps(acc11, _mm256_loadu_ps(c1 + 8));
+        acc20 = _mm256_add_ps(acc20, _mm256_loadu_ps(c2));
+        acc21 = _mm256_add_ps(acc21, _mm256_loadu_ps(c2 + 8));
+        acc30 = _mm256_add_ps(acc30, _mm256_loadu_ps(c3));
+        acc31 = _mm256_add_ps(acc31, _mm256_loadu_ps(c3 + 8));
+        acc40 = _mm256_add_ps(acc40, _mm256_loadu_ps(c4));
+        acc41 = _mm256_add_ps(acc41, _mm256_loadu_ps(c4 + 8));
+        acc50 = _mm256_add_ps(acc50, _mm256_loadu_ps(c5));
+        acc51 = _mm256_add_ps(acc51, _mm256_loadu_ps(c5 + 8));
+    }
+    _mm256_storeu_ps(c0, acc00);
+    _mm256_storeu_ps(c0 + 8, acc01);
+    _mm256_storeu_ps(c1, acc10);
+    _mm256_storeu_ps(c1 + 8, acc11);
+    _mm256_storeu_ps(c2, acc20);
+    _mm256_storeu_ps(c2 + 8, acc21);
+    _mm256_storeu_ps(c3, acc30);
+    _mm256_storeu_ps(c3 + 8, acc31);
+    _mm256_storeu_ps(c4, acc40);
+    _mm256_storeu_ps(c4 + 8, acc41);
+    _mm256_storeu_ps(c5, acc50);
+    _mm256_storeu_ps(c5 + 8, acc51);
+}
+
+} // namespace mxplus::kernels
+
+#else // non-x86: route to the portable kernel
+
+namespace mxplus::kernels {
+
+void
+microKernelAvx2(size_t kc, const float *a, size_t lda, const float *bpanel,
+                float *c, size_t ldc, size_t mr, size_t nr, bool accumulate)
+{
+    microKernelPortable(kc, a, lda, bpanel, c, ldc, mr, nr, accumulate);
+}
+
+} // namespace mxplus::kernels
+
+#endif

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The original scalar GEMM loops, preserved as the `reference` backend.
+ * These are the semantic ground truth the tiled engine is parity-tested
+ * against (test_kernels.cpp), and the baseline the JSON microbenchmark
+ * measures speedups over.
+ */
+
+#include "kernels/kernels_internal.h"
+
+namespace mxplus::kernels {
+
+void
+gemmNTReference(const float *a, const float *b, float *c, size_t m,
+                size_t n, size_t k)
+{
+    #pragma omp parallel for schedule(static)
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b + j * k;
+            float acc = 0.0f;
+            for (size_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+}
+
+void
+gemmNNReference(const float *a, const float *b, float *c, size_t m,
+                size_t n, size_t k)
+{
+    // Note: a true GEMM must not skip zero elements of A — 0 * Inf and
+    // 0 * NaN are NaN, and IEEE propagation is part of the kernel contract
+    // (the seed's zero-skip shortcut was removed for exactly that reason).
+    #pragma omp parallel for schedule(static)
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (size_t j = 0; j < n; ++j)
+            crow[j] = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            const float *brow = b + kk * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+} // namespace mxplus::kernels

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tiled GEMM driver and the portable microkernel of the Simd backend.
+ * See kernels_internal.h for the blocking scheme and panel layout.
+ */
+
+#include "kernels/kernels_internal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace mxplus::kernels {
+
+namespace {
+
+/**
+ * Pack B[pc:pc+kc, jc:jc+nc] (logical orientation: K-major rows) into
+ * depth-major kNR-wide strips, zero-padding the last strip to kNR columns.
+ * Strip s starts at panel + s * kc * kNR.
+ */
+void
+packB(float *panel, const float *b, size_t ldb, bool b_transposed,
+      size_t pc, size_t kc, size_t jc, size_t nc)
+{
+    const size_t nstrips = (nc + kNR - 1) / kNR;
+    for (size_t s = 0; s < nstrips; ++s) {
+        const size_t jr = s * kNR;
+        const size_t nr = std::min(kNR, nc - jr);
+        float *strip = panel + s * kc * kNR;
+        if (b_transposed) {
+            // B is [N x K]: column j of the strip is a contiguous row of B.
+            for (size_t j = 0; j < nr; ++j) {
+                const float *brow = b + (jc + jr + j) * ldb + pc;
+                for (size_t kk = 0; kk < kc; ++kk)
+                    strip[kk * kNR + j] = brow[kk];
+            }
+            if (nr < kNR) {
+                for (size_t kk = 0; kk < kc; ++kk) {
+                    for (size_t j = nr; j < kNR; ++j)
+                        strip[kk * kNR + j] = 0.0f;
+                }
+            }
+        } else {
+            // B is [K x N]: each depth step is a contiguous slice of a row.
+            for (size_t kk = 0; kk < kc; ++kk) {
+                const float *bsrc = b + (pc + kk) * ldb + jc + jr;
+                float *dst = strip + kk * kNR;
+                std::memcpy(dst, bsrc, nr * sizeof(float));
+                for (size_t j = nr; j < kNR; ++j)
+                    dst[j] = 0.0f;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+microKernelPortable(size_t kc, const float *a, size_t lda,
+                    const float *bpanel, float *c, size_t ldc, size_t mr,
+                    size_t nr, bool accumulate)
+{
+    // Accumulate the full kNR-wide tile (padded B lanes are zero) and only
+    // write back the nr valid columns, so padding never reaches C.
+    float acc[kMR][kNR] = {};
+    if (mr == kMR) {
+        for (size_t kk = 0; kk < kc; ++kk) {
+            const float *bk = bpanel + kk * kNR;
+            for (size_t i = 0; i < kMR; ++i) {
+                const float av = a[i * lda + kk];
+                #pragma omp simd
+                for (size_t j = 0; j < kNR; ++j)
+                    acc[i][j] += av * bk[j];
+            }
+        }
+    } else {
+        for (size_t kk = 0; kk < kc; ++kk) {
+            const float *bk = bpanel + kk * kNR;
+            for (size_t i = 0; i < mr; ++i) {
+                const float av = a[i * lda + kk];
+                #pragma omp simd
+                for (size_t j = 0; j < kNR; ++j)
+                    acc[i][j] += av * bk[j];
+            }
+        }
+    }
+    for (size_t i = 0; i < mr; ++i) {
+        float *crow = c + i * ldc;
+        if (accumulate) {
+            for (size_t j = 0; j < nr; ++j)
+                crow[j] += acc[i][j];
+        } else {
+            for (size_t j = 0; j < nr; ++j)
+                crow[j] = acc[i][j];
+        }
+    }
+}
+
+void
+gemmTiled(const float *a, size_t lda, const float *b, size_t ldb, float *c,
+          size_t ldc, size_t m, size_t n, size_t k, bool b_transposed,
+          MicroKernelFn kernel)
+{
+    if (m == 0 || n == 0)
+        return;
+    if (k == 0) {
+        for (size_t i = 0; i < m; ++i)
+            std::memset(c + i * ldc, 0, n * sizeof(float));
+        return;
+    }
+
+    std::vector<float> panel(kKC * ((kNC + kNR - 1) / kNR) * kNR);
+    for (size_t jc = 0; jc < n; jc += kNC) {
+        const size_t nc = std::min(kNC, n - jc);
+        const size_t nstrips = (nc + kNR - 1) / kNR;
+        for (size_t pc = 0; pc < k; pc += kKC) {
+            const size_t kc = std::min(kKC, k - pc);
+            packB(panel.data(), b, ldb, b_transposed, pc, kc, jc, nc);
+            const bool accumulate = pc > 0;
+            #pragma omp parallel for schedule(static)
+            for (size_t ic = 0; ic < m; ic += kMR) {
+                const size_t mr = std::min(kMR, m - ic);
+                const float *ablk = a + ic * lda + pc;
+                float *cblk = c + ic * ldc + jc;
+                for (size_t s = 0; s < nstrips; ++s) {
+                    const size_t jr = s * kNR;
+                    const size_t nr = std::min(kNR, nc - jr);
+                    kernel(kc, ablk, lda, panel.data() + s * kc * kNR,
+                           cblk + jr, ldc, mr, nr, accumulate);
+                }
+            }
+        }
+    }
+}
+
+} // namespace mxplus::kernels

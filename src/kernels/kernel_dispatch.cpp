@@ -1,0 +1,194 @@
+#include "kernels/kernel_dispatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "kernels/kernels_internal.h"
+#include "kernels/quantize_fused.h"
+
+namespace mxplus {
+
+namespace {
+
+constexpr int kUnresolved = -1;
+
+std::atomic<int> g_backend{kUnresolved};
+
+KernelBackend
+resolveBackend()
+{
+    const char *env = std::getenv("MXPLUS_KERNEL_BACKEND");
+    if (env != nullptr) {
+        if (std::strcmp(env, "reference") == 0)
+            return KernelBackend::Reference;
+        if (std::strcmp(env, "simd") == 0 || std::strcmp(env, "auto") == 0)
+            return KernelBackend::Simd;
+        fatal(std::string("unknown MXPLUS_KERNEL_BACKEND value: ") + env);
+    }
+    return KernelBackend::Simd;
+}
+
+kernels::MicroKernelFn
+simdMicroKernel()
+{
+    return KernelDispatch::cpuHasAvx2Fma() ? kernels::microKernelAvx2
+                                           : kernels::microKernelPortable;
+}
+
+} // namespace
+
+const char *
+kernelBackendName(KernelBackend backend)
+{
+    switch (backend) {
+      case KernelBackend::Reference: return "reference";
+      case KernelBackend::Simd: return "simd";
+    }
+    return "?";
+}
+
+KernelBackend
+KernelDispatch::active()
+{
+    int cur = g_backend.load(std::memory_order_relaxed);
+    if (cur == kUnresolved) {
+        cur = static_cast<int>(resolveBackend());
+        g_backend.store(cur, std::memory_order_relaxed);
+    }
+    return static_cast<KernelBackend>(cur);
+}
+
+void
+KernelDispatch::setBackend(KernelBackend backend)
+{
+    g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+bool
+KernelDispatch::cpuHasAvx2Fma()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    static const bool has =
+        __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    return has;
+#else
+    return false;
+#endif
+}
+
+bool
+KernelDispatch::simdUsesAvx2()
+{
+    return cpuHasAvx2Fma();
+}
+
+void
+KernelDispatch::gemmNT(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    gemmNT(active(), a, b, c);
+}
+
+void
+KernelDispatch::gemmNT(KernelBackend backend, const Matrix &a,
+                       const Matrix &b, Matrix &c)
+{
+    const size_t m = a.rows();
+    const size_t k = a.cols();
+    const size_t n = b.rows();
+    MXPLUS_CHECK(b.cols() == k);
+    MXPLUS_CHECK(c.rows() == m && c.cols() == n);
+    if (backend == KernelBackend::Reference) {
+        kernels::gemmNTReference(a.data(), b.data(), c.data(), m, n, k);
+    } else {
+        kernels::gemmTiled(a.data(), k, b.data(), k, c.data(), n, m, n, k,
+                           /*b_transposed=*/true, simdMicroKernel());
+    }
+}
+
+void
+KernelDispatch::gemmNN(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    gemmNN(active(), a, b, c);
+}
+
+void
+KernelDispatch::gemmNN(KernelBackend backend, const Matrix &a,
+                       const Matrix &b, Matrix &c)
+{
+    const size_t m = a.rows();
+    const size_t k = a.cols();
+    const size_t n = b.cols();
+    MXPLUS_CHECK(b.rows() == k);
+    MXPLUS_CHECK(c.rows() == m && c.cols() == n);
+    if (backend == KernelBackend::Reference) {
+        kernels::gemmNNReference(a.data(), b.data(), c.data(), m, n, k);
+    } else {
+        kernels::gemmTiled(a.data(), k, b.data(), n, c.data(), n, m, n, k,
+                           /*b_transposed=*/false, simdMicroKernel());
+    }
+}
+
+void
+KernelDispatch::quantizeRows(const MxQuantizer &q, const float *in,
+                             float *out, size_t rows, size_t cols)
+{
+    quantizeRows(active(), q, in, out, rows, cols);
+}
+
+void
+KernelDispatch::quantizeRows(KernelBackend backend, const MxQuantizer &q,
+                             const float *in, float *out, size_t rows,
+                             size_t cols)
+{
+    if (backend == KernelBackend::Reference) {
+        const int bs = q.blockSize();
+        #pragma omp parallel for schedule(static)
+        for (size_t r = 0; r < rows; ++r) {
+            const float *src = in + r * cols;
+            float *dst = out + r * cols;
+            size_t i = 0;
+            while (i < cols) {
+                const int len = static_cast<int>(
+                    std::min<size_t>(static_cast<size_t>(bs), cols - i));
+                q.fakeQuantizeBlock(src + i, dst + i, len);
+                i += len;
+            }
+        }
+    } else {
+        kernels::fusedQuantizeRows(q, in, out, rows, cols);
+    }
+}
+
+std::vector<MxBlock>
+KernelDispatch::quantizePack(const MxQuantizer &q, const float *data,
+                             size_t rows, size_t cols)
+{
+    return quantizePack(active(), q, data, rows, cols);
+}
+
+std::vector<MxBlock>
+KernelDispatch::quantizePack(KernelBackend backend, const MxQuantizer &q,
+                             const float *data, size_t rows, size_t cols)
+{
+    if (backend == KernelBackend::Reference) {
+        const size_t bs = static_cast<size_t>(q.blockSize());
+        MXPLUS_CHECK_MSG(cols % bs == 0,
+                         "matrix cols must be a multiple of the block size");
+        const size_t bpr = cols / bs;
+        std::vector<MxBlock> blocks;
+        blocks.reserve(rows * bpr);
+        for (size_t r = 0; r < rows; ++r) {
+            for (size_t b = 0; b < bpr; ++b) {
+                blocks.push_back(q.encodeBlock(data + r * cols + b * bs,
+                                               static_cast<int>(bs)));
+            }
+        }
+        return blocks;
+    }
+    return kernels::fusedQuantizePack(q, data, rows, cols);
+}
+
+} // namespace mxplus

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Runtime-dispatched high-throughput kernel engine.
+ *
+ * Every hot inner loop of the library (GEMM in the transformer substrate,
+ * block quantization in the MX emulation flow, quantize-and-pack for
+ * PackedMatrix) funnels through this single dispatch point. Two backends
+ * are provided:
+ *
+ *  - Reference: the original scalar kernels, kept verbatim for parity
+ *    testing and as the semantic ground truth.
+ *  - Simd: cache-blocked, register-tiled GEMM with B-panel packing and a
+ *    6x16 AVX2/FMA microkernel (selected at runtime via cpuid; a portable
+ *    `#pragma omp simd` microkernel is used on machines without AVX2), plus
+ *    a fused block quantizer that computes the per-block absolute maximum,
+ *    shared exponent and element rounding in one vectorized sweep.
+ *
+ * The backend is chosen once per process from the MXPLUS_KERNEL_BACKEND
+ * environment variable ("reference", "simd" or "auto", default auto) and
+ * can be overridden programmatically for tests and benchmarks.
+ */
+
+#ifndef MXPLUS_KERNELS_KERNEL_DISPATCH_H
+#define MXPLUS_KERNELS_KERNEL_DISPATCH_H
+
+#include <cstddef>
+#include <vector>
+
+#include "mx/mx_quantizer.h"
+#include "tensor/tensor.h"
+
+namespace mxplus {
+
+/** Selectable kernel engine. */
+enum class KernelBackend
+{
+    Reference, ///< original scalar loops (ground truth)
+    Simd,      ///< tiled + vectorized engine (AVX2/FMA when available)
+};
+
+/** Printable backend name ("reference" / "simd"). */
+const char *kernelBackendName(KernelBackend backend);
+
+/**
+ * Single entry point for all performance-critical kernels.
+ *
+ * All methods are safe to call concurrently; setBackend() is intended for
+ * test/bench setup, not for concurrent reconfiguration.
+ */
+class KernelDispatch
+{
+  public:
+    /** The backend used by the no-backend-argument overloads. */
+    static KernelBackend active();
+
+    /** Override the active backend (tests / benchmarks). */
+    static void setBackend(KernelBackend backend);
+
+    /** True if the CPU supports the AVX2+FMA microkernels. */
+    static bool cpuHasAvx2Fma();
+
+    /**
+     * True if the Simd engine dispatches to the AVX2/FMA microkernels
+     * (CPU support present); false means the portable SIMD fallback runs.
+     */
+    static bool simdUsesAvx2();
+
+    // ------------------------------------------------------------- GEMM --
+
+    /** C[M x N] = A[M x K] * B[N x K]^T. */
+    static void gemmNT(const Matrix &a, const Matrix &b, Matrix &c);
+    static void gemmNT(KernelBackend backend, const Matrix &a,
+                       const Matrix &b, Matrix &c);
+
+    /** C[M x N] = A[M x K] * B[K x N]. */
+    static void gemmNN(const Matrix &a, const Matrix &b, Matrix &c);
+    static void gemmNN(KernelBackend backend, const Matrix &a,
+                       const Matrix &b, Matrix &c);
+
+    // --------------------------------------------- fused block quantize --
+
+    /**
+     * Fake-quantize each row of a row-major [rows x cols] matrix with
+     * @p q's (format, mode, block size) configuration. Bit-identical to
+     * MxQuantizer::fakeQuantize applied per row.
+     */
+    static void quantizeRows(const MxQuantizer &q, const float *in,
+                             float *out, size_t rows, size_t cols);
+    static void quantizeRows(KernelBackend backend, const MxQuantizer &q,
+                             const float *in, float *out, size_t rows,
+                             size_t cols);
+
+    /**
+     * Quantize-and-pack: encode a row-major [rows x cols] matrix into MX
+     * blocks (cols must be a multiple of the block size), amax/shared-
+     * exponent computed in one sweep. Bit-identical to calling
+     * MxQuantizer::encodeBlock per block.
+     */
+    static std::vector<MxBlock> quantizePack(const MxQuantizer &q,
+                                             const float *data, size_t rows,
+                                             size_t cols);
+    static std::vector<MxBlock> quantizePack(KernelBackend backend,
+                                             const MxQuantizer &q,
+                                             const float *data, size_t rows,
+                                             size_t cols);
+
+    // ------------------------------------------------------ elementwise --
+
+    /**
+     * Round @p n floats to BF16 in place (bit-identical to roundToBf16,
+     * vectorized where the CPU allows — no backend knob since the result
+     * is exact either way).
+     */
+    static void roundRowsToBf16(float *data, size_t n);
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_KERNELS_KERNEL_DISPATCH_H

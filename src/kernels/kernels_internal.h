@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Internal contracts shared by the kernel engine translation units: tiling
+ * parameters, the packed-B microkernel ABI, and the per-backend entry
+ * points kernel_dispatch.cpp routes between.
+ *
+ * Blocking scheme (BLIS-style, minus A packing — A rows are contiguous
+ * along K already, and the microkernel only broadcasts from them):
+ *
+ *   for jc over N step kNC:            L2-resident B panel
+ *     for pc over K step kKC:          pack B[pc:pc+kc, jc:jc+nc]
+ *       parallel for ic over M step kMR:
+ *         for jr over nc step kNR:     6x16 register tile
+ *           microkernel(kc, A(ic,pc), Bpanel(jr), C(ic,jc+jr))
+ *
+ * The B panel is stored depth-major: element (k, j) of the panel lives at
+ * panel[k * kNR + j] within the jr-th strip, so the microkernel streams
+ * two contiguous SIMD lanes per depth step. Strips are zero-padded to kNR
+ * columns; padded lanes are discarded by the edge path before they can
+ * pollute C (0 * Inf never reaches a visible accumulator).
+ */
+
+#ifndef MXPLUS_KERNELS_KERNELS_INTERNAL_H
+#define MXPLUS_KERNELS_KERNELS_INTERNAL_H
+
+#include <cstddef>
+
+namespace mxplus::kernels {
+
+inline constexpr size_t kMR = 6;   ///< microkernel rows (register tile)
+inline constexpr size_t kNR = 16;  ///< microkernel cols (2 x 8-float lanes)
+inline constexpr size_t kKC = 256; ///< K blocking (B panel depth)
+inline constexpr size_t kNC = 256; ///< N blocking (B panel width)
+
+/**
+ * C[mr x nr] (+)= A-rows * Bpanel for one register tile.
+ *
+ * @p a points at A(ic, pc) with row stride @p lda; @p bpanel at the strip's
+ * [kc x kNR] depth-major block; @p c at C(ic, jc + jr) with row stride
+ * @p ldc. @p mr <= kMR and @p nr <= kNR; @p accumulate selects = vs +=.
+ */
+using MicroKernelFn = void (*)(size_t kc, const float *a, size_t lda,
+                               const float *bpanel, float *c, size_t ldc,
+                               size_t mr, size_t nr, bool accumulate);
+
+/** Portable microkernel (compiled for the baseline ISA, omp-simd inner). */
+void microKernelPortable(size_t kc, const float *a, size_t lda,
+                         const float *bpanel, float *c, size_t ldc,
+                         size_t mr, size_t nr, bool accumulate);
+
+/** AVX2/FMA microkernel (function-level target attribute). */
+void microKernelAvx2(size_t kc, const float *a, size_t lda,
+                     const float *bpanel, float *c, size_t ldc, size_t mr,
+                     size_t nr, bool accumulate);
+
+/** Tiled GEMM driver; @p b_transposed selects NT ([N x K] B) vs NN. */
+void gemmTiled(const float *a, size_t lda, const float *b, size_t ldb,
+               float *c, size_t ldc, size_t m, size_t n, size_t k,
+               bool b_transposed, MicroKernelFn kernel);
+
+/** Reference (original scalar) GEMM kernels. */
+void gemmNTReference(const float *a, const float *b, float *c, size_t m,
+                     size_t n, size_t k);
+void gemmNNReference(const float *a, const float *b, float *c, size_t m,
+                     size_t n, size_t k);
+
+} // namespace mxplus::kernels
+
+#endif // MXPLUS_KERNELS_KERNELS_INTERNAL_H

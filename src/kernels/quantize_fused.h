@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal entry points of the fused block-quantization engine (Simd
+ * backend). Both functions are bit-identical to the scalar MxQuantizer
+ * chain (fakeQuantizeBlock / encodeBlock applied block by block) — the
+ * fusion is purely structural: one absolute-maximum sweep feeds the shared
+ * exponent, zero-block rule, BM index and MX++ NBM delta, and the element
+ * rounding runs vectorized in float (exactness argued in quantize_fused.cpp
+ * and enforced by test_kernels.cpp).
+ */
+
+#ifndef MXPLUS_KERNELS_QUANTIZE_FUSED_H
+#define MXPLUS_KERNELS_QUANTIZE_FUSED_H
+
+#include <cstddef>
+#include <vector>
+
+#include "mx/mx_quantizer.h"
+
+namespace mxplus::kernels {
+
+/** Fused float->float fake quantization of a [rows x cols] matrix. */
+void fusedQuantizeRows(const MxQuantizer &q, const float *in, float *out,
+                       size_t rows, size_t cols);
+
+/** Fused quantize-and-encode into MX blocks (cols % blockSize == 0). */
+std::vector<MxBlock> fusedQuantizePack(const MxQuantizer &q,
+                                       const float *data, size_t rows,
+                                       size_t cols);
+
+} // namespace mxplus::kernels
+
+#endif // MXPLUS_KERNELS_QUANTIZE_FUSED_H

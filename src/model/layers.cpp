@@ -4,6 +4,7 @@
 
 #include "common/bf16.h"
 #include "common/check.h"
+#include "kernels/kernel_dispatch.h"
 
 namespace mxplus {
 
@@ -20,10 +21,9 @@ rmsnorm(const Matrix &x, const std::vector<float> &gain)
         const double inv_rms =
             1.0 / std::sqrt(ssq / static_cast<double>(x.cols()) + 1e-6);
         float *orow = out.row(r);
-        for (size_t c = 0; c < x.cols(); ++c) {
-            orow[c] = roundToBf16(static_cast<float>(
-                row[c] * inv_rms * gain[c]));
-        }
+        for (size_t c = 0; c < x.cols(); ++c)
+            orow[c] = static_cast<float>(row[c] * inv_rms * gain[c]);
+        KernelDispatch::roundRowsToBf16(orow, x.cols());
     }
     return out;
 }
@@ -57,16 +57,16 @@ swiglu(const Matrix &gate, const Matrix &up)
         const float g = gate.data()[i];
         const float silu =
             g / (1.0f + std::exp(-g));
-        out.data()[i] = roundToBf16(silu * up.data()[i]);
+        out.data()[i] = silu * up.data()[i];
     }
+    KernelDispatch::roundRowsToBf16(out.data(), out.size());
     return out;
 }
 
 void
 roundMatrixToBf16(Matrix &m)
 {
-    for (size_t i = 0; i < m.size(); ++i)
-        m.data()[i] = roundToBf16(m.data()[i]);
+    KernelDispatch::roundRowsToBf16(m.data(), m.size());
 }
 
 Matrix

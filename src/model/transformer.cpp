@@ -5,6 +5,7 @@
 
 #include "common/bf16.h"
 #include "common/check.h"
+#include "kernels/kernel_dispatch.h"
 #include "model/layers.h"
 #include "tensor/matmul.h"
 
@@ -12,20 +13,18 @@ namespace mxplus {
 
 namespace {
 
-/** y = W x for a [N x K] weight and length-K vector (decode path). */
+/**
+ * y = W x for a [N x K] weight and length-K vector (decode path): a
+ * 1-row GEMM-NT through the kernel engine, FP32 accumulation.
+ */
 std::vector<float>
 matvec(const Matrix &w, const std::vector<float> &x)
 {
     MXPLUS_CHECK(w.cols() == x.size());
-    std::vector<float> y(w.rows());
-    for (size_t n = 0; n < w.rows(); ++n) {
-        const float *row = w.row(n);
-        double acc = 0.0;
-        for (size_t k = 0; k < x.size(); ++k)
-            acc += static_cast<double>(row[k]) * x[k];
-        y[n] = static_cast<float>(acc);
-    }
-    return y;
+    const Matrix xa(1, x.size(), x);
+    Matrix y(1, w.rows());
+    KernelDispatch::gemmNT(xa, w, y);
+    return std::vector<float>(y.data(), y.data() + w.rows());
 }
 
 std::vector<float>
@@ -278,10 +277,12 @@ Transformer::forward(const std::vector<int> &tokens,
     for (size_t layer = 0; layer < cfg_.n_layers; ++layer) {
         const Matrix attn = attentionBlock(layer, x, qc);
         for (size_t i = 0; i < x.size(); ++i)
-            x.data()[i] = roundToBf16(x.data()[i] + attn.data()[i]);
+            x.data()[i] += attn.data()[i];
+        KernelDispatch::roundRowsToBf16(x.data(), x.size());
         const Matrix mlp = mlpBlock(layer, x, qc);
         for (size_t i = 0; i < x.size(); ++i)
-            x.data()[i] = roundToBf16(x.data()[i] + mlp.data()[i]);
+            x.data()[i] += mlp.data()[i];
+        KernelDispatch::roundRowsToBf16(x.data(), x.size());
     }
     const Matrix h = rmsnorm(x, final_gain_);
     return applyLinear("head", h, head_, qc, true);

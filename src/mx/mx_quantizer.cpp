@@ -5,6 +5,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "kernels/kernel_dispatch.h"
 
 namespace mxplus {
 
@@ -150,13 +151,7 @@ MxQuantizer::fakeQuantizeBlock(const float *in, float *out, int n) const
 void
 MxQuantizer::fakeQuantize(const float *in, float *out, size_t n) const
 {
-    size_t i = 0;
-    while (i < n) {
-        const int len = static_cast<int>(
-            std::min<size_t>(block_size_, n - i));
-        fakeQuantizeBlock(in + i, out + i, len);
-        i += len;
-    }
+    KernelDispatch::quantizeRows(*this, in, out, 1, n);
 }
 
 void
@@ -164,10 +159,10 @@ MxQuantizer::fakeQuantizeRows(const float *in, float *out, size_t rows,
                               size_t cols) const
 {
     // Rows are independent; this is the hot loop of every model-quality
-    // experiment (weights are re-quantized on each forward pass).
-    #pragma omp parallel for schedule(static)
-    for (size_t r = 0; r < rows; ++r)
-        fakeQuantize(in + r * cols, out + r * cols, cols);
+    // experiment (weights are re-quantized on each forward pass). The
+    // dispatch engine fuses the amax/shared-exponent/rounding sweep and
+    // vectorizes it; fakeQuantizeBlock stays the scalar ground truth.
+    KernelDispatch::quantizeRows(*this, in, out, rows, cols);
 }
 
 MxBlock

@@ -1,6 +1,7 @@
 #include "mx/packed_matrix.h"
 
 #include "common/check.h"
+#include "kernels/kernel_dispatch.h"
 
 namespace mxplus {
 
@@ -12,13 +13,9 @@ PackedMatrix::PackedMatrix(const MxQuantizer &quantizer, const float *data,
     MXPLUS_CHECK_MSG(cols_ % bs == 0,
                      "matrix cols must be a multiple of the block size");
     blocks_per_row_ = cols_ / bs;
-    blocks_.reserve(rows_ * blocks_per_row_);
-    for (size_t r = 0; r < rows_; ++r) {
-        for (size_t b = 0; b < blocks_per_row_; ++b) {
-            blocks_.push_back(quantizer_.encodeBlock(
-                data + r * cols_ + b * bs, static_cast<int>(bs)));
-        }
-    }
+    // Fused quantize+pack: block statistics and element encoding in one
+    // sweep (bit-identical to encodeBlock per block).
+    blocks_ = KernelDispatch::quantizePack(quantizer_, data, rows_, cols_);
 }
 
 const MxBlock &

@@ -1,71 +1,34 @@
 #include "tensor/matmul.h"
 
-#include "common/check.h"
+#include "kernels/kernel_dispatch.h"
 
 namespace mxplus {
 
 void
 matmulNT(const Matrix &a, const Matrix &b, Matrix &c)
 {
-    const size_t m = a.rows();
-    const size_t k = a.cols();
-    const size_t n = b.rows();
-    MXPLUS_CHECK(b.cols() == k);
-    MXPLUS_CHECK(c.rows() == m && c.cols() == n);
-
-    #pragma omp parallel for schedule(static)
-    for (size_t i = 0; i < m; ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (size_t j = 0; j < n; ++j) {
-            const float *brow = b.row(j);
-            float acc = 0.0f;
-            for (size_t kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-        }
-    }
+    KernelDispatch::gemmNT(a, b, c);
 }
 
 Matrix
 matmulNT(const Matrix &a, const Matrix &b)
 {
     Matrix c(a.rows(), b.rows());
-    matmulNT(a, b, c);
+    KernelDispatch::gemmNT(a, b, c);
     return c;
 }
 
 void
 matmulNN(const Matrix &a, const Matrix &b, Matrix &c)
 {
-    const size_t m = a.rows();
-    const size_t k = a.cols();
-    const size_t n = b.cols();
-    MXPLUS_CHECK(b.rows() == k);
-    MXPLUS_CHECK(c.rows() == m && c.cols() == n);
-
-    #pragma omp parallel for schedule(static)
-    for (size_t i = 0; i < m; ++i) {
-        const float *arow = a.row(i);
-        float *crow = c.row(i);
-        for (size_t j = 0; j < n; ++j)
-            crow[j] = 0.0f;
-        for (size_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.row(kk);
-            for (size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    KernelDispatch::gemmNN(a, b, c);
 }
 
 Matrix
 matmulNN(const Matrix &a, const Matrix &b)
 {
     Matrix c(a.rows(), b.cols());
-    matmulNN(a, b, c);
+    KernelDispatch::gemmNN(a, b, c);
     return c;
 }
 

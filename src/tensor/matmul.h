@@ -6,8 +6,13 @@
  * are fake-quantized (rounded to the target format) and the multiply itself
  * runs in FP32 with FP32 accumulation (the paper uses BF16 MMA with FP32
  * accumulate; on CPU we accumulate FP32 which is strictly tighter and does
- * not change format orderings). The kernel is cache-blocked and OpenMP
- * parallel so full-table sweeps finish in minutes.
+ * not change format orderings). These wrappers route through the
+ * KernelDispatch engine (kernels/kernel_dispatch.h): a cache-blocked,
+ * register-tiled, OpenMP-parallel GEMM with runtime-selected AVX2/FMA
+ * microkernels, with the original scalar loops available as the
+ * `reference` backend. Both kernels propagate IEEE specials — 0 * Inf in
+ * any operand position yields NaN in the affected output, as a true GEMM
+ * must (no zero-skip shortcuts).
  */
 
 #ifndef MXPLUS_TENSOR_MATMUL_H
