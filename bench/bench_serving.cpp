@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Machine-readable benchmark of the batched serving engine: decode
+ * throughput (tokens/s), time-to-first-token and per-token latency
+ * percentiles as a function of batch width and quantization format,
+ * emitted as JSON so future PRs have a serving-performance trajectory to
+ * regress against (the committed snapshot lives in BENCH_serving.json).
+ *
+ * The workload is fixed across batch widths — the same requests, prompts
+ * and greedy sampling — so the batch-8 vs batch-1 ratio isolates the
+ * benefit of continuous batching (amortized weight quantization and
+ * B-panel packing in the batched matvec) from everything else.
+ *
+ * Usage: bench_serving [--quick] [--out FILE]
+ *
+ *  --quick   small workload (CI smoke run)
+ *  --out     write the JSON to FILE instead of stdout
+ *
+ * See docs/SERVING.md for the schema and how to interpret the output.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "model/quant_config.h"
+#include "serve/serving_engine.h"
+
+namespace mxplus {
+namespace {
+
+struct RunResult
+{
+    std::string format;
+    size_t batch = 0;
+    size_t requests = 0;
+    size_t new_tokens_per_request = 0;
+    size_t prompt_tokens = 0;
+    double throughput_tok_s = 0.0;
+    double decode_tok_s = 0.0;
+    double ttft_p50_ms = 0.0;
+    double token_p50_ms = 0.0;
+    double token_p99_ms = 0.0;
+    double mean_batch_occupancy = 0.0;
+    size_t kv_bytes_peak = 0;
+    double speedup_vs_batch1 = 0.0;
+};
+
+std::vector<ServeRequest>
+workload(size_t requests, size_t prompt_len, size_t new_tokens)
+{
+    std::vector<ServeRequest> reqs(requests);
+    for (size_t r = 0; r < requests; ++r) {
+        reqs[r].prompt.resize(prompt_len);
+        for (size_t i = 0; i < prompt_len; ++i) {
+            reqs[r].prompt[i] =
+                static_cast<int>((13 + 7 * r + 3 * i) % 251);
+        }
+        reqs[r].max_new_tokens = new_tokens;
+        reqs[r].temperature = 0.0; // greedy: identical across batch widths
+    }
+    return reqs;
+}
+
+RunResult
+runConfig(const Transformer &model, const std::string &format,
+          size_t batch, size_t requests, size_t prompt_len,
+          size_t new_tokens)
+{
+    const QuantConfig qc = QuantConfig::fromFormat(format);
+    ServingEngine engine(model, qc, batch);
+    std::vector<size_t> ids;
+    for (auto &req : workload(requests, prompt_len, new_tokens))
+        ids.push_back(engine.submit(std::move(req)));
+    engine.runToCompletion();
+
+    RunResult res;
+    res.format = format;
+    res.batch = batch;
+    res.requests = requests;
+    res.new_tokens_per_request = new_tokens;
+    res.prompt_tokens = prompt_len;
+    const EngineStats &es = engine.engineStats();
+    res.throughput_tok_s = es.throughput_tokens_per_s;
+    res.decode_tok_s = es.decode_tokens_per_s;
+    res.mean_batch_occupancy = es.mean_batch_occupancy;
+    res.kv_bytes_peak = es.kv_bytes_peak;
+
+    std::vector<double> ttfts;
+    std::vector<double> token_ms;
+    for (size_t id : ids) {
+        const RequestStats &rs = engine.stats(id);
+        ttfts.push_back(rs.ttft_ms);
+        token_ms.insert(token_ms.end(), rs.token_ms.begin(),
+                        rs.token_ms.end());
+    }
+    res.ttft_p50_ms = latencyPercentile(ttfts, 0.50);
+    res.token_p50_ms = latencyPercentile(token_ms, 0.50);
+    res.token_p99_ms = latencyPercentile(token_ms, 0.99);
+    return res;
+}
+
+} // namespace
+} // namespace mxplus
+
+int
+main(int argc, char **argv)
+{
+    using namespace mxplus;
+
+    bool quick = false;
+    const char *out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    // The widest sim-Llama stand-in: its d=256 linears dominate the
+    // per-request attention work the way real serving GEMMs do, so the
+    // batch-scaling numbers are representative.
+    const ModelConfig cfg = simLlama31_70b();
+    const Transformer model(cfg);
+
+    const std::vector<std::string> formats =
+        quick ? std::vector<std::string>{"BF16", "MXFP4+"}
+              : std::vector<std::string>{"BF16", "MXFP8", "MXFP4+"};
+    const std::vector<size_t> batches =
+        quick ? std::vector<size_t>{1, 4}
+              : std::vector<size_t>{1, 2, 4, 8};
+    const size_t requests = 8;
+    const size_t prompt_len = quick ? 16 : 32;
+    const size_t new_tokens = quick ? 8 : 32;
+
+    std::vector<RunResult> results;
+    for (const auto &fmt : formats) {
+        double batch1_tok_s = 0.0;
+        for (size_t b : batches) {
+            std::fprintf(stderr, "serving %s batch %zu...\n", fmt.c_str(),
+                         b);
+            RunResult r = runConfig(model, fmt, b, requests, prompt_len,
+                                    new_tokens);
+            if (b == 1)
+                batch1_tok_s = r.throughput_tok_s;
+            r.speedup_vs_batch1 = batch1_tok_s > 0.0
+                ? r.throughput_tok_s / batch1_tok_s
+                : 0.0;
+            results.push_back(std::move(r));
+        }
+    }
+
+    FILE *out = stdout;
+    if (out_path != nullptr) {
+        out = std::fopen(out_path, "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", out_path);
+            return 1;
+        }
+    }
+
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"bench_serving\",\n");
+    std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(out, "  \"model\": \"%s\",\n", cfg.name.c_str());
+    std::fprintf(out,
+                 "  \"workload\": {\"requests\": %zu, \"prompt_tokens\": "
+                 "%zu, \"new_tokens_per_request\": %zu, \"sampling\": "
+                 "\"greedy\"},\n",
+                 requests, prompt_len, new_tokens);
+    std::fprintf(out, "  \"configs\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        std::fprintf(
+            out,
+            "    {\"format\": \"%s\", \"batch\": %zu, "
+            "\"throughput_tok_s\": %.1f, \"decode_tok_s\": %.1f, "
+            "\"speedup_vs_batch1\": %.2f, "
+            "\"ttft_p50_ms\": %.2f, \"token_p50_ms\": %.3f, "
+            "\"token_p99_ms\": %.3f, \"mean_batch_occupancy\": %.2f, "
+            "\"kv_bytes_peak\": %zu}%s\n",
+            r.format.c_str(), r.batch, r.throughput_tok_s,
+            r.decode_tok_s, r.speedup_vs_batch1, r.ttft_p50_ms, r.token_p50_ms,
+            r.token_p99_ms, r.mean_batch_occupancy, r.kv_bytes_peak,
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n");
+    std::fprintf(out, "}\n");
+    if (out != stdout)
+        std::fclose(out);
+    return 0;
+}

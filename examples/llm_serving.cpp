@@ -2,16 +2,51 @@
  * @file
  * End-to-end LLM serving scenario: quantize a synthetic LLM with MXFP4
  * vs MXFP4+, measure model quality (teacher-data perplexity + a zero-shot
- * task), and estimate the serving speedup over BF16 with the GPU timing
- * model — the workflow the paper's introduction motivates.
+ * task), estimate the serving speedup over BF16 with the GPU timing
+ * model, and then actually serve the emulated model with the batched
+ * continuous-batching engine (prefill + incremental quantized-KV decode)
+ * — the workflow the paper's introduction motivates, from quality to
+ * throughput.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "gpusim/llm_timing.h"
 #include "model/eval.h"
+#include "serve/serving_engine.h"
 
 using namespace mxplus;
+
+namespace {
+
+/** Serve a small greedy workload and print the engine's stats row. */
+void
+serveRow(const Transformer &model, const char *fmt, size_t batch)
+{
+    const QuantConfig qc = QuantConfig::fromFormat(fmt);
+    ServingEngine engine(model, qc, batch);
+    std::vector<size_t> ids;
+    for (size_t r = 0; r < 4; ++r) {
+        ServeRequest req;
+        req.prompt.resize(16);
+        for (size_t i = 0; i < req.prompt.size(); ++i)
+            req.prompt[i] = static_cast<int>((11 + 5 * r + 3 * i) % 251);
+        req.max_new_tokens = 12;
+        ids.push_back(engine.submit(std::move(req)));
+    }
+    engine.runToCompletion();
+    const EngineStats &es = engine.engineStats();
+    double ttft_worst = 0.0;
+    for (size_t id : ids)
+        ttft_worst = std::max(ttft_worst, engine.stats(id).ttft_ms);
+    std::printf("%-8s %5zu %10.1f %10.1f %9.1fms %8.1fMB\n", fmt, batch,
+                es.throughput_tokens_per_s, es.decode_tokens_per_s,
+                ttft_worst,
+                static_cast<double>(es.kv_bytes_peak) / (1024.0 * 1024.0));
+}
+
+} // namespace
 
 int
 main()
@@ -75,8 +110,21 @@ main()
                     t.prefill_ms, t.decode_ms, t_bf16 / t.total());
     }
 
+    // 3. Serve the emulated model for real: continuous batching over
+    // incremental decode with a quantized KV cache (4 req x 16 in /
+    // 12 out, greedy). Batch 4 shares every linear GEMM across requests.
+    std::printf("\nserving the emulated %s with the batching engine:\n",
+                cfg.name.c_str());
+    std::printf("%-8s %5s %10s %10s %11s %10s\n", "format", "batch",
+                "tok/s", "decode/s", "worst ttft", "kv peak");
+    for (const char *fmt : {"BF16", "MXFP4+"}) {
+        for (size_t batch : {size_t{1}, size_t{4}})
+            serveRow(model, fmt, batch);
+    }
+
     std::printf("\ntakeaway: MXFP4+ keeps nearly all of MXFP4's serving "
                 "speedup while recovering most of the quality gap to "
-                "BF16.\n");
+                "BF16 — and the engine's batched decode turns that into "
+                "real tokens/s (see BENCH_serving.json).\n");
     return 0;
 }

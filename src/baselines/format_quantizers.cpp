@@ -18,6 +18,7 @@ class IdentityQuantizer final : public TensorQuantizer
             std::copy(in, in + rows * cols, out);
     }
 
+    size_t blockPeriod() const override { return 1; }
     std::string name() const override { return "FP32"; }
     double avgBits() const override { return 32.0; }
 };
@@ -34,6 +35,7 @@ class Bf16Quantizer final : public TensorQuantizer
             out[i] = roundToBf16(in[i]);
     }
 
+    size_t blockPeriod() const override { return 1; }
     std::string name() const override { return "BF16"; }
     double avgBits() const override { return 16.0; }
 };
@@ -51,6 +53,12 @@ class MxTensorQuantizer final : public TensorQuantizer
                  size_t cols) const override
     {
         q_.fakeQuantizeRows(in, out, rows, cols);
+    }
+
+    size_t
+    blockPeriod() const override
+    {
+        return static_cast<size_t>(q_.blockSize());
     }
 
     std::string name() const override { return q_.name(); }
@@ -72,6 +80,8 @@ class Nvfp4TensorQuantizer final : public TensorQuantizer
         q_.fakeQuantizeRows(in, out, rows, cols);
     }
 
+    size_t blockPeriod() const override { return 16; } // NVFP4 block
+
     std::string name() const override { return q_.name(); }
     double avgBits() const override { return q_.avgBitsPerElement(); }
 
@@ -89,6 +99,12 @@ class MsfpTensorQuantizer final : public TensorQuantizer
                  size_t cols) const override
     {
         q_.fakeQuantizeRows(in, out, rows, cols);
+    }
+
+    size_t
+    blockPeriod() const override
+    {
+        return static_cast<size_t>(q_.blockSize());
     }
 
     std::string name() const override { return q_.name(); }
@@ -110,6 +126,12 @@ class SmxTensorQuantizer final : public TensorQuantizer
         q_.fakeQuantizeRows(in, out, rows, cols);
     }
 
+    size_t
+    blockPeriod() const override
+    {
+        return static_cast<size_t>(q_.groupSize());
+    }
+
     std::string name() const override { return q_.name(); }
     double avgBits() const override { return q_.avgBitsPerElement(); }
 
@@ -127,6 +149,13 @@ class TopKTensorQuantizer final : public TensorQuantizer
                  size_t cols) const override
     {
         q_.fakeQuantizeRows(in, out, rows, cols);
+    }
+
+    // Top-k selection happens within each MX block.
+    size_t
+    blockPeriod() const override
+    {
+        return static_cast<size_t>(q_.blockSize());
     }
 
     std::string

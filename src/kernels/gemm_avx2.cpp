@@ -1,8 +1,16 @@
 /**
  * @file
- * AVX2/FMA 6x16 GEMM microkernel. Compiled with a function-level target
+ * AVX2/FMA GEMM microkernel. Compiled with a function-level target
  * attribute so the library builds for a baseline x86-64 ISA; the dispatcher
  * only routes here after a cpuid check (KernelDispatch::cpuHasAvx2Fma).
+ *
+ * Shape stability: every tile — full 6x16 interiors and all mr/nr edges —
+ * runs the same per-row FMA chain (broadcast A, two fused multiply-adds per
+ * depth step). Edge tiles accumulate the full kNR-wide zero-padded B strip
+ * and discard the padded lanes at writeback instead of falling back to the
+ * portable mul+add kernel, so C(i, j) depends only on A row i, B row j and
+ * K — never on the shape of the surrounding GEMM. The incremental decode
+ * path relies on this to reproduce full-sequence rows bit-exactly.
  */
 
 #include "kernels/kernels_internal.h"
@@ -12,89 +20,76 @@
 
 namespace mxplus::kernels {
 
+namespace {
+
+/**
+ * One register tile of MR rows x kNR lanes. MR is a template parameter so
+ * each instantiation keeps its accumulators in ymm registers; the per-row
+ * operation sequence is identical for every MR.
+ */
+template <size_t MR>
 __attribute__((target("avx2,fma"))) void
-microKernelAvx2(size_t kc, const float *a, size_t lda, const float *bpanel,
-                float *c, size_t ldc, size_t mr, size_t nr, bool accumulate)
+tileAvx2(size_t kc, const float *a, size_t lda, const float *bpanel,
+         float *c, size_t ldc, size_t nr, bool accumulate)
 {
-    if (mr != kMR || nr != kNR) {
-        // Edge tiles are rare (< 1/6 of rows, < 1/16 of cols); the portable
-        // kernel handles the padded-lane bookkeeping there.
-        microKernelPortable(kc, a, lda, bpanel, c, ldc, mr, nr, accumulate);
-        return;
+    __m256 acc0[MR];
+    __m256 acc1[MR];
+    for (size_t i = 0; i < MR; ++i) {
+        acc0[i] = _mm256_setzero_ps();
+        acc1[i] = _mm256_setzero_ps();
     }
-
-    // 6 rows x 2 ymm lanes = 12 accumulators; 2 B loads + 1 A broadcast
-    // per depth step keeps all accumulators in registers.
-    __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
-    __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
-    __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
-    __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
-    __m256 acc40 = _mm256_setzero_ps(), acc41 = _mm256_setzero_ps();
-    __m256 acc50 = _mm256_setzero_ps(), acc51 = _mm256_setzero_ps();
-
-    const float *a0 = a;
-    const float *a1 = a + lda;
-    const float *a2 = a + 2 * lda;
-    const float *a3 = a + 3 * lda;
-    const float *a4 = a + 4 * lda;
-    const float *a5 = a + 5 * lda;
 
     for (size_t kk = 0; kk < kc; ++kk) {
         const __m256 b0 = _mm256_loadu_ps(bpanel + kk * kNR);
         const __m256 b1 = _mm256_loadu_ps(bpanel + kk * kNR + 8);
-        __m256 av;
-        av = _mm256_broadcast_ss(a0 + kk);
-        acc00 = _mm256_fmadd_ps(av, b0, acc00);
-        acc01 = _mm256_fmadd_ps(av, b1, acc01);
-        av = _mm256_broadcast_ss(a1 + kk);
-        acc10 = _mm256_fmadd_ps(av, b0, acc10);
-        acc11 = _mm256_fmadd_ps(av, b1, acc11);
-        av = _mm256_broadcast_ss(a2 + kk);
-        acc20 = _mm256_fmadd_ps(av, b0, acc20);
-        acc21 = _mm256_fmadd_ps(av, b1, acc21);
-        av = _mm256_broadcast_ss(a3 + kk);
-        acc30 = _mm256_fmadd_ps(av, b0, acc30);
-        acc31 = _mm256_fmadd_ps(av, b1, acc31);
-        av = _mm256_broadcast_ss(a4 + kk);
-        acc40 = _mm256_fmadd_ps(av, b0, acc40);
-        acc41 = _mm256_fmadd_ps(av, b1, acc41);
-        av = _mm256_broadcast_ss(a5 + kk);
-        acc50 = _mm256_fmadd_ps(av, b0, acc50);
-        acc51 = _mm256_fmadd_ps(av, b1, acc51);
+        for (size_t i = 0; i < MR; ++i) {
+            const __m256 av = _mm256_broadcast_ss(a + i * lda + kk);
+            acc0[i] = _mm256_fmadd_ps(av, b0, acc0[i]);
+            acc1[i] = _mm256_fmadd_ps(av, b1, acc1[i]);
+        }
     }
 
-    float *c0 = c;
-    float *c1 = c + ldc;
-    float *c2 = c + 2 * ldc;
-    float *c3 = c + 3 * ldc;
-    float *c4 = c + 4 * ldc;
-    float *c5 = c + 5 * ldc;
-    if (accumulate) {
-        acc00 = _mm256_add_ps(acc00, _mm256_loadu_ps(c0));
-        acc01 = _mm256_add_ps(acc01, _mm256_loadu_ps(c0 + 8));
-        acc10 = _mm256_add_ps(acc10, _mm256_loadu_ps(c1));
-        acc11 = _mm256_add_ps(acc11, _mm256_loadu_ps(c1 + 8));
-        acc20 = _mm256_add_ps(acc20, _mm256_loadu_ps(c2));
-        acc21 = _mm256_add_ps(acc21, _mm256_loadu_ps(c2 + 8));
-        acc30 = _mm256_add_ps(acc30, _mm256_loadu_ps(c3));
-        acc31 = _mm256_add_ps(acc31, _mm256_loadu_ps(c3 + 8));
-        acc40 = _mm256_add_ps(acc40, _mm256_loadu_ps(c4));
-        acc41 = _mm256_add_ps(acc41, _mm256_loadu_ps(c4 + 8));
-        acc50 = _mm256_add_ps(acc50, _mm256_loadu_ps(c5));
-        acc51 = _mm256_add_ps(acc51, _mm256_loadu_ps(c5 + 8));
+    if (nr == kNR) {
+        for (size_t i = 0; i < MR; ++i) {
+            float *crow = c + i * ldc;
+            __m256 r0 = acc0[i];
+            __m256 r1 = acc1[i];
+            if (accumulate) {
+                r0 = _mm256_add_ps(r0, _mm256_loadu_ps(crow));
+                r1 = _mm256_add_ps(r1, _mm256_loadu_ps(crow + 8));
+            }
+            _mm256_storeu_ps(crow, r0);
+            _mm256_storeu_ps(crow + 8, r1);
+        }
+    } else {
+        // Partial strip: spill the accumulators and merge only the nr
+        // valid lanes (padded lanes may hold 0 * Inf garbage — discard).
+        for (size_t i = 0; i < MR; ++i) {
+            alignas(32) float tmp[kNR];
+            _mm256_store_ps(tmp, acc0[i]);
+            _mm256_store_ps(tmp + 8, acc1[i]);
+            float *crow = c + i * ldc;
+            for (size_t j = 0; j < nr; ++j)
+                crow[j] = accumulate ? tmp[j] + crow[j] : tmp[j];
+        }
     }
-    _mm256_storeu_ps(c0, acc00);
-    _mm256_storeu_ps(c0 + 8, acc01);
-    _mm256_storeu_ps(c1, acc10);
-    _mm256_storeu_ps(c1 + 8, acc11);
-    _mm256_storeu_ps(c2, acc20);
-    _mm256_storeu_ps(c2 + 8, acc21);
-    _mm256_storeu_ps(c3, acc30);
-    _mm256_storeu_ps(c3 + 8, acc31);
-    _mm256_storeu_ps(c4, acc40);
-    _mm256_storeu_ps(c4 + 8, acc41);
-    _mm256_storeu_ps(c5, acc50);
-    _mm256_storeu_ps(c5 + 8, acc51);
+}
+
+} // namespace
+
+void
+microKernelAvx2(size_t kc, const float *a, size_t lda, const float *bpanel,
+                float *c, size_t ldc, size_t mr, size_t nr, bool accumulate)
+{
+    switch (mr) {
+      case 6: tileAvx2<6>(kc, a, lda, bpanel, c, ldc, nr, accumulate); break;
+      case 5: tileAvx2<5>(kc, a, lda, bpanel, c, ldc, nr, accumulate); break;
+      case 4: tileAvx2<4>(kc, a, lda, bpanel, c, ldc, nr, accumulate); break;
+      case 3: tileAvx2<3>(kc, a, lda, bpanel, c, ldc, nr, accumulate); break;
+      case 2: tileAvx2<2>(kc, a, lda, bpanel, c, ldc, nr, accumulate); break;
+      case 1: tileAvx2<1>(kc, a, lda, bpanel, c, ldc, nr, accumulate); break;
+      default: break; // mr is always in [1, kMR]
+    }
 }
 
 } // namespace mxplus::kernels

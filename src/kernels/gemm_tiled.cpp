@@ -62,27 +62,18 @@ microKernelPortable(size_t kc, const float *a, size_t lda,
                     size_t nr, bool accumulate)
 {
     // Accumulate the full kNR-wide tile (padded B lanes are zero) and only
-    // write back the nr valid columns, so padding never reaches C.
+    // write back the nr valid columns, so padding never reaches C. A single
+    // loop nest serves every mr: full and edge tiles must share one codegen
+    // so that a row's accumulation chain does not depend on which tile of
+    // which GEMM shape it lands in (the shape-stability contract).
     float acc[kMR][kNR] = {};
-    if (mr == kMR) {
-        for (size_t kk = 0; kk < kc; ++kk) {
-            const float *bk = bpanel + kk * kNR;
-            for (size_t i = 0; i < kMR; ++i) {
-                const float av = a[i * lda + kk];
-                #pragma omp simd
-                for (size_t j = 0; j < kNR; ++j)
-                    acc[i][j] += av * bk[j];
-            }
-        }
-    } else {
-        for (size_t kk = 0; kk < kc; ++kk) {
-            const float *bk = bpanel + kk * kNR;
-            for (size_t i = 0; i < mr; ++i) {
-                const float av = a[i * lda + kk];
-                #pragma omp simd
-                for (size_t j = 0; j < kNR; ++j)
-                    acc[i][j] += av * bk[j];
-            }
+    for (size_t kk = 0; kk < kc; ++kk) {
+        const float *bk = bpanel + kk * kNR;
+        for (size_t i = 0; i < mr; ++i) {
+            const float av = a[i * lda + kk];
+            #pragma omp simd
+            for (size_t j = 0; j < kNR; ++j)
+                acc[i][j] += av * bk[j];
         }
     }
     for (size_t i = 0; i < mr; ++i) {
@@ -110,6 +101,12 @@ gemmTiled(const float *a, size_t lda, const float *b, size_t ldb, float *c,
         return;
     }
 
+    // Decode-sized problems (a handful of rows against a small weight
+    // matrix) lose more to the OpenMP fork/join than they gain from extra
+    // cores; run those serially. Scheduling only — per-element values are
+    // identical either way.
+    const bool parallel_rows = m > kMR && m * n * k > (size_t{1} << 16);
+
     std::vector<float> panel(kKC * ((kNC + kNR - 1) / kNR) * kNR);
     for (size_t jc = 0; jc < n; jc += kNC) {
         const size_t nc = std::min(kNC, n - jc);
@@ -118,7 +115,7 @@ gemmTiled(const float *a, size_t lda, const float *b, size_t ldb, float *c,
             const size_t kc = std::min(kKC, k - pc);
             packB(panel.data(), b, ldb, b_transposed, pc, kc, jc, nc);
             const bool accumulate = pc > 0;
-            #pragma omp parallel for schedule(static)
+            #pragma omp parallel for schedule(static) if (parallel_rows)
             for (size_t ic = 0; ic < m; ic += kMR) {
                 const size_t mr = std::min(kMR, m - ic);
                 const float *ablk = a + ic * lda + pc;

@@ -132,6 +132,72 @@ KernelDispatch::gemmNN(KernelBackend backend, const Matrix &a,
 }
 
 void
+KernelDispatch::matvec(const Matrix &w, const float *x, float *y)
+{
+    matvec(active(), w, x, y);
+}
+
+void
+KernelDispatch::matvec(KernelBackend backend, const Matrix &w,
+                       const float *x, float *y)
+{
+    matvecBatch(backend, w, x, w.cols(), y, w.rows(), 1);
+}
+
+void
+KernelDispatch::matvecBatch(const Matrix &w, const float *x, size_t ldx,
+                            float *y, size_t ldy, size_t batch)
+{
+    matvecBatch(active(), w, x, ldx, y, ldy, batch);
+}
+
+void
+KernelDispatch::matvecBatch(KernelBackend backend, const Matrix &w,
+                            const float *x, size_t ldx, float *y,
+                            size_t ldy, size_t batch)
+{
+    const size_t n = w.rows();
+    const size_t k = w.cols();
+    if (backend == KernelBackend::Reference) {
+        // Row-at-a-time through the scalar kernel: the same per-row chain
+        // as a contiguous gemmNT, stride-agnostic.
+        for (size_t r = 0; r < batch; ++r)
+            kernels::gemmNTReference(x + r * ldx, w.data(), y + r * ldy, 1,
+                                     n, k);
+    } else {
+        kernels::gemmTiled(x, ldx, w.data(), k, y, ldy, batch, n, k,
+                           /*b_transposed=*/true, simdMicroKernel());
+    }
+}
+
+void
+KernelDispatch::matvecStrided(const float *w, size_t ldw, size_t n,
+                              size_t k, const float *x, float *y)
+{
+    matvecStrided(active(), w, ldw, n, k, x, y);
+}
+
+void
+KernelDispatch::matvecStrided(KernelBackend backend, const float *w,
+                              size_t ldw, size_t n, size_t k,
+                              const float *x, float *y)
+{
+    if (backend == KernelBackend::Reference) {
+        // Same per-output chain as gemmNTReference, stride-aware.
+        for (size_t j = 0; j < n; ++j) {
+            const float *wrow = w + j * ldw;
+            float acc = 0.0f;
+            for (size_t kk = 0; kk < k; ++kk)
+                acc += x[kk] * wrow[kk];
+            y[j] = acc;
+        }
+    } else {
+        kernels::gemmTiled(x, k, w, ldw, y, n, 1, n, k,
+                           /*b_transposed=*/true, simdMicroKernel());
+    }
+}
+
+void
 KernelDispatch::quantizeRows(const MxQuantizer &q, const float *in,
                              float *out, size_t rows, size_t cols)
 {

@@ -18,6 +18,15 @@
  * two contiguous SIMD lanes per depth step. Strips are zero-padded to kNR
  * columns; padded lanes are discarded by the edge path before they can
  * pollute C (0 * Inf never reaches a visible accumulator).
+ *
+ * Shape-stability contract: within one backend (and one machine), C(i, j)
+ * is a pure function of A row i, B row/column j and the depth K — it does
+ * not depend on M, N, or which tile the element lands in. Both
+ * microkernels therefore run one accumulation chain for every mr/nr (the
+ * AVX2 kernel covers edge tiles itself instead of mixing FMA interiors
+ * with mul+add edges). The incremental decode path (Transformer::
+ * decodeStep) depends on this: a 1-row matvec must reproduce the
+ * corresponding row of the full-sequence GEMM bit-exactly.
  */
 
 #ifndef MXPLUS_KERNELS_KERNELS_INTERNAL_H

@@ -86,6 +86,28 @@ sinusoidalPositions(size_t max_len, size_t d)
     return pos;
 }
 
+int
+sampleLogits(const float *logits, size_t n, double temperature, Rng &rng)
+{
+    if (temperature <= 0.0) {
+        size_t best = 0;
+        for (size_t i = 1; i < n; ++i) {
+            if (logits[i] > logits[best])
+                best = i;
+        }
+        return static_cast<int>(best);
+    }
+    double mx = logits[0];
+    for (size_t i = 0; i < n; ++i)
+        mx = std::max(mx, static_cast<double>(logits[i]));
+    std::vector<double> probs(n);
+    for (size_t i = 0; i < n; ++i) {
+        probs[i] = std::exp((static_cast<double>(logits[i]) - mx) /
+                            std::max(temperature, 1e-3));
+    }
+    return static_cast<int>(rng.categorical(probs));
+}
+
 std::vector<double>
 logSoftmax(const float *logits, size_t n)
 {

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/rng.h"
 #include "tensor/tensor.h"
 
 namespace mxplus {
@@ -31,6 +32,16 @@ Matrix sinusoidalPositions(size_t max_len, size_t d);
 
 /** Numerically stable log-softmax of one logits row (double precision). */
 std::vector<double> logSoftmax(const float *logits, size_t n);
+
+/**
+ * Pick a token from one logits row: greedy argmax when @p temperature
+ * <= 0, otherwise FP64 max-shifted temperature sampling with a 1e-3
+ * temperature floor. The single sampling recipe shared by
+ * Transformer::sample and the serving engine, so their tokens can never
+ * silently diverge.
+ */
+int sampleLogits(const float *logits, size_t n, double temperature,
+                 Rng &rng);
 
 } // namespace mxplus
 

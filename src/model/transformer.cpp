@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "kernels/kernel_dispatch.h"
 #include "model/layers.h"
+#include "serve/kv_cache.h"
 #include "tensor/matmul.h"
 
 namespace mxplus {
@@ -14,17 +15,16 @@ namespace mxplus {
 namespace {
 
 /**
- * y = W x for a [N x K] weight and length-K vector (decode path): a
- * 1-row GEMM-NT through the kernel engine, FP32 accumulation.
+ * y = W x for a [N x K] weight and length-K vector (teacher decode path):
+ * a 1-row GEMM-NT through the kernel engine, FP32 accumulation.
  */
 std::vector<float>
 matvec(const Matrix &w, const std::vector<float> &x)
 {
     MXPLUS_CHECK(w.cols() == x.size());
-    const Matrix xa(1, x.size(), x);
-    Matrix y(1, w.rows());
-    KernelDispatch::gemmNT(xa, w, y);
-    return std::vector<float>(y.data(), y.data() + w.rows());
+    std::vector<float> y(w.rows());
+    KernelDispatch::matvec(w, x.data(), y.data());
+    return y;
 }
 
 std::vector<float>
@@ -138,7 +138,13 @@ Transformer::Transformer(const ModelConfig &cfg) : cfg_(cfg)
 Matrix
 Transformer::embed(const std::vector<int> &tokens) const
 {
-    MXPLUS_CHECK(tokens.size() <= cfg_.max_seq);
+    return embedAt(tokens, 0);
+}
+
+Matrix
+Transformer::embedAt(const std::vector<int> &tokens, size_t pos0) const
+{
+    MXPLUS_CHECK(pos0 + tokens.size() <= cfg_.max_seq);
     Matrix x(tokens.size(), cfg_.d_model);
     for (size_t t = 0; t < tokens.size(); ++t) {
         const int tok = tokens[t];
@@ -146,7 +152,7 @@ Transformer::embed(const std::vector<int> &tokens) const
                      static_cast<size_t>(tok) < cfg_.vocab);
         for (size_t c = 0; c < cfg_.d_model; ++c) {
             x.at(t, c) = embedding_.at(static_cast<size_t>(tok), c) +
-                positions_.at(t, c);
+                positions_.at(pos0 + t, c);
         }
     }
     return x;
@@ -183,7 +189,8 @@ Transformer::applyLinear(const std::string &name, const Matrix &x,
 
 Matrix
 Transformer::attentionBlock(size_t layer, const Matrix &x,
-                            const QuantConfig &qc) const
+                            const QuantConfig &qc, KvCache *cache,
+                            size_t pos0) const
 {
     const LayerWeights &lw = layers_[layer];
     const size_t t_len = x.rows();
@@ -200,34 +207,55 @@ Transformer::attentionBlock(size_t layer, const Matrix &x,
     const Matrix k = applyLinear(prefix + "wk", h, lw.wk, qc, false);
     const Matrix v = applyLinear(prefix + "wv", h, lw.wv, qc, false);
 
+    if (cache != nullptr)
+        cache->appendBatch(layer, k, v);
+    // With a cache, attention runs over the whole history (the rows just
+    // appended included); without one it sees exactly this batch.
+    const size_t kv_len =
+        cache != nullptr ? cache->appendedLength(layer) : t_len;
+    MXPLUS_CHECK(pos0 + t_len == kv_len);
+
     Matrix attn_out(t_len, d);
     const float inv_sqrt_dh =
         1.0f / std::sqrt(static_cast<float>(dh));
+    const TensorQuantizer &qk_quant =
+        qc.qk_override ? *qc.qk_override : *qc.attention;
 
     for (size_t hd = 0; hd < heads; ++hd) {
         const size_t c0 = hd * dh;
-        // Slice this head's Q/K/V ([T x dh], contiguous along head dim so
-        // MX blocks run along the dot-product dimension).
+        // Slice this head's Q ([T x dh], contiguous along head dim so MX
+        // blocks run along the dot-product dimension).
         Matrix qh(t_len, dh);
-        Matrix kh(t_len, dh);
-        Matrix vt(dh, t_len); // V transposed: rows along the seq dim
         for (size_t t = 0; t < t_len; ++t) {
-            for (size_t c = 0; c < dh; ++c) {
+            for (size_t c = 0; c < dh; ++c)
                 qh.at(t, c) = q.at(t, c0 + c);
-                kh.at(t, c) = k.at(t, c0 + c);
-                vt.at(c, t) = v.at(t, c0 + c);
-            }
         }
-        // KV-cache / attention quantization: Q and K along the head dim.
-        const TensorQuantizer &qk_quant =
-            qc.qk_override ? *qc.qk_override : *qc.attention;
         const Matrix qhq = qk_quant.quantized(qh);
-        const Matrix khq = qk_quant.quantized(kh);
 
-        Matrix scores = matmulNT(qhq, khq); // [T x T]
+        // K along the head dim, V along the seq dim — either gathered
+        // from the quantized cache or quantized in place (one-shot path).
+        Matrix khq; // [kv_len x dh]
+        Matrix vtq; // [dh x kv_len]
+        if (cache != nullptr) {
+            cache->headKeys(layer, hd, khq);
+            cache->headValuesT(layer, hd, vtq);
+        } else {
+            Matrix kh(t_len, dh);
+            Matrix vt(dh, t_len);
+            for (size_t t = 0; t < t_len; ++t) {
+                for (size_t c = 0; c < dh; ++c) {
+                    kh.at(t, c) = k.at(t, c0 + c);
+                    vt.at(c, t) = v.at(t, c0 + c);
+                }
+            }
+            khq = qk_quant.quantized(kh);
+            vtq = qc.attention->quantized(vt);
+        }
+
+        Matrix scores = matmulNT(qhq, khq); // [T x kv_len]
         for (size_t i = 0; i < t_len; ++i) {
-            for (size_t j = 0; j < t_len; ++j) {
-                if (j > i)
+            for (size_t j = 0; j < kv_len; ++j) {
+                if (j > pos0 + i)
                     scores.at(i, j) = -1e30f; // causal mask
                 else
                     scores.at(i, j) *= inv_sqrt_dh;
@@ -237,7 +265,6 @@ Transformer::attentionBlock(size_t layer, const Matrix &x,
 
         // P along seq, V along seq: both reduction-dim blocked.
         const Matrix pq = qc.attention->quantized(scores);
-        const Matrix vtq = qc.attention->quantized(vt);
         const Matrix out_h = matmulNT(pq, vtq); // [T x dh]
         for (size_t t = 0; t < t_len; ++t) {
             for (size_t c = 0; c < dh; ++c)
@@ -246,6 +273,61 @@ Transformer::attentionBlock(size_t layer, const Matrix &x,
     }
 
     return applyLinear(prefix + "wo", attn_out, lw.wo, qc, false);
+}
+
+void
+Transformer::attendRowOverCache(size_t layer, const float *q_row,
+                                const KvCache &cache,
+                                const QuantConfig &qc,
+                                float *out_row) const
+{
+    const size_t heads = cfg_.n_heads;
+    const size_t dh = cfg_.headDim();
+    const float inv_sqrt_dh =
+        1.0f / std::sqrt(static_cast<float>(dh));
+    const TensorQuantizer &qk_quant =
+        qc.qk_override ? *qc.qk_override : *qc.attention;
+    const size_t len = cache.appendedLength(layer);
+
+    // Zero-copy attention: the quantized K/V head slices are consumed
+    // straight out of the cache via strided matvecs — no gather, no
+    // Matrix temporaries. Bit-identical to the full-sequence operand
+    // math (same quantizer calls, same kernel chains).
+    std::vector<float> qhq(dh);
+    std::vector<float> scores(len);
+    std::vector<float> pq(len);
+    for (size_t hd = 0; hd < heads; ++hd) {
+        const size_t c0 = hd * dh;
+        qk_quant.quantizeRows(q_row + c0, qhq.data(), 1, dh);
+
+        KernelDispatch::matvecStrided(cache.keysData(layer) + c0,
+                                      cache.keyRowStride(), len, dh,
+                                      qhq.data(), scores.data());
+        // The row sits at the last position, so every cached entry is
+        // visible: scale only, no causal mask needed. Softmax is the
+        // one-row transcription of softmaxRowsInPlace (FP64, paper
+        // baseline).
+        for (size_t j = 0; j < len; ++j)
+            scores[j] *= inv_sqrt_dh;
+        double mx = scores[0];
+        for (size_t j = 1; j < len; ++j)
+            mx = std::max(mx, static_cast<double>(scores[j]));
+        double sum = 0.0;
+        for (size_t j = 0; j < len; ++j) {
+            const double e =
+                std::exp(static_cast<double>(scores[j]) - mx);
+            scores[j] = static_cast<float>(e);
+            sum += e;
+        }
+        const double inv = 1.0 / sum;
+        for (size_t j = 0; j < len; ++j)
+            scores[j] = static_cast<float>(scores[j] * inv);
+
+        qc.attention->quantizeRows(scores.data(), pq.data(), 1, len);
+        KernelDispatch::matvecStrided(
+            cache.valuesTData(layer) + c0 * cache.valueRowStride(),
+            cache.valueRowStride(), dh, len, pq.data(), out_row + c0);
+    }
 }
 
 Matrix
@@ -269,13 +351,11 @@ Transformer::mlpBlock(size_t layer, const Matrix &x,
 }
 
 Matrix
-Transformer::forward(const std::vector<int> &tokens,
-                     const QuantConfig &qc) const
+Transformer::runLayers(Matrix x, const QuantConfig &qc, KvCache *cache,
+                       size_t pos0) const
 {
-    MXPLUS_CHECK(!tokens.empty());
-    Matrix x = embed(tokens);
     for (size_t layer = 0; layer < cfg_.n_layers; ++layer) {
-        const Matrix attn = attentionBlock(layer, x, qc);
+        const Matrix attn = attentionBlock(layer, x, qc, cache, pos0);
         for (size_t i = 0; i < x.size(); ++i)
             x.data()[i] += attn.data()[i];
         KernelDispatch::roundRowsToBf16(x.data(), x.size());
@@ -286,6 +366,194 @@ Transformer::forward(const std::vector<int> &tokens,
     }
     const Matrix h = rmsnorm(x, final_gain_);
     return applyLinear("head", h, head_, qc, true);
+}
+
+Matrix
+Transformer::forward(const std::vector<int> &tokens,
+                     const QuantConfig &qc) const
+{
+    MXPLUS_CHECK(!tokens.empty());
+    return runLayers(embed(tokens), qc, nullptr, 0);
+}
+
+Matrix
+Transformer::prefill(const std::vector<int> &tokens, KvCache &cache,
+                     const QuantConfig &qc) const
+{
+    MXPLUS_CHECK(!tokens.empty());
+    if (cache.isTeacher()) {
+        // Teacher prefill consumes the prompt token-at-a-time through the
+        // original sampling recurrence.
+        Matrix logits(tokens.size(), cfg_.vocab);
+        for (size_t t = 0; t < tokens.size(); ++t) {
+            const Matrix row = teacherDecodeStep(tokens[t], cache);
+            std::copy(row.data(), row.data() + cfg_.vocab, logits.row(t));
+        }
+        return logits;
+    }
+    const size_t pos0 = cache.length();
+    Matrix logits = runLayers(embedAt(tokens, pos0), qc, &cache, pos0);
+    cache.commit(tokens.size());
+    return logits;
+}
+
+Matrix
+Transformer::decodeStep(int token, KvCache &cache,
+                        const QuantConfig &qc) const
+{
+    MXPLUS_CHECK_MSG(!cache.isTeacher(),
+                     "quantized decodeStep needs a forConfig cache");
+    std::vector<KvCache *> caches{&cache};
+    return decodeStepBatch({token}, caches, qc);
+}
+
+Matrix
+Transformer::decodeStep(int token, KvCache &cache) const
+{
+    MXPLUS_CHECK_MSG(cache.isTeacher(),
+                     "teacher decodeStep needs a teacher cache");
+    return teacherDecodeStep(token, cache);
+}
+
+Matrix
+Transformer::decodeStepBatch(const std::vector<int> &tokens,
+                             const std::vector<KvCache *> &caches,
+                             const QuantConfig &qc) const
+{
+    const size_t b = tokens.size();
+    MXPLUS_CHECK(b > 0 && caches.size() == b);
+    const size_t d = cfg_.d_model;
+
+    Matrix x(b, d);
+    for (size_t r = 0; r < b; ++r) {
+        MXPLUS_CHECK(caches[r] != nullptr && !caches[r]->isTeacher());
+        const size_t pos = caches[r]->length();
+        MXPLUS_CHECK(pos < cfg_.max_seq);
+        const int tok = tokens[r];
+        MXPLUS_CHECK(tok >= 0 && static_cast<size_t>(tok) < cfg_.vocab);
+        for (size_t c = 0; c < d; ++c) {
+            x.at(r, c) = embedding_.at(static_cast<size_t>(tok), c) +
+                positions_.at(pos, c);
+        }
+    }
+
+    for (size_t layer = 0; layer < cfg_.n_layers; ++layer) {
+        const LayerWeights &lw = layers_[layer];
+        const std::string prefix = "L" + std::to_string(layer) + ".";
+
+        const Matrix h = rmsnorm(x, lw.attn_gain);
+        if (capture_)
+            capture_(prefix + "attn_in", h);
+        // One GEMM per projection over all request rows: the batched
+        // matvec that amortizes weight quantization and panel packing.
+        const Matrix q = applyLinear(prefix + "wq", h, lw.wq, qc, false);
+        const Matrix k = applyLinear(prefix + "wk", h, lw.wk, qc, false);
+        const Matrix v = applyLinear(prefix + "wv", h, lw.wv, qc, false);
+
+        // Attention is per-request (each has its own history/cache).
+        Matrix attn_out(b, d);
+        #pragma omp parallel for schedule(static) if (b > 1)
+        for (size_t r = 0; r < b; ++r) {
+            caches[r]->append(layer, k.row(r), v.row(r));
+            attendRowOverCache(layer, q.row(r), *caches[r], qc,
+                               attn_out.row(r));
+        }
+        const Matrix o =
+            applyLinear(prefix + "wo", attn_out, lw.wo, qc, false);
+        for (size_t i = 0; i < x.size(); ++i)
+            x.data()[i] += o.data()[i];
+        KernelDispatch::roundRowsToBf16(x.data(), x.size());
+
+        const Matrix mlp = mlpBlock(layer, x, qc);
+        for (size_t i = 0; i < x.size(); ++i)
+            x.data()[i] += mlp.data()[i];
+        KernelDispatch::roundRowsToBf16(x.data(), x.size());
+    }
+
+    const Matrix h = rmsnorm(x, final_gain_);
+    Matrix logits = applyLinear("head", h, head_, qc, true);
+    for (size_t r = 0; r < b; ++r)
+        caches[r]->commit(1);
+    return logits;
+}
+
+Matrix
+Transformer::teacherDecodeStep(int token, KvCache &cache) const
+{
+    const size_t d = cfg_.d_model;
+    const size_t heads = cfg_.n_heads;
+    const size_t dh = cfg_.headDim();
+    const float inv_sqrt_dh =
+        1.0f / std::sqrt(static_cast<float>(dh));
+    const size_t pos = cache.length();
+    MXPLUS_CHECK(pos < cfg_.max_seq);
+    MXPLUS_CHECK(token >= 0 && static_cast<size_t>(token) < cfg_.vocab);
+
+    std::vector<float> x(d);
+    for (size_t c = 0; c < d; ++c) {
+        x[c] = embedding_.at(static_cast<size_t>(token), c) +
+            positions_.at(pos, c);
+    }
+    for (size_t layer = 0; layer < cfg_.n_layers; ++layer) {
+        const LayerWeights &lw = layers_[layer];
+        const auto h = rmsnormVec(x, lw.attn_gain);
+        const auto qv = matvec(lw.wq, h);
+        const auto kv = matvec(lw.wk, h);
+        const auto vv = matvec(lw.wv, h);
+        cache.append(layer, kv.data(), vv.data());
+
+        std::vector<float> attn_out(d, 0.0f);
+        const size_t t_len = cache.appendedLength(layer);
+        for (size_t hd = 0; hd < heads; ++hd) {
+            const size_t c0 = hd * dh;
+            std::vector<double> scores(t_len);
+            double mx = -1e300;
+            for (size_t s = 0; s < t_len; ++s) {
+                const float *krow = cache.rawKeyRow(layer, s);
+                double dot = 0.0;
+                for (size_t c = 0; c < dh; ++c) {
+                    dot += static_cast<double>(qv[c0 + c]) *
+                        krow[c0 + c];
+                }
+                scores[s] = dot * inv_sqrt_dh;
+                mx = std::max(mx, scores[s]);
+            }
+            double z = 0.0;
+            for (auto &s : scores) {
+                s = std::exp(s - mx);
+                z += s;
+            }
+            for (size_t s = 0; s < t_len; ++s) {
+                const double p = scores[s] / z;
+                const float *vrow = cache.rawValueRow(layer, s);
+                for (size_t c = 0; c < dh; ++c) {
+                    attn_out[c0 + c] += static_cast<float>(
+                        p * vrow[c0 + c]);
+                }
+            }
+        }
+        const auto o = matvec(lw.wo, attn_out);
+        for (size_t c = 0; c < d; ++c)
+            x[c] += o[c];
+
+        const auto h2 = rmsnormVec(x, lw.mlp_gain);
+        const auto gate = matvec(lw.w_gate, h2);
+        const auto up = matvec(lw.w_up, h2);
+        std::vector<float> act(cfg_.d_ff);
+        for (size_t i = 0; i < cfg_.d_ff; ++i) {
+            const float g = gate[i];
+            act[i] = (g / (1.0f + std::exp(-g))) * up[i];
+        }
+        const auto down = matvec(lw.w_down, act);
+        for (size_t c = 0; c < d; ++c)
+            x[c] += down[c];
+    }
+
+    const auto hf = rmsnormVec(x, final_gain_);
+    Matrix logits(1, cfg_.vocab);
+    KernelDispatch::matvec(head_, hf.data(), logits.data());
+    cache.commit(1);
+    return logits;
 }
 
 double
@@ -310,7 +578,8 @@ Transformer::continuationLogProb(const std::vector<int> &context,
     MXPLUS_CHECK(!context.empty() && !continuation.empty());
     std::vector<int> all = context;
     all.insert(all.end(), continuation.begin(), continuation.end());
-    const Matrix logits = forward(all, qc);
+    KvCache cache = KvCache::forConfig(cfg_, qc, all.size());
+    const Matrix logits = prefill(all, cache, qc);
     double total = 0.0;
     for (size_t i = 0; i < continuation.size(); ++i) {
         const size_t pos = context.size() + i - 1; // predicts token pos+1
@@ -324,103 +593,23 @@ std::vector<int>
 Transformer::sample(Rng &rng, size_t length, double temperature,
                     const std::vector<int> &prefix) const
 {
-    const size_t d = cfg_.d_model;
-    const size_t heads = cfg_.n_heads;
-    const size_t dh = cfg_.headDim();
-    const float inv_sqrt_dh =
-        1.0f / std::sqrt(static_cast<float>(dh));
-
     std::vector<int> tokens = prefix;
     if (tokens.empty())
         tokens.push_back(static_cast<int>(rng.uniformInt(cfg_.vocab)));
 
-    // Float KV cache per layer (the teacher always runs in BF16/FP32).
-    std::vector<std::vector<std::vector<float>>> kcache(cfg_.n_layers);
-    std::vector<std::vector<std::vector<float>>> vcache(cfg_.n_layers);
+    // Teacher-mode cache: raw float K/V, the BF16/FP32 teacher protocol.
+    KvCache cache = KvCache::teacher(cfg_, prefix.size() + length + 1);
 
-    std::vector<float> logits_last(cfg_.vocab);
     const size_t target =
         prefix.size() + length + (prefix.empty() ? 1 : 0);
-    size_t pos = 0;
-    while (tokens.size() < target && pos < cfg_.max_seq) {
-        const bool warming = pos + 1 < tokens.size();
-        const int tok = tokens[pos];
-        std::vector<float> x(d);
-        for (size_t c = 0; c < d; ++c) {
-            x[c] = embedding_.at(static_cast<size_t>(tok), c) +
-                positions_.at(pos, c);
-        }
-        for (size_t layer = 0; layer < cfg_.n_layers; ++layer) {
-            const LayerWeights &lw = layers_[layer];
-            const auto h = rmsnormVec(x, lw.attn_gain);
-            auto qv = matvec(lw.wq, h);
-            auto kv = matvec(lw.wk, h);
-            auto vv = matvec(lw.wv, h);
-            kcache[layer].push_back(kv);
-            vcache[layer].push_back(vv);
-
-            std::vector<float> attn_out(d, 0.0f);
-            const size_t t_len = kcache[layer].size();
-            for (size_t hd = 0; hd < heads; ++hd) {
-                const size_t c0 = hd * dh;
-                std::vector<double> scores(t_len);
-                double mx = -1e300;
-                for (size_t s = 0; s < t_len; ++s) {
-                    double dot = 0.0;
-                    for (size_t c = 0; c < dh; ++c) {
-                        dot += static_cast<double>(qv[c0 + c]) *
-                            kcache[layer][s][c0 + c];
-                    }
-                    scores[s] = dot * inv_sqrt_dh;
-                    mx = std::max(mx, scores[s]);
-                }
-                double z = 0.0;
-                for (auto &s : scores) {
-                    s = std::exp(s - mx);
-                    z += s;
-                }
-                for (size_t s = 0; s < t_len; ++s) {
-                    const double p = scores[s] / z;
-                    for (size_t c = 0; c < dh; ++c) {
-                        attn_out[c0 + c] += static_cast<float>(
-                            p * vcache[layer][s][c0 + c]);
-                    }
-                }
-            }
-            const auto o = matvec(lw.wo, attn_out);
-            for (size_t c = 0; c < d; ++c)
-                x[c] += o[c];
-
-            const auto h2 = rmsnormVec(x, lw.mlp_gain);
-            const auto gate = matvec(lw.w_gate, h2);
-            const auto up = matvec(lw.w_up, h2);
-            std::vector<float> act(cfg_.d_ff);
-            for (size_t i = 0; i < cfg_.d_ff; ++i) {
-                const float g = gate[i];
-                act[i] = (g / (1.0f + std::exp(-g))) * up[i];
-            }
-            const auto down = matvec(lw.w_down, act);
-            for (size_t c = 0; c < d; ++c)
-                x[c] += down[c];
-        }
-
-        const auto hf = rmsnormVec(x, final_gain_);
-        logits_last = matvec(head_, hf);
-
-        ++pos;
+    while (tokens.size() < target && cache.length() < cfg_.max_seq) {
+        const bool warming = cache.length() + 1 < tokens.size();
+        const Matrix logits =
+            decodeStep(tokens[cache.length()], cache);
         if (warming)
             continue; // still consuming the prefix
-        // Sample the next token at the given temperature.
-        std::vector<double> probs(cfg_.vocab);
-        double mx = logits_last[0];
-        for (float l : logits_last)
-            mx = std::max(mx, static_cast<double>(l));
-        for (size_t i = 0; i < cfg_.vocab; ++i) {
-            probs[i] = std::exp(
-                (static_cast<double>(logits_last[i]) - mx) /
-                std::max(temperature, 1e-3));
-        }
-        tokens.push_back(static_cast<int>(rng.categorical(probs)));
+        tokens.push_back(
+            sampleLogits(logits.data(), cfg_.vocab, temperature, rng));
     }
     return tokens;
 }

@@ -11,6 +11,22 @@
  * every dot-product operand through a QuantConfig (activations, weights,
  * Q/K/P/V incl. the KV cache, LM head), exactly mirroring the paper's
  * emulation flow.
+ *
+ * Execution paths:
+ *
+ *  - forward(): one-shot full-sequence pass, the semantic ground truth.
+ *  - prefill()/decodeStep()/decodeStepBatch(): the serving path. prefill
+ *    runs the prompt as one batch while populating a KvCache and is
+ *    bit-identical to forward() under every format (the cache quantizes
+ *    exactly the operands forward quantizes). decodeStep attends over the
+ *    cached quantized K/V instead of recomputing the sequence: in
+ *    BF16 it reproduces forward() bit-exactly (the kernel engine's
+ *    shape-stability contract); under MX-family formats it differs only
+ *    where a future value would have raised a V block maximum, i.e. by
+ *    the inherent causality gap of a quantized KV cache.
+ *  - The teacher path (a KvCache in teacher mode) reproduces the original
+ *    float/double sampling loop bit-exactly; sample() runs on it, so
+ *    teacher datasets are stable across the serving refactor.
  */
 
 #ifndef MXPLUS_MODEL_TRANSFORMER_H
@@ -26,6 +42,8 @@
 #include "tensor/tensor.h"
 
 namespace mxplus {
+
+class KvCache;
 
 /** Weights of one decoder layer. All linears are stored [N x K]. */
 struct LayerWeights
@@ -52,9 +70,43 @@ class Transformer
                    const QuantConfig &qc) const;
 
     /**
+     * Incremental prefill: run @p tokens as one batch starting at the
+     * cache's current position, appending quantized K/V per layer.
+     * On a fresh cache this is bit-identical to forward(). The cache must
+     * come from KvCache::forConfig with the same @p qc.
+     * @return logits [T x vocab] for the new positions.
+     */
+    Matrix prefill(const std::vector<int> &tokens, KvCache &cache,
+                   const QuantConfig &qc) const;
+
+    /**
+     * One incremental decode step over a quantized cache: append
+     * @p token, attend over the cached K/V, return logits [1 x vocab].
+     */
+    Matrix decodeStep(int token, KvCache &cache,
+                      const QuantConfig &qc) const;
+
+    /**
+     * One teacher-mode decode step (raw-float cache): the BF16 teacher
+     * sampling recurrence, bit-identical to the original sample() loop.
+     */
+    Matrix decodeStep(int token, KvCache &cache) const;
+
+    /**
+     * One decode step for @p tokens.size() independent requests, batched
+     * across the linear layers (one GEMM over all request rows — the
+     * serving engine's throughput lever). Row r of the result is
+     * bit-identical to decodeStep(tokens[r], *caches[r], qc): batching
+     * never changes numerics.
+     */
+    Matrix decodeStepBatch(const std::vector<int> &tokens,
+                           const std::vector<KvCache *> &caches,
+                           const QuantConfig &qc) const;
+
+    /**
      * Autoregressively sample @p length tokens from the BF16 model (the
      * teacher-data protocol), optionally continuing @p prefix.
-     * Uses a float KV cache; temperature scales the logits.
+     * Runs on a teacher-mode KvCache; temperature scales the logits.
      */
     std::vector<int> sample(Rng &rng, size_t length, double temperature,
                             const std::vector<int> &prefix = {}) const;
@@ -68,11 +120,23 @@ class Transformer
 
     /**
      * Sum of continuation log-probabilities: log p(cont | context) under
-     * @p qc. Used by the zero-shot task harness.
+     * @p qc. Used by the zero-shot task harness. Runs on the prefill
+     * path (bit-identical to the former full-forward implementation).
      */
     double continuationLogProb(const std::vector<int> &context,
                                const std::vector<int> &continuation,
                                const QuantConfig &qc) const;
+
+    /** Token embedding table [vocab x d] (teacher tooling, tests). */
+    const Matrix &embeddingTable() const { return embedding_; }
+
+    /** Full weight bundle of one decoder layer (incl. RMSNorm gains). */
+    const LayerWeights &
+    layerWeights(size_t layer) const
+    {
+        MXPLUS_CHECK(layer < layers_.size());
+        return layers_[layer];
+    }
 
     /** Names of all quantized linear layers ("L0.wq", ..., "head"). */
     std::vector<std::string> linearNames() const;
@@ -99,13 +163,30 @@ class Transformer
 
   private:
     Matrix embed(const std::vector<int> &tokens) const;
+    Matrix embedAt(const std::vector<int> &tokens, size_t pos0) const;
     Matrix applyLinear(const std::string &name, const Matrix &x,
                        const Matrix &w, const QuantConfig &qc,
                        bool is_head) const;
+    /**
+     * Attention for rows at positions [pos0, pos0 + x.rows()). With a
+     * cache, the new K/V rows are appended and attention runs over the
+     * whole cached history; without one it recomputes the sequence
+     * in place (the original full-forward behaviour, pos0 == 0).
+     */
     Matrix attentionBlock(size_t layer, const Matrix &x,
-                          const QuantConfig &qc) const;
+                          const QuantConfig &qc, KvCache *cache,
+                          size_t pos0) const;
     Matrix mlpBlock(size_t layer, const Matrix &x,
                     const QuantConfig &qc) const;
+    /** Shared layer loop + LM head for forward/prefill. */
+    Matrix runLayers(Matrix x, const QuantConfig &qc, KvCache *cache,
+                     size_t pos0) const;
+    /** Single-row attention over a quantized cache (decode path). */
+    void attendRowOverCache(size_t layer, const float *q_row,
+                            const KvCache &cache, const QuantConfig &qc,
+                            float *out_row) const;
+    /** The original float/double teacher recurrence (sample()). */
+    Matrix teacherDecodeStep(int token, KvCache &cache) const;
 
     ModelConfig cfg_;
     Matrix embedding_;  ///< [vocab x d]

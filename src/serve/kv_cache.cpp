@@ -1,0 +1,260 @@
+#include "serve/kv_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+namespace {
+
+constexpr size_t kInitialCapacity = 64;
+
+} // namespace
+
+KvCache::KvCache(const ModelConfig &cfg, QuantizerPtr k_quant,
+                 QuantizerPtr v_quant, size_t capacity_hint)
+    : n_layers_(cfg.n_layers), d_(cfg.d_model), heads_(cfg.n_heads),
+      dh_(cfg.headDim()), max_seq_(cfg.max_seq),
+      k_quant_(std::move(k_quant)), v_quant_(std::move(v_quant)),
+      appended_(cfg.n_layers, 0)
+{
+    MXPLUS_CHECK_MSG((k_quant_ == nullptr) == (v_quant_ == nullptr),
+                     "KvCache: both quantizers or neither (teacher mode)");
+    if (isTeacher()) {
+        k_raw_.resize(n_layers_);
+        v_raw_.resize(n_layers_);
+    } else {
+        kq_.resize(n_layers_);
+        vraw_t_.resize(n_layers_);
+        vq_t_.resize(n_layers_);
+    }
+    // Never pre-size past the model's position table: tiny-max_seq
+    // configs must still construct (they simply grow to max_seq_).
+    ensureCapacity(
+        std::min(max_seq_, std::max(kInitialCapacity, capacity_hint)));
+}
+
+KvCache
+KvCache::forConfig(const ModelConfig &cfg, const QuantConfig &qc,
+                   size_t capacity_hint)
+{
+    MXPLUS_CHECK_MSG(qc.attention != nullptr,
+                     "KvCache::forConfig needs an attention quantizer");
+    const QuantizerPtr k = qc.qk_override ? qc.qk_override : qc.attention;
+    return KvCache(cfg, k, qc.attention, capacity_hint);
+}
+
+KvCache
+KvCache::teacher(const ModelConfig &cfg, size_t capacity_hint)
+{
+    return KvCache(cfg, nullptr, nullptr, capacity_hint);
+}
+
+size_t
+KvCache::memoryBytes() const
+{
+    const size_t per_layer = isTeacher()
+        ? 2 * cap_ * d_  // raw K + raw V
+        : 3 * cap_ * d_; // quantized K + raw V + quantized V
+    return n_layers_ * per_layer * sizeof(float);
+}
+
+void
+KvCache::ensureCapacity(size_t tokens)
+{
+    if (tokens <= cap_)
+        return;
+    MXPLUS_CHECK_MSG(tokens <= max_seq_,
+                     "KvCache: sequence exceeds the model's max_seq");
+    const size_t new_cap =
+        std::min(max_seq_, std::max(tokens, cap_ * 2));
+
+    auto grow_rows = [&](Matrix &m, size_t used_rows) {
+        Matrix next(new_cap, d_);
+        for (size_t r = 0; r < used_rows; ++r)
+            std::copy(m.row(r), m.row(r) + d_, next.row(r));
+        m = std::move(next);
+    };
+    auto grow_cols = [&](Matrix &m, size_t used_cols) {
+        Matrix next(d_, new_cap);
+        for (size_t c = 0; c < d_; ++c)
+            std::copy(m.row(c), m.row(c) + used_cols, next.row(c));
+        m = std::move(next);
+    };
+
+    for (size_t l = 0; l < n_layers_; ++l) {
+        const size_t used = appended_[l];
+        if (isTeacher()) {
+            grow_rows(k_raw_[l], used);
+            grow_rows(v_raw_[l], used);
+        } else {
+            grow_rows(kq_[l], used);
+            grow_cols(vraw_t_[l], used);
+            grow_cols(vq_t_[l], used);
+        }
+    }
+    cap_ = new_cap;
+}
+
+void
+KvCache::append(size_t layer, const float *k_row, const float *v_row)
+{
+    // Allocation-free single-token path (the decode hot loop): K head
+    // slices are contiguous on both sides, and the V tail requantizes
+    // straight out of the raw seq-major rows.
+    MXPLUS_CHECK(layer < n_layers_);
+    const size_t pos0 = appended_[layer];
+    MXPLUS_CHECK_MSG(pos0 == len_,
+                     "KvCache: layer appended twice before commit");
+    ensureCapacity(pos0 + 1);
+
+    if (isTeacher()) {
+        std::copy(k_row, k_row + d_, k_raw_[layer].row(pos0));
+        std::copy(v_row, v_row + d_, v_raw_[layer].row(pos0));
+        appended_[layer] = pos0 + 1;
+        return;
+    }
+
+    float *kq_row = kq_[layer].row(pos0);
+    for (size_t h = 0; h < heads_; ++h) {
+        const size_t c0 = h * dh_;
+        k_quant_->quantizeRows(k_row + c0, kq_row + c0, 1, dh_);
+    }
+    Matrix &vraw = vraw_t_[layer];
+    for (size_t c = 0; c < d_; ++c)
+        vraw.at(c, pos0) = v_row[c];
+    appended_[layer] = pos0 + 1;
+    requantizeValueTail(layer, pos0, pos0 + 1);
+}
+
+void
+KvCache::requantizeValueTail(size_t layer, size_t old_len, size_t new_len)
+{
+    // Re-quantize every channel from the last frozen block boundary
+    // through the new end; completed blocks before it never change.
+    const Matrix &vraw = vraw_t_[layer];
+    Matrix &vq = vq_t_[layer];
+    const size_t period = v_quant_->blockPeriod();
+    const size_t start = period > 0 ? (old_len / period) * period : 0;
+    const size_t seg = new_len - start;
+    scratch_in_.resize(d_ * seg);
+    scratch_out_.resize(d_ * seg);
+    for (size_t c = 0; c < d_; ++c) {
+        std::copy(vraw.row(c) + start, vraw.row(c) + new_len,
+                  scratch_in_.data() + c * seg);
+    }
+    v_quant_->quantizeRows(scratch_in_.data(), scratch_out_.data(), d_,
+                           seg);
+    for (size_t c = 0; c < d_; ++c) {
+        std::copy(scratch_out_.data() + c * seg,
+                  scratch_out_.data() + (c + 1) * seg, vq.row(c) + start);
+    }
+}
+
+void
+KvCache::appendBatch(size_t layer, const Matrix &k, const Matrix &v)
+{
+    MXPLUS_CHECK(layer < n_layers_);
+    MXPLUS_CHECK(k.rows() == v.rows());
+    MXPLUS_CHECK(k.cols() == d_ && v.cols() == d_);
+    const size_t t = k.rows();
+    const size_t pos0 = appended_[layer];
+    MXPLUS_CHECK_MSG(pos0 == len_,
+                     "KvCache: layer appended twice before commit");
+    ensureCapacity(pos0 + t);
+    const size_t new_len = pos0 + t;
+
+    if (isTeacher()) {
+        for (size_t r = 0; r < t; ++r) {
+            std::copy(k.row(r), k.row(r) + d_, k_raw_[layer].row(pos0 + r));
+            std::copy(v.row(r), v.row(r) + d_, v_raw_[layer].row(pos0 + r));
+        }
+        appended_[layer] = new_len;
+        return;
+    }
+
+    // Keys: quantize each token row per head along the head dimension —
+    // the same [rows x head_dim] operand shape the full-sequence
+    // attention feeds the quantizer, gathered head-contiguous.
+    scratch_in_.resize(t * dh_);
+    scratch_out_.resize(t * dh_);
+    for (size_t h = 0; h < heads_; ++h) {
+        const size_t c0 = h * dh_;
+        for (size_t r = 0; r < t; ++r) {
+            std::copy(k.row(r) + c0, k.row(r) + c0 + dh_,
+                      scratch_in_.data() + r * dh_);
+        }
+        k_quant_->quantizeRows(scratch_in_.data(), scratch_out_.data(), t,
+                               dh_);
+        for (size_t r = 0; r < t; ++r) {
+            std::copy(scratch_out_.data() + r * dh_,
+                      scratch_out_.data() + (r + 1) * dh_,
+                      kq_[layer].row(pos0 + r) + c0);
+        }
+    }
+
+    // Values: scatter the new raw columns, then re-quantize from the
+    // last frozen block boundary through the new end.
+    Matrix &vraw = vraw_t_[layer];
+    for (size_t r = 0; r < t; ++r) {
+        for (size_t c = 0; c < d_; ++c)
+            vraw.at(c, pos0 + r) = v.at(r, c);
+    }
+    appended_[layer] = new_len;
+    requantizeValueTail(layer, pos0, new_len);
+}
+
+void
+KvCache::commit(size_t n_tokens)
+{
+    for (size_t l = 0; l < n_layers_; ++l) {
+        MXPLUS_CHECK_MSG(appended_[l] == len_ + n_tokens,
+                         "KvCache::commit before all layers appended");
+    }
+    len_ += n_tokens;
+}
+
+void
+KvCache::headKeys(size_t layer, size_t head, Matrix &out) const
+{
+    MXPLUS_CHECK(!isTeacher());
+    MXPLUS_CHECK(layer < n_layers_ && head < heads_);
+    const size_t len = appended_[layer];
+    const size_t c0 = head * dh_;
+    out = Matrix(len, dh_);
+    const Matrix &kq = kq_[layer];
+    for (size_t r = 0; r < len; ++r)
+        std::copy(kq.row(r) + c0, kq.row(r) + c0 + dh_, out.row(r));
+}
+
+void
+KvCache::headValuesT(size_t layer, size_t head, Matrix &out) const
+{
+    MXPLUS_CHECK(!isTeacher());
+    MXPLUS_CHECK(layer < n_layers_ && head < heads_);
+    const size_t len = appended_[layer];
+    const size_t c0 = head * dh_;
+    out = Matrix(dh_, len);
+    const Matrix &vq = vq_t_[layer];
+    for (size_t c = 0; c < dh_; ++c)
+        std::copy(vq.row(c0 + c), vq.row(c0 + c) + len, out.row(c));
+}
+
+const float *
+KvCache::rawKeyRow(size_t layer, size_t pos) const
+{
+    MXPLUS_CHECK(isTeacher());
+    MXPLUS_CHECK(layer < n_layers_ && pos < appended_[layer]);
+    return k_raw_[layer].row(pos);
+}
+
+const float *
+KvCache::rawValueRow(size_t layer, size_t pos) const
+{
+    MXPLUS_CHECK(isTeacher());
+    MXPLUS_CHECK(layer < n_layers_ && pos < appended_[layer]);
+    return v_raw_[layer].row(pos);
+}
+
+} // namespace mxplus

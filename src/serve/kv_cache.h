@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Per-request quantized KV cache — the state object of the incremental
+ * decode path (Transformer::prefill / decodeStep) and the serving engine.
+ *
+ * Layout, per decoder layer:
+ *
+ *  - Keys are stored [len x d_model] and quantized per token and per head
+ *    along the head dimension at append time. That is exactly the operand
+ *    the full-sequence attention quantizes (K rows blocked along the
+ *    reduction dim of Q·K^T), so a cached key is final the moment it
+ *    lands; no future token can change it.
+ *
+ *  - Values are stored sequence-major ([d_model x len]) because P·V
+ *    reduces over positions: the attention quantizes V along the
+ *    *sequence* dimension. A raw copy and a quantized copy are kept.
+ *    Blocks the quantizer has fully consumed are frozen; the open tail
+ *    block is re-quantized from the raw values on every append
+ *    (TensorQuantizer::blockPeriod — quantizers with unknown structure
+ *    fall back to re-quantizing the whole row). The quantized view is
+ *    therefore always bit-identical to quantizing the visible prefix in
+ *    one shot, which is what makes prefill() reproduce forward() exactly;
+ *    during decode it differs from the oracle full-sequence quantization
+ *    only when a *future* value would have raised a block maximum.
+ *
+ * A cache constructed with null quantizers runs in "teacher" mode: raw
+ * FP32 K/V rows, used by the BF16 teacher sampling path (sample()).
+ *
+ * Appends are two-phase: each layer appends its K/V rows as the step
+ * reaches it, and commit() advances the global length once all layers
+ * have. The cache is not thread-safe; the serving engine gives each
+ * in-flight request its own instance.
+ */
+
+#ifndef MXPLUS_SERVE_KV_CACHE_H
+#define MXPLUS_SERVE_KV_CACHE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "model/config.h"
+#include "model/quant_config.h"
+#include "tensor/quantizer_iface.h"
+#include "tensor/tensor.h"
+
+namespace mxplus {
+
+/** Quantized (or raw teacher-mode) per-request K/V store. */
+class KvCache
+{
+  public:
+    /**
+     * @param k_quant quantizer for keys (head-dim blocks); null with
+     *        null @p v_quant selects teacher mode
+     * @param v_quant quantizer for values (seq-dim blocks)
+     * @param capacity_hint initial token capacity (grows geometrically)
+     */
+    KvCache(const ModelConfig &cfg, QuantizerPtr k_quant,
+            QuantizerPtr v_quant, size_t capacity_hint = 0);
+
+    /**
+     * Cache matching a QuantConfig's attention operands: keys use the
+     * Q/K override when present (the Section 8.3 reorder experiments),
+     * values the attention quantizer.
+     */
+    static KvCache forConfig(const ModelConfig &cfg, const QuantConfig &qc,
+                             size_t capacity_hint = 0);
+
+    /** Raw-FP32 cache for the BF16 teacher decode loop (sample()). */
+    static KvCache teacher(const ModelConfig &cfg,
+                           size_t capacity_hint = 0);
+
+    /** Committed token count (positions fully appended to every layer). */
+    size_t length() const { return len_; }
+
+    /** Tokens appended to @p layer so far (>= length() mid-step). */
+    size_t
+    appendedLength(size_t layer) const
+    {
+        return appended_[layer];
+    }
+
+    /** Position table limit of the underlying model. */
+    size_t maxSeq() const { return max_seq_; }
+
+    bool isTeacher() const { return k_quant_ == nullptr; }
+
+    /** Current allocated token capacity. */
+    size_t capacity() const { return cap_; }
+
+    /** Approximate resident bytes of the K/V stores. */
+    size_t memoryBytes() const;
+
+    // ------------------------------------------------------------ append --
+
+    /** Append one token's K/V rows (d_model floats each) to @p layer. */
+    void append(size_t layer, const float *k_row, const float *v_row);
+
+    /** Append a batch of rows ([T x d_model] each) to @p layer. */
+    void appendBatch(size_t layer, const Matrix &k, const Matrix &v);
+
+    /** Advance the committed length after all layers appended @p n. */
+    void commit(size_t n_tokens);
+
+    // ---------------------------------------------- quantized-mode views --
+
+    /**
+     * Zero-copy view of the quantized keys: appendedLength(layer) rows of
+     * d_model floats with row stride keyRowStride(); head h's slice
+     * starts at column h * head_dim. Feed to
+     * KernelDispatch::matvecStrided — the decode attention's hot path.
+     */
+    const float *
+    keysData(size_t layer) const
+    {
+        MXPLUS_CHECK(!isTeacher() && layer < n_layers_);
+        return kq_[layer].data();
+    }
+    size_t keyRowStride() const { return d_; }
+
+    /**
+     * Zero-copy view of the quantized values, sequence-major: d_model
+     * channel rows of appendedLength(layer) floats with row stride
+     * valueRowStride(); head h's rows start at h * head_dim.
+     */
+    const float *
+    valuesTData(size_t layer) const
+    {
+        MXPLUS_CHECK(!isTeacher() && layer < n_layers_);
+        return vq_t_[layer].data();
+    }
+    size_t valueRowStride() const { return cap_; }
+
+    /** Copy quantized keys of one head into @p out as [len x head_dim]. */
+    void headKeys(size_t layer, size_t head, Matrix &out) const;
+
+    /**
+     * Copy quantized values of one head into @p out as [head_dim x len]
+     * (sequence-major, the P·V right-hand operand).
+     */
+    void headValuesT(size_t layer, size_t head, Matrix &out) const;
+
+    // ------------------------------------------------ teacher-mode views --
+
+    const float *rawKeyRow(size_t layer, size_t pos) const;
+    const float *rawValueRow(size_t layer, size_t pos) const;
+
+  private:
+    void ensureCapacity(size_t tokens);
+    void requantizeValueTail(size_t layer, size_t old_len,
+                             size_t new_len);
+
+    size_t n_layers_;
+    size_t d_;
+    size_t heads_;
+    size_t dh_;
+    size_t max_seq_;
+    QuantizerPtr k_quant_;
+    QuantizerPtr v_quant_;
+
+    size_t len_ = 0; ///< committed tokens
+    size_t cap_ = 0; ///< allocated tokens
+    std::vector<size_t> appended_; ///< per-layer appended tokens
+
+    // Quantized mode (per layer).
+    std::vector<Matrix> kq_;     ///< [cap x d], quantized at append
+    std::vector<Matrix> vraw_t_; ///< [d x cap], raw, seq-major
+    std::vector<Matrix> vq_t_;   ///< [d x cap], quantized, seq-major
+
+    // Teacher mode (per layer).
+    std::vector<Matrix> k_raw_; ///< [cap x d]
+    std::vector<Matrix> v_raw_; ///< [cap x d]
+
+    // Tail re-quantization scratch (gather/scatter staging).
+    std::vector<float> scratch_in_;
+    std::vector<float> scratch_out_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_SERVE_KV_CACHE_H

@@ -1,0 +1,217 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+#include "model/layers.h"
+
+namespace mxplus {
+
+namespace {
+
+double
+nowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+double
+latencyPercentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const size_t idx = std::min(
+        samples.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(samples.size())));
+    return samples[idx];
+}
+
+ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
+                             size_t max_batch)
+    : model_(model), qc_(std::move(qc)), max_batch_(max_batch)
+{
+    MXPLUS_CHECK_MSG(max_batch_ > 0, "max_batch must be positive");
+}
+
+size_t
+ServingEngine::submit(ServeRequest req)
+{
+    MXPLUS_CHECK_MSG(!req.prompt.empty(), "empty prompt");
+    MXPLUS_CHECK_MSG(req.prompt.size() <= model_.config().max_seq,
+                     "prompt exceeds the model's max_seq");
+    MXPLUS_CHECK_MSG(req.max_new_tokens > 0, "nothing to generate");
+    const size_t id = stats_.size();
+    RequestStats rs;
+    rs.id = id;
+    rs.prompt_tokens = req.prompt.size();
+    stats_.push_back(std::move(rs));
+    pending_.push_back(std::move(req));
+    queue_.push_back(id);
+    return id;
+}
+
+int
+ServingEngine::pickToken(Slot &slot, const float *logits) const
+{
+    // The request's own deterministic rng feeds the shared sampling
+    // recipe, so results never depend on batch layout or scheduling.
+    return sampleLogits(logits, model_.config().vocab,
+                        slot.req.temperature, slot.rng);
+}
+
+void
+ServingEngine::admitOne()
+{
+    const size_t id = queue_.front();
+    queue_.pop_front();
+    const ServeRequest &req = pending_[id];
+
+    auto slot = std::make_unique<Slot>(Slot{
+        id, req,
+        KvCache::forConfig(model_.config(), qc_,
+                           req.prompt.size() + req.max_new_tokens),
+        Rng(req.seed), -1});
+    const Matrix logits = model_.prefill(req.prompt, slot->cache, qc_);
+    slot->last_token = pickToken(*slot, logits.row(logits.rows() - 1));
+
+    RequestStats &rs = stats_[id];
+    rs.ttft_ms = nowMs() - start_ms_;
+    rs.generated.push_back(slot->last_token);
+    active_.push_back(std::move(slot));
+}
+
+void
+ServingEngine::finalize(RequestStats &rs) const
+{
+    rs.finished = true;
+    rs.p50_ms = latencyPercentile(rs.token_ms, 0.50);
+    rs.p99_ms = latencyPercentile(rs.token_ms, 0.99);
+    double sum = 0.0;
+    for (double t : rs.token_ms)
+        sum += t;
+    if (!rs.token_ms.empty()) {
+        rs.mean_ms = sum / static_cast<double>(rs.token_ms.size());
+        rs.decode_tokens_per_s =
+            1000.0 * static_cast<double>(rs.token_ms.size()) / sum;
+    }
+}
+
+bool
+ServingEngine::step()
+{
+    if (start_ms_ < 0.0)
+        start_ms_ = nowMs();
+
+    // Admit and retire until the batch is stable: every admitted request
+    // must pass the limit checks before it may join a decode step (a
+    // prefill token can fully satisfy max_new_tokens, and a prompt can
+    // fill the sequence), and each retirement frees a slot for another
+    // admission.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        while (active_.size() < max_batch_ && !queue_.empty()) {
+            admitOne();
+            changed = true;
+        }
+        for (size_t i = active_.size(); i-- > 0;) {
+            Slot &slot = *active_[i];
+            RequestStats &rs = stats_[slot.id];
+            const bool count_done =
+                rs.generated.size() >= slot.req.max_new_tokens;
+            const bool seq_full =
+                slot.cache.length() >= model_.config().max_seq;
+            if (count_done || seq_full) {
+                finalize(rs);
+                active_.erase(active_.begin() + static_cast<long>(i));
+                changed = true;
+            }
+        }
+    }
+    if (active_.empty())
+        return false; // the admit loop above drained the queue too
+
+    std::vector<int> tokens(active_.size());
+    std::vector<KvCache *> caches(active_.size());
+    for (size_t i = 0; i < active_.size(); ++i) {
+        tokens[i] = active_[i]->last_token;
+        caches[i] = &active_[i]->cache;
+    }
+
+    const double t0 = nowMs();
+    const Matrix logits = model_.decodeStepBatch(tokens, caches, qc_);
+    const double dt = nowMs() - t0;
+
+    engine_stats_.decode_batches += 1;
+    engine_stats_.decode_ms += dt;
+    engine_stats_.decode_tokens += active_.size();
+    occupancy_sum_ += static_cast<double>(active_.size());
+    size_t kv_bytes = 0;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        Slot &slot = *active_[i];
+        RequestStats &rs = stats_[slot.id];
+        slot.last_token = pickToken(slot, logits.row(i));
+        rs.generated.push_back(slot.last_token);
+        rs.token_ms.push_back(dt);
+        kv_bytes += slot.cache.memoryBytes();
+    }
+    engine_stats_.kv_bytes_peak =
+        std::max(engine_stats_.kv_bytes_peak, kv_bytes);
+
+    for (size_t i = active_.size(); i-- > 0;) {
+        Slot &slot = *active_[i];
+        RequestStats &rs = stats_[slot.id];
+        if (rs.generated.size() >= slot.req.max_new_tokens ||
+            slot.cache.length() >= model_.config().max_seq) {
+            finalize(rs);
+            active_.erase(active_.begin() + static_cast<long>(i));
+        }
+    }
+    return !active_.empty() || !queue_.empty();
+}
+
+void
+ServingEngine::runToCompletion()
+{
+    while (step()) {
+    }
+    if (start_ms_ < 0.0)
+        return; // nothing was ever submitted
+    engine_stats_.wall_ms = nowMs() - start_ms_;
+    engine_stats_.total_generated = 0;
+    for (const RequestStats &rs : stats_)
+        engine_stats_.total_generated += rs.generated.size();
+    if (engine_stats_.wall_ms > 0.0) {
+        engine_stats_.throughput_tokens_per_s =
+            1000.0 *
+            static_cast<double>(engine_stats_.total_generated) /
+            engine_stats_.wall_ms;
+    }
+    if (engine_stats_.decode_batches > 0) {
+        engine_stats_.mean_batch_occupancy =
+            occupancy_sum_ /
+            static_cast<double>(engine_stats_.decode_batches);
+    }
+    if (engine_stats_.decode_ms > 0.0) {
+        engine_stats_.decode_tokens_per_s =
+            1000.0 * static_cast<double>(engine_stats_.decode_tokens) /
+            engine_stats_.decode_ms;
+    }
+}
+
+const RequestStats &
+ServingEngine::stats(size_t id) const
+{
+    MXPLUS_CHECK(id < stats_.size());
+    return stats_[id];
+}
+
+} // namespace mxplus

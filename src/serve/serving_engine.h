@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Batched serving engine: a request queue with continuous batching of
+ * incremental decode steps over per-request quantized KV caches.
+ *
+ * Scheduling model (the standard continuous-batching loop):
+ *
+ *   1. While a decode slot is free and requests are queued, admit one:
+ *      run its prefill (populating a fresh KvCache) and sample its first
+ *      token — that marks its time-to-first-token.
+ *   2. Run ONE decode step for every active request, batched through
+ *      Transformer::decodeStepBatch: the linear layers see one GEMM over
+ *      all request rows (amortizing weight quantization and B-panel
+ *      packing — the decode path's dominant per-step cost), attention
+ *      stays per-request over each cache.
+ *   3. Sample each request's next token, retire finished requests, and
+ *      go to 1 — newly freed slots are refilled mid-flight, so the batch
+ *      stays full while the queue drains.
+ *
+ * Batching is a throughput decision, never a numerics decision: row r of
+ * a batched decode step is bit-identical to running request r alone
+ * (kernel shape-stability contract), so a batched run produces exactly
+ * the tokens the serial runs produce.
+ *
+ * Sampling is greedy (temperature 0) or temperature sampling with a
+ * per-request deterministic Rng, so results are reproducible and
+ * independent of scheduling.
+ *
+ * All timing uses a steady clock; per-request latencies are measured
+ * from engine start (runToCompletion), so a queued request's TTFT
+ * includes its queueing delay.
+ */
+
+#ifndef MXPLUS_SERVE_SERVING_ENGINE_H
+#define MXPLUS_SERVE_SERVING_ENGINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/transformer.h"
+#include "serve/kv_cache.h"
+
+namespace mxplus {
+
+/** One generation request. */
+struct ServeRequest
+{
+    std::vector<int> prompt;
+    size_t max_new_tokens = 32;
+    /** 0 = greedy argmax; > 0 = temperature sampling with @ref seed. */
+    double temperature = 0.0;
+    uint64_t seed = 0;
+};
+
+/** Per-request outcome and latency statistics. */
+struct RequestStats
+{
+    size_t id = 0;
+    size_t prompt_tokens = 0;
+    std::vector<int> generated;
+    bool finished = false;
+
+    double ttft_ms = 0.0; ///< engine start -> first token (incl. queueing)
+    /** Per-token decode-step latency; the first (prefill-produced) token
+     *  is covered by ttft_ms instead. */
+    std::vector<double> token_ms;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    double decode_tokens_per_s = 0.0;
+};
+
+/** Aggregate engine statistics for one runToCompletion(). */
+struct EngineStats
+{
+    double wall_ms = 0.0;
+    size_t total_generated = 0;
+    /** End-to-end: all generated tokens over the full wall time. */
+    double throughput_tokens_per_s = 0.0;
+    size_t decode_batches = 0;
+    double decode_ms = 0.0;     ///< wall time inside batched decode steps
+    size_t decode_tokens = 0;   ///< tokens produced by decode steps
+    /** Decode-phase throughput (excludes prefill/admission time). */
+    double decode_tokens_per_s = 0.0;
+    double mean_batch_occupancy = 0.0;
+    size_t kv_bytes_peak = 0;
+};
+
+/** Nearest-rank percentile of latency samples (shared with benches). */
+double latencyPercentile(std::vector<double> samples, double p);
+
+/** Continuous-batching serving engine over one model + quant config. */
+class ServingEngine
+{
+  public:
+    /**
+     * @param max_batch maximum concurrent decode slots (the batch width
+     *        of decodeStepBatch)
+     */
+    ServingEngine(const Transformer &model, QuantConfig qc,
+                  size_t max_batch);
+
+    /** Enqueue a request; returns its id. */
+    size_t submit(ServeRequest req);
+
+    /**
+     * One scheduler iteration: admit + prefill while slots are free,
+     * then one batched decode step. @return true while work remains.
+     */
+    bool step();
+
+    /** Drain the queue and all active requests. */
+    void runToCompletion();
+
+    const RequestStats &stats(size_t id) const;
+    const EngineStats &engineStats() const { return engine_stats_; }
+    size_t queuedRequests() const { return queue_.size(); }
+    size_t activeRequests() const { return active_.size(); }
+
+  private:
+    struct Slot
+    {
+        size_t id;
+        ServeRequest req;
+        KvCache cache;
+        Rng rng;
+        int last_token;
+    };
+
+    void admitOne();
+    int pickToken(Slot &slot, const float *logits) const;
+    void finalize(RequestStats &rs) const;
+
+    const Transformer &model_;
+    QuantConfig qc_;
+    size_t max_batch_;
+
+    std::deque<size_t> queue_; ///< pending request ids
+    std::vector<std::unique_ptr<Slot>> active_;
+    std::vector<RequestStats> stats_;
+    std::vector<ServeRequest> pending_; ///< submitted, not yet admitted
+
+    EngineStats engine_stats_;
+    double start_ms_ = -1.0;
+    double occupancy_sum_ = 0.0;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_SERVE_SERVING_ENGINE_H

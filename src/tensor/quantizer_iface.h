@@ -45,6 +45,16 @@ class TensorQuantizer
         return out;
     }
 
+    /**
+     * Block period along a row: output element i depends only on input
+     * elements in the same floor(i / period) group, so a consumer that
+     * appends to a row (the KV cache's sequence dimension) may freeze
+     * completed groups and re-quantize only the open tail. 0 means the
+     * structure is unknown and the whole row must be re-quantized when it
+     * grows. Elementwise formats (BF16, FP32) return 1.
+     */
+    virtual size_t blockPeriod() const { return 0; }
+
     /** Display name, e.g. "MXFP4+". */
     virtual std::string name() const = 0;
 

@@ -201,6 +201,99 @@ TEST(GemmSemantics, ZeroTimesInfPropagatesNaN)
     KernelDispatch::setBackend(saved);
 }
 
+// ------------------------------------------------------ shape stability --
+
+// The decode path computes single-token rows that must reproduce the
+// corresponding rows of the full-sequence GEMM bit-exactly (see the
+// shape-stability contract in kernels_internal.h): C(i, j) may depend only
+// on A row i, B row j and K — never on M, N or tile position.
+
+TEST(GemmShapeStability, SingleRowMatchesFullGemmRow)
+{
+    for (KernelBackend backend :
+         {KernelBackend::Reference, KernelBackend::Simd}) {
+        // M stresses full and partial row tiles; N stresses partial strips.
+        const Matrix a = randomMatrix(19, 72, 42);
+        const Matrix b = randomMatrix(37, 72, 43);
+        Matrix c_full(19, 37);
+        KernelDispatch::gemmNT(backend, a, b, c_full);
+        for (size_t r = 0; r < a.rows(); ++r) {
+            const Matrix arow(1, a.cols(),
+                              std::vector<float>(a.row(r),
+                                                 a.row(r) + a.cols()));
+            Matrix crow(1, b.rows());
+            KernelDispatch::gemmNT(backend, arow, b, crow);
+            for (size_t j = 0; j < b.rows(); ++j) {
+                ASSERT_EQ(crow.at(0, j), c_full.at(r, j))
+                    << kernelBackendName(backend) << " row " << r
+                    << " col " << j;
+            }
+        }
+    }
+}
+
+TEST(GemmShapeStability, ColumnPrefixIndependentOfN)
+{
+    // Growing B by more rows (a longer KV history) must not change the
+    // existing columns: decode scores at step t are a prefix of the
+    // full-sequence score row.
+    for (KernelBackend backend :
+         {KernelBackend::Reference, KernelBackend::Simd}) {
+        const Matrix a = randomMatrix(5, 96, 44);
+        const Matrix b_full = randomMatrix(41, 96, 45);
+        for (size_t n : {1u, 7u, 16u, 17u, 32u, 40u}) {
+            Matrix b_prefix(n, b_full.cols());
+            std::copy(b_full.data(), b_full.data() + n * b_full.cols(),
+                      b_prefix.data());
+            Matrix c_full(a.rows(), b_full.rows());
+            Matrix c_prefix(a.rows(), n);
+            KernelDispatch::gemmNT(backend, a, b_full, c_full);
+            KernelDispatch::gemmNT(backend, a, b_prefix, c_prefix);
+            for (size_t i = 0; i < a.rows(); ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    ASSERT_EQ(c_prefix.at(i, j), c_full.at(i, j))
+                        << kernelBackendName(backend) << " n " << n
+                        << " at (" << i << ", " << j << ")";
+                }
+            }
+        }
+    }
+}
+
+TEST(GemmShapeStability, MatvecMatchesGemmAndHandlesStrides)
+{
+    for (KernelBackend backend :
+         {KernelBackend::Reference, KernelBackend::Simd}) {
+        const Matrix w = randomMatrix(29, 48, 46);
+        const Matrix x = randomMatrix(6, 48, 47);
+        Matrix c_gemm(6, 29);
+        KernelDispatch::gemmNT(backend, x, w, c_gemm);
+
+        // Single-row matvec.
+        std::vector<float> y(w.rows());
+        KernelDispatch::matvec(backend, w, x.row(2), y.data());
+        for (size_t j = 0; j < w.rows(); ++j)
+            ASSERT_EQ(y[j], c_gemm.at(2, j)) << j;
+
+        // Strided batch: rows embedded in a wider scratch buffer, as when
+        // gathering tokens from different requests.
+        const size_t ldx = x.cols() + 13;
+        const size_t ldy = w.rows() + 5;
+        std::vector<float> xs(x.rows() * ldx, -7.0f);
+        std::vector<float> ys(x.rows() * ldy, -7.0f);
+        for (size_t r = 0; r < x.rows(); ++r)
+            std::copy(x.row(r), x.row(r) + x.cols(), &xs[r * ldx]);
+        KernelDispatch::matvecBatch(backend, w, xs.data(), ldx, ys.data(),
+                                    ldy, x.rows());
+        for (size_t r = 0; r < x.rows(); ++r) {
+            for (size_t j = 0; j < w.rows(); ++j)
+                ASSERT_EQ(ys[r * ldy + j], c_gemm.at(r, j))
+                    << kernelBackendName(backend) << " (" << r << ", "
+                    << j << ")";
+        }
+    }
+}
+
 // --------------------------------------------------------------- fused --
 
 std::vector<float>

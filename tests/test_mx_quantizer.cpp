@@ -319,9 +319,10 @@ TEST_P(MxPropertyTest, SignsPreserved)
         float out[32];
         q.fakeQuantizeBlock(block.data(), out, 32);
         for (int i = 0; i < 32; ++i) {
-            if (out[i] != 0.0f)
+            if (out[i] != 0.0f) {
                 EXPECT_EQ(std::signbit(out[i]), std::signbit(block[i]))
                     << q.name();
+            }
         }
     }
 }

@@ -1,0 +1,593 @@
+/**
+ * @file
+ * Tests for the serving subsystem: KV-cache consistency, decode-path
+ * parity with the full-sequence forward pass (bit-exact in BF16 on both
+ * kernel backends, bounded under every MX format), sample() stability
+ * across the teacher-cache rewiring, batched-vs-serial equivalence, and
+ * the continuous-batching engine's bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/format_quantizers.h"
+#include "kernels/kernel_dispatch.h"
+#include "model/eval.h"
+#include "model/layers.h"
+#include "serve/kv_cache.h"
+#include "serve/serving_engine.h"
+#include "tensor/matmul.h"
+
+namespace mxplus {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig cfg = simLlama31_8b();
+    cfg.n_layers = 2;
+    return cfg;
+}
+
+std::vector<int>
+tokenRamp(size_t n, int stride)
+{
+    std::vector<int> t(n);
+    for (size_t i = 0; i < n; ++i)
+        t[i] = static_cast<int>((7 + i * stride) % 251);
+    return t;
+}
+
+const KernelBackend kBothBackends[] = {KernelBackend::Reference,
+                                       KernelBackend::Simd};
+
+/** RAII backend override so a failing assertion can't leak state. */
+struct BackendGuard
+{
+    KernelBackend saved = KernelDispatch::active();
+    explicit BackendGuard(KernelBackend b) { KernelDispatch::setBackend(b); }
+    ~BackendGuard() { KernelDispatch::setBackend(saved); }
+};
+
+// ------------------------------------------------------------- KV cache --
+
+TEST(KvCache, GrowthPreservesQuantizedViews)
+{
+    const ModelConfig cfg = tinyConfig();
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    KvCache cache(cfg, qc.attention, qc.attention, /*capacity_hint=*/4);
+
+    const size_t d = cfg.d_model;
+    const size_t dh = cfg.headDim();
+    const size_t total = 47; // forces two geometric growths past 4
+    Rng rng(99);
+    std::vector<Matrix> k_raw(cfg.n_layers, Matrix(total, d));
+    std::vector<Matrix> v_raw(cfg.n_layers, Matrix(total, d));
+    for (auto &m : k_raw)
+        for (size_t i = 0; i < m.size(); ++i)
+            m.data()[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+    for (auto &m : v_raw)
+        for (size_t i = 0; i < m.size(); ++i)
+            m.data()[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    for (size_t t = 0; t < total; ++t) {
+        for (size_t l = 0; l < cfg.n_layers; ++l)
+            cache.append(l, k_raw[l].row(t), v_raw[l].row(t));
+        cache.commit(1);
+        EXPECT_EQ(cache.length(), t + 1);
+    }
+    EXPECT_GE(cache.capacity(), total);
+    EXPECT_GT(cache.memoryBytes(), 0u);
+
+    // Every view must equal a one-shot quantization of the raw prefix:
+    // K per token along the head dim, V per channel along the sequence.
+    for (size_t l = 0; l < cfg.n_layers; ++l) {
+        for (size_t h = 0; h < cfg.n_heads; ++h) {
+            const size_t c0 = h * dh;
+            Matrix kh(total, dh);
+            Matrix vt(dh, total);
+            for (size_t t = 0; t < total; ++t) {
+                for (size_t c = 0; c < dh; ++c) {
+                    kh.at(t, c) = k_raw[l].at(t, c0 + c);
+                    vt.at(c, t) = v_raw[l].at(t, c0 + c);
+                }
+            }
+            const Matrix khq = qc.attention->quantized(kh);
+            const Matrix vtq = qc.attention->quantized(vt);
+            Matrix got_k;
+            Matrix got_v;
+            cache.headKeys(l, h, got_k);
+            cache.headValuesT(l, h, got_v);
+            ASSERT_EQ(got_k.rows(), total);
+            ASSERT_EQ(got_v.cols(), total);
+            for (size_t i = 0; i < khq.size(); ++i)
+                ASSERT_EQ(got_k.data()[i], khq.data()[i])
+                    << "K layer " << l << " head " << h << " idx " << i;
+            for (size_t i = 0; i < vtq.size(); ++i)
+                ASSERT_EQ(got_v.data()[i], vtq.data()[i])
+                    << "V layer " << l << " head " << h << " idx " << i;
+        }
+    }
+}
+
+// --------------------------------------------------------- decode parity --
+
+TEST(DecodeParity, PrefillMatchesForwardBitExactEveryFormat)
+{
+    const Transformer model(tinyConfig());
+    const auto tokens = tokenRamp(37, 3);
+    for (KernelBackend backend : kBothBackends) {
+        BackendGuard guard(backend);
+        for (const char *fmt :
+             {"BF16", "MXFP4", "MXFP4+", "MXFP4++", "MXFP8", "MXINT8+",
+              "NVFP4"}) {
+            const QuantConfig qc = QuantConfig::fromFormat(fmt);
+            const Matrix full = model.forward(tokens, qc);
+            KvCache cache = KvCache::forConfig(model.config(), qc);
+            const Matrix pre = model.prefill(tokens, cache, qc);
+            ASSERT_EQ(pre.rows(), full.rows());
+            ASSERT_EQ(pre.cols(), full.cols());
+            for (size_t i = 0; i < full.size(); ++i)
+                ASSERT_EQ(pre.data()[i], full.data()[i])
+                    << fmt << " on " << kernelBackendName(backend)
+                    << " at flat index " << i;
+            EXPECT_EQ(cache.length(), tokens.size());
+        }
+    }
+}
+
+TEST(DecodeParity, DecodeStepMatchesForwardBitExactBf16)
+{
+    // The acceptance gate: incremental decode must reproduce the
+    // one-shot forward logits bit-for-bit in BF16, on both backends
+    // (kernel shape-stability + elementwise KV quantization).
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::bf16Baseline();
+    const auto tokens = tokenRamp(41, 5); // crosses a 32-wide V block
+    const size_t prompt = 8;
+
+    for (KernelBackend backend : kBothBackends) {
+        BackendGuard guard(backend);
+        KvCache cache = KvCache::forConfig(model.config(), qc);
+        model.prefill({tokens.begin(), tokens.begin() + prompt}, cache,
+                      qc);
+        for (size_t t = prompt; t < tokens.size(); ++t) {
+            const Matrix step = model.decodeStep(tokens[t], cache, qc);
+            const Matrix full = model.forward(
+                {tokens.begin(), tokens.begin() + t + 1}, qc);
+            ASSERT_EQ(step.rows(), 1u);
+            for (size_t v = 0; v < model.config().vocab; ++v) {
+                ASSERT_EQ(step.at(0, v), full.at(t, v))
+                    << kernelBackendName(backend) << " position " << t
+                    << " vocab " << v;
+            }
+        }
+    }
+}
+
+TEST(DecodeParity, DecodeStepTracksForwardUnderEveryMxFormat)
+{
+    // Under block formats the cache quantizes causally (it cannot see
+    // future values that would raise a block max), so decode logits may
+    // differ from the full-sequence oracle — but only within a small
+    // bound, and the predicted distribution must stay aligned.
+    const Transformer model(tinyConfig());
+    const auto tokens = tokenRamp(40, 11);
+    const size_t prompt = 6;
+
+    for (const std::string &fmt : knownQuantizerNames()) {
+        if (fmt.rfind("MX", 0) != 0)
+            continue; // every MX family member, per the acceptance list
+        const QuantConfig qc = QuantConfig::fromFormat(fmt);
+        KvCache cache = KvCache::forConfig(model.config(), qc);
+        model.prefill({tokens.begin(), tokens.begin() + prompt}, cache,
+                      qc);
+        double worst = 0.0;
+        double sum = 0.0;
+        size_t count = 0;
+        for (size_t t = prompt; t < tokens.size(); ++t) {
+            const Matrix step = model.decodeStep(tokens[t], cache, qc);
+            const Matrix full = model.forward(
+                {tokens.begin(), tokens.begin() + t + 1}, qc);
+            double scale = 1.0;
+            for (size_t v = 0; v < model.config().vocab; ++v)
+                scale = std::max(
+                    scale, std::fabs(static_cast<double>(full.at(t, v))));
+            for (size_t v = 0; v < model.config().vocab; ++v) {
+                const double diff = std::fabs(
+                    static_cast<double>(step.at(0, v)) - full.at(t, v));
+                worst = std::max(worst, diff / scale);
+                sum += diff / scale;
+                ++count;
+            }
+        }
+        // Measured worst cases sit near 0.25 (MXINT4) with means below
+        // 0.017; 2x headroom still cleanly separates the causality gap
+        // from an actual decode-path regression (which lands at O(1)).
+        EXPECT_LT(worst, 0.4) << fmt;
+        EXPECT_LT(sum / static_cast<double>(count), 0.04) << fmt;
+    }
+}
+
+// ------------------------------------------------- sample() stability --
+
+/**
+ * The seed repository's sample() recurrence, transcribed verbatim (float
+ * KV vectors, FP64 attention/softmax, 1-row GEMMs through the kernel
+ * engine): the rewired teacher-cache implementation must reproduce its
+ * tokens exactly for a fixed RNG seed.
+ */
+std::vector<int>
+seedSample(const Transformer &model, Rng &rng, size_t length,
+           double temperature, const std::vector<int> &prefix)
+{
+    const ModelConfig &cfg = model.config();
+    const size_t d = cfg.d_model;
+    const size_t heads = cfg.n_heads;
+    const size_t dh = cfg.headDim();
+    const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    auto matvec = [](const Matrix &w, const std::vector<float> &x) {
+        const Matrix xa(1, x.size(), x);
+        Matrix y(1, w.rows());
+        KernelDispatch::gemmNT(xa, w, y);
+        return std::vector<float>(y.data(), y.data() + w.rows());
+    };
+    auto rmsnorm_vec = [](const std::vector<float> &x,
+                          const std::vector<float> &gain) {
+        double ssq = 0.0;
+        for (float v : x)
+            ssq += static_cast<double>(v) * v;
+        const double inv_rms = 1.0 /
+            std::sqrt(ssq / static_cast<double>(x.size()) + 1e-6);
+        std::vector<float> out(x.size());
+        for (size_t i = 0; i < x.size(); ++i)
+            out[i] = static_cast<float>(x[i] * inv_rms * gain[i]);
+        return out;
+    };
+
+    const Matrix &embedding = model.embeddingTable();
+    const Matrix positions = sinusoidalPositions(cfg.max_seq, d);
+    // The final RMSNorm gain is all-ones in the synthesized model.
+    const std::vector<float> final_gain(d, 1.0f);
+
+    std::vector<int> tokens = prefix;
+    if (tokens.empty())
+        tokens.push_back(static_cast<int>(rng.uniformInt(cfg.vocab)));
+
+    std::vector<std::vector<std::vector<float>>> kcache(cfg.n_layers);
+    std::vector<std::vector<std::vector<float>>> vcache(cfg.n_layers);
+
+    std::vector<float> logits_last(cfg.vocab);
+    const size_t target =
+        prefix.size() + length + (prefix.empty() ? 1 : 0);
+    size_t pos = 0;
+    while (tokens.size() < target && pos < cfg.max_seq) {
+        const bool warming = pos + 1 < tokens.size();
+        const int tok = tokens[pos];
+        std::vector<float> x(d);
+        for (size_t c = 0; c < d; ++c) {
+            x[c] = embedding.at(static_cast<size_t>(tok), c) +
+                positions.at(pos, c);
+        }
+        for (size_t layer = 0; layer < cfg.n_layers; ++layer) {
+            const LayerWeights &lw = model.layerWeights(layer);
+            const auto h = rmsnorm_vec(x, lw.attn_gain);
+            auto qv = matvec(lw.wq, h);
+            auto kv = matvec(lw.wk, h);
+            auto vv = matvec(lw.wv, h);
+            kcache[layer].push_back(kv);
+            vcache[layer].push_back(vv);
+
+            std::vector<float> attn_out(d, 0.0f);
+            const size_t t_len = kcache[layer].size();
+            for (size_t hd = 0; hd < heads; ++hd) {
+                const size_t c0 = hd * dh;
+                std::vector<double> scores(t_len);
+                double mx = -1e300;
+                for (size_t s = 0; s < t_len; ++s) {
+                    double dot = 0.0;
+                    for (size_t c = 0; c < dh; ++c) {
+                        dot += static_cast<double>(qv[c0 + c]) *
+                            kcache[layer][s][c0 + c];
+                    }
+                    scores[s] = dot * inv_sqrt_dh;
+                    mx = std::max(mx, scores[s]);
+                }
+                double z = 0.0;
+                for (auto &s : scores) {
+                    s = std::exp(s - mx);
+                    z += s;
+                }
+                for (size_t s = 0; s < t_len; ++s) {
+                    const double p = scores[s] / z;
+                    for (size_t c = 0; c < dh; ++c) {
+                        attn_out[c0 + c] += static_cast<float>(
+                            p * vcache[layer][s][c0 + c]);
+                    }
+                }
+            }
+            const auto o = matvec(lw.wo, attn_out);
+            for (size_t c = 0; c < d; ++c)
+                x[c] += o[c];
+
+            const auto h2 = rmsnorm_vec(x, lw.mlp_gain);
+            const auto gate = matvec(lw.w_gate, h2);
+            const auto up = matvec(lw.w_up, h2);
+            std::vector<float> act(cfg.d_ff);
+            for (size_t i = 0; i < cfg.d_ff; ++i) {
+                const float g = gate[i];
+                act[i] = (g / (1.0f + std::exp(-g))) * up[i];
+            }
+            const auto down = matvec(lw.w_down, act);
+            for (size_t c = 0; c < d; ++c)
+                x[c] += down[c];
+        }
+
+        const auto hf = rmsnorm_vec(x, final_gain);
+        logits_last = matvec(model.linearWeight("head"), hf);
+
+        ++pos;
+        if (warming)
+            continue;
+        std::vector<double> probs(cfg.vocab);
+        double mx = logits_last[0];
+        for (float l : logits_last)
+            mx = std::max(mx, static_cast<double>(l));
+        for (size_t i = 0; i < cfg.vocab; ++i) {
+            probs[i] = std::exp(
+                (static_cast<double>(logits_last[i]) - mx) /
+                std::max(temperature, 1e-3));
+        }
+        tokens.push_back(static_cast<int>(rng.categorical(probs)));
+    }
+    return tokens;
+}
+
+TEST(SampleStability, TokensUnchangedVsSeedAlgorithm)
+{
+    // sample() was rewired from private float KV vectors onto the
+    // teacher-mode KvCache + decodeStep; for fixed RNG seeds the emitted
+    // tokens must be identical to the seed implementation's, or every
+    // teacher dataset (and with it the paper's quality orderings) would
+    // silently shift.
+    const Transformer model(tinyConfig());
+    for (KernelBackend backend : kBothBackends) {
+        BackendGuard guard(backend);
+        for (const uint64_t seed : {5ull, 123ull}) {
+            Rng ra(seed);
+            Rng rb(seed);
+            const auto got = model.sample(ra, 48, 1.0);
+            const auto want = seedSample(model, rb, 48, 1.0, {});
+            EXPECT_EQ(got, want)
+                << "seed " << seed << " on "
+                << kernelBackendName(backend);
+        }
+        // With a prefix and a sharper temperature.
+        Rng ra(77);
+        Rng rb(77);
+        const auto prefix = tokenRamp(9, 4);
+        const auto got = model.sample(ra, 25, 0.8, prefix);
+        const auto want = seedSample(model, rb, 25, 0.8, prefix);
+        EXPECT_EQ(got, want)
+            << "prefixed on " << kernelBackendName(backend);
+    }
+}
+
+// ------------------------------------------------------ batched decode --
+
+TEST(BatchedDecode, RowsMatchSerialSingleRequestRuns)
+{
+    const Transformer model(tinyConfig());
+    for (const char *fmt : {"BF16", "MXFP4+"}) {
+        const QuantConfig qc = QuantConfig::fromFormat(fmt);
+
+        const std::vector<std::vector<int>> prompts = {
+            tokenRamp(5, 2), tokenRamp(9, 7), tokenRamp(3, 13)};
+        const size_t steps = 11;
+
+        // Serial: each request decodes alone.
+        std::vector<Matrix> serial_logits;
+        std::vector<std::vector<int>> serial_tokens(prompts.size());
+        for (size_t r = 0; r < prompts.size(); ++r) {
+            KvCache cache = KvCache::forConfig(model.config(), qc);
+            Matrix logits = model.prefill(prompts[r], cache, qc);
+            int tok = 0; // greedy from the last prefill row
+            const float *row = logits.row(logits.rows() - 1);
+            for (size_t v = 1; v < model.config().vocab; ++v)
+                if (row[v] > row[tok])
+                    tok = static_cast<int>(v);
+            for (size_t s = 0; s < steps; ++s) {
+                const Matrix l = model.decodeStep(tok, cache, qc);
+                serial_tokens[r].push_back(tok);
+                tok = 0;
+                for (size_t v = 1; v < model.config().vocab; ++v)
+                    if (l.at(0, v) > l.at(0, tok))
+                        tok = static_cast<int>(v);
+                if (r == 0 && s + 1 == steps)
+                    serial_logits.push_back(l);
+            }
+        }
+
+        // Batched: all requests share each decode step.
+        std::vector<KvCache> caches;
+        caches.reserve(prompts.size());
+        std::vector<int> last(prompts.size());
+        for (size_t r = 0; r < prompts.size(); ++r) {
+            caches.emplace_back(
+                KvCache::forConfig(model.config(), qc));
+            Matrix logits = model.prefill(prompts[r], caches[r], qc);
+            const float *row = logits.row(logits.rows() - 1);
+            int tok = 0;
+            for (size_t v = 1; v < model.config().vocab; ++v)
+                if (row[v] > row[tok])
+                    tok = static_cast<int>(v);
+            last[r] = tok;
+        }
+        std::vector<KvCache *> cache_ptrs;
+        for (auto &c : caches)
+            cache_ptrs.push_back(&c);
+        for (size_t s = 0; s < steps; ++s) {
+            const Matrix l =
+                model.decodeStepBatch(last, cache_ptrs, qc);
+            for (size_t r = 0; r < prompts.size(); ++r) {
+                ASSERT_EQ(last[r], serial_tokens[r][s])
+                    << fmt << " request " << r << " step " << s;
+                int tok = 0;
+                for (size_t v = 1; v < model.config().vocab; ++v)
+                    if (l.at(r, v) > l.at(r, tok))
+                        tok = static_cast<int>(v);
+                last[r] = tok;
+            }
+            if (s + 1 == steps) {
+                // Final-step logits of request 0, bit-exact vs serial.
+                for (size_t v = 0; v < model.config().vocab; ++v)
+                    ASSERT_EQ(l.at(0, v), serial_logits[0].at(0, v))
+                        << fmt << " vocab " << v;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------ serving engine --
+
+std::vector<ServeRequest>
+engineWorkload()
+{
+    std::vector<ServeRequest> reqs;
+    for (size_t r = 0; r < 5; ++r) {
+        ServeRequest req;
+        req.prompt = tokenRamp(4 + 3 * r, static_cast<int>(2 * r + 3));
+        req.max_new_tokens = 6 + 2 * r;
+        if (r % 2 == 1) {
+            req.temperature = 1.0;
+            req.seed = 1000 + r;
+        }
+        reqs.push_back(std::move(req));
+    }
+    return reqs;
+}
+
+TEST(ServingEngine, BatchedRunMatchesSerialRuns)
+{
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    const auto reqs = engineWorkload();
+
+    // Serial oracle: one engine per request (batch width 1).
+    std::vector<std::vector<int>> serial(reqs.size());
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        ServingEngine engine(model, qc, 1);
+        const size_t id = engine.submit(reqs[r]);
+        engine.runToCompletion();
+        serial[r] = engine.stats(id).generated;
+        EXPECT_EQ(serial[r].size(), reqs[r].max_new_tokens);
+    }
+
+    // Batched engine, all requests in flight together.
+    ServingEngine engine(model, qc, 4);
+    std::vector<size_t> ids;
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+    engine.runToCompletion();
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        EXPECT_EQ(engine.stats(ids[r]).generated, serial[r])
+            << "request " << r;
+    }
+}
+
+TEST(ServingEngine, SingleTokenRequestsNeverOverrun)
+{
+    // A request fully satisfied by its prefill token must be retired
+    // before any decode step, including when it is admitted into a slot
+    // freed by another retirement within the same scheduler iteration.
+    const Transformer model(tinyConfig());
+    ServingEngine engine(model, QuantConfig::bf16Baseline(), 1);
+    std::vector<size_t> ids;
+    for (int r = 0; r < 2; ++r) {
+        ServeRequest req;
+        req.prompt = tokenRamp(4, 3 + r);
+        req.max_new_tokens = 1;
+        ids.push_back(engine.submit(std::move(req)));
+    }
+    engine.runToCompletion();
+    for (size_t id : ids) {
+        EXPECT_TRUE(engine.stats(id).finished);
+        EXPECT_EQ(engine.stats(id).generated.size(), 1u);
+    }
+    EXPECT_EQ(engine.engineStats().decode_batches, 0u);
+}
+
+TEST(ServingEngine, TinyMaxSeqModelsStillServe)
+{
+    // max_seq below the cache's default initial capacity: construction
+    // must clamp, sampling must clip at the position table, and the
+    // engine must retire a request whose sequence fills up mid-flight.
+    ModelConfig cfg = tinyConfig();
+    cfg.max_seq = 16;
+    const Transformer model(cfg);
+
+    Rng rng(3);
+    const auto tokens = model.sample(rng, 64, 1.0);
+    EXPECT_EQ(tokens.size(), cfg.max_seq + 1); // seed-loop clip semantics
+
+    const QuantConfig qc = QuantConfig::bf16Baseline();
+    KvCache cache = KvCache::forConfig(cfg, qc);
+    EXPECT_LE(cache.capacity(), cfg.max_seq);
+
+    ServingEngine engine(model, qc, 2);
+    ServeRequest req;
+    req.prompt = {tokens.begin(), tokens.begin() + 8};
+    req.max_new_tokens = 32; // more than the sequence can hold
+    const size_t id = engine.submit(std::move(req));
+    engine.runToCompletion();
+    EXPECT_TRUE(engine.stats(id).finished);
+    // Prefill yields one token at length 8; decode runs until the cache
+    // hits max_seq: 1 + (16 - 8) generated tokens.
+    EXPECT_EQ(engine.stats(id).generated.size(), cfg.max_seq - 8 + 1);
+}
+
+TEST(ServingEngine, StatsAreCoherent)
+{
+    const Transformer model(tinyConfig());
+    ServingEngine engine(model, QuantConfig::bf16Baseline(), 3);
+    const auto reqs = engineWorkload();
+    std::vector<size_t> ids;
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+    engine.runToCompletion();
+
+    EXPECT_EQ(engine.queuedRequests(), 0u);
+    EXPECT_EQ(engine.activeRequests(), 0u);
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        const RequestStats &rs = engine.stats(ids[r]);
+        EXPECT_TRUE(rs.finished);
+        EXPECT_EQ(rs.prompt_tokens, reqs[r].prompt.size());
+        EXPECT_EQ(rs.generated.size(), reqs[r].max_new_tokens);
+        EXPECT_EQ(rs.token_ms.size(), reqs[r].max_new_tokens - 1);
+        EXPECT_GE(rs.ttft_ms, 0.0);
+        EXPECT_LE(rs.p50_ms, rs.p99_ms + 1e-9);
+        EXPECT_GT(rs.decode_tokens_per_s, 0.0);
+        for (int t : rs.generated) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(static_cast<size_t>(t), model.config().vocab);
+        }
+    }
+    const EngineStats &es = engine.engineStats();
+    EXPECT_GT(es.wall_ms, 0.0);
+    EXPECT_GT(es.decode_batches, 0u);
+    EXPECT_GE(es.mean_batch_occupancy, 1.0);
+    EXPECT_LE(es.mean_batch_occupancy, 3.0 + 1e-9);
+    EXPECT_GT(es.kv_bytes_peak, 0u);
+    size_t total = 0;
+    for (const auto &req : reqs)
+        total += req.max_new_tokens;
+    EXPECT_EQ(es.total_generated, total);
+    EXPECT_GT(es.throughput_tokens_per_s, 0.0);
+}
+
+} // namespace
+} // namespace mxplus
