@@ -3,17 +3,29 @@
  * Machine-readable benchmark of the batched serving engine: decode
  * throughput (tokens/s), time-to-first-token and per-token latency
  * percentiles as a function of batch width and quantization format,
- * emitted as JSON so future PRs have a serving-performance trajectory to
- * regress against (the committed snapshot lives in BENCH_serving.json).
+ * plus paged-KV occupancy and admission metrics, emitted as JSON so
+ * future PRs have a serving-performance trajectory to regress against
+ * (the committed snapshot lives in BENCH_serving.json; the CI gate
+ * tools/check_bench.py compares against it on every PR).
  *
- * The workload is fixed across batch widths — the same requests, prompts
- * and greedy sampling — so the batch-8 vs batch-1 ratio isolates the
- * benefit of continuous batching (amortized weight quantization and
- * B-panel packing in the batched matvec) from everything else.
+ * The uniform workload is fixed across batch widths — the same
+ * requests, prompts and greedy sampling — so the batch-8 vs batch-1
+ * ratio isolates the benefit of continuous batching (amortized weight
+ * quantization and B-panel packing in the batched matvec) from
+ * everything else. A --quick run uses the SAME per-config workload and
+ * a subset of (format, batch) points, so its entries are directly
+ * comparable to the committed full baseline.
+ *
+ * The mixed workload varies prompt and generation lengths across
+ * requests; its kv_bytes_peak (live pages) sits well below the
+ * worst-case reservation a contiguous per-request cache would pin
+ * (kv_bytes_reserved_worst), which is the paged cache's point. The
+ * budgeted variant additionally caps the pool and reports admission
+ * deferrals.
  *
  * Usage: bench_serving [--quick] [--out FILE]
  *
- *  --quick   small workload (CI smoke run)
+ *  --quick   fewer configs, same workload (CI gate run)
  *  --out     write the JSON to FILE instead of stdout
  *
  * See docs/SERVING.md for the schema and how to interpret the output.
@@ -33,22 +45,26 @@ namespace {
 struct RunResult
 {
     std::string format;
+    std::string workload; // "uniform" / "mixed" / "mixed-budget"
     size_t batch = 0;
     size_t requests = 0;
-    size_t new_tokens_per_request = 0;
-    size_t prompt_tokens = 0;
     double throughput_tok_s = 0.0;
     double decode_tok_s = 0.0;
     double ttft_p50_ms = 0.0;
+    double ttft_p99_ms = 0.0;
     double token_p50_ms = 0.0;
     double token_p99_ms = 0.0;
     double mean_batch_occupancy = 0.0;
     size_t kv_bytes_peak = 0;
+    size_t kv_pages_peak = 0;
+    size_t kv_bytes_reserved_worst = 0;
+    size_t prefill_chunks = 0;
+    size_t admission_deferred_steps = 0;
     double speedup_vs_batch1 = 0.0;
 };
 
 std::vector<ServeRequest>
-workload(size_t requests, size_t prompt_len, size_t new_tokens)
+uniformWorkload(size_t requests, size_t prompt_len, size_t new_tokens)
 {
     std::vector<ServeRequest> reqs(requests);
     for (size_t r = 0; r < requests; ++r) {
@@ -63,29 +79,60 @@ workload(size_t requests, size_t prompt_len, size_t new_tokens)
     return reqs;
 }
 
+/** Short and long requests interleaved (prompts 8..92, 8..43 new). */
+std::vector<ServeRequest>
+mixedWorkload(size_t requests)
+{
+    std::vector<ServeRequest> reqs(requests);
+    for (size_t r = 0; r < requests; ++r) {
+        const size_t prompt_len = 8 + 12 * r;
+        reqs[r].prompt.resize(prompt_len);
+        for (size_t i = 0; i < prompt_len; ++i) {
+            reqs[r].prompt[i] =
+                static_cast<int>((31 + 5 * r + 11 * i) % 251);
+        }
+        reqs[r].max_new_tokens = 8 + 5 * r;
+        reqs[r].temperature = 0.0;
+    }
+    return reqs;
+}
+
 RunResult
 runConfig(const Transformer &model, const std::string &format,
-          size_t batch, size_t requests, size_t prompt_len,
-          size_t new_tokens)
+          const std::string &workload_name,
+          const std::vector<ServeRequest> &reqs, EngineOptions opts)
 {
     const QuantConfig qc = QuantConfig::fromFormat(format);
-    ServingEngine engine(model, qc, batch);
+    ServingEngine engine(model, qc, opts);
     std::vector<size_t> ids;
-    for (auto &req : workload(requests, prompt_len, new_tokens))
-        ids.push_back(engine.submit(std::move(req)));
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+
+    const size_t pt = engine.pool().pageTokens();
+    const size_t page_bytes = engine.pool().pageBytes();
+    const size_t layers = model.config().n_layers;
+    size_t reserved_worst = 0;
+    for (const auto &req : reqs) {
+        const size_t tokens = req.prompt.size() + req.max_new_tokens;
+        reserved_worst += (tokens + pt - 1) / pt * layers * page_bytes;
+    }
+
     engine.runToCompletion();
 
     RunResult res;
     res.format = format;
-    res.batch = batch;
-    res.requests = requests;
-    res.new_tokens_per_request = new_tokens;
-    res.prompt_tokens = prompt_len;
+    res.workload = workload_name;
+    res.batch = opts.max_batch;
+    res.requests = reqs.size();
+    res.kv_bytes_reserved_worst = reserved_worst;
     const EngineStats &es = engine.engineStats();
     res.throughput_tok_s = es.throughput_tokens_per_s;
     res.decode_tok_s = es.decode_tokens_per_s;
     res.mean_batch_occupancy = es.mean_batch_occupancy;
     res.kv_bytes_peak = es.kv_bytes_peak;
+    res.kv_pages_peak = es.kv_pages_peak;
+    res.prefill_chunks = es.prefill_chunks;
+    res.admission_deferred_steps = es.admission_deferred_steps;
 
     std::vector<double> ttfts;
     std::vector<double> token_ms;
@@ -96,9 +143,31 @@ runConfig(const Transformer &model, const std::string &format,
                         rs.token_ms.end());
     }
     res.ttft_p50_ms = latencyPercentile(ttfts, 0.50);
+    res.ttft_p99_ms = latencyPercentile(ttfts, 0.99);
     res.token_p50_ms = latencyPercentile(token_ms, 0.50);
     res.token_p99_ms = latencyPercentile(token_ms, 0.99);
     return res;
+}
+
+void
+printResult(FILE *out, const RunResult &r, bool last)
+{
+    std::fprintf(
+        out,
+        "    {\"format\": \"%s\", \"workload\": \"%s\", \"batch\": %zu, "
+        "\"throughput_tok_s\": %.1f, \"decode_tok_s\": %.1f, "
+        "\"speedup_vs_batch1\": %.2f, "
+        "\"ttft_p50_ms\": %.2f, \"ttft_p99_ms\": %.2f, "
+        "\"token_p50_ms\": %.3f, \"token_p99_ms\": %.3f, "
+        "\"mean_batch_occupancy\": %.2f, \"kv_bytes_peak\": %zu, "
+        "\"kv_pages_peak\": %zu, \"kv_bytes_reserved_worst\": %zu, "
+        "\"prefill_chunks\": %zu, \"admission_deferred_steps\": %zu}%s\n",
+        r.format.c_str(), r.workload.c_str(), r.batch,
+        r.throughput_tok_s, r.decode_tok_s, r.speedup_vs_batch1,
+        r.ttft_p50_ms, r.ttft_p99_ms, r.token_p50_ms, r.token_p99_ms,
+        r.mean_batch_occupancy, r.kv_bytes_peak, r.kv_pages_peak,
+        r.kv_bytes_reserved_worst, r.prefill_chunks,
+        r.admission_deferred_steps, last ? "" : ",");
 }
 
 } // namespace
@@ -129,15 +198,19 @@ main(int argc, char **argv)
     const ModelConfig cfg = simLlama31_70b();
     const Transformer model(cfg);
 
+    // Quick mode keeps the workload identical and trims the config
+    // grid, so every quick entry matches a full-run baseline entry by
+    // (format, workload, batch) — that is what makes the CI regression
+    // gate's comparisons apples-to-apples.
     const std::vector<std::string> formats =
         quick ? std::vector<std::string>{"BF16", "MXFP4+"}
               : std::vector<std::string>{"BF16", "MXFP8", "MXFP4+"};
     const std::vector<size_t> batches =
-        quick ? std::vector<size_t>{1, 4}
+        quick ? std::vector<size_t>{1, 8}
               : std::vector<size_t>{1, 2, 4, 8};
     const size_t requests = 8;
-    const size_t prompt_len = quick ? 16 : 32;
-    const size_t new_tokens = quick ? 8 : 32;
+    const size_t prompt_len = 32;
+    const size_t new_tokens = 32;
 
     std::vector<RunResult> results;
     for (const auto &fmt : formats) {
@@ -145,8 +218,11 @@ main(int argc, char **argv)
         for (size_t b : batches) {
             std::fprintf(stderr, "serving %s batch %zu...\n", fmt.c_str(),
                          b);
-            RunResult r = runConfig(model, fmt, b, requests, prompt_len,
-                                    new_tokens);
+            EngineOptions opts;
+            opts.max_batch = b;
+            RunResult r = runConfig(
+                model, fmt, "uniform",
+                uniformWorkload(requests, prompt_len, new_tokens), opts);
             if (b == 1)
                 batch1_tok_s = r.throughput_tok_s;
             r.speedup_vs_batch1 = batch1_tok_s > 0.0
@@ -154,6 +230,21 @@ main(int argc, char **argv)
                 : 0.0;
             results.push_back(std::move(r));
         }
+    }
+
+    // Mixed-length workloads at batch 8: live-page peak vs worst-case
+    // reservation, plus a budget-capped run exercising admission.
+    std::vector<RunResult> mixed;
+    for (const auto &fmt : formats) {
+        std::fprintf(stderr, "serving %s mixed...\n", fmt.c_str());
+        EngineOptions opts;
+        opts.max_batch = 8;
+        mixed.push_back(runConfig(model, fmt, "mixed",
+                                  mixedWorkload(requests), opts));
+        EngineOptions capped = opts;
+        capped.kv_budget_tokens = 256; // < sum of per-request demand
+        mixed.push_back(runConfig(model, fmt, "mixed-budget",
+                                  mixedWorkload(requests), capped));
     }
 
     FILE *out = stdout;
@@ -169,27 +260,20 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"bench\": \"bench_serving\",\n");
     std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
     std::fprintf(out, "  \"model\": \"%s\",\n", cfg.name.c_str());
+    std::fprintf(out, "  \"kv_page_tokens\": %zu,\n",
+                 KvCache::pageTokensFor(nullptr));
     std::fprintf(out,
                  "  \"workload\": {\"requests\": %zu, \"prompt_tokens\": "
                  "%zu, \"new_tokens_per_request\": %zu, \"sampling\": "
                  "\"greedy\"},\n",
                  requests, prompt_len, new_tokens);
     std::fprintf(out, "  \"configs\": [\n");
-    for (size_t i = 0; i < results.size(); ++i) {
-        const RunResult &r = results[i];
-        std::fprintf(
-            out,
-            "    {\"format\": \"%s\", \"batch\": %zu, "
-            "\"throughput_tok_s\": %.1f, \"decode_tok_s\": %.1f, "
-            "\"speedup_vs_batch1\": %.2f, "
-            "\"ttft_p50_ms\": %.2f, \"token_p50_ms\": %.3f, "
-            "\"token_p99_ms\": %.3f, \"mean_batch_occupancy\": %.2f, "
-            "\"kv_bytes_peak\": %zu}%s\n",
-            r.format.c_str(), r.batch, r.throughput_tok_s,
-            r.decode_tok_s, r.speedup_vs_batch1, r.ttft_p50_ms, r.token_p50_ms,
-            r.token_p99_ms, r.mean_batch_occupancy, r.kv_bytes_peak,
-            i + 1 < results.size() ? "," : "");
-    }
+    for (size_t i = 0; i < results.size(); ++i)
+        printResult(out, results[i], i + 1 == results.size());
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"mixed\": [\n");
+    for (size_t i = 0; i < mixed.size(); ++i)
+        printResult(out, mixed[i], i + 1 == mixed.size());
     std::fprintf(out, "  ]\n");
     std::fprintf(out, "}\n");
     if (out != stdout)

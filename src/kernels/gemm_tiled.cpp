@@ -107,13 +107,30 @@ gemmTiled(const float *a, size_t lda, const float *b, size_t ldb, float *c,
     // identical either way.
     const bool parallel_rows = m > kMR && m * n * k > (size_t{1} << 16);
 
-    std::vector<float> panel(kKC * ((kNC + kNR - 1) / kNR) * kNR);
+    // Panel scratch sized to THIS problem (not the full kKC x kNC
+    // blocking maximum) and reused across calls: the decode attention
+    // issues thousands of tiny matvecs per step, and a fresh
+    // zero-initialized worst-case panel per call costs more than the
+    // matvec itself. packB fully writes every panel region the
+    // microkernel reads, so reuse never leaks stale values; worker
+    // threads of the row loop only read the panel, so a thread-local
+    // buffer of the packing thread is safe (nested calls from parallel
+    // attention regions each get their own).
+    const size_t max_strips = (std::min(kNC, n) + kNR - 1) / kNR;
+    static thread_local std::vector<float> panel;
+    panel.resize(std::min(kKC, k) * max_strips * kNR);
+    // Hoist the data pointer: `panel` must NOT be named inside the
+    // parallel region below, where each worker would resolve the
+    // thread_local to its own (empty) vector instead of the packing
+    // thread's. The pointer value is shared with the workers like any
+    // captured local.
+    float *const pdata = panel.data();
     for (size_t jc = 0; jc < n; jc += kNC) {
         const size_t nc = std::min(kNC, n - jc);
         const size_t nstrips = (nc + kNR - 1) / kNR;
         for (size_t pc = 0; pc < k; pc += kKC) {
             const size_t kc = std::min(kKC, k - pc);
-            packB(panel.data(), b, ldb, b_transposed, pc, kc, jc, nc);
+            packB(pdata, b, ldb, b_transposed, pc, kc, jc, nc);
             const bool accumulate = pc > 0;
             #pragma omp parallel for schedule(static) if (parallel_rows)
             for (size_t ic = 0; ic < m; ic += kMR) {
@@ -123,7 +140,7 @@ gemmTiled(const float *a, size_t lda, const float *b, size_t ldb, float *c,
                 for (size_t s = 0; s < nstrips; ++s) {
                     const size_t jr = s * kNR;
                     const size_t nr = std::min(kNR, nc - jr);
-                    kernel(kc, ablk, lda, panel.data() + s * kc * kNR,
+                    kernel(kc, ablk, lda, pdata + s * kc * kNR,
                            cblk + jr, ldc, mr, nr, accumulate);
                 }
             }

@@ -1,5 +1,6 @@
 #include "model/layers.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bf16.h"
@@ -106,6 +107,92 @@ sampleLogits(const float *logits, size_t n, double temperature, Rng &rng)
                             std::max(temperature, 1e-3));
     }
     return static_cast<int>(rng.categorical(probs));
+}
+
+int
+sampleLogitsPolicy(const float *logits, size_t n,
+                   const SamplingParams &params, const int *recent,
+                   size_t n_recent, Rng &rng)
+{
+    // Plain params delegate to the shared recipe so the teacher loop,
+    // the engine's default path and old callers stay bit-identical.
+    if (params.isPlain())
+        return sampleLogits(logits, n, params.temperature, rng);
+
+    std::vector<double> adj(n);
+    for (size_t i = 0; i < n; ++i)
+        adj[i] = static_cast<double>(logits[i]);
+
+    // Repetition penalty (CTRL): dampen every distinct token of the
+    // context once. Dividing positive and multiplying negative logits
+    // keeps the penalty monotone on the probability scale.
+    if (params.repetition_penalty != 1.0) {
+        MXPLUS_CHECK_MSG(params.repetition_penalty > 0.0,
+                         "repetition_penalty must be positive");
+        std::vector<bool> seen(n, false);
+        for (size_t i = 0; i < n_recent; ++i) {
+            const int t = recent[i];
+            if (t < 0 || static_cast<size_t>(t) >= n)
+                continue;
+            const size_t u = static_cast<size_t>(t);
+            if (seen[u])
+                continue;
+            seen[u] = true;
+            adj[u] = adj[u] > 0.0 ? adj[u] / params.repetition_penalty
+                                  : adj[u] * params.repetition_penalty;
+        }
+    }
+
+    if (params.temperature <= 0.0) {
+        size_t best = 0;
+        for (size_t i = 1; i < n; ++i) {
+            if (adj[i] > adj[best])
+                best = i;
+        }
+        return static_cast<int>(best);
+    }
+
+    double mx = adj[0];
+    for (size_t i = 1; i < n; ++i)
+        mx = std::max(mx, adj[i]);
+    std::vector<double> probs(n);
+    for (size_t i = 0; i < n; ++i)
+        probs[i] = std::exp((adj[i] - mx) /
+                            std::max(params.temperature, 1e-3));
+
+    // Top-k, then nucleus cut over the survivors (the usual serving
+    // composition). Ordering is deterministic: probability descending,
+    // index ascending on ties, so results never depend on sort internals.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (probs[a] != probs[b])
+            return probs[a] > probs[b];
+        return a < b;
+    });
+    size_t keep = n;
+    if (params.top_k > 0)
+        keep = std::min(keep, params.top_k);
+    if (params.top_p < 1.0) {
+        double total = 0.0;
+        for (size_t i = 0; i < keep; ++i)
+            total += probs[order[i]];
+        double cum = 0.0;
+        size_t nucleus = keep;
+        for (size_t i = 0; i < keep; ++i) {
+            cum += probs[order[i]];
+            if (cum >= params.top_p * total) {
+                nucleus = i + 1; // always keeps at least one token
+                break;
+            }
+        }
+        keep = nucleus;
+    }
+    std::vector<double> kept(n, 0.0);
+    for (size_t i = 0; i < keep; ++i)
+        kept[order[i]] = probs[order[i]];
+    return static_cast<int>(rng.categorical(kept));
 }
 
 std::vector<double>

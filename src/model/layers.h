@@ -43,6 +43,37 @@ std::vector<double> logSoftmax(const float *logits, size_t n);
 int sampleLogits(const float *logits, size_t n, double temperature,
                  Rng &rng);
 
+/** Knobs of the serving sampling surface (defaults = plain sampling). */
+struct SamplingParams
+{
+    /** 0 = greedy argmax; > 0 = temperature sampling. */
+    double temperature = 0.0;
+    /** Keep only the k highest logits (0 = no limit). */
+    size_t top_k = 0;
+    /** Keep the smallest probability mass >= top_p (1 = no cut). */
+    double top_p = 1.0;
+    /** CTRL-style penalty on recently seen tokens (1 = off). */
+    double repetition_penalty = 1.0;
+
+    bool
+    isPlain() const
+    {
+        return top_k == 0 && top_p >= 1.0 && repetition_penalty == 1.0;
+    }
+};
+
+/**
+ * Pick a token under the full sampling policy: repetition penalty over
+ * @p recent (positive logits divided, negative multiplied), then the
+ * shared temperature recipe, then top-k and nucleus (top-p) filtering
+ * before the categorical draw. With default params this delegates to
+ * sampleLogits, so plain greedy/temperature callers are bit-unchanged.
+ * Deterministic in @p rng regardless of batch layout or scheduling.
+ */
+int sampleLogitsPolicy(const float *logits, size_t n,
+                       const SamplingParams &params, const int *recent,
+                       size_t n_recent, Rng &rng);
+
 } // namespace mxplus
 
 #endif // MXPLUS_MODEL_LAYERS_H

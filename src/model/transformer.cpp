@@ -288,21 +288,34 @@ Transformer::attendRowOverCache(size_t layer, const float *q_row,
     const TensorQuantizer &qk_quant =
         qc.qk_override ? *qc.qk_override : *qc.attention;
     const size_t len = cache.appendedLength(layer);
+    const size_t pt = cache.pageTokens();
 
-    // Zero-copy attention: the quantized K/V head slices are consumed
-    // straight out of the cache via strided matvecs — no gather, no
-    // Matrix temporaries. Bit-identical to the full-sequence operand
-    // math (same quantizer calls, same kernel chains).
+    // Paged attention: scores are computed per page with strided
+    // matvecs straight out of the page slabs (each score is one dot
+    // product over dh, independent of every other row, so the page walk
+    // is bit-identical to a contiguous cache). The P·V reduction runs
+    // over the whole sequence, so its head slice is gathered from the
+    // pages into one dense operand first — splitting that reduction at
+    // page boundaries would change the accumulation order and break the
+    // bit-parity contract with the full-sequence GEMM.
     std::vector<float> qhq(dh);
     std::vector<float> scores(len);
     std::vector<float> pq(len);
+    // Gather scratch for the multi-page P·V case only; while the
+    // sequence fits one page the matvec reads the page slab directly.
+    std::vector<float> vhead;
+    if (len > pt)
+        vhead.resize(dh * len);
     for (size_t hd = 0; hd < heads; ++hd) {
         const size_t c0 = hd * dh;
         qk_quant.quantizeRows(q_row + c0, qhq.data(), 1, dh);
 
-        KernelDispatch::matvecStrided(cache.keysData(layer) + c0,
-                                      cache.keyRowStride(), len, dh,
-                                      qhq.data(), scores.data());
+        for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt) {
+            const size_t n = std::min(pt, len - pos);
+            KernelDispatch::matvecStrided(
+                cache.keyPageData(layer, p) + c0, cache.keyRowStride(),
+                n, dh, qhq.data(), scores.data() + pos);
+        }
         // The row sits at the last position, so every cached entry is
         // visible: scale only, no causal mask needed. Softmax is the
         // one-row transcription of softmaxRowsInPlace (FP64, paper
@@ -324,9 +337,26 @@ Transformer::attendRowOverCache(size_t layer, const float *q_row,
             scores[j] = static_cast<float>(scores[j] * inv);
 
         qc.attention->quantizeRows(scores.data(), pq.data(), 1, len);
-        KernelDispatch::matvecStrided(
-            cache.valuesTData(layer) + c0 * cache.valueRowStride(),
-            cache.valueRowStride(), dh, len, pq.data(), out_row + c0);
+        if (len <= pt) {
+            // Single page: the head's V rows are contiguous in the
+            // slab with row stride pageTokens() — zero-copy, exactly
+            // the old contiguous-cache operand.
+            KernelDispatch::matvecStrided(
+                cache.valuePageData(layer, 0) + c0 * pt, pt, dh, len,
+                pq.data(), out_row + c0);
+        } else {
+            for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt) {
+                const size_t n = std::min(pt, len - pos);
+                const float *vq = cache.valuePageData(layer, p);
+                for (size_t c = 0; c < dh; ++c) {
+                    std::copy(vq + (c0 + c) * pt,
+                              vq + (c0 + c) * pt + n,
+                              vhead.data() + c * len + pos);
+                }
+            }
+            KernelDispatch::matvecStrided(vhead.data(), len, dh, len,
+                                          pq.data(), out_row + c0);
+        }
     }
 }
 

@@ -8,41 +8,80 @@ namespace mxplus {
 
 namespace {
 
-constexpr size_t kInitialCapacity = 64;
+/** Default page size before block-period alignment. */
+constexpr size_t kBasePageTokens = 32;
 
 } // namespace
 
+size_t
+KvCache::pageTokensFor(const TensorQuantizer *v_quant)
+{
+    const size_t period = v_quant != nullptr ? v_quant->blockPeriod() : 1;
+    if (period == 0)
+        return kBasePageTokens; // unknown structure: whole-row requant
+    return ((kBasePageTokens + period - 1) / period) * period;
+}
+
+size_t
+KvCache::floatsPerPage(const ModelConfig &cfg, bool teacher,
+                       size_t page_tokens)
+{
+    // Teacher pages hold raw K + raw V rows; quantized pages hold
+    // quantized K plus the raw and quantized seq-major V copies.
+    return (teacher ? 2 : 3) * page_tokens * cfg.d_model;
+}
+
 KvCache::KvCache(const ModelConfig &cfg, QuantizerPtr k_quant,
-                 QuantizerPtr v_quant, size_t capacity_hint)
+                 QuantizerPtr v_quant, size_t capacity_hint,
+                 std::shared_ptr<KvPagePool> pool)
     : n_layers_(cfg.n_layers), d_(cfg.d_model), heads_(cfg.n_heads),
       dh_(cfg.headDim()), max_seq_(cfg.max_seq),
       k_quant_(std::move(k_quant)), v_quant_(std::move(v_quant)),
-      appended_(cfg.n_layers, 0)
+      pool_(std::move(pool)), appended_(cfg.n_layers, 0),
+      pages_(cfg.n_layers)
 {
     MXPLUS_CHECK_MSG((k_quant_ == nullptr) == (v_quant_ == nullptr),
                      "KvCache: both quantizers or neither (teacher mode)");
-    if (isTeacher()) {
-        k_raw_.resize(n_layers_);
-        v_raw_.resize(n_layers_);
-    } else {
-        kq_.resize(n_layers_);
-        vraw_t_.resize(n_layers_);
-        vq_t_.resize(n_layers_);
+    if (pool_ == nullptr) {
+        // Private unbounded pool with the default geometry.
+        const size_t pt = pageTokensFor(v_quant_.get());
+        pool_ = std::make_shared<KvPagePool>(
+            pt, floatsPerPage(cfg, isTeacher(), pt), /*max_pages=*/0);
     }
-    // Never pre-size past the model's position table: tiny-max_seq
-    // configs must still construct (they simply grow to max_seq_).
-    ensureCapacity(
-        std::min(max_seq_, std::max(kInitialCapacity, capacity_hint)));
+    pt_ = pool_->pageTokens();
+    MXPLUS_CHECK_MSG(pool_->floatsPerPage() ==
+                         floatsPerPage(cfg, isTeacher(), pt_),
+                     "KvCache: pool slab size does not match this "
+                     "model/mode");
+    if (!isTeacher()) {
+        const size_t period = v_quant_->blockPeriod();
+        MXPLUS_CHECK_MSG(period == 0 || pt_ % period == 0,
+                         "KvCache: page size must be a multiple of the "
+                         "value quantizer's block period");
+    }
+    const size_t hint_pages = (capacity_hint + pt_ - 1) / pt_;
+    for (auto &table : pages_)
+        table.reserve(hint_pages);
+}
+
+KvCache::~KvCache()
+{
+    if (pool_ == nullptr)
+        return; // moved-from shell
+    for (const auto &table : pages_) {
+        for (const uint32_t id : table)
+            pool_->release(id);
+    }
 }
 
 KvCache
 KvCache::forConfig(const ModelConfig &cfg, const QuantConfig &qc,
-                   size_t capacity_hint)
+                   size_t capacity_hint, std::shared_ptr<KvPagePool> pool)
 {
     MXPLUS_CHECK_MSG(qc.attention != nullptr,
                      "KvCache::forConfig needs an attention quantizer");
     const QuantizerPtr k = qc.qk_override ? qc.qk_override : qc.attention;
-    return KvCache(cfg, k, qc.attention, capacity_hint);
+    return KvCache(cfg, k, qc.attention, capacity_hint, std::move(pool));
 }
 
 KvCache
@@ -52,78 +91,81 @@ KvCache::teacher(const ModelConfig &cfg, size_t capacity_hint)
 }
 
 size_t
-KvCache::memoryBytes() const
+KvCache::heldPages() const
 {
-    const size_t per_layer = isTeacher()
-        ? 2 * cap_ * d_  // raw K + raw V
-        : 3 * cap_ * d_; // quantized K + raw V + quantized V
-    return n_layers_ * per_layer * sizeof(float);
+    size_t n = 0;
+    for (const auto &table : pages_)
+        n += table.size();
+    return n;
 }
 
-void
-KvCache::ensureCapacity(size_t tokens)
+size_t
+KvCache::capacity() const
 {
-    if (tokens <= cap_)
-        return;
-    MXPLUS_CHECK_MSG(tokens <= max_seq_,
-                     "KvCache: sequence exceeds the model's max_seq");
-    const size_t new_cap =
-        std::min(max_seq_, std::max(tokens, cap_ * 2));
+    return std::min(max_seq_, pages_[0].size() * pt_);
+}
 
-    auto grow_rows = [&](Matrix &m, size_t used_rows) {
-        Matrix next(new_cap, d_);
-        for (size_t r = 0; r < used_rows; ++r)
-            std::copy(m.row(r), m.row(r) + d_, next.row(r));
-        m = std::move(next);
-    };
-    auto grow_cols = [&](Matrix &m, size_t used_cols) {
-        Matrix next(d_, new_cap);
-        for (size_t c = 0; c < d_; ++c)
-            std::copy(m.row(c), m.row(c) + used_cols, next.row(c));
-        m = std::move(next);
-    };
+size_t
+KvCache::memoryBytes() const
+{
+    return heldPages() * pool_->pageBytes();
+}
 
-    for (size_t l = 0; l < n_layers_; ++l) {
-        const size_t used = appended_[l];
-        if (isTeacher()) {
-            grow_rows(k_raw_[l], used);
-            grow_rows(v_raw_[l], used);
-        } else {
-            grow_rows(kq_[l], used);
-            grow_cols(vraw_t_[l], used);
-            grow_cols(vq_t_[l], used);
-        }
-    }
-    cap_ = new_cap;
+float *
+KvCache::slabFor(size_t layer, size_t pos)
+{
+    const size_t page = pos / pt_;
+    auto &table = pages_[layer];
+    MXPLUS_CHECK(page <= table.size());
+    if (page == table.size())
+        table.push_back(pool_->acquire());
+    return pool_->pageData(table[page]);
+}
+
+float *
+KvCache::slab(size_t layer, size_t page)
+{
+    MXPLUS_CHECK(layer < n_layers_ && page < pages_[layer].size());
+    return pool_->pageData(pages_[layer][page]);
+}
+
+const float *
+KvCache::slab(size_t layer, size_t page) const
+{
+    MXPLUS_CHECK(layer < n_layers_ && page < pages_[layer].size());
+    return pool_->pageData(pages_[layer][page]);
 }
 
 void
 KvCache::append(size_t layer, const float *k_row, const float *v_row)
 {
-    // Allocation-free single-token path (the decode hot loop): K head
-    // slices are contiguous on both sides, and the V tail requantizes
-    // straight out of the raw seq-major rows.
+    // Allocation-free single-token path (the decode hot loop) except at
+    // page boundaries: K head slices land contiguously in the page row,
+    // and the V tail requantizes straight out of the raw page columns.
     MXPLUS_CHECK(layer < n_layers_);
     const size_t pos0 = appended_[layer];
     MXPLUS_CHECK_MSG(pos0 == len_,
                      "KvCache: layer appended twice before commit");
-    ensureCapacity(pos0 + 1);
+    MXPLUS_CHECK_MSG(pos0 + 1 <= max_seq_,
+                     "KvCache: sequence exceeds the model's max_seq");
+    float *page = slabFor(layer, pos0);
+    const size_t row = pos0 % pt_;
 
     if (isTeacher()) {
-        std::copy(k_row, k_row + d_, k_raw_[layer].row(pos0));
-        std::copy(v_row, v_row + d_, v_raw_[layer].row(pos0));
+        std::copy(k_row, k_row + d_, page + kOff() + row * d_);
+        std::copy(v_row, v_row + d_, page + vRawOff() + row * d_);
         appended_[layer] = pos0 + 1;
         return;
     }
 
-    float *kq_row = kq_[layer].row(pos0);
+    float *kq_row = page + kOff() + row * d_;
     for (size_t h = 0; h < heads_; ++h) {
         const size_t c0 = h * dh_;
         k_quant_->quantizeRows(k_row + c0, kq_row + c0, 1, dh_);
     }
-    Matrix &vraw = vraw_t_[layer];
+    float *vraw = page + vRawOff();
     for (size_t c = 0; c < d_; ++c)
-        vraw.at(c, pos0) = v_row[c];
+        vraw[c * pt_ + row] = v_row[c];
     appended_[layer] = pos0 + 1;
     requantizeValueTail(layer, pos0, pos0 + 1);
 }
@@ -132,23 +174,42 @@ void
 KvCache::requantizeValueTail(size_t layer, size_t old_len, size_t new_len)
 {
     // Re-quantize every channel from the last frozen block boundary
-    // through the new end; completed blocks before it never change.
-    const Matrix &vraw = vraw_t_[layer];
-    Matrix &vq = vq_t_[layer];
+    // through the new end; completed blocks before it never change. The
+    // segment is gathered from (usually one, after a batch append
+    // possibly several) pages into dense scratch rows, quantized with
+    // the same call a contiguous cache would make, and scattered back —
+    // so the quantized state is independent of the page layout.
     const size_t period = v_quant_->blockPeriod();
     const size_t start = period > 0 ? (old_len / period) * period : 0;
     const size_t seg = new_len - start;
     scratch_in_.resize(d_ * seg);
     scratch_out_.resize(d_ * seg);
-    for (size_t c = 0; c < d_; ++c) {
-        std::copy(vraw.row(c) + start, vraw.row(c) + new_len,
-                  scratch_in_.data() + c * seg);
+
+    const size_t first_page = start / pt_;
+    const size_t last_page = (new_len - 1) / pt_;
+    for (size_t p = first_page; p <= last_page; ++p) {
+        const size_t s0 = std::max(start, p * pt_);
+        const size_t s1 = std::min(new_len, (p + 1) * pt_);
+        const float *vraw = slab(layer, p) + vRawOff();
+        for (size_t c = 0; c < d_; ++c) {
+            std::copy(vraw + c * pt_ + (s0 - p * pt_),
+                      vraw + c * pt_ + (s1 - p * pt_),
+                      scratch_in_.data() + c * seg + (s0 - start));
+        }
     }
+
     v_quant_->quantizeRows(scratch_in_.data(), scratch_out_.data(), d_,
                            seg);
-    for (size_t c = 0; c < d_; ++c) {
-        std::copy(scratch_out_.data() + c * seg,
-                  scratch_out_.data() + (c + 1) * seg, vq.row(c) + start);
+
+    for (size_t p = first_page; p <= last_page; ++p) {
+        const size_t s0 = std::max(start, p * pt_);
+        const size_t s1 = std::min(new_len, (p + 1) * pt_);
+        float *vq = slab(layer, p) + vQuantOff();
+        for (size_t c = 0; c < d_; ++c) {
+            std::copy(scratch_out_.data() + c * seg + (s0 - start),
+                      scratch_out_.data() + c * seg + (s1 - start),
+                      vq + c * pt_ + (s0 - p * pt_));
+        }
     }
 }
 
@@ -162,13 +223,17 @@ KvCache::appendBatch(size_t layer, const Matrix &k, const Matrix &v)
     const size_t pos0 = appended_[layer];
     MXPLUS_CHECK_MSG(pos0 == len_,
                      "KvCache: layer appended twice before commit");
-    ensureCapacity(pos0 + t);
+    MXPLUS_CHECK_MSG(pos0 + t <= max_seq_,
+                     "KvCache: sequence exceeds the model's max_seq");
     const size_t new_len = pos0 + t;
 
     if (isTeacher()) {
         for (size_t r = 0; r < t; ++r) {
-            std::copy(k.row(r), k.row(r) + d_, k_raw_[layer].row(pos0 + r));
-            std::copy(v.row(r), v.row(r) + d_, v_raw_[layer].row(pos0 + r));
+            float *page = slabFor(layer, pos0 + r);
+            const size_t row = (pos0 + r) % pt_;
+            std::copy(k.row(r), k.row(r) + d_, page + kOff() + row * d_);
+            std::copy(v.row(r), v.row(r) + d_,
+                      page + vRawOff() + row * d_);
         }
         appended_[layer] = new_len;
         return;
@@ -188,18 +253,21 @@ KvCache::appendBatch(size_t layer, const Matrix &k, const Matrix &v)
         k_quant_->quantizeRows(scratch_in_.data(), scratch_out_.data(), t,
                                dh_);
         for (size_t r = 0; r < t; ++r) {
+            float *page = slabFor(layer, pos0 + r);
+            const size_t row = (pos0 + r) % pt_;
             std::copy(scratch_out_.data() + r * dh_,
                       scratch_out_.data() + (r + 1) * dh_,
-                      kq_[layer].row(pos0 + r) + c0);
+                      page + kOff() + row * d_ + c0);
         }
     }
 
-    // Values: scatter the new raw columns, then re-quantize from the
-    // last frozen block boundary through the new end.
-    Matrix &vraw = vraw_t_[layer];
+    // Values: scatter the new raw columns into their pages, then
+    // re-quantize from the last frozen block boundary through the end.
     for (size_t r = 0; r < t; ++r) {
+        float *vraw = slabFor(layer, pos0 + r) + vRawOff();
+        const size_t row = (pos0 + r) % pt_;
         for (size_t c = 0; c < d_; ++c)
-            vraw.at(c, pos0 + r) = v.at(r, c);
+            vraw[c * pt_ + row] = v.at(r, c);
     }
     appended_[layer] = new_len;
     requantizeValueTail(layer, pos0, new_len);
@@ -215,6 +283,20 @@ KvCache::commit(size_t n_tokens)
     len_ += n_tokens;
 }
 
+const float *
+KvCache::keyPageData(size_t layer, size_t page) const
+{
+    MXPLUS_CHECK(!isTeacher());
+    return slab(layer, page) + kOff();
+}
+
+const float *
+KvCache::valuePageData(size_t layer, size_t page) const
+{
+    MXPLUS_CHECK(!isTeacher());
+    return slab(layer, page) + vQuantOff();
+}
+
 void
 KvCache::headKeys(size_t layer, size_t head, Matrix &out) const
 {
@@ -223,9 +305,10 @@ KvCache::headKeys(size_t layer, size_t head, Matrix &out) const
     const size_t len = appended_[layer];
     const size_t c0 = head * dh_;
     out = Matrix(len, dh_);
-    const Matrix &kq = kq_[layer];
-    for (size_t r = 0; r < len; ++r)
-        std::copy(kq.row(r) + c0, kq.row(r) + c0 + dh_, out.row(r));
+    for (size_t r = 0; r < len; ++r) {
+        const float *kq = slab(layer, r / pt_) + kOff() + (r % pt_) * d_;
+        std::copy(kq + c0, kq + c0 + dh_, out.row(r));
+    }
 }
 
 void
@@ -236,9 +319,14 @@ KvCache::headValuesT(size_t layer, size_t head, Matrix &out) const
     const size_t len = appended_[layer];
     const size_t c0 = head * dh_;
     out = Matrix(dh_, len);
-    const Matrix &vq = vq_t_[layer];
-    for (size_t c = 0; c < dh_; ++c)
-        std::copy(vq.row(c0 + c), vq.row(c0 + c) + len, out.row(c));
+    for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt_) {
+        const size_t n = std::min(pt_, len - pos);
+        const float *vq = slab(layer, p) + vQuantOff();
+        for (size_t c = 0; c < dh_; ++c) {
+            std::copy(vq + (c0 + c) * pt_, vq + (c0 + c) * pt_ + n,
+                      out.row(c) + pos);
+        }
+    }
 }
 
 const float *
@@ -246,7 +334,7 @@ KvCache::rawKeyRow(size_t layer, size_t pos) const
 {
     MXPLUS_CHECK(isTeacher());
     MXPLUS_CHECK(layer < n_layers_ && pos < appended_[layer]);
-    return k_raw_[layer].row(pos);
+    return slab(layer, pos / pt_) + kOff() + (pos % pt_) * d_;
 }
 
 const float *
@@ -254,7 +342,7 @@ KvCache::rawValueRow(size_t layer, size_t pos) const
 {
     MXPLUS_CHECK(isTeacher());
     MXPLUS_CHECK(layer < n_layers_ && pos < appended_[layer]);
-    return v_raw_[layer].row(pos);
+    return slab(layer, pos / pt_) + vRawOff() + (pos % pt_) * d_;
 }
 
 } // namespace mxplus

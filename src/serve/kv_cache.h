@@ -1,27 +1,43 @@
 /**
  * @file
  * Per-request quantized KV cache — the state object of the incremental
- * decode path (Transformer::prefill / decodeStep) and the serving engine.
+ * decode path (Transformer::prefill / decodeStep) and the serving engine
+ * — stored as fixed-size token pages drawn from a shared KvPagePool.
  *
- * Layout, per decoder layer:
+ * Paged layout. Each (layer, page-index) pair maps through a per-request
+ * page table to a pool slab holding pageTokens() consecutive positions
+ * of that layer's K/V state:
  *
- *  - Keys are stored [len x d_model] and quantized per token and per head
- *    along the head dimension at append time. That is exactly the operand
- *    the full-sequence attention quantizes (K rows blocked along the
- *    reduction dim of Q·K^T), so a cached key is final the moment it
- *    lands; no future token can change it.
+ *  - Keys live at slab offset 0 as [page_tokens x d_model] rows and are
+ *    quantized per token and per head along the head dimension at append
+ *    time. That is exactly the operand the full-sequence attention
+ *    quantizes (K rows blocked along the reduction dim of Q·K^T), so a
+ *    cached key is final the moment it lands; no future token can change
+ *    it, and no page layout can either.
  *
- *  - Values are stored sequence-major ([d_model x len]) because P·V
- *    reduces over positions: the attention quantizes V along the
- *    *sequence* dimension. A raw copy and a quantized copy are kept.
+ *  - Values are stored sequence-major ([d_model x page_tokens] per page)
+ *    because P·V reduces over positions: the attention quantizes V along
+ *    the *sequence* dimension. A raw copy and a quantized copy are kept.
  *    Blocks the quantizer has fully consumed are frozen; the open tail
  *    block is re-quantized from the raw values on every append
  *    (TensorQuantizer::blockPeriod — quantizers with unknown structure
- *    fall back to re-quantizing the whole row). The quantized view is
- *    therefore always bit-identical to quantizing the visible prefix in
- *    one shot, which is what makes prefill() reproduce forward() exactly;
- *    during decode it differs from the oracle full-sequence quantization
- *    only when a *future* value would have raised a block maximum.
+ *    fall back to re-quantizing the whole row). Page size is a multiple
+ *    of the block period, so frozen blocks align with page boundaries
+ *    and the open tail normally lives in the final page. The quantized
+ *    view is therefore always bit-identical to quantizing the visible
+ *    prefix in one shot — independent of the page size — which is what
+ *    makes prefill() reproduce forward() exactly and paged decode
+ *    bit-identical to a contiguous cache; during decode it differs from
+ *    the oracle full-sequence quantization only when a *future* value
+ *    would have raised a block maximum.
+ *
+ * Pages are acquired lazily as tokens land and released when the cache
+ * dies, so a serving engine's resident KV bytes track live tokens
+ * (rounded up to page granularity), not worst-case reserved capacity,
+ * and appends never pay a realloc copy. A cache constructed without an
+ * explicit pool owns a private unbounded one; the serving engine hands
+ * every request's cache one shared bounded pool plus token-budget
+ * admission so the budget can never be exceeded.
  *
  * A cache constructed with null quantizers runs in "teacher" mode: raw
  * FP32 K/V rows, used by the BF16 teacher sampling path (sample()).
@@ -29,23 +45,25 @@
  * Appends are two-phase: each layer appends its K/V rows as the step
  * reaches it, and commit() advances the global length once all layers
  * have. The cache is not thread-safe; the serving engine gives each
- * in-flight request its own instance.
+ * in-flight request its own instance (the shared pool is).
  */
 
 #ifndef MXPLUS_SERVE_KV_CACHE_H
 #define MXPLUS_SERVE_KV_CACHE_H
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "model/config.h"
 #include "model/quant_config.h"
+#include "serve/kv_page_pool.h"
 #include "tensor/quantizer_iface.h"
 #include "tensor/tensor.h"
 
 namespace mxplus {
 
-/** Quantized (or raw teacher-mode) per-request K/V store. */
+/** Paged, quantized (or raw teacher-mode) per-request K/V store. */
 class KvCache
 {
   public:
@@ -53,10 +71,22 @@ class KvCache
      * @param k_quant quantizer for keys (head-dim blocks); null with
      *        null @p v_quant selects teacher mode
      * @param v_quant quantizer for values (seq-dim blocks)
-     * @param capacity_hint initial token capacity (grows geometrically)
+     * @param capacity_hint expected token count (reserves page-table
+     *        slots only; pages themselves are acquired as tokens land)
+     * @param pool shared page pool; null creates a private unbounded
+     *        pool with the default page geometry
      */
     KvCache(const ModelConfig &cfg, QuantizerPtr k_quant,
-            QuantizerPtr v_quant, size_t capacity_hint = 0);
+            QuantizerPtr v_quant, size_t capacity_hint = 0,
+            std::shared_ptr<KvPagePool> pool = nullptr);
+
+    KvCache(const KvCache &) = delete;
+    KvCache &operator=(const KvCache &) = delete;
+    /** Moved-from caches are empty shells; destruction is a no-op. */
+    KvCache(KvCache &&) = default;
+    /** No move-assign: it would leak the target's pages to the pool. */
+    KvCache &operator=(KvCache &&) = delete;
+    ~KvCache();
 
     /**
      * Cache matching a QuantConfig's attention operands: keys use the
@@ -64,11 +94,23 @@ class KvCache
      * values the attention quantizer.
      */
     static KvCache forConfig(const ModelConfig &cfg, const QuantConfig &qc,
-                             size_t capacity_hint = 0);
+                             size_t capacity_hint = 0,
+                             std::shared_ptr<KvPagePool> pool = nullptr);
 
     /** Raw-FP32 cache for the BF16 teacher decode loop (sample()). */
     static KvCache teacher(const ModelConfig &cfg,
                            size_t capacity_hint = 0);
+
+    /**
+     * Default page size for a value quantizer: 32 tokens, rounded up to
+     * a multiple of the quantizer's block period so frozen V blocks
+     * never straddle a page boundary.
+     */
+    static size_t pageTokensFor(const TensorQuantizer *v_quant);
+
+    /** Pool slab size for this model/mode at a given page size. */
+    static size_t floatsPerPage(const ModelConfig &cfg, bool teacher,
+                                size_t page_tokens);
 
     /** Committed token count (positions fully appended to every layer). */
     size_t length() const { return len_; }
@@ -85,11 +127,27 @@ class KvCache
 
     bool isTeacher() const { return k_quant_ == nullptr; }
 
-    /** Current allocated token capacity. */
-    size_t capacity() const { return cap_; }
+    /** Tokens per page (fixed by the pool). */
+    size_t pageTokens() const { return pt_; }
 
-    /** Approximate resident bytes of the K/V stores. */
+    /** Pages mapped for @p layer. */
+    size_t
+    pageCount(size_t layer) const
+    {
+        return pages_[layer].size();
+    }
+
+    /** Total pages held across all layers. */
+    size_t heldPages() const;
+
+    /** Token capacity currently backed by pages (grows page-at-a-time). */
+    size_t capacity() const;
+
+    /** Resident bytes: live pages times page size, nothing reserved. */
     size_t memoryBytes() const;
+
+    /** The pool this cache draws from (the engine's shared accounting). */
+    const KvPagePool &pool() const { return *pool_; }
 
     // ------------------------------------------------------------ append --
 
@@ -105,31 +163,23 @@ class KvCache
     // ---------------------------------------------- quantized-mode views --
 
     /**
-     * Zero-copy view of the quantized keys: appendedLength(layer) rows of
-     * d_model floats with row stride keyRowStride(); head h's slice
-     * starts at column h * head_dim. Feed to
-     * KernelDispatch::matvecStrided — the decode attention's hot path.
+     * Zero-copy view of one page of quantized keys: rows of d_model
+     * floats with row stride keyRowStride(), covering positions
+     * [page * pageTokens(), ...); head h's slice starts at column
+     * h * head_dim. The decode attention walks the page table and feeds
+     * each page to KernelDispatch::matvecStrided — every score is the
+     * same dot product a contiguous cache would compute.
      */
-    const float *
-    keysData(size_t layer) const
-    {
-        MXPLUS_CHECK(!isTeacher() && layer < n_layers_);
-        return kq_[layer].data();
-    }
+    const float *keyPageData(size_t layer, size_t page) const;
     size_t keyRowStride() const { return d_; }
 
     /**
-     * Zero-copy view of the quantized values, sequence-major: d_model
-     * channel rows of appendedLength(layer) floats with row stride
-     * valueRowStride(); head h's rows start at h * head_dim.
+     * Zero-copy view of one page of quantized values, sequence-major:
+     * d_model channel rows of pageTokens() floats (row stride
+     * valuePageRowStride()); head h's rows start at h * head_dim.
      */
-    const float *
-    valuesTData(size_t layer) const
-    {
-        MXPLUS_CHECK(!isTeacher() && layer < n_layers_);
-        return vq_t_[layer].data();
-    }
-    size_t valueRowStride() const { return cap_; }
+    const float *valuePageData(size_t layer, size_t page) const;
+    size_t valuePageRowStride() const { return pt_; }
 
     /** Copy quantized keys of one head into @p out as [len x head_dim]. */
     void headKeys(size_t layer, size_t head, Matrix &out) const;
@@ -146,30 +196,32 @@ class KvCache
     const float *rawValueRow(size_t layer, size_t pos) const;
 
   private:
-    void ensureCapacity(size_t tokens);
+    /** Slab of the page covering @p pos, acquiring it if new. */
+    float *slabFor(size_t layer, size_t pos);
+    float *slab(size_t layer, size_t page);
+    const float *slab(size_t layer, size_t page) const;
     void requantizeValueTail(size_t layer, size_t old_len,
                              size_t new_len);
+
+    // Interior page-slab offsets (quantized mode: K, V raw, V quantized;
+    // teacher mode: K raw, V raw).
+    size_t kOff() const { return 0; }
+    size_t vRawOff() const { return pt_ * d_; }
+    size_t vQuantOff() const { return 2 * pt_ * d_; }
 
     size_t n_layers_;
     size_t d_;
     size_t heads_;
     size_t dh_;
     size_t max_seq_;
+    size_t pt_; ///< tokens per page
     QuantizerPtr k_quant_;
     QuantizerPtr v_quant_;
+    std::shared_ptr<KvPagePool> pool_;
 
     size_t len_ = 0; ///< committed tokens
-    size_t cap_ = 0; ///< allocated tokens
     std::vector<size_t> appended_; ///< per-layer appended tokens
-
-    // Quantized mode (per layer).
-    std::vector<Matrix> kq_;     ///< [cap x d], quantized at append
-    std::vector<Matrix> vraw_t_; ///< [d x cap], raw, seq-major
-    std::vector<Matrix> vq_t_;   ///< [d x cap], quantized, seq-major
-
-    // Teacher mode (per layer).
-    std::vector<Matrix> k_raw_; ///< [cap x d]
-    std::vector<Matrix> v_raw_; ///< [cap x d]
+    std::vector<std::vector<uint32_t>> pages_; ///< per-layer page table
 
     // Tail re-quantization scratch (gather/scatter staging).
     std::vector<float> scratch_in_;

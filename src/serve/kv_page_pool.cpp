@@ -1,0 +1,83 @@
+#include "serve/kv_page_pool.h"
+
+#include "common/check.h"
+
+namespace mxplus {
+
+KvPagePool::KvPagePool(size_t page_tokens, size_t floats_per_page,
+                       size_t max_pages)
+    : page_tokens_(page_tokens), floats_per_page_(floats_per_page),
+      max_pages_(max_pages)
+{
+    MXPLUS_CHECK_MSG(page_tokens_ > 0 && floats_per_page_ > 0,
+                     "KvPagePool: degenerate page geometry");
+    // Bounded pools preallocate the slab-pointer table so pageData()
+    // never races with growth (see the thread-safety note in the header).
+    if (max_pages_ > 0)
+        slabs_.reserve(max_pages_);
+}
+
+size_t
+KvPagePool::usedPages() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+}
+
+size_t
+KvPagePool::allocatedPages() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return slabs_.size();
+}
+
+uint32_t
+KvPagePool::acquire()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+        const uint32_t id = free_.back();
+        free_.pop_back();
+        ++used_;
+        return id;
+    }
+    MXPLUS_CHECK_MSG(max_pages_ == 0 || slabs_.size() < max_pages_,
+                     "KvPagePool: page budget exhausted (admission "
+                     "control should have prevented this)");
+    slabs_.push_back(std::make_unique<float[]>(floats_per_page_));
+    slab_count_.store(slabs_.size(), std::memory_order_release);
+    ++used_;
+    return static_cast<uint32_t>(slabs_.size() - 1);
+}
+
+void
+KvPagePool::release(uint32_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MXPLUS_CHECK(id < slabs_.size() && used_ > 0);
+    free_.push_back(id);
+    --used_;
+}
+
+float *
+KvPagePool::pageData(uint32_t id)
+{
+    // Bounds-check against the atomic mirror, not slabs_.size():
+    // another cache may be growing the vector under the mutex right
+    // now, and an unsynchronized size() read would be a data race even
+    // though the slab pointers themselves never move (bounded pools
+    // preallocate the table). acquire() published the count with
+    // release order, so an id this caller legitimately owns is always
+    // covered.
+    MXPLUS_CHECK(id < slab_count_.load(std::memory_order_acquire));
+    return slabs_[id].get();
+}
+
+const float *
+KvPagePool::pageData(uint32_t id) const
+{
+    MXPLUS_CHECK(id < slab_count_.load(std::memory_order_acquire));
+    return slabs_[id].get();
+}
+
+} // namespace mxplus

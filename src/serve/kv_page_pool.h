@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared pool of fixed-size KV pages — the allocation substrate of the
+ * paged KV cache.
+ *
+ * A page is a fixed-float-count slab holding `pageTokens()` tokens of
+ * one layer's K/V state for one request (the cache defines the interior
+ * layout; the pool only hands out slabs). Pages are recycled through a
+ * free list, so the resident footprint of a serving engine tracks the
+ * number of *live* tokens across in-flight requests — rounded up to page
+ * granularity — instead of every request's worst-case reserved capacity,
+ * and long-context appends never pay a realloc copy.
+ *
+ * A pool may be bounded (`maxPages() > 0`): acquire() aborts when the
+ * budget is exhausted, so a bounded pool must be paired with admission
+ * control that reserves pages conservatively before a request may touch
+ * the pool (ServingEngine does exactly that). Unbounded pools grow on
+ * demand and are what standalone caches use.
+ *
+ * Thread safety: acquire()/release() take an internal mutex, so caches
+ * of different requests may append concurrently (the batched decode
+ * loop is OpenMP-parallel over requests). pageData() itself is
+ * lock-free; for bounded pools the slab-pointer table is preallocated so
+ * concurrent growth never moves it. Unbounded pools must only be grown
+ * from one thread at a time (a standalone cache has exactly one user).
+ */
+
+#ifndef MXPLUS_SERVE_KV_PAGE_POOL_H
+#define MXPLUS_SERVE_KV_PAGE_POOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mxplus {
+
+/** Recycling allocator of fixed-size KV page slabs. */
+class KvPagePool
+{
+  public:
+    /**
+     * @param page_tokens tokens per page (the cache aligns this with the
+     *        value quantizer's block period)
+     * @param floats_per_page slab size; the cache's per-layer layout
+     * @param max_pages hard budget; 0 means grow on demand
+     */
+    KvPagePool(size_t page_tokens, size_t floats_per_page,
+               size_t max_pages);
+
+    size_t pageTokens() const { return page_tokens_; }
+    size_t floatsPerPage() const { return floats_per_page_; }
+    size_t pageBytes() const { return floats_per_page_ * sizeof(float); }
+    size_t maxPages() const { return max_pages_; }
+
+    /** Pages currently held by caches. */
+    size_t usedPages() const;
+    /** Resident bytes of live pages (used, not reserved). */
+    size_t usedBytes() const { return usedPages() * pageBytes(); }
+    /** Slabs ever materialized (high-water mark; shows free-list reuse). */
+    size_t allocatedPages() const;
+
+    /** Take a page (recycled or fresh). Aborts on budget exhaustion. */
+    uint32_t acquire();
+
+    /** Return a page to the free list. */
+    void release(uint32_t id);
+
+    float *pageData(uint32_t id);
+    const float *pageData(uint32_t id) const;
+
+  private:
+    const size_t page_tokens_;
+    const size_t floats_per_page_;
+    const size_t max_pages_;
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<float[]>> slabs_;
+    std::vector<uint32_t> free_;
+    size_t used_ = 0;
+    /** slabs_.size() mirrored for lock-free pageData bounds checks. */
+    std::atomic<size_t> slab_count_{0};
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_SERVE_KV_PAGE_POOL_H

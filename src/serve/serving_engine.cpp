@@ -5,7 +5,6 @@
 #include <cmath>
 
 #include "common/check.h"
-#include "model/layers.h"
 
 namespace mxplus {
 
@@ -35,10 +34,50 @@ latencyPercentile(std::vector<double> samples, double p)
 }
 
 ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
-                             size_t max_batch)
-    : model_(model), qc_(std::move(qc)), max_batch_(max_batch)
+                             EngineOptions opts)
+    : model_(model), qc_(std::move(qc)), opts_(opts)
 {
-    MXPLUS_CHECK_MSG(max_batch_ > 0, "max_batch must be positive");
+    MXPLUS_CHECK_MSG(opts_.max_batch > 0, "max_batch must be positive");
+    MXPLUS_CHECK_MSG(qc_.attention != nullptr,
+                     "ServingEngine needs an attention quantizer");
+    const size_t pt = opts_.page_tokens > 0
+        ? opts_.page_tokens
+        : KvCache::pageTokensFor(qc_.attention.get());
+    const ModelConfig &cfg = model_.config();
+    if (opts_.kv_budget_tokens > 0) {
+        budget_pages_ =
+            ((opts_.kv_budget_tokens + pt - 1) / pt) * cfg.n_layers;
+    }
+    // The shared pool is ALWAYS bounded: with no explicit budget it is
+    // capped at max_batch worst-case requests, which admission can
+    // never exceed. A bounded pool preallocates its slab-pointer table,
+    // which is what makes lock-free pageData() safe under the
+    // OpenMP-parallel decode appends (see kv_page_pool.h).
+    const size_t hard_cap =
+        opts_.max_batch * ((cfg.max_seq + pt - 1) / pt) * cfg.n_layers;
+    pool_ = std::make_shared<KvPagePool>(
+        pt, KvCache::floatsPerPage(cfg, /*teacher=*/false, pt),
+        budget_pages_ > 0 ? budget_pages_ : hard_cap);
+}
+
+ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
+                             size_t max_batch)
+    : ServingEngine(model, std::move(qc), [max_batch] {
+          EngineOptions opts;
+          opts.max_batch = max_batch;
+          return opts;
+      }())
+{
+}
+
+size_t
+ServingEngine::pagesForRequest(const ServeRequest &req) const
+{
+    const size_t tokens =
+        std::min(req.prompt.size() + req.max_new_tokens,
+                 model_.config().max_seq);
+    const size_t pt = pool_->pageTokens();
+    return ((tokens + pt - 1) / pt) * model_.config().n_layers;
 }
 
 size_t
@@ -48,6 +87,9 @@ ServingEngine::submit(ServeRequest req)
     MXPLUS_CHECK_MSG(req.prompt.size() <= model_.config().max_seq,
                      "prompt exceeds the model's max_seq");
     MXPLUS_CHECK_MSG(req.max_new_tokens > 0, "nothing to generate");
+    MXPLUS_CHECK_MSG(budget_pages_ == 0 ||
+                         pagesForRequest(req) <= budget_pages_,
+                     "request KV demand exceeds the engine's page budget");
     const size_t id = stats_.size();
     RequestStats rs;
     rs.id = id;
@@ -63,8 +105,14 @@ ServingEngine::pickToken(Slot &slot, const float *logits) const
 {
     // The request's own deterministic rng feeds the shared sampling
     // recipe, so results never depend on batch layout or scheduling.
-    return sampleLogits(logits, model_.config().vocab,
-                        slot.req.temperature, slot.rng);
+    SamplingParams params;
+    params.temperature = slot.req.temperature;
+    params.top_k = slot.req.top_k;
+    params.top_p = slot.req.top_p;
+    params.repetition_penalty = slot.req.repetition_penalty;
+    return sampleLogitsPolicy(logits, model_.config().vocab, params,
+                              slot.context.data(), slot.context.size(),
+                              slot.rng);
 }
 
 void
@@ -74,18 +122,71 @@ ServingEngine::admitOne()
     queue_.pop_front();
     const ServeRequest &req = pending_[id];
 
-    auto slot = std::make_unique<Slot>(Slot{
+    auto slot = std::make_unique<Slot>(
         id, req,
         KvCache::forConfig(model_.config(), qc_,
-                           req.prompt.size() + req.max_new_tokens),
-        Rng(req.seed), -1});
-    const Matrix logits = model_.prefill(req.prompt, slot->cache, qc_);
-    slot->last_token = pickToken(*slot, logits.row(logits.rows() - 1));
-
-    RequestStats &rs = stats_[id];
-    rs.ttft_ms = nowMs() - start_ms_;
-    rs.generated.push_back(slot->last_token);
+                           req.prompt.size() + req.max_new_tokens, pool_),
+        Rng(req.seed));
+    slot->reserved_pages = pagesForRequest(req);
+    slot->context = req.prompt;
+    reserved_pages_ += slot->reserved_pages;
     active_.push_back(std::move(slot));
+}
+
+void
+ServingEngine::prefillChunk(Slot &slot)
+{
+    const std::vector<int> &prompt = slot.req.prompt;
+    const size_t remaining = prompt.size() - slot.prefill_pos;
+    const size_t chunk = opts_.prefill_chunk == 0
+        ? remaining
+        : std::min(opts_.prefill_chunk, remaining);
+    const std::vector<int> piece(
+        prompt.begin() + static_cast<long>(slot.prefill_pos),
+        prompt.begin() + static_cast<long>(slot.prefill_pos + chunk));
+    const Matrix logits = model_.prefill(piece, slot.cache, qc_);
+    slot.prefill_pos += chunk;
+    engine_stats_.prefill_chunks += 1;
+
+    if (slot.prefill_pos == prompt.size()) {
+        slot.prefilling = false;
+        slot.last_token =
+            pickToken(slot, logits.row(logits.rows() - 1));
+        RequestStats &rs = stats_[slot.id];
+        rs.ttft_ms = nowMs() - start_ms_;
+        rs.generated.push_back(slot.last_token);
+        slot.context.push_back(slot.last_token);
+    }
+}
+
+void
+ServingEngine::retireFinished()
+{
+    for (size_t i = active_.size(); i-- > 0;) {
+        Slot &slot = *active_[i];
+        if (slot.prefilling)
+            continue;
+        RequestStats &rs = stats_[slot.id];
+        const bool count_done =
+            rs.generated.size() >= slot.req.max_new_tokens;
+        const bool seq_full =
+            slot.cache.length() >= model_.config().max_seq;
+        if (count_done || seq_full) {
+            finalize(rs);
+            reserved_pages_ -= slot.reserved_pages;
+            // Destroying the slot's cache returns its pages to the pool.
+            active_.erase(active_.begin() + static_cast<long>(i));
+        }
+    }
+}
+
+void
+ServingEngine::samplePoolPeak()
+{
+    engine_stats_.kv_bytes_peak =
+        std::max(engine_stats_.kv_bytes_peak, pool_->usedBytes());
+    engine_stats_.kv_pages_peak =
+        std::max(engine_stats_.kv_pages_peak, pool_->usedPages());
 }
 
 void
@@ -110,40 +211,57 @@ ServingEngine::step()
     if (start_ms_ < 0.0)
         start_ms_ = nowMs();
 
-    // Admit and retire until the batch is stable: every admitted request
-    // must pass the limit checks before it may join a decode step (a
-    // prefill token can fully satisfy max_new_tokens, and a prompt can
-    // fill the sequence), and each retirement frees a slot for another
-    // admission.
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        while (active_.size() < max_batch_ && !queue_.empty()) {
-            admitOne();
-            changed = true;
+    // Admission: FIFO while a slot is free and the head request's page
+    // reservation fits the budget. The reservation covers the request's
+    // whole lifetime, so the shared pool can never be exhausted by the
+    // decode loop below.
+    bool budget_deferred = false;
+    while (active_.size() < opts_.max_batch && !queue_.empty()) {
+        if (budget_pages_ > 0 &&
+            reserved_pages_ + pagesForRequest(pending_[queue_.front()]) >
+                budget_pages_) {
+            budget_deferred = true;
+            break;
         }
-        for (size_t i = active_.size(); i-- > 0;) {
-            Slot &slot = *active_[i];
-            RequestStats &rs = stats_[slot.id];
-            const bool count_done =
-                rs.generated.size() >= slot.req.max_new_tokens;
-            const bool seq_full =
-                slot.cache.length() >= model_.config().max_seq;
-            if (count_done || seq_full) {
-                finalize(rs);
-                active_.erase(active_.begin() + static_cast<long>(i));
-                changed = true;
-            }
+        admitOne();
+    }
+    if (budget_deferred)
+        engine_stats_.admission_deferred_steps += 1;
+
+    // One prefill chunk per prefilling slot per step: the latency a
+    // prompt can add to a decode step is bounded by max_batch * chunk
+    // tokens instead of by the longest queued prompt, while prompts
+    // that fit one chunk prefill immediately (so the decode batch never
+    // ramps below the PR2 scheduler's occupancy on short-prompt
+    // workloads).
+    bool prefilled = false;
+    for (auto &sp : active_) {
+        if (sp->prefilling) {
+            prefillChunk(*sp);
+            prefilled = true;
         }
     }
-    if (active_.empty())
-        return false; // the admit loop above drained the queue too
+    if (prefilled)
+        samplePoolPeak();
 
-    std::vector<int> tokens(active_.size());
-    std::vector<KvCache *> caches(active_.size());
-    for (size_t i = 0; i < active_.size(); ++i) {
-        tokens[i] = active_[i]->last_token;
-        caches[i] = &active_[i]->cache;
+    // A prefill token can fully satisfy max_new_tokens, and a prompt
+    // can fill the sequence: retire before (and after) decoding.
+    retireFinished();
+
+    std::vector<Slot *> decoding;
+    decoding.reserve(active_.size());
+    for (auto &sp : active_) {
+        if (!sp->prefilling)
+            decoding.push_back(sp.get());
+    }
+    if (decoding.empty())
+        return !active_.empty() || !queue_.empty();
+
+    std::vector<int> tokens(decoding.size());
+    std::vector<KvCache *> caches(decoding.size());
+    for (size_t i = 0; i < decoding.size(); ++i) {
+        tokens[i] = decoding[i]->last_token;
+        caches[i] = &decoding[i]->cache;
     }
 
     const double t0 = nowMs();
@@ -152,29 +270,18 @@ ServingEngine::step()
 
     engine_stats_.decode_batches += 1;
     engine_stats_.decode_ms += dt;
-    engine_stats_.decode_tokens += active_.size();
-    occupancy_sum_ += static_cast<double>(active_.size());
-    size_t kv_bytes = 0;
-    for (size_t i = 0; i < active_.size(); ++i) {
-        Slot &slot = *active_[i];
+    engine_stats_.decode_tokens += decoding.size();
+    occupancy_sum_ += static_cast<double>(decoding.size());
+    for (size_t i = 0; i < decoding.size(); ++i) {
+        Slot &slot = *decoding[i];
         RequestStats &rs = stats_[slot.id];
         slot.last_token = pickToken(slot, logits.row(i));
         rs.generated.push_back(slot.last_token);
+        slot.context.push_back(slot.last_token);
         rs.token_ms.push_back(dt);
-        kv_bytes += slot.cache.memoryBytes();
     }
-    engine_stats_.kv_bytes_peak =
-        std::max(engine_stats_.kv_bytes_peak, kv_bytes);
-
-    for (size_t i = active_.size(); i-- > 0;) {
-        Slot &slot = *active_[i];
-        RequestStats &rs = stats_[slot.id];
-        if (rs.generated.size() >= slot.req.max_new_tokens ||
-            slot.cache.length() >= model_.config().max_seq) {
-            finalize(rs);
-            active_.erase(active_.begin() + static_cast<long>(i));
-        }
-    }
+    samplePoolPeak();
+    retireFinished();
     return !active_.empty() || !queue_.empty();
 }
 

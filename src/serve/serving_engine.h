@@ -1,29 +1,49 @@
 /**
  * @file
  * Batched serving engine: a request queue with continuous batching of
- * incremental decode steps over per-request quantized KV caches.
+ * incremental decode steps over per-request paged KV caches drawn from
+ * one shared, budgeted page pool.
  *
- * Scheduling model (the standard continuous-batching loop):
+ * Scheduling model (continuous batching + token-budget admission +
+ * chunked prefill):
  *
- *   1. While a decode slot is free and requests are queued, admit one:
- *      run its prefill (populating a fresh KvCache) and sample its first
- *      token — that marks its time-to-first-token.
- *   2. Run ONE decode step for every active request, batched through
- *      Transformer::decodeStepBatch: the linear layers see one GEMM over
- *      all request rows (amortizing weight quantization and B-panel
- *      packing — the decode path's dominant per-step cost), attention
- *      stays per-request over each cache.
- *   3. Sample each request's next token, retire finished requests, and
- *      go to 1 — newly freed slots are refilled mid-flight, so the batch
- *      stays full while the queue drains.
+ *   1. While a decode slot is free, requests are queued, and the KV
+ *      page budget can hold the head request's full reservation
+ *      (prompt + max_new_tokens, rounded up to pages), admit it. The
+ *      reservation is conservative, so in-flight requests can never
+ *      exhaust the shared pool mid-decode; the pool itself only holds
+ *      *live* pages, so admission headroom and resident bytes are
+ *      tracked separately (reserved vs used).
+ *   2. Run one prefill chunk (EngineOptions::prefill_chunk tokens) for
+ *      every still-prefilling slot. Long prompts are consumed a chunk
+ *      per scheduler step, interleaved with decode steps, so they no
+ *      longer head-of-line-block the latency of requests already
+ *      decoding: the prefill work one step can insert is bounded by
+ *      max_batch * prefill_chunk tokens instead of by the longest
+ *      queued prompt, while single-chunk prompts prefill immediately.
+ *      A request's first token is sampled when its last chunk lands —
+ *      that marks its time-to-first-token.
+ *   3. Run ONE decode step for every slot past prefill, batched through
+ *      Transformer::decodeStepBatch: the linear layers see one GEMM
+ *      over all request rows (amortizing weight quantization and
+ *      B-panel packing — the decode path's dominant per-step cost),
+ *      attention stays per-request over each paged cache.
+ *   4. Sample each request's next token, retire finished requests
+ *      (their pages return to the pool), and go to 1.
  *
  * Batching is a throughput decision, never a numerics decision: row r of
  * a batched decode step is bit-identical to running request r alone
  * (kernel shape-stability contract), so a batched run produces exactly
- * the tokens the serial runs produce.
+ * the tokens the serial runs produce. Chunked prefill is deterministic
+ * per request (chunk boundaries depend only on the prompt and the
+ * engine's chunk size, never on scheduling); under block formats a
+ * different chunk size can shift V-block visibility the same way any
+ * causal cache does vs the one-shot oracle — in BF16 it is exactly
+ * chunk-invariant.
  *
- * Sampling is greedy (temperature 0) or temperature sampling with a
- * per-request deterministic Rng, so results are reproducible and
+ * Sampling runs per request through sampleLogitsPolicy: greedy,
+ * temperature, top-k, nucleus (top-p) and repetition penalty, driven by
+ * a per-request deterministic Rng, so results are reproducible and
  * independent of scheduling.
  *
  * All timing uses a steady clock; per-request latencies are measured
@@ -41,8 +61,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "model/layers.h"
 #include "model/transformer.h"
 #include "serve/kv_cache.h"
+#include "serve/kv_page_pool.h"
 
 namespace mxplus {
 
@@ -54,6 +76,30 @@ struct ServeRequest
     /** 0 = greedy argmax; > 0 = temperature sampling with @ref seed. */
     double temperature = 0.0;
     uint64_t seed = 0;
+    /** Keep only the k highest logits (0 = no limit). */
+    size_t top_k = 0;
+    /** Nucleus sampling mass (1 = no cut). */
+    double top_p = 1.0;
+    /** Penalty on prompt/generated tokens (1 = off). */
+    double repetition_penalty = 1.0;
+};
+
+/** Engine-wide scheduling and memory knobs. */
+struct EngineOptions
+{
+    /** Maximum concurrent slots (batch width of decodeStepBatch). */
+    size_t max_batch = 8;
+    /**
+     * KV pool budget in tokens per layer (0 = unbounded). Admission
+     * reserves ceil((prompt + max_new_tokens) / page_tokens) pages per
+     * layer per request against it; a single request larger than the
+     * whole budget is rejected at submit().
+     */
+    size_t kv_budget_tokens = 0;
+    /** Prompt tokens prefilled per scheduler step (0 = whole prompt). */
+    size_t prefill_chunk = 32;
+    /** Tokens per KV page (0 = auto from the value quantizer). */
+    size_t page_tokens = 0;
 };
 
 /** Per-request outcome and latency statistics. */
@@ -87,7 +133,14 @@ struct EngineStats
     /** Decode-phase throughput (excludes prefill/admission time). */
     double decode_tokens_per_s = 0.0;
     double mean_batch_occupancy = 0.0;
+    /** Peak of live KV pool bytes (pages in use, never reserved). */
     size_t kv_bytes_peak = 0;
+    /** Peak of live KV pool pages. */
+    size_t kv_pages_peak = 0;
+    /** Prefill chunks executed (= prompts when chunking is off). */
+    size_t prefill_chunks = 0;
+    /** Steps on which a free slot went unfilled for lack of KV budget. */
+    size_t admission_deferred_steps = 0;
 };
 
 /** Nearest-rank percentile of latency samples (shared with benches). */
@@ -97,10 +150,10 @@ double latencyPercentile(std::vector<double> samples, double p);
 class ServingEngine
 {
   public:
-    /**
-     * @param max_batch maximum concurrent decode slots (the batch width
-     *        of decodeStepBatch)
-     */
+    ServingEngine(const Transformer &model, QuantConfig qc,
+                  EngineOptions opts);
+
+    /** Convenience: default options with @p max_batch slots. */
     ServingEngine(const Transformer &model, QuantConfig qc,
                   size_t max_batch);
 
@@ -108,8 +161,9 @@ class ServingEngine
     size_t submit(ServeRequest req);
 
     /**
-     * One scheduler iteration: admit + prefill while slots are free,
-     * then one batched decode step. @return true while work remains.
+     * One scheduler iteration: admit while budget and slots allow, one
+     * prefill chunk, then one batched decode step.
+     * @return true while work remains.
      */
     bool step();
 
@@ -121,23 +175,51 @@ class ServingEngine
     size_t queuedRequests() const { return queue_.size(); }
     size_t activeRequests() const { return active_.size(); }
 
+    /** The shared page pool (live-page accounting). */
+    const KvPagePool &pool() const { return *pool_; }
+    /** Live KV bytes right now (0 once every request retired). */
+    size_t kvBytesLive() const { return pool_->usedBytes(); }
+    /** Pages currently reserved by admitted requests. */
+    size_t reservedPages() const { return reserved_pages_; }
+    const EngineOptions &options() const { return opts_; }
+
   private:
     struct Slot
     {
-        size_t id;
+        size_t id = 0;
         ServeRequest req;
         KvCache cache;
         Rng rng;
-        int last_token;
+        int last_token = -1;
+        size_t prefill_pos = 0;   ///< prompt tokens prefilled so far
+        bool prefilling = true;
+        size_t reserved_pages = 0; ///< admission reservation (all layers)
+        /** Prompt + generated tokens (repetition-penalty context). */
+        std::vector<int> context;
+
+        Slot(size_t id_, ServeRequest req_, KvCache cache_, Rng rng_)
+            : id(id_), req(std::move(req_)), cache(std::move(cache_)),
+              rng(rng_)
+        {
+        }
     };
 
+    /** Pages (across all layers) a request reserves at admission. */
+    size_t pagesForRequest(const ServeRequest &req) const;
     void admitOne();
+    void prefillChunk(Slot &slot);
+    void retireFinished();
+    void samplePoolPeak();
     int pickToken(Slot &slot, const float *logits) const;
     void finalize(RequestStats &rs) const;
 
     const Transformer &model_;
     QuantConfig qc_;
-    size_t max_batch_;
+    EngineOptions opts_;
+
+    std::shared_ptr<KvPagePool> pool_;
+    size_t budget_pages_ = 0;    ///< 0 = unbounded
+    size_t reserved_pages_ = 0;  ///< sum of admitted reservations
 
     std::deque<size_t> queue_; ///< pending request ids
     std::vector<std::unique_ptr<Slot>> active_;

@@ -18,6 +18,7 @@
 #include "model/eval.h"
 #include "model/layers.h"
 #include "serve/kv_cache.h"
+#include "serve/kv_page_pool.h"
 #include "serve/serving_engine.h"
 #include "tensor/matmul.h"
 
@@ -587,6 +588,377 @@ TEST(ServingEngine, StatsAreCoherent)
         total += req.max_new_tokens;
     EXPECT_EQ(es.total_generated, total);
     EXPECT_GT(es.throughput_tokens_per_s, 0.0);
+}
+
+// ------------------------------------------------------------- paging --
+
+TEST(KvPaging, DecodeBitIdenticalAcrossPageSizes)
+{
+    // The paged==contiguous parity gate: the cache's quantized state is
+    // a function of the visible prefix only, never of the page layout,
+    // and the decode attention's page walk reproduces the contiguous
+    // kernel chains exactly. A single max_seq-sized page IS the old
+    // contiguous cache, so comparing page sizes 64 and max_seq against
+    // the default proves paged decode bit-identical to contiguous decode
+    // for every format — not just BF16.
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const auto tokens = tokenRamp(44, 9);
+    const size_t prompt = 8;
+
+    for (const char *fmt :
+         {"BF16", "MXFP4", "MXFP4+", "MXFP8", "MXINT8+", "NVFP4"}) {
+        const QuantConfig qc = QuantConfig::fromFormat(fmt);
+        auto run = [&](std::shared_ptr<KvPagePool> pool) {
+            KvCache cache =
+                KvCache::forConfig(cfg, qc, 0, std::move(pool));
+            model.prefill({tokens.begin(), tokens.begin() + prompt},
+                          cache, qc);
+            std::vector<Matrix> logits;
+            for (size_t t = prompt; t < tokens.size(); ++t)
+                logits.push_back(model.decodeStep(tokens[t], cache, qc));
+            return logits;
+        };
+        const auto base = run(nullptr); // default page geometry
+        for (const size_t pt : {static_cast<size_t>(64), cfg.max_seq}) {
+            auto pool = std::make_shared<KvPagePool>(
+                pt, KvCache::floatsPerPage(cfg, /*teacher=*/false, pt),
+                /*max_pages=*/0);
+            const auto got = run(pool);
+            ASSERT_EQ(got.size(), base.size());
+            for (size_t s = 0; s < base.size(); ++s) {
+                for (size_t i = 0; i < base[s].size(); ++i)
+                    ASSERT_EQ(got[s].data()[i], base[s].data()[i])
+                        << fmt << " page_tokens " << pt << " step " << s
+                        << " flat index " << i;
+            }
+        }
+    }
+}
+
+TEST(KvPaging, MemoryTracksLivePagesAndReleasesOnDestruction)
+{
+    const ModelConfig cfg = tinyConfig();
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    const size_t pt = KvCache::pageTokensFor(qc.attention.get());
+    auto pool = std::make_shared<KvPagePool>(
+        pt, KvCache::floatsPerPage(cfg, /*teacher=*/false, pt), 0);
+
+    {
+        KvCache cache = KvCache::forConfig(cfg, qc, 0, pool);
+        EXPECT_EQ(cache.memoryBytes(), 0u); // no token, no page
+        Rng rng(7);
+        std::vector<float> k(cfg.d_model);
+        std::vector<float> v(cfg.d_model);
+        for (size_t t = 0; t < 2 * pt + 3; ++t) {
+            for (auto &x : k)
+                x = static_cast<float>(rng.gaussian(0.0, 1.0));
+            for (auto &x : v)
+                x = static_cast<float>(rng.gaussian(0.0, 1.0));
+            for (size_t l = 0; l < cfg.n_layers; ++l)
+                cache.append(l, k.data(), v.data());
+            cache.commit(1);
+            const size_t pages_per_layer = (t + 1 + pt - 1) / pt;
+            EXPECT_EQ(cache.heldPages(),
+                      cfg.n_layers * pages_per_layer);
+            EXPECT_EQ(cache.memoryBytes(),
+                      cache.heldPages() * pool->pageBytes());
+        }
+        EXPECT_EQ(pool->usedPages(), cache.heldPages());
+    }
+    // Cache destruction returns every page to the pool's free list.
+    EXPECT_EQ(pool->usedPages(), 0u);
+    EXPECT_GT(pool->allocatedPages(), 0u);
+
+    // A second cache recycles the freed slabs instead of growing.
+    const size_t high_water = pool->allocatedPages();
+    KvCache again = KvCache::forConfig(cfg, qc, 0, pool);
+    Matrix k(1, cfg.d_model, std::vector<float>(cfg.d_model, 0.5f));
+    Matrix v(1, cfg.d_model, std::vector<float>(cfg.d_model, 0.25f));
+    for (size_t l = 0; l < cfg.n_layers; ++l)
+        again.appendBatch(l, k, v);
+    again.commit(1);
+    EXPECT_EQ(pool->allocatedPages(), high_water);
+}
+
+// ---------------------------------------------------- chunked prefill --
+
+TEST(DecodeParity, ChunkedPrefillMatchesWholePromptBf16)
+{
+    // Prefill in pieces must reproduce the one-shot prefill: row r of a
+    // GEMM depends only on A row r (shape stability), and in BF16 the
+    // cache's "blocks" are single elements, so chunk boundaries cannot
+    // shift any quantization decision.
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::bf16Baseline();
+    const auto tokens = tokenRamp(40, 7);
+
+    KvCache whole = KvCache::forConfig(model.config(), qc);
+    const Matrix full = model.prefill(tokens, whole, qc);
+
+    KvCache chunked = KvCache::forConfig(model.config(), qc);
+    Matrix last;
+    for (size_t pos = 0; pos < tokens.size(); pos += 17) {
+        const size_t end = std::min(tokens.size(), pos + 17);
+        last = model.prefill(
+            {tokens.begin() + static_cast<long>(pos),
+             tokens.begin() + static_cast<long>(end)},
+            chunked, qc);
+    }
+    const float *want = full.row(full.rows() - 1);
+    const float *got = last.row(last.rows() - 1);
+    for (size_t v = 0; v < model.config().vocab; ++v)
+        ASSERT_EQ(got[v], want[v]) << "vocab " << v;
+
+    // And the caches are interchangeable afterwards.
+    const Matrix a = model.decodeStep(3, whole, qc);
+    const Matrix b = model.decodeStep(3, chunked, qc);
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(ServingEngine, PrefillChunkSizeDoesNotChangeBf16Tokens)
+{
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::bf16Baseline();
+
+    auto run = [&](size_t chunk) {
+        EngineOptions opts;
+        opts.max_batch = 2;
+        opts.prefill_chunk = chunk;
+        ServingEngine engine(model, qc, opts);
+        ServeRequest req;
+        req.prompt = tokenRamp(70, 3); // several chunks at chunk=8
+        req.max_new_tokens = 12;
+        ServeRequest other;
+        other.prompt = tokenRamp(5, 11);
+        other.max_new_tokens = 12;
+        const size_t a = engine.submit(std::move(req));
+        const size_t b = engine.submit(std::move(other));
+        engine.runToCompletion();
+        EXPECT_GE(engine.engineStats().prefill_chunks,
+                  chunk == 0 ? 2u : 70u / chunk);
+        return std::make_pair(engine.stats(a).generated,
+                              engine.stats(b).generated);
+    };
+    const auto fine = run(8);
+    const auto whole = run(0);
+    EXPECT_EQ(fine.first, whole.first);
+    EXPECT_EQ(fine.second, whole.second);
+}
+
+// -------------------------------------------------- budget admission --
+
+TEST(ServingEngine, TokenBudgetSerializesWithoutChangingTokens)
+{
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    const auto reqs = engineWorkload();
+
+    // Unbudgeted oracle.
+    ServingEngine oracle(model, qc, 4);
+    std::vector<size_t> oracle_ids;
+    for (const auto &req : reqs)
+        oracle_ids.push_back(oracle.submit(req));
+    oracle.runToCompletion();
+
+    // Budget for two concurrent requests (every workload request needs
+    // one page per layer): admission must defer, every request must
+    // still finish, and the token streams must be unchanged — the
+    // budget is a scheduling decision, never a numerics decision.
+    EngineOptions opts;
+    opts.max_batch = 4;
+    opts.kv_budget_tokens = 64;
+    ServingEngine engine(model, qc, opts);
+    const size_t pt = engine.pool().pageTokens();
+    EXPECT_EQ(engine.pool().maxPages(),
+              (64 + pt - 1) / pt * model.config().n_layers);
+    std::vector<size_t> ids;
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+    engine.runToCompletion();
+
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        EXPECT_TRUE(engine.stats(ids[r]).finished);
+        EXPECT_EQ(engine.stats(ids[r]).generated,
+                  oracle.stats(oracle_ids[r]).generated)
+            << "request " << r;
+    }
+    const EngineStats &es = engine.engineStats();
+    EXPECT_GT(es.admission_deferred_steps, 0u);
+    EXPECT_LE(es.kv_pages_peak, engine.pool().maxPages());
+    EXPECT_EQ(engine.kvBytesLive(), 0u);
+    EXPECT_EQ(engine.reservedPages(), 0u);
+}
+
+TEST(ServingEngineDeathTest, OverBudgetRequestIsRejectedAtSubmit)
+{
+    const Transformer model(tinyConfig());
+    EngineOptions opts;
+    opts.max_batch = 2;
+    opts.kv_budget_tokens = 64;
+    ServingEngine engine(model, QuantConfig::fromFormat("MXFP4+"), opts);
+    ServeRequest req;
+    req.prompt = tokenRamp(40, 3);
+    req.max_new_tokens = 64; // 104 tokens: can never fit 64
+    EXPECT_DEATH(engine.submit(std::move(req)),
+                 "exceeds the engine's page budget");
+}
+
+TEST(ServingEngine, KvBytesPeakReportsLivePagesNotReservations)
+{
+    // Three short requests plus one long one: admission reserves
+    // 1+1+1+3 = 6 pages per layer, but the short requests retire long
+    // before the long one grows its third page, so the live peak must
+    // stay below the reservation total — and return to zero at the end.
+    const Transformer model(tinyConfig());
+    EngineOptions opts;
+    opts.max_batch = 4;
+    ServingEngine engine(model, QuantConfig::bf16Baseline(), opts);
+    const size_t pt = engine.pool().pageTokens();
+    ASSERT_EQ(pt, 32u);
+
+    size_t reserved_total = 0;
+    for (int r = 0; r < 3; ++r) {
+        ServeRequest req;
+        req.prompt = tokenRamp(8, 3 + r);
+        req.max_new_tokens = 8;
+        reserved_total += 1;
+        engine.submit(std::move(req));
+    }
+    ServeRequest long_req;
+    long_req.prompt = tokenRamp(8, 13);
+    long_req.max_new_tokens = 88; // 96 tokens = 3 pages per layer
+    reserved_total += 3;
+    engine.submit(std::move(long_req));
+    engine.runToCompletion();
+
+    const EngineStats &es = engine.engineStats();
+    const size_t layers = model.config().n_layers;
+    EXPECT_GT(es.kv_pages_peak, 0u);
+    EXPECT_LT(es.kv_pages_peak, reserved_total * layers);
+    EXPECT_EQ(es.kv_bytes_peak,
+              es.kv_pages_peak * engine.pool().pageBytes());
+    EXPECT_EQ(engine.kvBytesLive(), 0u);
+    EXPECT_EQ(engine.pool().usedPages(), 0u);
+}
+
+// ------------------------------------------------------------ sampling --
+
+TEST(Sampling, PolicyDefaultsDelegateToPlainSampler)
+{
+    Rng logits_rng(21);
+    std::vector<float> logits(97);
+    for (auto &l : logits)
+        l = static_cast<float>(logits_rng.gaussian(0.0, 3.0));
+
+    for (const double temp : {0.0, 0.7, 1.3}) {
+        Rng ra(5);
+        Rng rb(5);
+        SamplingParams params;
+        params.temperature = temp;
+        for (int draw = 0; draw < 25; ++draw) {
+            EXPECT_EQ(sampleLogitsPolicy(logits.data(), logits.size(),
+                                         params, nullptr, 0, ra),
+                      sampleLogits(logits.data(), logits.size(), temp,
+                                   rb));
+        }
+    }
+}
+
+TEST(Sampling, TopK1IsGreedyAtAnyTemperature)
+{
+    std::vector<float> logits = {0.1f, 2.5f, -1.0f, 2.4f, 0.0f};
+    SamplingParams params;
+    params.temperature = 2.0;
+    params.top_k = 1;
+    Rng rng(11);
+    for (int draw = 0; draw < 50; ++draw) {
+        EXPECT_EQ(sampleLogitsPolicy(logits.data(), logits.size(),
+                                     params, nullptr, 0, rng),
+                  1);
+    }
+}
+
+TEST(Sampling, TopPRestrictsSupportToTheNucleus)
+{
+    // Two dominant equal-probability (~0.5 each) tokens; top_p = 0.4
+    // keeps exactly the first of them (deterministic
+    // probability-then-index order).
+    std::vector<float> logits = {-9.0f, 6.0f, 6.0f, -9.0f, -9.0f};
+    SamplingParams params;
+    params.temperature = 1.0;
+    params.top_p = 0.4;
+    Rng rng(13);
+    for (int draw = 0; draw < 50; ++draw) {
+        EXPECT_EQ(sampleLogitsPolicy(logits.data(), logits.size(),
+                                     params, nullptr, 0, rng),
+                  1);
+    }
+    // With the cut relaxed both dominant tokens appear.
+    params.top_p = 0.999;
+    bool saw1 = false;
+    bool saw2 = false;
+    for (int draw = 0; draw < 200; ++draw) {
+        const int t = sampleLogitsPolicy(logits.data(), logits.size(),
+                                         params, nullptr, 0, rng);
+        saw1 = saw1 || t == 1;
+        saw2 = saw2 || t == 2;
+        EXPECT_TRUE(t == 1 || t == 2);
+    }
+    EXPECT_TRUE(saw1 && saw2);
+}
+
+TEST(Sampling, RepetitionPenaltyRedirectsGreedyChoice)
+{
+    std::vector<float> logits = {0.0f, 2.0f, 1.9f, 0.0f};
+    SamplingParams params; // greedy
+    params.repetition_penalty = 1.5;
+    Rng rng(17);
+    const int recent[] = {1};
+    EXPECT_EQ(sampleLogitsPolicy(logits.data(), logits.size(), params,
+                                 nullptr, 0, rng),
+              1);
+    EXPECT_EQ(sampleLogitsPolicy(logits.data(), logits.size(), params,
+                                 recent, 1, rng),
+              2);
+}
+
+TEST(ServingEngine, SamplingKnobsReproducibleAcrossBatchWidths)
+{
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    std::vector<ServeRequest> reqs;
+    for (size_t r = 0; r < 4; ++r) {
+        ServeRequest req;
+        req.prompt = tokenRamp(6 + 2 * r, static_cast<int>(3 + r));
+        req.max_new_tokens = 10;
+        req.temperature = 0.9;
+        req.seed = 400 + r;
+        req.top_k = 12;
+        req.top_p = 0.9;
+        req.repetition_penalty = 1.3;
+        reqs.push_back(std::move(req));
+    }
+
+    std::vector<std::vector<int>> serial(reqs.size());
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        ServingEngine engine(model, qc, 1);
+        const size_t id = engine.submit(reqs[r]);
+        engine.runToCompletion();
+        serial[r] = engine.stats(id).generated;
+        EXPECT_EQ(serial[r].size(), reqs[r].max_new_tokens);
+    }
+
+    ServingEngine engine(model, qc, 3);
+    std::vector<size_t> ids;
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+    engine.runToCompletion();
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        EXPECT_EQ(engine.stats(ids[r]).generated, serial[r])
+            << "request " << r;
+    }
 }
 
 } // namespace

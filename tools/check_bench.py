@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over BENCH_*.json snapshots.
+
+Compares a freshly produced bench JSON (typically a --quick run) against
+a baseline snapshot and fails when a metric dropped more than the
+threshold. Entries are matched by a per-bench key, so quick runs — which
+measure a subset of the full config grid with the same workload — are
+compared apples-to-apples:
+
+  bench_serving:        key (format, workload, batch)
+                        metrics throughput_tok_s, decode_tok_s
+  bench_kernels_engine: key (op, m, n, k) -> simd_gflops
+                        key (api, format, mode) -> simd_gbps
+
+Two modes:
+
+  --absolute            Same-machine gate: fail any metric whose
+                        current/baseline ratio is below 1 - threshold.
+                        This is what CI uses — it benches the PR build
+                        AND the merge-base build on the same runner, so
+                        machine speed cancels exactly.
+
+  normalized (default)  Cross-machine trajectory check against the
+                        committed baselines (recorded on the dev box).
+                        The machine-speed factor for each file pair is
+                        estimated as the median current/baseline ratio
+                        of the OTHER pairs (leave-one-pair-out), so a
+                        regression confined to one subsystem cannot drag
+                        its own reference down; with a single pair the
+                        global median is used. A uniform machine-speed
+                        difference cancels; a targeted slowdown sticks
+                        out. Caveat: a regression that hits every pair
+                        at once looks like a slower machine and only
+                        triggers a warning — the PR-mode absolute gate
+                        is the authoritative check for that case.
+
+Exit status: 0 clean, 1 regression(s), 2 usage/IO error.
+
+Usage:
+  tools/check_bench.py --pair current_serving.json:BENCH_serving.json \
+                       --pair current_kernels.json:BENCH_kernels.json \
+                       [--threshold 0.15] [--absolute]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def serving_metrics(doc):
+    """Yield (key_str, metric_name, value) from a bench_serving doc."""
+    # The uniform grid's workload parameters live at the document level;
+    # fold them into the key so entries from different workloads can
+    # never be compared against each other.
+    wl = doc.get("workload", {})
+    uniform_tag = "uniform r%sp%sn%s" % (wl.get("requests", "?"),
+                                         wl.get("prompt_tokens", "?"),
+                                         wl.get("new_tokens_per_request",
+                                                "?"))
+    for entry in doc.get("configs", []) + doc.get("mixed", []):
+        workload = entry.get("workload", "uniform")
+        if workload == "uniform":
+            workload = uniform_tag
+        key = "serving %s %s batch=%s" % (entry["format"], workload,
+                                          entry["batch"])
+        for metric in ("throughput_tok_s", "decode_tok_s"):
+            if metric in entry:
+                yield key, metric, float(entry[metric])
+
+
+def kernels_metrics(doc):
+    """Yield (key_str, metric_name, value) from a kernels doc."""
+    for entry in doc.get("gemm", []):
+        key = "gemm %s %sx%sx%s" % (entry["op"], entry["m"], entry["n"],
+                                    entry["k"])
+        yield key, "simd_gflops", float(entry["simd_gflops"])
+    for entry in doc.get("quantize", []):
+        key = "quantize %s %s %s" % (entry["api"], entry["format"],
+                                     entry["mode"])
+        yield key, "simd_gbps", float(entry["simd_gbps"])
+
+
+def extract(doc):
+    bench = doc.get("bench", "")
+    if bench == "bench_serving":
+        return dict(((k, m), v) for k, m, v in serving_metrics(doc))
+    if bench == "bench_kernels_engine":
+        return dict(((k, m), v) for k, m, v in kernels_metrics(doc))
+    raise ValueError("unknown bench kind: %r" % bench)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print("check_bench: cannot read %s: %s" % (path, e),
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--pair", action="append", default=[],
+                    metavar="CURRENT:BASELINE", required=True,
+                    help="bench JSON pair; repeatable")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="tolerated fractional drop (default 0.15)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare raw ratios (same-machine runs)")
+    args = ap.parse_args()
+
+    # rows[pair_index] = list of (key, metric, current, baseline, ratio)
+    rows = []
+    for pair in args.pair:
+        if ":" not in pair:
+            print("check_bench: --pair expects CURRENT:BASELINE",
+                  file=sys.stderr)
+            sys.exit(2)
+        cur_path, base_path = pair.split(":", 1)
+        cur = extract(load(cur_path))
+        base = extract(load(base_path))
+        matched = sorted(set(cur) & set(base))
+        if not matched:
+            # A PR that changes the bench workload/config grid produces
+            # keys the old baseline does not have; that PR must also
+            # regenerate the committed baselines, at which point the
+            # gate re-engages. Skip rather than fail so such PRs pass
+            # on the other pairs.
+            print("check_bench: WARNING no matching entries between %s "
+                  "and %s — pair skipped (workload changed? regenerate "
+                  "the baseline)" % (cur_path, base_path),
+                  file=sys.stderr)
+            rows.append([])
+            continue
+        pair_rows = []
+        for key in matched:
+            b = base[key]
+            if b <= 0.0:
+                continue
+            pair_rows.append((key[0], key[1], cur[key], b, cur[key] / b))
+        rows.append(pair_rows)
+
+    all_rows = [r for pair_rows in rows for r in pair_rows]
+    if not all_rows:
+        print("check_bench: WARNING vacuous run — every pair was "
+              "skipped; the gate re-engages once baselines are "
+              "regenerated", file=sys.stderr)
+        return
+
+    def reference_for(pair_index):
+        if args.absolute:
+            return 1.0
+        others = [r[4] for i, pair_rows in enumerate(rows)
+                  for r in pair_rows if i != pair_index]
+        # Leave-one-pair-out: judge each file against the machine
+        # factor seen by the other files; lone pairs fall back to their
+        # own median.
+        return statistics.median(others if others else
+                                 [r[4] for r in rows[pair_index]])
+
+    mode = "absolute" if args.absolute else "normalized (leave-one-out)"
+    print("check_bench: %d metrics, %s mode, threshold %.0f%%" %
+          (len(all_rows), mode, args.threshold * 100))
+
+    if not args.absolute:
+        # Honest limitation: a regression hitting EVERY pair at once
+        # (e.g. a GEMM slowdown that drags serving down too) is
+        # indistinguishable from a uniformly slower machine in one
+        # normalized run — only the PR-mode absolute comparison can
+        # separate those. Surface the suspicion loudly instead of
+        # silently passing.
+        global_median = statistics.median(r[4] for r in all_rows)
+        if global_median < 1.0 - args.threshold:
+            print("check_bench: WARNING global median ratio %.3f is "
+                  "below %.3f — either this machine is much slower "
+                  "than the baseline's, or EVERY subsystem regressed; "
+                  "normalization cannot tell which. Re-check on the "
+                  "baseline machine or rely on the PR absolute gate." %
+                  (global_median, 1.0 - args.threshold))
+
+    failures = []
+    for pair_index, pair_rows in enumerate(rows):
+        reference = reference_for(pair_index)
+        floor = reference * (1.0 - args.threshold)
+        for key, metric, cur, base, ratio in pair_rows:
+            status = "ok"
+            if ratio < floor:
+                status = "REGRESSION"
+                failures.append((key, metric, ratio, reference))
+            print("  %-48s %-18s %10.2f vs %10.2f  ratio %.3f "
+                  "(floor %.3f)  %s" %
+                  (key, metric, cur, base, ratio, floor, status))
+
+    if failures:
+        print("check_bench: FAILED — %d metric(s) dropped more than "
+              "%.0f%% below their reference:" %
+              (len(failures), args.threshold * 100))
+        for key, metric, ratio, reference in failures:
+            print("  %s %s at %.1f%% of reference" %
+                  (key, metric, 100.0 * ratio / reference))
+        sys.exit(1)
+    print("check_bench: OK")
+
+
+if __name__ == "__main__":
+    main()
