@@ -23,6 +23,17 @@
  * budgeted variant additionally caps the pool and reports admission
  * deferrals.
  *
+ * The shared-prefix workload is N requests carrying one common
+ * 256-token system prompt plus distinct tails — the dominant heavy-
+ * multi-user pattern. It runs twice, with the prefix cache on
+ * ("shared-prefix") and off ("shared-prefix-nocache"), and the bench
+ * *verifies* the two runs' token streams are bit-identical before
+ * emitting numbers: sharing is a scheduling decision, never a numerics
+ * decision. The interesting metrics are ttft_p50_ms (repeated prefill
+ * becomes a cache hit) and kv_bytes_peak (one physical copy of the
+ * prefix instead of N); tools/check_bench.py gates both for this
+ * workload.
+ *
  * Usage: bench_serving [--quick] [--out FILE]
  *
  *  --quick   fewer configs, same workload (CI gate run)
@@ -60,7 +71,9 @@ struct RunResult
     size_t kv_bytes_reserved_worst = 0;
     size_t prefill_chunks = 0;
     size_t admission_deferred_steps = 0;
+    size_t prefix_hit_tokens = 0;
     double speedup_vs_batch1 = 0.0;
+    std::vector<std::vector<int>> streams; ///< per-request tokens
 };
 
 std::vector<ServeRequest>
@@ -75,6 +88,31 @@ uniformWorkload(size_t requests, size_t prompt_len, size_t new_tokens)
         }
         reqs[r].max_new_tokens = new_tokens;
         reqs[r].temperature = 0.0; // greedy: identical across batch widths
+    }
+    return reqs;
+}
+
+/**
+ * N requests × one common system prompt + distinct tails: the pattern
+ * prefix sharing exists for. The shared head is page-aligned (256 =
+ * 8 × 32-token pages) so the whole head is adoptable.
+ */
+std::vector<ServeRequest>
+sharedPrefixWorkload(size_t requests, size_t shared_len, size_t tail_len,
+                     size_t new_tokens)
+{
+    std::vector<int> head(shared_len);
+    for (size_t i = 0; i < shared_len; ++i)
+        head[i] = static_cast<int>((29 + 3 * i) % 251);
+    std::vector<ServeRequest> reqs(requests);
+    for (size_t r = 0; r < requests; ++r) {
+        reqs[r].prompt = head;
+        for (size_t i = 0; i < tail_len; ++i) {
+            reqs[r].prompt.push_back(
+                static_cast<int>((41 + 7 * r + 5 * i) % 251));
+        }
+        reqs[r].max_new_tokens = new_tokens;
+        reqs[r].temperature = 0.0;
     }
     return reqs;
 }
@@ -133,11 +171,15 @@ runConfig(const Transformer &model, const std::string &format,
     res.kv_pages_peak = es.kv_pages_peak;
     res.prefill_chunks = es.prefill_chunks;
     res.admission_deferred_steps = es.admission_deferred_steps;
+    res.prefix_hit_tokens = es.prefix_hit_tokens;
 
     std::vector<double> ttfts;
     std::vector<double> token_ms;
     for (size_t id : ids) {
         const RequestStats &rs = engine.stats(id);
+        res.streams.push_back(rs.generated);
+        if (rs.rejected)
+            continue; // no tokens ran: a 0.0 ttft would deflate p50/p99
         ttfts.push_back(rs.ttft_ms);
         token_ms.insert(token_ms.end(), rs.token_ms.begin(),
                         rs.token_ms.end());
@@ -161,13 +203,15 @@ printResult(FILE *out, const RunResult &r, bool last)
         "\"token_p50_ms\": %.3f, \"token_p99_ms\": %.3f, "
         "\"mean_batch_occupancy\": %.2f, \"kv_bytes_peak\": %zu, "
         "\"kv_pages_peak\": %zu, \"kv_bytes_reserved_worst\": %zu, "
-        "\"prefill_chunks\": %zu, \"admission_deferred_steps\": %zu}%s\n",
+        "\"prefill_chunks\": %zu, \"admission_deferred_steps\": %zu, "
+        "\"prefix_hit_tokens\": %zu}%s\n",
         r.format.c_str(), r.workload.c_str(), r.batch,
         r.throughput_tok_s, r.decode_tok_s, r.speedup_vs_batch1,
         r.ttft_p50_ms, r.ttft_p99_ms, r.token_p50_ms, r.token_p99_ms,
         r.mean_batch_occupancy, r.kv_bytes_peak, r.kv_pages_peak,
         r.kv_bytes_reserved_worst, r.prefill_chunks,
-        r.admission_deferred_steps, last ? "" : ",");
+        r.admission_deferred_steps, r.prefix_hit_tokens,
+        last ? "" : ",");
 }
 
 } // namespace
@@ -247,6 +291,43 @@ main(int argc, char **argv)
                                   mixedWorkload(requests), capped));
     }
 
+    // Shared-prefix workload at batch 8: prefix cache on vs off over
+    // the SAME requests, token streams verified bit-identical. Quick
+    // mode keeps one format so the CI gate exercises the sharing path
+    // (and its ttft/kv_bytes metrics) on every PR.
+    std::vector<RunResult> shared;
+    const std::vector<std::string> shared_formats =
+        quick ? std::vector<std::string>{"MXFP4+"} : formats;
+    const size_t shared_len = 256;
+    const size_t tail_len = 32;
+    const size_t shared_new = 16;
+    const size_t shared_cache_tokens = 1024;
+    for (const auto &fmt : shared_formats) {
+        std::fprintf(stderr, "serving %s shared-prefix...\n",
+                     fmt.c_str());
+        const auto reqs = sharedPrefixWorkload(requests, shared_len,
+                                               tail_len, shared_new);
+        EngineOptions opts;
+        opts.max_batch = 8;
+        opts.prefix_cache_tokens = shared_cache_tokens;
+        RunResult cached =
+            runConfig(model, fmt, "shared-prefix", reqs, opts);
+        EngineOptions off = opts;
+        off.prefix_cache_tokens = 0;
+        RunResult plain =
+            runConfig(model, fmt, "shared-prefix-nocache", reqs, off);
+        if (cached.streams != plain.streams) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s shared-prefix token "
+                         "streams diverge with the prefix cache on — "
+                         "sharing must never change numerics\n",
+                         fmt.c_str());
+            return 1;
+        }
+        shared.push_back(std::move(cached));
+        shared.push_back(std::move(plain));
+    }
+
     FILE *out = stdout;
     if (out_path != nullptr) {
         out = std::fopen(out_path, "w");
@@ -274,6 +355,18 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"mixed\": [\n");
     for (size_t i = 0; i < mixed.size(); ++i)
         printResult(out, mixed[i], i + 1 == mixed.size());
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"shared_prefix\": {\"requests\": %zu, "
+                 "\"shared_tokens\": %zu, \"tail_tokens\": %zu, "
+                 "\"new_tokens_per_request\": %zu, "
+                 "\"prefix_cache_tokens\": %zu, "
+                 "\"tokens_match_nocache\": true},\n",
+                 requests, shared_len, tail_len, shared_new,
+                 shared_cache_tokens);
+    std::fprintf(out, "  \"shared\": [\n");
+    for (size_t i = 0; i < shared.size(); ++i)
+        printResult(out, shared[i], i + 1 == shared.size());
     std::fprintf(out, "  ]\n");
     std::fprintf(out, "}\n");
     if (out != stdout)

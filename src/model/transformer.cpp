@@ -297,7 +297,11 @@ Transformer::attendRowOverCache(size_t layer, const float *q_row,
     // over the whole sequence, so its head slice is gathered from the
     // pages into one dense operand first — splitting that reduction at
     // page boundaries would change the accumulation order and break the
-    // bit-parity contract with the full-sequence GEMM.
+    // bit-parity contract with the full-sequence GEMM. The page table
+    // may mix refcounted shared prefix pages with private tail pages
+    // (prefix sharing); both are read through the same pageData views,
+    // so sharing changes which slab an address resolves to, never the
+    // arithmetic.
     std::vector<float> qhq(dh);
     std::vector<float> scores(len);
     std::vector<float> pq(len);

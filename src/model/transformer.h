@@ -18,8 +18,16 @@
  *  - prefill()/decodeStep()/decodeStepBatch(): the serving path. prefill
  *    runs the prompt as one batch while populating a KvCache and is
  *    bit-identical to forward() under every format (the cache quantizes
- *    exactly the operands forward quantizes). decodeStep attends over the
- *    cached quantized K/V instead of recomputing the sequence: in
+ *    exactly the operands forward quantizes). Because prefill resumes
+ *    at the cache's committed length, a cache whose leading pages were
+ *    *adopted* from another request's frozen prompt prefix
+ *    (KvCache::adoptSharedPage) prefills only the unshared tail and
+ *    still produces bit-identical logits — the positions, token ids
+ *    and quantized K/V of the shared prefix are exactly what a private
+ *    prefill would have written. decodeStep attends over the cached
+ *    quantized K/V instead of recomputing the sequence, walking shared
+ *    prefix pages and private tail pages through one uniform page
+ *    table (attendRowOverCache never distinguishes them): in
  *    BF16 it reproduces forward() bit-exactly (the kernel engine's
  *    shape-stability contract); under MX-family formats it differs only
  *    where a future value would have raised a V block maximum, i.e. by

@@ -117,8 +117,16 @@ KvCache::slabFor(size_t layer, size_t pos)
     const size_t page = pos / pt_;
     auto &table = pages_[layer];
     MXPLUS_CHECK(page <= table.size());
-    if (page == table.size())
-        table.push_back(pool_->acquire());
+    if (page == table.size()) {
+        const uint32_t id = pool_->acquire();
+        // acquire() failing is recoverable at the *engine* level
+        // (defer/evict/preempt before touching the pool); by the time a
+        // cache appends, admission must have reserved the page.
+        MXPLUS_CHECK_MSG(id != KvPagePool::kNoPage,
+                         "KvCache: page pool exhausted mid-append — "
+                         "admission control must reserve pages first");
+        table.push_back(id);
+    }
     return pool_->pageData(table[page]);
 }
 
@@ -271,6 +279,42 @@ KvCache::appendBatch(size_t layer, const Matrix &k, const Matrix &v)
     }
     appended_[layer] = new_len;
     requantizeValueTail(layer, pos0, new_len);
+}
+
+uint32_t
+KvCache::pageId(size_t layer, size_t page) const
+{
+    MXPLUS_CHECK(layer < n_layers_ && page < pages_[layer].size());
+    return pages_[layer][page];
+}
+
+void
+KvCache::adoptSharedPage(const uint32_t *page_ids)
+{
+    MXPLUS_CHECK_MSG(!isTeacher(),
+                     "KvCache: prefix sharing is a quantized-mode path");
+    // Frozen-page precondition: a completed page only holds frozen V
+    // blocks when the block period divides the page size AND block
+    // structure is known at all; unknown-structure quantizers requant
+    // whole rows on every append, so no page is ever immutable.
+    MXPLUS_CHECK_MSG(v_quant_->blockPeriod() > 0,
+                     "KvCache: cannot share pages under a quantizer "
+                     "with unknown block structure");
+    MXPLUS_CHECK_MSG(len_ % pt_ == 0,
+                     "KvCache: shared pages map at page boundaries only");
+    MXPLUS_CHECK_MSG(len_ + pt_ <= max_seq_,
+                     "KvCache: sequence exceeds the model's max_seq");
+    for (size_t l = 0; l < n_layers_; ++l) {
+        MXPLUS_CHECK_MSG(appended_[l] == len_,
+                         "KvCache: adopt mid-step (uncommitted appends)");
+        MXPLUS_CHECK(pages_[l].size() == len_ / pt_);
+    }
+    for (size_t l = 0; l < n_layers_; ++l) {
+        pool_->ref(page_ids[l]);
+        pages_[l].push_back(page_ids[l]);
+        appended_[l] += pt_;
+    }
+    len_ += pt_;
 }
 
 void

@@ -39,6 +39,22 @@
  * every request's cache one shared bounded pool plus token-budget
  * admission so the budget can never be exceeded.
  *
+ * Prefix sharing. Because a fully-written page is frozen — K rows are
+ * final at append time and, when the page size is a multiple of the
+ * value quantizer's block period, every V block of a completed page is
+ * frozen too — a page whose tokens lie entirely inside an already-
+ * prefilled prompt is an immutable, format-exact snapshot of that
+ * prefix slice. adoptSharedPage() maps such a page (one pool id per
+ * layer, reference-counted) at the cache's current page-aligned end
+ * instead of recomputing it: the adopting request forks copy-on-write
+ * at the first divergent page, which in this whole-page scheme simply
+ * means its private tail pages are acquired fresh while the shared
+ * prefix pages are never written again (appends always land at
+ * length() and requantizeValueTail never reaches below the last frozen
+ * block boundary). Releasing works uniformly: the destructor drops one
+ * reference per mapped page and the pool reclaims a page when its last
+ * owner — request cache or the engine's prefix index — lets go.
+ *
  * A cache constructed with null quantizers runs in "teacher" mode: raw
  * FP32 K/V rows, used by the BF16 teacher sampling path (sample()).
  *
@@ -140,6 +156,9 @@ class KvCache
     /** Total pages held across all layers. */
     size_t heldPages() const;
 
+    /** Pool page id backing (layer, page) — the prefix index's handle. */
+    uint32_t pageId(size_t layer, size_t page) const;
+
     /** Token capacity currently backed by pages (grows page-at-a-time). */
     size_t capacity() const;
 
@@ -159,6 +178,19 @@ class KvCache
 
     /** Advance the committed length after all layers appended @p n. */
     void commit(size_t n_tokens);
+
+    /**
+     * Map one frozen, shared page per layer at the cache's current end
+     * (which must be page-aligned and fully committed), taking a
+     * reference on each page. The pages must hold exactly the K/V this
+     * cache would have produced for those pageTokens() positions — the
+     * engine's prefix index guarantees that by keying spans on the
+     * exact token ids — and must never be written again (quantized
+     * mode with a positive value block period guarantees *that*).
+     * Advances length() by pageTokens().
+     * @param page_ids one pool page id per layer
+     */
+    void adoptSharedPage(const uint32_t *page_ids);
 
     // ---------------------------------------------- quantized-mode views --
 

@@ -13,8 +13,10 @@ KvPagePool::KvPagePool(size_t page_tokens, size_t floats_per_page,
                      "KvPagePool: degenerate page geometry");
     // Bounded pools preallocate the slab-pointer table so pageData()
     // never races with growth (see the thread-safety note in the header).
-    if (max_pages_ > 0)
+    if (max_pages_ > 0) {
         slabs_.reserve(max_pages_);
+        refs_.reserve(max_pages_);
+    }
 }
 
 size_t
@@ -38,25 +40,45 @@ KvPagePool::acquire()
     if (!free_.empty()) {
         const uint32_t id = free_.back();
         free_.pop_back();
+        refs_[id] = 1;
         ++used_;
         return id;
     }
-    MXPLUS_CHECK_MSG(max_pages_ == 0 || slabs_.size() < max_pages_,
-                     "KvPagePool: page budget exhausted (admission "
-                     "control should have prevented this)");
+    if (max_pages_ > 0 && slabs_.size() >= max_pages_)
+        return kNoPage; // recoverable: caller defers, evicts or preempts
     slabs_.push_back(std::make_unique<float[]>(floats_per_page_));
+    refs_.push_back(1);
     slab_count_.store(slabs_.size(), std::memory_order_release);
     ++used_;
     return static_cast<uint32_t>(slabs_.size() - 1);
 }
 
 void
+KvPagePool::ref(uint32_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MXPLUS_CHECK_MSG(id < slabs_.size() && refs_[id] > 0,
+                     "KvPagePool::ref on a free or unknown page");
+    ++refs_[id];
+}
+
+void
 KvPagePool::release(uint32_t id)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    MXPLUS_CHECK(id < slabs_.size() && used_ > 0);
-    free_.push_back(id);
-    --used_;
+    MXPLUS_CHECK(id < slabs_.size() && refs_[id] > 0 && used_ > 0);
+    if (--refs_[id] == 0) {
+        free_.push_back(id);
+        --used_;
+    }
+}
+
+size_t
+KvPagePool::refCount(uint32_t id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MXPLUS_CHECK(id < slabs_.size());
+    return refs_[id];
 }
 
 float *

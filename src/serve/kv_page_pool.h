@@ -1,28 +1,39 @@
 /**
  * @file
- * Shared pool of fixed-size KV pages — the allocation substrate of the
- * paged KV cache.
+ * Shared pool of fixed-size, reference-counted KV pages — the
+ * allocation substrate of the paged KV cache.
  *
  * A page is a fixed-float-count slab holding `pageTokens()` tokens of
- * one layer's K/V state for one request (the cache defines the interior
- * layout; the pool only hands out slabs). Pages are recycled through a
- * free list, so the resident footprint of a serving engine tracks the
- * number of *live* tokens across in-flight requests — rounded up to page
- * granularity — instead of every request's worst-case reserved capacity,
- * and long-context appends never pay a realloc copy.
+ * one layer's K/V state (the cache defines the interior layout; the
+ * pool only hands out slabs). Pages are recycled through a free list,
+ * so the resident footprint of a serving engine tracks the number of
+ * *live* tokens across in-flight requests — rounded up to page
+ * granularity — instead of every request's worst-case reserved
+ * capacity, and long-context appends never pay a realloc copy.
  *
- * A pool may be bounded (`maxPages() > 0`): acquire() aborts when the
- * budget is exhausted, so a bounded pool must be paired with admission
- * control that reserves pages conservatively before a request may touch
- * the pool (ServingEngine does exactly that). Unbounded pools grow on
- * demand and are what standalone caches use.
+ * Reference counting makes pages shareable: acquire() hands out a page
+ * with one reference, ref() adds co-owners (a second request mapping
+ * the same frozen prefix page, or the engine's prefix index pinning a
+ * cached span), and release() drops one reference — the page returns
+ * to the free list only when the last owner lets go. A refcount of 1
+ * is the classic exclusively-owned page, so the PR3 behaviour is the
+ * degenerate case.
  *
- * Thread safety: acquire()/release() take an internal mutex, so caches
- * of different requests may append concurrently (the batched decode
- * loop is OpenMP-parallel over requests). pageData() itself is
- * lock-free; for bounded pools the slab-pointer table is preallocated so
- * concurrent growth never moves it. Unbounded pools must only be grown
- * from one thread at a time (a standalone cache has exactly one user).
+ * A pool may be bounded (`maxPages() > 0`): acquire() returns kNoPage
+ * when the budget is exhausted — a *recoverable* failure, so callers
+ * can defer, evict, or preempt instead of dying. The serving engine
+ * pairs a bounded pool with admission control that reserves pages
+ * conservatively before a request may touch the pool, which keeps the
+ * in-flight decode loop out of that branch entirely. Unbounded pools
+ * grow on demand and are what standalone caches use.
+ *
+ * Thread safety: acquire()/ref()/release() take an internal mutex, so
+ * caches of different requests may append concurrently (the batched
+ * decode loop is OpenMP-parallel over requests). pageData() itself is
+ * lock-free; for bounded pools the slab-pointer table is preallocated
+ * so concurrent growth never moves it. Unbounded pools must only be
+ * grown from one thread at a time (a standalone cache has exactly one
+ * user).
  */
 
 #ifndef MXPLUS_SERVE_KV_PAGE_POOL_H
@@ -37,10 +48,13 @@
 
 namespace mxplus {
 
-/** Recycling allocator of fixed-size KV page slabs. */
+/** Recycling, refcounting allocator of fixed-size KV page slabs. */
 class KvPagePool
 {
   public:
+    /** acquire() result when a bounded pool is exhausted. */
+    static constexpr uint32_t kNoPage = 0xffffffffu;
+
     /**
      * @param page_tokens tokens per page (the cache aligns this with the
      *        value quantizer's block period)
@@ -55,18 +69,31 @@ class KvPagePool
     size_t pageBytes() const { return floats_per_page_ * sizeof(float); }
     size_t maxPages() const { return max_pages_; }
 
-    /** Pages currently held by caches. */
+    /** Physical pages currently referenced by at least one owner. */
     size_t usedPages() const;
     /** Resident bytes of live pages (used, not reserved). */
     size_t usedBytes() const { return usedPages() * pageBytes(); }
     /** Slabs ever materialized (high-water mark; shows free-list reuse). */
     size_t allocatedPages() const;
 
-    /** Take a page (recycled or fresh). Aborts on budget exhaustion. */
+    /**
+     * Take a page (recycled or fresh) with one reference. Returns
+     * kNoPage when a bounded pool is exhausted — the caller decides
+     * whether to defer, evict, or fail.
+     */
     uint32_t acquire();
 
-    /** Return a page to the free list. */
+    /** Add a co-owner reference to a live page. */
+    void ref(uint32_t id);
+
+    /**
+     * Drop one reference; the last owner's release returns the page to
+     * the free list.
+     */
     void release(uint32_t id);
+
+    /** Current reference count of a page (0 = free; tests/debugging). */
+    size_t refCount(uint32_t id) const;
 
     float *pageData(uint32_t id);
     const float *pageData(uint32_t id) const;
@@ -78,6 +105,7 @@ class KvPagePool
 
     mutable std::mutex mu_;
     std::vector<std::unique_ptr<float[]>> slabs_;
+    std::vector<uint32_t> refs_; ///< per-slab reference count (0 = free)
     std::vector<uint32_t> free_;
     size_t used_ = 0;
     /** slabs_.size() mirrored for lock-free pageData bounds checks. */

@@ -1,0 +1,170 @@
+#include "serve/prefix_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+PrefixIndex::PrefixIndex(std::shared_ptr<KvPagePool> pool,
+                         size_t n_layers, size_t capacity_tokens)
+    : pool_(std::move(pool)), n_layers_(n_layers)
+{
+    MXPLUS_CHECK(pool_ != nullptr && n_layers_ > 0);
+    pt_ = pool_->pageTokens();
+    capacity_pages_ = (capacity_tokens + pt_ - 1) / pt_;
+}
+
+PrefixIndex::~PrefixIndex()
+{
+    // Engine teardown: release the index's references unconditionally.
+    // Pages still mapped by live request caches survive through those
+    // caches' own references (the pool is shared_ptr-owned by both).
+    std::vector<Node *> stack{&root_};
+    while (!stack.empty()) {
+        Node *n = stack.back();
+        stack.pop_back();
+        if (n != &root_)
+            releaseNodePages(*n);
+        for (auto &c : n->children)
+            stack.push_back(c.get());
+    }
+}
+
+void
+PrefixIndex::releaseNodePages(const Node &node)
+{
+    for (const uint32_t id : node.pages)
+        pool_->release(id);
+}
+
+PrefixIndex::Node *
+PrefixIndex::findChild(Node *parent, const int *page_tokens)
+{
+    Node *from = parent != nullptr ? parent : &root_;
+    for (auto &child : from->children) {
+        if (std::equal(child->tokens.begin(), child->tokens.end(),
+                       page_tokens)) {
+            child->last_use = ++tick_;
+            return child.get();
+        }
+    }
+    return nullptr;
+}
+
+PrefixIndex::Node *
+PrefixIndex::match(const int *tokens, size_t n_tokens, size_t max_pages,
+                   size_t *matched_pages)
+{
+    Node *node = nullptr;
+    size_t depth = 0;
+    while (depth < max_pages && (depth + 1) * pt_ <= n_tokens) {
+        Node *child = findChild(node, tokens + depth * pt_);
+        if (child == nullptr)
+            break;
+        node = child;
+        ++depth;
+    }
+    *matched_pages = depth;
+    return node;
+}
+
+PrefixIndex::Node *
+PrefixIndex::insert(Node *parent, const int *page_tokens,
+                    const uint32_t *page_ids)
+{
+    MXPLUS_CHECK_MSG(findChild(parent, page_tokens) == nullptr,
+                     "PrefixIndex: span already cached");
+    if (capacity_pages_ == 0)
+        return nullptr;
+    if (node_count_ >= capacity_pages_) {
+        // The parent may itself be an unpinned LRU leaf (a caller
+        // publishing several pages pins only the finished path): shield
+        // it for the duration of the eviction or we would free the very
+        // node we are about to attach to.
+        if (parent != nullptr)
+            pin(parent);
+        const bool evicted = evictOne();
+        if (parent != nullptr)
+            unpin(parent);
+        if (!evicted)
+            return nullptr; // full of pinned spans: pages stay private
+    }
+    Node *from = parent != nullptr ? parent : &root_;
+    auto node = std::make_unique<Node>();
+    node->tokens.assign(page_tokens, page_tokens + pt_);
+    node->pages.assign(page_ids, page_ids + n_layers_);
+    node->parent = from;
+    node->last_use = ++tick_;
+    for (const uint32_t id : node->pages)
+        pool_->ref(id);
+    from->children.push_back(std::move(node));
+    ++node_count_;
+    return from->children.back().get();
+}
+
+void
+PrefixIndex::pin(Node *node)
+{
+    MXPLUS_CHECK(node != nullptr);
+    ++node->pins;
+}
+
+void
+PrefixIndex::unpin(Node *node)
+{
+    MXPLUS_CHECK(node != nullptr && node->pins > 0);
+    --node->pins;
+}
+
+PrefixIndex::Node *
+PrefixIndex::lruEvictableLeaf(Node *node) const
+{
+    // Leaves with no pins are the only candidates: every ancestor of a
+    // pinned node has a child, so pinning the deepest node a request
+    // uses protects its whole path. The recursion is over the cached
+    // span set (capacity-bounded), so the O(nodes) scan is cheap.
+    Node *best = nullptr;
+    for (const auto &child : node->children) {
+        Node *cand = child->children.empty()
+            ? (child->pins == 0 ? child.get() : nullptr)
+            : lruEvictableLeaf(child.get());
+        if (cand != nullptr &&
+            (best == nullptr || cand->last_use < best->last_use)) {
+            best = cand;
+        }
+    }
+    return best;
+}
+
+bool
+PrefixIndex::evictOne()
+{
+    Node *victim = lruEvictableLeaf(&root_);
+    if (victim == nullptr)
+        return false;
+    releaseNodePages(*victim);
+    Node *parent = victim->parent;
+    auto it = std::find_if(
+        parent->children.begin(), parent->children.end(),
+        [victim](const std::unique_ptr<Node> &c) {
+            return c.get() == victim;
+        });
+    MXPLUS_CHECK(it != parent->children.end());
+    parent->children.erase(it);
+    --node_count_;
+    ++evicted_nodes_;
+    return true;
+}
+
+void
+PrefixIndex::clear()
+{
+    while (evictOne()) {
+    }
+    MXPLUS_CHECK_MSG(node_count_ == 0,
+                     "PrefixIndex::clear with pinned spans (active "
+                     "requests still depend on them)");
+}
+
+} // namespace mxplus

@@ -48,16 +48,32 @@ ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
         budget_pages_ =
             ((opts_.kv_budget_tokens + pt - 1) / pt) * cfg.n_layers;
     }
+    const bool sharing = opts_.prefix_cache_tokens > 0;
+    if (sharing) {
+        // Sharing maps completed pages as immutable snapshots, which is
+        // only sound when completed V blocks freeze (see kv_cache.h).
+        MXPLUS_CHECK_MSG(qc_.attention->blockPeriod() > 0,
+                         "prefix sharing requires a value quantizer "
+                         "with known block structure");
+    }
     // The shared pool is ALWAYS bounded: with no explicit budget it is
-    // capped at max_batch worst-case requests, which admission can
-    // never exceed. A bounded pool preallocates its slab-pointer table,
-    // which is what makes lock-free pageData() safe under the
-    // OpenMP-parallel decode appends (see kv_page_pool.h).
+    // capped at max_batch worst-case requests plus the prefix cache's
+    // retained spans, which admission + span eviction can never exceed.
+    // A bounded pool preallocates its slab-pointer table, which is what
+    // makes lock-free pageData() safe under the OpenMP-parallel decode
+    // appends (see kv_page_pool.h).
+    const size_t prefix_pages =
+        sharing ? (opts_.prefix_cache_tokens + pt - 1) / pt : 0;
     const size_t hard_cap =
-        opts_.max_batch * ((cfg.max_seq + pt - 1) / pt) * cfg.n_layers;
+        (opts_.max_batch * ((cfg.max_seq + pt - 1) / pt) + prefix_pages) *
+        cfg.n_layers;
     pool_ = std::make_shared<KvPagePool>(
         pt, KvCache::floatsPerPage(cfg, /*teacher=*/false, pt),
         budget_pages_ > 0 ? budget_pages_ : hard_cap);
+    if (sharing) {
+        prefix_ = std::make_unique<PrefixIndex>(pool_, cfg.n_layers,
+                                                opts_.prefix_cache_tokens);
+    }
 }
 
 ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
@@ -71,13 +87,21 @@ ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
 }
 
 size_t
-ServingEngine::pagesForRequest(const ServeRequest &req) const
+ServingEngine::pagesPerLayerFor(const ServeRequest &req) const
 {
     const size_t tokens =
         std::min(req.prompt.size() + req.max_new_tokens,
                  model_.config().max_seq);
     const size_t pt = pool_->pageTokens();
-    return ((tokens + pt - 1) / pt) * model_.config().n_layers;
+    return (tokens + pt - 1) / pt;
+}
+
+size_t
+ServingEngine::maxAdoptPages(size_t prompt_len) const
+{
+    // Whole pages only, and at least one prompt token must stay
+    // private: its prefill computes the logits that seed generation.
+    return (prompt_len - 1) / pool_->pageTokens();
 }
 
 size_t
@@ -87,9 +111,6 @@ ServingEngine::submit(ServeRequest req)
     MXPLUS_CHECK_MSG(req.prompt.size() <= model_.config().max_seq,
                      "prompt exceeds the model's max_seq");
     MXPLUS_CHECK_MSG(req.max_new_tokens > 0, "nothing to generate");
-    MXPLUS_CHECK_MSG(budget_pages_ == 0 ||
-                         pagesForRequest(req) <= budget_pages_,
-                     "request KV demand exceeds the engine's page budget");
     const size_t id = stats_.size();
     RequestStats rs;
     rs.id = id;
@@ -115,11 +136,32 @@ ServingEngine::pickToken(Slot &slot, const float *logits) const
                               slot.rng);
 }
 
-void
-ServingEngine::admitOne()
+size_t
+ServingEngine::pickCandidate() const
 {
-    const size_t id = queue_.front();
-    queue_.pop_front();
+    if (!opts_.sjf_admission)
+        return 0;
+    // Shortest total demand first; FIFO breaks ties, so equal-length
+    // requests keep their submission order.
+    size_t best = 0;
+    size_t best_cost = SIZE_MAX;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+        const ServeRequest &req = pending_[queue_[i]];
+        const size_t cost = req.prompt.size() + req.max_new_tokens;
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+ServingEngine::admitSlot(size_t queue_idx, PrefixIndex::Node *matched_node,
+                         size_t matched_pages, size_t need_pages)
+{
+    const size_t id = queue_[queue_idx];
+    queue_.erase(queue_.begin() + static_cast<long>(queue_idx));
     const ServeRequest &req = pending_[id];
 
     auto slot = std::make_unique<Slot>(
@@ -127,26 +169,161 @@ ServingEngine::admitOne()
         KvCache::forConfig(model_.config(), qc_,
                            req.prompt.size() + req.max_new_tokens, pool_),
         Rng(req.seed));
-    slot->reserved_pages = pagesForRequest(req);
+    slot->reserved_pages = need_pages;
     slot->context = req.prompt;
-    reserved_pages_ += slot->reserved_pages;
+    // The caller's pin on the matched span transfers to the slot: the
+    // path stays unevictable until retirement, so the tail-only
+    // reservation below stays sufficient.
+    slot->pinned = matched_node;
+    slot->uncharged_pages = matched_pages;
+    reserved_pages_ += need_pages;
     active_.push_back(std::move(slot));
 }
 
 void
-ServingEngine::prefillChunk(Slot &slot)
+ServingEngine::creditReservation(Slot &slot)
+{
+    const size_t layers = model_.config().n_layers;
+    MXPLUS_CHECK(slot.reserved_pages >= layers &&
+                 reserved_pages_ >= layers);
+    slot.reserved_pages -= layers;
+    reserved_pages_ -= layers;
+    slot.uncharged_pages += 1;
+}
+
+void
+ServingEngine::movePin(Slot &slot, PrefixIndex::Node *node)
+{
+    if (slot.pinned == node)
+        return;
+    prefix_->pin(node);
+    if (slot.pinned != nullptr)
+        prefix_->unpin(slot.pinned);
+    slot.pinned = node;
+}
+
+bool
+ServingEngine::adoptShared(Slot &slot)
 {
     const std::vector<int> &prompt = slot.req.prompt;
+    const size_t pt = pool_->pageTokens();
+    bool adopted = false;
+    // Adopt every cached page available at the current position in one
+    // quantum: mapping pages is free, so a request trailing another
+    // with the same prompt stays one page behind its leader instead of
+    // recomputing the whole prefix. The walk requires the cache end to
+    // be page-aligned AND covered by the trie path (a page computed
+    // privately past a full index breaks the chain — then the rest of
+    // the prompt is computed privately too, which is always correct).
+    while (true) {
+        const size_t pos = slot.prefill_pos;
+        if (pos % pt != 0 || slot.path_depth * pt != pos)
+            break;
+        if (pos + pt >= prompt.size())
+            break; // keep >= 1 prompt token for the logits-producing run
+        PrefixIndex::Node *child =
+            prefix_->findChild(slot.path_node, prompt.data() + pos);
+        if (child == nullptr)
+            break;
+        slot.cache.adoptSharedPage(child->pages.data());
+        if (slot.path_depth >= slot.uncharged_pages) {
+            // A page shared beyond the admission-time match: it will
+            // never be acquired privately, so its charge leaves the
+            // reservation (the span's heldPages() already covers it) —
+            // without this, the page stays double-counted against the
+            // budget for the slot's whole lifetime.
+            creditReservation(slot);
+        }
+        slot.path_node = child;
+        slot.path_depth += 1;
+        slot.prefill_pos += pt;
+        engine_stats_.prefix_hit_tokens += pt;
+        stats_[slot.id].shared_prompt_tokens += pt;
+        adopted = true;
+    }
+    if (adopted) {
+        movePin(slot, slot.path_node);
+        if (!slot.counted_hit) {
+            slot.counted_hit = true;
+            engine_stats_.prefix_hit_requests += 1;
+        }
+    }
+    return adopted;
+}
+
+void
+ServingEngine::registerFrozenPages(Slot &slot)
+{
+    const std::vector<int> &prompt = slot.req.prompt;
+    const size_t pt = pool_->pageTokens();
+    const size_t layers = model_.config().n_layers;
+    std::vector<uint32_t> ids(layers);
+    bool advanced = false;
+    // Publish every completed whole-prompt page past the trie path: a
+    // page is frozen once the prefill position has passed its end
+    // (kv_cache.h), and pages holding generated tokens are never
+    // published (they end past prompt.size()).
+    while ((slot.path_depth + 1) * pt <= slot.prefill_pos) {
+        const size_t g = slot.path_depth;
+        PrefixIndex::Node *child =
+            prefix_->findChild(slot.path_node, prompt.data() + g * pt);
+        if (child == nullptr) {
+            for (size_t l = 0; l < layers; ++l)
+                ids[l] = slot.cache.pageId(l, g);
+            child = prefix_->insert(slot.path_node,
+                                    prompt.data() + g * pt, ids.data());
+            if (child == nullptr)
+                break; // index full of pinned spans; keep pages private
+            // The page's budget charge moves from this request's
+            // reservation to the cached span (which holds its own pool
+            // references and is counted by admission as span pages).
+            creditReservation(slot);
+            engine_stats_.prefix_inserted_tokens += pt;
+        }
+        // An identical span may already exist (two slots computed the
+        // same page in one step): advance along it without inserting —
+        // this slot's private duplicate stays charged to its
+        // reservation and dies with it.
+        slot.path_node = child;
+        slot.path_depth += 1;
+        advanced = true;
+    }
+    if (advanced)
+        movePin(slot, slot.path_node);
+}
+
+void
+ServingEngine::prefillQuantum(Slot &slot)
+{
+    // Mapping shared pages replaces this step's compute chunk: the
+    // quantum still makes page-sized progress, but as a cache hit.
+    if (prefix_ != nullptr && adoptShared(slot))
+        return;
+
+    const std::vector<int> &prompt = slot.req.prompt;
     const size_t remaining = prompt.size() - slot.prefill_pos;
-    const size_t chunk = opts_.prefill_chunk == 0
+    size_t chunk = opts_.prefill_chunk == 0
         ? remaining
         : std::min(opts_.prefill_chunk, remaining);
+    if (prefix_ != nullptr && chunk < remaining) {
+        // With sharing on, computed quanta end on page boundaries so
+        // every completed page publishes immediately and followers'
+        // positions stay adoptable. The cache state (and therefore the
+        // sampled tokens) is chunk-invariant — frozen blocks are
+        // block-local — so this only shifts compute granularity.
+        const size_t pt = pool_->pageTokens();
+        const size_t end = slot.prefill_pos + chunk;
+        chunk = std::min(prompt.size(), ((end + pt - 1) / pt) * pt) -
+            slot.prefill_pos;
+    }
     const std::vector<int> piece(
         prompt.begin() + static_cast<long>(slot.prefill_pos),
         prompt.begin() + static_cast<long>(slot.prefill_pos + chunk));
     const Matrix logits = model_.prefill(piece, slot.cache, qc_);
     slot.prefill_pos += chunk;
     engine_stats_.prefill_chunks += 1;
+    if (prefix_ != nullptr)
+        registerFrozenPages(slot);
 
     if (slot.prefill_pos == prompt.size()) {
         slot.prefilling = false;
@@ -174,7 +351,11 @@ ServingEngine::retireFinished()
         if (count_done || seq_full) {
             finalize(rs);
             reserved_pages_ -= slot.reserved_pages;
-            // Destroying the slot's cache returns its pages to the pool.
+            if (slot.pinned != nullptr)
+                prefix_->unpin(slot.pinned);
+            // Destroying the slot's cache drops one reference per
+            // mapped page; pages the prefix index retains stay for the
+            // next request with this prompt prefix.
             active_.erase(active_.begin() + static_cast<long>(i));
         }
     }
@@ -205,39 +386,108 @@ ServingEngine::finalize(RequestStats &rs) const
     }
 }
 
+size_t
+ServingEngine::prefixCachedTokens() const
+{
+    return prefix_ != nullptr ? prefix_->cachedTokens() : 0;
+}
+
+void
+ServingEngine::clearPrefixCache()
+{
+    if (prefix_ == nullptr)
+        return;
+    MXPLUS_CHECK_MSG(active_.empty(),
+                     "clearPrefixCache with active requests");
+    prefix_->clear();
+    engine_stats_.prefix_evicted_pages =
+        prefix_->evictedNodes() * model_.config().n_layers;
+}
+
 bool
 ServingEngine::step()
 {
     if (start_ms_ < 0.0)
         start_ms_ = nowMs();
 
-    // Admission: FIFO while a slot is free and the head request's page
-    // reservation fits the budget. The reservation covers the request's
-    // whole lifetime, so the shared pool can never be exhausted by the
-    // decode loop below.
+    // Admission: while a slot is free, pick the next candidate (FIFO or
+    // shortest-job-first), match its prompt against the prefix cache,
+    // and charge the budget only for the unshared remainder. The
+    // reservation covers the request's whole lifetime, so the shared
+    // pool can never be exhausted by the decode loop below; cached
+    // spans nobody maps are evicted LRU-first to make room.
     bool budget_deferred = false;
+    const size_t layers = model_.config().n_layers;
     while (active_.size() < opts_.max_batch && !queue_.empty()) {
-        if (budget_pages_ > 0 &&
-            reserved_pages_ + pagesForRequest(pending_[queue_.front()]) >
-                budget_pages_) {
-            budget_deferred = true;
-            break;
+        const size_t qidx = pickCandidate();
+        const size_t id = queue_[qidx];
+        const ServeRequest &req = pending_[id];
+
+        const size_t total_pages = pagesPerLayerFor(req) * layers;
+        if (budget_pages_ > 0 && total_pages > budget_pages_) {
+            // Even with maximal sharing the request's RESIDENT demand
+            // (shared span pages, which must stay mapped, plus the
+            // private tail) is its full page count — a request bigger
+            // than the whole budget can never run, no matter what the
+            // prefix cache holds, so reject deterministically and
+            // gracefully (the PR3 engine aborted the process here;
+            // deferring instead would spin forever).
+            RequestStats &rs = stats_[id];
+            rs.finished = true;
+            rs.rejected = true;
+            engine_stats_.rejected_requests += 1;
+            queue_.erase(queue_.begin() + static_cast<long>(qidx));
+            continue;
         }
-        admitOne();
+
+        size_t matched = 0;
+        PrefixIndex::Node *node = nullptr;
+        if (prefix_ != nullptr) {
+            node = prefix_->match(req.prompt.data(), req.prompt.size(),
+                                  maxAdoptPages(req.prompt.size()),
+                                  &matched);
+            if (node != nullptr)
+                prefix_->pin(node); // survives the eviction loop below
+        }
+        const size_t need = total_pages - matched * layers;
+
+        // One predicate decides both when to keep evicting spans and
+        // when to give up and defer: everything resident or reserved —
+        // admitted reservations, cached span pages, this request's
+        // unshared tail — must fit the budget.
+        const auto over_budget = [&] {
+            return reserved_pages_ + need +
+                (prefix_ != nullptr ? prefix_->heldPages() : 0) >
+                budget_pages_;
+        };
+        if (budget_pages_ > 0) {
+            while (over_budget() && prefix_ != nullptr &&
+                   prefix_->evictOne()) {
+            }
+            if (over_budget()) {
+                if (node != nullptr)
+                    prefix_->unpin(node);
+                budget_deferred = true;
+                break;
+            }
+        }
+        if (qidx != 0)
+            engine_stats_.sjf_reorders += 1;
+        admitSlot(qidx, node, matched, need);
     }
     if (budget_deferred)
         engine_stats_.admission_deferred_steps += 1;
 
-    // One prefill chunk per prefilling slot per step: the latency a
+    // One prefill quantum per prefilling slot per step: the latency a
     // prompt can add to a decode step is bounded by max_batch * chunk
     // tokens instead of by the longest queued prompt, while prompts
-    // that fit one chunk prefill immediately (so the decode batch never
-    // ramps below the PR2 scheduler's occupancy on short-prompt
-    // workloads).
+    // that fit one chunk prefill immediately. Slots run in admission
+    // order, so a page one slot computes (and publishes) this step is
+    // already adoptable by the slots after it.
     bool prefilled = false;
     for (auto &sp : active_) {
         if (sp->prefilling) {
-            prefillChunk(*sp);
+            prefillQuantum(*sp);
             prefilled = true;
         }
     }
@@ -247,6 +497,14 @@ ServingEngine::step()
     // A prefill token can fully satisfy max_new_tokens, and a prompt
     // can fill the sequence: retire before (and after) decoding.
     retireFinished();
+
+    // Evictions happen on several paths (admission headroom, capacity
+    // pressure inside span publication); the index's counter is the
+    // single source of truth.
+    if (prefix_ != nullptr) {
+        engine_stats_.prefix_evicted_pages =
+            prefix_->evictedNodes() * layers;
+    }
 
     std::vector<Slot *> decoding;
     decoding.reserve(active_.size());

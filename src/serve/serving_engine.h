@@ -2,44 +2,53 @@
  * @file
  * Batched serving engine: a request queue with continuous batching of
  * incremental decode steps over per-request paged KV caches drawn from
- * one shared, budgeted page pool.
+ * one shared, budgeted, refcounted page pool — with shared-prefix
+ * prefill reuse across requests.
  *
  * Scheduling model (continuous batching + token-budget admission +
- * chunked prefill):
+ * chunked prefill + prefix sharing):
  *
- *   1. While a decode slot is free, requests are queued, and the KV
- *      page budget can hold the head request's full reservation
- *      (prompt + max_new_tokens, rounded up to pages), admit it. The
- *      reservation is conservative, so in-flight requests can never
- *      exhaust the shared pool mid-decode; the pool itself only holds
- *      *live* pages, so admission headroom and resident bytes are
- *      tracked separately (reserved vs used).
- *   2. Run one prefill chunk (EngineOptions::prefill_chunk tokens) for
- *      every still-prefilling slot. Long prompts are consumed a chunk
- *      per scheduler step, interleaved with decode steps, so they no
- *      longer head-of-line-block the latency of requests already
- *      decoding: the prefill work one step can insert is bounded by
- *      max_batch * prefill_chunk tokens instead of by the longest
- *      queued prompt, while single-chunk prompts prefill immediately.
+ *   1. While a decode slot is free and requests are queued, pick the
+ *      next candidate (FIFO, or the smallest total token demand when
+ *      EngineOptions::sjf_admission is set), match its prompt against
+ *      the prefix index, and admit it if the KV page budget can hold
+ *      its *unshared* reservation (total pages minus matched shared
+ *      pages) — evicting unreferenced cached spans LRU-first to make
+ *      room. The reservation is conservative, so in-flight requests
+ *      can never exhaust the shared pool mid-decode; a request whose
+ *      unshared demand exceeds the whole budget is rejected gracefully
+ *      (RequestStats::rejected) instead of aborting the engine.
+ *   2. Run one prefill quantum for every still-prefilling slot. A slot
+ *      first adopts every cached page available at its position —
+ *      mapping frozen shared pages is free, so adoption replaces that
+ *      step's compute chunk — and otherwise prefills one
+ *      EngineOptions::prefill_chunk tokens, then publishes its newly
+ *      frozen whole-prompt pages into the prefix index. Concurrent
+ *      requests with a common system prompt therefore converge to ONE
+ *      slot computing each shared page while the others map it a step
+ *      later: repeated prefill compute becomes a cache hit, which is
+ *      where the shared-prefix TTFT and kv_bytes_peak wins come from.
  *      A request's first token is sampled when its last chunk lands —
  *      that marks its time-to-first-token.
  *   3. Run ONE decode step for every slot past prefill, batched through
- *      Transformer::decodeStepBatch: the linear layers see one GEMM
- *      over all request rows (amortizing weight quantization and
- *      B-panel packing — the decode path's dominant per-step cost),
- *      attention stays per-request over each paged cache.
+ *      Transformer::decodeStepBatch; attention stays per-request over
+ *      each paged cache, walking shared prefix pages and private tail
+ *      pages through one uniform page table.
  *   4. Sample each request's next token, retire finished requests
- *      (their pages return to the pool), and go to 1.
+ *      (each mapped page drops one reference; the pool reclaims it
+ *      when the prefix index isn't keeping it either), and go to 1.
  *
- * Batching is a throughput decision, never a numerics decision: row r of
- * a batched decode step is bit-identical to running request r alone
- * (kernel shape-stability contract), so a batched run produces exactly
- * the tokens the serial runs produce. Chunked prefill is deterministic
- * per request (chunk boundaries depend only on the prompt and the
- * engine's chunk size, never on scheduling); under block formats a
- * different chunk size can shift V-block visibility the same way any
- * causal cache does vs the one-shot oracle — in BF16 it is exactly
- * chunk-invariant.
+ * Sharing is bit-exact, not approximate: spans are keyed on exact
+ * token ids (PrefixIndex), a completed page is frozen (kv_cache.h), and
+ * the cache state plus last-chunk logits of a prefill are
+ * chunk-invariant in every format (block quantizers are block-local,
+ * so completed blocks and the tail quantized at the final length never
+ * depend on where chunk boundaries fell — note that sharing DOES
+ * change the boundaries, rounding computed chunks up to page ends).
+ * The token streams of a shared-prefix run are therefore bit-identical
+ * to private-cache runs in every format — like batching and the
+ * budget, prefix sharing is a throughput decision, never a numerics
+ * decision.
  *
  * Sampling runs per request through sampleLogitsPolicy: greedy,
  * temperature, top-k, nucleus (top-p) and repetition penalty, driven by
@@ -65,6 +74,7 @@
 #include "model/transformer.h"
 #include "serve/kv_cache.h"
 #include "serve/kv_page_pool.h"
+#include "serve/prefix_index.h"
 
 namespace mxplus {
 
@@ -92,14 +102,31 @@ struct EngineOptions
     /**
      * KV pool budget in tokens per layer (0 = unbounded). Admission
      * reserves ceil((prompt + max_new_tokens) / page_tokens) pages per
-     * layer per request against it; a single request larger than the
-     * whole budget is rejected at submit().
+     * layer per request against it, minus pages served from the prefix
+     * cache (those count as resident span pages instead); a request
+     * whose TOTAL demand exceeds the whole budget — shared pages must
+     * stay mapped, so sharing cannot shrink residency — is rejected
+     * gracefully at admission time.
      */
     size_t kv_budget_tokens = 0;
     /** Prompt tokens prefilled per scheduler step (0 = whole prompt). */
     size_t prefill_chunk = 32;
     /** Tokens per KV page (0 = auto from the value quantizer). */
     size_t page_tokens = 0;
+    /**
+     * Prefix-cache capacity in tokens (whole frozen prompt pages
+     * retained for reuse, rounded up to pages; spans mapped by active
+     * requests are never evicted). 0 disables prefix sharing. Requires
+     * a value quantizer with known block structure (blockPeriod > 0).
+     */
+    size_t prefix_cache_tokens = 0;
+    /**
+     * Admit the queued request with the smallest total token demand
+     * (prompt + max_new_tokens, FIFO tie-break) instead of strict FIFO
+     * — shortest-job-first on top of the token-budget check. Token
+     * streams are unaffected (per-request deterministic sampling).
+     */
+    bool sjf_admission = false;
 };
 
 /** Per-request outcome and latency statistics. */
@@ -109,6 +136,10 @@ struct RequestStats
     size_t prompt_tokens = 0;
     std::vector<int> generated;
     bool finished = false;
+    /** KV demand could never fit the budget; nothing was generated. */
+    bool rejected = false;
+    /** Prompt tokens served from shared prefix pages (no compute). */
+    size_t shared_prompt_tokens = 0;
 
     double ttft_ms = 0.0; ///< engine start -> first token (incl. queueing)
     /** Per-token decode-step latency; the first (prefill-produced) token
@@ -137,10 +168,22 @@ struct EngineStats
     size_t kv_bytes_peak = 0;
     /** Peak of live KV pool pages. */
     size_t kv_pages_peak = 0;
-    /** Prefill chunks executed (= prompts when chunking is off). */
+    /** Prefill chunks computed (adopted pages don't count). */
     size_t prefill_chunks = 0;
     /** Steps on which a free slot went unfilled for lack of KV budget. */
     size_t admission_deferred_steps = 0;
+    /** Requests that adopted at least one shared prefix page. */
+    size_t prefix_hit_requests = 0;
+    /** Prompt tokens served from the prefix cache instead of computed. */
+    size_t prefix_hit_tokens = 0;
+    /** Prompt tokens published into the prefix cache. */
+    size_t prefix_inserted_tokens = 0;
+    /** Pool pages freed by LRU span eviction. */
+    size_t prefix_evicted_pages = 0;
+    /** Admissions that bypassed the FIFO head (sjf_admission). */
+    size_t sjf_reorders = 0;
+    /** Requests rejected for impossible KV demand. */
+    size_t rejected_requests = 0;
 };
 
 /** Nearest-rank percentile of latency samples (shared with benches). */
@@ -162,7 +205,7 @@ class ServingEngine
 
     /**
      * One scheduler iteration: admit while budget and slots allow, one
-     * prefill chunk, then one batched decode step.
+     * prefill quantum (adopt or compute), then one batched decode step.
      * @return true while work remains.
      */
     bool step();
@@ -177,10 +220,17 @@ class ServingEngine
 
     /** The shared page pool (live-page accounting). */
     const KvPagePool &pool() const { return *pool_; }
-    /** Live KV bytes right now (0 once every request retired). */
+    /** Live KV bytes right now (cached spans included). */
     size_t kvBytesLive() const { return pool_->usedBytes(); }
-    /** Pages currently reserved by admitted requests. */
+    /** Pages currently reserved by admitted requests (unshared only). */
     size_t reservedPages() const { return reserved_pages_; }
+    /** Tokens currently retained by the prefix cache (0 = disabled). */
+    size_t prefixCachedTokens() const;
+    /**
+     * Drop every retained prefix span (pool pages return to the free
+     * list). Only valid while no request is active.
+     */
+    void clearPrefixCache();
     const EngineOptions &options() const { return opts_; }
 
   private:
@@ -197,6 +247,18 @@ class ServingEngine
         /** Prompt + generated tokens (repetition-penalty context). */
         std::vector<int> context;
 
+        // Prefix-sharing walk state: the trie node covering this
+        // cache's page path_depth-1 (nullptr = root), and the deepest
+        // node this slot pins against eviction.
+        PrefixIndex::Node *path_node = nullptr;
+        size_t path_depth = 0; ///< cache pages covered by trie nodes
+        PrefixIndex::Node *pinned = nullptr;
+        /** Per-layer page count excluded from reserved_pages at
+            admission (the matched span); pages shared or published
+            past this index credit the reservation as they happen. */
+        size_t uncharged_pages = 0;
+        bool counted_hit = false;
+
         Slot(size_t id_, ServeRequest req_, KvCache cache_, Rng rng_)
             : id(id_), req(std::move(req_)), cache(std::move(cache_)),
               rng(rng_)
@@ -204,10 +266,23 @@ class ServingEngine
         }
     };
 
-    /** Pages (across all layers) a request reserves at admission. */
-    size_t pagesForRequest(const ServeRequest &req) const;
-    void admitOne();
-    void prefillChunk(Slot &slot);
+    /** Per-layer pages a request needs over its whole lifetime. */
+    size_t pagesPerLayerFor(const ServeRequest &req) const;
+    /** Whole prompt pages adoptable while leaving >= 1 token to run. */
+    size_t maxAdoptPages(size_t prompt_len) const;
+    /** Index into queue_ of the next admission candidate. */
+    size_t pickCandidate() const;
+    void admitSlot(size_t queue_idx, PrefixIndex::Node *matched_node,
+                   size_t matched_pages, size_t need_pages);
+    /** Exclude one more per-layer page (now span-held) from the slot's
+        reservation — shared pages must be charged exactly once. */
+    void creditReservation(Slot &slot);
+    /** Adopt cached pages at the slot's position; true if any mapped. */
+    bool adoptShared(Slot &slot);
+    /** Publish the slot's newly frozen whole-prompt pages. */
+    void registerFrozenPages(Slot &slot);
+    void movePin(Slot &slot, PrefixIndex::Node *node);
+    void prefillQuantum(Slot &slot);
     void retireFinished();
     void samplePoolPeak();
     int pickToken(Slot &slot, const float *logits) const;
@@ -220,6 +295,7 @@ class ServingEngine
     std::shared_ptr<KvPagePool> pool_;
     size_t budget_pages_ = 0;    ///< 0 = unbounded
     size_t reserved_pages_ = 0;  ///< sum of admitted reservations
+    std::unique_ptr<PrefixIndex> prefix_; ///< null when sharing is off
 
     std::deque<size_t> queue_; ///< pending request ids
     std::vector<std::unique_ptr<Slot>> active_;

@@ -791,18 +791,56 @@ TEST(ServingEngine, TokenBudgetSerializesWithoutChangingTokens)
     EXPECT_EQ(engine.reservedPages(), 0u);
 }
 
-TEST(ServingEngineDeathTest, OverBudgetRequestIsRejectedAtSubmit)
+TEST(ServingEngine, OverBudgetRequestIsRejectedGracefullyNotFatally)
 {
+    // The PR3 engine aborted the process at submit() when a request
+    // could never fit the page budget. With the pool's recoverable
+    // acquire, impossible requests are rejected at admission time
+    // (RequestStats::rejected) and everything else keeps serving —
+    // groundwork for preemption, where deferral/rejection decisions
+    // move entirely into the scheduler.
     const Transformer model(tinyConfig());
     EngineOptions opts;
     opts.max_batch = 2;
     opts.kv_budget_tokens = 64;
     ServingEngine engine(model, QuantConfig::fromFormat("MXFP4+"), opts);
-    ServeRequest req;
-    req.prompt = tokenRamp(40, 3);
-    req.max_new_tokens = 64; // 104 tokens: can never fit 64
-    EXPECT_DEATH(engine.submit(std::move(req)),
-                 "exceeds the engine's page budget");
+
+    ServeRequest big;
+    big.prompt = tokenRamp(40, 3);
+    big.max_new_tokens = 64; // 104 tokens: can never fit 64
+    ServeRequest ok;
+    ok.prompt = tokenRamp(8, 5);
+    ok.max_new_tokens = 4;
+    const size_t big_id = engine.submit(std::move(big));
+    const size_t ok_id = engine.submit(std::move(ok));
+    engine.runToCompletion();
+
+    EXPECT_TRUE(engine.stats(big_id).finished);
+    EXPECT_TRUE(engine.stats(big_id).rejected);
+    EXPECT_TRUE(engine.stats(big_id).generated.empty());
+    EXPECT_TRUE(engine.stats(ok_id).finished);
+    EXPECT_FALSE(engine.stats(ok_id).rejected);
+    EXPECT_EQ(engine.stats(ok_id).generated.size(), 4u);
+    EXPECT_EQ(engine.engineStats().rejected_requests, 1u);
+    EXPECT_EQ(engine.kvBytesLive(), 0u);
+    EXPECT_EQ(engine.reservedPages(), 0u);
+}
+
+TEST(KvPagePool, BoundedAcquireFailsRecoverablyInsteadOfAborting)
+{
+    KvPagePool pool(4, 16, /*max_pages=*/2);
+    const uint32_t a = pool.acquire();
+    const uint32_t b = pool.acquire();
+    ASSERT_NE(a, KvPagePool::kNoPage);
+    ASSERT_NE(b, KvPagePool::kNoPage);
+    // Exhaustion is a return value, not a death: the caller (engine)
+    // defers the requester or evicts cached spans and retries.
+    EXPECT_EQ(pool.acquire(), KvPagePool::kNoPage);
+    pool.release(a);
+    EXPECT_NE(pool.acquire(), KvPagePool::kNoPage);
+    pool.release(a);
+    pool.release(b);
+    EXPECT_EQ(pool.usedPages(), 0u);
 }
 
 TEST(ServingEngine, KvBytesPeakReportsLivePagesNotReservations)
@@ -841,6 +879,403 @@ TEST(ServingEngine, KvBytesPeakReportsLivePagesNotReservations)
               es.kv_pages_peak * engine.pool().pageBytes());
     EXPECT_EQ(engine.kvBytesLive(), 0u);
     EXPECT_EQ(engine.pool().usedPages(), 0u);
+}
+
+// ------------------------------------------------------ prefix sharing --
+
+TEST(KvPagePool, RefcountedSharingReclaimsOnLastRelease)
+{
+    KvPagePool pool(4, 16, /*max_pages=*/3);
+    const uint32_t a = pool.acquire();
+    const uint32_t b = pool.acquire();
+    ASSERT_NE(a, KvPagePool::kNoPage);
+    ASSERT_NE(b, KvPagePool::kNoPage);
+    EXPECT_EQ(pool.usedPages(), 2u);
+
+    // Two co-owners join (a second request's cache + the prefix index).
+    pool.ref(a);
+    pool.ref(a);
+    EXPECT_EQ(pool.refCount(a), 3u);
+    pool.release(a);
+    pool.release(a);
+    EXPECT_EQ(pool.refCount(a), 1u);
+    EXPECT_EQ(pool.usedPages(), 2u); // still alive: one owner left
+
+    const uint32_t c = pool.acquire();
+    ASSERT_NE(c, KvPagePool::kNoPage);
+    EXPECT_EQ(pool.acquire(), KvPagePool::kNoPage); // budget, recoverable
+    pool.release(b);                                // last owner of b
+    const uint32_t d = pool.acquire();              // recycles b's slab
+    EXPECT_EQ(d, b);
+    EXPECT_EQ(pool.refCount(d), 1u);
+
+    pool.release(a);
+    pool.release(c);
+    pool.release(d);
+    EXPECT_EQ(pool.usedPages(), 0u);
+    EXPECT_EQ(pool.allocatedPages(), 3u); // high-water, free-listed
+}
+
+TEST(PrefixSharing, AdoptedPagesDecodeBitIdenticalToPrivatePrefill)
+{
+    // The cache-layer contract: mapping another request's frozen prompt
+    // pages and prefilling only the tail must reproduce the
+    // private-cache logits bit-for-bit — for every format (frozen
+    // pages are exact snapshots of the visible prefix) and independent
+    // of the page size.
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const auto tokens = tokenRamp(90, 5);
+    const std::vector<int> prompt(tokens.begin(), tokens.begin() + 78);
+    const size_t decode_steps = 6;
+
+    for (const char *fmt :
+         {"BF16", "MXFP4", "MXFP4+", "MXFP8", "MXINT8+", "NVFP4"}) {
+        const QuantConfig qc = QuantConfig::fromFormat(fmt);
+        for (const size_t pt : {size_t(32), size_t(64)}) {
+            auto pool = std::make_shared<KvPagePool>(
+                pt, KvCache::floatsPerPage(cfg, /*teacher=*/false, pt),
+                /*max_pages=*/0);
+            {
+                KvCache a = KvCache::forConfig(cfg, qc, 0, pool);
+                const Matrix la = model.prefill(prompt, a, qc);
+
+                const size_t shared_pages = (prompt.size() - 1) / pt;
+                ASSERT_GE(shared_pages, 1u);
+                KvCache b = KvCache::forConfig(cfg, qc, 0, pool);
+                std::vector<uint32_t> ids(cfg.n_layers);
+                for (size_t g = 0; g < shared_pages; ++g) {
+                    for (size_t l = 0; l < cfg.n_layers; ++l)
+                        ids[l] = a.pageId(l, g);
+                    b.adoptSharedPage(ids.data());
+                }
+                // Shared pages now have two owners.
+                EXPECT_EQ(pool->refCount(a.pageId(0, 0)), 2u);
+                EXPECT_EQ(b.length(), shared_pages * pt);
+
+                const std::vector<int> tail(
+                    prompt.begin() +
+                        static_cast<long>(shared_pages * pt),
+                    prompt.end());
+                const Matrix lb = model.prefill(tail, b, qc);
+                const float *want = la.row(la.rows() - 1);
+                const float *got = lb.row(lb.rows() - 1);
+                for (size_t v = 0; v < cfg.vocab; ++v)
+                    ASSERT_EQ(got[v], want[v])
+                        << fmt << " pt " << pt << " vocab " << v;
+
+                // Decode stays bit-identical step after step: b's
+                // appends land in private tail pages while attention
+                // walks shared + private pages uniformly.
+                for (size_t s = 0; s < decode_steps; ++s) {
+                    const int tok = tokens[78 + s];
+                    const Matrix da = model.decodeStep(tok, a, qc);
+                    const Matrix db = model.decodeStep(tok, b, qc);
+                    for (size_t i = 0; i < da.size(); ++i)
+                        ASSERT_EQ(db.data()[i], da.data()[i])
+                            << fmt << " pt " << pt << " step " << s
+                            << " flat index " << i;
+                }
+            }
+            // Both caches gone: every refcount unwound to zero.
+            EXPECT_EQ(pool->usedPages(), 0u) << fmt << " pt " << pt;
+        }
+    }
+}
+
+/** N requests sharing a page-aligned prompt head, distinct tails. */
+std::vector<ServeRequest>
+sharedPrefixRequests(size_t n, size_t shared_len, size_t tail_len,
+                     size_t new_tokens)
+{
+    const auto head = tokenRamp(shared_len, 3);
+    std::vector<ServeRequest> reqs(n);
+    for (size_t r = 0; r < n; ++r) {
+        reqs[r].prompt = head;
+        for (size_t i = 0; i < tail_len; ++i) {
+            reqs[r].prompt.push_back(
+                static_cast<int>((41 + 11 * r + 5 * i) % 251));
+        }
+        reqs[r].max_new_tokens = new_tokens;
+        reqs[r].temperature = 0.0;
+    }
+    return reqs;
+}
+
+TEST(PrefixSharing, EngineTokensBitIdenticalWithSharingOnOrOff)
+{
+    // The engine-level acceptance gate: the prefix cache may only ever
+    // change who computes a page, never what any request decodes —
+    // across formats and page sizes 32 (default), 64 and max_seq (one
+    // page per request, i.e. sharing degenerates to off).
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const auto reqs = sharedPrefixRequests(4, 64, 10, 6);
+
+    for (const char *fmt : {"BF16", "MXFP4+", "MXFP8"}) {
+        const QuantConfig qc = QuantConfig::fromFormat(fmt);
+        for (const size_t pt : {size_t(0), size_t(64), cfg.max_seq}) {
+            EngineOptions off;
+            off.max_batch = 4;
+            off.page_tokens = pt;
+            EngineOptions on = off;
+            on.prefix_cache_tokens = 256;
+
+            ServingEngine plain(model, qc, off);
+            ServingEngine shared(model, qc, on);
+            std::vector<size_t> plain_ids;
+            std::vector<size_t> shared_ids;
+            for (const auto &req : reqs) {
+                plain_ids.push_back(plain.submit(req));
+                shared_ids.push_back(shared.submit(req));
+            }
+            plain.runToCompletion();
+            shared.runToCompletion();
+
+            for (size_t r = 0; r < reqs.size(); ++r) {
+                EXPECT_EQ(shared.stats(shared_ids[r]).generated,
+                          plain.stats(plain_ids[r]).generated)
+                    << fmt << " page_tokens " << pt << " request " << r;
+            }
+            if (pt != cfg.max_seq) {
+                // The shared head really was served from cached pages
+                // (once computed, three times adopted), and dedup shows
+                // up as a lower live-page peak.
+                EXPECT_GE(shared.engineStats().prefix_hit_requests, 3u)
+                    << fmt << " page_tokens " << pt;
+                EXPECT_GT(shared.engineStats().prefix_hit_tokens, 0u);
+                EXPECT_LT(shared.engineStats().kv_bytes_peak,
+                          plain.engineStats().kv_bytes_peak)
+                    << fmt << " page_tokens " << pt;
+            } else {
+                EXPECT_EQ(shared.engineStats().prefix_hit_tokens, 0u);
+            }
+        }
+    }
+}
+
+TEST(PrefixSharing, PoolReturnsToZeroAfterInterleavedShareAndRetire)
+{
+    // Mixed fork/retire interleavings: requests adopt spans, publish
+    // spans, retire while others still map the same pages, and new
+    // requests join mid-flight. Afterwards the pool must hold exactly
+    // the retained spans — and nothing once those are dropped.
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    EngineOptions opts;
+    opts.max_batch = 3;
+    opts.prefix_cache_tokens = 256;
+    ServingEngine engine(model, qc, opts);
+
+    auto reqs = sharedPrefixRequests(3, 64, 6, 4);
+    std::vector<size_t> ids;
+    ids.push_back(engine.submit(reqs[0]));
+    ids.push_back(engine.submit(reqs[1]));
+    for (int s = 0; s < 4; ++s)
+        engine.step();
+    // Join mid-flight: same head (adopts live spans) + an unrelated
+    // prompt (pure private pages).
+    ids.push_back(engine.submit(reqs[2]));
+    ServeRequest other;
+    other.prompt = tokenRamp(40, 13);
+    other.max_new_tokens = 5;
+    ids.push_back(engine.submit(std::move(other)));
+    engine.runToCompletion();
+
+    for (size_t id : ids)
+        EXPECT_TRUE(engine.stats(id).finished);
+    EXPECT_GT(engine.engineStats().prefix_hit_tokens, 0u);
+    EXPECT_EQ(engine.reservedPages(), 0u);
+
+    // Every surviving page belongs to a retained span; dropping the
+    // cache unwinds the refcounts to exactly zero.
+    const size_t pt = engine.pool().pageTokens();
+    EXPECT_GT(engine.prefixCachedTokens(), 0u);
+    EXPECT_EQ(engine.pool().usedPages(),
+              engine.prefixCachedTokens() / pt * cfg.n_layers);
+    engine.clearPrefixCache();
+    EXPECT_EQ(engine.prefixCachedTokens(), 0u);
+    EXPECT_EQ(engine.pool().usedPages(), 0u);
+    EXPECT_EQ(engine.kvBytesLive(), 0u);
+}
+
+TEST(PrefixSharing, BudgetAdmissionEvictsUnreferencedSpans)
+{
+    // A retained span competes with new requests for the page budget;
+    // admission must evict LRU unreferenced spans instead of deferring
+    // forever.
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    EngineOptions opts;
+    opts.max_batch = 1;
+    opts.kv_budget_tokens = 64; // 2 pages per layer
+    opts.prefix_cache_tokens = 64;
+    ServingEngine engine(model, qc, opts);
+
+    ServeRequest a;
+    a.prompt = tokenRamp(40, 3); // registers its first whole page
+    a.max_new_tokens = 8;
+    const size_t a_id = engine.submit(std::move(a));
+    engine.runToCompletion();
+    EXPECT_TRUE(engine.stats(a_id).finished);
+    EXPECT_GT(engine.prefixCachedTokens(), 0u);
+
+    ServeRequest b; // unrelated prompt: needs the whole budget
+    b.prompt = tokenRamp(40, 17);
+    b.max_new_tokens = 8;
+    const size_t b_id = engine.submit(std::move(b));
+    engine.runToCompletion();
+    EXPECT_TRUE(engine.stats(b_id).finished);
+    EXPECT_FALSE(engine.stats(b_id).rejected);
+    EXPECT_GT(engine.engineStats().prefix_evicted_pages, 0u);
+}
+
+TEST(PrefixSharing, OversizedRequestWithCachedPrefixRejectsNotLivelocks)
+{
+    // Regression guard: a request whose prompt head is cached but
+    // whose TOTAL demand exceeds the budget must be rejected, not
+    // deferred — its matched span is pinned during the admission
+    // check, so "defer and evict later" would spin forever (the span
+    // it waits to evict is its own).
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    EngineOptions opts;
+    opts.max_batch = 2;
+    opts.kv_budget_tokens = 64; // 2 pages/layer
+    opts.prefix_cache_tokens = 32;
+    ServingEngine engine(model, qc, opts);
+
+    ServeRequest a; // fits: 48 tokens = 2 pages/layer
+    a.prompt = tokenRamp(40, 3);
+    a.max_new_tokens = 8;
+    const size_t a_id = engine.submit(a);
+    engine.runToCompletion();
+    EXPECT_TRUE(engine.stats(a_id).finished);
+    EXPECT_EQ(engine.prefixCachedTokens(), 32u); // A's head is cached
+
+    ServeRequest b = a;   // same 40-token head, cached...
+    b.max_new_tokens = 33; // ...but 73 tokens = 3 pages/layer > budget
+    const size_t b_id = engine.submit(std::move(b));
+    engine.runToCompletion(); // must terminate
+    EXPECT_TRUE(engine.stats(b_id).finished);
+    EXPECT_TRUE(engine.stats(b_id).rejected);
+}
+
+TEST(PrefixSharing, LateAdoptionCreditsTheReservationExactlyOnce)
+{
+    // Two identical prompts admitted together both reserve their full
+    // demand (the index is still empty). Once A publishes the first
+    // page and B adopts it, that physical page must be charged ONCE
+    // (as a cached span), not three times — otherwise a third request
+    // that physically fits keeps getting deferred.
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    EngineOptions opts;
+    opts.max_batch = 3;
+    opts.kv_budget_tokens = 128; // 4 pages/layer = 8 budget pages
+    opts.prefix_cache_tokens = 64;
+    ServingEngine engine(model, qc, opts);
+
+    const auto reqs = sharedPrefixRequests(3, 32, 8, 8); // 2 pages/layer
+    std::vector<size_t> ids;
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+
+    // Step 1: A and B admitted (4 + 4 = the whole budget), C deferred.
+    // Within the same step A computes+publishes page 0 (charge moves
+    // to the span) and B adopts it (charge credited): 8 - 2 - 2 = 4.
+    engine.step();
+    EXPECT_EQ(engine.activeRequests(), 2u);
+    EXPECT_EQ(engine.reservedPages(), 4u);
+    EXPECT_EQ(engine.prefixCachedTokens(), 32u);
+
+    // Step 2: C now fits (4 reserved + 2 span + 2 tail = 8) — without
+    // the adoption credit it would wait for a retirement instead.
+    engine.step();
+    EXPECT_EQ(engine.activeRequests(), 3u);
+    engine.runToCompletion();
+    EXPECT_EQ(engine.engineStats().admission_deferred_steps, 1u);
+    for (size_t id : ids)
+        EXPECT_TRUE(engine.stats(id).finished);
+    EXPECT_EQ(engine.reservedPages(), 0u);
+}
+
+TEST(PrefixSharing, TinyCapacitySurvivesMultiPagePublication)
+{
+    // Regression guard: publishing several pages in one quantum
+    // (prefill_chunk = 0) against a one-page-capacity index used to
+    // let insert()'s capacity eviction free the just-inserted parent
+    // node it was about to attach to (use-after-free under ASan). The
+    // index must instead stop publishing and keep the overflow pages
+    // private.
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    EngineOptions opts;
+    opts.max_batch = 2;
+    opts.prefill_chunk = 0;       // whole prompt: 3 pages in one call
+    opts.prefix_cache_tokens = 32; // capacity: exactly one span
+    ServingEngine engine(model, qc, opts);
+
+    auto reqs = sharedPrefixRequests(2, 96, 5, 4);
+    std::vector<size_t> ids;
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+    engine.runToCompletion();
+
+    for (size_t id : ids)
+        EXPECT_TRUE(engine.stats(id).finished);
+    // Only one span fits; the follower still adopts that first page.
+    EXPECT_LE(engine.prefixCachedTokens(), 32u);
+    EXPECT_EQ(engine.stats(ids[1]).shared_prompt_tokens, 32u);
+    engine.clearPrefixCache();
+    EXPECT_EQ(engine.pool().usedPages(), 0u);
+}
+
+TEST(ServingEngine, SjfAdmissionPrefersShortJobsWithoutChangingTokens)
+{
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    std::vector<ServeRequest> reqs(3);
+    reqs[0].prompt = tokenRamp(30, 3); // longest job, submitted first
+    reqs[0].max_new_tokens = 20;
+    reqs[1].prompt = tokenRamp(6, 5); // shortest
+    reqs[1].max_new_tokens = 5;
+    reqs[2].prompt = tokenRamp(12, 7);
+    reqs[2].max_new_tokens = 8;
+
+    EngineOptions fifo_opts;
+    fifo_opts.max_batch = 1;
+    ServingEngine fifo(model, qc, fifo_opts);
+    EngineOptions sjf_opts;
+    sjf_opts.max_batch = 1;
+    sjf_opts.sjf_admission = true;
+    ServingEngine sjf(model, qc, sjf_opts);
+    std::vector<size_t> fifo_ids;
+    std::vector<size_t> sjf_ids;
+    for (const auto &req : reqs) {
+        fifo_ids.push_back(fifo.submit(req));
+        sjf_ids.push_back(sjf.submit(req));
+    }
+    fifo.runToCompletion();
+    sjf.runToCompletion();
+
+    // Reordering happened and is visible in TTFT: the short job no
+    // longer waits behind the long head-of-line job.
+    EXPECT_EQ(fifo.engineStats().sjf_reorders, 0u);
+    EXPECT_GE(sjf.engineStats().sjf_reorders, 1u);
+    EXPECT_LT(sjf.stats(sjf_ids[1]).ttft_ms,
+              sjf.stats(sjf_ids[0]).ttft_ms);
+    // Scheduling is never a numerics decision: identical streams.
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        EXPECT_EQ(sjf.stats(sjf_ids[r]).generated,
+                  fifo.stats(fifo_ids[r]).generated)
+            << "request " << r;
+    }
 }
 
 // ------------------------------------------------------------ sampling --

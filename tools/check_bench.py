@@ -2,20 +2,30 @@
 """Bench-regression gate over BENCH_*.json snapshots.
 
 Compares a freshly produced bench JSON (typically a --quick run) against
-a baseline snapshot and fails when a metric dropped more than the
+a baseline snapshot and fails when a metric regressed more than the
 threshold. Entries are matched by a per-bench key, so quick runs — which
 measure a subset of the full config grid with the same workload — are
 compared apples-to-apples:
 
   bench_serving:        key (format, workload, batch)
                         metrics throughput_tok_s, decode_tok_s
+                        (higher is better); for shared-prefix workloads
+                        additionally ttft_p50_ms and kv_bytes_peak
+                        (LOWER is better — the prefix cache's wins)
   bench_kernels_engine: key (op, m, n, k) -> simd_gflops
                         key (api, format, mode) -> simd_gbps
+
+Every comparison is expressed as a *goodness ratio* (current/baseline
+for higher-is-better metrics, baseline/current for lower-is-better), so
+a ratio below the floor always means "got worse". kv_bytes_peak is a
+deterministic byte count, not a speed: it is flagged machine-
+independent, always judged against reference 1.0 (even in normalized
+mode) and excluded from the machine-speed medians.
 
 Two modes:
 
   --absolute            Same-machine gate: fail any metric whose
-                        current/baseline ratio is below 1 - threshold.
+                        goodness ratio is below 1 - threshold.
                         This is what CI uses — it benches the PR build
                         AND the merge-base build on the same runner, so
                         machine speed cancels exactly.
@@ -23,8 +33,8 @@ Two modes:
   normalized (default)  Cross-machine trajectory check against the
                         committed baselines (recorded on the dev box).
                         The machine-speed factor for each file pair is
-                        estimated as the median current/baseline ratio
-                        of the OTHER pairs (leave-one-pair-out), so a
+                        estimated as the median goodness ratio of the
+                        OTHER pairs (leave-one-pair-out), so a
                         regression confined to one subsystem cannot drag
                         its own reference down; with a single pair the
                         global median is used. A uniform machine-speed
@@ -48,8 +58,16 @@ import statistics
 import sys
 
 
+# Metrics where smaller numbers are better (latency, memory).
+LOWER_IS_BETTER = {"ttft_p50_ms", "kv_bytes_peak"}
+# Deterministic counts that do not scale with machine speed: judged
+# against reference 1.0 in every mode and excluded from the
+# machine-factor estimate.
+MACHINE_INDEPENDENT = {"kv_bytes_peak"}
+
+
 def serving_metrics(doc):
-    """Yield (key_str, metric_name, value) from a bench_serving doc."""
+    """Yield (key_str, metric, value, higher_is_better)."""
     # The uniform grid's workload parameters live at the document level;
     # fold them into the key so entries from different workloads can
     # never be compared against each other.
@@ -58,36 +76,57 @@ def serving_metrics(doc):
                                          wl.get("prompt_tokens", "?"),
                                          wl.get("new_tokens_per_request",
                                                 "?"))
-    for entry in doc.get("configs", []) + doc.get("mixed", []):
+    sp = doc.get("shared_prefix", {})
+    shared_tag = "r%ss%st%sn%s" % (sp.get("requests", "?"),
+                                   sp.get("shared_tokens", "?"),
+                                   sp.get("tail_tokens", "?"),
+                                   sp.get("new_tokens_per_request", "?"))
+    entries = (doc.get("configs", []) + doc.get("mixed", []) +
+               doc.get("shared", []))
+    for entry in entries:
         workload = entry.get("workload", "uniform")
+        is_shared = workload.startswith("shared-prefix")
         if workload == "uniform":
             workload = uniform_tag
+        elif is_shared:
+            # Same rule as the uniform grid: geometry lives at the
+            # document level, folded in so a future workload change can
+            # never compare kv_bytes_peak across different geometries.
+            workload = "%s %s" % (workload, shared_tag)
         key = "serving %s %s batch=%s" % (entry["format"], workload,
                                           entry["batch"])
         for metric in ("throughput_tok_s", "decode_tok_s"):
             if metric in entry:
-                yield key, metric, float(entry[metric])
+                yield key, metric, float(entry[metric]), True
+        if is_shared:
+            # The shared-prefix workload exists for its latency and
+            # memory wins; gate those directly (lower is better).
+            for metric in sorted(LOWER_IS_BETTER):
+                if metric in entry:
+                    yield key, metric, float(entry[metric]), False
 
 
 def kernels_metrics(doc):
-    """Yield (key_str, metric_name, value) from a kernels doc."""
+    """Yield (key_str, metric, value, higher_is_better)."""
     for entry in doc.get("gemm", []):
         key = "gemm %s %sx%sx%s" % (entry["op"], entry["m"], entry["n"],
                                     entry["k"])
-        yield key, "simd_gflops", float(entry["simd_gflops"])
+        yield key, "simd_gflops", float(entry["simd_gflops"]), True
     for entry in doc.get("quantize", []):
         key = "quantize %s %s %s" % (entry["api"], entry["format"],
                                      entry["mode"])
-        yield key, "simd_gbps", float(entry["simd_gbps"])
+        yield key, "simd_gbps", float(entry["simd_gbps"]), True
 
 
 def extract(doc):
     bench = doc.get("bench", "")
     if bench == "bench_serving":
-        return dict(((k, m), v) for k, m, v in serving_metrics(doc))
-    if bench == "bench_kernels_engine":
-        return dict(((k, m), v) for k, m, v in kernels_metrics(doc))
-    raise ValueError("unknown bench kind: %r" % bench)
+        gen = serving_metrics(doc)
+    elif bench == "bench_kernels_engine":
+        gen = kernels_metrics(doc)
+    else:
+        raise ValueError("unknown bench kind: %r" % bench)
+    return dict(((k, m), (v, hib)) for k, m, v, hib in gen)
 
 
 def load(path):
@@ -112,6 +151,7 @@ def main():
     args = ap.parse_args()
 
     # rows[pair_index] = list of (key, metric, current, baseline, ratio)
+    # where ratio is the goodness ratio (< 1 means worse).
     rows = []
     for pair in args.pair:
         if ":" not in pair:
@@ -136,10 +176,16 @@ def main():
             continue
         pair_rows = []
         for key in matched:
-            b = base[key]
-            if b <= 0.0:
+            c, hib = cur[key]
+            b, _ = base[key]
+            # Zero baselines can't be ratioed; a zero CURRENT value is
+            # only a division problem for lower-is-better metrics — a
+            # higher-is-better metric collapsing to zero must still
+            # produce ratio 0 and fail the gate.
+            if b <= 0.0 or (not hib and c <= 0.0):
                 continue
-            pair_rows.append((key[0], key[1], cur[key], b, cur[key] / b))
+            ratio = (c / b) if hib else (b / c)
+            pair_rows.append((key[0], key[1], c, b, ratio))
         rows.append(pair_rows)
 
     all_rows = [r for pair_rows in rows for r in pair_rows]
@@ -149,16 +195,20 @@ def main():
               "regenerated", file=sys.stderr)
         return
 
+    def speed_rows(pair_rows):
+        return [r for r in pair_rows if r[1] not in MACHINE_INDEPENDENT]
+
     def reference_for(pair_index):
         if args.absolute:
             return 1.0
+        # Leave-one-pair-out over speed-dependent metrics only: judge
+        # each file against the machine factor seen by the other files;
+        # lone pairs fall back to their own median.
         others = [r[4] for i, pair_rows in enumerate(rows)
-                  for r in pair_rows if i != pair_index]
-        # Leave-one-pair-out: judge each file against the machine
-        # factor seen by the other files; lone pairs fall back to their
-        # own median.
-        return statistics.median(others if others else
-                                 [r[4] for r in rows[pair_index]])
+                  for r in speed_rows(pair_rows) if i != pair_index]
+        own = [r[4] for r in speed_rows(rows[pair_index])]
+        pool = others if others else own
+        return statistics.median(pool) if pool else 1.0
 
     mode = "absolute" if args.absolute else "normalized (leave-one-out)"
     print("check_bench: %d metrics, %s mode, threshold %.0f%%" %
@@ -171,7 +221,10 @@ def main():
         # normalized run — only the PR-mode absolute comparison can
         # separate those. Surface the suspicion loudly instead of
         # silently passing.
-        global_median = statistics.median(r[4] for r in all_rows)
+        speed_ratios = [r[4] for r in all_rows
+                        if r[1] not in MACHINE_INDEPENDENT]
+        global_median = statistics.median(speed_ratios if speed_ratios
+                                          else [r[4] for r in all_rows])
         if global_median < 1.0 - args.threshold:
             print("check_bench: WARNING global median ratio %.3f is "
                   "below %.3f — either this machine is much slower "
@@ -182,9 +235,11 @@ def main():
 
     failures = []
     for pair_index, pair_rows in enumerate(rows):
-        reference = reference_for(pair_index)
-        floor = reference * (1.0 - args.threshold)
+        pair_reference = reference_for(pair_index)
         for key, metric, cur, base, ratio in pair_rows:
+            reference = (1.0 if metric in MACHINE_INDEPENDENT
+                         else pair_reference)
+            floor = reference * (1.0 - args.threshold)
             status = "ok"
             if ratio < floor:
                 status = "REGRESSION"
@@ -194,8 +249,8 @@ def main():
                   (key, metric, cur, base, ratio, floor, status))
 
     if failures:
-        print("check_bench: FAILED — %d metric(s) dropped more than "
-              "%.0f%% below their reference:" %
+        print("check_bench: FAILED — %d metric(s) regressed more than "
+              "%.0f%% past their reference:" %
               (len(failures), args.threshold * 100))
         for key, metric, ratio, reference in failures:
             print("  %s %s at %.1f%% of reference" %
