@@ -23,6 +23,17 @@
  * budgeted variant additionally caps the pool and reports admission
  * deferrals.
  *
+ * The bursty workload interleaves long low-priority and short
+ * high-priority requests as one burst against a tight KV budget and
+ * runs twice at the SAME budget: with optimistic over-admission +
+ * preempt-and-requeue ("bursty") and with PR4's reject-only admission
+ * ("bursty-reject"). Token streams are verified identical before any
+ * number is emitted — preemption restarts are bit-exact. The
+ * interesting metrics are throughput/occupancy (over-admission keeps
+ * the batch full), ttft_p99_ms (gated by tools/check_bench.py for
+ * these rows), preemptions/preempted_recompute_tokens (the price of
+ * optimism) and queue_wait_ms_p50/p99 (aging bounds the wait).
+ *
  * The shared-prefix workload is N requests carrying one common
  * 256-token system prompt plus distinct tails — the dominant heavy-
  * multi-user pattern. It runs twice, with the prefix cache on
@@ -72,6 +83,10 @@ struct RunResult
     size_t prefill_chunks = 0;
     size_t admission_deferred_steps = 0;
     size_t prefix_hit_tokens = 0;
+    size_t preemptions = 0;
+    size_t preempted_recompute_tokens = 0;
+    double queue_wait_ms_p50 = 0.0;
+    double queue_wait_ms_p99 = 0.0;
     double speedup_vs_batch1 = 0.0;
     std::vector<std::vector<int>> streams; ///< per-request tokens
 };
@@ -112,6 +127,35 @@ sharedPrefixWorkload(size_t requests, size_t shared_len, size_t tail_len,
                 static_cast<int>((41 + 7 * r + 5 * i) % 251));
         }
         reqs[r].max_new_tokens = new_tokens;
+        reqs[r].temperature = 0.0;
+    }
+    return reqs;
+}
+
+/**
+ * Bursty mixed-priority workload: interleaved long low-priority jobs
+ * (small prompt, long generation — worst-case reservations far above
+ * early live usage) and short high-priority jobs, all submitted as one
+ * burst against a tight KV budget. Reject-only admission (factor 1)
+ * idles slots on the pessimistic reservations; over-admission fills
+ * them and settles the occasional loss by preempt-and-requeue.
+ */
+std::vector<ServeRequest>
+burstyWorkload(size_t requests)
+{
+    std::vector<ServeRequest> reqs(requests);
+    for (size_t r = 0; r < requests; ++r) {
+        // Two long low-priority jobs per short high-priority one: the
+        // long tails carry the reservation slack over-admission bets
+        // on, the shorts carry the tail-latency story.
+        const bool lng = r % 3 != 2;
+        reqs[r].prompt.resize(8);
+        for (size_t i = 0; i < reqs[r].prompt.size(); ++i) {
+            reqs[r].prompt[i] =
+                static_cast<int>((17 + 9 * r + 5 * i) % 251);
+        }
+        reqs[r].max_new_tokens = lng ? 56 : 16;
+        reqs[r].priority = lng ? 0 : 4;
         reqs[r].temperature = 0.0;
     }
     return reqs;
@@ -172,6 +216,10 @@ runConfig(const Transformer &model, const std::string &format,
     res.prefill_chunks = es.prefill_chunks;
     res.admission_deferred_steps = es.admission_deferred_steps;
     res.prefix_hit_tokens = es.prefix_hit_tokens;
+    res.preemptions = es.preemptions;
+    res.preempted_recompute_tokens = es.preempted_recompute_tokens;
+    res.queue_wait_ms_p50 = es.queue_wait_ms_p50;
+    res.queue_wait_ms_p99 = es.queue_wait_ms_p99;
 
     std::vector<double> ttfts;
     std::vector<double> token_ms;
@@ -204,14 +252,17 @@ printResult(FILE *out, const RunResult &r, bool last)
         "\"mean_batch_occupancy\": %.2f, \"kv_bytes_peak\": %zu, "
         "\"kv_pages_peak\": %zu, \"kv_bytes_reserved_worst\": %zu, "
         "\"prefill_chunks\": %zu, \"admission_deferred_steps\": %zu, "
-        "\"prefix_hit_tokens\": %zu}%s\n",
+        "\"prefix_hit_tokens\": %zu, \"preemptions\": %zu, "
+        "\"preempted_recompute_tokens\": %zu, "
+        "\"queue_wait_ms_p50\": %.2f, \"queue_wait_ms_p99\": %.2f}%s\n",
         r.format.c_str(), r.workload.c_str(), r.batch,
         r.throughput_tok_s, r.decode_tok_s, r.speedup_vs_batch1,
         r.ttft_p50_ms, r.ttft_p99_ms, r.token_p50_ms, r.token_p99_ms,
         r.mean_batch_occupancy, r.kv_bytes_peak, r.kv_pages_peak,
         r.kv_bytes_reserved_worst, r.prefill_chunks,
-        r.admission_deferred_steps, r.prefix_hit_tokens,
-        last ? "" : ",");
+        r.admission_deferred_steps, r.prefix_hit_tokens, r.preemptions,
+        r.preempted_recompute_tokens, r.queue_wait_ms_p50,
+        r.queue_wait_ms_p99, last ? "" : ",");
 }
 
 } // namespace
@@ -291,6 +342,46 @@ main(int argc, char **argv)
                                   mixedWorkload(requests), capped));
     }
 
+    // Bursty mixed-priority workload at batch 8 under a tight budget:
+    // over-admission + preemption ("bursty") vs PR4's reject-only
+    // admission ("bursty-reject") over the SAME requests and budget.
+    // Token streams are verified identical — preempt-and-requeue is a
+    // scheduling decision, never a numerics decision — before any
+    // number is emitted. Quick mode keeps one format so the CI gate
+    // exercises the preemption path (and its ttft_p99 metric) on
+    // every PR.
+    std::vector<RunResult> bursty;
+    const std::vector<std::string> bursty_formats =
+        quick ? std::vector<std::string>{"MXFP4+"} : formats;
+    const size_t bursty_requests = 12;
+    const size_t bursty_budget_tokens = 256;
+    const double bursty_over_admission = 1.5;
+    const double bursty_aging_rate = 0.25;
+    for (const auto &fmt : bursty_formats) {
+        std::fprintf(stderr, "serving %s bursty...\n", fmt.c_str());
+        const auto reqs = burstyWorkload(bursty_requests);
+        EngineOptions opts;
+        opts.max_batch = 8;
+        opts.kv_budget_tokens = bursty_budget_tokens;
+        opts.aging_rate = bursty_aging_rate;
+        opts.over_admission = bursty_over_admission;
+        RunResult over = runConfig(model, fmt, "bursty", reqs, opts);
+        EngineOptions reject = opts;
+        reject.over_admission = 1.0;
+        RunResult rej =
+            runConfig(model, fmt, "bursty-reject", reqs, reject);
+        if (over.streams != rej.streams) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s bursty token streams "
+                         "diverge under over-admission — preemption "
+                         "must never change numerics\n",
+                         fmt.c_str());
+            return 1;
+        }
+        bursty.push_back(std::move(over));
+        bursty.push_back(std::move(rej));
+    }
+
     // Shared-prefix workload at batch 8: prefix cache on vs off over
     // the SAME requests, token streams verified bit-identical. Quick
     // mode keeps one format so the CI gate exercises the sharing path
@@ -355,6 +446,17 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"mixed\": [\n");
     for (size_t i = 0; i < mixed.size(); ++i)
         printResult(out, mixed[i], i + 1 == mixed.size());
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"bursty_workload\": {\"requests\": %zu, "
+                 "\"kv_budget_tokens\": %zu, \"over_admission\": %.1f, "
+                 "\"aging_rate\": %.2f, \"tokens_match_reject\": "
+                 "true},\n",
+                 bursty_requests, bursty_budget_tokens,
+                 bursty_over_admission, bursty_aging_rate);
+    std::fprintf(out, "  \"bursty\": [\n");
+    for (size_t i = 0; i < bursty.size(); ++i)
+        printResult(out, bursty[i], i + 1 == bursty.size());
     std::fprintf(out, "  ],\n");
     std::fprintf(out,
                  "  \"shared_prefix\": {\"requests\": %zu, "

@@ -318,6 +318,23 @@ KvCache::adoptSharedPage(const uint32_t *page_ids)
 }
 
 void
+KvCache::releaseForPreemption()
+{
+    for (size_t l = 0; l < n_layers_; ++l) {
+        MXPLUS_CHECK_MSG(appended_[l] == len_,
+                         "KvCache: preemption mid-step (uncommitted "
+                         "appends)");
+    }
+    for (auto &table : pages_) {
+        for (const uint32_t id : table)
+            pool_->release(id);
+        table.clear();
+    }
+    std::fill(appended_.begin(), appended_.end(), 0);
+    len_ = 0;
+}
+
+void
 KvCache::commit(size_t n_tokens)
 {
     for (size_t l = 0; l < n_layers_; ++l) {

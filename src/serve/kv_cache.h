@@ -180,6 +180,18 @@ class KvCache
     void commit(size_t n_tokens);
 
     /**
+     * Preemption: drop every page reference and reset the cache to an
+     * empty, reusable state, as if freshly constructed. Pages this
+     * cache owned exclusively return to the pool immediately; pages
+     * the engine's prefix index (or another request) also references
+     * survive through those owners — which is exactly what makes a
+     * preempted request cheap to restart, its published prompt pages
+     * staying resident for re-adoption. Only legal between committed
+     * steps (no layer may hold uncommitted appends).
+     */
+    void releaseForPreemption();
+
+    /**
      * Map one frozen, shared page per layer at the cache's current end
      * (which must be page-aligned and fully committed), taking a
      * reference on each page. The pages must hold exactly the K/V this

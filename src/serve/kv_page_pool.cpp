@@ -27,6 +27,15 @@ KvPagePool::usedPages() const
 }
 
 size_t
+KvPagePool::freePages() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_pages_ == 0)
+        return SIZE_MAX;
+    return max_pages_ - used_;
+}
+
+size_t
 KvPagePool::allocatedPages() const
 {
     std::lock_guard<std::mutex> lock(mu_);

@@ -71,6 +71,13 @@ class KvPagePool
 
     /** Physical pages currently referenced by at least one owner. */
     size_t usedPages() const;
+    /**
+     * Pages acquire() could still hand out (bounded pools only;
+     * unbounded pools report SIZE_MAX). The scheduler's preemption
+     * path checks this BEFORE a compute step acquires, so exhaustion
+     * is handled between steps — never as a partial mid-append state.
+     */
+    size_t freePages() const;
     /** Resident bytes of live pages (used, not reserved). */
     size_t usedBytes() const { return usedPages() * pageBytes(); }
     /** Slabs ever materialized (high-water mark; shows free-list reuse). */

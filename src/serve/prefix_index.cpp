@@ -157,14 +157,15 @@ PrefixIndex::evictOne()
     return true;
 }
 
-void
+bool
 PrefixIndex::clear()
 {
     while (evictOne()) {
     }
-    MXPLUS_CHECK_MSG(node_count_ == 0,
-                     "PrefixIndex::clear with pinned spans (active "
-                     "requests still depend on them)");
+    // Spans a pinned path depends on are not evictable; they drain
+    // once their requests unpin (retire or get preempted), and a
+    // second clear() then finishes the job.
+    return node_count_ == 0;
 }
 
 } // namespace mxplus

@@ -121,10 +121,15 @@ class PrefixIndex
     bool evictOne();
 
     /**
-     * Evict every span (requires no pins — i.e. no active requests);
-     * pool usage drops by heldPages().
+     * Evict every unpinned span; pool usage drops by the evicted
+     * pages. Paths pinned by active requests survive — clearing must
+     * never free state someone still maps. Returns true when the
+     * index is empty afterwards (always, when nothing is pinned).
      */
-    void clear();
+    bool clear();
+
+    /** Pin count of @p node (tests/debugging). */
+    static size_t pins(const Node *node) { return node->pins; }
 
   private:
     Node *lruEvictableLeaf(Node *node) const;

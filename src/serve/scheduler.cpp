@@ -1,0 +1,136 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts)
+{
+    MXPLUS_CHECK_MSG(opts_.over_admission >= 1.0,
+                     "Scheduler: over_admission must be >= 1");
+    MXPLUS_CHECK_MSG(opts_.aging_rate >= 0.0,
+                     "Scheduler: aging_rate must be >= 0");
+    if (opts_.budget_pages > 0) {
+        // Round down — the window is a promise about reservations, and
+        // promising a fraction of a page would promise nothing — but
+        // shield exact-integer products from binary-representation
+        // error (1.4 * 45 is 62.999... in double, not 63).
+        window_pages_ = static_cast<size_t>(
+            opts_.over_admission *
+                static_cast<double>(opts_.budget_pages) +
+            1e-9);
+        MXPLUS_CHECK(window_pages_ >= opts_.budget_pages);
+    }
+}
+
+void
+Scheduler::enqueue(size_t id, int priority, size_t cost_tokens,
+                   double enqueue_ms)
+{
+    enqueuePreempted(id, priority, cost_tokens, enqueue_ms, step_);
+}
+
+void
+Scheduler::enqueuePreempted(size_t id, int priority, size_t cost_tokens,
+                            double enqueue_ms, uint64_t aging_step)
+{
+    Entry e;
+    e.key = agedKey(priority, aging_step);
+    e.cost_tokens = cost_tokens;
+    e.seq = next_seq_++;
+    e.id = id;
+    e.priority = priority;
+    e.enqueue_ms = enqueue_ms;
+    e.aging_step = aging_step;
+    e.sjf = opts_.sjf;
+    live_seqs_.insert(e.seq);
+    queue_.insert(e);
+}
+
+const Scheduler::Entry &
+Scheduler::best() const
+{
+    MXPLUS_CHECK_MSG(!queue_.empty(), "Scheduler: no queued request");
+    return *queue_.begin();
+}
+
+size_t
+Scheduler::peekCandidate() const
+{
+    return best().id;
+}
+
+bool
+Scheduler::candidateBypassesFifo() const
+{
+    return best().seq != *live_seqs_.begin();
+}
+
+double
+Scheduler::candidateWaitMs(double now_ms) const
+{
+    return std::max(0.0, now_ms - best().enqueue_ms);
+}
+
+uint64_t
+Scheduler::candidateAgingStep() const
+{
+    return best().aging_step;
+}
+
+void
+Scheduler::popCandidate()
+{
+    const Entry &e = best();
+    live_seqs_.erase(e.seq);
+    queue_.erase(queue_.begin());
+}
+
+bool
+Scheduler::withinWindow(size_t need_pages, size_t held_pages) const
+{
+    if (opts_.budget_pages == 0)
+        return true;
+    return reserved_pages_ + need_pages + held_pages <= window_pages_;
+}
+
+void
+Scheduler::reserve(size_t pages)
+{
+    reserved_pages_ += pages;
+}
+
+void
+Scheduler::release(size_t pages)
+{
+    MXPLUS_CHECK(reserved_pages_ >= pages);
+    reserved_pages_ -= pages;
+}
+
+size_t
+Scheduler::pickVictim(const std::vector<VictimCandidate> &candidates)
+{
+    MXPLUS_CHECK_MSG(!candidates.empty(),
+                     "Scheduler: no preemption candidates");
+    const VictimCandidate *best = &candidates.front();
+    for (const VictimCandidate &c : candidates) {
+        if (c.effective_priority != best->effective_priority) {
+            if (c.effective_priority < best->effective_priority)
+                best = &c;
+            continue;
+        }
+        if (c.recompute_tokens != best->recompute_tokens) {
+            if (c.recompute_tokens < best->recompute_tokens)
+                best = &c;
+            continue;
+        }
+        if (c.admit_seq > best->admit_seq)
+            best = &c;
+    }
+    return best->slot;
+}
+
+} // namespace mxplus

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Scheduler: the POLICY half of the serving layer. It owns every
+ * decision about *which* request runs — the priority queue with aging,
+ * the token-budget reservation ledger with its optimistic
+ * over-admission window, and victim selection for preemption — while
+ * ServingEngine stays the MECHANISM half that executes those decisions
+ * (prefill quanta, batched decode, sampling, stats) against the model
+ * and the page pool.
+ *
+ * Queue policy. Every queued request carries a base priority (higher =
+ * more urgent) that AGES at `aging_rate` points per scheduler step, so
+ * a low-priority job waiting under a stream of fresh high-priority
+ * short jobs eventually outranks them: after
+ * `(prio_hi - prio_lo) / aging_rate` steps of waiting it beats any
+ * newer submission, which bounds the maximum queue wait. Because every
+ * entry ages at the same rate, the relative order of two entries never
+ * changes over time — the effective priority
+ * `priority + aging_rate * (now_step - enqueue_step)` compares
+ * identically to the STATIC key `priority - aging_rate * enqueue_step`
+ * — so the queue is an ordered set with O(log n) admission instead of
+ * the O(n) scan-per-admit (O(n²) per burst) the pre-scheduler engine
+ * did. Ties break shortest-job-first when `sjf` is set (subsuming the
+ * old `sjf_admission` knob), submission order otherwise.
+ *
+ * Budget policy. Admission reserves a request's worst-case unshared
+ * page demand against the budget, exactly as before — but the window
+ * those reservations must fit is `over_admission * budget` pages
+ * instead of the budget itself. With a factor above 1 the scheduler
+ * knowingly admits more worst-case demand than the pool can hold,
+ * betting that live usage (which grows one page at a time and ends
+ * early for short requests) stays under the physical cap; when the bet
+ * fails — KvPagePool::acquire() would return kNoPage — the engine asks
+ * this class for a preemption victim instead of dying.
+ *
+ * Victim policy (pickVictim): lowest base priority first, then the
+ * request that is cheapest to recompute (fewest tokens not covered by
+ * retained prefix-cache spans — a preempted request re-adopts its
+ * published pages from the trie, so only the uncovered tail costs
+ * compute again), then the most recently admitted (LIFO, so old work
+ * is preserved). Preemption is RESTART: the victim's token stream is
+ * regenerated from its prompt on re-admission, which reproduces the
+ * identical tokens in every format because prefill is chunk-invariant,
+ * decode rows are batch-invariant, and each request samples from its
+ * own deterministic Rng (see serving_engine.h).
+ *
+ * The scheduler never touches the pool, the prefix index, the model or
+ * any KvCache — it is plain bookkeeping over ids and page counts, and
+ * is trivially unit-testable (tests/test_scheduler.cpp).
+ */
+
+#ifndef MXPLUS_SERVE_SCHEDULER_H
+#define MXPLUS_SERVE_SCHEDULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace mxplus {
+
+/** Policy knobs of the scheduler (the engine forwards EngineOptions). */
+struct SchedulerOptions
+{
+    /** Page budget reservations are charged against (0 = unbounded). */
+    size_t budget_pages = 0;
+    /**
+     * Admission window as a multiple of the budget (>= 1). 1 is the
+     * conservative reject-only policy; above 1 admits optimistically
+     * and relies on preemption when the pool actually runs dry.
+     */
+    double over_admission = 1.0;
+    /** Queue-priority points gained per scheduler step of waiting. */
+    double aging_rate = 0.0;
+    /** Break effective-priority ties shortest-job-first, not FIFO. */
+    bool sjf = false;
+};
+
+/** Priority/aging queue + budget ledger + preemption policy. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerOptions opts);
+
+    /** Advance the aging clock (once per engine step). */
+    void beginStep() { ++step_; }
+    uint64_t currentStep() const { return step_; }
+
+    // ------------------------------------------------------------ queue --
+
+    /**
+     * Queue a request. @p cost_tokens is its total token demand
+     * (prompt + max_new_tokens, the SJF key); @p enqueue_ms feeds the
+     * queue-wait statistics. A PREEMPTED request re-enters here with
+     * @p aging_step set to its original enqueue step so it keeps the
+     * aging credit it accrued — re-aging from zero after every
+     * preemption could starve an unlucky request forever.
+     */
+    void enqueue(size_t id, int priority, size_t cost_tokens,
+                 double enqueue_ms);
+    void enqueuePreempted(size_t id, int priority, size_t cost_tokens,
+                          double enqueue_ms, uint64_t aging_step);
+
+    bool hasQueued() const { return !queue_.empty(); }
+    size_t queuedRequests() const { return queue_.size(); }
+
+    /** Id of the best queued request (highest effective priority). */
+    size_t peekCandidate() const;
+    /** True if the current best candidate is not the oldest queued
+        entry — the admission would bypass FIFO order. */
+    bool candidateBypassesFifo() const;
+    /** Queue wait of the current best candidate as of @p now_ms. */
+    double candidateWaitMs(double now_ms) const;
+    /** Aging stamp the candidate would carry into a later requeue. */
+    uint64_t candidateAgingStep() const;
+    /** Remove the best candidate (admitted or rejected). */
+    void popCandidate();
+
+    // -------------------------------------------------- budget ledger --
+
+    size_t budgetPages() const { return opts_.budget_pages; }
+    /** Reservation window in pages (over_admission * budget). */
+    size_t windowPages() const { return window_pages_; }
+    size_t reservedPages() const { return reserved_pages_; }
+
+    /**
+     * Would admitting @p need_pages more reserved pages — on top of
+     * current reservations and @p held_pages of retained prefix spans
+     * — stay inside the over-admission window? Always true when the
+     * budget is unbounded.
+     */
+    bool withinWindow(size_t need_pages, size_t held_pages) const;
+
+    /** Charge an admitted request's unshared reservation. */
+    void reserve(size_t pages);
+    /** Return reservation pages (request retired or preempted). */
+    void release(size_t pages);
+
+    // --------------------------------------------- preemption policy --
+
+    /**
+     * The aged static priority key of a request: compares identically
+     * to `priority + aging_rate * steps_waited` (see file header).
+     * Admission ordering AND victim shielding both use it, so the
+     * no-starvation guarantee survives preemption: a request admitted
+     * on aging credit out-keys every newer higher-priority arrival
+     * and therefore cannot be churned back out by their prefills.
+     */
+    double
+    agedKey(int priority, uint64_t aging_step) const
+    {
+        return static_cast<double>(priority) -
+            opts_.aging_rate * static_cast<double>(aging_step);
+    }
+
+    /** What the engine knows about one preemptable active slot. */
+    struct VictimCandidate
+    {
+        size_t slot = 0; ///< engine-side handle (returned verbatim)
+        /** Aged priority key (agedKey); lower = preempted first. */
+        double effective_priority = 0.0;
+        /** Tokens of cache state NOT covered by retained prefix spans
+            — the compute a preemption actually throws away. */
+        size_t recompute_tokens = 0;
+        /** Admission recency; larger = admitted later. */
+        uint64_t admit_seq = 0;
+    };
+
+    /**
+     * Pick the victim: lowest effective priority, then fewest
+     * recompute tokens (prefix-cache coverage makes a request cheap
+     * to restart), then latest admission. @p candidates must be
+     * non-empty; returns the chosen candidate's `slot` field.
+     */
+    static size_t pickVictim(const std::vector<VictimCandidate> &candidates);
+
+  private:
+    struct Entry
+    {
+        /** Static ordering key: priority - aging_rate * enqueue_step
+            (compares like aged effective priority; see file header). */
+        double key = 0.0;
+        size_t cost_tokens = 0;
+        uint64_t seq = 0; ///< submission order (FIFO tie-break)
+        size_t id = 0;
+        int priority = 0;
+        double enqueue_ms = 0.0;
+        uint64_t aging_step = 0;
+        bool sjf = false;
+
+        bool operator<(const Entry &o) const
+        {
+            if (key != o.key)
+                return key > o.key; // higher effective priority first
+            if (sjf && cost_tokens != o.cost_tokens)
+                return cost_tokens < o.cost_tokens;
+            return seq < o.seq;
+        }
+    };
+
+    const Entry &best() const;
+
+    SchedulerOptions opts_;
+    size_t window_pages_ = 0;
+    size_t reserved_pages_ = 0;
+    uint64_t step_ = 0;
+    uint64_t next_seq_ = 0;
+    std::set<Entry> queue_;        ///< ordered by (key, tie-break)
+    std::set<uint64_t> live_seqs_; ///< queued seqs (FIFO-bypass check)
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_SERVE_SCHEDULER_H

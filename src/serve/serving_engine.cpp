@@ -61,7 +61,9 @@ ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
     // retained spans, which admission + span eviction can never exceed.
     // A bounded pool preallocates its slab-pointer table, which is what
     // makes lock-free pageData() safe under the OpenMP-parallel decode
-    // appends (see kv_page_pool.h).
+    // appends (see kv_page_pool.h). Over-admission does NOT widen the
+    // physical pool — only the reservation window — so the bet it
+    // makes is settled by preemption, never by extra memory.
     const size_t prefix_pages =
         sharing ? (opts_.prefix_cache_tokens + pt - 1) / pt : 0;
     const size_t hard_cap =
@@ -74,6 +76,12 @@ ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
         prefix_ = std::make_unique<PrefixIndex>(pool_, cfg.n_layers,
                                                 opts_.prefix_cache_tokens);
     }
+    SchedulerOptions sched;
+    sched.budget_pages = budget_pages_;
+    sched.over_admission = opts_.over_admission;
+    sched.aging_rate = opts_.aging_rate;
+    sched.sjf = opts_.sjf_admission;
+    scheduler_ = std::make_unique<Scheduler>(sched);
 }
 
 ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
@@ -117,7 +125,11 @@ ServingEngine::submit(ServeRequest req)
     rs.prompt_tokens = req.prompt.size();
     stats_.push_back(std::move(rs));
     pending_.push_back(std::move(req));
-    queue_.push_back(id);
+    prefix_hit_counted_.push_back(0);
+    const ServeRequest &stored = pending_.back();
+    scheduler_->enqueue(id, stored.priority,
+                        stored.prompt.size() + stored.max_new_tokens,
+                        nowMs());
     return id;
 }
 
@@ -136,33 +148,19 @@ ServingEngine::pickToken(Slot &slot, const float *logits) const
                               slot.rng);
 }
 
-size_t
-ServingEngine::pickCandidate() const
-{
-    if (!opts_.sjf_admission)
-        return 0;
-    // Shortest total demand first; FIFO breaks ties, so equal-length
-    // requests keep their submission order.
-    size_t best = 0;
-    size_t best_cost = SIZE_MAX;
-    for (size_t i = 0; i < queue_.size(); ++i) {
-        const ServeRequest &req = pending_[queue_[i]];
-        const size_t cost = req.prompt.size() + req.max_new_tokens;
-        if (cost < best_cost) {
-            best_cost = cost;
-            best = i;
-        }
-    }
-    return best;
-}
-
 void
-ServingEngine::admitSlot(size_t queue_idx, PrefixIndex::Node *matched_node,
-                         size_t matched_pages, size_t need_pages)
+ServingEngine::admitCandidate(PrefixIndex::Node *matched_node,
+                              size_t matched_pages, size_t need_pages)
 {
-    const size_t id = queue_[queue_idx];
-    queue_.erase(queue_.begin() + static_cast<long>(queue_idx));
+    const double now = nowMs();
+    const size_t id = scheduler_->peekCandidate();
+    const double wait = scheduler_->candidateWaitMs(now);
+    const uint64_t aging_step = scheduler_->candidateAgingStep();
+    scheduler_->popCandidate();
     const ServeRequest &req = pending_[id];
+
+    queue_wait_samples_.push_back(wait);
+    stats_[id].queue_wait_ms += wait;
 
     auto slot = std::make_unique<Slot>(
         id, req,
@@ -171,12 +169,14 @@ ServingEngine::admitSlot(size_t queue_idx, PrefixIndex::Node *matched_node,
         Rng(req.seed));
     slot->reserved_pages = need_pages;
     slot->context = req.prompt;
+    slot->admit_seq = next_admit_seq_++;
+    slot->aging_step = aging_step;
     // The caller's pin on the matched span transfers to the slot: the
     // path stays unevictable until retirement, so the tail-only
     // reservation below stays sufficient.
     slot->pinned = matched_node;
     slot->uncharged_pages = matched_pages;
-    reserved_pages_ += need_pages;
+    scheduler_->reserve(need_pages);
     active_.push_back(std::move(slot));
 }
 
@@ -184,10 +184,9 @@ void
 ServingEngine::creditReservation(Slot &slot)
 {
     const size_t layers = model_.config().n_layers;
-    MXPLUS_CHECK(slot.reserved_pages >= layers &&
-                 reserved_pages_ >= layers);
+    MXPLUS_CHECK(slot.reserved_pages >= layers);
     slot.reserved_pages -= layers;
-    reserved_pages_ -= layers;
+    scheduler_->release(layers);
     slot.uncharged_pages += 1;
 }
 
@@ -200,6 +199,16 @@ ServingEngine::movePin(Slot &slot, PrefixIndex::Node *node)
     if (slot.pinned != nullptr)
         prefix_->unpin(slot.pinned);
     slot.pinned = node;
+}
+
+ServingEngine::Slot *
+ServingEngine::findSlot(size_t id)
+{
+    for (auto &sp : active_) {
+        if (sp->id == id)
+            return sp.get();
+    }
+    return nullptr;
 }
 
 bool
@@ -243,8 +252,8 @@ ServingEngine::adoptShared(Slot &slot)
     }
     if (adopted) {
         movePin(slot, slot.path_node);
-        if (!slot.counted_hit) {
-            slot.counted_hit = true;
+        if (!prefix_hit_counted_[slot.id]) {
+            prefix_hit_counted_[slot.id] = 1;
             engine_stats_.prefix_hit_requests += 1;
         }
     }
@@ -292,14 +301,9 @@ ServingEngine::registerFrozenPages(Slot &slot)
         movePin(slot, slot.path_node);
 }
 
-void
-ServingEngine::prefillQuantum(Slot &slot)
+size_t
+ServingEngine::nextChunkTokens(const Slot &slot) const
 {
-    // Mapping shared pages replaces this step's compute chunk: the
-    // quantum still makes page-sized progress, but as a cache hit.
-    if (prefix_ != nullptr && adoptShared(slot))
-        return;
-
     const std::vector<int> &prompt = slot.req.prompt;
     const size_t remaining = prompt.size() - slot.prefill_pos;
     size_t chunk = opts_.prefill_chunk == 0
@@ -316,6 +320,128 @@ ServingEngine::prefillQuantum(Slot &slot)
         chunk = std::min(prompt.size(), ((end + pt - 1) / pt) * pt) -
             slot.prefill_pos;
     }
+    return chunk;
+}
+
+void
+ServingEngine::preemptSlot(size_t slot_index)
+{
+    Slot &slot = *active_[slot_index];
+    RequestStats &rs = stats_[slot.id];
+    const size_t pt = pool_->pageTokens();
+    // The recompute bill: every cached token not covered by the trie
+    // path. The covered head stays resident in the prefix index (the
+    // spans hold their own pool references) and is re-adopted for free
+    // at re-admission — unless budget pressure evicts it first.
+    const size_t covered =
+        std::min(slot.cache.length(), slot.path_depth * pt);
+    engine_stats_.preemptions += 1;
+    engine_stats_.preempted_recompute_tokens +=
+        slot.cache.length() - covered;
+    rs.preemptions += 1;
+
+    // Restart semantics: discard generated state and regenerate it on
+    // re-admission. The regenerated stream is bit-identical (prefill
+    // chunk-invariance + batch-invariant decode rows + the per-request
+    // Rng reset with the slot), so nothing observable changes except
+    // who pays the recompute. TTFT keeps its first stamp.
+    rs.generated.clear();
+    rs.token_ms.clear();
+    rs.shared_prompt_tokens = 0;
+
+    scheduler_->release(slot.reserved_pages);
+    if (slot.pinned != nullptr) {
+        prefix_->unpin(slot.pinned);
+        slot.pinned = nullptr;
+    }
+    slot.cache.releaseForPreemption();
+    // Requeue with the original enqueue step: the aging credit earned
+    // so far survives preemption, so a repeatedly-preempted request
+    // climbs the queue instead of starving.
+    scheduler_->enqueuePreempted(
+        slot.id, slot.req.priority,
+        slot.req.prompt.size() + slot.req.max_new_tokens, nowMs(),
+        slot.aging_step);
+    active_.erase(active_.begin() + static_cast<long>(slot_index));
+}
+
+bool
+ServingEngine::preemptVictim(bool blind, double below_key)
+{
+    const size_t pt = pool_->pageTokens();
+    const size_t layers = model_.config().n_layers;
+    // Only slots that hold pages EXCLUSIVELY make useful victims —
+    // preempting a freshly admitted, still-empty slot, or one whose
+    // pages are all shared with the prefix index, frees no physical
+    // page and just churns the queue (and their ~0-token recompute
+    // cost would make the victim policy PREFER them). Pages past the
+    // trie path are private by construction, so the exclusive count
+    // is heldPages() minus the covered path. Fall back to the full
+    // eligible set when nobody qualifies: then the pressure comes
+    // from spans the pinned paths protect, and preempting their
+    // owners unpins them for the caller's evictOne() loop.
+    std::vector<Scheduler::VictimCandidate> cands;
+    cands.reserve(active_.size());
+    for (int exclusive_only = 1; exclusive_only >= 0 && cands.empty();
+         --exclusive_only) {
+        for (size_t i = 0; i < active_.size(); ++i) {
+            const Slot &s = *active_[i];
+            // Shield by the AGED key, not the base priority: a slot
+            // admitted on aging credit must out-key newer
+            // higher-priority arrivals here exactly as it did in the
+            // queue, or sustained load would churn it admit/preempt
+            // forever and void the starvation bound.
+            const double key =
+                scheduler_->agedKey(s.req.priority, s.aging_step);
+            if (!blind && key >= below_key)
+                continue;
+            const size_t held = s.cache.heldPages();
+            const size_t shared =
+                std::min(held, s.path_depth * layers);
+            if (exclusive_only == 1 && held == shared)
+                continue;
+            Scheduler::VictimCandidate c;
+            c.slot = i;
+            c.effective_priority = key;
+            const size_t covered =
+                std::min(s.cache.length(), s.path_depth * pt);
+            c.recompute_tokens = s.cache.length() - covered;
+            c.admit_seq = s.admit_seq;
+            cands.push_back(c);
+        }
+    }
+    if (cands.empty())
+        return false;
+    preemptSlot(Scheduler::pickVictim(cands));
+    return true;
+}
+
+bool
+ServingEngine::ensureFreePages(size_t needed, double requester_key)
+{
+    // freePages() is SIZE_MAX for unbounded pools, so the loop only
+    // ever runs under a real budget. Eviction of unpinned cached spans
+    // is always preferred over preemption — spans cost nothing to drop
+    // (their state is a pure cache), preemption costs recompute. A
+    // prefill quantum may only preempt victims of STRICTLY LOWER
+    // priority: letting it take pages from peers or betters would be
+    // priority inversion and mutual-preemption churn — it defers (keeps
+    // its pages, skips the step) instead, and the no-progress fallback
+    // in step() breaks the rare logjam where everyone defers.
+    while (pool_->freePages() < needed) {
+        if (prefix_ != nullptr && prefix_->evictOne())
+            continue;
+        if (!preemptVictim(/*blind=*/false, requester_key))
+            return false;
+    }
+    return true;
+}
+
+void
+ServingEngine::prefillQuantum(Slot &slot)
+{
+    const std::vector<int> &prompt = slot.req.prompt;
+    const size_t chunk = nextChunkTokens(slot);
     const std::vector<int> piece(
         prompt.begin() + static_cast<long>(slot.prefill_pos),
         prompt.begin() + static_cast<long>(slot.prefill_pos + chunk));
@@ -330,7 +456,10 @@ ServingEngine::prefillQuantum(Slot &slot)
         slot.last_token =
             pickToken(slot, logits.row(logits.rows() - 1));
         RequestStats &rs = stats_[slot.id];
-        rs.ttft_ms = nowMs() - start_ms_;
+        // A restarted request regenerates the same first token; its
+        // TTFT stays the moment the token was first produced.
+        if (rs.ttft_ms == 0.0)
+            rs.ttft_ms = nowMs() - start_ms_;
         rs.generated.push_back(slot.last_token);
         slot.context.push_back(slot.last_token);
     }
@@ -350,7 +479,7 @@ ServingEngine::retireFinished()
             slot.cache.length() >= model_.config().max_seq;
         if (count_done || seq_full) {
             finalize(rs);
-            reserved_pages_ -= slot.reserved_pages;
+            scheduler_->release(slot.reserved_pages);
             if (slot.pinned != nullptr)
                 prefix_->unpin(slot.pinned);
             // Destroying the slot's cache drops one reference per
@@ -399,7 +528,8 @@ ServingEngine::clearPrefixCache()
         return;
     MXPLUS_CHECK_MSG(active_.empty(),
                      "clearPrefixCache with active requests");
-    prefix_->clear();
+    // No active requests means no pins, so the clear is always total.
+    MXPLUS_CHECK(prefix_->clear());
     engine_stats_.prefix_evicted_pages =
         prefix_->evictedNodes() * model_.config().n_layers;
 }
@@ -409,18 +539,21 @@ ServingEngine::step()
 {
     if (start_ms_ < 0.0)
         start_ms_ = nowMs();
+    scheduler_->beginStep();
 
-    // Admission: while a slot is free, pick the next candidate (FIFO or
-    // shortest-job-first), match its prompt against the prefix cache,
-    // and charge the budget only for the unshared remainder. The
-    // reservation covers the request's whole lifetime, so the shared
-    // pool can never be exhausted by the decode loop below; cached
-    // spans nobody maps are evicted LRU-first to make room.
+    // Admission: while a slot is free, take the scheduler's best
+    // candidate (priority + aging, SJF or FIFO ties), match its prompt
+    // against the prefix cache, and charge the admission window for
+    // the unshared remainder. With over_admission == 1 the window is
+    // the budget and reservations keep the decode loop out of the
+    // pool-exhausted branch entirely; above 1 the scheduler knowingly
+    // over-commits and the prefill/decode pre-checks below settle the
+    // bet by preemption. Cached spans nobody maps are evicted
+    // LRU-first to make room.
     bool budget_deferred = false;
     const size_t layers = model_.config().n_layers;
-    while (active_.size() < opts_.max_batch && !queue_.empty()) {
-        const size_t qidx = pickCandidate();
-        const size_t id = queue_[qidx];
+    while (active_.size() < opts_.max_batch && scheduler_->hasQueued()) {
+        const size_t id = scheduler_->peekCandidate();
         const ServeRequest &req = pending_[id];
 
         const size_t total_pages = pagesPerLayerFor(req) * layers;
@@ -429,14 +562,13 @@ ServingEngine::step()
             // (shared span pages, which must stay mapped, plus the
             // private tail) is its full page count — a request bigger
             // than the whole budget can never run, no matter what the
-            // prefix cache holds, so reject deterministically and
-            // gracefully (the PR3 engine aborted the process here;
-            // deferring instead would spin forever).
+            // prefix cache holds or how optimistic the window is, so
+            // reject deterministically and gracefully.
             RequestStats &rs = stats_[id];
             rs.finished = true;
             rs.rejected = true;
             engine_stats_.rejected_requests += 1;
-            queue_.erase(queue_.begin() + static_cast<long>(qidx));
+            scheduler_->popCandidate();
             continue;
         }
 
@@ -452,28 +584,27 @@ ServingEngine::step()
         const size_t need = total_pages - matched * layers;
 
         // One predicate decides both when to keep evicting spans and
-        // when to give up and defer: everything resident or reserved —
+        // when to give up and defer: everything reserved or resident —
         // admitted reservations, cached span pages, this request's
-        // unshared tail — must fit the budget.
-        const auto over_budget = [&] {
-            return reserved_pages_ + need +
-                (prefix_ != nullptr ? prefix_->heldPages() : 0) >
-                budget_pages_;
+        // unshared tail — must fit the scheduler's admission window.
+        const auto within = [&] {
+            return scheduler_->withinWindow(
+                need, prefix_ != nullptr ? prefix_->heldPages() : 0);
         };
         if (budget_pages_ > 0) {
-            while (over_budget() && prefix_ != nullptr &&
+            while (!within() && prefix_ != nullptr &&
                    prefix_->evictOne()) {
             }
-            if (over_budget()) {
+            if (!within()) {
                 if (node != nullptr)
                     prefix_->unpin(node);
                 budget_deferred = true;
                 break;
             }
         }
-        if (qidx != 0)
+        if (scheduler_->candidateBypassesFifo())
             engine_stats_.sjf_reorders += 1;
-        admitSlot(qidx, node, matched, need);
+        admitCandidate(node, matched, need);
     }
     if (budget_deferred)
         engine_stats_.admission_deferred_steps += 1;
@@ -483,13 +614,39 @@ ServingEngine::step()
     // tokens instead of by the longest queued prompt, while prompts
     // that fit one chunk prefill immediately. Slots run in admission
     // order, so a page one slot computes (and publishes) this step is
-    // already adoptable by the slots after it.
+    // already adoptable by the slots after it. Over-admission means a
+    // computed chunk's pages may not exist: each quantum first makes
+    // sure the pool can supply them, evicting spans and preempting
+    // strictly-lower-priority victims if not, deferring otherwise.
+    // The findSlot lookup guards against the current slot having been
+    // preempted while an EARLIER quantum in this same loop made room.
+    std::vector<size_t> slot_ids;
+    slot_ids.reserve(active_.size());
+    for (const auto &sp : active_)
+        slot_ids.push_back(sp->id);
     bool prefilled = false;
-    for (auto &sp : active_) {
-        if (sp->prefilling) {
-            prefillQuantum(*sp);
+    const size_t pt = pool_->pageTokens();
+    for (const size_t id : slot_ids) {
+        Slot *slot = findSlot(id); // preemption may have erased it
+        if (slot == nullptr || !slot->prefilling)
+            continue;
+        // Mapping shared pages replaces this step's compute chunk: the
+        // quantum still makes page-sized progress, but as a cache hit
+        // — and adoption takes references on existing pages, so it can
+        // never exhaust the pool.
+        if (prefix_ != nullptr && adoptShared(*slot)) {
             prefilled = true;
+            continue;
         }
+        const size_t end = slot->prefill_pos + nextChunkTokens(*slot);
+        const size_t new_pages =
+            ((end + pt - 1) / pt - slot->cache.pageCount(0)) * layers;
+        if (!ensureFreePages(new_pages,
+                             scheduler_->agedKey(slot->req.priority,
+                                                 slot->aging_step)))
+            continue; // defer: no lower-priority victim to take from
+        prefillQuantum(*slot);
+        prefilled = true;
     }
     if (prefilled)
         samplePoolPeak();
@@ -499,11 +656,34 @@ ServingEngine::step()
     retireFinished();
 
     // Evictions happen on several paths (admission headroom, capacity
-    // pressure inside span publication); the index's counter is the
-    // single source of truth.
+    // pressure inside span publication, preemption headroom); the
+    // index's counter is the single source of truth.
     if (prefix_ != nullptr) {
         engine_stats_.prefix_evicted_pages =
             prefix_->evictedNodes() * layers;
+    }
+
+    // Decode pre-check: a slot whose length sits on a page boundary
+    // acquires one fresh page per layer this step. Under over-admission
+    // the pool may not have them — evict spans, then preempt victims
+    // of ANY priority (a preempted victim may itself be one of the
+    // decoders, shrinking the requirement) until the whole batched
+    // step fits: decode progress is what retires requests and frees
+    // pages, so it must never stall. The appends inside
+    // decodeStepBatch then never see kNoPage.
+    if (budget_pages_ > 0) {
+        while (true) {
+            size_t needed = 0;
+            for (const auto &sp : active_) {
+                if (!sp->prefilling && sp->cache.length() % pt == 0)
+                    needed += layers;
+            }
+            if (needed == 0 || pool_->freePages() >= needed)
+                break;
+            if (prefix_ != nullptr && prefix_->evictOne())
+                continue;
+            MXPLUS_CHECK(preemptVictim(/*blind=*/true, 0));
+        }
     }
 
     std::vector<Slot *> decoding;
@@ -512,8 +692,17 @@ ServingEngine::step()
         if (!sp->prefilling)
             decoding.push_back(sp.get());
     }
-    if (decoding.empty())
-        return !active_.empty() || !queue_.empty();
+    if (decoding.empty()) {
+        if (!prefilled && !active_.empty() && budget_pages_ > 0) {
+            // Every active slot is prefill-stalled on pages and none
+            // outranks a victim (all equal priority, pool full of each
+            // other's pages): break the logjam with one priority-blind
+            // preemption — liveness beats strict priority order, and
+            // the freed pages let a survivor progress next step.
+            MXPLUS_CHECK(preemptVictim(/*blind=*/true, 0));
+        }
+        return !active_.empty() || scheduler_->hasQueued();
+    }
 
     std::vector<int> tokens(decoding.size());
     std::vector<KvCache *> caches(decoding.size());
@@ -540,7 +729,7 @@ ServingEngine::step()
     }
     samplePoolPeak();
     retireFinished();
-    return !active_.empty() || !queue_.empty();
+    return !active_.empty() || scheduler_->hasQueued();
 }
 
 void
@@ -570,6 +759,10 @@ ServingEngine::runToCompletion()
             1000.0 * static_cast<double>(engine_stats_.decode_tokens) /
             engine_stats_.decode_ms;
     }
+    engine_stats_.queue_wait_ms_p50 =
+        latencyPercentile(queue_wait_samples_, 0.50);
+    engine_stats_.queue_wait_ms_p99 =
+        latencyPercentile(queue_wait_samples_, 0.99);
 }
 
 const RequestStats &

@@ -1,58 +1,75 @@
 /**
  * @file
- * Batched serving engine: a request queue with continuous batching of
- * incremental decode steps over per-request paged KV caches drawn from
- * one shared, budgeted, refcounted page pool — with shared-prefix
- * prefill reuse across requests.
+ * Batched serving EXECUTOR: prefill quanta, batched decode, sampling
+ * and statistics over per-request paged KV caches drawn from one
+ * shared, budgeted, refcounted page pool — with shared-prefix prefill
+ * reuse across requests.
  *
- * Scheduling model (continuous batching + token-budget admission +
- * chunked prefill + prefix sharing):
+ * Policy/mechanism split (see serve/scheduler.h for the policy half):
+ * every *which-request* decision — admission order under priorities
+ * with aging, the token-budget reservation ledger and its optimistic
+ * over-admission window, and victim selection when the pool runs dry —
+ * lives in the Scheduler. This class executes those decisions: it
+ * owns the slots, runs the model, moves pages, publishes prefix spans
+ * and keeps the clocks. The engine never reorders the queue itself
+ * and the scheduler never touches a page.
  *
- *   1. While a decode slot is free and requests are queued, pick the
- *      next candidate (FIFO, or the smallest total token demand when
- *      EngineOptions::sjf_admission is set), match its prompt against
- *      the prefix index, and admit it if the KV page budget can hold
- *      its *unshared* reservation (total pages minus matched shared
- *      pages) — evicting unreferenced cached spans LRU-first to make
- *      room. The reservation is conservative, so in-flight requests
- *      can never exhaust the shared pool mid-decode; a request whose
- *      unshared demand exceeds the whole budget is rejected gracefully
- *      (RequestStats::rejected) instead of aborting the engine.
- *   2. Run one prefill quantum for every still-prefilling slot. A slot
- *      first adopts every cached page available at its position —
- *      mapping frozen shared pages is free, so adoption replaces that
- *      step's compute chunk — and otherwise prefills one
- *      EngineOptions::prefill_chunk tokens, then publishes its newly
- *      frozen whole-prompt pages into the prefix index. Concurrent
- *      requests with a common system prompt therefore converge to ONE
- *      slot computing each shared page while the others map it a step
- *      later: repeated prefill compute becomes a cache hit, which is
- *      where the shared-prefix TTFT and kv_bytes_peak wins come from.
- *      A request's first token is sampled when its last chunk lands —
- *      that marks its time-to-first-token.
- *   3. Run ONE decode step for every slot past prefill, batched through
- *      Transformer::decodeStepBatch; attention stays per-request over
- *      each paged cache, walking shared prefix pages and private tail
- *      pages through one uniform page table.
- *   4. Sample each request's next token, retire finished requests
- *      (each mapped page drops one reference; the pool reclaims it
- *      when the prefix index isn't keeping it either), and go to 1.
+ * Scheduling model (continuous batching + budget admission + chunked
+ * prefill + prefix sharing + preemptive over-admission):
  *
- * Sharing is bit-exact, not approximate: spans are keyed on exact
- * token ids (PrefixIndex), a completed page is frozen (kv_cache.h), and
- * the cache state plus last-chunk logits of a prefill are
- * chunk-invariant in every format (block quantizers are block-local,
- * so completed blocks and the tail quantized at the final length never
- * depend on where chunk boundaries fell — note that sharing DOES
- * change the boundaries, rounding computed chunks up to page ends).
- * The token streams of a shared-prefix run are therefore bit-identical
- * to private-cache runs in every format — like batching and the
- * budget, prefix sharing is a throughput decision, never a numerics
- * decision.
+ *   1. While a decode slot is free and requests are queued, take the
+ *      scheduler's best candidate (highest aged priority; ties break
+ *      shortest-job-first under EngineOptions::sjf_admission, FIFO
+ *      otherwise), match its prompt against the prefix index, and
+ *      admit it if its *unshared* page reservation fits the
+ *      scheduler's admission window — `over_admission *
+ *      kv_budget_tokens` worth of pages, evicting unreferenced cached
+ *      spans LRU-first for headroom. With over_admission == 1 the
+ *      reservation is conservative and in-flight requests can never
+ *      exhaust the pool (the PR4 reject-only behaviour); above 1 the
+ *      scheduler admits optimistically and the engine preempts when
+ *      the optimism loses. A request whose demand exceeds the whole
+ *      budget is rejected gracefully (RequestStats::rejected).
+ *   2. Run one prefill quantum for every still-prefilling slot —
+ *      adopting every cached page available at its position, else
+ *      computing one EngineOptions::prefill_chunk tokens and
+ *      publishing newly frozen whole-prompt pages (see PR4 notes
+ *      below). BEFORE a quantum (or a decode batch) acquires pages,
+ *      the engine checks the pool has them; if not, it first evicts
+ *      unpinned cached spans and then PREEMPTS scheduler-chosen
+ *      victims — lowest priority, then cheapest to recompute via
+ *      prefix-cache coverage — until the step fits. A preempted
+ *      request drops its unshared pages back to the pool
+ *      (KvCache::releaseForPreemption; pages it published stay
+ *      resident in the prefix index) and is requeued with its aging
+ *      credit intact; on re-admission it re-prefills from its prompt,
+ *      re-adopting the published head from the trie so recompute cost
+ *      is tail-only.
+ *   3. Run ONE decode step for every slot past prefill, batched
+ *      through Transformer::decodeStepBatch.
+ *   4. Sample each request's next token, retire finished requests,
+ *      and go to 1.
+ *
+ * Preemption is bit-exact, not approximate: a preempted request
+ * RESTARTS — generated tokens are discarded and regenerated — and the
+ * regenerated stream is identical in every format because (a) prefill
+ * is chunk-invariant (block quantizers are block-local, so the cache
+ * state after prefilling a prompt is a pure function of the prompt),
+ * (b) a batched decode row is bit-identical to a solo run, and (c)
+ * each request samples from its own deterministic Rng, reset on
+ * restart. Like batching, the budget and prefix sharing, preemption
+ * is a throughput decision, never a numerics decision. TTFT keeps its
+ * first stamp (the token's value never changes, only who pays to
+ * recompute the state behind it).
+ *
+ * Prefix sharing is bit-exact for the same block-local reasons: spans
+ * are keyed on exact token ids (PrefixIndex), a completed page is
+ * frozen (kv_cache.h), and adoption replaces compute without changing
+ * any quantization decision.
  *
  * Sampling runs per request through sampleLogitsPolicy: greedy,
- * temperature, top-k, nucleus (top-p) and repetition penalty, driven by
- * a per-request deterministic Rng, so results are reproducible and
+ * temperature, top-k, nucleus (top-p) and repetition penalty, driven
+ * by a per-request deterministic Rng, so results are reproducible and
  * independent of scheduling.
  *
  * All timing uses a steady clock; per-request latencies are measured
@@ -65,7 +82,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -75,6 +91,7 @@
 #include "serve/kv_cache.h"
 #include "serve/kv_page_pool.h"
 #include "serve/prefix_index.h"
+#include "serve/scheduler.h"
 
 namespace mxplus {
 
@@ -92,6 +109,12 @@ struct ServeRequest
     double top_p = 1.0;
     /** Penalty on prompt/generated tokens (1 = off). */
     double repetition_penalty = 1.0;
+    /**
+     * Scheduling priority (higher = more urgent; any int). Orders
+     * admission and shields against preemption; never affects the
+     * tokens a request generates.
+     */
+    int priority = 0;
 };
 
 /** Engine-wide scheduling and memory knobs. */
@@ -122,11 +145,29 @@ struct EngineOptions
     size_t prefix_cache_tokens = 0;
     /**
      * Admit the queued request with the smallest total token demand
-     * (prompt + max_new_tokens, FIFO tie-break) instead of strict FIFO
-     * — shortest-job-first on top of the token-budget check. Token
-     * streams are unaffected (per-request deterministic sampling).
+     * (prompt + max_new_tokens) among effective-priority ties instead
+     * of FIFO — shortest-job-first on top of the priority order and
+     * the budget check. Token streams are unaffected (per-request
+     * deterministic sampling).
      */
     bool sjf_admission = false;
+    /**
+     * Admission-window multiple of the KV budget (>= 1; needs
+     * kv_budget_tokens > 0 to matter). 1 reserves conservatively and
+     * never preempts; above 1 over-admits optimistically — worst-case
+     * reservations may exceed the pool — and preempts a victim when
+     * the pool actually runs dry. Keeps bursty mixed workloads' batch
+     * full: most requests never grow into their worst-case tail.
+     */
+    double over_admission = 1.0;
+    /**
+     * Queue-priority points a waiting request gains per engine step
+     * (0 = pure priority + FIFO/SJF). With rate r, a job out-ranked
+     * by dp priority points overtakes any *newer* submission after
+     * dp / r steps of waiting, which bounds the maximum queue wait —
+     * no starvation under a stream of short high-priority jobs.
+     */
+    double aging_rate = 0.0;
 };
 
 /** Per-request outcome and latency statistics. */
@@ -140,6 +181,10 @@ struct RequestStats
     bool rejected = false;
     /** Prompt tokens served from shared prefix pages (no compute). */
     size_t shared_prompt_tokens = 0;
+    /** Times this request was preempted (restarted) for pool pressure. */
+    size_t preemptions = 0;
+    /** Total time spent queued before (re-)admissions. */
+    double queue_wait_ms = 0.0;
 
     double ttft_ms = 0.0; ///< engine start -> first token (incl. queueing)
     /** Per-token decode-step latency; the first (prefill-produced) token
@@ -180,10 +225,19 @@ struct EngineStats
     size_t prefix_inserted_tokens = 0;
     /** Pool pages freed by LRU span eviction. */
     size_t prefix_evicted_pages = 0;
-    /** Admissions that bypassed the FIFO head (sjf_admission). */
+    /** Admissions that bypassed the oldest queued request (priority
+        or SJF order overtaking FIFO). */
     size_t sjf_reorders = 0;
     /** Requests rejected for impossible KV demand. */
     size_t rejected_requests = 0;
+    /** Preemptions executed (a request may count several times). */
+    size_t preemptions = 0;
+    /** Cache-state tokens preemptions threw away that were NOT covered
+        by retained prefix spans — the recompute bill of optimism. */
+    size_t preempted_recompute_tokens = 0;
+    /** Queue-wait (submit/requeue -> admission) percentiles. */
+    double queue_wait_ms_p50 = 0.0;
+    double queue_wait_ms_p99 = 0.0;
 };
 
 /** Nearest-rank percentile of latency samples (shared with benches). */
@@ -204,8 +258,9 @@ class ServingEngine
     size_t submit(ServeRequest req);
 
     /**
-     * One scheduler iteration: admit while budget and slots allow, one
-     * prefill quantum (adopt or compute), then one batched decode step.
+     * One scheduler iteration: admit while the window and slots allow,
+     * one prefill quantum per prefilling slot (preempting victims if
+     * the pool runs dry), then one batched decode step.
      * @return true while work remains.
      */
     bool step();
@@ -215,7 +270,7 @@ class ServingEngine
 
     const RequestStats &stats(size_t id) const;
     const EngineStats &engineStats() const { return engine_stats_; }
-    size_t queuedRequests() const { return queue_.size(); }
+    size_t queuedRequests() const { return scheduler_->queuedRequests(); }
     size_t activeRequests() const { return active_.size(); }
 
     /** The shared page pool (live-page accounting). */
@@ -223,7 +278,7 @@ class ServingEngine
     /** Live KV bytes right now (cached spans included). */
     size_t kvBytesLive() const { return pool_->usedBytes(); }
     /** Pages currently reserved by admitted requests (unshared only). */
-    size_t reservedPages() const { return reserved_pages_; }
+    size_t reservedPages() const { return scheduler_->reservedPages(); }
     /** Tokens currently retained by the prefix cache (0 = disabled). */
     size_t prefixCachedTokens() const;
     /**
@@ -232,6 +287,8 @@ class ServingEngine
      */
     void clearPrefixCache();
     const EngineOptions &options() const { return opts_; }
+    /** The policy layer (tests/debugging). */
+    const Scheduler &scheduler() const { return *scheduler_; }
 
   private:
     struct Slot
@@ -244,6 +301,8 @@ class ServingEngine
         size_t prefill_pos = 0;   ///< prompt tokens prefilled so far
         bool prefilling = true;
         size_t reserved_pages = 0; ///< admission reservation (all layers)
+        uint64_t admit_seq = 0;    ///< admission recency (victim policy)
+        uint64_t aging_step = 0;   ///< original enqueue step (kept on requeue)
         /** Prompt + generated tokens (repetition-penalty context). */
         std::vector<int> context;
 
@@ -257,7 +316,6 @@ class ServingEngine
             admission (the matched span); pages shared or published
             past this index credit the reservation as they happen. */
         size_t uncharged_pages = 0;
-        bool counted_hit = false;
 
         Slot(size_t id_, ServeRequest req_, KvCache cache_, Rng rng_)
             : id(id_), req(std::move(req_)), cache(std::move(cache_)),
@@ -270,10 +328,8 @@ class ServingEngine
     size_t pagesPerLayerFor(const ServeRequest &req) const;
     /** Whole prompt pages adoptable while leaving >= 1 token to run. */
     size_t maxAdoptPages(size_t prompt_len) const;
-    /** Index into queue_ of the next admission candidate. */
-    size_t pickCandidate() const;
-    void admitSlot(size_t queue_idx, PrefixIndex::Node *matched_node,
-                   size_t matched_pages, size_t need_pages);
+    void admitCandidate(PrefixIndex::Node *matched_node,
+                        size_t matched_pages, size_t need_pages);
     /** Exclude one more per-layer page (now span-held) from the slot's
         reservation — shared pages must be charged exactly once. */
     void creditReservation(Slot &slot);
@@ -282,6 +338,28 @@ class ServingEngine
     /** Publish the slot's newly frozen whole-prompt pages. */
     void registerFrozenPages(Slot &slot);
     void movePin(Slot &slot, PrefixIndex::Node *node);
+    Slot *findSlot(size_t id);
+    /** Prompt tokens this slot would prefill in its next computed
+        quantum (chunk sizing, incl. page rounding under sharing). */
+    size_t nextChunkTokens(const Slot &slot) const;
+    /**
+     * Make the pool able to hand out @p needed pages: evict unpinned
+     * prefix spans first, then preempt victims whose aged priority
+     * key (Scheduler::agedKey) is strictly below @p requester_key.
+     * Returns false when no such victim exists — the caller defers
+     * its step (priority inversion is never an option). Unbounded
+     * pools always succeed trivially.
+     */
+    bool ensureFreePages(size_t needed, double requester_key);
+    /** Preempt one active slot: restart-requeue it and free its pages. */
+    void preemptSlot(size_t slot_index);
+    /** Preempt the scheduler's best victim: any slot when @p blind,
+        else only aged keys strictly below @p below_key (never
+        inversion, and aging credit shields exactly as it orders the
+        queue). Prefers slots holding exclusively-owned pages — the
+        only preemptions that free physical pages immediately.
+        Returns false when no candidate exists. */
+    bool preemptVictim(bool blind, double below_key);
     void prefillQuantum(Slot &slot);
     void retireFinished();
     void samplePoolPeak();
@@ -294,15 +372,20 @@ class ServingEngine
 
     std::shared_ptr<KvPagePool> pool_;
     size_t budget_pages_ = 0;    ///< 0 = unbounded
-    size_t reserved_pages_ = 0;  ///< sum of admitted reservations
     std::unique_ptr<PrefixIndex> prefix_; ///< null when sharing is off
+    std::unique_ptr<Scheduler> scheduler_; ///< the policy layer
 
-    std::deque<size_t> queue_; ///< pending request ids
     std::vector<std::unique_ptr<Slot>> active_;
     std::vector<RequestStats> stats_;
-    std::vector<ServeRequest> pending_; ///< submitted, not yet admitted
+    std::vector<ServeRequest> pending_; ///< submitted requests by id
+    /** Requests already counted in prefix_hit_requests — lives with
+        the request, not the slot, so a preempt+restart that re-adopts
+        the same spans cannot double-count. */
+    std::vector<uint8_t> prefix_hit_counted_;
 
     EngineStats engine_stats_;
+    std::vector<double> queue_wait_samples_;
+    uint64_t next_admit_seq_ = 0;
     double start_ms_ = -1.0;
     double occupancy_sum_ = 0.0;
 };

@@ -1236,6 +1236,207 @@ TEST(PrefixSharing, TinyCapacitySurvivesMultiPagePublication)
     EXPECT_EQ(engine.pool().usedPages(), 0u);
 }
 
+// ---------------------------------------------------------- preemption --
+
+TEST(Preemption, TokensBitIdenticalAcrossFormatsUnderForcedPreemption)
+{
+    // The PR5 acceptance gate: over-admission under a tight budget
+    // forces preempt-and-requeue, and every preempted request must
+    // regenerate a token stream bit-identical to an unpreempted run —
+    // per format, because restart semantics lean on prefill
+    // chunk-invariance and deterministic per-request sampling, both of
+    // which hold for every block format (not just BF16).
+    const Transformer model(tinyConfig());
+    std::vector<ServeRequest> reqs;
+    for (size_t r = 0; r < 4; ++r) {
+        ServeRequest req;
+        req.prompt = tokenRamp(40, static_cast<int>(3 + 2 * r));
+        req.max_new_tokens = 24;
+        if (r % 2 == 1) {
+            req.temperature = 0.9; // rng reset must survive restarts
+            req.seed = 900 + r;
+        }
+        reqs.push_back(std::move(req));
+    }
+
+    for (const char *fmt : {"BF16", "MXFP8", "MXFP4+"}) {
+        const QuantConfig qc = QuantConfig::fromFormat(fmt);
+        ServingEngine oracle(model, qc, 4); // unbudgeted, no preemption
+        std::vector<size_t> oracle_ids;
+        for (const auto &req : reqs)
+            oracle_ids.push_back(oracle.submit(req));
+        oracle.runToCompletion();
+        EXPECT_EQ(oracle.engineStats().preemptions, 0u);
+
+        // Budget fits two requests; the 2x window admits all four, so
+        // the pool MUST run dry mid-flight and preempt.
+        EngineOptions opts;
+        opts.max_batch = 4;
+        opts.kv_budget_tokens = 128;
+        opts.over_admission = 2.0;
+        ServingEngine engine(model, qc, opts);
+        std::vector<size_t> ids;
+        for (const auto &req : reqs)
+            ids.push_back(engine.submit(req));
+        engine.runToCompletion();
+
+        EXPECT_GT(engine.engineStats().preemptions, 0u) << fmt;
+        EXPECT_GT(engine.engineStats().preempted_recompute_tokens, 0u)
+            << fmt;
+        for (size_t r = 0; r < reqs.size(); ++r) {
+            EXPECT_TRUE(engine.stats(ids[r]).finished);
+            EXPECT_FALSE(engine.stats(ids[r]).rejected);
+            EXPECT_EQ(engine.stats(ids[r]).generated,
+                      oracle.stats(oracle_ids[r]).generated)
+                << fmt << " request " << r;
+        }
+        // Every page reference unwound: refcounts return to zero after
+        // the preemption interleavings (the ASan job re-runs this).
+        EXPECT_EQ(engine.pool().usedPages(), 0u) << fmt;
+        EXPECT_EQ(engine.kvBytesLive(), 0u) << fmt;
+        EXPECT_EQ(engine.reservedPages(), 0u) << fmt;
+    }
+}
+
+TEST(Preemption, DecodeTimeExhaustionPreemptsAndRecovers)
+{
+    // Small prompts with long generations: the pool runs dry when
+    // decode crosses a page boundary, not during prefill — the
+    // mid-decode preemption path must produce the same recovery.
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    std::vector<ServeRequest> reqs(2);
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        reqs[r].prompt = tokenRamp(8, static_cast<int>(5 + r));
+        reqs[r].max_new_tokens = 56; // crosses page 1 mid-decode
+    }
+
+    ServingEngine oracle(model, qc, 2);
+    std::vector<size_t> oracle_ids;
+    for (const auto &req : reqs)
+        oracle_ids.push_back(oracle.submit(req));
+    oracle.runToCompletion();
+
+    EngineOptions opts;
+    opts.max_batch = 2;
+    opts.kv_budget_tokens = 96; // 3 pages/layer; both need 2 pages/layer
+    opts.over_admission = 2.0;  // both admitted: 8 reserved > 6 physical
+    ServingEngine engine(model, qc, opts);
+    std::vector<size_t> ids;
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+    engine.runToCompletion();
+
+    EXPECT_GT(engine.engineStats().preemptions, 0u);
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        EXPECT_EQ(engine.stats(ids[r]).generated,
+                  oracle.stats(oracle_ids[r]).generated)
+            << "request " << r;
+        EXPECT_EQ(engine.stats(ids[r]).generated.size(),
+                  reqs[r].max_new_tokens);
+    }
+    EXPECT_EQ(engine.pool().usedPages(), 0u);
+    EXPECT_EQ(engine.reservedPages(), 0u);
+}
+
+TEST(Preemption, SharedPrefixIsReadoptedAfterPreemption)
+{
+    // A preempted request's published prompt pages stay resident in
+    // the prefix index, so its restart re-adopts them instead of
+    // recomputing — and a span whose owner was preempted (then evicted
+    // under pressure) is re-published on the restarted prefill. Token
+    // streams still match a sharing-off, unbudgeted oracle.
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    // Long enough generations that decode itself crosses a page
+    // boundary: equal-priority prefill defers rather than preempts, so
+    // the decode pre-check is what must preempt here.
+    const auto reqs = sharedPrefixRequests(3, 64, 8, 40);
+
+    ServingEngine oracle(model, qc, 3);
+    std::vector<size_t> oracle_ids;
+    for (const auto &req : reqs)
+        oracle_ids.push_back(oracle.submit(req));
+    oracle.runToCompletion();
+
+    EngineOptions opts;
+    opts.max_batch = 3;
+    // 4 pages/layer: the shared head (2/layer, one physical copy) plus
+    // three private tails (1/layer each) peaks at 5/layer — sharing
+    // shrinks the footprint but over-admission still overshoots it.
+    opts.kv_budget_tokens = 128;
+    opts.over_admission = 2.0;
+    opts.prefix_cache_tokens = 128;
+    ServingEngine engine(model, qc, opts);
+    std::vector<size_t> ids;
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+    engine.runToCompletion();
+
+    EXPECT_GT(engine.engineStats().preemptions, 0u);
+    EXPECT_GT(engine.engineStats().prefix_hit_tokens, 0u);
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        EXPECT_EQ(engine.stats(ids[r]).generated,
+                  oracle.stats(oracle_ids[r]).generated)
+            << "request " << r;
+    }
+    // Preempted requests re-adopted their shared head, so the engine
+    // recomputed strictly fewer tokens than it threw away overall.
+    size_t preempted_requests = 0;
+    for (size_t id : ids)
+        preempted_requests += engine.stats(id).preemptions > 0 ? 1 : 0;
+    EXPECT_GE(preempted_requests, 1u);
+
+    // Full unwind under refcount sharing + preemption interleavings.
+    EXPECT_EQ(engine.reservedPages(), 0u);
+    engine.clearPrefixCache();
+    EXPECT_EQ(engine.pool().usedPages(), 0u);
+    EXPECT_EQ(engine.kvBytesLive(), 0u);
+}
+
+TEST(Preemption, QueueWaitAndPreemptionStatsAreCoherent)
+{
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    EngineOptions opts;
+    opts.max_batch = 4;
+    opts.kv_budget_tokens = 128;
+    opts.over_admission = 2.0;
+    opts.aging_rate = 0.25;
+    ServingEngine engine(model, qc, opts);
+    std::vector<size_t> ids;
+    for (size_t r = 0; r < 4; ++r) {
+        ServeRequest req;
+        req.prompt = tokenRamp(40, static_cast<int>(3 + 2 * r));
+        req.max_new_tokens = 24;
+        ids.push_back(engine.submit(std::move(req)));
+    }
+    engine.runToCompletion();
+
+    const EngineStats &es = engine.engineStats();
+    EXPECT_GT(es.preemptions, 0u);
+    EXPECT_GE(es.queue_wait_ms_p99, es.queue_wait_ms_p50);
+    EXPECT_GE(es.queue_wait_ms_p50, 0.0);
+    size_t request_preemptions = 0;
+    size_t total_generated = 0;
+    for (size_t id : ids) {
+        const RequestStats &rs = engine.stats(id);
+        EXPECT_TRUE(rs.finished);
+        EXPECT_GE(rs.queue_wait_ms, 0.0);
+        request_preemptions += rs.preemptions;
+        total_generated += rs.generated.size();
+        // Restart never duplicates or loses tokens.
+        EXPECT_EQ(rs.generated.size(), size_t(24));
+    }
+    EXPECT_EQ(request_preemptions, es.preemptions);
+    EXPECT_EQ(es.total_generated, total_generated);
+    // The recompute bill is real work that was thrown away: bounded by
+    // preemptions * the largest per-request cache state.
+    EXPECT_GT(es.preempted_recompute_tokens, 0u);
+    EXPECT_LE(es.preempted_recompute_tokens, es.preemptions * 64);
+}
+
 TEST(ServingEngine, SjfAdmissionPrefersShortJobsWithoutChangingTokens)
 {
     const Transformer model(tinyConfig());

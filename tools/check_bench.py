@@ -7,11 +7,16 @@ threshold. Entries are matched by a per-bench key, so quick runs — which
 measure a subset of the full config grid with the same workload — are
 compared apples-to-apples:
 
-  bench_serving:        key (format, workload, batch)
+  bench_serving:        key (format, workload, batch); workload
+                        geometry (uniform/shared-prefix/bursty params)
+                        is folded into the key so entries measured
+                        under different workloads never compare.
                         metrics throughput_tok_s, decode_tok_s
-                        (higher is better); for shared-prefix workloads
-                        additionally ttft_p50_ms and kv_bytes_peak
-                        (LOWER is better — the prefix cache's wins)
+                        (higher is better); shared-prefix workloads
+                        additionally gate ttft_p50_ms and kv_bytes_peak,
+                        bursty workloads ttft_p99_ms (LOWER is better —
+                        the prefix cache's and the preemptive
+                        scheduler's wins respectively)
   bench_kernels_engine: key (op, m, n, k) -> simd_gflops
                         key (api, format, mode) -> simd_gbps
 
@@ -59,11 +64,19 @@ import sys
 
 
 # Metrics where smaller numbers are better (latency, memory).
-LOWER_IS_BETTER = {"ttft_p50_ms", "kv_bytes_peak"}
+LOWER_IS_BETTER = {"ttft_p50_ms", "ttft_p99_ms", "kv_bytes_peak"}
 # Deterministic counts that do not scale with machine speed: judged
 # against reference 1.0 in every mode and excluded from the
 # machine-factor estimate.
 MACHINE_INDEPENDENT = {"kv_bytes_peak"}
+# Extra lower-is-better metrics gated per workload family, on top of
+# the throughput metrics every serving row gets: the shared-prefix
+# rows exist for their latency/memory wins, the bursty rows for the
+# tail-latency bound that over-admission + aging must preserve.
+WORKLOAD_GATED_METRICS = {
+    "shared-prefix": ("ttft_p50_ms", "kv_bytes_peak"),
+    "bursty": ("ttft_p99_ms",),
+}
 
 
 def serving_metrics(doc):
@@ -81,29 +94,33 @@ def serving_metrics(doc):
                                    sp.get("shared_tokens", "?"),
                                    sp.get("tail_tokens", "?"),
                                    sp.get("new_tokens_per_request", "?"))
+    bw = doc.get("bursty_workload", {})
+    bursty_tag = "r%sb%so%sa%s" % (bw.get("requests", "?"),
+                                   bw.get("kv_budget_tokens", "?"),
+                                   bw.get("over_admission", "?"),
+                                   bw.get("aging_rate", "?"))
     entries = (doc.get("configs", []) + doc.get("mixed", []) +
-               doc.get("shared", []))
+               doc.get("bursty", []) + doc.get("shared", []))
     for entry in entries:
         workload = entry.get("workload", "uniform")
-        is_shared = workload.startswith("shared-prefix")
+        gated = ()
         if workload == "uniform":
             workload = uniform_tag
-        elif is_shared:
+        elif workload.startswith("shared-prefix"):
             # Same rule as the uniform grid: geometry lives at the
             # document level, folded in so a future workload change can
             # never compare kv_bytes_peak across different geometries.
             workload = "%s %s" % (workload, shared_tag)
+            gated = WORKLOAD_GATED_METRICS["shared-prefix"]
+        elif workload.startswith("bursty"):
+            workload = "%s %s" % (workload, bursty_tag)
+            gated = WORKLOAD_GATED_METRICS["bursty"]
         key = "serving %s %s batch=%s" % (entry["format"], workload,
                                           entry["batch"])
-        for metric in ("throughput_tok_s", "decode_tok_s"):
+        for metric in ("throughput_tok_s", "decode_tok_s") + gated:
             if metric in entry:
-                yield key, metric, float(entry[metric]), True
-        if is_shared:
-            # The shared-prefix workload exists for its latency and
-            # memory wins; gate those directly (lower is better).
-            for metric in sorted(LOWER_IS_BETTER):
-                if metric in entry:
-                    yield key, metric, float(entry[metric]), False
+                yield (key, metric, float(entry[metric]),
+                       metric not in LOWER_IS_BETTER)
 
 
 def kernels_metrics(doc):
