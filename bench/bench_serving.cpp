@@ -54,6 +54,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -87,9 +88,23 @@ struct RunResult
     size_t preempted_recompute_tokens = 0;
     double queue_wait_ms_p50 = 0.0;
     double queue_wait_ms_p99 = 0.0;
+    size_t shed = 0;
+    size_t timed_out = 0;
+    size_t cancelled = 0;
+    size_t checksum_failures = 0;
+    double goodput_ok_fraction = 0.0;
     double speedup_vs_batch1 = 0.0;
     std::vector<std::vector<int>> streams; ///< per-request tokens
 };
+
+/**
+ * Step watchdog for every engine run the bench drives: a scheduling
+ * bug that livelocks (admit/preempt ping-pong, a request that can
+ * never fit) must fail the bench loudly, not hang the CI job until
+ * the ctest timeout reaps it with no diagnostics. The cap is ~100x
+ * the longest legitimate run in this file.
+ */
+constexpr size_t kMaxBenchSteps = 200000;
 
 std::vector<ServeRequest>
 uniformWorkload(size_t requests, size_t prompt_len, size_t new_tokens)
@@ -161,6 +176,33 @@ burstyWorkload(size_t requests)
     return reqs;
 }
 
+/**
+ * Overload workload: more work than the deadline allows. Mixed
+ * priorities, every request under an end-to-end deadline, submitted as
+ * one burst against a bounded queue — some requests complete, some are
+ * shed at admission, some time out mid-flight. Run on the virtual step
+ * clock (step_time_ms) so the shed/timed-out split is a pure function
+ * of scheduling, identical on every machine; the interesting metric is
+ * goodput_ok_fraction (completed-in-deadline / submitted).
+ */
+std::vector<ServeRequest>
+overloadWorkload(size_t requests)
+{
+    std::vector<ServeRequest> reqs(requests);
+    for (size_t r = 0; r < requests; ++r) {
+        const size_t prompt_len = 16 + 4 * (r % 5);
+        reqs[r].prompt.resize(prompt_len);
+        for (size_t i = 0; i < prompt_len; ++i) {
+            reqs[r].prompt[i] =
+                static_cast<int>((23 + 11 * r + 3 * i) % 251);
+        }
+        reqs[r].max_new_tokens = 24;
+        reqs[r].priority = static_cast<int>(r % 4) - 1; // -1..2
+        reqs[r].temperature = 0.0;
+    }
+    return reqs;
+}
+
 /** Short and long requests interleaved (prompts 8..92, 8..43 new). */
 std::vector<ServeRequest>
 mixedWorkload(size_t requests)
@@ -199,7 +241,14 @@ runConfig(const Transformer &model, const std::string &format,
         reserved_worst += (tokens + pt - 1) / pt * layers * page_bytes;
     }
 
-    engine.runToCompletion();
+    if (!engine.runToCompletion(kMaxBenchSteps)) {
+        std::fprintf(stderr,
+                     "bench_serving: FATAL %s %s did not drain within "
+                     "%zu steps — scheduler livelock\n",
+                     format.c_str(), workload_name.c_str(),
+                     kMaxBenchSteps);
+        std::exit(1);
+    }
 
     RunResult res;
     res.format = format;
@@ -220,14 +269,19 @@ runConfig(const Transformer &model, const std::string &format,
     res.preempted_recompute_tokens = es.preempted_recompute_tokens;
     res.queue_wait_ms_p50 = es.queue_wait_ms_p50;
     res.queue_wait_ms_p99 = es.queue_wait_ms_p99;
+    res.shed = es.shed_requests;
+    res.timed_out = es.timed_out_requests;
+    res.cancelled = es.cancelled_requests;
+    res.checksum_failures = es.checksum_failures;
+    res.goodput_ok_fraction = es.goodput_ok_fraction;
 
     std::vector<double> ttfts;
     std::vector<double> token_ms;
     for (size_t id : ids) {
         const RequestStats &rs = engine.stats(id);
         res.streams.push_back(rs.generated);
-        if (rs.rejected)
-            continue; // no tokens ran: a 0.0 ttft would deflate p50/p99
+        if (rs.generated.empty())
+            continue; // rejected/shed: a 0.0 ttft would deflate p50/p99
         ttfts.push_back(rs.ttft_ms);
         token_ms.insert(token_ms.end(), rs.token_ms.begin(),
                         rs.token_ms.end());
@@ -254,7 +308,10 @@ printResult(FILE *out, const RunResult &r, bool last)
         "\"prefill_chunks\": %zu, \"admission_deferred_steps\": %zu, "
         "\"prefix_hit_tokens\": %zu, \"preemptions\": %zu, "
         "\"preempted_recompute_tokens\": %zu, "
-        "\"queue_wait_ms_p50\": %.2f, \"queue_wait_ms_p99\": %.2f}%s\n",
+        "\"queue_wait_ms_p50\": %.2f, \"queue_wait_ms_p99\": %.2f, "
+        "\"shed\": %zu, \"timed_out\": %zu, \"cancelled\": %zu, "
+        "\"checksum_failures\": %zu, "
+        "\"goodput_ok_fraction\": %.3f}%s\n",
         r.format.c_str(), r.workload.c_str(), r.batch,
         r.throughput_tok_s, r.decode_tok_s, r.speedup_vs_batch1,
         r.ttft_p50_ms, r.ttft_p99_ms, r.token_p50_ms, r.token_p99_ms,
@@ -262,7 +319,8 @@ printResult(FILE *out, const RunResult &r, bool last)
         r.kv_bytes_reserved_worst, r.prefill_chunks,
         r.admission_deferred_steps, r.prefix_hit_tokens, r.preemptions,
         r.preempted_recompute_tokens, r.queue_wait_ms_p50,
-        r.queue_wait_ms_p99, last ? "" : ",");
+        r.queue_wait_ms_p99, r.shed, r.timed_out, r.cancelled,
+        r.checksum_failures, r.goodput_ok_fraction, last ? "" : ",");
 }
 
 } // namespace
@@ -382,6 +440,30 @@ main(int argc, char **argv)
         bursty.push_back(std::move(rej));
     }
 
+    // Overload workload at batch 4: an admission burst a bounded queue
+    // and per-request deadlines must triage. Runs on the virtual step
+    // clock, so the completed/shed/timed-out split is deterministic —
+    // the new lifecycle counters in each row carry the goodput story.
+    std::vector<RunResult> overload;
+    const std::vector<std::string> overload_formats =
+        quick ? std::vector<std::string>{"MXFP4+"} : formats;
+    const size_t overload_requests = 18;
+    const size_t overload_queue_cap = 12;
+    const double overload_deadline_ms = 48.0;
+    for (const auto &fmt : overload_formats) {
+        std::fprintf(stderr, "serving %s overload...\n", fmt.c_str());
+        EngineOptions opts;
+        opts.max_batch = 4;
+        opts.queue_cap = overload_queue_cap;
+        opts.shed_policy = ShedPolicy::kLowestPriority;
+        opts.deadline_ms = overload_deadline_ms;
+        opts.step_time_ms = 1.0; // virtual clock: deterministic triage
+        opts.aging_rate = 0.25;
+        overload.push_back(
+            runConfig(model, fmt, "overload",
+                      overloadWorkload(overload_requests), opts));
+    }
+
     // Shared-prefix workload at batch 8: prefix cache on vs off over
     // the SAME requests, token streams verified bit-identical. Quick
     // mode keeps one format so the CI gate exercises the sharing path
@@ -457,6 +539,17 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"bursty\": [\n");
     for (size_t i = 0; i < bursty.size(); ++i)
         printResult(out, bursty[i], i + 1 == bursty.size());
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"overload_workload\": {\"requests\": %zu, "
+                 "\"queue_cap\": %zu, \"deadline_ms\": %.1f, "
+                 "\"shed_policy\": \"lowest-priority\", "
+                 "\"step_time_ms\": 1.0},\n",
+                 overload_requests, overload_queue_cap,
+                 overload_deadline_ms);
+    std::fprintf(out, "  \"overload\": [\n");
+    for (size_t i = 0; i < overload.size(); ++i)
+        printResult(out, overload[i], i + 1 == overload.size());
     std::fprintf(out, "  ],\n");
     std::fprintf(out,
                  "  \"shared_prefix\": {\"requests\": %zu, "

@@ -1,0 +1,139 @@
+#include "serve/fault.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+    case FaultSite::kPoolExhausted:
+        return "pool";
+    case FaultSite::kForcePreempt:
+        return "preempt";
+    case FaultSite::kClockSkew:
+        return "skew";
+    case FaultSite::kEvictStorm:
+        return "evict-storm";
+    case FaultSite::kCorruptPage:
+        return "corrupt";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(Config cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    MXPLUS_CHECK_MSG(cfg_.skew_ms_max >= 1.0,
+                     "FaultInjector: skew_ms_max must be >= 1");
+}
+
+double
+FaultInjector::probability(FaultSite site) const
+{
+    switch (site) {
+    case FaultSite::kPoolExhausted:
+        return cfg_.p_pool_exhausted;
+    case FaultSite::kForcePreempt:
+        return cfg_.p_force_preempt;
+    case FaultSite::kClockSkew:
+        return cfg_.p_clock_skew;
+    case FaultSite::kEvictStorm:
+        return cfg_.p_evict_storm;
+    case FaultSite::kCorruptPage:
+        return cfg_.p_corrupt_page;
+    }
+    return 0.0;
+}
+
+bool
+FaultInjector::shouldFire(FaultSite site, uint64_t detail)
+{
+    const double p = probability(site);
+    // A disabled site must not consume a draw: enabling one site then
+    // must not reshuffle the schedule of the others' — each site's
+    // sequence stays a pure function of the engine's visit order.
+    if (p <= 0.0)
+        return false;
+    if (rng_.uniform() >= p)
+        return false;
+    FaultEvent e;
+    e.step = step_;
+    e.site = site;
+    e.detail = detail;
+    events_.push_back(e);
+    fired_[static_cast<size_t>(site)] += 1;
+    return true;
+}
+
+double
+FaultInjector::drawSkewMs()
+{
+    const double skew = rng_.uniform(1.0, cfg_.skew_ms_max);
+    if (!events_.empty() &&
+        events_.back().site == FaultSite::kClockSkew) {
+        events_.back().detail = static_cast<uint64_t>(skew);
+    }
+    return skew;
+}
+
+uint64_t
+FaultInjector::drawIndex(uint64_t n)
+{
+    MXPLUS_CHECK(n > 0);
+    return rng_.uniformInt(n);
+}
+
+std::string
+FaultInjector::scheduleString() const
+{
+    std::string out;
+    char buf[64];
+    for (const FaultEvent &e : events_) {
+        std::snprintf(buf, sizeof(buf), "step %llu: %s(%llu)\n",
+                      static_cast<unsigned long long>(e.step),
+                      faultSiteName(e.site),
+                      static_cast<unsigned long long>(e.detail));
+        out += buf;
+    }
+    return out;
+}
+
+uint64_t
+hashFloats(const float *data, size_t count)
+{
+    // xxhash64-flavoured mix: multiply-rotate over 64-bit lanes with
+    // the xxh64 primes, enough to make a single flipped bit anywhere
+    // in the page flip roughly half the digest bits.
+    constexpr uint64_t kP1 = 0x9E3779B185EBCA87ull;
+    constexpr uint64_t kP2 = 0xC2B2AE3D27D4EB4Full;
+    constexpr uint64_t kP3 = 0x165667B19E3779F9ull;
+    uint64_t h = kP3 + static_cast<uint64_t>(count);
+    size_t i = 0;
+    for (; i + 2 <= count; i += 2) {
+        uint64_t lane = 0;
+        std::memcpy(&lane, data + i, sizeof(lane));
+        lane *= kP2;
+        lane = (lane << 31) | (lane >> 33);
+        h ^= lane * kP1;
+        h = ((h << 27) | (h >> 37)) * kP1 + kP2;
+    }
+    if (i < count) {
+        uint32_t tail = 0;
+        std::memcpy(&tail, data + i, sizeof(tail));
+        h ^= (static_cast<uint64_t>(tail) + kP3) * kP1;
+        h = ((h << 23) | (h >> 41)) * kP2 + kP3;
+    }
+    h ^= h >> 33;
+    h *= kP2;
+    h ^= h >> 29;
+    h *= kP3;
+    h ^= h >> 32;
+    return h;
+}
+
+} // namespace mxplus

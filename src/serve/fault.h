@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving layer — the chaos
+ * harness's way of forcing the engine down its rare failure paths
+ * (pool exhaustion, preemption, clock skew, eviction storms, page
+ * corruption) thousands of times with a reproducible schedule.
+ *
+ * Design rules:
+ *
+ *  - Deterministic. An injector is seeded and draws from its own
+ *    xoshiro Rng in engine-step order, so the same seed against the
+ *    same workload produces the same fault schedule — which is what
+ *    lets tests/test_chaos.cpp compare a chaos run's surviving token
+ *    streams bit-for-bit against a fault-free golden run, and what
+ *    makes any CI chaos failure reproducible from one seed.
+ *
+ *  - Zero cost when disabled. The engine holds a raw pointer that is
+ *    null in production (EngineOptions::fault); every site is one
+ *    null check, no virtual calls, no locks, no allocation.
+ *
+ *  - Faults fire at DECISION points, never mid-operation. Pool
+ *    exhaustion is injected at the engine's freePages() pre-checks —
+ *    where real exhaustion is handled — not inside
+ *    KvPagePool::acquire(), where a mid-append failure would hit the
+ *    "admission must reserve first" abort by design. Corruption
+ *    targets only idle published pages (see PrefixIndex), so the
+ *    engine's checksum verification — not luck — is what keeps it out
+ *    of served streams.
+ *
+ * The event log doubles as the reproduction recipe: scheduleString()
+ * is written into the failure artifact the chaos test uploads from CI.
+ */
+
+#ifndef MXPLUS_SERVE_FAULT_H
+#define MXPLUS_SERVE_FAULT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mxplus {
+
+/** Engine decision points a FaultInjector can perturb. */
+enum class FaultSite
+{
+    /** Treat the pool as exhausted at a freePages() pre-check, forcing
+        the evict/preempt/defer path although pages exist. */
+    kPoolExhausted = 0,
+    /** Preempt one victim at step start although nothing requires it. */
+    kForcePreempt,
+    /** Advance the virtual step clock by an extra skew (deadline
+        pressure; requires EngineOptions::step_time_ms > 0 to matter). */
+    kClockSkew,
+    /** Evict every unpinned prefix span at step start (cold-cache
+        storm: followers must recompute or re-publish). */
+    kEvictStorm,
+    /** Flip one bit in an idle published prefix page (refcount 1, no
+        pins) — must be DETECTED by checksums, never served. */
+    kCorruptPage,
+};
+
+constexpr size_t kFaultSiteCount = 5;
+
+/** Name of @p site as used in schedules ("pool", "preempt", ...). */
+const char *faultSiteName(FaultSite site);
+
+/** One fired fault (the schedule log's unit). */
+struct FaultEvent
+{
+    uint64_t step = 0;
+    FaultSite site = FaultSite::kPoolExhausted;
+    /** Site-specific detail (skew ms, corruption draw, ...). */
+    uint64_t detail = 0;
+};
+
+/**
+ * Seeded per-site fault source. The engine calls beginStep() once per
+ * scheduler step and then polls shouldFire() at each site it reaches;
+ * every poll advances the deterministic draw sequence, so the schedule
+ * is a pure function of (seed, sequence of engine decisions).
+ */
+class FaultInjector
+{
+  public:
+    /** Per-site firing probabilities (0 disables a site). */
+    struct Config
+    {
+        uint64_t seed = 0;
+        double p_pool_exhausted = 0.0;
+        double p_force_preempt = 0.0;
+        double p_clock_skew = 0.0;
+        /** Skew magnitude upper bound (uniform in [1, max] ms). */
+        double skew_ms_max = 32.0;
+        double p_evict_storm = 0.0;
+        double p_corrupt_page = 0.0;
+    };
+
+    explicit FaultInjector(Config cfg);
+
+    /** Stamp subsequent events with the engine's step counter. */
+    void beginStep(uint64_t step) { step_ = step; }
+
+    /**
+     * Draw once for @p site: true = inject here. A firing is logged
+     * with the current step; @p detail is recorded verbatim.
+     */
+    bool shouldFire(FaultSite site, uint64_t detail = 0);
+
+    /** Deterministic skew magnitude in [1, skew_ms_max] ms. */
+    double drawSkewMs();
+
+    /** Deterministic draw in [0, n) for picking a corruption target. */
+    uint64_t drawIndex(uint64_t n);
+
+    /** Times @p site fired so far. */
+    size_t fired(FaultSite site) const
+    {
+        return fired_[static_cast<size_t>(site)];
+    }
+
+    /** Every fired fault in order. */
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /**
+     * Human-readable schedule ("step 12: preempt; step 14: skew(7)"),
+     * the reproduction recipe chaos failures write into their CI
+     * artifact together with the seed.
+     */
+    std::string scheduleString() const;
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    double probability(FaultSite site) const;
+
+    Config cfg_;
+    Rng rng_;
+    uint64_t step_ = 0;
+    std::vector<FaultEvent> events_;
+    size_t fired_[kFaultSiteCount] = {0, 0, 0, 0, 0};
+};
+
+/**
+ * xxhash-style 64-bit mix over a float buffer — the per-page checksum
+ * the prefix index stores at publication and the engine verifies at
+ * adoption (see docs/ROBUSTNESS.md for the scope). Not cryptographic;
+ * it exists to catch corruption, not adversaries.
+ */
+uint64_t hashFloats(const float *data, size_t count);
+
+} // namespace mxplus
+
+#endif // MXPLUS_SERVE_FAULT_H

@@ -317,6 +317,24 @@ KvCache::adoptSharedPage(const uint32_t *page_ids)
     len_ += pt_;
 }
 
+bool
+KvCache::auditInvariants() const
+{
+    for (size_t l = 0; l < n_layers_; ++l) {
+        if (appended_[l] < len_)
+            return false;
+        if (pages_[l].size() != (appended_[l] + pt_ - 1) / pt_)
+            return false;
+        // The cache owns a reference on every mapped page, so none of
+        // them can be free in the pool while this table points at it.
+        for (const uint32_t id : pages_[l]) {
+            if (pool_->refCount(id) < 1)
+                return false;
+        }
+    }
+    return true;
+}
+
 void
 KvCache::releaseForPreemption()
 {

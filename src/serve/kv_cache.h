@@ -165,6 +165,15 @@ class KvCache
     /** Resident bytes: live pages times page size, nothing reserved. */
     size_t memoryBytes() const;
 
+    /**
+     * Debug audit of the paging invariants: no layer is behind the
+     * committed length, every page table covers exactly the appended
+     * tokens (pages grow one at a time, never speculatively), and
+     * every mapped page is live in the pool. Returns false on any
+     * violation (the chaos harness asserts it across episodes).
+     */
+    bool auditInvariants() const;
+
     /** The pool this cache draws from (the engine's shared accounting). */
     const KvPagePool &pool() const { return *pool_; }
 

@@ -90,6 +90,30 @@ KvPagePool::refCount(uint32_t id) const
     return refs_[id];
 }
 
+bool
+KvPagePool::auditInvariants() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (refs_.size() != slabs_.size())
+        return false;
+    if (slab_count_.load(std::memory_order_acquire) != slabs_.size())
+        return false;
+    size_t referenced = 0;
+    for (const uint32_t r : refs_)
+        referenced += r > 0 ? 1 : 0;
+    if (referenced != used_)
+        return false;
+    if (free_.size() + used_ != slabs_.size())
+        return false;
+    std::vector<uint8_t> seen(slabs_.size(), 0);
+    for (const uint32_t id : free_) {
+        if (id >= slabs_.size() || refs_[id] != 0 || seen[id])
+            return false;
+        seen[id] = 1;
+    }
+    return true;
+}
+
 float *
 KvPagePool::pageData(uint32_t id)
 {

@@ -102,6 +102,16 @@ class KvPagePool
     /** Current reference count of a page (0 = free; tests/debugging). */
     size_t refCount(uint32_t id) const;
 
+    /**
+     * Debug audit of the pool's internal invariants: the used counter
+     * equals the number of referenced slabs, every free-list entry is
+     * unreferenced and unique, every slab is either referenced or on
+     * the free list, and the lock-free slab-count mirror matches.
+     * Returns false on any violation (the chaos harness asserts it
+     * after every episode).
+     */
+    bool auditInvariants() const;
+
     float *pageData(uint32_t id);
     const float *pageData(uint32_t id) const;
 

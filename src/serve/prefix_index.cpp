@@ -1,8 +1,10 @@
 #include "serve/prefix_index.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/check.h"
+#include "serve/fault.h"
 
 namespace mxplus {
 
@@ -43,6 +45,11 @@ PrefixIndex::findChild(Node *parent, const int *page_tokens)
 {
     Node *from = parent != nullptr ? parent : &root_;
     for (auto &child : from->children) {
+        // A quarantined span is invisible: its state must never be
+        // served again, and skipping it also lets a publisher insert
+        // a fresh, good duplicate of the same token run beside it.
+        if (child->corrupt)
+            continue;
         if (std::equal(child->tokens.begin(), child->tokens.end(),
                        page_tokens)) {
             child->last_use = ++tick_;
@@ -96,6 +103,14 @@ PrefixIndex::insert(Node *parent, const int *page_tokens,
     node->pages.assign(page_ids, page_ids + n_layers_);
     node->parent = from;
     node->last_use = ++tick_;
+    // Snapshot each page's checksum at publication: the pages are
+    // frozen from here on, so any later mismatch is corruption, not a
+    // legal write. Verification on adoption is the engine's knob
+    // (EngineOptions::checksum_pages); computing at insert is always
+    // on so the knob can be flipped without re-publishing.
+    node->sums.reserve(n_layers_);
+    for (const uint32_t id : node->pages)
+        node->sums.push_back(pageChecksum(id));
     for (const uint32_t id : node->pages)
         pool_->ref(id);
     from->children.push_back(std::move(node));
@@ -137,12 +152,132 @@ PrefixIndex::lruEvictableLeaf(Node *node) const
     return best;
 }
 
+uint64_t
+PrefixIndex::pageChecksum(uint32_t page_id) const
+{
+    return hashFloats(pool_->pageData(page_id),
+                      pool_->floatsPerPage());
+}
+
+bool
+PrefixIndex::verify(Node *node)
+{
+    MXPLUS_CHECK(node != nullptr && node != &root_);
+    if (node->corrupt)
+        return false;
+    for (size_t l = 0; l < n_layers_; ++l) {
+        if (pageChecksum(node->pages[l]) == node->sums[l])
+            continue;
+        // Quarantine, permanently: the node becomes invisible to
+        // findChild()/match() and drains via normal LRU eviction.
+        // Pages stay owned until then — releasing early could hand a
+        // known-bad slab back to the free list while a racing audit
+        // still walks the tree.
+        node->corrupt = true;
+        if (node->injected)
+            ++detected_corruptions_;
+        return false;
+    }
+    return true;
+}
+
+bool
+PrefixIndex::debugCorruptIdleLeaf(uint64_t node_draw, uint64_t layer_draw,
+                                  uint64_t bit_draw)
+{
+    // Only *idle* published spans are fair game: unpinned leaves whose
+    // pages all have refcount 1 (held by this index alone). Corrupting
+    // a page a live request still maps would break that request's
+    // stream through its own page table, bypassing adoption-time
+    // verification entirely — that is a different failure class than
+    // the storage-corruption one this hook models.
+    std::vector<Node *> targets;
+    std::vector<Node *> stack{&root_};
+    while (!stack.empty()) {
+        Node *n = stack.back();
+        stack.pop_back();
+        for (auto &c : n->children)
+            stack.push_back(c.get());
+        if (n == &root_ || !n->children.empty() || n->pins > 0 ||
+            n->injected || n->corrupt)
+            continue;
+        bool idle = true;
+        for (const uint32_t id : n->pages)
+            idle = idle && pool_->refCount(id) == 1;
+        if (idle)
+            targets.push_back(n);
+    }
+    if (targets.empty())
+        return false;
+    Node *victim = targets[node_draw % targets.size()];
+    const uint32_t page = victim->pages[layer_draw % n_layers_];
+    float *data = pool_->pageData(page);
+    const size_t bit = bit_draw % (pool_->floatsPerPage() * 32);
+    uint32_t word;
+    std::memcpy(&word, &data[bit / 32], sizeof(word));
+    word ^= 1u << (bit % 32);
+    std::memcpy(&data[bit / 32], &word, sizeof(word));
+    victim->injected = true;
+    ++injected_corruptions_;
+    return true;
+}
+
+size_t
+PrefixIndex::undetectedResidentCorruptions() const
+{
+    size_t count = 0;
+    std::vector<const Node *> stack{&root_};
+    while (!stack.empty()) {
+        const Node *n = stack.back();
+        stack.pop_back();
+        for (const auto &c : n->children)
+            stack.push_back(c.get());
+        if (n->injected && !n->corrupt)
+            ++count;
+    }
+    return count;
+}
+
+bool
+PrefixIndex::auditInvariants() const
+{
+    size_t counted = 0;
+    std::vector<const Node *> stack{&root_};
+    while (!stack.empty()) {
+        const Node *n = stack.back();
+        stack.pop_back();
+        for (const auto &c : n->children) {
+            if (c->parent != n)
+                return false;
+            stack.push_back(c.get());
+        }
+        if (n == &root_)
+            continue;
+        ++counted;
+        if (n->tokens.size() != pt_ || n->pages.size() != n_layers_ ||
+            n->sums.size() != n_layers_)
+            return false;
+        // Every held page must be live: the node owns a reference, so
+        // the pool cannot have recycled it.
+        for (const uint32_t id : n->pages) {
+            if (pool_->refCount(id) < 1)
+                return false;
+        }
+    }
+    return counted == node_count_;
+}
+
 bool
 PrefixIndex::evictOne()
 {
     Node *victim = lruEvictableLeaf(&root_);
     if (victim == nullptr)
         return false;
+    // Chaos accounting: an injected corruption leaving the tree before
+    // any adoption verified it was never observable — the harness
+    // balances injected == detected + evicted-undetected + resident.
+    if (victim->injected && !victim->corrupt)
+        ++evicted_undetected_corruptions_;
     releaseNodePages(*victim);
     Node *parent = victim->parent;
     auto it = std::find_if(

@@ -55,10 +55,17 @@ class PrefixIndex
     {
         std::vector<int> tokens;      ///< pageTokens() token ids
         std::vector<uint32_t> pages;  ///< one pool page id per layer
+        std::vector<uint64_t> sums;   ///< per-layer page checksums
         Node *parent = nullptr;
         std::vector<std::unique_ptr<Node>> children;
         uint64_t last_use = 0; ///< LRU stamp
         size_t pins = 0;       ///< requests depending on this node
+        /** Quarantined: a checksum verification failed. The node is
+            invisible to findChild()/match() from then on — its state
+            can never be served — and it drains via normal eviction. */
+        bool corrupt = false;
+        /** Debug bookkeeping: the chaos harness flipped a bit here. */
+        bool injected = false;
     };
 
     /**
@@ -121,6 +128,51 @@ class PrefixIndex
     bool evictOne();
 
     /**
+     * Recompute @p node's per-layer page checksums against the sums
+     * stored at insertion. A mismatch quarantines the node (sets
+     * Node::corrupt, so findChild()/match() skip it forever) and
+     * returns false — the caller computes privately, which is always
+     * bit-exact. The engine calls this on every adoption when
+     * EngineOptions::checksum_pages is on.
+     */
+    bool verify(Node *node);
+
+    /**
+     * Chaos hook: flip one bit in an IDLE published page — an unpinned
+     * leaf all of whose pages have refcount 1 (held only by this
+     * index), so no active request maps the corrupted bytes and the
+     * only way they could ever be served is through adoption, which
+     * verify() guards. Draws select the victim node, layer and bit.
+     * Returns true when a target existed and a bit was flipped.
+     */
+    bool debugCorruptIdleLeaf(uint64_t node_draw, uint64_t layer_draw,
+                              uint64_t bit_draw);
+
+    /** Bits flipped by debugCorruptIdleLeaf over the lifetime. */
+    size_t injectedCorruptions() const { return injected_corruptions_; }
+    /** Injected corruptions verify() caught (and quarantined). */
+    size_t detectedCorruptions() const { return detected_corruptions_; }
+    /** Injected-but-undetected nodes evicted before any adoption
+        reached them (never served, so never verified). */
+    size_t evictedUndetectedCorruptions() const
+    {
+        return evicted_undetected_corruptions_;
+    }
+    /** Resident injected-but-undetected nodes (never adopted yet;
+        verify() would catch them the moment anyone tried). */
+    size_t undetectedResidentCorruptions() const;
+
+    /**
+     * Structural debug audit: node count matches the tree, every node
+     * carries one page + one checksum per layer, parent links are
+     * consistent, and every held page is live in the pool. Checksums
+     * are NOT verified here — an injected corruption that was never
+     * adopted must not fail the audit (it is unreachable-by-serving,
+     * not a structural violation). Returns false on any violation.
+     */
+    bool auditInvariants() const;
+
+    /**
      * Evict every unpinned span; pool usage drops by the evicted
      * pages. Paths pinned by active requests survive — clearing must
      * never free state someone still maps. Returns true when the
@@ -134,6 +186,7 @@ class PrefixIndex
   private:
     Node *lruEvictableLeaf(Node *node) const;
     void releaseNodePages(const Node &node);
+    uint64_t pageChecksum(uint32_t page_id) const;
 
     std::shared_ptr<KvPagePool> pool_;
     size_t n_layers_;
@@ -142,6 +195,9 @@ class PrefixIndex
     Node root_; ///< sentinel: no tokens, no pages, never evicted
     size_t node_count_ = 0;
     size_t evicted_nodes_ = 0;
+    size_t injected_corruptions_ = 0;
+    size_t detected_corruptions_ = 0;
+    size_t evicted_undetected_corruptions_ = 0;
     uint64_t tick_ = 0;
 };
 

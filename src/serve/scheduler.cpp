@@ -89,6 +89,50 @@ Scheduler::popCandidate()
     queue_.erase(queue_.begin());
 }
 
+std::vector<Scheduler::QueuedInfo>
+Scheduler::queuedSnapshot() const
+{
+    std::vector<QueuedInfo> out;
+    out.reserve(queue_.size());
+    for (const Entry &e : queue_) {
+        QueuedInfo q;
+        q.id = e.id;
+        q.priority = e.priority;
+        q.enqueue_ms = e.enqueue_ms;
+        q.aging_step = e.aging_step;
+        q.key = e.key;
+        out.push_back(q);
+    }
+    return out;
+}
+
+Scheduler::QueuedInfo
+Scheduler::worstQueued() const
+{
+    MXPLUS_CHECK_MSG(!queue_.empty(), "Scheduler: no queued request");
+    const Entry &e = *queue_.rbegin();
+    QueuedInfo q;
+    q.id = e.id;
+    q.priority = e.priority;
+    q.enqueue_ms = e.enqueue_ms;
+    q.aging_step = e.aging_step;
+    q.key = e.key;
+    return q;
+}
+
+bool
+Scheduler::removeQueued(size_t id)
+{
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->id == id) {
+            live_seqs_.erase(it->seq);
+            queue_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 bool
 Scheduler::withinWindow(size_t need_pages, size_t held_pages) const
 {

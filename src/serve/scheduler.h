@@ -104,6 +104,36 @@ class Scheduler
     bool hasQueued() const { return !queue_.empty(); }
     size_t queuedRequests() const { return queue_.size(); }
 
+    /** What the lifecycle scans need to know about one queued entry. */
+    struct QueuedInfo
+    {
+        size_t id = 0;
+        int priority = 0;
+        double enqueue_ms = 0.0; ///< last (re-)enqueue time
+        uint64_t aging_step = 0;
+        double key = 0.0; ///< static aged key (higher = better)
+    };
+
+    /**
+     * Snapshot of every queued entry in admission order. The engine's
+     * deadline/shed pass iterates this copy so it can removeQueued()
+     * mid-scan without invalidating anything.
+     */
+    std::vector<QueuedInfo> queuedSnapshot() const;
+
+    /**
+     * The WORST queued entry (lowest effective priority — the last
+     * in admission order), the load-shedding victim candidate.
+     * Queue must be non-empty.
+     */
+    QueuedInfo worstQueued() const;
+
+    /**
+     * Remove a queued entry by id (shed, timed out, or cancelled
+     * while waiting). False when @p id is not queued.
+     */
+    bool removeQueued(size_t id);
+
     /** Id of the best queued request (highest effective priority). */
     size_t peekCandidate() const;
     /** True if the current best candidate is not the oldest queued

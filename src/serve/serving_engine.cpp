@@ -21,6 +21,26 @@ nowMs()
 
 } // namespace
 
+const char *
+outcomeName(RequestOutcome outcome)
+{
+    switch (outcome) {
+    case RequestOutcome::kPending:
+        return "pending";
+    case RequestOutcome::kCompleted:
+        return "completed";
+    case RequestOutcome::kRejected:
+        return "rejected";
+    case RequestOutcome::kShed:
+        return "shed";
+    case RequestOutcome::kTimedOut:
+        return "timed_out";
+    case RequestOutcome::kCancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
 double
 latencyPercentile(std::vector<double> samples, double p)
 {
@@ -112,6 +132,64 @@ ServingEngine::maxAdoptPages(size_t prompt_len) const
     return (prompt_len - 1) / pool_->pageTokens();
 }
 
+double
+ServingEngine::requestClockMs() const
+{
+    const double base =
+        opts_.step_time_ms > 0.0 ? virtual_now_ms_ : nowMs();
+    return base + clock_skew_ms_;
+}
+
+double
+ServingEngine::effectiveDeadlineMs(size_t id) const
+{
+    const double r = pending_[id].deadline_ms;
+    return r > 0.0 ? r : opts_.deadline_ms;
+}
+
+double
+ServingEngine::effectiveTtftDeadlineMs(size_t id) const
+{
+    const double r = pending_[id].ttft_deadline_ms;
+    return r > 0.0 ? r : opts_.ttft_deadline_ms;
+}
+
+void
+ServingEngine::markTerminal(size_t id, RequestOutcome outcome)
+{
+    RequestStats &rs = stats_[id];
+    MXPLUS_CHECK_MSG(!rs.finished,
+                     "ServingEngine: double terminal state");
+    rs.finished = true;
+    rs.outcome = outcome;
+    rs.rejected = outcome == RequestOutcome::kRejected;
+    switch (outcome) {
+    case RequestOutcome::kRejected:
+        engine_stats_.rejected_requests += 1;
+        break;
+    case RequestOutcome::kShed:
+        engine_stats_.shed_requests += 1;
+        break;
+    case RequestOutcome::kTimedOut:
+        engine_stats_.timed_out_requests += 1;
+        break;
+    case RequestOutcome::kCancelled:
+        engine_stats_.cancelled_requests += 1;
+        break;
+    default:
+        break;
+    }
+    // Keep goodput current even when the engine is driven by a
+    // manual step() loop that never reaches finalizeRun().
+    size_t completed = 0;
+    for (const RequestStats &st : stats_) {
+        if (st.outcome == RequestOutcome::kCompleted)
+            ++completed;
+    }
+    engine_stats_.goodput_ok_fraction = static_cast<double>(completed) /
+        static_cast<double>(stats_.size());
+}
+
 size_t
 ServingEngine::submit(ServeRequest req)
 {
@@ -126,11 +204,54 @@ ServingEngine::submit(ServeRequest req)
     stats_.push_back(std::move(rs));
     pending_.push_back(std::move(req));
     prefix_hit_counted_.push_back(0);
+    submit_ms_.push_back(requestClockMs());
+    cancel_requested_.push_back(0);
     const ServeRequest &stored = pending_.back();
+
+    // Overload protection: a bounded queue sheds at SUBMIT time, not
+    // at admission — a client learns immediately that the engine will
+    // not take the work, instead of queueing it to die of old age.
+    if (opts_.queue_cap > 0 &&
+        scheduler_->queuedRequests() >= opts_.queue_cap) {
+        bool displaced = false;
+        if (opts_.shed_policy == ShedPolicy::kLowestPriority) {
+            // Displace the worst queued request only when the incoming
+            // one strictly out-keys it (same aged key the admission
+            // order uses) — ties keep the incumbent, so a stream of
+            // equal-priority arrivals degenerates to tail drop rather
+            // than churning the whole queue.
+            const Scheduler::QueuedInfo worst =
+                scheduler_->worstQueued();
+            const double key = scheduler_->agedKey(
+                stored.priority, scheduler_->currentStep());
+            if (key > worst.key) {
+                MXPLUS_CHECK(scheduler_->removeQueued(worst.id));
+                markTerminal(worst.id, RequestOutcome::kShed);
+                displaced = true;
+            }
+        }
+        if (!displaced) {
+            markTerminal(id, RequestOutcome::kShed);
+            return id;
+        }
+    }
+
     scheduler_->enqueue(id, stored.priority,
                         stored.prompt.size() + stored.max_new_tokens,
-                        nowMs());
+                        requestClockMs());
     return id;
+}
+
+bool
+ServingEngine::cancel(size_t id)
+{
+    if (id >= stats_.size() || stats_[id].finished)
+        return false;
+    // Applied at the next step boundary (lifecyclePass): terminating
+    // between steps is the only moment a slot is guaranteed to hold no
+    // uncommitted per-layer appends.
+    cancel_requested_[id] = 1;
+    return true;
 }
 
 int
@@ -152,7 +273,7 @@ void
 ServingEngine::admitCandidate(PrefixIndex::Node *matched_node,
                               size_t matched_pages, size_t need_pages)
 {
-    const double now = nowMs();
+    const double now = requestClockMs();
     const size_t id = scheduler_->peekCandidate();
     const double wait = scheduler_->candidateWaitMs(now);
     const uint64_t aging_step = scheduler_->candidateAgingStep();
@@ -211,6 +332,46 @@ ServingEngine::findSlot(size_t id)
     return nullptr;
 }
 
+PrefixIndex::Node *
+ServingEngine::verifiedChild(PrefixIndex::Node *parent,
+                             const int *page_tokens)
+{
+    PrefixIndex::Node *child = prefix_->findChild(parent, page_tokens);
+    if (child == nullptr || !opts_.checksum_pages)
+        return child;
+    if (!prefix_->verify(child)) {
+        // verify() quarantined the span: it is invisible from now on,
+        // and this reader computes the page privately — bit-exactness
+        // never depended on adoption, only throughput did.
+        engine_stats_.checksum_failures += 1;
+        return nullptr;
+    }
+    return child;
+}
+
+PrefixIndex::Node *
+ServingEngine::verifiedMatch(const std::vector<int> &prompt,
+                             size_t *matched_pages)
+{
+    // The admission-time walk must verify exactly like the adoption
+    // walk will: counting a page here that adoption later refuses
+    // would under-reserve the private tail against the ledger.
+    const size_t pt = pool_->pageTokens();
+    const size_t max_pages = maxAdoptPages(prompt.size());
+    PrefixIndex::Node *node = nullptr;
+    size_t depth = 0;
+    while (depth < max_pages) {
+        PrefixIndex::Node *child =
+            verifiedChild(node, prompt.data() + depth * pt);
+        if (child == nullptr)
+            break;
+        node = child;
+        ++depth;
+    }
+    *matched_pages = depth;
+    return node;
+}
+
 bool
 ServingEngine::adoptShared(Slot &slot)
 {
@@ -231,7 +392,7 @@ ServingEngine::adoptShared(Slot &slot)
         if (pos + pt >= prompt.size())
             break; // keep >= 1 prompt token for the logits-producing run
         PrefixIndex::Node *child =
-            prefix_->findChild(slot.path_node, prompt.data() + pos);
+            verifiedChild(slot.path_node, prompt.data() + pos);
         if (child == nullptr)
             break;
         slot.cache.adoptSharedPage(child->pages.data());
@@ -360,9 +521,114 @@ ServingEngine::preemptSlot(size_t slot_index)
     // climbs the queue instead of starving.
     scheduler_->enqueuePreempted(
         slot.id, slot.req.priority,
-        slot.req.prompt.size() + slot.req.max_new_tokens, nowMs(),
-        slot.aging_step);
+        slot.req.prompt.size() + slot.req.max_new_tokens,
+        requestClockMs(), slot.aging_step);
     active_.erase(active_.begin() + static_cast<long>(slot_index));
+}
+
+void
+ServingEngine::terminateSlot(size_t slot_index, RequestOutcome outcome)
+{
+    // Works from ANY phase — mid-prefill, mid-adoption walk, decoding:
+    // the slot is between committed steps here, so dropping the cache
+    // releases exactly the pages it holds, the ledger gets back
+    // exactly what admission (minus sharing credits) charged, and the
+    // pin releases the trie path. Generated tokens stay in the stats:
+    // a timed-out request's partial answer is still a bit-exact prefix
+    // of its unconstrained stream.
+    Slot &slot = *active_[slot_index];
+    RequestStats &rs = stats_[slot.id];
+    scheduler_->release(slot.reserved_pages);
+    if (slot.pinned != nullptr) {
+        prefix_->unpin(slot.pinned);
+        slot.pinned = nullptr;
+    }
+    markTerminal(slot.id, outcome);
+    finalize(rs);
+    // Destroying the cache drops one reference per mapped page; pages
+    // the prefix index retains survive for future requests.
+    active_.erase(active_.begin() + static_cast<long>(slot_index));
+}
+
+void
+ServingEngine::lifecyclePass()
+{
+    if (opts_.fault != nullptr) {
+        FaultInjector &f = *opts_.fault;
+        f.beginStep(step_count_);
+        // Draw sites in a fixed order, unconditionally, so the fault
+        // schedule depends only on (seed, step count) — never on the
+        // engine state a previous fault produced.
+        const bool skew = f.shouldFire(FaultSite::kClockSkew);
+        const bool storm = f.shouldFire(FaultSite::kEvictStorm);
+        const bool preempt = f.shouldFire(FaultSite::kForcePreempt);
+        const bool corrupt = f.shouldFire(FaultSite::kCorruptPage);
+        if (skew)
+            clock_skew_ms_ += f.drawSkewMs();
+        if (storm && prefix_ != nullptr) {
+            while (prefix_->evictOne()) {
+            }
+        }
+        if (preempt && !active_.empty())
+            preemptVictim(/*blind=*/true, 0.0);
+        if (corrupt && prefix_ != nullptr) {
+            prefix_->debugCorruptIdleLeaf(f.drawIndex(1u << 30),
+                                          f.drawIndex(1u << 30),
+                                          f.drawIndex(1u << 30));
+        }
+    }
+
+    const bool lifecycle_on = opts_.deadline_ms > 0.0 ||
+        opts_.ttft_deadline_ms > 0.0 || opts_.max_queue_wait_ms > 0.0 ||
+        !cancel_requested_.empty();
+    if (!lifecycle_on)
+        return;
+    const double now = requestClockMs();
+
+    // Queued requests first: a queued death frees no pages but does
+    // free queue positions and ledger headroom before admission runs.
+    for (const Scheduler::QueuedInfo &q : scheduler_->queuedSnapshot()) {
+        RequestOutcome out = RequestOutcome::kPending;
+        const double age = now - submit_ms_[q.id];
+        const double dl = effectiveDeadlineMs(q.id);
+        const double tdl = effectiveTtftDeadlineMs(q.id);
+        if (cancel_requested_[q.id]) {
+            out = RequestOutcome::kCancelled;
+        } else if (dl > 0.0 && age > dl) {
+            out = RequestOutcome::kTimedOut;
+        } else if (tdl > 0.0 && stats_[q.id].ttft_ms == 0.0 &&
+                   age > tdl) {
+            out = RequestOutcome::kTimedOut;
+        } else if (opts_.max_queue_wait_ms > 0.0 &&
+                   now - q.enqueue_ms > opts_.max_queue_wait_ms) {
+            out = RequestOutcome::kShed;
+        }
+        if (out == RequestOutcome::kPending)
+            continue;
+        MXPLUS_CHECK(scheduler_->removeQueued(q.id));
+        markTerminal(q.id, out);
+    }
+
+    // Active slots, backwards: terminateSlot erases by index.
+    for (size_t i = active_.size(); i-- > 0;) {
+        const Slot &slot = *active_[i];
+        const RequestStats &rs = stats_[slot.id];
+        RequestOutcome out = RequestOutcome::kPending;
+        const double age = now - submit_ms_[slot.id];
+        const double dl = effectiveDeadlineMs(slot.id);
+        const double tdl = effectiveTtftDeadlineMs(slot.id);
+        if (cancel_requested_[slot.id]) {
+            out = RequestOutcome::kCancelled;
+        } else if (dl > 0.0 && age > dl) {
+            out = RequestOutcome::kTimedOut;
+        } else if (tdl > 0.0 && rs.ttft_ms == 0.0 && age > tdl) {
+            // A preempted-and-readmitted request keeps its first TTFT
+            // stamp, so a restart can never re-arm the TTFT deadline.
+            out = RequestOutcome::kTimedOut;
+        }
+        if (out != RequestOutcome::kPending)
+            terminateSlot(i, out);
+    }
 }
 
 bool
@@ -428,7 +694,15 @@ ServingEngine::ensureFreePages(size_t needed, double requester_key)
     // priority inversion and mutual-preemption churn — it defers (keeps
     // its pages, skips the step) instead, and the no-progress fallback
     // in step() breaks the rare logjam where everyone defers.
-    while (pool_->freePages() < needed) {
+    // Injected exhaustion forces exactly one evict-or-preempt round
+    // through the same code real exhaustion takes; firing here — the
+    // engine's decision point — rather than inside acquire() is what
+    // keeps the mid-append "admission must reserve first" contract
+    // intact under chaos.
+    bool forced = opts_.fault != nullptr &&
+        opts_.fault->shouldFire(FaultSite::kPoolExhausted);
+    while (forced || pool_->freePages() < needed) {
+        forced = false;
         if (prefix_ != nullptr && prefix_->evictOne())
             continue;
         if (!preemptVictim(/*blind=*/false, requester_key))
@@ -459,7 +733,7 @@ ServingEngine::prefillQuantum(Slot &slot)
         // A restarted request regenerates the same first token; its
         // TTFT stays the moment the token was first produced.
         if (rs.ttft_ms == 0.0)
-            rs.ttft_ms = nowMs() - start_ms_;
+            rs.ttft_ms = requestClockMs() - clock_start_ms_;
         rs.generated.push_back(slot.last_token);
         slot.context.push_back(slot.last_token);
     }
@@ -478,6 +752,7 @@ ServingEngine::retireFinished()
         const bool seq_full =
             slot.cache.length() >= model_.config().max_seq;
         if (count_done || seq_full) {
+            markTerminal(slot.id, RequestOutcome::kCompleted);
             finalize(rs);
             scheduler_->release(slot.reserved_pages);
             if (slot.pinned != nullptr)
@@ -537,9 +812,20 @@ ServingEngine::clearPrefixCache()
 bool
 ServingEngine::step()
 {
-    if (start_ms_ < 0.0)
+    if (start_ms_ < 0.0) {
         start_ms_ = nowMs();
+        clock_start_ms_ = requestClockMs();
+    }
     scheduler_->beginStep();
+    ++step_count_;
+    if (opts_.step_time_ms > 0.0)
+        virtual_now_ms_ += opts_.step_time_ms;
+
+    // Faults, cancellations, deadlines and queue-wait sheds all apply
+    // at the step boundary, before admission: a slot or page freed by
+    // a termination is reusable this very step, and no termination can
+    // ever interleave with a half-appended cache.
+    lifecyclePass();
 
     // Admission: while a slot is free, take the scheduler's best
     // candidate (priority + aging, SJF or FIFO ties), match its prompt
@@ -564,20 +850,17 @@ ServingEngine::step()
             // than the whole budget can never run, no matter what the
             // prefix cache holds or how optimistic the window is, so
             // reject deterministically and gracefully.
-            RequestStats &rs = stats_[id];
-            rs.finished = true;
-            rs.rejected = true;
-            engine_stats_.rejected_requests += 1;
             scheduler_->popCandidate();
+            markTerminal(id, RequestOutcome::kRejected);
             continue;
         }
 
         size_t matched = 0;
         PrefixIndex::Node *node = nullptr;
         if (prefix_ != nullptr) {
-            node = prefix_->match(req.prompt.data(), req.prompt.size(),
-                                  maxAdoptPages(req.prompt.size()),
-                                  &matched);
+            // Checksum-verified match: the reservation below must not
+            // count pages a later adoption would refuse.
+            node = verifiedMatch(req.prompt, &matched);
             if (node != nullptr)
                 prefix_->pin(node); // survives the eviction loop below
         }
@@ -735,10 +1018,51 @@ ServingEngine::step()
 void
 ServingEngine::runToCompletion()
 {
+    runToCompletion(0);
+}
+
+bool
+ServingEngine::runToCompletion(size_t max_steps)
+{
+    size_t steps = 0;
+    bool drained = true;
     while (step()) {
+        ++steps;
+        if (max_steps > 0 && steps >= max_steps) {
+            // Watchdog: a liveness bug (or an impossible workload)
+            // must fail loudly, not hang — stats are still finalized
+            // so the caller can report what happened before tripping.
+            drained = false;
+            break;
+        }
     }
-    if (start_ms_ < 0.0)
-        return; // nothing was ever submitted
+    if (start_ms_ >= 0.0)
+        finalizeRun();
+    return drained;
+}
+
+bool
+ServingEngine::auditInvariants() const
+{
+    if (!pool_->auditInvariants())
+        return false;
+    if (prefix_ != nullptr && !prefix_->auditInvariants())
+        return false;
+    // The reservation ledger must equal the sum of what the active
+    // slots believe they reserved — any drift means a terminal path
+    // released too much or too little.
+    size_t reserved = 0;
+    for (const auto &sp : active_) {
+        if (!sp->cache.auditInvariants())
+            return false;
+        reserved += sp->reserved_pages;
+    }
+    return reserved == scheduler_->reservedPages();
+}
+
+void
+ServingEngine::finalizeRun()
+{
     engine_stats_.wall_ms = nowMs() - start_ms_;
     engine_stats_.total_generated = 0;
     for (const RequestStats &rs : stats_)
@@ -763,6 +1087,15 @@ ServingEngine::runToCompletion()
         latencyPercentile(queue_wait_samples_, 0.50);
     engine_stats_.queue_wait_ms_p99 =
         latencyPercentile(queue_wait_samples_, 0.99);
+    size_t completed = 0;
+    for (const RequestStats &rs : stats_) {
+        if (rs.outcome == RequestOutcome::kCompleted)
+            ++completed;
+    }
+    engine_stats_.goodput_ok_fraction = stats_.empty()
+        ? 0.0
+        : static_cast<double>(completed) /
+            static_cast<double>(stats_.size());
 }
 
 const RequestStats &

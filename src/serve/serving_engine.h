@@ -74,7 +74,26 @@
  *
  * All timing uses a steady clock; per-request latencies are measured
  * from engine start (runToCompletion), so a queued request's TTFT
- * includes its queueing delay.
+ * includes its queueing delay. EngineOptions::step_time_ms switches
+ * the REQUEST-FACING clock (deadlines, queue waits, TTFT) to a virtual
+ * one that advances a fixed amount per scheduler step, which makes
+ * deadline and shedding behaviour a deterministic function of the
+ * workload — perf counters (wall_ms, decode_ms) always stay wall.
+ *
+ * Request lifecycle (PR6): every request ends in exactly one terminal
+ * state — completed, rejected (demand can never fit), shed (bounded
+ * queue overflow or over-long queue wait), timed_out (TTFT or
+ * end-to-end deadline) or cancelled (client cancel()) — and every
+ * non-completed exit releases its pages, its reservation-ledger entry
+ * and its trie pins from whatever phase it was in. Terminations are
+ * applied at step boundaries only, so a dying request never leaves a
+ * half-appended cache behind. Shared-page integrity is guarded by
+ * per-page checksums taken when a span is published and re-verified
+ * before every adoption (EngineOptions::checksum_pages); a mismatch
+ * quarantines the span and the reader computes privately — corruption
+ * can cost compute, never correctness. A FaultInjector
+ * (EngineOptions::fault) can force all of these paths
+ * deterministically; see serve/fault.h and tests/test_chaos.cpp.
  */
 
 #ifndef MXPLUS_SERVE_SERVING_ENGINE_H
@@ -88,12 +107,40 @@
 #include "common/rng.h"
 #include "model/layers.h"
 #include "model/transformer.h"
+#include "serve/fault.h"
 #include "serve/kv_cache.h"
 #include "serve/kv_page_pool.h"
 #include "serve/prefix_index.h"
 #include "serve/scheduler.h"
 
 namespace mxplus {
+
+/**
+ * Terminal state of a request — exactly one per request, replacing the
+ * old bool-ish `rejected`. kPending means still queued or running.
+ */
+enum class RequestOutcome
+{
+    kPending = 0,
+    kCompleted, ///< generated its full answer (or filled the sequence)
+    kRejected,  ///< KV demand could never fit the budget; never ran
+    kShed,      ///< dropped by overload protection (queue cap / wait)
+    kTimedOut,  ///< missed its TTFT or end-to-end deadline
+    kCancelled, ///< client cancel() took effect
+};
+
+/** Stable name of @p outcome ("completed", "shed", ...). */
+const char *outcomeName(RequestOutcome outcome);
+
+/** Which request a full admission queue drops. */
+enum class ShedPolicy
+{
+    /** Shed the incoming request (classic tail drop). */
+    kNewest = 0,
+    /** Shed the lowest-effective-priority queued request if the
+        incoming one outranks it, else the incoming one. */
+    kLowestPriority,
+};
 
 /** One generation request. */
 struct ServeRequest
@@ -115,6 +162,15 @@ struct ServeRequest
      * tokens a request generates.
      */
     int priority = 0;
+    /**
+     * End-to-end deadline in request-clock ms from submit (0 = engine
+     * default, EngineOptions::deadline_ms). A request not finished by
+     * then is terminated as kTimedOut, keeping the tokens generated so
+     * far (always a bit-exact prefix of the unconstrained stream).
+     */
+    double deadline_ms = 0.0;
+    /** First-token deadline from submit (0 = engine default). */
+    double ttft_deadline_ms = 0.0;
 };
 
 /** Engine-wide scheduling and memory knobs. */
@@ -168,6 +224,54 @@ struct EngineOptions
      * no starvation under a stream of short high-priority jobs.
      */
     double aging_rate = 0.0;
+    /**
+     * Default end-to-end deadline (request-clock ms from submit)
+     * applied when ServeRequest::deadline_ms is 0. 0 = no deadline.
+     */
+    double deadline_ms = 0.0;
+    /** Default first-token deadline (0 = none). */
+    double ttft_deadline_ms = 0.0;
+    /**
+     * Bounded admission queue: submits beyond this many queued
+     * requests trigger load shedding per @ref shed_policy (0 =
+     * unbounded). Active slots don't count — the cap protects the
+     * queue, admission protects the slots.
+     */
+    size_t queue_cap = 0;
+    /** Who a full queue drops (see ShedPolicy). */
+    ShedPolicy shed_policy = ShedPolicy::kNewest;
+    /**
+     * Shed a request still queued after this many request-clock ms
+     * (0 = never). Unlike a deadline this is the ENGINE declining
+     * work it is too far behind on, so it counts as kShed: the
+     * goodput loss is attributed to overload, not to the request's
+     * latency contract.
+     */
+    double max_queue_wait_ms = 0.0;
+    /**
+     * Verify each shared page's published checksum before adopting it
+     * (admission match and prefill adoption). A mismatch quarantines
+     * the span (PrefixIndex::verify) and the request computes the
+     * page privately — bit-exactness is preserved either way; the
+     * checksum turns silent corruption into a counted, contained
+     * event. Checksums are always COMPUTED at publication; this knob
+     * only gates verification.
+     */
+    bool checksum_pages = true;
+    /**
+     * Virtual request-clock milliseconds per scheduler step (0 = wall
+     * clock). With a positive value, deadlines, queue waits and TTFT
+     * are measured on a clock that is a pure function of the step
+     * count, making timeout/shed behaviour — and therefore terminal
+     * states — deterministic across machines and runs. Wall-clock
+     * perf counters are unaffected.
+     */
+    double step_time_ms = 0.0;
+    /**
+     * Deterministic fault injector for chaos testing (not owned;
+     * nullptr = never fires, zero overhead). See serve/fault.h.
+     */
+    FaultInjector *fault = nullptr;
 };
 
 /** Per-request outcome and latency statistics. */
@@ -177,7 +281,14 @@ struct RequestStats
     size_t prompt_tokens = 0;
     std::vector<int> generated;
     bool finished = false;
-    /** KV demand could never fit the budget; nothing was generated. */
+    /**
+     * Terminal state (kPending until finished). Non-completed exits
+     * keep whatever tokens were generated before the cut — always a
+     * bit-exact prefix of the request's unconstrained stream.
+     */
+    RequestOutcome outcome = RequestOutcome::kPending;
+    /** @deprecated Kept in sync with outcome == kRejected; use
+        @ref outcome. */
     bool rejected = false;
     /** Prompt tokens served from shared prefix pages (no compute). */
     size_t shared_prompt_tokens = 0;
@@ -238,6 +349,18 @@ struct EngineStats
     /** Queue-wait (submit/requeue -> admission) percentiles. */
     double queue_wait_ms_p50 = 0.0;
     double queue_wait_ms_p99 = 0.0;
+    /** Requests dropped by overload protection (cap or queue wait). */
+    size_t shed_requests = 0;
+    /** Requests that missed a TTFT or end-to-end deadline. */
+    size_t timed_out_requests = 0;
+    /** Requests terminated by client cancel(). */
+    size_t cancelled_requests = 0;
+    /** Shared-page checksum mismatches caught before adoption. */
+    size_t checksum_failures = 0;
+    /** Completed requests over all submitted (goodput, not just
+        throughput: sheds, timeouts, cancels and rejects all count
+        against it). */
+    double goodput_ok_fraction = 0.0;
 };
 
 /** Nearest-rank percentile of latency samples (shared with benches). */
@@ -254,8 +377,20 @@ class ServingEngine
     ServingEngine(const Transformer &model, QuantConfig qc,
                   size_t max_batch);
 
-    /** Enqueue a request; returns its id. */
+    /** Enqueue a request; returns its id. A full bounded queue may
+        shed it (or a worse queued request) immediately — check
+        stats(id).outcome. */
     size_t submit(ServeRequest req);
+
+    /**
+     * Request cancellation of @p id. Takes effect at the next step
+     * boundary — from the queue or from an active slot alike — and
+     * releases every page, ledger entry and trie pin the request
+     * held; tokens generated so far stay in its stats. Returns false
+     * when the request is unknown or already finished (the classic
+     * cancel/complete race — the caller gets the completed answer).
+     */
+    bool cancel(size_t id);
 
     /**
      * One scheduler iteration: admit while the window and slots allow,
@@ -267,6 +402,24 @@ class ServingEngine
 
     /** Drain the queue and all active requests. */
     void runToCompletion();
+
+    /**
+     * Watchdog variant: drain, but give up after @p max_steps steps
+     * (0 = unlimited). Returns false when the watchdog tripped —
+     * aggregate statistics are still finalized so the caller can
+     * report them while failing loudly instead of hanging forever.
+     */
+    bool runToCompletion(size_t max_steps);
+
+    /**
+     * Cross-layer debug audit: pool accounting (KvPagePool::
+     * auditInvariants), prefix-trie structure (PrefixIndex::
+     * auditInvariants), every active cache's page tables (KvCache::
+     * auditInvariants) and the reservation ledger (the scheduler's
+     * reserved total equals the sum over active slots). Cheap enough
+     * to call between chaos episodes, too slow for every step.
+     */
+    bool auditInvariants() const;
 
     const RequestStats &stats(size_t id) const;
     const EngineStats &engineStats() const { return engine_stats_; }
@@ -289,6 +442,9 @@ class ServingEngine
     const EngineOptions &options() const { return opts_; }
     /** The policy layer (tests/debugging). */
     const Scheduler &scheduler() const { return *scheduler_; }
+    /** The prefix trie, nullptr when sharing is off (tests/debugging —
+        the chaos harness reads its corruption counters). */
+    const PrefixIndex *prefixIndex() const { return prefix_.get(); }
 
   private:
     struct Slot
@@ -324,6 +480,40 @@ class ServingEngine
         }
     };
 
+    /**
+     * Request-facing clock: wall by default, virtual (step-driven)
+     * when step_time_ms > 0, plus any injected skew. Perf counters
+     * never use it.
+     */
+    double requestClockMs() const;
+    /** Effective deadline for @p id: per-request value, else the
+        engine default, 0 = none. */
+    double effectiveDeadlineMs(size_t id) const;
+    double effectiveTtftDeadlineMs(size_t id) const;
+    /** Stamp a terminal outcome (and the deprecated rejected alias),
+        bumping the matching engine counter. */
+    void markTerminal(size_t id, RequestOutcome outcome);
+    /** Terminate an active slot from any phase: finalize its partial
+        stats, release reservation and pins, drop its pages. */
+    void terminateSlot(size_t slot_index, RequestOutcome outcome);
+    /**
+     * Step-start lifecycle pass: fire scheduled faults, then apply
+     * cancellations, deadlines and queue-wait sheds to queued AND
+     * active requests. Runs before admission so a freed slot or page
+     * is immediately reusable this very step.
+     */
+    void lifecyclePass();
+    /**
+     * findChild plus adoption-time checksum verification (when
+     * checksum_pages): a span failing verify() is quarantined,
+     * counted, and treated as absent — the caller computes privately.
+     */
+    PrefixIndex::Node *verifiedChild(PrefixIndex::Node *parent,
+                                     const int *page_tokens);
+    /** match() built on verifiedChild — the admission-time walk never
+        counts pages an adoption would later refuse. */
+    PrefixIndex::Node *verifiedMatch(const std::vector<int> &prompt,
+                                     size_t *matched_pages);
     /** Per-layer pages a request needs over its whole lifetime. */
     size_t pagesPerLayerFor(const ServeRequest &req) const;
     /** Whole prompt pages adoptable while leaving >= 1 token to run. */
@@ -365,6 +555,9 @@ class ServingEngine
     void samplePoolPeak();
     int pickToken(Slot &slot, const float *logits) const;
     void finalize(RequestStats &rs) const;
+    /** Aggregate-stat finalization shared by both runToCompletion
+        overloads (wall time, throughput, goodput, percentiles). */
+    void finalizeRun();
 
     const Transformer &model_;
     QuantConfig qc_;
@@ -386,8 +579,18 @@ class ServingEngine
     EngineStats engine_stats_;
     std::vector<double> queue_wait_samples_;
     uint64_t next_admit_seq_ = 0;
-    double start_ms_ = -1.0;
+    double start_ms_ = -1.0;       ///< wall clock at first step (perf)
+    double clock_start_ms_ = -1.0; ///< request clock at first step
     double occupancy_sum_ = 0.0;
+
+    // Lifecycle state (PR6). submit_ms_ anchors deadlines; the cancel
+    // flags are applied at the next step boundary so terminations
+    // never interleave with uncommitted appends.
+    std::vector<double> submit_ms_;       ///< request clock at submit
+    std::vector<uint8_t> cancel_requested_;
+    double virtual_now_ms_ = 0.0; ///< step-driven clock (step_time_ms)
+    double clock_skew_ms_ = 0.0;  ///< injected skew (fault harness)
+    uint64_t step_count_ = 0;
 };
 
 } // namespace mxplus

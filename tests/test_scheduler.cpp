@@ -190,6 +190,62 @@ TEST(Scheduler, VictimIsLowestPriorityThenCheapestRecomputeThenNewest)
               1u);
 }
 
+TEST(Scheduler, QueuedSnapshotReportsAdmissionOrderWithKeys)
+{
+    SchedulerOptions opts;
+    opts.aging_rate = 0.5;
+    Scheduler sched(opts);
+    sched.enqueue(10, /*priority=*/0, /*cost=*/16, /*ms=*/1.0);
+    sched.enqueue(11, /*priority=*/3, /*cost=*/16, /*ms=*/2.0);
+    sched.enqueue(12, /*priority=*/-1, /*cost=*/16, /*ms=*/3.0);
+
+    const auto snap = sched.queuedSnapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    // Admission order: best key first, and it matches peekCandidate.
+    EXPECT_EQ(snap[0].id, 11u);
+    EXPECT_EQ(snap[0].id, sched.peekCandidate());
+    EXPECT_EQ(snap[1].id, 10u);
+    EXPECT_EQ(snap[2].id, 12u);
+    EXPECT_GT(snap[0].key, snap[1].key);
+    EXPECT_GT(snap[1].key, snap[2].key);
+    // Snapshot carries what the lifecycle pass needs verbatim.
+    EXPECT_EQ(snap[1].priority, 0);
+    EXPECT_DOUBLE_EQ(snap[1].enqueue_ms, 1.0);
+    EXPECT_EQ(snap[2].priority, -1);
+    EXPECT_DOUBLE_EQ(snap[2].enqueue_ms, 3.0);
+}
+
+TEST(Scheduler, WorstQueuedIsTheLoadSheddingVictim)
+{
+    Scheduler sched(SchedulerOptions{});
+    sched.enqueue(7, /*priority=*/2, /*cost=*/16, /*ms=*/0.0);
+    sched.enqueue(8, /*priority=*/-3, /*cost=*/16, /*ms=*/0.0);
+    sched.enqueue(9, /*priority=*/1, /*cost=*/16, /*ms=*/0.0);
+    const auto worst = sched.worstQueued();
+    EXPECT_EQ(worst.id, 8u);
+    EXPECT_EQ(worst.priority, -3);
+    // Shedding the worst must leave the rest in admission order.
+    EXPECT_TRUE(sched.removeQueued(worst.id));
+    EXPECT_EQ(sched.worstQueued().id, 9u);
+    EXPECT_EQ(sched.peekCandidate(), 7u);
+}
+
+TEST(Scheduler, RemoveQueuedReleasesTheEntryExactlyOnce)
+{
+    Scheduler sched(SchedulerOptions{});
+    sched.enqueue(3, 0, 16, 0.0);
+    sched.enqueue(4, 0, 16, 0.0);
+    EXPECT_TRUE(sched.removeQueued(3));
+    EXPECT_EQ(sched.queuedRequests(), 1u);
+    EXPECT_FALSE(sched.removeQueued(3)) << "already removed";
+    EXPECT_FALSE(sched.removeQueued(99)) << "never queued";
+    EXPECT_EQ(sched.peekCandidate(), 4u);
+    // A removed id can be re-enqueued (preempt-then-cancel-then-retry
+    // uses this path) and behaves like a fresh entry.
+    sched.enqueue(3, 5, 16, 0.0);
+    EXPECT_EQ(sched.peekCandidate(), 3u);
+}
+
 // -------------------------------------------------- prefix index edges --
 
 /** Pool + index with tiny page geometry for span bookkeeping tests. */

@@ -99,6 +99,15 @@ def serving_metrics(doc):
                                    bw.get("kv_budget_tokens", "?"),
                                    bw.get("over_admission", "?"),
                                    bw.get("aging_rate", "?"))
+    # Extraction is allowlist-based: only the metrics named below are
+    # ever gated, so rows may grow new fields (the lifecycle counters
+    # shed/timed_out/cancelled/checksum_failures/goodput_ok_fraction,
+    # or anything later) without breaking comparisons against an older
+    # baseline that lacks them. The "overload" section is deliberately
+    # NOT gated: its rows measure triage policy (who gets shed), not
+    # machine speed — if one of its metrics ever becomes a gate, fold
+    # the overload_workload geometry into the key first, like the
+    # uniform/shared/bursty tags above.
     entries = (doc.get("configs", []) + doc.get("mixed", []) +
                doc.get("bursty", []) + doc.get("shared", []))
     for entry in entries:
