@@ -8,6 +8,20 @@
  * (the committed snapshot lives in BENCH_serving.json; the CI gate
  * tools/check_bench.py compares against it on every PR).
  *
+ * The HEADLINE traffic shape is the poisson workload: open-loop
+ * requests-per-second arrivals (seeded exponential inter-arrival times
+ * drawn once, submitted when their arrival time passes on the virtual
+ * step clock — an overloaded engine keeps receiving work, which is the
+ * point of open-loop). Reported per row: offered_rps, ttft_p99_ms and
+ * goodput_ok_fraction — all measured on the virtual clock, so the
+ * num_threads=1 rows are deterministic and gated by
+ * tools/check_bench.py. The same arrival trace then runs with
+ * num_threads=2 (decode worker pool) and through AsyncFrontEnd with
+ * racing producer threads ("poisson-async"); those rows are ungated
+ * (CI boxes are single-core) but their token streams are verified
+ * bit-identical before any number is emitted — threading is a
+ * throughput decision, never a numerics decision.
+ *
  * The uniform workload is fixed across batch widths — the same
  * requests, prompts and greedy sampling — so the batch-8 vs batch-1
  * ratio isolates the benefit of continuous batching (amortized weight
@@ -53,13 +67,17 @@
  * See docs/SERVING.md for the schema and how to interpret the output.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "model/quant_config.h"
+#include "serve/async_engine.h"
 #include "serve/serving_engine.h"
 
 namespace mxplus {
@@ -94,6 +112,8 @@ struct RunResult
     size_t checksum_failures = 0;
     double goodput_ok_fraction = 0.0;
     double speedup_vs_batch1 = 0.0;
+    size_t num_threads = 1;    ///< EngineOptions::num_threads of the run
+    double offered_rps = 0.0;  ///< poisson rows only: open-loop rate
     std::vector<std::vector<int>> streams; ///< per-request tokens
 };
 
@@ -203,6 +223,47 @@ overloadWorkload(size_t requests)
     return reqs;
 }
 
+/**
+ * Poisson open-loop workload: varied short requests (the interactive
+ * traffic an rps number describes) plus a pre-drawn arrival time per
+ * request. Inter-arrival gaps are exponential with the given mean,
+ * from a fixed seed — the trace is part of the workload geometry, so
+ * every variant (serial, worker pool, async) serves the SAME arrivals
+ * and the gated rows are deterministic on the virtual clock.
+ */
+std::vector<ServeRequest>
+poissonWorkload(size_t requests)
+{
+    std::vector<ServeRequest> reqs(requests);
+    for (size_t r = 0; r < requests; ++r) {
+        const size_t prompt_len = 12 + 4 * (r % 5);
+        reqs[r].prompt.resize(prompt_len);
+        for (size_t i = 0; i < prompt_len; ++i) {
+            reqs[r].prompt[i] =
+                static_cast<int>((37 + 13 * r + 7 * i) % 251);
+        }
+        reqs[r].max_new_tokens = 10 + 4 * (r % 3);
+        reqs[r].temperature = 0.0;
+    }
+    return reqs;
+}
+
+std::vector<double>
+poissonArrivals(size_t requests, double mean_interarrival_ms,
+                uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> arrival_ms(requests);
+    double t = 0.0;
+    for (size_t r = 0; r < requests; ++r) {
+        // Inverse-CDF exponential; uniform() is in [0, 1) so the log
+        // argument is in (0, 1].
+        t += -mean_interarrival_ms * std::log(1.0 - rng.uniform());
+        arrival_ms[r] = t;
+    }
+    return arrival_ms;
+}
+
 /** Short and long requests interleaved (prompts 8..92, 8..43 new). */
 std::vector<ServeRequest>
 mixedWorkload(size_t requests)
@@ -221,17 +282,19 @@ mixedWorkload(size_t requests)
     return reqs;
 }
 
+/**
+ * Fill a RunResult from a DRAINED engine: shared by the batch-at-once
+ * runner (runConfig), the open-loop poisson runner and the async
+ * front-end runner, so every traffic shape reports the same schema.
+ * @p ids maps request index -> engine id (submission interfaces
+ * differ; the per-request stats lookup does not).
+ */
 RunResult
-runConfig(const Transformer &model, const std::string &format,
-          const std::string &workload_name,
-          const std::vector<ServeRequest> &reqs, EngineOptions opts)
+collectResult(const ServingEngine &engine, const Transformer &model,
+              const std::string &format, const std::string &workload_name,
+              const std::vector<ServeRequest> &reqs,
+              const std::vector<size_t> &ids, const EngineOptions &opts)
 {
-    const QuantConfig qc = QuantConfig::fromFormat(format);
-    ServingEngine engine(model, qc, opts);
-    std::vector<size_t> ids;
-    for (const auto &req : reqs)
-        ids.push_back(engine.submit(req));
-
     const size_t pt = engine.pool().pageTokens();
     const size_t page_bytes = engine.pool().pageBytes();
     const size_t layers = model.config().n_layers;
@@ -241,20 +304,12 @@ runConfig(const Transformer &model, const std::string &format,
         reserved_worst += (tokens + pt - 1) / pt * layers * page_bytes;
     }
 
-    if (!engine.runToCompletion(kMaxBenchSteps)) {
-        std::fprintf(stderr,
-                     "bench_serving: FATAL %s %s did not drain within "
-                     "%zu steps — scheduler livelock\n",
-                     format.c_str(), workload_name.c_str(),
-                     kMaxBenchSteps);
-        std::exit(1);
-    }
-
     RunResult res;
     res.format = format;
     res.workload = workload_name;
     res.batch = opts.max_batch;
     res.requests = reqs.size();
+    res.num_threads = opts.num_threads;
     res.kv_bytes_reserved_worst = reserved_worst;
     const EngineStats &es = engine.engineStats();
     res.throughput_tok_s = es.throughput_tokens_per_s;
@@ -293,12 +348,174 @@ runConfig(const Transformer &model, const std::string &format,
     return res;
 }
 
+RunResult
+runConfig(const Transformer &model, const std::string &format,
+          const std::string &workload_name,
+          const std::vector<ServeRequest> &reqs, EngineOptions opts)
+{
+    const QuantConfig qc = QuantConfig::fromFormat(format);
+    ServingEngine engine(model, qc, opts);
+    std::vector<size_t> ids;
+    for (const auto &req : reqs)
+        ids.push_back(engine.submit(req));
+
+    if (!engine.runToCompletion(kMaxBenchSteps)) {
+        std::fprintf(stderr,
+                     "bench_serving: FATAL %s %s did not drain within "
+                     "%zu steps — scheduler livelock\n",
+                     format.c_str(), workload_name.c_str(),
+                     kMaxBenchSteps);
+        std::exit(1);
+    }
+    return collectResult(engine, model, format, workload_name, reqs, ids,
+                         opts);
+}
+
+/**
+ * Open-loop poisson runner: requests are submitted when their
+ * pre-drawn arrival time passes on the virtual step clock, whatever
+ * the engine's state — a saturated engine keeps receiving work, which
+ * is what distinguishes an rps workload from batch-at-once. Requires
+ * opts.step_time_ms > 0 (arrival times are virtual milliseconds).
+ */
+RunResult
+runPoissonConfig(const Transformer &model, const std::string &format,
+                 const std::string &workload_name,
+                 const std::vector<ServeRequest> &reqs,
+                 const std::vector<double> &arrival_ms, EngineOptions opts)
+{
+    const QuantConfig qc = QuantConfig::fromFormat(format);
+    ServingEngine engine(model, qc, opts);
+    std::vector<size_t> ids(reqs.size());
+    std::vector<double> submit_ms(reqs.size(), 0.0);
+    size_t next = 0;
+    size_t steps = 0;
+    while (next < reqs.size() || engine.queuedRequests() > 0 ||
+           engine.activeRequests() > 0) {
+        // step() advances the virtual clock even when idle, so gaps in
+        // the arrival process pass in simulated time, not wall time.
+        const double now_ms =
+            static_cast<double>(steps) * opts.step_time_ms;
+        while (next < reqs.size() && arrival_ms[next] <= now_ms) {
+            submit_ms[next] = now_ms;
+            ids[next] = engine.submit(reqs[next]);
+            ++next;
+        }
+        engine.step();
+        if (++steps > kMaxBenchSteps) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s %s did not drain "
+                         "within %zu steps — scheduler livelock\n",
+                         format.c_str(), workload_name.c_str(),
+                         kMaxBenchSteps);
+            std::exit(1);
+        }
+    }
+    // Finalize aggregate stats over the drained engine.
+    engine.runToCompletion(1);
+    RunResult res = collectResult(engine, model, format, workload_name,
+                                  reqs, ids, opts);
+
+    // RequestStats::ttft_ms is engine-start-relative — fine when every
+    // request is submitted up front, but under open-loop arrivals it
+    // would mostly measure the arrival offset. Rebase each TTFT to the
+    // request's own submit time (both on the virtual clock), which is
+    // also the reference the deadline machinery uses.
+    std::vector<double> ttfts;
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        const RequestStats &rs = engine.stats(ids[r]);
+        if (!rs.generated.empty())
+            ttfts.push_back(rs.ttft_ms - submit_ms[r]);
+    }
+    res.ttft_p50_ms = latencyPercentile(ttfts, 0.50);
+    res.ttft_p99_ms = latencyPercentile(ttfts, 0.99);
+    return res;
+}
+
+/**
+ * The same request set pushed through AsyncFrontEnd by racing producer
+ * threads. Arrival pacing is the producers' (as fast as they can
+ * submit), so per-request latency is not comparable to the open-loop
+ * rows and the row is never gated — what IS checked, before any number
+ * is emitted, is that every token stream is bit-identical to the
+ * serial engine's (main() verifies against the deadline-free sync
+ * reference).
+ */
+RunResult
+runPoissonAsync(const Transformer &model, const std::string &format,
+                const std::string &workload_name,
+                const std::vector<ServeRequest> &reqs, EngineOptions opts)
+{
+    const QuantConfig qc = QuantConfig::fromFormat(format);
+    constexpr size_t kProducers = 3;
+    AsyncFrontEnd fe(model, qc, opts);
+    std::vector<uint64_t> tickets(reqs.size());
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (size_t i = p; i < reqs.size(); i += kProducers)
+                tickets[i] = fe.submit(reqs[i]);
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    fe.drain();
+
+    RunResult res;
+    res.format = format;
+    res.workload = workload_name;
+    res.batch = opts.max_batch;
+    res.requests = reqs.size();
+    res.num_threads = opts.num_threads;
+    const EngineStats &es = fe.engineStats();
+    res.throughput_tok_s = es.throughput_tokens_per_s;
+    res.decode_tok_s = es.decode_tokens_per_s;
+    res.mean_batch_occupancy = es.mean_batch_occupancy;
+    res.kv_bytes_peak = es.kv_bytes_peak;
+    res.kv_pages_peak = es.kv_pages_peak;
+    res.prefill_chunks = es.prefill_chunks;
+    res.admission_deferred_steps = es.admission_deferred_steps;
+    res.prefix_hit_tokens = es.prefix_hit_tokens;
+    res.preemptions = es.preemptions;
+    res.preempted_recompute_tokens = es.preempted_recompute_tokens;
+    res.queue_wait_ms_p50 = es.queue_wait_ms_p50;
+    res.queue_wait_ms_p99 = es.queue_wait_ms_p99;
+    res.shed = es.shed_requests;
+    res.timed_out = es.timed_out_requests;
+    res.cancelled = es.cancelled_requests;
+    res.checksum_failures = es.checksum_failures;
+    res.goodput_ok_fraction = es.goodput_ok_fraction;
+    std::vector<double> ttfts;
+    std::vector<double> token_ms;
+    for (uint64_t t : tickets) {
+        const RequestStats &rs = fe.stats(t);
+        res.streams.push_back(rs.generated);
+        if (rs.generated.empty())
+            continue;
+        ttfts.push_back(rs.ttft_ms);
+        token_ms.insert(token_ms.end(), rs.token_ms.begin(),
+                        rs.token_ms.end());
+    }
+    res.ttft_p50_ms = latencyPercentile(ttfts, 0.50);
+    res.ttft_p99_ms = latencyPercentile(ttfts, 0.99);
+    res.token_p50_ms = latencyPercentile(token_ms, 0.50);
+    res.token_p99_ms = latencyPercentile(token_ms, 0.99);
+    return res;
+}
+
 void
 printResult(FILE *out, const RunResult &r, bool last)
 {
+    // Poisson rows carry their open-loop rate; other traffic shapes
+    // have no rps to report, so the field is simply absent there.
+    char rps[48] = "";
+    if (r.workload.rfind("poisson", 0) == 0)
+        std::snprintf(rps, sizeof rps, "\"offered_rps\": %.1f, ",
+                      r.offered_rps);
     std::fprintf(
         out,
         "    {\"format\": \"%s\", \"workload\": \"%s\", \"batch\": %zu, "
+        "\"num_threads\": %zu, %s"
         "\"throughput_tok_s\": %.1f, \"decode_tok_s\": %.1f, "
         "\"speedup_vs_batch1\": %.2f, "
         "\"ttft_p50_ms\": %.2f, \"ttft_p99_ms\": %.2f, "
@@ -312,8 +529,8 @@ printResult(FILE *out, const RunResult &r, bool last)
         "\"shed\": %zu, \"timed_out\": %zu, \"cancelled\": %zu, "
         "\"checksum_failures\": %zu, "
         "\"goodput_ok_fraction\": %.3f}%s\n",
-        r.format.c_str(), r.workload.c_str(), r.batch,
-        r.throughput_tok_s, r.decode_tok_s, r.speedup_vs_batch1,
+        r.format.c_str(), r.workload.c_str(), r.batch, r.num_threads,
+        rps, r.throughput_tok_s, r.decode_tok_s, r.speedup_vs_batch1,
         r.ttft_p50_ms, r.ttft_p99_ms, r.token_p50_ms, r.token_p99_ms,
         r.mean_batch_occupancy, r.kv_bytes_peak, r.kv_pages_peak,
         r.kv_bytes_reserved_worst, r.prefill_chunks,
@@ -364,6 +581,75 @@ main(int argc, char **argv)
     const size_t requests = 8;
     const size_t prompt_len = 32;
     const size_t new_tokens = 32;
+
+    // Headline: the poisson open-loop rps workload. Per format, the
+    // SAME pre-drawn arrival trace runs three ways — serial
+    // (num_threads=1, the deterministic gated row), with the decode
+    // worker pool (num_threads=2), and through AsyncFrontEnd with
+    // racing producers — and every token stream is verified
+    // bit-identical before a single number is emitted. The serial and
+    // worker-pool runs share deadlines on the virtual clock (identical
+    // scheduling, so identical timeout sets); the async run paces
+    // arrivals by producer speed, so it is verified against a
+    // deadline-free serial reference instead (a deadline cut is a
+    // timing decision — the async run legitimately times out different
+    // requests, but may never produce different TOKENS).
+    const size_t poisson_requests = 18;
+    const double poisson_interarrival_ms = 2.0;
+    const uint64_t poisson_seed = 42;
+    const double poisson_deadline_ms = 120.0;
+    const size_t poisson_batch = 4;
+    const double poisson_rps = 1000.0 / poisson_interarrival_ms;
+    std::vector<RunResult> poisson;
+    for (const auto &fmt : formats) {
+        std::fprintf(stderr, "serving %s poisson...\n", fmt.c_str());
+        const auto reqs = poissonWorkload(poisson_requests);
+        const auto arrivals = poissonArrivals(
+            poisson_requests, poisson_interarrival_ms, poisson_seed);
+        EngineOptions opts;
+        opts.max_batch = poisson_batch;
+        opts.step_time_ms = 1.0; // virtual clock: deterministic rows
+        opts.deadline_ms = poisson_deadline_ms;
+        RunResult serial =
+            runPoissonConfig(model, fmt, "poisson", reqs, arrivals, opts);
+        serial.offered_rps = poisson_rps;
+
+        EngineOptions pooled = opts;
+        pooled.num_threads = 2;
+        RunResult threaded =
+            runPoissonConfig(model, fmt, "poisson", reqs, arrivals, pooled);
+        threaded.offered_rps = poisson_rps;
+        if (threaded.streams != serial.streams) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s poisson token streams "
+                         "diverge with num_threads=2 — the worker pool "
+                         "must never change numerics\n",
+                         fmt.c_str());
+            return 1;
+        }
+
+        EngineOptions nodeadline = opts;
+        nodeadline.deadline_ms = 0.0;
+        const RunResult reference = runPoissonConfig(
+            model, fmt, "poisson-ref", reqs, arrivals, nodeadline);
+        EngineOptions async_opts = nodeadline;
+        async_opts.num_threads = 2;
+        RunResult async = runPoissonAsync(model, fmt, "poisson-async",
+                                          reqs, async_opts);
+        async.offered_rps = poisson_rps;
+        if (async.streams != reference.streams) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s poisson token streams "
+                         "diverge through the async front end — "
+                         "concurrency must never change numerics\n",
+                         fmt.c_str());
+            return 1;
+        }
+
+        poisson.push_back(std::move(serial));
+        poisson.push_back(std::move(threaded));
+        poisson.push_back(std::move(async));
+    }
 
     std::vector<RunResult> results;
     for (const auto &fmt : formats) {
@@ -521,6 +807,20 @@ main(int argc, char **argv)
                  "%zu, \"new_tokens_per_request\": %zu, \"sampling\": "
                  "\"greedy\"},\n",
                  requests, prompt_len, new_tokens);
+    std::fprintf(out,
+                 "  \"poisson_workload\": {\"requests\": %zu, "
+                 "\"mean_interarrival_ms\": %.1f, \"offered_rps\": %.1f, "
+                 "\"seed\": %zu, \"deadline_ms\": %.1f, "
+                 "\"step_time_ms\": 1.0, \"max_batch\": %zu, "
+                 "\"tokens_match_threaded\": true, "
+                 "\"tokens_match_async\": true},\n",
+                 poisson_requests, poisson_interarrival_ms, poisson_rps,
+                 static_cast<size_t>(poisson_seed), poisson_deadline_ms,
+                 poisson_batch);
+    std::fprintf(out, "  \"poisson\": [\n");
+    for (size_t i = 0; i < poisson.size(); ++i)
+        printResult(out, poisson[i], i + 1 == poisson.size());
+    std::fprintf(out, "  ],\n");
     std::fprintf(out, "  \"configs\": [\n");
     for (size_t i = 0; i < results.size(); ++i)
         printResult(out, results[i], i + 1 == results.size());

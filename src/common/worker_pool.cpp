@@ -1,0 +1,95 @@
+#include "common/worker_pool.h"
+
+namespace mxplus {
+
+WorkerPool::WorkerPool(size_t threads)
+{
+    const size_t helpers = threads > 1 ? threads - 1 : 0;
+    helpers_.reserve(helpers);
+    for (size_t t = 0; t < helpers; ++t)
+        helpers_.emplace_back([this] { helperLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : helpers_)
+        t.join();
+}
+
+void
+WorkerPool::helperLoop()
+{
+    uint64_t seen_seq = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        wake_.wait(lk, [&] {
+            return stop_ || (fn_ != nullptr && job_seq_ != seen_seq);
+        });
+        if (stop_)
+            return;
+        seen_seq = job_seq_;
+        // Copy the job under the lock: a straggler that wakes late must
+        // never observe a LATER job's fn/n through these locals. The
+        // joined_ count keeps the caller from retiring the job (and
+        // resetting next_) while this thread can still touch it.
+        const std::function<void(size_t)> *fn = fn_;
+        const size_t n = n_;
+        ++joined_;
+        lk.unlock();
+
+        size_t local = 0;
+        size_t i;
+        while ((i = next_.fetch_add(1)) < n) {
+            (*fn)(i);
+            ++local;
+        }
+
+        lk.lock();
+        finished_ += local;
+        --joined_;
+        if (finished_ == n_ && joined_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+WorkerPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (helpers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        fn_ = &fn;
+        n_ = n;
+        next_.store(0);
+        finished_ = 0;
+        ++job_seq_;
+    }
+    wake_.notify_all();
+
+    // The caller is the last worker: it claims items like everyone
+    // else, then waits for the stragglers instead of going idle.
+    size_t local = 0;
+    size_t i;
+    while ((i = next_.fetch_add(1)) < n) {
+        fn(i);
+        ++local;
+    }
+
+    std::unique_lock<std::mutex> lk(mu_);
+    finished_ += local;
+    done_.wait(lk, [&] { return finished_ == n_ && joined_ == 0; });
+    fn_ = nullptr;
+}
+
+} // namespace mxplus

@@ -106,6 +106,7 @@ gemmTiled(const float *a, size_t lda, const float *b, size_t ldb, float *c,
     // cores; run those serially. Scheduling only — per-element values are
     // identical either way.
     const bool parallel_rows = m > kMR && m * n * k > (size_t{1} << 16);
+    (void)parallel_rows; // only consumed by the pragma; unused sans OpenMP
 
     // Panel scratch sized to THIS problem (not the full kKC x kNC
     // blocking maximum) and reused across calls: the decode attention

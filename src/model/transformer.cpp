@@ -5,6 +5,7 @@
 
 #include "common/bf16.h"
 #include "common/check.h"
+#include "common/worker_pool.h"
 #include "kernels/kernel_dispatch.h"
 #include "model/layers.h"
 #include "serve/kv_cache.h"
@@ -452,7 +453,8 @@ Transformer::decodeStep(int token, KvCache &cache) const
 Matrix
 Transformer::decodeStepBatch(const std::vector<int> &tokens,
                              const std::vector<KvCache *> &caches,
-                             const QuantConfig &qc) const
+                             const QuantConfig &qc,
+                             WorkerPool *workers) const
 {
     const size_t b = tokens.size();
     MXPLUS_CHECK(b > 0 && caches.size() == b);
@@ -485,12 +487,24 @@ Transformer::decodeStepBatch(const std::vector<int> &tokens,
         const Matrix v = applyLinear(prefix + "wv", h, lw.wv, qc, false);
 
         // Attention is per-request (each has its own history/cache).
+        // Rows are independent — disjoint caches, disjoint output rows
+        // — so partitioning them across the decode worker pool (or the
+        // default OpenMP team) changes scheduling only, never a single
+        // arithmetic operation: row r is bit-identical either way.
         Matrix attn_out(b, d);
-        #pragma omp parallel for schedule(static) if (b > 1)
-        for (size_t r = 0; r < b; ++r) {
-            caches[r]->append(layer, k.row(r), v.row(r));
-            attendRowOverCache(layer, q.row(r), *caches[r], qc,
-                               attn_out.row(r));
+        if (workers != nullptr && workers->threads() > 1 && b > 1) {
+            workers->parallelFor(b, [&](size_t r) {
+                caches[r]->append(layer, k.row(r), v.row(r));
+                attendRowOverCache(layer, q.row(r), *caches[r], qc,
+                                   attn_out.row(r));
+            });
+        } else {
+            #pragma omp parallel for schedule(static) if (b > 1)
+            for (size_t r = 0; r < b; ++r) {
+                caches[r]->append(layer, k.row(r), v.row(r));
+                attendRowOverCache(layer, q.row(r), *caches[r], qc,
+                                   attn_out.row(r));
+            }
         }
         const Matrix o =
             applyLinear(prefix + "wo", attn_out, lw.wo, qc, false);

@@ -52,6 +52,7 @@
 namespace mxplus {
 
 class KvCache;
+class WorkerPool;
 
 /** Weights of one decoder layer. All linears are stored [N x K]. */
 struct LayerWeights
@@ -106,10 +107,19 @@ class Transformer
      * serving engine's throughput lever). Row r of the result is
      * bit-identical to decodeStep(tokens[r], *caches[r], qc): batching
      * never changes numerics.
+     *
+     * With a non-null @p workers, the per-request attention/matvec walk
+     * (each batch row's cache append, Q·K^T page walk and P·V gather)
+     * is partitioned across the pool's threads instead of the default
+     * OpenMP-annotated loop. Rows are fully independent and each row
+     * runs the identical serial arithmetic on exactly one thread, so
+     * the result is bit-identical to the workers == nullptr path —
+     * threading is a throughput decision, never a numerics decision.
      */
     Matrix decodeStepBatch(const std::vector<int> &tokens,
                            const std::vector<KvCache *> &caches,
-                           const QuantConfig &qc) const;
+                           const QuantConfig &qc,
+                           WorkerPool *workers = nullptr) const;
 
     /**
      * Autoregressively sample @p length tokens from the BF16 model (the

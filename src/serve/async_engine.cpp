@@ -1,0 +1,327 @@
+#include "serve/async_engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace mxplus {
+
+// ------------------------------------------------------------ SubmitRing ---
+
+namespace {
+
+size_t roundUpPow2(size_t v)
+{
+    size_t p = 2;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+SubmitRing::SubmitRing(size_t capacity)
+    : buf_(roundUpPow2(capacity == 0 ? 2 : capacity))
+{
+    mask_ = buf_.size() - 1;
+    // Slot i is writable when seq == i: each slot's sequence trails its
+    // next claimable head value by exactly one lap.
+    for (size_t i = 0; i < buf_.size(); ++i)
+        buf_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool SubmitRing::tryPush(Cmd &&cmd)
+{
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+        Slot &slot = buf_[pos & mask_];
+        const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        if (seq == pos) {
+            // Free this lap: claim it. CAS failure means another
+            // producer took pos — retry with the updated head.
+            if (head_.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed)) {
+                slot.cmd = std::move(cmd);
+                // Publish: the consumer's acquire load of seq sees the
+                // cmd write strictly before it.
+                slot.seq.store(pos + 1, std::memory_order_release);
+                return true;
+            }
+            // pos was refreshed by the failed CAS; loop.
+        } else if (seq < pos) {
+            // Still holds last lap's value: the consumer hasn't freed
+            // it, i.e. the ring is full.
+            return false;
+        } else {
+            // Another producer already published here; chase the head.
+            pos = head_.load(std::memory_order_relaxed);
+        }
+    }
+}
+
+bool SubmitRing::tryPop(Cmd &out)
+{
+    Slot &slot = buf_[tail_ & mask_];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq != tail_ + 1)
+        return false; // not yet published
+    out = std::move(slot.cmd);
+    slot.cmd = Cmd{}; // drop any prompt allocation eagerly
+    // Free the slot for the producers' next lap.
+    slot.seq.store(tail_ + buf_.size(), std::memory_order_release);
+    ++tail_;
+    return true;
+}
+
+// ---------------------------------------------------------- AsyncFrontEnd ---
+
+AsyncFrontEnd::AsyncFrontEnd(const Transformer &model, QuantConfig qc,
+                             EngineOptions opts, AsyncOptions async)
+    : opts_(opts), engine_(model, std::move(qc), opts),
+      ring_(async.ring_capacity)
+{
+    engine_thread_ = std::thread([this] { engineLoop(); });
+}
+
+AsyncFrontEnd::~AsyncFrontEnd()
+{
+    {
+        std::lock_guard<std::mutex> lk(wake_mu_);
+        stop_ = true;
+    }
+    wake_cv_.notify_one();
+    engine_thread_.join();
+}
+
+uint64_t AsyncFrontEnd::submit(ServeRequest req)
+{
+    auto stream = std::make_shared<Stream>();
+    uint64_t ticket = 0;
+    {
+        std::lock_guard<std::mutex> lk(registry_mu_);
+        ticket = streams_.size();
+        streams_.push_back(stream);
+    }
+    {
+        std::lock_guard<std::mutex> lk(done_mu_);
+        ++unfinished_;
+        stats_ready_ = false;
+    }
+    SubmitRing::Cmd cmd;
+    cmd.kind = SubmitRing::Cmd::Kind::kSubmit;
+    cmd.ticket = ticket;
+    cmd.req = std::move(req);
+    push(std::move(cmd));
+    return ticket;
+}
+
+bool AsyncFrontEnd::cancel(uint64_t ticket)
+{
+    auto stream = streamFor(ticket);
+    if (stream == nullptr)
+        return false;
+    {
+        std::lock_guard<std::mutex> lk(stream->mu);
+        if (stream->done)
+            return false; // lost the cancel/complete race
+    }
+    // The flag is the source of truth (checked the moment the engine
+    // thread maps the ticket, so it lands even if it overtakes the
+    // submit command in the ring); the command is the wake-up.
+    stream->cancel_requested.store(true, std::memory_order_release);
+    SubmitRing::Cmd cmd;
+    cmd.kind = SubmitRing::Cmd::Kind::kCancel;
+    cmd.ticket = ticket;
+    push(std::move(cmd));
+    return true;
+}
+
+bool AsyncFrontEnd::nextToken(uint64_t ticket, int *token)
+{
+    auto stream = streamFor(ticket);
+    MXPLUS_CHECK_MSG(stream != nullptr, "unknown ticket");
+    std::unique_lock<std::mutex> lk(stream->mu);
+    stream->cv.wait(lk,
+                    [&] { return stream->done || !stream->pending.empty(); });
+    if (stream->pending.empty())
+        return false; // closed and fully delivered
+    if (token != nullptr)
+        *token = stream->pending.front();
+    stream->pending.pop_front();
+    return true;
+}
+
+RequestOutcome AsyncFrontEnd::wait(uint64_t ticket)
+{
+    auto stream = streamFor(ticket);
+    MXPLUS_CHECK_MSG(stream != nullptr, "unknown ticket");
+    std::unique_lock<std::mutex> lk(stream->mu);
+    stream->cv.wait(lk, [&] { return stream->done; });
+    return stream->outcome;
+}
+
+const RequestStats &AsyncFrontEnd::stats(uint64_t ticket)
+{
+    auto stream = streamFor(ticket);
+    MXPLUS_CHECK_MSG(stream != nullptr, "unknown ticket");
+    std::unique_lock<std::mutex> lk(stream->mu);
+    stream->cv.wait(lk, [&] { return stream->done; });
+    // Immutable once done: safe to hand out past the unlock.
+    return stream->final_stats;
+}
+
+void AsyncFrontEnd::drain()
+{
+    std::unique_lock<std::mutex> lk(done_mu_);
+    done_cv_.wait(lk, [&] { return unfinished_ == 0 && stats_ready_; });
+}
+
+const EngineStats &AsyncFrontEnd::engineStats() const
+{
+    // Synchronized by drain(): stats_ready_ was set by the engine
+    // thread under done_mu_ AFTER finalizing, and observed by the
+    // caller's drain() under the same mutex.
+    return engine_.engineStats();
+}
+
+std::shared_ptr<AsyncFrontEnd::Stream>
+AsyncFrontEnd::streamFor(uint64_t ticket) const
+{
+    std::lock_guard<std::mutex> lk(registry_mu_);
+    if (ticket >= streams_.size())
+        return nullptr;
+    return streams_[ticket];
+}
+
+void AsyncFrontEnd::push(SubmitRing::Cmd &&cmd)
+{
+    // Backpressure: the engine drains the ring at every step boundary,
+    // so a full ring clears within one step. Spin-yield rather than
+    // block so a parked submitter never holds a lock anyone needs.
+    while (!ring_.tryPush(std::move(cmd)))
+        std::this_thread::yield();
+    {
+        std::lock_guard<std::mutex> lk(wake_mu_);
+        ++enqueued_;
+    }
+    wake_cv_.notify_one();
+}
+
+size_t AsyncFrontEnd::drainRing()
+{
+    size_t taken = 0;
+    SubmitRing::Cmd cmd;
+    while (ring_.tryPop(cmd)) {
+        ++taken;
+        auto stream = streamFor(cmd.ticket);
+        MXPLUS_CHECK(stream != nullptr);
+        switch (cmd.kind) {
+        case SubmitRing::Cmd::Kind::kSubmit: {
+            stream->engine_id = engine_.submit(std::move(cmd.req));
+            live_.emplace_back(cmd.ticket, stream);
+            // A cancel may already be flagged (it can overtake the
+            // submit command when issued from another thread); apply
+            // it now that the id exists.
+            if (stream->cancel_requested.load(std::memory_order_acquire))
+                engine_.cancel(stream->engine_id);
+            break;
+        }
+        case SubmitRing::Cmd::Kind::kCancel:
+            if (stream->engine_id != SIZE_MAX)
+                engine_.cancel(stream->engine_id);
+            // else: the flag-at-map path above handles it.
+            break;
+        }
+    }
+    return taken;
+}
+
+void AsyncFrontEnd::publish()
+{
+    for (size_t i = 0; i < live_.size();) {
+        Stream &s = *live_[i].second;
+        const RequestStats &rs = engine_.stats(s.engine_id);
+
+        // Stream the delta past what was already emitted. After a
+        // preemption rs.generated transiently SHRINKS and then
+        // regenerates bit-identically, so emitting only past the
+        // high-water mark keeps the delivered stream a bit-exact,
+        // duplicate-free prefix of the request's unconstrained stream.
+        const size_t gen = rs.generated.size();
+        const bool grew = gen > s.emitted;
+        if (grew || rs.finished) {
+            std::lock_guard<std::mutex> lk(s.mu);
+            for (size_t t = s.emitted; t < gen; ++t)
+                s.pending.push_back(rs.generated[t]);
+            if (grew)
+                s.emitted = gen;
+            if (rs.finished) {
+                s.final_stats = rs; // copy: never a view into the engine
+                s.outcome = rs.outcome;
+                s.done = true;
+            }
+            s.cv.notify_all();
+        }
+
+        if (rs.finished) {
+            live_[i] = std::move(live_.back());
+            live_.pop_back();
+            {
+                std::lock_guard<std::mutex> lk(done_mu_);
+                MXPLUS_CHECK(unfinished_ > 0);
+                --unfinished_;
+            }
+            done_cv_.notify_all();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void AsyncFrontEnd::engineLoop()
+{
+    // Commands this thread has consumed; the ring's tail only moves
+    // here, so the local count is exact and the idle-wait predicate
+    // (enqueued_ > processed) cannot miss a wakeup.
+    uint64_t processed = 0;
+    bool finalized = true; // a fresh engine has nothing to finalize
+    for (;;) {
+        // Ingest every pending command at each step boundary.
+        const size_t drained = drainRing();
+        processed += drained;
+        if (drained > 0)
+            finalized = false;
+
+        if (engine_.queuedRequests() > 0 || engine_.activeRequests() > 0) {
+            engine_.step();
+            publish();
+            continue;
+        }
+
+        // Idle: finalize aggregate stats exactly once per busy period,
+        // then publish readiness to drain()ers.
+        publish(); // flush terminals from shed/reject-at-submit
+        if (!finalized) {
+            // runToCompletion() on the now-empty engine just finalizes
+            // EngineStats (throughput over the busy window) — the same
+            // aggregates a synchronous caller would read.
+            engine_.runToCompletion();
+            finalized = true;
+            {
+                std::lock_guard<std::mutex> lk(done_mu_);
+                if (unfinished_ == 0)
+                    stats_ready_ = true;
+            }
+            done_cv_.notify_all();
+        }
+
+        std::unique_lock<std::mutex> lk(wake_mu_);
+        if (stop_ && enqueued_ == processed)
+            break;
+        wake_cv_.wait(lk, [&] { return stop_ || enqueued_ > processed; });
+        if (stop_ && enqueued_ == processed)
+            break;
+    }
+}
+
+} // namespace mxplus

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * AsyncFrontEnd: the thread-safe, streaming front door of the serving
+ * engine — concurrent submit()/cancel() from any number of client
+ * threads, per-request token streams, and a dedicated ENGINE THREAD
+ * that owns the ServingEngine and its step() loop outright.
+ *
+ * Threading model (one paragraph; the full picture with a diagram is
+ * in docs/ARCHITECTURE.md):
+ *
+ *  - The ServingEngine itself stays single-threaded and is touched by
+ *    exactly one thread, ever: the engine thread constructed with this
+ *    object. Nothing about the engine, the scheduler, the page pool or
+ *    the prefix index needed to become thread-safe, and the
+ *    bit-identical-streams invariant is inherited wholesale — the
+ *    engine thread runs the same admit → prefill → decode → sample
+ *    loop a synchronous caller would, so every request's token stream
+ *    is bit-identical to submitting the same ServeRequest to a plain
+ *    ServingEngine (asserted per format by tests/test_async.cpp and
+ *    in-bench by bench_serving's poisson workload).
+ *  - Producers hand work to the engine thread through a LOCK-FREE
+ *    bounded MPSC ring (SubmitRing below): submit() claims a slot with
+ *    a CAS, writes the request, and publishes it with a release store
+ *    on the slot's sequence number — no mutex anywhere on that path,
+ *    so a stalled producer can never block another producer or the
+ *    engine. A full ring applies backpressure by spinning with
+ *    yield — the engine drains the ring at every step boundary, so
+ *    the wait is bounded by one step.
+ *  - Results flow back through per-request Stream objects, each with
+ *    its OWN mutex + condition variable protecting exactly three
+ *    things: the undelivered-token queue, the terminal flag/outcome,
+ *    and the final RequestStats copy. Consumers block on their
+ *    stream's cv; the engine thread publishes tokens after each step.
+ *    No client ever reads engine memory — terminal stats are COPIED
+ *    into the stream under its mutex, so a consumer and the engine
+ *    can never race on engine internals.
+ *
+ * Cancellation: cancel() sets the stream's atomic cancel flag and
+ * enqueues a wake-up command. The flag — not the command — is what the
+ * engine thread acts on (it is checked the moment the ticket is mapped
+ * to an engine id), so a cancel racing a not-yet-drained submit from
+ * another thread still lands. The engine's own step-boundary semantics
+ * then apply: tokens generated before the cut stay in the stream, and
+ * they are a bit-exact prefix of the uncancelled stream.
+ *
+ * Lifecycle of a ticket: submit() returns immediately with a ticket;
+ * nextToken() blocks for tokens until the stream closes; wait() blocks
+ * for the terminal outcome; stats() is valid once the stream closed.
+ * drain() blocks until every submitted ticket is terminal AND the
+ * engine thread has finalized aggregate stats — after it returns (and
+ * until the next submit) engineStats(), engine() and auditInvariants()
+ * are safe to read from the calling thread.
+ */
+
+#ifndef MXPLUS_SERVE_ASYNC_ENGINE_H
+#define MXPLUS_SERVE_ASYNC_ENGINE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/serving_engine.h"
+
+namespace mxplus {
+
+/** Front-end knobs (the engine's own knobs stay in EngineOptions). */
+struct AsyncOptions
+{
+    /**
+     * Submit-ring capacity (rounded up to a power of two). A full ring
+     * back-pressures submitters with a spin-yield wait, never a lost
+     * request; the default comfortably covers a burst of thousands of
+     * concurrent submitters. Small values are useful in tests to force
+     * the backpressure path.
+     */
+    size_t ring_capacity = 1024;
+};
+
+/**
+ * Lock-free bounded MPSC command ring (Vyukov-style: per-slot sequence
+ * numbers arbitrate producers against the consumer without any lock).
+ * Producers may call tryPush concurrently; pop is single-consumer
+ * (the engine thread). Exposed in the header for the unit tests.
+ */
+class SubmitRing
+{
+  public:
+    struct Cmd
+    {
+        enum class Kind
+        {
+            kSubmit = 0,
+            kCancel, ///< wake-up; the stream's atomic flag is the truth
+        };
+        Kind kind = Kind::kSubmit;
+        uint64_t ticket = 0;
+        ServeRequest req; ///< kSubmit only
+    };
+
+    explicit SubmitRing(size_t capacity);
+
+    /** Lock-free producer push; false when the ring is full. */
+    bool tryPush(Cmd &&cmd);
+
+    /** Single-consumer pop; false when the ring is empty. */
+    bool tryPop(Cmd &out);
+
+    size_t capacity() const { return buf_.size(); }
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint64_t> seq;
+        Cmd cmd;
+    };
+
+    std::vector<Slot> buf_;
+    uint64_t mask_ = 0;
+    alignas(64) std::atomic<uint64_t> head_{0}; ///< producers (CAS)
+    alignas(64) uint64_t tail_ = 0; ///< consumer-only cursor
+};
+
+/** Thread-safe streaming front end over one ServingEngine. */
+class AsyncFrontEnd
+{
+  public:
+    AsyncFrontEnd(const Transformer &model, QuantConfig qc,
+                  EngineOptions opts, AsyncOptions async = {});
+
+    /**
+     * Drains every outstanding request (nothing is silently dropped),
+     * then stops and joins the engine thread. Cancel first for a fast
+     * shutdown.
+     */
+    ~AsyncFrontEnd();
+
+    AsyncFrontEnd(const AsyncFrontEnd &) = delete;
+    AsyncFrontEnd &operator=(const AsyncFrontEnd &) = delete;
+
+    /**
+     * Enqueue a request from ANY thread; returns its ticket
+     * immediately. Tokens stream through nextToken(); the terminal
+     * outcome (completed/rejected/shed/timed_out/cancelled — exactly
+     * the synchronous engine's taxonomy) through wait().
+     */
+    uint64_t submit(ServeRequest req);
+
+    /**
+     * Request cancellation from any thread. Returns false when the
+     * ticket is unknown or its stream already closed (the classic
+     * cancel/complete race — the caller gets the completed answer).
+     */
+    bool cancel(uint64_t ticket);
+
+    /**
+     * Blocking pop of the next streamed token. Returns false when the
+     * stream is closed AND every token has been delivered — the
+     * standard `while (nextToken(t, &tok))` consumer loop therefore
+     * sees exactly the request's full (bit-identical) stream.
+     */
+    bool nextToken(uint64_t ticket, int *token);
+
+    /** Block until the ticket is terminal; returns its outcome. */
+    RequestOutcome wait(uint64_t ticket);
+
+    /**
+     * Final per-request stats (a copy taken at termination — never a
+     * view into live engine memory). Blocks until terminal.
+     */
+    const RequestStats &stats(uint64_t ticket);
+
+    /**
+     * Block until every submitted ticket is terminal and the engine
+     * thread finalized aggregate stats. After this returns — and until
+     * the next submit() — engineStats(), engine() and
+     * auditInvariants() may be called from the draining thread.
+     */
+    void drain();
+
+    /** Aggregate stats (valid after drain(), like runToCompletion's). */
+    const EngineStats &engineStats() const;
+
+    /** The wrapped engine, for audits/tests. Only valid post-drain. */
+    const ServingEngine &engine() const { return engine_; }
+
+    /** Cross-layer audit of the idle engine (post-drain only). */
+    bool auditInvariants() const { return engine_.auditInvariants(); }
+
+  private:
+    /** Per-request hand-off cell between the engine thread and one
+        consumer. `emitted`/`engine_id` are engine-thread-only; the
+        mutex protects `pending`, `done`, `outcome`, `final_stats`. */
+    struct Stream
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<int> pending; ///< streamed, not yet delivered
+        bool done = false;
+        RequestOutcome outcome = RequestOutcome::kPending;
+        RequestStats final_stats;
+        std::atomic<bool> cancel_requested{false};
+
+        // Engine-thread-only fields (never touched by consumers).
+        size_t engine_id = SIZE_MAX;
+        size_t emitted = 0; ///< tokens pushed into pending so far
+    };
+
+    std::shared_ptr<Stream> streamFor(uint64_t ticket) const;
+    void push(SubmitRing::Cmd &&cmd);
+    void engineLoop();
+    /** Drain the submit ring into the engine; returns commands taken. */
+    size_t drainRing();
+    /** Publish new tokens + terminal states for live tickets. */
+    void publish();
+
+    const EngineOptions opts_;
+    ServingEngine engine_; ///< engine-thread-owned after construction
+    SubmitRing ring_;
+
+    // Ticket registry: tickets index this vector. Append-only under
+    // registry_mu_; the shared_ptr keeps a stream alive for late
+    // stats() readers after the front end is gone.
+    mutable std::mutex registry_mu_;
+    std::vector<std::shared_ptr<Stream>> streams_;
+
+    // Wake channel: producers bump enqueued_ under wake_mu_ AFTER a
+    // ring push so the engine thread can sleep without missed-wakeup
+    // races; the ring itself stays lock-free.
+    std::mutex wake_mu_;
+    std::condition_variable wake_cv_;
+    uint64_t enqueued_ = 0;
+    bool stop_ = false;
+
+    // Drain channel: outstanding counts and the stats-finalized flag.
+    std::mutex done_mu_;
+    std::condition_variable done_cv_;
+    size_t unfinished_ = 0;
+    bool stats_ready_ = true; ///< a fresh engine's (zero) stats are final
+
+    // Engine-thread-local: live tickets (mapped, not yet terminal).
+    std::vector<std::pair<uint64_t, std::shared_ptr<Stream>>> live_;
+
+    std::thread engine_thread_; ///< last member: starts fully-armed
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_SERVE_ASYNC_ENGINE_H

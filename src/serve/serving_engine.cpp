@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/check.h"
 
@@ -102,6 +103,20 @@ ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
     sched.aging_rate = opts_.aging_rate;
     sched.sjf = opts_.sjf_admission;
     scheduler_ = std::make_unique<Scheduler>(sched);
+
+    // Decode worker pool: rows of the batched decode step partition
+    // across these threads (bit-identical to the serial path — each
+    // row's arithmetic is untouched, only WHERE it runs changes). At
+    // the default of 1 no pool exists and decodeStepBatch takes its
+    // pre-existing path, so single-core CI numbers cannot move.
+    size_t threads = opts_.num_threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (threads > 1)
+        workers_ = std::make_unique<WorkerPool>(threads);
 }
 
 ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
@@ -995,7 +1010,8 @@ ServingEngine::step()
     }
 
     const double t0 = nowMs();
-    const Matrix logits = model_.decodeStepBatch(tokens, caches, qc_);
+    const Matrix logits =
+        model_.decodeStepBatch(tokens, caches, qc_, workers_.get());
     const double dt = nowMs() - t0;
 
     engine_stats_.decode_batches += 1;

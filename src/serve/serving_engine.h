@@ -105,6 +105,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/worker_pool.h"
 #include "model/layers.h"
 #include "model/transformer.h"
 #include "serve/fault.h"
@@ -272,6 +273,18 @@ struct EngineOptions
      * nullptr = never fires, zero overhead). See serve/fault.h.
      */
     FaultInjector *fault = nullptr;
+    /**
+     * Decode worker threads: batched decode partitions its per-request
+     * attention/matvec rows across a persistent WorkerPool of this
+     * size. 1 (the default) keeps today's serial single-thread path —
+     * no pool is created and CI single-core results are unchanged —
+     * and 0 means "one per hardware thread". Each batch row runs its
+     * exact serial arithmetic on exactly one thread, so tokens are
+     * bit-identical at every setting (asserted by tests/test_async.cpp
+     * and in-bench by bench_serving's poisson workload). See
+     * docs/ARCHITECTURE.md for the threading model.
+     */
+    size_t num_threads = 1;
 };
 
 /** Per-request outcome and latency statistics. */
@@ -288,7 +301,9 @@ struct RequestStats
      */
     RequestOutcome outcome = RequestOutcome::kPending;
     /** @deprecated Kept in sync with outcome == kRejected; use
-        @ref outcome. */
+        @ref outcome. No internal reader is left (one regression test
+        in tests/test_lifecycle.cpp keeps the sync honest); slated for
+        removal after one release of external migration time. */
     bool rejected = false;
     /** Prompt tokens served from shared prefix pages (no compute). */
     size_t shared_prompt_tokens = 0;
@@ -567,6 +582,8 @@ class ServingEngine
     size_t budget_pages_ = 0;    ///< 0 = unbounded
     std::unique_ptr<PrefixIndex> prefix_; ///< null when sharing is off
     std::unique_ptr<Scheduler> scheduler_; ///< the policy layer
+    /** Decode worker pool (null when num_threads resolves to 1). */
+    std::unique_ptr<WorkerPool> workers_;
 
     std::vector<std::unique_ptr<Slot>> active_;
     std::vector<RequestStats> stats_;

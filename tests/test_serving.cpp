@@ -816,10 +816,10 @@ TEST(ServingEngine, OverBudgetRequestIsRejectedGracefullyNotFatally)
     engine.runToCompletion();
 
     EXPECT_TRUE(engine.stats(big_id).finished);
-    EXPECT_TRUE(engine.stats(big_id).rejected);
+    EXPECT_EQ(engine.stats(big_id).outcome, RequestOutcome::kRejected);
     EXPECT_TRUE(engine.stats(big_id).generated.empty());
     EXPECT_TRUE(engine.stats(ok_id).finished);
-    EXPECT_FALSE(engine.stats(ok_id).rejected);
+    EXPECT_EQ(engine.stats(ok_id).outcome, RequestOutcome::kCompleted);
     EXPECT_EQ(engine.stats(ok_id).generated.size(), 4u);
     EXPECT_EQ(engine.engineStats().rejected_requests, 1u);
     EXPECT_EQ(engine.kvBytesLive(), 0u);
@@ -1128,7 +1128,7 @@ TEST(PrefixSharing, BudgetAdmissionEvictsUnreferencedSpans)
     const size_t b_id = engine.submit(std::move(b));
     engine.runToCompletion();
     EXPECT_TRUE(engine.stats(b_id).finished);
-    EXPECT_FALSE(engine.stats(b_id).rejected);
+    EXPECT_EQ(engine.stats(b_id).outcome, RequestOutcome::kCompleted);
     EXPECT_GT(engine.engineStats().prefix_evicted_pages, 0u);
 }
 
@@ -1161,7 +1161,7 @@ TEST(PrefixSharing, OversizedRequestWithCachedPrefixRejectsNotLivelocks)
     const size_t b_id = engine.submit(std::move(b));
     engine.runToCompletion(); // must terminate
     EXPECT_TRUE(engine.stats(b_id).finished);
-    EXPECT_TRUE(engine.stats(b_id).rejected);
+    EXPECT_EQ(engine.stats(b_id).outcome, RequestOutcome::kRejected);
 }
 
 TEST(PrefixSharing, LateAdoptionCreditsTheReservationExactlyOnce)
@@ -1285,7 +1285,7 @@ TEST(Preemption, TokensBitIdenticalAcrossFormatsUnderForcedPreemption)
             << fmt;
         for (size_t r = 0; r < reqs.size(); ++r) {
             EXPECT_TRUE(engine.stats(ids[r]).finished);
-            EXPECT_FALSE(engine.stats(ids[r]).rejected);
+            EXPECT_EQ(engine.stats(ids[r]).outcome, RequestOutcome::kCompleted);
             EXPECT_EQ(engine.stats(ids[r]).generated,
                       oracle.stats(oracle_ids[r]).generated)
                 << fmt << " request " << r;

@@ -8,15 +8,22 @@ measure a subset of the full config grid with the same workload — are
 compared apples-to-apples:
 
   bench_serving:        key (format, workload, batch); workload
-                        geometry (uniform/shared-prefix/bursty params)
-                        is folded into the key so entries measured
-                        under different workloads never compare.
-                        metrics throughput_tok_s, decode_tok_s
+                        geometry (uniform/shared-prefix/bursty/poisson
+                        params) is folded into the key so entries
+                        measured under different workloads never
+                        compare. metrics throughput_tok_s, decode_tok_s
                         (higher is better); shared-prefix workloads
                         additionally gate ttft_p50_ms and kv_bytes_peak,
                         bursty workloads ttft_p99_ms (LOWER is better —
                         the prefix cache's and the preemptive
-                        scheduler's wins respectively)
+                        scheduler's wins respectively), poisson
+                        workloads ttft_p99_ms and goodput_ok_fraction
+                        (virtual step clock, so both are deterministic
+                        and judged machine-independent). Rows with
+                        num_threads != 1 (decode worker pool, async
+                        front end) are never gated — CI runners are
+                        single-core — but their token streams are
+                        verified bit-identical in-bench.
   bench_kernels_engine: key (op, m, n, k) -> simd_gflops
                         key (api, format, mode) -> simd_gbps
 
@@ -67,16 +74,37 @@ import sys
 LOWER_IS_BETTER = {"ttft_p50_ms", "ttft_p99_ms", "kv_bytes_peak"}
 # Deterministic counts that do not scale with machine speed: judged
 # against reference 1.0 in every mode and excluded from the
-# machine-factor estimate.
-MACHINE_INDEPENDENT = {"kv_bytes_peak"}
-# Extra lower-is-better metrics gated per workload family, on top of
-# the throughput metrics every serving row gets: the shared-prefix
-# rows exist for their latency/memory wins, the bursty rows for the
-# tail-latency bound that over-admission + aging must preserve.
+# machine-factor estimate. goodput_ok_fraction is only ever gated on
+# virtual-clock workloads (poisson), where it is a pure function of
+# scheduling.
+MACHINE_INDEPENDENT = {"kv_bytes_peak", "goodput_ok_fraction"}
+# Workload families whose gated latency metrics run on the virtual
+# step clock and are therefore machine-independent too. Matched
+# against the folded key, which is space-delimited — "poisson-async"
+# does not match " poisson " (and is never gated anyway).
+VIRTUAL_CLOCK_WORKLOADS = ("poisson",)
+# Extra metrics gated per workload family, on top of the throughput
+# metrics every serving row gets: the shared-prefix rows exist for
+# their latency/memory wins, the bursty rows for the tail-latency
+# bound that over-admission + aging must preserve, and the poisson
+# rows for the open-loop tail latency + goodput under rps arrivals.
 WORKLOAD_GATED_METRICS = {
     "shared-prefix": ("ttft_p50_ms", "kv_bytes_peak"),
     "bursty": ("ttft_p99_ms",),
+    "poisson": ("ttft_p99_ms", "goodput_ok_fraction"),
 }
+
+
+def machine_independent(key, metric):
+    """Deterministic metrics: judged against reference 1.0 and excluded
+    from machine-factor medians. Latency metrics become deterministic
+    on virtual-clock workloads; throughput metrics are wall-clock
+    everywhere and stay machine-dependent."""
+    if metric in MACHINE_INDEPENDENT:
+        return True
+    if metric in ("ttft_p50_ms", "ttft_p99_ms"):
+        return any((" %s " % wl) in key for wl in VIRTUAL_CLOCK_WORKLOADS)
+    return False
 
 
 def serving_metrics(doc):
@@ -99,6 +127,11 @@ def serving_metrics(doc):
                                    bw.get("kv_budget_tokens", "?"),
                                    bw.get("over_admission", "?"),
                                    bw.get("aging_rate", "?"))
+    pw = doc.get("poisson_workload", {})
+    poisson_tag = "r%si%sd%ss%s" % (pw.get("requests", "?"),
+                                    pw.get("mean_interarrival_ms", "?"),
+                                    pw.get("deadline_ms", "?"),
+                                    pw.get("seed", "?"))
     # Extraction is allowlist-based: only the metrics named below are
     # ever gated, so rows may grow new fields (the lifecycle counters
     # shed/timed_out/cancelled/checksum_failures/goodput_ok_fraction,
@@ -108,13 +141,26 @@ def serving_metrics(doc):
     # machine speed — if one of its metrics ever becomes a gate, fold
     # the overload_workload geometry into the key first, like the
     # uniform/shared/bursty tags above.
-    entries = (doc.get("configs", []) + doc.get("mixed", []) +
-               doc.get("bursty", []) + doc.get("shared", []))
+    entries = (doc.get("poisson", []) + doc.get("configs", []) +
+               doc.get("mixed", []) + doc.get("bursty", []) +
+               doc.get("shared", []))
     for entry in entries:
+        # Rows measured with a decode worker pool (or through the
+        # async front end, which always runs one) are never gated: CI
+        # runners are single-core, so multi-thread wall-clock numbers
+        # there say nothing. Their token streams are still verified
+        # bit-identical in-bench before the row is emitted.
+        if entry.get("num_threads", 1) != 1:
+            continue
         workload = entry.get("workload", "uniform")
         gated = ()
         if workload == "uniform":
             workload = uniform_tag
+        elif workload == "poisson":
+            # Exact match: "poisson-async" rows are pool-backed and
+            # already skipped above, but keep the gate explicit.
+            workload = "%s %s" % (workload, poisson_tag)
+            gated = WORKLOAD_GATED_METRICS["poisson"]
         elif workload.startswith("shared-prefix"):
             # Same rule as the uniform grid: geometry lives at the
             # document level, folded in so a future workload change can
@@ -222,7 +268,7 @@ def main():
         return
 
     def speed_rows(pair_rows):
-        return [r for r in pair_rows if r[1] not in MACHINE_INDEPENDENT]
+        return [r for r in pair_rows if not machine_independent(r[0], r[1])]
 
     def reference_for(pair_index):
         if args.absolute:
@@ -248,7 +294,7 @@ def main():
         # separate those. Surface the suspicion loudly instead of
         # silently passing.
         speed_ratios = [r[4] for r in all_rows
-                        if r[1] not in MACHINE_INDEPENDENT]
+                        if not machine_independent(r[0], r[1])]
         global_median = statistics.median(speed_ratios if speed_ratios
                                           else [r[4] for r in all_rows])
         if global_median < 1.0 - args.threshold:
@@ -263,7 +309,7 @@ def main():
     for pair_index, pair_rows in enumerate(rows):
         pair_reference = reference_for(pair_index)
         for key, metric, cur, base, ratio in pair_rows:
-            reference = (1.0 if metric in MACHINE_INDEPENDENT
+            reference = (1.0 if machine_independent(key, metric)
                          else pair_reference)
             floor = reference * (1.0 - args.threshold)
             status = "ok"

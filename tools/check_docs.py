@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Docs drift gate.
+
+Two checks, both cheap enough to run in the clang-format CI job:
+
+1. Knob-table completeness: every field of ``EngineOptions``
+   (src/serve/serving_engine.h) must be mentioned in the "Policy
+   knobs" section of docs/SERVING.md. Adding an engine knob without
+   documenting it fails CI — the table is the user-facing contract,
+   and silent drift there is how option docs rot.
+
+2. Intra-repo markdown links: every relative link in the maintained
+   documents (README.md, ROADMAP.md, docs/*.md) must point at a file
+   that exists, and a ``#fragment`` on a markdown target must match a
+   heading in that file (GitHub-style slugs). External http(s) links
+   are not touched — this is a hermetic check, no network.
+
+Exit code 0 when clean; 1 with one line per violation otherwise.
+
+Usage: python3 tools/check_docs.py [--repo PATH]
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+KNOB_HEADER = "src/serve/serving_engine.h"
+KNOB_DOC = "docs/SERVING.md"
+KNOB_SECTION = "### Policy knobs"
+DOC_FILES = ("README.md", "ROADMAP.md")
+DOC_GLOBS = ("docs/*.md",)
+
+# Lines like `size_t max_batch = 8;` / `FaultInjector *fault = nullptr;`
+# inside the struct body. The type may be multi-token; the field name is
+# the last identifier before `=` (every EngineOptions field has an
+# in-class default, which the style here treats as mandatory).
+FIELD_RE = re.compile(r"^\s*[A-Za-z_][\w:<>, ]*[\s*&]([a-z_][a-z0-9_]*)\s*=")
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def engine_option_fields(repo):
+    """Field names of struct EngineOptions, in declaration order."""
+    text = (repo / KNOB_HEADER).read_text()
+    m = re.search(r"struct EngineOptions\s*\{(.*?)\n\};", text, re.S)
+    if not m:
+        sys.exit("check_docs: cannot find struct EngineOptions in %s"
+                 % KNOB_HEADER)
+    fields = []
+    in_comment = False
+    for line in m.group(1).splitlines():
+        stripped = line.strip()
+        if in_comment:
+            if "*/" in stripped:
+                in_comment = False
+            continue
+        if stripped.startswith("/*"):
+            in_comment = "*/" not in stripped
+            continue
+        if stripped.startswith("//") or stripped.startswith("*"):
+            continue
+        fm = FIELD_RE.match(line)
+        if fm:
+            fields.append(fm.group(1))
+    if not fields:
+        sys.exit("check_docs: parsed zero EngineOptions fields — "
+                 "the parser drifted from the header style")
+    return fields
+
+
+def knob_section(repo):
+    """The Policy-knobs section of SERVING.md (header to next heading)."""
+    lines = (repo / KNOB_DOC).read_text().splitlines()
+    start = None
+    for i, line in enumerate(lines):
+        if line.strip().startswith(KNOB_SECTION):
+            start = i
+            break
+    if start is None:
+        sys.exit("check_docs: %s has no '%s' section" %
+                 (KNOB_DOC, KNOB_SECTION))
+    end = len(lines)
+    for i in range(start + 1, len(lines)):
+        if lines[i].startswith("#"):
+            end = i
+            break
+    return "\n".join(lines[start:end])
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a markdown heading."""
+    s = re.sub(r"`([^`]*)`", r"\1", heading)  # code spans keep contents
+    s = s.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s)
+    return s.replace(" ", "-")
+
+
+def heading_slugs(path):
+    slugs = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def check_knobs(repo, errors):
+    section = knob_section(repo)
+    for field in engine_option_fields(repo):
+        if "`%s`" % field not in section:
+            errors.append(
+                "%s: EngineOptions::%s is not mentioned in the '%s' "
+                "section — document the knob (or its interaction with "
+                "an existing row)" % (KNOB_DOC, field, KNOB_SECTION))
+
+
+def check_links(repo, errors):
+    docs = [repo / f for f in DOC_FILES]
+    for pattern in DOC_GLOBS:
+        docs.extend(sorted(repo.glob(pattern)))
+    slug_cache = {}
+    for doc in docs:
+        if not doc.exists():
+            errors.append("%s: maintained document is missing" %
+                          doc.relative_to(repo))
+            continue
+        in_fence = False
+        for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                    continue  # http:, https:, mailto:, ...
+                base, _, frag = target.partition("#")
+                dest = doc if not base else (doc.parent / base).resolve()
+                rel = "%s:%d" % (doc.relative_to(repo), lineno)
+                if base and not dest.exists():
+                    errors.append("%s: broken link '%s' (no such file)" %
+                                  (rel, target))
+                    continue
+                if frag and dest.suffix == ".md":
+                    if dest not in slug_cache:
+                        slug_cache[dest] = heading_slugs(dest)
+                    if frag not in slug_cache[dest]:
+                        errors.append(
+                            "%s: link '%s' — no heading with anchor "
+                            "'#%s' in %s" %
+                            (rel, target, frag,
+                             dest.relative_to(repo)))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=Path(__file__).resolve().parent.parent,
+                    type=Path, help="repository root")
+    args = ap.parse_args()
+    repo = args.repo.resolve()
+
+    errors = []
+    check_knobs(repo, errors)
+    check_links(repo, errors)
+
+    if errors:
+        for e in errors:
+            print("check_docs: FAIL  %s" % e)
+        print("check_docs: %d violation(s)" % len(errors))
+        return 1
+    print("check_docs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
