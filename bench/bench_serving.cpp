@@ -59,6 +59,16 @@
  * prefix instead of N); tools/check_bench.py gates both for this
  * workload.
  *
+ * The sharded workload is four request families (per-family shared
+ * system prompts + distinct tails) served by a 4-shard fleet under
+ * both routing policies, next to a single-engine reference and a live
+ * threaded ShardedFrontEnd run. The serial fleet rows run on the
+ * virtual clock (deterministic, gated: ttft_p50_ms and kv_bytes_peak);
+ * the affinity-vs-round-robin delta is the router's headline — one
+ * physical prefix copy per family instead of one per family per shard.
+ * All four variants' token streams are verified bit-identical before
+ * any number is emitted.
+ *
  * Usage: bench_serving [--quick] [--out FILE]
  *
  *  --quick   fewer configs, same workload (CI gate run)
@@ -71,6 +81,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -78,6 +89,7 @@
 #include "common/rng.h"
 #include "model/quant_config.h"
 #include "serve/async_engine.h"
+#include "serve/router.h"
 #include "serve/serving_engine.h"
 
 namespace mxplus {
@@ -163,6 +175,38 @@ sharedPrefixWorkload(size_t requests, size_t shared_len, size_t tail_len,
         }
         reqs[r].max_new_tokens = new_tokens;
         reqs[r].temperature = 0.0;
+    }
+    return reqs;
+}
+
+/**
+ * Sharded-fleet workload: @p families groups of @p per requests, each
+ * group sharing a page-aligned per-family system prompt plus distinct
+ * tails — the multi-tenant pattern prefix-affinity routing exists for.
+ * Routed by affinity, a family lands wholly on one shard (one physical
+ * prefix copy, cache hits for every sibling); routed round-robin, every
+ * shard re-prefills and caches its own copy of every family head.
+ */
+std::vector<ServeRequest>
+shardedWorkload(size_t families, size_t per, size_t shared_len,
+                size_t tail_len, size_t new_tokens)
+{
+    std::vector<ServeRequest> reqs;
+    for (size_t f = 0; f < families; ++f) {
+        std::vector<int> head(shared_len);
+        for (size_t i = 0; i < shared_len; ++i)
+            head[i] = static_cast<int>((29 + (3 + 2 * f) * i + f) % 251);
+        for (size_t r = 0; r < per; ++r) {
+            ServeRequest req;
+            req.prompt = head;
+            for (size_t i = 0; i < tail_len; ++i) {
+                req.prompt.push_back(static_cast<int>(
+                    (41 + 7 * (f * per + r) + 5 * i) % 251));
+            }
+            req.max_new_tokens = new_tokens;
+            req.temperature = 0.0;
+            reqs.push_back(std::move(req));
+        }
     }
     return reqs;
 }
@@ -503,6 +547,187 @@ runPoissonAsync(const Transformer &model, const std::string &format,
     return res;
 }
 
+/**
+ * Deterministic sharded-fleet simulation: each request goes to the
+ * shard @p shard_of says, then the per-shard engines run serially in
+ * lock-step on the shared virtual clock (every engine steps once per
+ * tick until the whole fleet is drained). No threads anywhere, so the
+ * rows are a pure function of (workload, routing policy) and
+ * tools/check_bench.py can gate their ttft_p50_ms / kv_bytes_peak on
+ * any machine. Fleet aggregation: peaks and counters sum across
+ * shards (shards are concurrent in simulated time), latency
+ * percentiles pool every request's virtual-clock timings.
+ */
+RunResult
+runShardedSim(const Transformer &model, const std::string &format,
+              const std::string &workload_name,
+              const std::vector<ServeRequest> &reqs,
+              const std::vector<size_t> &shard_of, size_t num_shards,
+              EngineOptions opts)
+{
+    const QuantConfig qc = QuantConfig::fromFormat(format);
+    std::vector<std::unique_ptr<ServingEngine>> shards;
+    for (size_t s = 0; s < num_shards; ++s)
+        shards.emplace_back(new ServingEngine(model, qc, opts));
+    std::vector<size_t> ids(reqs.size());
+    for (size_t r = 0; r < reqs.size(); ++r)
+        ids[r] = shards[shard_of[r]]->submit(reqs[r]);
+
+    size_t steps = 0;
+    bool busy = true;
+    while (busy) {
+        busy = false;
+        for (auto &sh : shards) {
+            if (sh->queuedRequests() > 0 || sh->activeRequests() > 0) {
+                sh->step();
+                busy = true;
+            }
+        }
+        if (++steps > kMaxBenchSteps) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s %s did not drain "
+                         "within %zu steps — scheduler livelock\n",
+                         format.c_str(), workload_name.c_str(),
+                         kMaxBenchSteps);
+            std::exit(1);
+        }
+    }
+    for (auto &sh : shards)
+        sh->runToCompletion(1); // finalize aggregate stats
+
+    RunResult res;
+    res.format = format;
+    res.workload = workload_name;
+    res.batch = opts.max_batch;
+    res.requests = reqs.size();
+    res.num_threads = opts.num_threads;
+    const size_t pt = shards[0]->pool().pageTokens();
+    const size_t page_bytes = shards[0]->pool().pageBytes();
+    const size_t layers = model.config().n_layers;
+    for (const auto &req : reqs) {
+        const size_t tokens = req.prompt.size() + req.max_new_tokens;
+        res.kv_bytes_reserved_worst +=
+            (tokens + pt - 1) / pt * layers * page_bytes;
+    }
+    double occupancy_weight = 0.0;
+    for (const auto &sh : shards) {
+        const EngineStats &es = sh->engineStats();
+        res.throughput_tok_s += es.throughput_tokens_per_s;
+        res.decode_tok_s += es.decode_tokens_per_s;
+        res.mean_batch_occupancy +=
+            es.mean_batch_occupancy * static_cast<double>(es.total_generated);
+        occupancy_weight += static_cast<double>(es.total_generated);
+        res.kv_bytes_peak += es.kv_bytes_peak;
+        res.kv_pages_peak += es.kv_pages_peak;
+        res.prefill_chunks += es.prefill_chunks;
+        res.admission_deferred_steps += es.admission_deferred_steps;
+        res.prefix_hit_tokens += es.prefix_hit_tokens;
+        res.preemptions += es.preemptions;
+        res.preempted_recompute_tokens += es.preempted_recompute_tokens;
+        res.shed += es.shed_requests;
+        res.timed_out += es.timed_out_requests;
+        res.cancelled += es.cancelled_requests;
+        res.checksum_failures += es.checksum_failures;
+    }
+    if (occupancy_weight > 0.0)
+        res.mean_batch_occupancy /= occupancy_weight;
+
+    std::vector<double> ttfts;
+    std::vector<double> token_ms;
+    size_t completed = 0;
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        const RequestStats &rs = shards[shard_of[r]]->stats(ids[r]);
+        res.streams.push_back(rs.generated);
+        if (rs.outcome == RequestOutcome::kCompleted)
+            ++completed;
+        if (rs.generated.empty())
+            continue;
+        ttfts.push_back(rs.ttft_ms);
+        token_ms.insert(token_ms.end(), rs.token_ms.begin(),
+                        rs.token_ms.end());
+    }
+    res.goodput_ok_fraction =
+        reqs.empty() ? 0.0
+                     : static_cast<double>(completed) / reqs.size();
+    res.ttft_p50_ms = latencyPercentile(ttfts, 0.50);
+    res.ttft_p99_ms = latencyPercentile(ttfts, 0.99);
+    res.token_p50_ms = latencyPercentile(token_ms, 0.50);
+    res.token_p99_ms = latencyPercentile(token_ms, 0.99);
+    return res;
+}
+
+/**
+ * The same fleet served live: a ShardedFrontEnd with real shard
+ * threads and racing producers, routing by prefix affinity. Reported
+ * with num_threads = num_shards, so the row is never gated (CI boxes
+ * are single-core) — main() verifies its token streams bit-identical
+ * to the single-engine reference before the row is emitted, which is
+ * the acceptance point: sharding and re-routing are throughput
+ * decisions, never numerics decisions.
+ */
+RunResult
+runShardedAsync(const Transformer &model, const std::string &format,
+                const std::string &workload_name,
+                const std::vector<ServeRequest> &reqs,
+                const RouterOptions &router, EngineOptions opts)
+{
+    const QuantConfig qc = QuantConfig::fromFormat(format);
+    constexpr size_t kProducers = 3;
+    ShardedFrontEnd fe(model, qc, opts, router);
+    std::vector<uint64_t> tickets(reqs.size());
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (size_t i = p; i < reqs.size(); i += kProducers)
+                tickets[i] = fe.submit(reqs[i]);
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    fe.drain();
+
+    RunResult res;
+    res.format = format;
+    res.workload = workload_name;
+    res.batch = opts.max_batch;
+    res.requests = reqs.size();
+    res.num_threads = router.num_shards; // shard threads: never gated
+    const EngineStats &es = fe.engineStats();
+    res.throughput_tok_s = es.throughput_tokens_per_s;
+    res.decode_tok_s = es.decode_tokens_per_s;
+    res.mean_batch_occupancy = es.mean_batch_occupancy;
+    res.kv_bytes_peak = es.kv_bytes_peak;
+    res.kv_pages_peak = es.kv_pages_peak;
+    res.prefill_chunks = es.prefill_chunks;
+    res.admission_deferred_steps = es.admission_deferred_steps;
+    res.prefix_hit_tokens = es.prefix_hit_tokens;
+    res.preemptions = es.preemptions;
+    res.preempted_recompute_tokens = es.preempted_recompute_tokens;
+    res.queue_wait_ms_p50 = es.queue_wait_ms_p50;
+    res.queue_wait_ms_p99 = es.queue_wait_ms_p99;
+    res.shed = es.shed_requests;
+    res.timed_out = es.timed_out_requests;
+    res.cancelled = es.cancelled_requests;
+    res.checksum_failures = es.checksum_failures;
+    res.goodput_ok_fraction = es.goodput_ok_fraction;
+    std::vector<double> ttfts;
+    std::vector<double> token_ms;
+    for (uint64_t t : tickets) {
+        const RequestStats &rs = fe.stats(t);
+        res.streams.push_back(rs.generated);
+        if (rs.generated.empty())
+            continue;
+        ttfts.push_back(rs.ttft_ms);
+        token_ms.insert(token_ms.end(), rs.token_ms.begin(),
+                        rs.token_ms.end());
+    }
+    res.ttft_p50_ms = latencyPercentile(ttfts, 0.50);
+    res.ttft_p99_ms = latencyPercentile(ttfts, 0.99);
+    res.token_p50_ms = latencyPercentile(token_ms, 0.50);
+    res.token_p99_ms = latencyPercentile(token_ms, 0.99);
+    return res;
+}
+
 void
 printResult(FILE *out, const RunResult &r, bool last)
 {
@@ -787,6 +1012,78 @@ main(int argc, char **argv)
         shared.push_back(std::move(plain));
     }
 
+    // Sharded fleet: the SAME multi-family workload served four ways —
+    // one big single engine ("sharded-ref", the golden reference), a
+    // 4-shard fleet routed by prefix affinity ("sharded-affinity"), the
+    // same fleet routed round-robin ("sharded-roundrobin"), and the
+    // live ShardedFrontEnd with real shard threads and racing
+    // producers ("sharded-async"). The first three run serially on the
+    // virtual step clock, so their rows are deterministic and
+    // tools/check_bench.py gates ttft_p50_ms and kv_bytes_peak — the
+    // affinity-vs-round-robin delta (one physical prefix copy per
+    // family vs one per family per shard) is the router's headline
+    // number. Every variant's token streams are verified bit-identical
+    // to the reference before anything is emitted: placement is a
+    // throughput decision, never a numerics decision.
+    std::vector<RunResult> sharded;
+    const std::vector<std::string> sharded_formats =
+        quick ? std::vector<std::string>{"MXFP4+"} : formats;
+    const size_t sharded_families = 4;
+    const size_t sharded_per = 6;
+    const size_t sharded_shared_len = 128;
+    const size_t sharded_tail_len = 16;
+    const size_t sharded_new = 12;
+    const size_t sharded_shards = 4;
+    const size_t sharded_cache_tokens = 1024;
+    for (const auto &fmt : sharded_formats) {
+        std::fprintf(stderr, "serving %s sharded...\n", fmt.c_str());
+        const auto reqs =
+            shardedWorkload(sharded_families, sharded_per,
+                            sharded_shared_len, sharded_tail_len,
+                            sharded_new);
+        EngineOptions opts;
+        opts.max_batch = 4;
+        opts.prefix_cache_tokens = sharded_cache_tokens;
+        opts.step_time_ms = 1.0; // virtual clock: deterministic rows
+
+        RunResult ref =
+            runConfig(model, fmt, "sharded-ref", reqs, opts);
+
+        const QuantConfig qc = QuantConfig::fromFormat(fmt);
+        const size_t pt = KvCache::pageTokensFor(qc.attention.get());
+        RouterOptions router;
+        router.num_shards = sharded_shards;
+        std::vector<size_t> affinity(reqs.size());
+        std::vector<size_t> round_robin(reqs.size());
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            affinity[i] = affinityShard(reqs[i].prompt, pt,
+                                        router.affinity_pages,
+                                        sharded_shards);
+            round_robin[i] = i % sharded_shards;
+        }
+        RunResult aff = runShardedSim(model, fmt, "sharded-affinity",
+                                      reqs, affinity, sharded_shards,
+                                      opts);
+        RunResult rr = runShardedSim(model, fmt, "sharded-roundrobin",
+                                     reqs, round_robin, sharded_shards,
+                                     opts);
+        RunResult live = runShardedAsync(model, fmt, "sharded-async",
+                                         reqs, router, opts);
+        if (aff.streams != ref.streams || rr.streams != ref.streams ||
+            live.streams != ref.streams) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s sharded token streams "
+                         "diverge from the single-engine reference — "
+                         "sharding must never change numerics\n",
+                         fmt.c_str());
+            return 1;
+        }
+        sharded.push_back(std::move(ref));
+        sharded.push_back(std::move(aff));
+        sharded.push_back(std::move(rr));
+        sharded.push_back(std::move(live));
+    }
+
     FILE *out = stdout;
     if (out_path != nullptr) {
         out = std::fopen(out_path, "w");
@@ -862,6 +1159,20 @@ main(int argc, char **argv)
     std::fprintf(out, "  \"shared\": [\n");
     for (size_t i = 0; i < shared.size(); ++i)
         printResult(out, shared[i], i + 1 == shared.size());
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"sharded_workload\": {\"families\": %zu, "
+                 "\"requests_per_family\": %zu, \"shared_tokens\": %zu, "
+                 "\"tail_tokens\": %zu, \"new_tokens_per_request\": %zu, "
+                 "\"num_shards\": %zu, \"prefix_cache_tokens\": %zu, "
+                 "\"step_time_ms\": 1.0, \"max_batch_per_shard\": 4, "
+                 "\"tokens_match_reference\": true},\n",
+                 sharded_families, sharded_per, sharded_shared_len,
+                 sharded_tail_len, sharded_new, sharded_shards,
+                 sharded_cache_tokens);
+    std::fprintf(out, "  \"sharded\": [\n");
+    for (size_t i = 0; i < sharded.size(); ++i)
+        printResult(out, sharded[i], i + 1 == sharded.size());
     std::fprintf(out, "  ]\n");
     std::fprintf(out, "}\n");
     if (out != stdout)

@@ -6,7 +6,9 @@
  * model, and then actually serve the emulated model with the batched
  * continuous-batching engine (prefill + incremental quantized-KV decode)
  * — the workflow the paper's introduction motivates, from quality to
- * throughput.
+ * throughput. Closes by serving the same workload through the unified
+ * ServingClient API twice — one async engine, then a sharded fleet —
+ * and showing the token streams are bit-identical.
  */
 
 #include <algorithm>
@@ -14,6 +16,8 @@
 
 #include "gpusim/llm_timing.h"
 #include "model/eval.h"
+#include "serve/async_engine.h"
+#include "serve/router.h"
 #include "serve/serving_engine.h"
 
 using namespace mxplus;
@@ -44,6 +48,41 @@ serveRow(const Transformer &model, const char *fmt, size_t batch)
                 es.throughput_tokens_per_s, es.decode_tokens_per_s,
                 ttft_worst,
                 static_cast<double>(es.kv_bytes_peak) / (1024.0 * 1024.0));
+}
+
+/**
+ * Client code written once against the abstract ServingClient API:
+ * submit a 2-family shared-prompt workload, drain, and report fleet
+ * stats. The SAME function serves through one engine (AsyncFrontEnd)
+ * or a sharded fleet (ShardedFrontEnd) — and returns the streams so
+ * the caller can show they are bit-identical either way.
+ */
+std::vector<std::vector<int>>
+serveThroughClient(ServingClient &client, const char *label)
+{
+    std::vector<uint64_t> tickets;
+    for (size_t r = 0; r < 8; ++r) {
+        ServeRequest req;
+        req.prompt.resize(64);
+        const size_t family = r % 2;
+        for (size_t i = 0; i < req.prompt.size(); ++i)
+            req.prompt[i] =
+                static_cast<int>((19 + 3 * i + 31 * family) % 251);
+        for (size_t i = 0; i < 8; ++i)
+            req.prompt.push_back(
+                static_cast<int>((7 + 5 * r + 11 * i) % 251));
+        req.max_new_tokens = 8;
+        tickets.push_back(client.submit(std::move(req)));
+    }
+    client.drain();
+    const EngineStats &es = client.engineStats();
+    std::vector<std::vector<int>> streams;
+    for (uint64_t t : tickets)
+        streams.push_back(client.stats(t).generated);
+    std::printf("%-22s %10.1f %10.2f %12zu\n", label,
+                es.throughput_tokens_per_s, es.goodput_ok_fraction,
+                es.prefix_hit_tokens);
+    return streams;
 }
 
 } // namespace
@@ -198,6 +237,29 @@ main()
                     es.preemptions, es.queue_wait_ms_p99,
                     es.preempted_recompute_tokens);
     }
+
+    // 6. The unified client API: the same client function serves
+    // through one async engine and through a 2-shard prefix-affinity
+    // fleet — same tickets, same stats schema, and (the canonical
+    // invariant, now across sharding) bit-identical token streams.
+    std::printf("\none client function, two deployments (MXFP4+, "
+                "2 shared-prompt families):\n");
+    std::printf("%-22s %10s %10s %12s\n", "deployment", "tok/s",
+                "goodput", "hit tokens");
+    const QuantConfig serve_qc = QuantConfig::fromFormat("MXFP4+");
+    EngineOptions client_opts;
+    client_opts.max_batch = 4;
+    client_opts.prefix_cache_tokens = 512;
+    AsyncFrontEnd single(model, serve_qc, client_opts);
+    const auto single_streams =
+        serveThroughClient(single, "async single engine");
+    RouterOptions router;
+    router.num_shards = 2;
+    ShardedFrontEnd fleet(model, serve_qc, client_opts, router);
+    const auto fleet_streams =
+        serveThroughClient(fleet, "sharded fleet (2)");
+    std::printf("streams bit-identical across deployments: %s\n",
+                single_streams == fleet_streams ? "yes" : "NO");
 
     std::printf("\ntakeaway: MXFP4+ keeps nearly all of MXFP4's serving "
                 "speedup while recovering most of the quality gap to "

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small non-cryptographic 64-bit hashing helpers shared across layers.
+ *
+ * The serving router hashes page-aligned prompt-prefix token runs (the
+ * prefix trie's key material) to pick a preferred shard, so the mix
+ * here must be a pure function of the token ids — never of pointers,
+ * timing or layout — or routing would stop being deterministic. The
+ * mixer is the xxhash/splitmix finalizer family: cheap, well-dispersed,
+ * and stable across platforms for the same input.
+ */
+
+#ifndef MXPLUS_COMMON_HASH_H
+#define MXPLUS_COMMON_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mxplus {
+
+/** splitmix64 finalizer: disperse all input bits across the word. */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/**
+ * Hash @p count token ids starting at @p tokens, seeded/chainable via
+ * @p seed — hashing a token run page by page with the previous page's
+ * digest as the seed equals one pass over the whole run's structure,
+ * which is exactly how the router folds page-aligned prefix runs.
+ */
+inline uint64_t
+hashTokens(const int *tokens, size_t count, uint64_t seed = 0)
+{
+    uint64_t h = mix64(seed ^ (0x9e3779b97f4a7c15ULL + count));
+    for (size_t i = 0; i < count; ++i)
+        h = mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(tokens[i])));
+    return h;
+}
+
+} // namespace mxplus
+
+#endif // MXPLUS_COMMON_HASH_H

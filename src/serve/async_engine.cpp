@@ -75,10 +75,27 @@ bool SubmitRing::tryPop(Cmd &out)
 
 // ---------------------------------------------------------- AsyncFrontEnd ---
 
+namespace {
+
+// Refuse bad knob combinations with a readable configuration error
+// BEFORE any engine state exists — runs first in the init list (opts_
+// precedes engine_), so a misconfiguration can never reach the deep
+// CHECKs inside ServingEngine or KvCache.
+EngineOptions validatedOptions(const EngineOptions &opts,
+                               const QuantConfig &qc)
+{
+    const std::string err = opts.validate(qc);
+    if (!err.empty())
+        fatal("AsyncFrontEnd: invalid EngineOptions: " + err);
+    return opts;
+}
+
+} // namespace
+
 AsyncFrontEnd::AsyncFrontEnd(const Transformer &model, QuantConfig qc,
                              EngineOptions opts, AsyncOptions async)
-    : opts_(opts), engine_(model, std::move(qc), opts),
-      ring_(async.ring_capacity)
+    : opts_(validatedOptions(opts, qc)),
+      engine_(model, std::move(qc), opts), ring_(async.ring_capacity)
 {
     engine_thread_ = std::thread([this] { engineLoop(); });
 }

@@ -65,6 +65,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/serving_client.h"
 #include "serve/serving_engine.h"
 
 namespace mxplus {
@@ -127,7 +128,7 @@ class SubmitRing
 };
 
 /** Thread-safe streaming front end over one ServingEngine. */
-class AsyncFrontEnd
+class AsyncFrontEnd : public ServingClient
 {
   public:
     AsyncFrontEnd(const Transformer &model, QuantConfig qc,
@@ -149,14 +150,14 @@ class AsyncFrontEnd
      * outcome (completed/rejected/shed/timed_out/cancelled — exactly
      * the synchronous engine's taxonomy) through wait().
      */
-    uint64_t submit(ServeRequest req);
+    uint64_t submit(ServeRequest req) override;
 
     /**
      * Request cancellation from any thread. Returns false when the
      * ticket is unknown or its stream already closed (the classic
      * cancel/complete race — the caller gets the completed answer).
      */
-    bool cancel(uint64_t ticket);
+    bool cancel(uint64_t ticket) override;
 
     /**
      * Blocking pop of the next streamed token. Returns false when the
@@ -164,16 +165,16 @@ class AsyncFrontEnd
      * standard `while (nextToken(t, &tok))` consumer loop therefore
      * sees exactly the request's full (bit-identical) stream.
      */
-    bool nextToken(uint64_t ticket, int *token);
+    bool nextToken(uint64_t ticket, int *token) override;
 
     /** Block until the ticket is terminal; returns its outcome. */
-    RequestOutcome wait(uint64_t ticket);
+    RequestOutcome wait(uint64_t ticket) override;
 
     /**
      * Final per-request stats (a copy taken at termination — never a
      * view into live engine memory). Blocks until terminal.
      */
-    const RequestStats &stats(uint64_t ticket);
+    const RequestStats &stats(uint64_t ticket) override;
 
     /**
      * Block until every submitted ticket is terminal and the engine
@@ -181,10 +182,10 @@ class AsyncFrontEnd
      * the next submit() — engineStats(), engine() and
      * auditInvariants() may be called from the draining thread.
      */
-    void drain();
+    void drain() override;
 
     /** Aggregate stats (valid after drain(), like runToCompletion's). */
-    const EngineStats &engineStats() const;
+    const EngineStats &engineStats() const override;
 
     /** The wrapped engine, for audits/tests. Only valid post-drain. */
     const ServingEngine &engine() const { return engine_; }

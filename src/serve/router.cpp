@@ -1,0 +1,687 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace mxplus {
+
+// ----------------------------------------------------------- routing policy --
+
+std::string
+RouterOptions::validate() const
+{
+    if (num_shards == 0)
+        return "num_shards must be positive";
+    if (spill_threshold < 1.0)
+        return "spill_threshold must be >= 1.0 (got " +
+            std::to_string(spill_threshold) + ")";
+    const auto bad = [](double p) { return p < 0.0 || p > 1.0; };
+    if (bad(fault.p_pool_exhausted) || bad(fault.p_force_preempt) ||
+        bad(fault.p_clock_skew) || bad(fault.p_evict_storm) ||
+        bad(fault.p_corrupt_page))
+        return "fault probabilities must lie in [0, 1]";
+    if (fault.p_clock_skew > 0.0 && fault.skew_ms_max < 1.0)
+        return "skew_ms_max must be >= 1 ms when p_clock_skew > 0";
+    return std::string();
+}
+
+size_t
+affinityShard(const std::vector<int> &prompt, size_t page_tokens,
+              size_t affinity_pages, size_t num_shards)
+{
+    MXPLUS_CHECK_MSG(num_shards > 0, "affinityShard: no shards");
+    const size_t whole =
+        page_tokens > 0 ? prompt.size() / page_tokens : 0;
+    size_t pages = whole;
+    if (affinity_pages > 0)
+        pages = std::min(pages, affinity_pages);
+    uint64_t h = 0;
+    if (pages == 0) {
+        // Shorter than one page: the whole prompt IS the key.
+        h = hashTokens(prompt.data(), prompt.size());
+    } else {
+        // Page-by-page chaining mirrors the trie's page-run structure:
+        // two prompts sharing their leading pages hash identically up
+        // to the first differing page.
+        for (size_t p = 0; p < pages; ++p)
+            h = hashTokens(prompt.data() + p * page_tokens, page_tokens,
+                           h);
+    }
+    return static_cast<size_t>(h % num_shards);
+}
+
+// ---------------------------------------------------------- ShardedFrontEnd --
+
+ShardedFrontEnd::ShardedFrontEnd(const Transformer &model, QuantConfig qc,
+                                 EngineOptions opts, RouterOptions router)
+    : opts_(opts), router_(router)
+{
+    std::string err = router_.validate();
+    if (!err.empty())
+        fatal("ShardedFrontEnd: invalid RouterOptions: " + err);
+    err = opts_.validate(qc);
+    if (!err.empty())
+        fatal("ShardedFrontEnd: invalid EngineOptions: " + err);
+    if (opts_.fault != nullptr)
+        fatal("ShardedFrontEnd: EngineOptions::fault must be null under "
+              "the router — injectors are per-shard; set "
+              "RouterOptions::fault instead");
+
+    page_tokens_ = opts_.page_tokens > 0
+        ? opts_.page_tokens
+        : KvCache::pageTokensFor(qc.attention.get());
+
+    const FaultInjector::Config &fc = router_.fault;
+    const bool chaos = fc.p_pool_exhausted > 0.0 ||
+        fc.p_force_preempt > 0.0 || fc.p_clock_skew > 0.0 ||
+        fc.p_evict_storm > 0.0 || fc.p_corrupt_page > 0.0;
+
+    stats_clean_.assign(router_.num_shards, 1);
+    shards_.reserve(router_.num_shards);
+    for (size_t i = 0; i < router_.num_shards; ++i) {
+        auto sh = std::make_unique<Shard>();
+        EngineOptions shard_opts = opts_;
+        if (chaos) {
+            // Satellite fix: per-shard injector ownership. Each shard
+            // draws from its own (seed + shard_id) sequence, so its
+            // schedule is a pure function of (seed, shard, step) no
+            // matter how the N shard threads interleave.
+            FaultInjector::Config shard_fc = fc;
+            shard_fc.seed = fc.seed + i;
+            sh->fault = std::make_unique<FaultInjector>(shard_fc);
+            shard_opts.fault = sh->fault.get();
+        }
+        sh->engine =
+            std::make_unique<ServingEngine>(model, qc, shard_opts);
+        sh->ring = std::make_unique<SubmitRing>(router_.ring_capacity);
+        shards_.push_back(std::move(sh));
+    }
+    for (size_t i = 0; i < shards_.size(); ++i)
+        shards_[i]->thread = std::thread([this, i] { shardLoop(i); });
+}
+
+ShardedFrontEnd::~ShardedFrontEnd()
+{
+    for (auto &sh : shards_) {
+        {
+            std::lock_guard<std::mutex> lk(sh->wake_mu);
+            sh->stop = true;
+        }
+        sh->wake_cv.notify_one();
+    }
+    for (auto &sh : shards_) {
+        if (sh->thread.joinable())
+            sh->thread.join();
+    }
+}
+
+uint64_t
+ShardedFrontEnd::submit(ServeRequest req)
+{
+    auto stream = std::make_shared<Stream>();
+    stream->req = std::move(req); // master copy: re-routes restart from it
+    uint64_t ticket = 0;
+    {
+        std::lock_guard<std::mutex> lk(registry_mu_);
+        ticket = streams_.size();
+        streams_.push_back(stream);
+    }
+    {
+        std::lock_guard<std::mutex> lk(done_mu_);
+        ++unfinished_;
+        stats_ready_ = false;
+    }
+    routeTicket(ticket, stream);
+    return ticket;
+}
+
+bool
+ShardedFrontEnd::cancel(uint64_t ticket)
+{
+    auto stream = streamFor(ticket);
+    if (stream == nullptr)
+        return false;
+    {
+        std::lock_guard<std::mutex> lk(stream->mu);
+        if (stream->done)
+            return false; // lost the cancel/complete race
+    }
+    // The flag is the truth (checked at map time on whichever shard
+    // ends up owning the ticket — so it lands across re-routes); the
+    // command is the wake-up. The hint can go stale while the ticket
+    // migrates, so retry until SOME live shard took the wake-up or the
+    // ticket went terminal meanwhile.
+    stream->cancel_requested.store(true, std::memory_order_release);
+    for (;;) {
+        const size_t shard =
+            stream->shard_hint.load(std::memory_order_acquire);
+        SubmitRing::Cmd cmd;
+        cmd.kind = SubmitRing::Cmd::Kind::kCancel;
+        cmd.ticket = ticket;
+        if (tryPushToShard(shard, std::move(cmd)))
+            break;
+        {
+            std::lock_guard<std::mutex> lk(stream->mu);
+            if (stream->done)
+                break;
+        }
+        std::this_thread::yield();
+    }
+    return true;
+}
+
+bool
+ShardedFrontEnd::nextToken(uint64_t ticket, int *token)
+{
+    auto stream = streamFor(ticket);
+    MXPLUS_CHECK_MSG(stream != nullptr, "unknown ticket");
+    std::unique_lock<std::mutex> lk(stream->mu);
+    stream->cv.wait(lk,
+                    [&] { return stream->done || !stream->pending.empty(); });
+    if (stream->pending.empty())
+        return false;
+    if (token != nullptr)
+        *token = stream->pending.front();
+    stream->pending.pop_front();
+    return true;
+}
+
+RequestOutcome
+ShardedFrontEnd::wait(uint64_t ticket)
+{
+    auto stream = streamFor(ticket);
+    MXPLUS_CHECK_MSG(stream != nullptr, "unknown ticket");
+    std::unique_lock<std::mutex> lk(stream->mu);
+    stream->cv.wait(lk, [&] { return stream->done; });
+    return stream->outcome;
+}
+
+const RequestStats &
+ShardedFrontEnd::stats(uint64_t ticket)
+{
+    auto stream = streamFor(ticket);
+    MXPLUS_CHECK_MSG(stream != nullptr, "unknown ticket");
+    std::unique_lock<std::mutex> lk(stream->mu);
+    stream->cv.wait(lk, [&] { return stream->done; });
+    // Immutable once done: safe to hand out past the unlock.
+    return stream->final_stats;
+}
+
+void
+ShardedFrontEnd::drain()
+{
+    std::unique_lock<std::mutex> lk(done_mu_);
+    done_cv_.wait(lk, [&] { return unfinished_ == 0 && stats_ready_; });
+}
+
+const EngineStats &
+ShardedFrontEnd::engineStats() const
+{
+    // Synchronized by drain(): fleet_stats_ was merged under done_mu_
+    // before stats_ready_ flipped, and the caller's drain() observed
+    // that flip under the same mutex.
+    return fleet_stats_;
+}
+
+size_t
+ShardedFrontEnd::liveShards() const
+{
+    size_t live = 0;
+    for (const auto &sh : shards_)
+        if (sh->routable.load(std::memory_order_acquire))
+            ++live;
+    return live;
+}
+
+bool
+ShardedFrontEnd::shardRetired(size_t shard) const
+{
+    MXPLUS_CHECK_MSG(shard < shards_.size(), "unknown shard");
+    return !shards_[shard]->routable.load(std::memory_order_acquire);
+}
+
+const ServingEngine &
+ShardedFrontEnd::shardEngine(size_t shard) const
+{
+    MXPLUS_CHECK_MSG(shard < shards_.size(), "unknown shard");
+    return *shards_[shard]->engine;
+}
+
+const EngineStats &
+ShardedFrontEnd::shardStats(size_t shard) const
+{
+    return shardEngine(shard).engineStats();
+}
+
+bool
+ShardedFrontEnd::auditInvariants() const
+{
+    bool ok = true;
+    for (const auto &sh : shards_)
+        ok = sh->engine->auditInvariants() && ok;
+    return ok;
+}
+
+// -------------------------------------------------------- producer plumbing --
+
+std::shared_ptr<ShardedFrontEnd::Stream>
+ShardedFrontEnd::streamFor(uint64_t ticket) const
+{
+    std::lock_guard<std::mutex> lk(registry_mu_);
+    if (ticket >= streams_.size())
+        return nullptr;
+    return streams_[ticket];
+}
+
+size_t
+ShardedFrontEnd::pickShard(const std::vector<int> &prompt)
+{
+    std::vector<size_t> live;
+    live.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i)
+        if (shards_[i]->routable.load(std::memory_order_acquire))
+            live.push_back(i);
+    MXPLUS_CHECK_MSG(!live.empty(), "no live shard to route to");
+    if (live.size() == 1)
+        return live[0];
+
+    if (router_.policy == RoutePolicy::kRoundRobin) {
+        const uint64_t n =
+            rr_counter_.fetch_add(1, std::memory_order_relaxed);
+        return live[static_cast<size_t>(n % live.size())];
+    }
+
+    // Affinity key maps onto the FULL shard space so it is stable
+    // across retirements; a retired preferred shard degrades to a
+    // deterministic re-map over the live set.
+    const size_t global = affinityShard(prompt, page_tokens_,
+                                        router_.affinity_pages,
+                                        shards_.size());
+    size_t preferred =
+        shards_[global]->routable.load(std::memory_order_acquire)
+        ? global
+        : live[global % live.size()];
+
+    size_t least = live[0];
+    for (size_t s : live) {
+        if (shards_[s]->outstanding.load(std::memory_order_relaxed) <
+            shards_[least]->outstanding.load(std::memory_order_relaxed))
+            least = s;
+    }
+    const double pref_load = static_cast<double>(
+        shards_[preferred]->outstanding.load(std::memory_order_relaxed));
+    const double least_load = static_cast<double>(
+        shards_[least]->outstanding.load(std::memory_order_relaxed));
+    if (pref_load > router_.spill_threshold * (least_load + 1.0))
+        return least; // affinity yields to load
+    return preferred;
+}
+
+bool
+ShardedFrontEnd::tryPushToShard(size_t shard, SubmitRing::Cmd &&cmd)
+{
+    Shard &sh = *shards_[shard];
+    // Accept-guard: a retiring shard flips routable and then waits for
+    // inflight_routes to hit zero, so once its final ring sweep starts
+    // no producer can still be inside this window.
+    sh.inflight_routes.fetch_add(1, std::memory_order_acq_rel);
+    if (!sh.routable.load(std::memory_order_acquire)) {
+        sh.inflight_routes.fetch_sub(1, std::memory_order_release);
+        return false;
+    }
+    // Backpressure: the shard drains its ring at every step boundary.
+    while (!sh.ring->tryPush(std::move(cmd)))
+        std::this_thread::yield();
+    {
+        std::lock_guard<std::mutex> lk(sh.wake_mu);
+        ++sh.enqueued;
+    }
+    sh.wake_cv.notify_one();
+    sh.inflight_routes.fetch_sub(1, std::memory_order_release);
+    return true;
+}
+
+void
+ShardedFrontEnd::routeTicket(uint64_t ticket,
+                             const std::shared_ptr<Stream> &s)
+{
+    for (;;) {
+        const size_t shard = pickShard(s->req.prompt);
+        s->shard_hint.store(static_cast<uint32_t>(shard),
+                            std::memory_order_release);
+        SubmitRing::Cmd cmd;
+        cmd.kind = SubmitRing::Cmd::Kind::kSubmit;
+        cmd.ticket = ticket;
+        cmd.req = s->req; // copy: the stream keeps the restart master
+        shards_[shard]->outstanding.fetch_add(1,
+                                              std::memory_order_relaxed);
+        if (tryPushToShard(shard, std::move(cmd)))
+            return;
+        // Shard sealed between pick and push: undo and re-pick.
+        shards_[shard]->outstanding.fetch_sub(1,
+                                              std::memory_order_relaxed);
+    }
+}
+
+// ----------------------------------------------------------- shard threads --
+
+size_t
+ShardedFrontEnd::drainShardRing(Shard &sh)
+{
+    size_t taken = 0;
+    SubmitRing::Cmd cmd;
+    while (sh.ring->tryPop(cmd)) {
+        ++taken;
+        auto stream = streamFor(cmd.ticket);
+        MXPLUS_CHECK(stream != nullptr);
+        switch (cmd.kind) {
+        case SubmitRing::Cmd::Kind::kSubmit: {
+            stream->engine_id = sh.engine->submit(std::move(cmd.req));
+            sh.live.emplace_back(cmd.ticket, stream);
+            // A cancel may already be flagged (issued concurrently, or
+            // while the ticket was mid-re-route); apply it now that an
+            // id exists on THIS engine.
+            if (stream->cancel_requested.load(std::memory_order_acquire))
+                sh.engine->cancel(stream->engine_id);
+            break;
+        }
+        case SubmitRing::Cmd::Kind::kCancel: {
+            // Engine ids are per-shard, and a stale hint can deliver a
+            // cancel wake-up to a shard that no longer (or never) owns
+            // the ticket — act only on tickets in OUR live list.
+            for (auto &entry : sh.live) {
+                if (entry.first == cmd.ticket) {
+                    sh.engine->cancel(entry.second->engine_id);
+                    break;
+                }
+            }
+            break;
+        }
+        }
+    }
+    return taken;
+}
+
+void
+ShardedFrontEnd::publishShard(Shard &sh)
+{
+    for (size_t i = 0; i < sh.live.size();) {
+        Stream &s = *sh.live[i].second;
+        const RequestStats &rs = sh.engine->stats(s.engine_id);
+
+        // Emit only past the per-ticket high-water mark: preemption OR
+        // re-routing transiently shrinks rs.generated and then
+        // regenerates it bit-identically, so the delivered stream
+        // stays a duplicate-free prefix of the unconstrained stream.
+        const size_t gen = rs.generated.size();
+        const bool grew = gen > s.emitted;
+        if (grew || rs.finished) {
+            std::lock_guard<std::mutex> lk(s.mu);
+            for (size_t t = s.emitted; t < gen; ++t)
+                s.pending.push_back(rs.generated[t]);
+            if (grew)
+                s.emitted = gen;
+            if (rs.finished) {
+                s.final_stats = rs; // copy: never a view into the engine
+                s.outcome = rs.outcome;
+                s.done = true;
+            }
+            s.cv.notify_all();
+        }
+
+        if (rs.finished) {
+            sh.live[i] = std::move(sh.live.back());
+            sh.live.pop_back();
+            sh.outstanding.fetch_sub(1, std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> lk(done_mu_);
+                MXPLUS_CHECK(unfinished_ > 0);
+                --unfinished_;
+            }
+            done_cv_.notify_all();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+ShardedFrontEnd::markCleanAndMaybeReady(size_t shard)
+{
+    {
+        std::lock_guard<std::mutex> lk(done_mu_);
+        stats_clean_[shard] = 1;
+        if (unfinished_ == 0 && !stats_ready_) {
+            bool all_clean = true;
+            for (uint8_t c : stats_clean_)
+                all_clean = all_clean && c != 0;
+            if (all_clean) {
+                // Fleet idle and every shard finalized: safe to read
+                // all engines from this thread (their owners are
+                // asleep; a new submit must take done_mu_ first).
+                fleet_stats_ = mergeFleetStats();
+                stats_ready_ = true;
+            }
+        }
+    }
+    done_cv_.notify_all();
+}
+
+void
+ShardedFrontEnd::retireDrain(size_t shard)
+{
+    Shard &sh = *shards_[shard];
+    {
+        std::lock_guard<std::mutex> lk(done_mu_);
+        stats_clean_[shard] = 0; // busy until finalized below
+    }
+
+    // Producers are sealed (retireShard flipped routable and waited
+    // out in-flight routes), so this sweep sees the ring's final word.
+    std::vector<std::pair<uint64_t, std::shared_ptr<Stream>>> reroute;
+    SubmitRing::Cmd cmd;
+    while (sh.ring->tryPop(cmd)) {
+        if (cmd.kind == SubmitRing::Cmd::Kind::kSubmit)
+            reroute.emplace_back(cmd.ticket, streamFor(cmd.ticket));
+        // kCancel sweeps are droppable: the flag is the truth and the
+        // new shard's map-time check reads it.
+    }
+
+    // Everything already finished publishes normally; what remains is
+    // live mid-generation work.
+    publishShard(sh);
+    for (auto &entry : sh.live) {
+        // Cancel WITHOUT publishing the terminal: this cancel is a
+        // re-route artifact, not the ticket's outcome. Tokens already
+        // delivered stand; the restarted run regenerates the same
+        // stream and publish() resumes past `emitted`.
+        sh.engine->cancel(entry.second->engine_id);
+        reroute.push_back(entry);
+    }
+    sh.live.clear();
+    // Settle the cancels and finalize this shard's aggregates — the
+    // merged fleet view still includes a retired shard's work.
+    sh.engine->runToCompletion();
+
+    for (auto &entry : reroute) {
+        sh.outstanding.fetch_sub(1, std::memory_order_relaxed);
+        // Restart elsewhere from the stream's master request. The
+        // re-route is bit-exact by the preemption-restart argument;
+        // a flagged cancel terminates at the new shard's map instead.
+        routeTicket(entry.first, entry.second);
+    }
+
+    markCleanAndMaybeReady(shard);
+}
+
+void
+ShardedFrontEnd::shardLoop(size_t shard)
+{
+    Shard &sh = *shards_[shard];
+    // Commands this thread consumed; the ring's tail only moves here,
+    // so the idle-wait predicate (enqueued > processed) is exact.
+    uint64_t processed = 0;
+    bool finalized = true; // a fresh engine has nothing to finalize
+    for (;;) {
+        if (sh.retire.load(std::memory_order_acquire)) {
+            retireDrain(shard);
+            return;
+        }
+
+        const size_t drained = drainShardRing(sh);
+        processed += drained;
+        if (drained > 0) {
+            finalized = false;
+            std::lock_guard<std::mutex> lk(done_mu_);
+            stats_clean_[shard] = 0;
+        }
+
+        if (sh.engine->queuedRequests() > 0 ||
+            sh.engine->activeRequests() > 0) {
+            sh.engine->step();
+            publishShard(sh);
+            continue;
+        }
+
+        publishShard(sh); // flush terminals from shed/reject-at-submit
+        if (!finalized) {
+            // runToCompletion() on the now-empty engine just finalizes
+            // this shard's aggregates over its busy window.
+            sh.engine->runToCompletion();
+            finalized = true;
+            markCleanAndMaybeReady(shard);
+        }
+
+        std::unique_lock<std::mutex> lk(sh.wake_mu);
+        if (sh.stop && sh.enqueued == processed)
+            break;
+        sh.wake_cv.wait(lk, [&] {
+            return sh.stop ||
+                sh.retire.load(std::memory_order_acquire) ||
+                sh.enqueued > processed;
+        });
+        if (sh.stop && sh.enqueued == processed)
+            break;
+    }
+}
+
+// -------------------------------------------------------------- retirement --
+
+bool
+ShardedFrontEnd::retireShard(size_t shard)
+{
+    if (shard >= shards_.size())
+        return false;
+    std::lock_guard<std::mutex> retire_lk(retire_mu_);
+    Shard &sh = *shards_[shard];
+    if (!sh.routable.load(std::memory_order_acquire))
+        return false; // already retired
+    if (liveShards() <= 1)
+        return false; // someone must keep serving
+
+    // Seal: no new routes, then wait out producers already inside the
+    // accept-guard window so the shard thread's final ring sweep is
+    // complete.
+    sh.routable.store(false, std::memory_order_release);
+    while (sh.inflight_routes.load(std::memory_order_acquire) != 0)
+        std::this_thread::yield();
+
+    {
+        std::lock_guard<std::mutex> lk(sh.wake_mu);
+        sh.retire.store(true, std::memory_order_release);
+    }
+    sh.wake_cv.notify_one();
+    sh.thread.join();
+    sh.retired = true;
+    return true;
+}
+
+// ------------------------------------------------------------- fleet stats --
+
+EngineStats
+ShardedFrontEnd::mergeFleetStats() const
+{
+    EngineStats f;
+    double occupancy_weighted = 0.0;
+
+    // Mechanism counters sum over every shard, retired included — a
+    // re-routed ticket's work on both shards is real work, like a
+    // preempted request's recompute.
+    for (const auto &sh : shards_) {
+        const EngineStats &es = sh->engine->engineStats();
+        f.decode_batches += es.decode_batches;
+        f.decode_ms += es.decode_ms;
+        f.decode_tokens += es.decode_tokens;
+        f.decode_tokens_per_s += es.decode_tokens_per_s;
+        f.throughput_tokens_per_s += es.throughput_tokens_per_s;
+        f.prefill_chunks += es.prefill_chunks;
+        f.admission_deferred_steps += es.admission_deferred_steps;
+        f.prefix_hit_requests += es.prefix_hit_requests;
+        f.prefix_hit_tokens += es.prefix_hit_tokens;
+        f.prefix_inserted_tokens += es.prefix_inserted_tokens;
+        f.prefix_evicted_pages += es.prefix_evicted_pages;
+        f.sjf_reorders += es.sjf_reorders;
+        f.preemptions += es.preemptions;
+        f.preempted_recompute_tokens += es.preempted_recompute_tokens;
+        f.checksum_failures += es.checksum_failures;
+        f.kv_bytes_peak += es.kv_bytes_peak;
+        f.kv_pages_peak += es.kv_pages_peak;
+        f.wall_ms = std::max(f.wall_ms, es.wall_ms);
+        occupancy_weighted += es.mean_batch_occupancy *
+            static_cast<double>(es.decode_batches);
+    }
+    f.mean_batch_occupancy = f.decode_batches > 0
+        ? occupancy_weighted / static_cast<double>(f.decode_batches)
+        : 0.0;
+
+    // Outcome counters and goodput are per TICKET (client truth): a
+    // re-routed request counts once, by its final outcome — never as
+    // the retiring shard's engine-level cancel.
+    std::vector<double> queue_waits;
+    size_t completed = 0;
+    size_t total = 0;
+    {
+        std::lock_guard<std::mutex> lk(registry_mu_);
+        for (const auto &sp : streams_) {
+            std::lock_guard<std::mutex> slk(sp->mu);
+            if (!sp->done)
+                continue; // unreachable when the fleet is idle
+            ++total;
+            const RequestStats &rs = sp->final_stats;
+            f.total_generated += rs.generated.size();
+            queue_waits.push_back(rs.queue_wait_ms);
+            switch (sp->outcome) {
+            case RequestOutcome::kCompleted:
+                ++completed;
+                break;
+            case RequestOutcome::kRejected:
+                ++f.rejected_requests;
+                break;
+            case RequestOutcome::kShed:
+                ++f.shed_requests;
+                break;
+            case RequestOutcome::kTimedOut:
+                ++f.timed_out_requests;
+                break;
+            case RequestOutcome::kCancelled:
+                ++f.cancelled_requests;
+                break;
+            default:
+                break;
+            }
+        }
+    }
+    f.goodput_ok_fraction = total > 0
+        ? static_cast<double>(completed) / static_cast<double>(total)
+        : 0.0;
+    // Merged p50/p99 from the per-ticket queue-wait digests, with the
+    // same nearest-rank percentile the engines use.
+    f.queue_wait_ms_p50 = latencyPercentile(queue_waits, 0.50);
+    f.queue_wait_ms_p99 = latencyPercentile(queue_waits, 0.99);
+    return f;
+}
+
+} // namespace mxplus

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * ShardedFrontEnd: N private ServingEngines behind a prefix-affinity
+ * router, presented to clients through the same ServingClient surface
+ * as the single-engine AsyncFrontEnd.
+ *
+ * Ownership and threading (the full diagram is in docs/ARCHITECTURE.md):
+ *
+ *  - Each SHARD is a completely private serving stack — one
+ *    ServingEngine with its own KvPagePool, PrefixIndex, Scheduler and
+ *    (optionally) FaultInjector — owned and touched by exactly one
+ *    shard thread. Nothing below this file became shared or
+ *    thread-safe; the router composes N copies of the single-threaded
+ *    stack exactly the way AsyncFrontEnd wraps one.
+ *  - Producers reach a shard through its own lock-free MPSC SubmitRing
+ *    (the same Vyukov ring AsyncFrontEnd uses). Routing happens on the
+ *    PRODUCER's thread: pick a shard, pass its accept-guard, push.
+ *  - Results flow back through per-ticket Stream cells identical in
+ *    shape to AsyncFrontEnd's; a ticket's stream fields hand off
+ *    between shard threads only through ring push/pop (release/acquire
+ *    on the slot sequence), so re-routing needs no extra locks.
+ *
+ * Routing policy (kPrefixAffinity): the prompt's leading whole
+ * KV-cache pages — the exact token runs the prefix trie keys on — are
+ * hashed page-by-page (common/hash.h) and the digest picks a preferred
+ * shard. Requests sharing a system prompt therefore land on the shard
+ * where that prompt's pages are already resident, making the prefix
+ * cache hit across CLIENTS what PR4 made it within one engine. Load
+ * spillover: when the preferred shard's outstanding-request count
+ * exceeds spill_threshold x (least-loaded + 1), the request goes to
+ * the least-loaded live shard instead — affinity is a throughput
+ * preference, never an obligation.
+ *
+ * Re-route is restart, and restart is bit-exact: retireShard() seals a
+ * shard against new routes, cancels its in-flight requests WITHOUT
+ * publishing those terminals, and re-submits each one to a live shard
+ * from its original ServeRequest. The re-run regenerates the same
+ * stream for the same reasons preemption-restart does (prefill is
+ * chunk-invariant, batched decode rows equal solo runs, per-request
+ * Rng reseeds deterministically), and the per-ticket emitted
+ * high-water mark turns the regenerated stream into a duplicate-free
+ * continuation of whatever was already delivered. Which shard runs a
+ * request — like when it runs — is a throughput decision, never a
+ * numerics decision.
+ *
+ * Fleet statistics: engineStats() returns a merged view — outcome
+ * counters and goodput are computed per TICKET (a re-routed request
+ * counts once, by its final outcome, not as the old shard's cancel),
+ * mechanism counters (decode batches, prefill chunks, preemptions,
+ * prefix traffic, peak KV bytes) sum over every shard including
+ * retired ones, wall time is the max, and queue-wait p50/p99 merge the
+ * per-ticket digests with the same nearest-rank percentile the engine
+ * uses.
+ */
+
+#ifndef MXPLUS_SERVE_ROUTER_H
+#define MXPLUS_SERVE_ROUTER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/async_engine.h"
+#include "serve/fault.h"
+#include "serve/serving_client.h"
+#include "serve/serving_engine.h"
+
+namespace mxplus {
+
+/** How the router picks a shard for a new request. */
+enum class RoutePolicy
+{
+    /** Hash the prompt's page-aligned prefix runs (the trie key) to a
+        preferred shard, spilling to the least-loaded shard when the
+        preferred one is overloaded (see spill_threshold). */
+    kPrefixAffinity = 0,
+    /** Ignore the prompt; rotate across live shards (the bench
+        baseline the affinity win is measured against). */
+    kRoundRobin,
+};
+
+/** Router-level knobs (each shard's engine keeps EngineOptions). */
+struct RouterOptions
+{
+    /** Engine shards, one thread + private KV pool + trie each. */
+    size_t num_shards = 4;
+    /** Per-shard submit-ring capacity (rounded up to a power of two);
+        a full ring back-pressures the routing thread, never drops. */
+    size_t ring_capacity = 1024;
+    /** Affinity gives way to load when the preferred shard holds more
+        than spill_threshold x (least-loaded shard + 1) outstanding
+        requests (>= 1; higher sticks to affinity longer). */
+    double spill_threshold = 2.0;
+    /** Leading whole pages hashed into the affinity key (0 = every
+        whole page of the prompt). Prompts shorter than one page hash
+        in full. */
+    size_t affinity_pages = 4;
+    /** Shard selection policy (see RoutePolicy). */
+    RoutePolicy policy = RoutePolicy::kPrefixAffinity;
+    /** Per-shard chaos config: when any probability is positive, every
+        shard owns a PRIVATE FaultInjector seeded fault.seed + shard_id,
+        so each shard's fault schedule is a pure function of
+        (seed, shard, step) — N shards never share one draw sequence.
+        EngineOptions::fault must stay null under the router. */
+    FaultInjector::Config fault = {};
+
+    /** Empty string when usable, else a one-line description of the
+        first bad knob (e.g. "num_shards must be positive"). The
+        ShardedFrontEnd constructor calls this (plus
+        EngineOptions::validate) and refuses with the message instead
+        of CHECK-aborting deep in a shard. */
+    std::string validate() const;
+};
+
+/**
+ * Preferred shard for @p prompt under the prefix-affinity policy:
+ * fold the leading min(@p affinity_pages, whole pages) page runs of
+ * @p page_tokens tokens through the chained token hash (prompts
+ * shorter than one page hash in full) and reduce modulo
+ * @p num_shards. Pure function of its arguments — exposed so the
+ * bench's deterministic single-thread simulation routes exactly like
+ * the live router.
+ */
+size_t affinityShard(const std::vector<int> &prompt, size_t page_tokens,
+                     size_t affinity_pages, size_t num_shards);
+
+/** Sharded multi-engine front end (see file header). */
+class ShardedFrontEnd : public ServingClient
+{
+  public:
+    ShardedFrontEnd(const Transformer &model, QuantConfig qc,
+                    EngineOptions opts, RouterOptions router = {});
+
+    /** Drains every outstanding ticket on every shard, then stops and
+        joins the shard threads. */
+    ~ShardedFrontEnd() override;
+
+    ShardedFrontEnd(const ShardedFrontEnd &) = delete;
+    ShardedFrontEnd &operator=(const ShardedFrontEnd &) = delete;
+
+    // ServingClient surface — semantics identical to AsyncFrontEnd's
+    // (tickets, streams, outcomes); only the engine count differs.
+    uint64_t submit(ServeRequest req) override;
+    bool cancel(uint64_t ticket) override;
+    bool nextToken(uint64_t ticket, int *token) override;
+    RequestOutcome wait(uint64_t ticket) override;
+    const RequestStats &stats(uint64_t ticket) override;
+    void drain() override;
+    /** Merged fleet view (see file header). Valid after drain(). */
+    const EngineStats &engineStats() const override;
+
+    /**
+     * Drain-and-re-route: seal shard @p shard against new routes, let
+     * its thread publish everything already finished, cancel the rest
+     * on its engine WITHOUT publishing those terminals, re-submit each
+     * unfinished ticket to a live shard (restart — bit-exact, see file
+     * header), finalize the shard's stats and join its thread. Blocks
+     * until the shard is fully retired. Returns false (and does
+     * nothing) when @p shard is unknown, already retired, or the last
+     * live shard. A ticket whose cancel flag is set at re-route time
+     * still re-routes, but the new shard's flag-at-map check cancels
+     * it at its first step boundary — before any recompute — so it
+     * terminates kCancelled instead of restarting.
+     */
+    bool retireShard(size_t shard);
+
+    size_t numShards() const { return shards_.size(); }
+    /** Shards still accepting routes. */
+    size_t liveShards() const;
+    bool shardRetired(size_t shard) const;
+    /** Tokens per KV page — the affinity key's page geometry. */
+    size_t pageTokens() const { return page_tokens_; }
+
+    /** One shard's engine, for audits/tests. Only valid post-drain
+        (or post-retire for a retired shard). */
+    const ServingEngine &shardEngine(size_t shard) const;
+    /** Shorthand for shardEngine(shard).engineStats(). */
+    const EngineStats &shardStats(size_t shard) const;
+    /** Cross-layer audit of every (idle) shard engine. Post-drain. */
+    bool auditInvariants() const;
+
+  private:
+    /** Per-ticket hand-off cell (AsyncFrontEnd::Stream plus the
+        re-route fields). `emitted`/`engine_id` belong to the ticket's
+        CURRENT shard thread; ownership moves between shard threads
+        only through ring push/pop, which orders the hand-off. */
+    struct Stream
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<int> pending;
+        bool done = false;
+        RequestOutcome outcome = RequestOutcome::kPending;
+        RequestStats final_stats;
+        std::atomic<bool> cancel_requested{false};
+        /** Shard the ticket was last routed to (cancel wake-up hint;
+            the per-shard live list stays the ownership truth). */
+        std::atomic<uint32_t> shard_hint{0};
+        /** Original request, kept for re-route restarts. */
+        ServeRequest req;
+
+        // Current-shard-thread-only fields.
+        size_t engine_id = SIZE_MAX;
+        size_t emitted = 0;
+    };
+
+    /** One private serving stack + its thread and hand-off state. */
+    struct Shard
+    {
+        std::unique_ptr<FaultInjector> fault; ///< seeded base + shard id
+        std::unique_ptr<ServingEngine> engine;
+        std::unique_ptr<SubmitRing> ring;
+
+        /** Accept-guard: producers may push only while routable; a
+            retiring shard flips it and waits out in-flight routes
+            before its final ring sweep. */
+        std::atomic<bool> routable{true};
+        std::atomic<size_t> inflight_routes{0};
+        /** Tickets routed here and not yet terminal/re-routed — the
+            load metric affinity spills against. */
+        std::atomic<size_t> outstanding{0};
+        std::atomic<bool> retire{false};
+        bool retired = false; ///< shard thread exited (post-join read)
+
+        std::mutex wake_mu;
+        std::condition_variable wake_cv;
+        uint64_t enqueued = 0;
+        bool stop = false;
+
+        /** Shard-thread-local: live tickets mapped on this engine. */
+        std::vector<std::pair<uint64_t, std::shared_ptr<Stream>>> live;
+
+        std::thread thread;
+    };
+
+    std::shared_ptr<Stream> streamFor(uint64_t ticket) const;
+    /** Preferred-then-spill (or round-robin) shard pick over live
+        shards; pure policy, no guard. */
+    size_t pickShard(const std::vector<int> &prompt);
+    /** Accept-guarded push: false when @p shard stopped accepting
+        between pick and push (caller re-picks). Spins out ring-full
+        backpressure, then bumps the shard's wake channel. */
+    bool tryPushToShard(size_t shard, SubmitRing::Cmd &&cmd);
+    /** Route (and re-route) one ticket: pick, guard, push, update the
+        hint and the outstanding counts. */
+    void routeTicket(uint64_t ticket, const std::shared_ptr<Stream> &s);
+
+    void shardLoop(size_t shard);
+    size_t drainShardRing(Shard &sh);
+    /** Publish tokens + terminals for @p sh's live tickets (the
+        AsyncFrontEnd publish, per shard). */
+    void publishShard(Shard &sh);
+    /** The retireShard() shard-thread half: final ring sweep, publish,
+        cancel-without-publish, re-route, finalize. */
+    void retireDrain(size_t shard);
+    /** Under done_mu_: mark shard @p shard's aggregates finalized and,
+        when the whole fleet is idle and clean, merge fleet_stats_ and
+        flip stats_ready_. */
+    void markCleanAndMaybeReady(size_t shard);
+    /** Merge per-shard engine stats + per-ticket outcomes (caller
+        holds done_mu_ with the fleet idle). */
+    EngineStats mergeFleetStats() const;
+
+    const EngineOptions opts_;
+    const RouterOptions router_;
+    size_t page_tokens_ = 0; ///< affinity-key page geometry
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<uint64_t> rr_counter_{0}; ///< round-robin cursor
+
+    // Ticket registry (append-only under registry_mu_, exactly like
+    // AsyncFrontEnd's).
+    mutable std::mutex registry_mu_;
+    std::vector<std::shared_ptr<Stream>> streams_;
+
+    /** Serializes retireShard callers (two concurrent retires could
+        otherwise both pass the last-live-shard check). */
+    std::mutex retire_mu_;
+
+    // Fleet drain/stats channel. stats_clean[i] — guarded by done_mu_ —
+    // says shard i's engine aggregates are finalized; fleet_stats_ is
+    // (re)merged when unfinished_ hits 0 with every shard clean.
+    mutable std::mutex done_mu_;
+    std::condition_variable done_cv_;
+    size_t unfinished_ = 0;
+    bool stats_ready_ = true;
+    std::vector<uint8_t> stats_clean_;
+    EngineStats fleet_stats_;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_SERVE_ROUTER_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ServingClient: the one client-facing surface of the serving stack.
+ *
+ * Both front ends implement it — AsyncFrontEnd (one engine thread over
+ * one ServingEngine) and ShardedFrontEnd (N engine threads behind the
+ * prefix-affinity router) — so tests, benches and examples drive
+ * either through the same submit/cancel/nextToken/wait/stats/drain
+ * calls. The contract is the repository's canonical invariant,
+ * restated at the API boundary:
+ *
+ *   A ticket's delivered token stream is a pure function of the
+ *   ServeRequest and the quantization format. Which front end served
+ *   it, how many shards existed, where the request was routed, whether
+ *   it was re-routed mid-flight, preempted, or raced by other
+ *   producers — all of that is throughput, none of it is numerics.
+ *
+ * Every method is safe to call from any thread. Tickets are
+ * front-end-scoped (they are NOT engine request ids); a ticket
+ * obtained from one front end means nothing to another.
+ */
+
+#ifndef MXPLUS_SERVE_SERVING_CLIENT_H
+#define MXPLUS_SERVE_SERVING_CLIENT_H
+
+#include <cstdint>
+
+#include "serve/serving_engine.h"
+
+namespace mxplus {
+
+/** Abstract streaming client API over 1 engine or N shards. */
+class ServingClient
+{
+  public:
+    virtual ~ServingClient() = default;
+
+    /** Enqueue a request from any thread; returns its ticket
+        immediately. */
+    virtual uint64_t submit(ServeRequest req) = 0;
+
+    /** Request cancellation; false when the ticket is unknown or its
+        stream already closed (the caller gets the completed answer). */
+    virtual bool cancel(uint64_t ticket) = 0;
+
+    /** Blocking pop of the next streamed token; false once the stream
+        is closed AND every token has been delivered. */
+    virtual bool nextToken(uint64_t ticket, int *token) = 0;
+
+    /** Block until the ticket is terminal; returns its outcome. */
+    virtual RequestOutcome wait(uint64_t ticket) = 0;
+
+    /** Final per-request stats (a copy taken at termination — never a
+        view into live engine memory). Blocks until terminal. */
+    virtual const RequestStats &stats(uint64_t ticket) = 0;
+
+    /** Block until every submitted ticket is terminal and aggregate
+        stats are finalized. */
+    virtual void drain() = 0;
+
+    /** Aggregate stats — the engine's own for AsyncFrontEnd, the
+        merged fleet view for ShardedFrontEnd. Valid after drain(). */
+    virtual const EngineStats &engineStats() const = 0;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_SERVE_SERVING_CLIENT_H

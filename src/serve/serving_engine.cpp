@@ -54,6 +54,38 @@ latencyPercentile(std::vector<double> samples, double p)
     return samples[idx];
 }
 
+std::string
+EngineOptions::validate(const QuantConfig &qc) const
+{
+    // Mirrors every constructor CHECK plus the deep KvCache page-
+    // geometry CHECK, so a front end can refuse a bad configuration
+    // with a readable message before any engine state exists.
+    if (max_batch == 0)
+        return "max_batch must be positive";
+    if (qc.attention == nullptr)
+        return "serving requires an attention quantizer "
+               "(QuantConfig::attention is null)";
+    if (over_admission < 1.0)
+        return "over_admission must be >= 1.0 (got " +
+            std::to_string(over_admission) + ")";
+    if (aging_rate < 0.0)
+        return "aging_rate must be >= 0 (got " +
+            std::to_string(aging_rate) + ")";
+    if (step_time_ms < 0.0)
+        return "step_time_ms must be >= 0 (got " +
+            std::to_string(step_time_ms) + ")";
+    const size_t period = qc.attention->blockPeriod();
+    if (page_tokens > 0 && period > 0 && page_tokens % period != 0)
+        return "page_tokens (" + std::to_string(page_tokens) +
+            ") is not a multiple of the attention block period (" +
+            std::to_string(period) +
+            "); paging would not be bit-invisible";
+    if (prefix_cache_tokens > 0 && period == 0)
+        return "prefix_cache_tokens > 0 requires a value quantizer "
+               "with known block structure (blockPeriod() > 0)";
+    return std::string();
+}
+
 ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
                              EngineOptions opts)
     : model_(model), qc_(std::move(qc)), opts_(opts)
@@ -177,7 +209,6 @@ ServingEngine::markTerminal(size_t id, RequestOutcome outcome)
                      "ServingEngine: double terminal state");
     rs.finished = true;
     rs.outcome = outcome;
-    rs.rejected = outcome == RequestOutcome::kRejected;
     switch (outcome) {
     case RequestOutcome::kRejected:
         engine_stats_.rejected_requests += 1;

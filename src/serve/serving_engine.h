@@ -29,7 +29,7 @@
  *      exhaust the pool (the PR4 reject-only behaviour); above 1 the
  *      scheduler admits optimistically and the engine preempts when
  *      the optimism loses. A request whose demand exceeds the whole
- *      budget is rejected gracefully (RequestStats::rejected).
+ *      budget is rejected gracefully (RequestOutcome::kRejected).
  *   2. Run one prefill quantum for every still-prefilling slot —
  *      adopting every cached page available at its position, else
  *      computing one EngineOptions::prefill_chunk tokens and
@@ -102,6 +102,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -285,6 +286,19 @@ struct EngineOptions
      * docs/ARCHITECTURE.md for the threading model.
      */
     size_t num_threads = 1;
+
+    /**
+     * Check this option set against @p qc for knob combinations the
+     * engine cannot honour. Returns an empty string when the options
+     * are usable, else a one-line description of the FIRST problem
+     * found (e.g. "page_tokens (48) is not a multiple of the
+     * attention block period (32)"). Front ends call this at
+     * construction so a bad configuration fails with a readable
+     * message instead of a deep CHECK-abort inside KvCache or the
+     * scheduler; callers who want death-free handling call it
+     * themselves before constructing.
+     */
+    std::string validate(const QuantConfig &qc) const;
 };
 
 /** Per-request outcome and latency statistics. */
@@ -300,11 +314,6 @@ struct RequestStats
      * bit-exact prefix of the request's unconstrained stream.
      */
     RequestOutcome outcome = RequestOutcome::kPending;
-    /** @deprecated Kept in sync with outcome == kRejected; use
-        @ref outcome. No internal reader is left (one regression test
-        in tests/test_lifecycle.cpp keeps the sync honest); slated for
-        removal after one release of external migration time. */
-    bool rejected = false;
     /** Prompt tokens served from shared prefix pages (no compute). */
     size_t shared_prompt_tokens = 0;
     /** Times this request was preempted (restarted) for pool pressure. */
@@ -505,8 +514,8 @@ class ServingEngine
         engine default, 0 = none. */
     double effectiveDeadlineMs(size_t id) const;
     double effectiveTtftDeadlineMs(size_t id) const;
-    /** Stamp a terminal outcome (and the deprecated rejected alias),
-        bumping the matching engine counter. */
+    /** Stamp a terminal outcome, bumping the matching engine
+        counter. */
     void markTerminal(size_t id, RequestOutcome outcome);
     /** Terminate an active slot from any phase: finalize its partial
         stats, release reservation and pins, drop its pages. */

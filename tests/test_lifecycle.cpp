@@ -84,11 +84,11 @@ TEST(Lifecycle, OutcomeNamesAreStable)
     EXPECT_STREQ(outcomeName(RequestOutcome::kCancelled), "cancelled");
 }
 
-TEST(Lifecycle, RejectionSetsOutcomeAndDeprecatedAlias)
+TEST(Lifecycle, RejectionSetsOutcome)
 {
-    // The satellite contract: an exhausted-budget submit still reports
-    // through the new taxonomy AND keeps the old bool readable, so
-    // pre-PR6 callers checking `rejected` observe identical behaviour.
+    // An exhausted-budget submit reports through the outcome taxonomy
+    // (the pre-PR6 `rejected` bool is gone): terminal state, empty
+    // stream, engine counter and goodput all agree.
     const Transformer model(tinyConfig());
     const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
     EngineOptions opts;
@@ -106,9 +106,7 @@ TEST(Lifecycle, RejectionSetsOutcomeAndDeprecatedAlias)
     engine.runToCompletion();
 
     EXPECT_EQ(engine.stats(ok_id).outcome, RequestOutcome::kCompleted);
-    EXPECT_FALSE(engine.stats(ok_id).rejected);
     EXPECT_EQ(engine.stats(big_id).outcome, RequestOutcome::kRejected);
-    EXPECT_TRUE(engine.stats(big_id).rejected); // deprecated alias
     EXPECT_TRUE(engine.stats(big_id).generated.empty());
     EXPECT_EQ(engine.engineStats().rejected_requests, 1u);
     EXPECT_DOUBLE_EQ(engine.engineStats().goodput_ok_fraction, 0.5);

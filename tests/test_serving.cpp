@@ -796,7 +796,7 @@ TEST(ServingEngine, OverBudgetRequestIsRejectedGracefullyNotFatally)
     // The PR3 engine aborted the process at submit() when a request
     // could never fit the page budget. With the pool's recoverable
     // acquire, impossible requests are rejected at admission time
-    // (RequestStats::rejected) and everything else keeps serving —
+    // (RequestOutcome::kRejected) and everything else keeps serving —
     // groundwork for preemption, where deferral/rejection decisions
     // move entirely into the scheduler.
     const Transformer model(tinyConfig());

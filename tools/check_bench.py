@@ -19,7 +19,10 @@ compared apples-to-apples:
                         scheduler's wins respectively), poisson
                         workloads ttft_p99_ms and goodput_ok_fraction
                         (virtual step clock, so both are deterministic
-                        and judged machine-independent). Rows with
+                        and judged machine-independent), sharded-fleet
+                        workloads ttft_p50_ms and kv_bytes_peak (serial
+                        lock-step simulation on the virtual clock — the
+                        affinity-vs-round-robin routing delta). Rows with
                         num_threads != 1 (decode worker pool, async
                         front end) are never gated — CI runners are
                         single-core — but their token streams are
@@ -81,8 +84,13 @@ MACHINE_INDEPENDENT = {"kv_bytes_peak", "goodput_ok_fraction"}
 # Workload families whose gated latency metrics run on the virtual
 # step clock and are therefore machine-independent too. Matched
 # against the folded key, which is space-delimited — "poisson-async"
-# does not match " poisson " (and is never gated anyway).
-VIRTUAL_CLOCK_WORKLOADS = ("poisson",)
+# does not match " poisson " (and is never gated anyway). The serial
+# sharded-fleet rows (sharded-ref / sharded-affinity /
+# sharded-roundrobin) are deterministic lock-step simulations on the
+# same virtual clock; "sharded-async" runs real shard threads and is
+# already excluded by its num_threads.
+VIRTUAL_CLOCK_WORKLOADS = ("poisson", "sharded-ref", "sharded-affinity",
+                           "sharded-roundrobin")
 # Extra metrics gated per workload family, on top of the throughput
 # metrics every serving row gets: the shared-prefix rows exist for
 # their latency/memory wins, the bursty rows for the tail-latency
@@ -92,6 +100,12 @@ WORKLOAD_GATED_METRICS = {
     "shared-prefix": ("ttft_p50_ms", "kv_bytes_peak"),
     "bursty": ("ttft_p99_ms",),
     "poisson": ("ttft_p99_ms", "goodput_ok_fraction"),
+    # Sharded-fleet rows exist for the routing-policy trade-off:
+    # kv_bytes_peak is affinity's memory win (one physical prefix copy
+    # per family instead of one per family per shard) and ttft_p50_ms
+    # is the load-balance price it pays — both must hold steady, and
+    # both are deterministic on the virtual clock.
+    "sharded": ("ttft_p50_ms", "kv_bytes_peak"),
 }
 
 
@@ -132,6 +146,12 @@ def serving_metrics(doc):
                                     pw.get("mean_interarrival_ms", "?"),
                                     pw.get("deadline_ms", "?"),
                                     pw.get("seed", "?"))
+    sh = doc.get("sharded_workload", {})
+    sharded_tag = "f%sr%ss%st%sk%s" % (sh.get("families", "?"),
+                                       sh.get("requests_per_family", "?"),
+                                       sh.get("shared_tokens", "?"),
+                                       sh.get("tail_tokens", "?"),
+                                       sh.get("num_shards", "?"))
     # Extraction is allowlist-based: only the metrics named below are
     # ever gated, so rows may grow new fields (the lifecycle counters
     # shed/timed_out/cancelled/checksum_failures/goodput_ok_fraction,
@@ -143,7 +163,7 @@ def serving_metrics(doc):
     # uniform/shared/bursty tags above.
     entries = (doc.get("poisson", []) + doc.get("configs", []) +
                doc.get("mixed", []) + doc.get("bursty", []) +
-               doc.get("shared", []))
+               doc.get("shared", []) + doc.get("sharded", []))
     for entry in entries:
         # Rows measured with a decode worker pool (or through the
         # async front end, which always runs one) are never gated: CI
@@ -170,6 +190,12 @@ def serving_metrics(doc):
         elif workload.startswith("bursty"):
             workload = "%s %s" % (workload, bursty_tag)
             gated = WORKLOAD_GATED_METRICS["bursty"]
+        elif workload.startswith("sharded"):
+            # "sharded-async" never reaches here (num_threads ==
+            # num_shards, filtered above); the serial fleet rows and
+            # the single-engine reference share the geometry tag.
+            workload = "%s %s" % (workload, sharded_tag)
+            gated = WORKLOAD_GATED_METRICS["sharded"]
         key = "serving %s %s batch=%s" % (entry["format"], workload,
                                           entry["batch"])
         for metric in ("throughput_tok_s", "decode_tok_s") + gated:

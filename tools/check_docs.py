@@ -5,9 +5,11 @@ Two checks, both cheap enough to run in the clang-format CI job:
 
 1. Knob-table completeness: every field of ``EngineOptions``
    (src/serve/serving_engine.h) must be mentioned in the "Policy
-   knobs" section of docs/SERVING.md. Adding an engine knob without
-   documenting it fails CI — the table is the user-facing contract,
-   and silent drift there is how option docs rot.
+   knobs" section of docs/SERVING.md, and every field of
+   ``RouterOptions`` (src/serve/router.h) in its "Router knobs"
+   section. Adding a knob without documenting it fails CI — the
+   tables are the user-facing contract, and silent drift there is how
+   option docs rot.
 
 2. Intra-repo markdown links: every relative link in the maintained
    documents (README.md, ROADMAP.md, docs/*.md) must point at a file
@@ -25,9 +27,12 @@ import re
 import sys
 from pathlib import Path
 
-KNOB_HEADER = "src/serve/serving_engine.h"
 KNOB_DOC = "docs/SERVING.md"
-KNOB_SECTION = "### Policy knobs"
+# (header, struct name, SERVING.md section) per documented knob struct.
+KNOB_SPECS = (
+    ("src/serve/serving_engine.h", "EngineOptions", "### Policy knobs"),
+    ("src/serve/router.h", "RouterOptions", "### Router knobs"),
+)
 DOC_FILES = ("README.md", "ROADMAP.md")
 DOC_GLOBS = ("docs/*.md",)
 
@@ -41,13 +46,13 @@ LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
 
 
-def engine_option_fields(repo):
-    """Field names of struct EngineOptions, in declaration order."""
-    text = (repo / KNOB_HEADER).read_text()
-    m = re.search(r"struct EngineOptions\s*\{(.*?)\n\};", text, re.S)
+def option_fields(repo, header, struct):
+    """Field names of the given options struct, in declaration order."""
+    text = (repo / header).read_text()
+    m = re.search(r"struct %s\s*\{(.*?)\n\};" % struct, text, re.S)
     if not m:
-        sys.exit("check_docs: cannot find struct EngineOptions in %s"
-                 % KNOB_HEADER)
+        sys.exit("check_docs: cannot find struct %s in %s"
+                 % (struct, header))
     fields = []
     in_comment = False
     for line in m.group(1).splitlines():
@@ -65,22 +70,22 @@ def engine_option_fields(repo):
         if fm:
             fields.append(fm.group(1))
     if not fields:
-        sys.exit("check_docs: parsed zero EngineOptions fields — "
-                 "the parser drifted from the header style")
+        sys.exit("check_docs: parsed zero %s fields — "
+                 "the parser drifted from the header style" % struct)
     return fields
 
 
-def knob_section(repo):
-    """The Policy-knobs section of SERVING.md (header to next heading)."""
+def knob_section(repo, section):
+    """The given knobs section of SERVING.md (header to next heading)."""
     lines = (repo / KNOB_DOC).read_text().splitlines()
     start = None
     for i, line in enumerate(lines):
-        if line.strip().startswith(KNOB_SECTION):
+        if line.strip().startswith(section):
             start = i
             break
     if start is None:
         sys.exit("check_docs: %s has no '%s' section" %
-                 (KNOB_DOC, KNOB_SECTION))
+                 (KNOB_DOC, section))
     end = len(lines)
     for i in range(start + 1, len(lines)):
         if lines[i].startswith("#"):
@@ -113,13 +118,15 @@ def heading_slugs(path):
 
 
 def check_knobs(repo, errors):
-    section = knob_section(repo)
-    for field in engine_option_fields(repo):
-        if "`%s`" % field not in section:
-            errors.append(
-                "%s: EngineOptions::%s is not mentioned in the '%s' "
-                "section — document the knob (or its interaction with "
-                "an existing row)" % (KNOB_DOC, field, KNOB_SECTION))
+    for header, struct, section_name in KNOB_SPECS:
+        section = knob_section(repo, section_name)
+        for field in option_fields(repo, header, struct):
+            if "`%s`" % field not in section:
+                errors.append(
+                    "%s: %s::%s is not mentioned in the '%s' "
+                    "section — document the knob (or its interaction "
+                    "with an existing row)" %
+                    (KNOB_DOC, struct, field, section_name))
 
 
 def check_links(repo, errors):
