@@ -61,12 +61,16 @@
  *
  * The sharded workload is four request families (per-family shared
  * system prompts + distinct tails) served by a 4-shard fleet under
- * both routing policies, next to a single-engine reference and a live
- * threaded ShardedFrontEnd run. The serial fleet rows run on the
- * virtual clock (deterministic, gated: ttft_p50_ms and kv_bytes_peak);
- * the affinity-vs-round-robin delta is the router's headline — one
+ * both routing policies, next to a single-engine reference, a
+ * crash-failover run (one shard killed mid-run, its in-flight requests
+ * re-submitted to the survivors) and a live threaded ShardedFrontEnd
+ * run. The serial fleet rows run on the virtual clock (deterministic,
+ * gated: ttft_p50_ms and kv_bytes_peak; for the failover row,
+ * ttft_p99_ms and goodput_ok_fraction — the rerouted tail and the
+ * requirement that a crash never loses a request); the
+ * affinity-vs-round-robin delta is the router's headline — one
  * physical prefix copy per family instead of one per family per shard.
- * All four variants' token streams are verified bit-identical before
+ * All five variants' token streams are verified bit-identical before
  * any number is emitted.
  *
  * Usage: bench_serving [--quick] [--out FILE]
@@ -657,6 +661,184 @@ runShardedSim(const Transformer &model, const std::string &format,
 }
 
 /**
+ * Crash-failover simulation on the virtual clock: the affinity fleet
+ * from runShardedSim, but @p killed_shard crashes at @p kill_tick — it
+ * never steps again, its aggregate stats are abandoned, and every
+ * request it had not finished is re-submitted (from the router-side
+ * request copies) to the least-loaded survivor, the serial twin of
+ * ShardedFrontEnd::failShard. Restart-is-bit-exact makes the
+ * survivor's regenerated stream THE stream; requests the victim
+ * completed before the crash keep their original streams and timings.
+ * No threads and no wall clock anywhere, so the row is deterministic
+ * and tools/check_bench.py gates ttft_p99_ms (the failover tail: a
+ * rerouted request's TTFT includes the re-prefill on the survivor —
+ * every live engine steps every tick, idle or not, so the virtual
+ * clocks stay aligned with the shared tick count) and
+ * goodput_ok_fraction (a crash must never lose a request: 1.0 or the
+ * gate fails).
+ */
+RunResult
+runShardedFailoverSim(const Transformer &model, const std::string &format,
+                      const std::string &workload_name,
+                      const std::vector<ServeRequest> &reqs,
+                      const std::vector<size_t> &shard_of,
+                      size_t num_shards, size_t killed_shard,
+                      size_t kill_tick, EngineOptions opts)
+{
+    const QuantConfig qc = QuantConfig::fromFormat(format);
+    std::vector<std::unique_ptr<ServingEngine>> shards;
+    for (size_t s = 0; s < num_shards; ++s)
+        shards.emplace_back(new ServingEngine(model, qc, opts));
+    std::vector<size_t> owner = shard_of; // final owner per request
+    std::vector<size_t> ids(reqs.size());
+    for (size_t r = 0; r < reqs.size(); ++r)
+        ids[r] = shards[shard_of[r]]->submit(reqs[r]);
+
+    size_t steps = 0;
+    size_t rerouted = 0;
+    bool killed = false;
+    bool busy = true;
+    while (busy) {
+        if (!killed && steps >= kill_tick) {
+            killed = true;
+            for (size_t r = 0; r < reqs.size(); ++r) {
+                if (owner[r] != killed_shard)
+                    continue;
+                const RequestStats &rs =
+                    shards[killed_shard]->stats(ids[r]);
+                if (rs.outcome == RequestOutcome::kCompleted)
+                    continue; // finished pre-crash: its stream stands
+                // Least-loaded survivor, lowest index breaking ties —
+                // the serial twin of the router's pickShard().
+                size_t best = 0;
+                size_t best_load = SIZE_MAX;
+                for (size_t s = 0; s < num_shards; ++s) {
+                    if (s == killed_shard)
+                        continue;
+                    const size_t load = shards[s]->queuedRequests() +
+                                        shards[s]->activeRequests();
+                    if (load < best_load) {
+                        best_load = load;
+                        best = s;
+                    }
+                }
+                owner[r] = best;
+                ids[r] = shards[best]->submit(reqs[r]);
+                ++rerouted;
+            }
+            // A kill that fires after the victim drained exercises
+            // nothing — the row would silently measure plain sharding.
+            // Config drift must fail loudly, like every other bench
+            // invariant.
+            if (rerouted == 0) {
+                std::fprintf(stderr,
+                             "bench_serving: FATAL %s %s kill tick %zu "
+                             "fired after shard %zu drained — no "
+                             "failover exercised; lower kill_tick\n",
+                             format.c_str(), workload_name.c_str(),
+                             kill_tick, killed_shard);
+                std::exit(1);
+            }
+        }
+        busy = false;
+        for (size_t s = 0; s < num_shards; ++s) {
+            if (killed && s == killed_shard)
+                continue; // crashed: never steps again
+            ServingEngine &sh = *shards[s];
+            if (sh.queuedRequests() > 0 || sh.activeRequests() > 0)
+                busy = true;
+            // Step even when idle: every survivor's virtual clock then
+            // stays aligned with the shared tick count, so a rerouted
+            // request's ttft_ms includes the full failover gap.
+            sh.step();
+        }
+        if (++steps > kMaxBenchSteps) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s %s did not drain "
+                         "within %zu steps — scheduler livelock\n",
+                         format.c_str(), workload_name.c_str(),
+                         kMaxBenchSteps);
+            std::exit(1);
+        }
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+        if (s != killed_shard)
+            shards[s]->runToCompletion(1); // finalize aggregate stats
+    }
+    std::fprintf(stderr,
+                 "  %s %s: shard %zu killed at tick %zu, %zu in-flight "
+                 "request(s) failed over\n",
+                 format.c_str(), workload_name.c_str(), killed_shard,
+                 kill_tick, rerouted);
+
+    RunResult res;
+    res.format = format;
+    res.workload = workload_name;
+    res.batch = opts.max_batch;
+    res.requests = reqs.size();
+    res.num_threads = opts.num_threads;
+    const size_t pt = shards[0]->pool().pageTokens();
+    const size_t page_bytes = shards[0]->pool().pageBytes();
+    const size_t layers = model.config().n_layers;
+    for (const auto &req : reqs) {
+        const size_t tokens = req.prompt.size() + req.max_new_tokens;
+        res.kv_bytes_reserved_worst +=
+            (tokens + pt - 1) / pt * layers * page_bytes;
+    }
+    // Fleet aggregation over SURVIVORS only: the victim's aggregate
+    // stats die with it (exactly the failShard contract — only its
+    // per-request results that completed pre-crash survive, via the
+    // router-side copies read below).
+    double occupancy_weight = 0.0;
+    for (size_t s = 0; s < num_shards; ++s) {
+        if (s == killed_shard)
+            continue;
+        const EngineStats &es = shards[s]->engineStats();
+        res.throughput_tok_s += es.throughput_tokens_per_s;
+        res.decode_tok_s += es.decode_tokens_per_s;
+        res.mean_batch_occupancy +=
+            es.mean_batch_occupancy * static_cast<double>(es.total_generated);
+        occupancy_weight += static_cast<double>(es.total_generated);
+        res.kv_bytes_peak += es.kv_bytes_peak;
+        res.kv_pages_peak += es.kv_pages_peak;
+        res.prefill_chunks += es.prefill_chunks;
+        res.admission_deferred_steps += es.admission_deferred_steps;
+        res.prefix_hit_tokens += es.prefix_hit_tokens;
+        res.preemptions += es.preemptions;
+        res.preempted_recompute_tokens += es.preempted_recompute_tokens;
+        res.shed += es.shed_requests;
+        res.timed_out += es.timed_out_requests;
+        res.cancelled += es.cancelled_requests;
+        res.checksum_failures += es.checksum_failures;
+    }
+    if (occupancy_weight > 0.0)
+        res.mean_batch_occupancy /= occupancy_weight;
+
+    std::vector<double> ttfts;
+    std::vector<double> token_ms;
+    size_t completed = 0;
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        const RequestStats &rs = shards[owner[r]]->stats(ids[r]);
+        res.streams.push_back(rs.generated);
+        if (rs.outcome == RequestOutcome::kCompleted)
+            ++completed;
+        if (rs.generated.empty())
+            continue;
+        ttfts.push_back(rs.ttft_ms);
+        token_ms.insert(token_ms.end(), rs.token_ms.begin(),
+                        rs.token_ms.end());
+    }
+    res.goodput_ok_fraction =
+        reqs.empty() ? 0.0
+                     : static_cast<double>(completed) / reqs.size();
+    res.ttft_p50_ms = latencyPercentile(ttfts, 0.50);
+    res.ttft_p99_ms = latencyPercentile(ttfts, 0.99);
+    res.token_p50_ms = latencyPercentile(token_ms, 0.50);
+    res.token_p99_ms = latencyPercentile(token_ms, 0.99);
+    return res;
+}
+
+/**
  * The same fleet served live: a ShardedFrontEnd with real shard
  * threads and racing producers, routing by prefix affinity. Reported
  * with num_threads = num_shards, so the row is never gated (CI boxes
@@ -1012,18 +1194,22 @@ main(int argc, char **argv)
         shared.push_back(std::move(plain));
     }
 
-    // Sharded fleet: the SAME multi-family workload served four ways —
+    // Sharded fleet: the SAME multi-family workload served five ways —
     // one big single engine ("sharded-ref", the golden reference), a
     // 4-shard fleet routed by prefix affinity ("sharded-affinity"), the
-    // same fleet routed round-robin ("sharded-roundrobin"), and the
-    // live ShardedFrontEnd with real shard threads and racing
-    // producers ("sharded-async"). The first three run serially on the
-    // virtual step clock, so their rows are deterministic and
-    // tools/check_bench.py gates ttft_p50_ms and kv_bytes_peak — the
-    // affinity-vs-round-robin delta (one physical prefix copy per
-    // family vs one per family per shard) is the router's headline
-    // number. Every variant's token streams are verified bit-identical
-    // to the reference before anything is emitted: placement is a
+    // same fleet routed round-robin ("sharded-roundrobin"), the
+    // affinity fleet with one shard crashed mid-run and its in-flight
+    // requests failed over to the survivors ("sharded-failover"), and
+    // the live ShardedFrontEnd with real shard threads and racing
+    // producers ("sharded-async"). The serial rows run on the virtual
+    // step clock, so they are deterministic and tools/check_bench.py
+    // gates ttft_p50_ms and kv_bytes_peak — the affinity-vs-round-robin
+    // delta (one physical prefix copy per family vs one per family per
+    // shard) is the router's headline number — plus, for the failover
+    // row, ttft_p99_ms (the rerouted tail) and goodput_ok_fraction (a
+    // crash must never lose a request). Every variant's token streams
+    // are verified bit-identical to the reference before anything is
+    // emitted: placement — and re-placement after a crash — is a
     // throughput decision, never a numerics decision.
     std::vector<RunResult> sharded;
     const std::vector<std::string> sharded_formats =
@@ -1035,6 +1221,15 @@ main(int argc, char **argv)
     const size_t sharded_new = 12;
     const size_t sharded_shards = 4;
     const size_t sharded_cache_tokens = 1024;
+    // Failover row geometry: the crash fires at a tick chosen to land
+    // mid-flight (the victim's 6-request family takes ~30+ virtual ms
+    // to serve, so tick 10 catches it between prefill and decode), and
+    // the victim is whichever shard affinity gave request 0's family —
+    // guaranteed to own in-flight work, whatever the per-format page
+    // geometry hashes to. The sim FATALs if the kill fires on a
+    // drained shard, so workload drift cannot silently degrade the
+    // row into plain sharding.
+    const size_t sharded_kill_tick = 10;
     for (const auto &fmt : sharded_formats) {
         std::fprintf(stderr, "serving %s sharded...\n", fmt.c_str());
         const auto reqs =
@@ -1067,9 +1262,13 @@ main(int argc, char **argv)
         RunResult rr = runShardedSim(model, fmt, "sharded-roundrobin",
                                      reqs, round_robin, sharded_shards,
                                      opts);
+        RunResult failover = runShardedFailoverSim(
+            model, fmt, "sharded-failover", reqs, affinity,
+            sharded_shards, affinity[0], sharded_kill_tick, opts);
         RunResult live = runShardedAsync(model, fmt, "sharded-async",
                                          reqs, router, opts);
         if (aff.streams != ref.streams || rr.streams != ref.streams ||
+            failover.streams != ref.streams ||
             live.streams != ref.streams) {
             std::fprintf(stderr,
                          "bench_serving: FATAL %s sharded token streams "
@@ -1081,6 +1280,7 @@ main(int argc, char **argv)
         sharded.push_back(std::move(ref));
         sharded.push_back(std::move(aff));
         sharded.push_back(std::move(rr));
+        sharded.push_back(std::move(failover));
         sharded.push_back(std::move(live));
     }
 
@@ -1166,10 +1366,13 @@ main(int argc, char **argv)
                  "\"tail_tokens\": %zu, \"new_tokens_per_request\": %zu, "
                  "\"num_shards\": %zu, \"prefix_cache_tokens\": %zu, "
                  "\"step_time_ms\": 1.0, \"max_batch_per_shard\": 4, "
-                 "\"tokens_match_reference\": true},\n",
+                 "\"failover_kill_tick\": %zu, "
+                 "\"failover_kill_shard\": \"affinity-of-request-0\", "
+                 "\"tokens_match_reference\": true, "
+                 "\"tokens_match_failover\": true},\n",
                  sharded_families, sharded_per, sharded_shared_len,
                  sharded_tail_len, sharded_new, sharded_shards,
-                 sharded_cache_tokens);
+                 sharded_cache_tokens, sharded_kill_tick);
     std::fprintf(out, "  \"sharded\": [\n");
     for (size_t i = 0; i < sharded.size(); ++i)
         printResult(out, sharded[i], i + 1 == sharded.size());

@@ -1,10 +1,25 @@
 #include "serve/async_engine.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
 
 namespace mxplus {
+
+namespace {
+
+double
+steadyNowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 // ------------------------------------------------------------ SubmitRing ---
 
@@ -94,9 +109,11 @@ EngineOptions validatedOptions(const EngineOptions &opts,
 
 AsyncFrontEnd::AsyncFrontEnd(const Transformer &model, QuantConfig qc,
                              EngineOptions opts, AsyncOptions async)
-    : opts_(validatedOptions(opts, qc)),
+    : opts_(validatedOptions(opts, qc)), async_(async),
       engine_(model, std::move(qc), opts), ring_(async.ring_capacity)
 {
+    MXPLUS_CHECK_MSG(async_.submit_timeout_ms >= 0.0,
+                     "AsyncFrontEnd: submit_timeout_ms must be >= 0");
     engine_thread_ = std::thread([this] { engineLoop(); });
 }
 
@@ -128,7 +145,10 @@ uint64_t AsyncFrontEnd::submit(ServeRequest req)
     cmd.kind = SubmitRing::Cmd::Kind::kSubmit;
     cmd.ticket = ticket;
     cmd.req = std::move(req);
-    push(std::move(cmd));
+    // tryPush leaves the command intact on failure, so a timed-out
+    // push still owns the request — refuse it terminally (kShed).
+    if (!pushBounded(std::move(cmd)))
+        refuseSubmit(ticket, stream, cmd.req);
     return ticket;
 }
 
@@ -149,7 +169,10 @@ bool AsyncFrontEnd::cancel(uint64_t ticket)
     SubmitRing::Cmd cmd;
     cmd.kind = SubmitRing::Cmd::Kind::kCancel;
     cmd.ticket = ticket;
-    push(std::move(cmd));
+    // A timed-out wake-up is fine: the flag is the truth, and the
+    // engine thread re-checks it for every live stream each publish
+    // pass, so the cancel still lands at the next step boundary.
+    (void)pushBounded(std::move(cmd));
     return true;
 }
 
@@ -210,18 +233,59 @@ AsyncFrontEnd::streamFor(uint64_t ticket) const
     return streams_[ticket];
 }
 
-void AsyncFrontEnd::push(SubmitRing::Cmd &&cmd)
+bool AsyncFrontEnd::pushBounded(SubmitRing::Cmd &&cmd)
 {
     // Backpressure: the engine drains the ring at every step boundary,
-    // so a full ring clears within one step. Spin-yield rather than
-    // block so a parked submitter never holds a lock anyone needs.
-    while (!ring_.tryPush(std::move(cmd)))
+    // so a full ring normally clears within one step. Spin-yield
+    // rather than block so a parked submitter never holds a lock
+    // anyone needs — but spin BOUNDED when submit_timeout_ms > 0, so
+    // no producer can hang forever should the consumer stall.
+    const double timeout = async_.submit_timeout_ms;
+    const double deadline =
+        timeout > 0.0 ? steadyNowMs() + timeout : 0.0;
+    while (!ring_.tryPush(std::move(cmd))) {
+        if (timeout > 0.0 && steadyNowMs() >= deadline)
+            return false; // cmd untouched: tryPush only moves on success
         std::this_thread::yield();
+    }
     {
         std::lock_guard<std::mutex> lk(wake_mu_);
         ++enqueued_;
     }
     wake_cv_.notify_one();
+    return true;
+}
+
+void AsyncFrontEnd::refuseSubmit(uint64_t ticket,
+                                 const std::shared_ptr<Stream> &s,
+                                 const ServeRequest &req)
+{
+    (void)ticket;
+    {
+        std::lock_guard<std::mutex> lk(s->mu);
+        s->final_stats.prompt_tokens = req.prompt.size();
+        s->final_stats.finished = true;
+        s->final_stats.outcome = RequestOutcome::kShed;
+        s->outcome = RequestOutcome::kShed;
+        s->done = true;
+    }
+    s->cv.notify_all();
+    // The ticket never reached the engine, so the engine thread will
+    // never retire it — settle the drain ledger here. With no live
+    // tickets left the engine's aggregates are already final (the
+    // refused request leaves no trace in them), so readiness can be
+    // declared from this producer thread.
+    {
+        std::lock_guard<std::mutex> lk(done_mu_);
+        MXPLUS_CHECK(unfinished_ > 0);
+        --unfinished_;
+        // Declare readiness only when the engine thread has nothing
+        // left to finalize — otherwise its own finalize pass (which
+        // re-checks unfinished_ under this mutex) will declare it.
+        if (unfinished_ == 0 && engine_finalized_)
+            stats_ready_ = true;
+    }
+    done_cv_.notify_all();
 }
 
 size_t AsyncFrontEnd::drainRing()
@@ -258,6 +322,13 @@ void AsyncFrontEnd::publish()
     for (size_t i = 0; i < live_.size();) {
         Stream &s = *live_[i].second;
         const RequestStats &rs = engine_.stats(s.engine_id);
+
+        // Re-apply pending cancels every pass: a cancel whose ring
+        // wake-up timed out (bounded-wait) still lands here, at the
+        // next step boundary — the flag is the truth, not the command.
+        if (!rs.finished &&
+            s.cancel_requested.load(std::memory_order_acquire))
+            engine_.cancel(s.engine_id);
 
         // Stream the delta past what was already emitted. After a
         // preemption rs.generated transiently SHRINKS and then
@@ -306,8 +377,11 @@ void AsyncFrontEnd::engineLoop()
         // Ingest every pending command at each step boundary.
         const size_t drained = drainRing();
         processed += drained;
-        if (drained > 0)
+        if (drained > 0 && finalized) {
             finalized = false;
+            std::lock_guard<std::mutex> lk(done_mu_);
+            engine_finalized_ = false;
+        }
 
         if (engine_.queuedRequests() > 0 || engine_.activeRequests() > 0) {
             engine_.step();
@@ -326,6 +400,7 @@ void AsyncFrontEnd::engineLoop()
             finalized = true;
             {
                 std::lock_guard<std::mutex> lk(done_mu_);
+                engine_finalized_ = true;
                 if (unfinished_ == 0)
                     stats_ready_ = true;
             }

@@ -25,7 +25,10 @@
  *    so a stalled producer can never block another producer or the
  *    engine. A full ring applies backpressure by spinning with
  *    yield — the engine drains the ring at every step boundary, so
- *    the wait is bounded by one step.
+ *    the wait is bounded by one step. With submit_timeout_ms > 0 the
+ *    spin itself is bounded too: a submit that cannot land by the
+ *    deadline is refused with a terminal kShed outcome (never hung,
+ *    never lost) — see docs/ROBUSTNESS.md, "Bounded-wait submission".
  *  - Results flow back through per-request Stream objects, each with
  *    its OWN mutex + condition variable protecting exactly three
  *    things: the undelivered-token queue, the terminal flag/outcome,
@@ -81,6 +84,16 @@ struct AsyncOptions
      * the backpressure path.
      */
     size_t ring_capacity = 1024;
+    /**
+     * Bounded-wait submission: how long submit()/cancel() may spin on
+     * a full ring before giving up (0 = wait forever, the legacy
+     * behaviour — safe here because the engine thread always drains,
+     * unlike a wedgeable shard). On timeout a submit is REFUSED with a
+     * terminal kShed outcome on its stream — never lost, never hung —
+     * and a cancel falls back to the flag-only path (the flag is the
+     * truth; the ring command is just a wake-up).
+     */
+    double submit_timeout_ms = 0.0;
 };
 
 /**
@@ -102,6 +115,11 @@ class SubmitRing
         Kind kind = Kind::kSubmit;
         uint64_t ticket = 0;
         ServeRequest req; ///< kSubmit only
+        /** Routing generation (sharded router failover): a consumer
+            drops a kSubmit whose epoch no longer matches the stream's
+            — the ticket was re-owned by failover while this command
+            sat in a dead shard's ring. Unused (0) in AsyncFrontEnd. */
+        uint64_t route_epoch = 0;
     };
 
     explicit SubmitRing(size_t capacity);
@@ -213,7 +231,13 @@ class AsyncFrontEnd : public ServingClient
     };
 
     std::shared_ptr<Stream> streamFor(uint64_t ticket) const;
-    void push(SubmitRing::Cmd &&cmd);
+    /** Push with bounded-wait backpressure; false = timed out with
+        the command NOT enqueued (tryPush leaves it intact on full). */
+    bool pushBounded(SubmitRing::Cmd &&cmd);
+    /** Close @p ticket's stream terminally as kShed (submit refused
+        at the bounded-wait deadline; never entered the engine). */
+    void refuseSubmit(uint64_t ticket, const std::shared_ptr<Stream> &s,
+                      const ServeRequest &req);
     void engineLoop();
     /** Drain the submit ring into the engine; returns commands taken. */
     size_t drainRing();
@@ -221,6 +245,7 @@ class AsyncFrontEnd : public ServingClient
     void publish();
 
     const EngineOptions opts_;
+    const AsyncOptions async_;
     ServingEngine engine_; ///< engine-thread-owned after construction
     SubmitRing ring_;
 
@@ -243,6 +268,11 @@ class AsyncFrontEnd : public ServingClient
     std::condition_variable done_cv_;
     size_t unfinished_ = 0;
     bool stats_ready_ = true; ///< a fresh engine's (zero) stats are final
+    /** Engine thread's finalize state, mirrored under done_mu_ so a
+        refuseSubmit() on a producer thread can tell whether declaring
+        stats_ready_ is safe (aggregates final) or must be left to the
+        engine thread's own finalize pass. */
+    bool engine_finalized_ = true;
 
     // Engine-thread-local: live tickets (mapped, not yet terminal).
     std::vector<std::pair<uint64_t, std::shared_ptr<Stream>>> live_;

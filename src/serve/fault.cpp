@@ -21,6 +21,12 @@ faultSiteName(FaultSite site)
         return "evict-storm";
     case FaultSite::kCorruptPage:
         return "corrupt";
+    case FaultSite::kShardWedge:
+        return "wedge";
+    case FaultSite::kShardDeath:
+        return "death";
+    case FaultSite::kShardSlow:
+        return "slow";
     }
     return "?";
 }
@@ -46,6 +52,12 @@ FaultInjector::probability(FaultSite site) const
         return cfg_.p_evict_storm;
     case FaultSite::kCorruptPage:
         return cfg_.p_corrupt_page;
+    case FaultSite::kShardWedge:
+        return cfg_.p_shard_wedge;
+    case FaultSite::kShardDeath:
+        return cfg_.p_shard_death;
+    case FaultSite::kShardSlow:
+        return cfg_.p_shard_slow;
     }
     return 0.0;
 }

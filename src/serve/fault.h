@@ -60,9 +60,23 @@ enum class FaultSite
     /** Flip one bit in an idle published prefix page (refcount 1, no
         pins) — must be DETECTED by checksums, never served. */
     kCorruptPage,
+    /** Shard-level (polled by the ROUTER's shard loop, not the
+        engine): the shard thread stops draining its ring and stepping
+        its engine but keeps heartbeating a FROZEN progress epoch —
+        the classic wedged-consumer failure the health monitor must
+        detect by epoch staleness, not by beat liveness. */
+    kShardWedge,
+    /** Shard-level: the shard thread exits abruptly — no drain, no
+        publish, no finalize, no more heartbeats. Only detection +
+        failShard() recovers its tickets. */
+    kShardDeath,
+    /** Shard-level: the shard thread sleeps slow_sleep_ms before the
+        step — slow-motion degradation the monitor should classify as
+        degraded (routed around), not dead (failed over). */
+    kShardSlow,
 };
 
-constexpr size_t kFaultSiteCount = 5;
+constexpr size_t kFaultSiteCount = 8;
 
 /** Name of @p site as used in schedules ("pool", "preempt", ...). */
 const char *faultSiteName(FaultSite site);
@@ -96,6 +110,18 @@ class FaultInjector
         double skew_ms_max = 32.0;
         double p_evict_storm = 0.0;
         double p_corrupt_page = 0.0;
+        /** Shard-level sites, polled once per shard-loop iteration
+            (no-ops outside the sharded router). Arming wedge or death
+            requires a recovery path — health monitoring with
+            auto_failover, or a manual failShard() — or the fleet can
+            never drain; the router additionally caps wedge+death
+            firings fleet-wide (RouterOptions::max_crash_faults) so
+            chaos can never take down every shard. */
+        double p_shard_wedge = 0.0;
+        double p_shard_death = 0.0;
+        double p_shard_slow = 0.0;
+        /** Sleep per kShardSlow firing (wall ms). */
+        double slow_sleep_ms = 5.0;
     };
 
     explicit FaultInjector(Config cfg);
@@ -140,7 +166,7 @@ class FaultInjector
     Rng rng_;
     uint64_t step_ = 0;
     std::vector<FaultEvent> events_;
-    size_t fired_[kFaultSiteCount] = {0, 0, 0, 0, 0};
+    size_t fired_[kFaultSiteCount] = {};
 };
 
 /**

@@ -1,0 +1,129 @@
+#include "serve/health.h"
+
+#include "common/check.h"
+
+namespace mxplus {
+
+const char *
+shardHealthName(ShardHealth h)
+{
+    switch (h) {
+    case ShardHealth::kHealthy:
+        return "healthy";
+    case ShardHealth::kDegraded:
+        return "degraded";
+    case ShardHealth::kDead:
+        return "dead";
+    }
+    return "?";
+}
+
+HealthMonitor::HealthMonitor(size_t num_shards, HealthConfig cfg)
+    : cfg_(cfg), cells_(num_shards), states_(num_shards)
+{
+    MXPLUS_CHECK_MSG(num_shards > 0,
+                     "HealthMonitor: num_shards must be > 0");
+    MXPLUS_CHECK_MSG(cfg_.heartbeat_timeout_ms >= 0.0 &&
+                         cfg_.degraded_after_ms >= 0.0,
+                     "HealthMonitor: thresholds must be >= 0");
+    if (cfg_.heartbeat_timeout_ms > 0.0 && cfg_.degraded_after_ms > 0.0) {
+        MXPLUS_CHECK_MSG(
+            cfg_.degraded_after_ms < cfg_.heartbeat_timeout_ms,
+            "HealthMonitor: degraded_after_ms must be < "
+            "heartbeat_timeout_ms");
+    }
+    for (auto &s : states_)
+        s.store(static_cast<int>(ShardHealth::kHealthy),
+                std::memory_order_relaxed);
+}
+
+double
+HealthMonitor::degradedAfterMs() const
+{
+    if (cfg_.degraded_after_ms > 0.0)
+        return cfg_.degraded_after_ms;
+    return cfg_.heartbeat_timeout_ms / 4.0;
+}
+
+ShardHealth
+HealthMonitor::observe(size_t shard, uint64_t epoch, bool busy,
+                       double now_ms)
+{
+    MXPLUS_CHECK(shard < cells_.size());
+    std::lock_guard<std::mutex> lk(mu_);
+    const ShardHealth prev = state(shard);
+    if (prev == ShardHealth::kDead)
+        return ShardHealth::kDead; // sticky
+    if (cfg_.heartbeat_timeout_ms <= 0.0)
+        return ShardHealth::kHealthy; // detector disabled
+
+    Cell &c = cells_[shard];
+    // Progress: first sighting, epoch moved, or nothing outstanding
+    // (an idle shard parked on its wake channel is exempt — its epoch
+    // has no reason to move).
+    if (!c.seen || epoch != c.last_epoch || !busy) {
+        c.seen = true;
+        c.last_epoch = epoch;
+        c.last_progress_ms = now_ms;
+        if (prev == ShardHealth::kDegraded)
+            ++recoveries_;
+        setState(shard, ShardHealth::kHealthy);
+        return ShardHealth::kHealthy;
+    }
+
+    const double stale = now_ms - c.last_progress_ms;
+    if (stale >= cfg_.heartbeat_timeout_ms) {
+        ++dead_detected_;
+        setState(shard, ShardHealth::kDead);
+        return ShardHealth::kDead;
+    }
+    if (stale >= degradedAfterMs()) {
+        if (prev != ShardHealth::kDegraded)
+            ++degraded_transitions_;
+        setState(shard, ShardHealth::kDegraded);
+        return ShardHealth::kDegraded;
+    }
+    return prev;
+}
+
+void
+HealthMonitor::markDead(size_t shard)
+{
+    MXPLUS_CHECK(shard < cells_.size());
+    std::lock_guard<std::mutex> lk(mu_);
+    setState(shard, ShardHealth::kDead);
+}
+
+double
+HealthMonitor::staleMs(size_t shard, double now_ms) const
+{
+    MXPLUS_CHECK(shard < cells_.size());
+    std::lock_guard<std::mutex> lk(mu_);
+    const Cell &c = cells_[shard];
+    if (!c.seen)
+        return 0.0;
+    return now_ms - c.last_progress_ms;
+}
+
+size_t
+HealthMonitor::degradedTransitions() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return degraded_transitions_;
+}
+
+size_t
+HealthMonitor::recoveries() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return recoveries_;
+}
+
+size_t
+HealthMonitor::deadDetected() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return dead_detected_;
+}
+
+} // namespace mxplus

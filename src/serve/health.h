@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Fleet health: heartbeat cells, the failure detector, and the
+ * healthy/degraded/dead taxonomy the sharded router supervises with
+ * (docs/ROBUSTNESS.md, "Fleet health and failover").
+ *
+ * The detector is EPOCH-PROGRESS based, not beat-liveness based: a
+ * shard publishes a monotonic progress epoch (one bump per engine
+ * step or ring drain) plus its queue depth into a lock-free
+ * HeartbeatCell, and a supervisor tick feeds (epoch, busy, now) into
+ * the HealthMonitor. A shard is suspect only while it HAS work and
+ * its epoch is stale — an idle shard asleep on its wake channel is
+ * exempt, and a wedged thread that keeps beating a frozen epoch is
+ * still caught (beats are observability, never evidence of health).
+ * Staleness past degraded_after_ms classifies the shard degraded (a
+ * circuit breaker: the router routes around it via a load-weight
+ * penalty and restores it the moment its epoch moves); past
+ * heartbeat_timeout_ms it is dead (sticky — the failover path owns it
+ * from there).
+ *
+ * The monitor itself is PASSIVE and clock-agnostic: observe() takes
+ * the caller's timestamp, so the same class runs under the wall-clock
+ * supervisor thread in production and under a virtual clock in tests,
+ * where detection latency is a pure function of (observation
+ * sequence, timeouts) — the detector-determinism proofs in
+ * tests/test_health.cpp.
+ */
+
+#ifndef MXPLUS_SERVE_HEALTH_H
+#define MXPLUS_SERVE_HEALTH_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mxplus {
+
+/**
+ * Per-shard heartbeat cell: written lock-free by the shard thread
+ * (release stores), read by the supervisor tick (acquire loads).
+ * `epoch` only moves on real progress; `beats` moves on every
+ * publication — a wedged shard beats with a frozen epoch.
+ */
+struct HeartbeatCell
+{
+    std::atomic<uint64_t> epoch{0};       ///< monotonic progress counter
+    std::atomic<uint64_t> beats{0};       ///< liveness ticks (observability)
+    std::atomic<uint64_t> queue_depth{0}; ///< queued + active at last beat
+
+    /** Progress publication: depth, then beat, then epoch (release). */
+    void progress(uint64_t depth)
+    {
+        queue_depth.store(depth, std::memory_order_relaxed);
+        beats.fetch_add(1, std::memory_order_relaxed);
+        epoch.fetch_add(1, std::memory_order_release);
+    }
+
+    /** Liveness-only publication (epoch stays frozen). */
+    void beat(uint64_t depth)
+    {
+        queue_depth.store(depth, std::memory_order_relaxed);
+        beats.fetch_add(1, std::memory_order_release);
+    }
+};
+
+/** Detector verdict for one shard (see file header for the rules). */
+enum class ShardHealth
+{
+    kHealthy = 0,
+    /** Stale past degraded_after_ms with work outstanding: routed
+        around (load-weight penalty), restored on the next epoch move. */
+    kDegraded,
+    /** Stale past heartbeat_timeout_ms with work outstanding: sticky;
+        recovery is failover, not forgiveness. */
+    kDead,
+};
+
+/** Name of @p h ("healthy" / "degraded" / "dead") for logs and tests. */
+const char *shardHealthName(ShardHealth h);
+
+/** Detector thresholds (both in the caller's clock domain). */
+struct HealthConfig
+{
+    /** Staleness that declares a busy shard dead (0 disables the
+        detector entirely — observe() then always reports healthy). */
+    double heartbeat_timeout_ms = 0.0;
+    /** Staleness that classifies a busy shard degraded
+        (0 = heartbeat_timeout_ms / 4). */
+    double degraded_after_ms = 0.0;
+};
+
+/** Aggregate health/failover counters (ShardedFrontEnd::healthStats). */
+struct FleetHealthStats
+{
+    size_t degraded_transitions = 0; ///< healthy/dead-free -> degraded
+    size_t recoveries = 0;           ///< degraded -> healthy
+    size_t dead_detected = 0;        ///< detector verdicts (not markDead)
+    size_t failed_shards = 0;        ///< failShard() completions
+    size_t failover_reroutes = 0;    ///< tickets re-owned by failShard()
+    size_t refused_submits = 0;      ///< bounded-wait submission refusals
+};
+
+/**
+ * The failure detector. Thread-safe; one observer at a time makes the
+ * verdict sequence deterministic (the router's supervisor tick, or a
+ * test driving observe() on a virtual clock). state() is a lock-free
+ * snapshot for hot-path readers (pickShard's degraded penalty).
+ */
+class HealthMonitor
+{
+  public:
+    HealthMonitor(size_t num_shards, HealthConfig cfg);
+
+    /**
+     * Feed one observation of @p shard: its current progress epoch,
+     * whether it has outstanding work, and the observer's clock.
+     * Returns the (possibly new) verdict. Pure function of the
+     * observation sequence: epoch moved or not busy -> progress
+     * (healthy, recovery counted); else staleness against the
+     * thresholds. Dead is sticky.
+     */
+    ShardHealth observe(size_t shard, uint64_t epoch, bool busy,
+                        double now_ms);
+
+    /** Lock-free verdict snapshot (as of the last observe/markDead). */
+    ShardHealth state(size_t shard) const
+    {
+        return static_cast<ShardHealth>(
+            states_[shard].load(std::memory_order_acquire));
+    }
+
+    /** Force @p shard dead (failover without a detector verdict —
+        e.g. an explicit failShard()). Sticky, not counted as a
+        detection. */
+    void markDead(size_t shard);
+
+    /** Staleness of @p shard at @p now_ms (0 before any observation). */
+    double staleMs(size_t shard, double now_ms) const;
+
+    /** Detector counters (the first three FleetHealthStats fields). */
+    size_t degradedTransitions() const;
+    size_t recoveries() const;
+    size_t deadDetected() const;
+
+    size_t numShards() const { return states_.size(); }
+    const HealthConfig &config() const { return cfg_; }
+    /** Effective degraded threshold (resolves the 0 = timeout/4 rule). */
+    double degradedAfterMs() const;
+
+  private:
+    struct Cell
+    {
+        uint64_t last_epoch = 0;
+        double last_progress_ms = 0.0;
+        bool seen = false;
+    };
+
+    void setState(size_t shard, ShardHealth h)
+    {
+        states_[shard].store(static_cast<int>(h),
+                             std::memory_order_release);
+    }
+
+    const HealthConfig cfg_;
+    mutable std::mutex mu_; ///< guards cells_ + counters
+    std::vector<Cell> cells_;
+    std::vector<std::atomic<int>> states_;
+    size_t degraded_transitions_ = 0;
+    size_t recoveries_ = 0;
+    size_t dead_detected_ = 0;
+};
+
+} // namespace mxplus
+
+#endif // MXPLUS_SERVE_HEALTH_H

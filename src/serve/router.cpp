@@ -1,12 +1,27 @@
 #include "serve/router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "serve/kv_cache.h"
 
 namespace mxplus {
+
+namespace {
+
+double
+steadyNowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 // ----------------------------------------------------------- routing policy --
 
@@ -21,10 +36,28 @@ RouterOptions::validate() const
     const auto bad = [](double p) { return p < 0.0 || p > 1.0; };
     if (bad(fault.p_pool_exhausted) || bad(fault.p_force_preempt) ||
         bad(fault.p_clock_skew) || bad(fault.p_evict_storm) ||
-        bad(fault.p_corrupt_page))
+        bad(fault.p_corrupt_page) || bad(fault.p_shard_wedge) ||
+        bad(fault.p_shard_death) || bad(fault.p_shard_slow))
         return "fault probabilities must lie in [0, 1]";
     if (fault.p_clock_skew > 0.0 && fault.skew_ms_max < 1.0)
         return "skew_ms_max must be >= 1 ms when p_clock_skew > 0";
+    if (fault.slow_sleep_ms < 0.0)
+        return "slow_sleep_ms must be >= 0";
+    if (heartbeat_timeout_ms < 0.0)
+        return "heartbeat_timeout_ms must be >= 0";
+    if (degraded_after_ms < 0.0)
+        return "degraded_after_ms must be >= 0";
+    if (heartbeat_timeout_ms > 0.0 && degraded_after_ms > 0.0 &&
+        degraded_after_ms >= heartbeat_timeout_ms)
+        return "degraded_after_ms must be < heartbeat_timeout_ms";
+    if (degraded_load_penalty < 1.0)
+        return "degraded_load_penalty must be >= 1.0";
+    if (health_tick_ms < 0.0)
+        return "health_tick_ms must be >= 0";
+    if (health_tick_ms > 0.0 && heartbeat_timeout_ms <= 0.0)
+        return "health_tick_ms requires heartbeat_timeout_ms > 0";
+    if (submit_timeout_ms < 0.0)
+        return "submit_timeout_ms must be >= 0";
     return std::string();
 }
 
@@ -77,7 +110,17 @@ ShardedFrontEnd::ShardedFrontEnd(const Transformer &model, QuantConfig qc,
     const FaultInjector::Config &fc = router_.fault;
     const bool chaos = fc.p_pool_exhausted > 0.0 ||
         fc.p_force_preempt > 0.0 || fc.p_clock_skew > 0.0 ||
-        fc.p_evict_storm > 0.0 || fc.p_corrupt_page > 0.0;
+        fc.p_evict_storm > 0.0 || fc.p_corrupt_page > 0.0 ||
+        fc.p_shard_wedge > 0.0 || fc.p_shard_death > 0.0 ||
+        fc.p_shard_slow > 0.0;
+
+    if (router_.heartbeat_timeout_ms > 0.0) {
+        HealthConfig hc;
+        hc.heartbeat_timeout_ms = router_.heartbeat_timeout_ms;
+        hc.degraded_after_ms = router_.degraded_after_ms;
+        health_ =
+            std::make_unique<HealthMonitor>(router_.num_shards, hc);
+    }
 
     stats_clean_.assign(router_.num_shards, 1);
     shards_.reserve(router_.num_shards);
@@ -85,10 +128,10 @@ ShardedFrontEnd::ShardedFrontEnd(const Transformer &model, QuantConfig qc,
         auto sh = std::make_unique<Shard>();
         EngineOptions shard_opts = opts_;
         if (chaos) {
-            // Satellite fix: per-shard injector ownership. Each shard
-            // draws from its own (seed + shard_id) sequence, so its
-            // schedule is a pure function of (seed, shard, step) no
-            // matter how the N shard threads interleave.
+            // Per-shard injector ownership: each shard draws from its
+            // own (seed + shard_id) sequence, so its schedule is a
+            // pure function of (seed, shard, step) no matter how the
+            // N shard threads interleave.
             FaultInjector::Config shard_fc = fc;
             shard_fc.seed = fc.seed + i;
             sh->fault = std::make_unique<FaultInjector>(shard_fc);
@@ -96,15 +139,27 @@ ShardedFrontEnd::ShardedFrontEnd(const Transformer &model, QuantConfig qc,
         }
         sh->engine =
             std::make_unique<ServingEngine>(model, qc, shard_opts);
+        sh->engine->setHeartbeat(&sh->heartbeat);
         sh->ring = std::make_unique<SubmitRing>(router_.ring_capacity);
         shards_.push_back(std::move(sh));
     }
     for (size_t i = 0; i < shards_.size(); ++i)
         shards_[i]->thread = std::thread([this, i] { shardLoop(i); });
+    if (router_.health_tick_ms > 0.0)
+        supervisor_ = std::thread([this] { supervisorLoop(); });
 }
 
 ShardedFrontEnd::~ShardedFrontEnd()
 {
+    // Supervisor first: no failover may start while shards shut down.
+    if (supervisor_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lk(sup_mu_);
+            sup_stop_ = true;
+        }
+        sup_cv_.notify_one();
+        supervisor_.join();
+    }
     for (auto &sh : shards_) {
         {
             std::lock_guard<std::mutex> lk(sh->wake_mu);
@@ -134,6 +189,7 @@ ShardedFrontEnd::submit(ServeRequest req)
         ++unfinished_;
         stats_ready_ = false;
     }
+    std::lock_guard<std::mutex> route_lk(stream->route_mu);
     routeTicket(ticket, stream);
     return ticket;
 }
@@ -149,20 +205,28 @@ ShardedFrontEnd::cancel(uint64_t ticket)
         if (stream->done)
             return false; // lost the cancel/complete race
     }
-    // The flag is the truth (checked at map time on whichever shard
-    // ends up owning the ticket — so it lands across re-routes); the
-    // command is the wake-up. The hint can go stale while the ticket
-    // migrates, so retry until SOME live shard took the wake-up or the
-    // ticket went terminal meanwhile.
+    // The flag is the truth: it is checked at map time on whichever
+    // shard ends up owning the ticket (so it lands across re-routes
+    // AND failovers) and re-checked for every live ticket each publish
+    // pass. The ring command is only a wake-up, so pushing it is
+    // bounded best-effort — a wedged target can't hang the caller, and
+    // a dropped wake-up costs one step of latency, not the cancel.
     stream->cancel_requested.store(true, std::memory_order_release);
+    const double budget = router_.submit_timeout_ms > 0.0
+        ? router_.submit_timeout_ms
+        : 50.0;
+    const double deadline = steadyNowMs() + budget;
     for (;;) {
         const size_t shard =
             stream->shard_hint.load(std::memory_order_acquire);
         SubmitRing::Cmd cmd;
         cmd.kind = SubmitRing::Cmd::Kind::kCancel;
         cmd.ticket = ticket;
-        if (tryPushToShard(shard, std::move(cmd)))
+        if (tryPushToShard(shard, std::move(cmd), deadline) ==
+            PushResult::kPushed)
             break;
+        if (steadyNowMs() >= deadline)
+            break; // flag-only: the next publish pass applies it
         {
             std::lock_guard<std::mutex> lk(stream->mu);
             if (stream->done)
@@ -243,10 +307,55 @@ ShardedFrontEnd::shardRetired(size_t shard) const
     return !shards_[shard]->routable.load(std::memory_order_acquire);
 }
 
+bool
+ShardedFrontEnd::shardFailed(size_t shard) const
+{
+    MXPLUS_CHECK_MSG(shard < shards_.size(), "unknown shard");
+    return shards_[shard]->failed.load(std::memory_order_acquire);
+}
+
+ShardHealth
+ShardedFrontEnd::shardHealth(size_t shard) const
+{
+    MXPLUS_CHECK_MSG(shard < shards_.size(), "unknown shard");
+    if (health_ == nullptr)
+        return ShardHealth::kHealthy;
+    return health_->state(shard);
+}
+
+FleetHealthStats
+ShardedFrontEnd::healthStats() const
+{
+    FleetHealthStats s;
+    if (health_ != nullptr) {
+        s.degraded_transitions = health_->degradedTransitions();
+        s.recoveries = health_->recoveries();
+        s.dead_detected = health_->deadDetected();
+    }
+    s.failed_shards = failed_shards_.load(std::memory_order_acquire);
+    s.failover_reroutes =
+        failover_reroutes_.load(std::memory_order_acquire);
+    s.refused_submits =
+        refused_submits_.load(std::memory_order_acquire);
+    return s;
+}
+
+std::string
+ShardedFrontEnd::shardFaultSchedule(size_t shard) const
+{
+    MXPLUS_CHECK_MSG(shard < shards_.size(), "unknown shard");
+    if (shards_[shard]->fault == nullptr)
+        return std::string();
+    return shards_[shard]->fault->scheduleString();
+}
+
 const ServingEngine &
 ShardedFrontEnd::shardEngine(size_t shard) const
 {
     MXPLUS_CHECK_MSG(shard < shards_.size(), "unknown shard");
+    MXPLUS_CHECK_MSG(
+        !shards_[shard]->failed.load(std::memory_order_acquire),
+        "shardEngine: crash-failed shard's engine is abandoned");
     return *shards_[shard]->engine;
 }
 
@@ -260,8 +369,11 @@ bool
 ShardedFrontEnd::auditInvariants() const
 {
     bool ok = true;
-    for (const auto &sh : shards_)
+    for (const auto &sh : shards_) {
+        if (sh->failed.load(std::memory_order_acquire))
+            continue; // abandoned mid-flight: not auditable
         ok = sh->engine->auditInvariants() && ok;
+    }
     return ok;
 }
 
@@ -294,6 +406,19 @@ ShardedFrontEnd::pickShard(const std::vector<int> &prompt)
         return live[static_cast<size_t>(n % live.size())];
     }
 
+    // Load weight: raw outstanding, except a DEGRADED shard is charged
+    // (outstanding + 1) x penalty — the +1 keeps an idle-but-stalling
+    // shard penalized too. With monitoring off (or everything healthy)
+    // this is exactly the pre-health metric.
+    const auto loadOf = [&](size_t s) {
+        const double out = static_cast<double>(
+            shards_[s]->outstanding.load(std::memory_order_relaxed));
+        if (health_ != nullptr &&
+            health_->state(s) == ShardHealth::kDegraded)
+            return (out + 1.0) * router_.degraded_load_penalty;
+        return out;
+    };
+
     // Affinity key maps onto the FULL shard space so it is stable
     // across retirements; a retired preferred shard degrades to a
     // deterministic re-map over the live set.
@@ -306,48 +431,67 @@ ShardedFrontEnd::pickShard(const std::vector<int> &prompt)
         : live[global % live.size()];
 
     size_t least = live[0];
+    double least_load = loadOf(least);
     for (size_t s : live) {
-        if (shards_[s]->outstanding.load(std::memory_order_relaxed) <
-            shards_[least]->outstanding.load(std::memory_order_relaxed))
+        const double l = loadOf(s);
+        if (l < least_load) {
             least = s;
+            least_load = l;
+        }
     }
-    const double pref_load = static_cast<double>(
-        shards_[preferred]->outstanding.load(std::memory_order_relaxed));
-    const double least_load = static_cast<double>(
-        shards_[least]->outstanding.load(std::memory_order_relaxed));
-    if (pref_load > router_.spill_threshold * (least_load + 1.0))
-        return least; // affinity yields to load
+    if (loadOf(preferred) > router_.spill_threshold * (least_load + 1.0))
+        return least; // affinity yields to load (or to degradation)
     return preferred;
 }
 
-bool
-ShardedFrontEnd::tryPushToShard(size_t shard, SubmitRing::Cmd &&cmd)
+ShardedFrontEnd::PushResult
+ShardedFrontEnd::tryPushToShard(size_t shard, SubmitRing::Cmd &&cmd,
+                                double deadline_ms)
 {
     Shard &sh = *shards_[shard];
-    // Accept-guard: a retiring shard flips routable and then waits for
-    // inflight_routes to hit zero, so once its final ring sweep starts
-    // no producer can still be inside this window.
+    // Accept-guard: a retiring/failing shard flips routable and then
+    // waits for inflight_routes to hit zero, so once ownership changes
+    // hands no producer can still be inside this window.
     sh.inflight_routes.fetch_add(1, std::memory_order_acq_rel);
     if (!sh.routable.load(std::memory_order_acquire)) {
         sh.inflight_routes.fetch_sub(1, std::memory_order_release);
-        return false;
+        return PushResult::kSealed;
     }
-    // Backpressure: the shard drains its ring at every step boundary.
-    while (!sh.ring->tryPush(std::move(cmd)))
+    // Backpressure: a healthy shard drains its ring at every step
+    // boundary. The spin re-checks the accept-guard — THE fix for the
+    // unbounded producer hang: sealing a dead shard (failover) frees
+    // every producer parked on its full ring even with no deadline —
+    // and honors the caller's deadline when one is set.
+    while (!sh.ring->tryPush(std::move(cmd))) {
+        if (!sh.routable.load(std::memory_order_acquire)) {
+            sh.inflight_routes.fetch_sub(1, std::memory_order_release);
+            return PushResult::kSealed;
+        }
+        if (deadline_ms > 0.0 && steadyNowMs() >= deadline_ms) {
+            sh.inflight_routes.fetch_sub(1, std::memory_order_release);
+            return PushResult::kTimedOut;
+        }
         std::this_thread::yield();
+    }
     {
         std::lock_guard<std::mutex> lk(sh.wake_mu);
         ++sh.enqueued;
     }
     sh.wake_cv.notify_one();
     sh.inflight_routes.fetch_sub(1, std::memory_order_release);
-    return true;
+    return PushResult::kPushed;
 }
 
 void
 ShardedFrontEnd::routeTicket(uint64_t ticket,
                              const std::shared_ptr<Stream> &s)
 {
+    const double timeout = router_.submit_timeout_ms;
+    const double overall =
+        timeout > 0.0 ? steadyNowMs() + timeout : 0.0;
+    // Stable under route_mu (held by the caller): epoch bumps happen
+    // only under route_mu + the stream mutex.
+    const uint64_t epoch = s->route_epoch.load(std::memory_order_relaxed);
     for (;;) {
         const size_t shard = pickShard(s->req.prompt);
         s->shard_hint.store(static_cast<uint32_t>(shard),
@@ -356,14 +500,62 @@ ShardedFrontEnd::routeTicket(uint64_t ticket,
         cmd.kind = SubmitRing::Cmd::Kind::kSubmit;
         cmd.ticket = ticket;
         cmd.req = s->req; // copy: the stream keeps the restart master
+        cmd.route_epoch = epoch;
         shards_[shard]->outstanding.fetch_add(1,
                                               std::memory_order_relaxed);
-        if (tryPushToShard(shard, std::move(cmd)))
+        // Per-attempt slice: give one full shard a quarter of the
+        // budget at most, then re-pick — a single stuffed shard must
+        // not eat the whole deadline when a survivor has room.
+        double slice = 0.0;
+        if (timeout > 0.0)
+            slice = std::min(overall,
+                             steadyNowMs() +
+                                 std::max(1.0, timeout / 4.0));
+        const PushResult r =
+            tryPushToShard(shard, std::move(cmd), slice);
+        if (r == PushResult::kPushed) {
+            s->routed_to = shard;
             return;
-        // Shard sealed between pick and push: undo and re-pick.
+        }
+        // Sealed between pick and push, or full past the slice: undo
+        // the load charge and re-pick (the pick sees updated guards
+        // and health verdicts).
         shards_[shard]->outstanding.fetch_sub(1,
                                               std::memory_order_relaxed);
+        if (timeout > 0.0 && steadyNowMs() >= overall) {
+            refuseTicket(ticket, s);
+            return;
+        }
     }
+}
+
+void
+ShardedFrontEnd::refuseTicket(uint64_t ticket,
+                              const std::shared_ptr<Stream> &s)
+{
+    (void)ticket;
+    refused_submits_.fetch_add(1, std::memory_order_relaxed);
+    s->routed_to = SIZE_MAX;
+    {
+        std::lock_guard<std::mutex> lk(s->mu);
+        if (s->done)
+            return; // raced a terminal publish: nothing to refuse
+        s->final_stats.prompt_tokens = s->req.prompt.size();
+        s->final_stats.finished = true;
+        s->final_stats.outcome = RequestOutcome::kShed;
+        s->outcome = RequestOutcome::kShed;
+        s->done = true;
+    }
+    s->cv.notify_all();
+    {
+        std::lock_guard<std::mutex> lk(done_mu_);
+        MXPLUS_CHECK(unfinished_ > 0);
+        --unfinished_;
+        // The ticket never reached an engine; if it was the last one
+        // out and every shard already finalized, merge from here.
+        maybeMergeLocked();
+    }
+    done_cv_.notify_all();
 }
 
 // ----------------------------------------------------------- shard threads --
@@ -379,13 +571,26 @@ ShardedFrontEnd::drainShardRing(Shard &sh)
         MXPLUS_CHECK(stream != nullptr);
         switch (cmd.kind) {
         case SubmitRing::Cmd::Kind::kSubmit: {
-            stream->engine_id = sh.engine->submit(std::move(cmd.req));
-            sh.live.emplace_back(cmd.ticket, stream);
+            // Failover fence: a command whose routing epoch went stale
+            // in the ring was re-owned by failShard() while we (the
+            // falsely-declared-dead shard) weren't draining — the
+            // survivor runs it; mapping it here would double-run it.
+            if (cmd.route_epoch !=
+                stream->route_epoch.load(std::memory_order_acquire)) {
+                sh.outstanding.fetch_sub(1, std::memory_order_relaxed);
+                break;
+            }
+            LiveTicket lt;
+            lt.ticket = cmd.ticket;
+            lt.stream = stream;
+            lt.engine_id = sh.engine->submit(std::move(cmd.req));
+            lt.route_epoch = cmd.route_epoch;
+            sh.live.push_back(std::move(lt));
             // A cancel may already be flagged (issued concurrently, or
             // while the ticket was mid-re-route); apply it now that an
             // id exists on THIS engine.
             if (stream->cancel_requested.load(std::memory_order_acquire))
-                sh.engine->cancel(stream->engine_id);
+                sh.engine->cancel(sh.live.back().engine_id);
             break;
         }
         case SubmitRing::Cmd::Kind::kCancel: {
@@ -393,8 +598,8 @@ ShardedFrontEnd::drainShardRing(Shard &sh)
             // cancel wake-up to a shard that no longer (or never) owns
             // the ticket — act only on tickets in OUR live list.
             for (auto &entry : sh.live) {
-                if (entry.first == cmd.ticket) {
-                    sh.engine->cancel(entry.second->engine_id);
+                if (entry.ticket == cmd.ticket) {
+                    sh.engine->cancel(entry.engine_id);
                     break;
                 }
             }
@@ -409,28 +614,58 @@ void
 ShardedFrontEnd::publishShard(Shard &sh)
 {
     for (size_t i = 0; i < sh.live.size();) {
-        Stream &s = *sh.live[i].second;
-        const RequestStats &rs = sh.engine->stats(s.engine_id);
+        LiveTicket &entry = sh.live[i];
+        Stream &s = *entry.stream;
+        const RequestStats &rs = sh.engine->stats(entry.engine_id);
 
-        // Emit only past the per-ticket high-water mark: preemption OR
-        // re-routing transiently shrinks rs.generated and then
-        // regenerates it bit-identically, so the delivered stream
-        // stays a duplicate-free prefix of the unconstrained stream.
+        // Re-apply pending cancels every pass: a cancel whose ring
+        // wake-up was dropped (bounded-wait, or a stale hint) still
+        // lands here, at the next step boundary.
+        if (!rs.finished &&
+            s.cancel_requested.load(std::memory_order_acquire))
+            sh.engine->cancel(entry.engine_id);
+
         const size_t gen = rs.generated.size();
-        const bool grew = gen > s.emitted;
-        if (grew || rs.finished) {
+        bool stale = false;
+        {
             std::lock_guard<std::mutex> lk(s.mu);
-            for (size_t t = s.emitted; t < gen; ++t)
-                s.pending.push_back(rs.generated[t]);
-            if (grew)
-                s.emitted = gen;
-            if (rs.finished) {
-                s.final_stats = rs; // copy: never a view into the engine
-                s.outcome = rs.outcome;
-                s.done = true;
+            // Failover fence: the epoch only moves under route_mu +
+            // s.mu, so reading it under s.mu is exact. Stale = a
+            // survivor owns this ticket now; drop our copy without
+            // publishing ANYTHING (tokens or terminals) — the shared
+            // `published` mark under s.mu is what keeps the survivor's
+            // emission gap-free against everything we published before
+            // the hand-off.
+            stale = entry.route_epoch !=
+                s.route_epoch.load(std::memory_order_relaxed);
+            if (!stale) {
+                // Emit only past the delivery high-water mark:
+                // preemption, re-route or failover transiently shrinks
+                // rs.generated and then regenerates it bit-identically,
+                // so delivery stays a duplicate-free prefix of the
+                // unconstrained stream.
+                for (size_t t = s.published; t < gen; ++t)
+                    s.pending.push_back(rs.generated[t]);
+                if (gen > s.published)
+                    s.published = gen;
+                if (rs.finished) {
+                    s.final_stats = rs; // copy: never a view
+                    s.outcome = rs.outcome;
+                    s.done = true;
+                }
             }
-            s.cv.notify_all();
         }
+        if (stale) {
+            // Stop burning compute on the re-owned request; drop the
+            // entry. unfinished_ is NOT touched — the ticket is still
+            // in flight, just not ours.
+            sh.engine->cancel(entry.engine_id);
+            sh.live[i] = std::move(sh.live.back());
+            sh.live.pop_back();
+            sh.outstanding.fetch_sub(1, std::memory_order_relaxed);
+            continue;
+        }
+        s.cv.notify_all();
 
         if (rs.finished) {
             sh.live[i] = std::move(sh.live.back());
@@ -449,23 +684,27 @@ ShardedFrontEnd::publishShard(Shard &sh)
 }
 
 void
+ShardedFrontEnd::maybeMergeLocked()
+{
+    if (unfinished_ != 0 || stats_ready_)
+        return;
+    for (uint8_t c : stats_clean_)
+        if (c == 0)
+            return;
+    // Fleet idle and every shard finalized: safe to read all
+    // (non-failed) engines from this thread — their owners are asleep,
+    // and a new submit must take done_mu_ first.
+    fleet_stats_ = mergeFleetStats();
+    stats_ready_ = true;
+}
+
+void
 ShardedFrontEnd::markCleanAndMaybeReady(size_t shard)
 {
     {
         std::lock_guard<std::mutex> lk(done_mu_);
         stats_clean_[shard] = 1;
-        if (unfinished_ == 0 && !stats_ready_) {
-            bool all_clean = true;
-            for (uint8_t c : stats_clean_)
-                all_clean = all_clean && c != 0;
-            if (all_clean) {
-                // Fleet idle and every shard finalized: safe to read
-                // all engines from this thread (their owners are
-                // asleep; a new submit must take done_mu_ first).
-                fleet_stats_ = mergeFleetStats();
-                stats_ready_ = true;
-            }
-        }
+        maybeMergeLocked();
     }
     done_cv_.notify_all();
 }
@@ -484,10 +723,17 @@ ShardedFrontEnd::retireDrain(size_t shard)
     std::vector<std::pair<uint64_t, std::shared_ptr<Stream>>> reroute;
     SubmitRing::Cmd cmd;
     while (sh.ring->tryPop(cmd)) {
-        if (cmd.kind == SubmitRing::Cmd::Kind::kSubmit)
-            reroute.emplace_back(cmd.ticket, streamFor(cmd.ticket));
-        // kCancel sweeps are droppable: the flag is the truth and the
-        // new shard's map-time check reads it.
+        if (cmd.kind != SubmitRing::Cmd::Kind::kSubmit)
+            continue; // kCancel sweeps are droppable: the flag is the
+                      // truth and the new shard's map-time check reads it
+        auto stream = streamFor(cmd.ticket);
+        MXPLUS_CHECK(stream != nullptr);
+        if (cmd.route_epoch !=
+            stream->route_epoch.load(std::memory_order_acquire)) {
+            sh.outstanding.fetch_sub(1, std::memory_order_relaxed);
+            continue; // failover orphan (defensive: see publishShard)
+        }
+        reroute.emplace_back(cmd.ticket, std::move(stream));
     }
 
     // Everything already finished publishes normally; what remains is
@@ -497,9 +743,9 @@ ShardedFrontEnd::retireDrain(size_t shard)
         // Cancel WITHOUT publishing the terminal: this cancel is a
         // re-route artifact, not the ticket's outcome. Tokens already
         // delivered stand; the restarted run regenerates the same
-        // stream and publish() resumes past `emitted`.
-        sh.engine->cancel(entry.second->engine_id);
-        reroute.push_back(entry);
+        // stream and publish resumes past `published`.
+        sh.engine->cancel(entry.engine_id);
+        reroute.emplace_back(entry.ticket, entry.stream);
     }
     sh.live.clear();
     // Settle the cancels and finalize this shard's aggregates — the
@@ -511,10 +757,95 @@ ShardedFrontEnd::retireDrain(size_t shard)
         // Restart elsewhere from the stream's master request. The
         // re-route is bit-exact by the preemption-restart argument;
         // a flagged cancel terminates at the new shard's map instead.
+        std::lock_guard<std::mutex> route_lk(entry.second->route_mu);
         routeTicket(entry.first, entry.second);
     }
 
     markCleanAndMaybeReady(shard);
+}
+
+bool
+ShardedFrontEnd::consumeCrashBudget(size_t shard)
+{
+    const size_t cap = router_.max_crash_faults == SIZE_MAX
+        ? shards_.size() - 1
+        : router_.max_crash_faults;
+    std::lock_guard<std::mutex> lk(crash_mu_);
+    if (crash_faults_used_.load(std::memory_order_relaxed) >= cap)
+        return false;
+    if (!reserveDoomLocked(shard))
+        return false;
+    crash_faults_used_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ShardedFrontEnd::reserveDoomLocked(size_t shard)
+{
+    Shard &sh = *shards_[shard];
+    if (sh.doomed)
+        return true; // a shard is only ever lost once
+    const size_t doom_cap = router_.max_crash_faults == SIZE_MAX
+        ? shards_.size() - 1
+        : router_.max_crash_faults;
+    if (doomed_shards_ >= doom_cap)
+        return false;
+    sh.doomed = true;
+    ++doomed_shards_;
+    return true;
+}
+
+void
+ShardedFrontEnd::wedgeLoop(size_t shard)
+{
+    Shard &sh = *shards_[shard];
+    // The wedged-consumer simulation: no draining, no stepping, no
+    // publishing — but the heartbeat keeps BEATING with a frozen
+    // epoch, which is exactly why the detector keys on epoch progress
+    // and not beat liveness. Exits only when failover abandons the
+    // shard or the front end shuts down.
+    for (;;) {
+        if (sh.abandoned.load(std::memory_order_acquire)) {
+            markCleanAndMaybeReady(shard);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lk(sh.wake_mu);
+            if (sh.stop)
+                return;
+        }
+        sh.heartbeat.beat(
+            sh.outstanding.load(std::memory_order_relaxed));
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+}
+
+bool
+ShardedFrontEnd::shardFaultPoll(size_t shard)
+{
+    Shard &sh = *shards_[shard];
+    FaultInjector *f = sh.fault.get();
+    if (f == nullptr)
+        return false;
+    // Draw order is fixed (death, wedge, slow) so each site's sequence
+    // stays deterministic; a budget-refused crash is suppressed AFTER
+    // the draw, never instead of it — enabling the cap must not
+    // reshuffle anyone's schedule.
+    if (f->shouldFire(FaultSite::kShardDeath, shard)) {
+        if (consumeCrashBudget(shard))
+            return true; // abrupt exit: no drain, no publish, no beats
+    }
+    if (f->shouldFire(FaultSite::kShardWedge, shard)) {
+        if (consumeCrashBudget(shard)) {
+            wedgeLoop(shard);
+            return true;
+        }
+    }
+    if (f->shouldFire(FaultSite::kShardSlow, shard)) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            f->config().slow_sleep_ms));
+    }
+    return false;
 }
 
 void
@@ -526,6 +857,15 @@ ShardedFrontEnd::shardLoop(size_t shard)
     uint64_t processed = 0;
     bool finalized = true; // a fresh engine has nothing to finalize
     for (;;) {
+        if (sh.abandoned.load(std::memory_order_acquire)) {
+            // Failover took our tickets while we were still running (a
+            // false-positive detection): stop touching shared state
+            // and bow out. Our live entries were re-owned — publishing
+            // them would be double delivery (the epoch fence also
+            // blocks it); our engine aggregates go down with us.
+            markCleanAndMaybeReady(shard);
+            return;
+        }
         if (sh.retire.load(std::memory_order_acquire)) {
             retireDrain(shard);
             return;
@@ -535,13 +875,17 @@ ShardedFrontEnd::shardLoop(size_t shard)
         processed += drained;
         if (drained > 0) {
             finalized = false;
+            sh.heartbeat.progress(
+                sh.outstanding.load(std::memory_order_relaxed));
             std::lock_guard<std::mutex> lk(done_mu_);
             stats_clean_[shard] = 0;
         }
 
         if (sh.engine->queuedRequests() > 0 ||
             sh.engine->activeRequests() > 0) {
-            sh.engine->step();
+            if (shardFaultPoll(shard))
+                return; // wedge/death fired: the thread is gone
+            sh.engine->step(); // bumps the heartbeat epoch itself
             publishShard(sh);
             continue;
         }
@@ -555,12 +899,14 @@ ShardedFrontEnd::shardLoop(size_t shard)
             markCleanAndMaybeReady(shard);
         }
 
+        sh.heartbeat.beat(0); // idle liveness (the detector exempts it)
         std::unique_lock<std::mutex> lk(sh.wake_mu);
         if (sh.stop && sh.enqueued == processed)
             break;
         sh.wake_cv.wait(lk, [&] {
             return sh.stop ||
                 sh.retire.load(std::memory_order_acquire) ||
+                sh.abandoned.load(std::memory_order_acquire) ||
                 sh.enqueued > processed;
         });
         if (sh.stop && sh.enqueued == processed)
@@ -578,7 +924,7 @@ ShardedFrontEnd::retireShard(size_t shard)
     std::lock_guard<std::mutex> retire_lk(retire_mu_);
     Shard &sh = *shards_[shard];
     if (!sh.routable.load(std::memory_order_acquire))
-        return false; // already retired
+        return false; // already retired or failed
     if (liveShards() <= 1)
         return false; // someone must keep serving
 
@@ -599,6 +945,143 @@ ShardedFrontEnd::retireShard(size_t shard)
     return true;
 }
 
+// ---------------------------------------------------------------- failover --
+
+bool
+ShardedFrontEnd::failShard(size_t shard)
+{
+    if (shard >= shards_.size())
+        return false;
+    std::lock_guard<std::mutex> retire_lk(retire_mu_);
+    Shard &sh = *shards_[shard];
+    if (!sh.routable.load(std::memory_order_acquire))
+        return false; // already retired or failed
+    if (liveShards() <= 1)
+        return false; // someone must keep serving
+    {
+        // Failing a shard the crash sites never touched (a
+        // false-positive detection) is capped JOINTLY with them: a
+        // wedged shard still counts as live until it is failed, so the
+        // last-live check alone cannot keep one intact shard — refuse
+        // instead of dooming the whole fleet. The supervisor retries
+        // at its next tick; a genuinely stale shard stays detected.
+        std::lock_guard<std::mutex> crash_lk(crash_mu_);
+        if (!reserveDoomLocked(shard))
+            return false;
+    }
+
+    // Seal and wait out in-flight routes: after this, no producer can
+    // add to the dead ring, and every ticket the shard owns is visible
+    // in the registry with routed_to == shard (set before the push
+    // completed, under the ticket's route_mu).
+    sh.routable.store(false, std::memory_order_release);
+    while (sh.inflight_routes.load(std::memory_order_acquire) != 0)
+        std::this_thread::yield();
+
+    if (health_ != nullptr)
+        health_->markDead(shard); // sticky, even for manual calls
+    sh.failed.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lk(sh.wake_mu);
+        sh.abandoned.store(true, std::memory_order_release);
+    }
+    sh.wake_cv.notify_one();
+    failed_shards_.fetch_add(1, std::memory_order_relaxed);
+
+    // Re-own every in-flight ticket from ROUTER-SIDE records alone —
+    // the shard thread may be wedged, slow, or gone, and nothing below
+    // needs it to ever run again. The epoch bump (under route_mu +
+    // stream mu) fences out any late publish from a thread that is in
+    // fact still alive.
+    std::vector<std::shared_ptr<Stream>> snapshot;
+    {
+        std::lock_guard<std::mutex> lk(registry_mu_);
+        snapshot = streams_;
+    }
+    size_t rerouted = 0;
+    for (size_t t = 0; t < snapshot.size(); ++t) {
+        const std::shared_ptr<Stream> &s = snapshot[t];
+        std::lock_guard<std::mutex> route_lk(s->route_mu);
+        if (s->routed_to != shard)
+            continue;
+        {
+            std::lock_guard<std::mutex> slk(s->mu);
+            if (s->done)
+                continue; // terminal already published: nothing to save
+            s->route_epoch.fetch_add(1, std::memory_order_relaxed);
+        }
+        // The dead shard's outstanding is deliberately left alone —
+        // it is out of the routing set; survivors are charged by
+        // routeTicket as usual. Delivery resumes past `published`.
+        routeTicket(t, s);
+        ++rerouted;
+    }
+    failover_reroutes_.fetch_add(rerouted, std::memory_order_relaxed);
+
+    sh.retired = true;
+    // Fleet bookkeeping: the dead engine's aggregates are abandoned
+    // (mergeFleetStats skips failed shards), so the shard counts as
+    // clean from here on.
+    markCleanAndMaybeReady(shard);
+
+    // Opportunistic join: an actually-dead or wedged thread exits
+    // promptly (death already returned; wedge polls `abandoned`), and
+    // joining gives post-mortem readers (shardFaultSchedule) a
+    // happens-before edge. Correctness above never depended on it.
+    if (sh.thread.joinable())
+        sh.thread.join();
+    return true;
+}
+
+size_t
+ShardedFrontEnd::superviseOnce(double now_ms)
+{
+    if (health_ == nullptr)
+        return 0;
+    size_t newly_dead = 0;
+    std::vector<size_t> to_fail;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        Shard &sh = *shards_[i];
+        if (!sh.routable.load(std::memory_order_acquire))
+            continue; // sealed shards are past detection
+        const ShardHealth prev = health_->state(i);
+        const uint64_t epoch =
+            sh.heartbeat.epoch.load(std::memory_order_acquire);
+        const bool busy =
+            sh.outstanding.load(std::memory_order_acquire) > 0;
+        const ShardHealth now = health_->observe(i, epoch, busy, now_ms);
+        if (now == ShardHealth::kDead) {
+            if (prev != ShardHealth::kDead)
+                ++newly_dead;
+            if (router_.auto_failover)
+                to_fail.push_back(i);
+        }
+    }
+    for (size_t i : to_fail) {
+        // May refuse (e.g. last live shard) — the next tick retries.
+        failShard(i);
+    }
+    return newly_dead;
+}
+
+void
+ShardedFrontEnd::supervisorLoop()
+{
+    std::unique_lock<std::mutex> lk(sup_mu_);
+    for (;;) {
+        sup_cv_.wait_for(
+            lk,
+            std::chrono::duration<double, std::milli>(
+                router_.health_tick_ms),
+            [&] { return sup_stop_; });
+        if (sup_stop_)
+            return;
+        lk.unlock();
+        superviseOnce(steadyNowMs());
+        lk.lock();
+    }
+}
+
 // ------------------------------------------------------------- fleet stats --
 
 EngineStats
@@ -607,10 +1090,15 @@ ShardedFrontEnd::mergeFleetStats() const
     EngineStats f;
     double occupancy_weighted = 0.0;
 
-    // Mechanism counters sum over every shard, retired included — a
-    // re-routed ticket's work on both shards is real work, like a
-    // preempted request's recompute.
+    // Mechanism counters sum over every non-FAILED shard, retired
+    // included — a re-routed ticket's work on both shards is real
+    // work, like a preempted request's recompute. A crash-failed
+    // shard's engine died mid-flight; its aggregates are abandoned
+    // with it (documented in docs/ROBUSTNESS.md) while its tickets'
+    // outcomes survive in the per-ticket pass below.
     for (const auto &sh : shards_) {
+        if (sh->failed.load(std::memory_order_acquire))
+            continue;
         const EngineStats &es = sh->engine->engineStats();
         f.decode_batches += es.decode_batches;
         f.decode_ms += es.decode_ms;
@@ -638,8 +1126,8 @@ ShardedFrontEnd::mergeFleetStats() const
         : 0.0;
 
     // Outcome counters and goodput are per TICKET (client truth): a
-    // re-routed request counts once, by its final outcome — never as
-    // the retiring shard's engine-level cancel.
+    // re-routed or failed-over request counts once, by its final
+    // outcome — never as the dying shard's engine-level cancel.
     std::vector<double> queue_waits;
     size_t completed = 0;
     size_t total = 0;

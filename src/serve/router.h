@@ -2,7 +2,9 @@
  * @file
  * ShardedFrontEnd: N private ServingEngines behind a prefix-affinity
  * router, presented to clients through the same ServingClient surface
- * as the single-engine AsyncFrontEnd.
+ * as the single-engine AsyncFrontEnd — now with fleet supervision:
+ * heartbeat failure detection, crash failover without cooperative
+ * drain, and bounded-wait submission.
  *
  * Ownership and threading (the full diagram is in docs/ARCHITECTURE.md):
  *
@@ -15,42 +17,65 @@
  *  - Producers reach a shard through its own lock-free MPSC SubmitRing
  *    (the same Vyukov ring AsyncFrontEnd uses). Routing happens on the
  *    PRODUCER's thread: pick a shard, pass its accept-guard, push.
- *  - Results flow back through per-ticket Stream cells identical in
- *    shape to AsyncFrontEnd's; a ticket's stream fields hand off
- *    between shard threads only through ring push/pop (release/acquire
- *    on the slot sequence), so re-routing needs no extra locks.
+ *  - Results flow back through per-ticket Stream cells; the delivery
+ *    high-water mark (`published`) lives under the stream's own mutex,
+ *    so WHOEVER regenerates the stream — the original shard, a
+ *    re-route target, or a failover survivor — resumes emission
+ *    exactly where delivery stopped, duplicate-free.
  *
  * Routing policy (kPrefixAffinity): the prompt's leading whole
  * KV-cache pages — the exact token runs the prefix trie keys on — are
  * hashed page-by-page (common/hash.h) and the digest picks a preferred
  * shard. Requests sharing a system prompt therefore land on the shard
- * where that prompt's pages are already resident, making the prefix
- * cache hit across CLIENTS what PR4 made it within one engine. Load
- * spillover: when the preferred shard's outstanding-request count
- * exceeds spill_threshold x (least-loaded + 1), the request goes to
- * the least-loaded live shard instead — affinity is a throughput
- * preference, never an obligation.
+ * where that prompt's pages are already resident. Load spillover: when
+ * the preferred shard's load weight exceeds spill_threshold x
+ * (least-loaded + 1), the request goes to the least-loaded live shard
+ * instead — and a DEGRADED shard's weight is multiplied by
+ * degraded_load_penalty, so the circuit breaker routes around slowness
+ * without sealing anything (see docs/ROBUSTNESS.md, "Fleet health").
  *
- * Re-route is restart, and restart is bit-exact: retireShard() seals a
- * shard against new routes, cancels its in-flight requests WITHOUT
- * publishing those terminals, and re-submits each one to a live shard
- * from its original ServeRequest. The re-run regenerates the same
- * stream for the same reasons preemption-restart does (prefill is
+ * Fleet health (HealthMonitor, src/serve/health.h): every shard engine
+ * publishes a monotonic progress epoch + queue depth into a per-shard
+ * HeartbeatCell at each step; a supervisor tick (its own thread when
+ * health_tick_ms > 0, or superviseOnce() driven by a test on the
+ * virtual clock) classifies each shard healthy / degraded / dead by
+ * EPOCH STALENESS while busy — a wedged thread that keeps beating a
+ * frozen epoch is detected, an idle shard asleep on its wake channel
+ * is exempt. Dead is sticky and, under auto_failover, triggers
+ * failShard().
+ *
+ * Failover is restart, and restart is bit-exact: failShard() seals the
+ * shard, ABANDONS its ring and engine (no cooperative drain — the
+ * thread may be wedged or gone), and re-submits every ticket the
+ * router's own records say the shard owned (`routed_to`) to survivors
+ * from the stream's master ServeRequest. The re-run regenerates the
+ * same stream for the same reasons preemption-restart does (prefill is
  * chunk-invariant, batched decode rows equal solo runs, per-request
- * Rng reseeds deterministically), and the per-ticket emitted
- * high-water mark turns the regenerated stream into a duplicate-free
- * continuation of whatever was already delivered. Which shard runs a
- * request — like when it runs — is a throughput decision, never a
- * numerics decision.
+ * Rng reseeds deterministically), and `published` turns it into a
+ * duplicate-free continuation. A per-ticket route_epoch — bumped only
+ * under route_mu + the stream mutex — fences the old shard out: a
+ * falsely-declared-dead shard that is still running finds the epoch
+ * moved and drops its copy without publishing, so exactly-once
+ * delivery never depends on the dead thread actually being dead.
+ * retireShard() remains the graceful path (cooperative drain +
+ * finalized stats); failShard() is the crash path (the failed shard's
+ * ENGINE aggregates are abandoned with it, though per-ticket outcomes
+ * stay complete).
+ *
+ * Bounded-wait submission: tryPushToShard re-checks the accept-guard
+ * inside its backpressure spin — sealing a shard unsticks every
+ * producer parked on its full ring — and with submit_timeout_ms > 0
+ * the spin also carries a deadline. A submit that cannot land anywhere
+ * by the deadline is REFUSED with a terminal kShed outcome: never
+ * hung, never lost.
  *
  * Fleet statistics: engineStats() returns a merged view — outcome
  * counters and goodput are computed per TICKET (a re-routed request
- * counts once, by its final outcome, not as the old shard's cancel),
- * mechanism counters (decode batches, prefill chunks, preemptions,
- * prefix traffic, peak KV bytes) sum over every shard including
- * retired ones, wall time is the max, and queue-wait p50/p99 merge the
- * per-ticket digests with the same nearest-rank percentile the engine
- * uses.
+ * counts once, by its final outcome), mechanism counters sum over
+ * every non-failed shard (retired ones included), wall time is the
+ * max, and queue-wait p50/p99 merge the per-ticket digests with the
+ * same nearest-rank percentile the engine uses. healthStats() reports
+ * the supervision side: detections, failovers, re-routes, refusals.
  */
 
 #ifndef MXPLUS_SERVE_ROUTER_H
@@ -69,6 +94,7 @@
 
 #include "serve/async_engine.h"
 #include "serve/fault.h"
+#include "serve/health.h"
 #include "serve/serving_client.h"
 #include "serve/serving_engine.h"
 
@@ -111,6 +137,39 @@ struct RouterOptions
         EngineOptions::fault must stay null under the router. */
     FaultInjector::Config fault = {};
 
+    /** Staleness (ms, supervisor clock) after which a BUSY shard whose
+        progress epoch stopped moving is declared dead (sticky; under
+        auto_failover this triggers failShard). 0 disables health
+        monitoring entirely. */
+    double heartbeat_timeout_ms = 0.0;
+    /** Staleness (ms) after which a busy-but-stalling shard is
+        classified degraded — routed around via degraded_load_penalty,
+        restored the moment its epoch moves. 0 = heartbeat_timeout_ms/4.
+        Must stay < heartbeat_timeout_ms. */
+    double degraded_after_ms = 0.0;
+    /** Load-weight multiplier applied to a degraded shard in pickShard
+        (>= 1; higher spills away from degraded shards sooner). */
+    double degraded_load_penalty = 4.0;
+    /** Supervisor thread tick period (wall ms). 0 = no supervisor
+        thread; tests drive superviseOnce() on their own clock instead.
+        Requires heartbeat_timeout_ms > 0 when positive. */
+    double health_tick_ms = 0.0;
+    /** Fail over dead shards automatically from the supervisor tick
+        (failShard: seal, abandon, re-route). When false the tick only
+        classifies; failShard() stays available manually. */
+    bool auto_failover = true;
+    /** Bounded-wait submission deadline (wall ms): how long routing
+        may spend parked on full rings before the ticket is REFUSED
+        with a terminal kShed outcome. 0 = wait forever (still
+        seal-aware: a failed-over shard unsticks its producers). */
+    double submit_timeout_ms = 2000.0;
+    /** Fleet-wide cap on wedge+death fault-site FIRINGS (chaos only):
+        draws still happen — schedules stay pure functions of (seed,
+        shard, step) — but a firing past the cap is suppressed, so a
+        chaos run can never crash every shard. SIZE_MAX = auto
+        (num_shards - 1). */
+    size_t max_crash_faults = SIZE_MAX;
+
     /** Empty string when usable, else a one-line description of the
         first bad knob (e.g. "num_shards must be positive"). The
         ShardedFrontEnd constructor calls this (plus
@@ -139,7 +198,7 @@ class ShardedFrontEnd : public ServingClient
                     EngineOptions opts, RouterOptions router = {});
 
     /** Drains every outstanding ticket on every shard, then stops and
-        joins the shard threads. */
+        joins the supervisor and shard threads. */
     ~ShardedFrontEnd() override;
 
     ShardedFrontEnd(const ShardedFrontEnd &) = delete;
@@ -157,40 +216,82 @@ class ShardedFrontEnd : public ServingClient
     const EngineStats &engineStats() const override;
 
     /**
-     * Drain-and-re-route: seal shard @p shard against new routes, let
-     * its thread publish everything already finished, cancel the rest
-     * on its engine WITHOUT publishing those terminals, re-submit each
-     * unfinished ticket to a live shard (restart — bit-exact, see file
-     * header), finalize the shard's stats and join its thread. Blocks
-     * until the shard is fully retired. Returns false (and does
-     * nothing) when @p shard is unknown, already retired, or the last
-     * live shard. A ticket whose cancel flag is set at re-route time
-     * still re-routes, but the new shard's flag-at-map check cancels
-     * it at its first step boundary — before any recompute — so it
+     * Drain-and-re-route (the GRACEFUL path): seal shard @p shard
+     * against new routes, let its thread publish everything already
+     * finished, cancel the rest on its engine WITHOUT publishing those
+     * terminals, re-submit each unfinished ticket to a live shard
+     * (restart — bit-exact, see file header), finalize the shard's
+     * stats and join its thread. Blocks until the shard is fully
+     * retired. Returns false (and does nothing) when @p shard is
+     * unknown, already retired/failed, or the last live shard. A
+     * ticket whose cancel flag is set at re-route time still
+     * re-routes, but the new shard's flag-at-map check cancels it at
+     * its first step boundary — before any recompute — so it
      * terminates kCancelled instead of restarting.
      */
     bool retireShard(size_t shard);
+
+    /**
+     * Crash failover (the UNGRACEFUL path): seal shard @p shard,
+     * abandon its ring and engine WITHOUT any cooperation from its
+     * thread (which may be wedged, slow, or gone), and re-route every
+     * ticket the router's records say it owned to survivors — streams
+     * stay bit-exact and exactly-once (see file header). The shard's
+     * engine-level aggregates are lost with it (per-ticket outcomes
+     * are not); shardEngine()/auditInvariants() exclude it afterwards.
+     * Returns false when @p shard is unknown, already sealed, or the
+     * last live shard. Called automatically by the supervisor under
+     * auto_failover; safe to call manually any time.
+     */
+    bool failShard(size_t shard);
+
+    /**
+     * One supervisor tick at @p now_ms (any monotonic clock — wall in
+     * production, virtual in tests): observe every routable shard's
+     * heartbeat, update its health verdict, and — under auto_failover
+     * — failShard() any shard declared dead. Returns the number of
+     * shards NEWLY declared dead this tick. No-op (0) when health
+     * monitoring is off. The internal supervisor thread just calls
+     * this on the steady clock every health_tick_ms.
+     */
+    size_t superviseOnce(double now_ms);
 
     size_t numShards() const { return shards_.size(); }
     /** Shards still accepting routes. */
     size_t liveShards() const;
     bool shardRetired(size_t shard) const;
+    /** True when @p shard was crash-failed (failShard), as opposed to
+        gracefully retired: its engine/aggregates are abandoned. */
+    bool shardFailed(size_t shard) const;
+    /** Health verdict for @p shard (kHealthy when monitoring is off). */
+    ShardHealth shardHealth(size_t shard) const;
+    /** Supervision counters: detections, failovers, re-routes,
+        bounded-wait refusals. Safe to call any time. */
+    FleetHealthStats healthStats() const;
+    /** Shard @p shard's fault schedule ("" without chaos) — the repro
+        recipe chaos tests write into failure artifacts. Call only
+        post-drain (or post-retire/post-fail for that shard). */
+    std::string shardFaultSchedule(size_t shard) const;
     /** Tokens per KV page — the affinity key's page geometry. */
     size_t pageTokens() const { return page_tokens_; }
 
     /** One shard's engine, for audits/tests. Only valid post-drain
-        (or post-retire for a retired shard). */
+        (or post-retire for a retired shard) and for non-FAILED shards
+        — a crash-failed shard's engine is abandoned mid-flight. */
     const ServingEngine &shardEngine(size_t shard) const;
     /** Shorthand for shardEngine(shard).engineStats(). */
     const EngineStats &shardStats(size_t shard) const;
-    /** Cross-layer audit of every (idle) shard engine. Post-drain. */
+    /** Cross-layer audit of every (idle) shard engine, crash-failed
+        shards excluded. Post-drain. */
     bool auditInvariants() const;
 
   private:
-    /** Per-ticket hand-off cell (AsyncFrontEnd::Stream plus the
-        re-route fields). `emitted`/`engine_id` belong to the ticket's
-        CURRENT shard thread; ownership moves between shard threads
-        only through ring push/pop, which orders the hand-off. */
+    /** Per-ticket hand-off cell (AsyncFrontEnd::Stream plus routing
+        state). The stream mutex `mu` guards delivery (`pending`,
+        `done`, `outcome`, `final_stats`, `published`); `route_mu`
+        serializes ROUTING (`routed_to`, and every route_epoch bump —
+        the epoch is atomic so publish paths can read it under `mu`
+        alone, but it only ever changes under BOTH mutexes). */
     struct Stream
     {
         std::mutex mu;
@@ -199,16 +300,40 @@ class ShardedFrontEnd : public ServingClient
         bool done = false;
         RequestOutcome outcome = RequestOutcome::kPending;
         RequestStats final_stats;
+        /** Delivery high-water mark: tokens pushed into `pending` so
+            far. Under `mu` (not shard-thread-local) so failover can
+            hand emission to a survivor — and so a falsely-dead shard
+            racing that survivor still emits each token exactly once. */
+        size_t published = 0;
         std::atomic<bool> cancel_requested{false};
         /** Shard the ticket was last routed to (cancel wake-up hint;
-            the per-shard live list stays the ownership truth). */
+            `routed_to` is the ownership truth). */
         std::atomic<uint32_t> shard_hint{0};
-        /** Original request, kept for re-route restarts. */
+        /** Original request, kept for re-route/failover restarts. */
         ServeRequest req;
 
-        // Current-shard-thread-only fields.
+        /** Routing generation: a shard-side copy (ring command or
+            live-list entry) whose epoch no longer matches is a
+            failover orphan and must be dropped unpublished. */
+        std::atomic<uint64_t> route_epoch{0};
+        /** Serializes routing decisions for this ticket (submit,
+            re-route, failover scan). Ordered after retire_mu_, before
+            the stream mutex. */
+        std::mutex route_mu;
+        /** Owning shard per the ROUTER's records (under route_mu) —
+            the failover scan key. SIZE_MAX = never routed / refused. */
+        size_t routed_to = SIZE_MAX;
+    };
+
+    /** One live-list entry: a ticket mapped on this shard's engine.
+        engine_id is meaningful only on this engine; route_epoch is
+        the stream's epoch at mapping time (stale = drop). */
+    struct LiveTicket
+    {
+        uint64_t ticket = 0;
+        std::shared_ptr<Stream> stream;
         size_t engine_id = SIZE_MAX;
-        size_t emitted = 0;
+        uint64_t route_epoch = 0;
     };
 
     /** One private serving stack + its thread and hand-off state. */
@@ -219,15 +344,30 @@ class ShardedFrontEnd : public ServingClient
         std::unique_ptr<SubmitRing> ring;
 
         /** Accept-guard: producers may push only while routable; a
-            retiring shard flips it and waits out in-flight routes
-            before its final ring sweep. */
+            retiring/failing shard flips it and waits out in-flight
+            routes before ownership changes hands. */
         std::atomic<bool> routable{true};
         std::atomic<size_t> inflight_routes{0};
         /** Tickets routed here and not yet terminal/re-routed — the
             load metric affinity spills against. */
         std::atomic<size_t> outstanding{0};
         std::atomic<bool> retire{false};
-        bool retired = false; ///< shard thread exited (post-join read)
+        /** failShard() fired: ring + engine abandoned; the shard
+            thread (if still running) exits at its next loop top
+            without touching shared state again. */
+        std::atomic<bool> abandoned{false};
+        /** Crash-failed (vs gracefully retired): engine aggregates
+            are excluded from the fleet merge and audits. */
+        std::atomic<bool> failed{false};
+        bool retired = false; ///< no longer serving (retired OR failed)
+        /** Crash-fired or crash-failed at least once (guarded by
+            crash_mu_); the doom cap keeps one shard that is neither. */
+        bool doomed = false;
+
+        /** Progress epoch + queue depth, written by the shard thread
+            (engine step / ring drain / wedge beats), read by the
+            supervisor tick. */
+        HeartbeatCell heartbeat;
 
         std::mutex wake_mu;
         std::condition_variable wake_cv;
@@ -235,38 +375,76 @@ class ShardedFrontEnd : public ServingClient
         bool stop = false;
 
         /** Shard-thread-local: live tickets mapped on this engine. */
-        std::vector<std::pair<uint64_t, std::shared_ptr<Stream>>> live;
+        std::vector<LiveTicket> live;
 
         std::thread thread;
     };
 
+    /** tryPushToShard verdicts. */
+    enum class PushResult
+    {
+        kPushed = 0,
+        kSealed,   ///< shard stopped accepting (re-pick)
+        kTimedOut, ///< ring stayed full past the deadline
+    };
+
     std::shared_ptr<Stream> streamFor(uint64_t ticket) const;
     /** Preferred-then-spill (or round-robin) shard pick over live
-        shards; pure policy, no guard. */
+        shards, with degraded shards load-penalized; pure policy, no
+        guard. */
     size_t pickShard(const std::vector<int> &prompt);
-    /** Accept-guarded push: false when @p shard stopped accepting
-        between pick and push (caller re-picks). Spins out ring-full
-        backpressure, then bumps the shard's wake channel. */
-    bool tryPushToShard(size_t shard, SubmitRing::Cmd &&cmd);
-    /** Route (and re-route) one ticket: pick, guard, push, update the
-        hint and the outstanding counts. */
+    /** Accept-guarded bounded push. The backpressure spin re-checks
+        the guard (sealing unsticks parked producers — no producer can
+        hang on a dead shard) and, when @p deadline_ms > 0, gives up
+        at that steady-clock instant. On kSealed/kTimedOut @p cmd is
+        intact (tryPush only consumes on success). */
+    PushResult tryPushToShard(size_t shard, SubmitRing::Cmd &&cmd,
+                              double deadline_ms);
+    /** Route (and re-route) one ticket: pick, guard, push, update
+        hint/routed_to/outstanding. Caller holds s->route_mu. Refuses
+        terminally (kShed) when nothing accepts within
+        submit_timeout_ms. */
     void routeTicket(uint64_t ticket, const std::shared_ptr<Stream> &s);
+    /** Close @p s terminally as kShed (bounded-wait refusal) and
+        settle the drain ledger. Caller holds s->route_mu. */
+    void refuseTicket(uint64_t ticket, const std::shared_ptr<Stream> &s);
 
     void shardLoop(size_t shard);
     size_t drainShardRing(Shard &sh);
-    /** Publish tokens + terminals for @p sh's live tickets (the
-        AsyncFrontEnd publish, per shard). */
+    /** Publish tokens + terminals for @p sh's live tickets; drops
+        (and engine-cancels) entries whose route_epoch went stale —
+        failover re-owned them. */
     void publishShard(Shard &sh);
+    /** Poll the shard-level fault sites (wedge/death/slow) before a
+        step. Returns true when the shard thread must exit (wedge runs
+        wedgeLoop first; death returns immediately). */
+    bool shardFaultPoll(size_t shard);
+    /** The wedged-thread simulation: beat a frozen epoch, drain
+        nothing, step nothing, until abandoned (failover) or stop
+        (shutdown). */
+    void wedgeLoop(size_t shard);
+    /** Claim one wedge/death firing against max_crash_faults and the
+        doom cap; false = suppress the firing (the draw already
+        happened, so enabling the cap never reshuffles a schedule). */
+    bool consumeCrashBudget(size_t shard);
+    /** Caller holds crash_mu_. Mark @p shard doomed (crash-fired or
+        crash-failed), idempotently; false = the doom cap is reached
+        and dooming this shard would leave no intact shard. */
+    bool reserveDoomLocked(size_t shard);
     /** The retireShard() shard-thread half: final ring sweep, publish,
         cancel-without-publish, re-route, finalize. */
     void retireDrain(size_t shard);
-    /** Under done_mu_: mark shard @p shard's aggregates finalized and,
-        when the whole fleet is idle and clean, merge fleet_stats_ and
-        flip stats_ready_. */
+    /** Under done_mu_: mark shard @p shard's aggregates finalized and
+        merge if the fleet is idle and clean. */
     void markCleanAndMaybeReady(size_t shard);
+    /** Caller holds done_mu_: when the fleet is idle and every shard
+        clean, merge fleet_stats_ and flip stats_ready_. */
+    void maybeMergeLocked();
     /** Merge per-shard engine stats + per-ticket outcomes (caller
-        holds done_mu_ with the fleet idle). */
+        holds done_mu_ with the fleet idle; failed shards skipped). */
     EngineStats mergeFleetStats() const;
+    /** Supervisor thread body (health_tick_ms > 0 only). */
+    void supervisorLoop();
 
     const EngineOptions opts_;
     const RouterOptions router_;
@@ -274,13 +452,35 @@ class ShardedFrontEnd : public ServingClient
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<uint64_t> rr_counter_{0}; ///< round-robin cursor
 
+    // Fleet health. The monitor exists iff heartbeat_timeout_ms > 0;
+    // the supervisor thread additionally needs health_tick_ms > 0.
+    std::unique_ptr<HealthMonitor> health_;
+    std::atomic<size_t> failed_shards_{0};
+    std::atomic<size_t> failover_reroutes_{0};
+    std::atomic<size_t> refused_submits_{0};
+    std::atomic<size_t> crash_faults_used_{0}; ///< wedge+death firings
+    /** Guards crash_faults_used_, doomed_shards_ and Shard::doomed.
+        The doom cap — max_crash_faults when set, num_shards − 1 by
+        default — bounds shards lost to crash sites and failShard()
+        COMBINED. Without the joint cap, false-positive detections on
+        a slow box spend shards the crash budget never counted, and
+        the fleet can end with its last live shard wedged: beating
+        forever, every consumer blocked on its streams. */
+    std::mutex crash_mu_;
+    size_t doomed_shards_ = 0; ///< shards crash-fired or crash-failed
+    std::mutex sup_mu_;
+    std::condition_variable sup_cv_;
+    bool sup_stop_ = false;
+    std::thread supervisor_;
+
     // Ticket registry (append-only under registry_mu_, exactly like
     // AsyncFrontEnd's).
     mutable std::mutex registry_mu_;
     std::vector<std::shared_ptr<Stream>> streams_;
 
-    /** Serializes retireShard callers (two concurrent retires could
-        otherwise both pass the last-live-shard check). */
+    /** Serializes retireShard/failShard callers (two concurrent
+        retirements could otherwise both pass the last-live check).
+        Ordered before every per-stream route_mu. */
     std::mutex retire_mu_;
 
     // Fleet drain/stats channel. stats_clean[i] — guarded by done_mu_ —

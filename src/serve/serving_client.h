@@ -12,8 +12,18 @@
  *   A ticket's delivered token stream is a pure function of the
  *   ServeRequest and the quantization format. Which front end served
  *   it, how many shards existed, where the request was routed, whether
- *   it was re-routed mid-flight, preempted, or raced by other
- *   producers — all of that is throughput, none of it is numerics.
+ *   it was re-routed mid-flight, preempted, raced by other producers —
+ *   or failed over after its shard crashed, wedged, or was declared
+ *   dead by the health monitor — all of that is throughput, none of it
+ *   is numerics. Delivery is exactly-once: a failover survivor resumes
+ *   emission at the stream's high-water mark, never replaying a token.
+ *
+ * Liveness is part of the contract too: with bounded-wait submission
+ * (submit_timeout_ms) no call here can hang on a dead or wedged shard
+ * — a submit that cannot be placed by the deadline terminates with a
+ * recoverable kShed outcome instead (never hung, never silently lost),
+ * and cancel/wait/nextToken always make progress because the flag —
+ * not the wake-up command — carries the cancellation.
  *
  * Every method is safe to call from any thread. Tickets are
  * front-end-scoped (they are NOT engine request ids); a ticket

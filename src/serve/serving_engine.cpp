@@ -866,6 +866,12 @@ ServingEngine::step()
     ++step_count_;
     if (opts_.step_time_ms > 0.0)
         virtual_now_ms_ += opts_.step_time_ms;
+    // Fleet-health heartbeat: one epoch bump per step, published
+    // before any of the step's (possibly slow) work so a shard mid-
+    // step still reads as progressing from its last completed step.
+    if (heartbeat_ != nullptr)
+        heartbeat_->progress(scheduler_->queuedRequests() +
+                             active_.size());
 
     // Faults, cancellations, deadlines and queue-wait sheds all apply
     // at the step boundary, before admission: a slot or page freed by

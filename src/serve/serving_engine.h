@@ -110,6 +110,7 @@
 #include "model/layers.h"
 #include "model/transformer.h"
 #include "serve/fault.h"
+#include "serve/health.h"
 #include "serve/kv_cache.h"
 #include "serve/kv_page_pool.h"
 #include "serve/prefix_index.h"
@@ -470,6 +471,14 @@ class ServingEngine
         the chaos harness reads its corruption counters). */
     const PrefixIndex *prefixIndex() const { return prefix_.get(); }
 
+    /**
+     * Attach a heartbeat cell the engine publishes progress into at
+     * the top of every step() (epoch bump + queue depth). Owned by
+     * the caller (the sharded router's per-shard slot), must outlive
+     * the engine or be detached with nullptr first. Null = no-op.
+     */
+    void setHeartbeat(HeartbeatCell *cell) { heartbeat_ = cell; }
+
   private:
     struct Slot
     {
@@ -617,6 +626,8 @@ class ServingEngine
     double virtual_now_ms_ = 0.0; ///< step-driven clock (step_time_ms)
     double clock_skew_ms_ = 0.0;  ///< injected skew (fault harness)
     uint64_t step_count_ = 0;
+    /** Fleet-health progress cell (see setHeartbeat; null = no-op). */
+    HeartbeatCell *heartbeat_ = nullptr;
 };
 
 } // namespace mxplus

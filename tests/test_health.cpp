@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Detector-determinism proofs for the fleet failure detector
+ * (serve/health.h), driven entirely on a VIRTUAL clock: the monitor is
+ * passive (observe() takes the caller's timestamp), so every verdict
+ * sequence here is a pure function of (observation sequence, timeouts)
+ * — no sleeps, no wall-clock flake. The three properties the router's
+ * supervision rests on:
+ *
+ *  - a wedged shard (busy, frozen epoch) is ALWAYS declared dead
+ *    within heartbeat_timeout_ms of its last progress, regardless of
+ *    how often it keeps beating;
+ *  - a healthy-but-loaded shard (epoch moving every tick) is NEVER
+ *    declared degraded or dead, however deep its queue;
+ *  - an idle shard (no outstanding work) is exempt no matter how
+ *    stale its epoch — asleep is not dead.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/health.h"
+
+namespace mxplus {
+namespace {
+
+HealthConfig
+cfg(double timeout, double degraded = 0.0)
+{
+    HealthConfig c;
+    c.heartbeat_timeout_ms = timeout;
+    c.degraded_after_ms = degraded;
+    return c;
+}
+
+TEST(Health, HealthyLoadedShardIsNeverSuspected)
+{
+    HealthMonitor mon(1, cfg(100.0));
+    // Busy for 10k virtual ms, epoch advancing every observation — a
+    // deeply loaded but progressing shard must stay healthy forever.
+    uint64_t epoch = 0;
+    for (double now = 0.0; now <= 10000.0; now += 10.0)
+        EXPECT_EQ(mon.observe(0, ++epoch, /*busy=*/true, now),
+                  ShardHealth::kHealthy)
+            << "at t=" << now;
+    EXPECT_EQ(mon.degradedTransitions(), 0u);
+    EXPECT_EQ(mon.deadDetected(), 0u);
+}
+
+TEST(Health, WedgedShardIsDetectedWithinTimeout)
+{
+    // The wedged-consumer signature: busy, epoch frozen. Beats (which
+    // the monitor never even sees — by design) cannot save it.
+    HealthMonitor mon(1, cfg(100.0, 25.0));
+    EXPECT_EQ(mon.observe(0, 7, true, 0.0), ShardHealth::kHealthy);
+    // Just short of each threshold: verdict must not fire early...
+    EXPECT_EQ(mon.observe(0, 7, true, 24.0), ShardHealth::kHealthy);
+    EXPECT_EQ(mon.observe(0, 7, true, 25.0), ShardHealth::kDegraded);
+    EXPECT_EQ(mon.observe(0, 7, true, 99.0), ShardHealth::kDegraded);
+    // ...and must fire the first observation at/after the deadline:
+    // detection latency <= heartbeat_timeout_ms on the virtual clock.
+    EXPECT_EQ(mon.observe(0, 7, true, 100.0), ShardHealth::kDead);
+    EXPECT_EQ(mon.deadDetected(), 1u);
+    EXPECT_EQ(mon.degradedTransitions(), 1u);
+}
+
+TEST(Health, DeadIsStickyEvenIfTheEpochMovesAgain)
+{
+    // A falsely-declared shard that lurches back to life after the
+    // verdict stays dead: recovery is failover, not forgiveness (the
+    // router already re-owned its tickets).
+    HealthMonitor mon(1, cfg(50.0));
+    mon.observe(0, 1, true, 0.0);
+    EXPECT_EQ(mon.observe(0, 1, true, 60.0), ShardHealth::kDead);
+    EXPECT_EQ(mon.observe(0, 2, true, 61.0), ShardHealth::kDead);
+    EXPECT_EQ(mon.observe(0, 99, false, 1000.0), ShardHealth::kDead);
+    EXPECT_EQ(mon.state(0), ShardHealth::kDead);
+    EXPECT_EQ(mon.deadDetected(), 1u); // counted once, not per tick
+}
+
+TEST(Health, IdleShardIsExemptHoweverStaleItsEpoch)
+{
+    HealthMonitor mon(1, cfg(50.0));
+    mon.observe(0, 3, true, 0.0);
+    // Goes idle: epoch frozen for 100x the timeout, but busy=false
+    // refreshes the progress mark — asleep on the wake channel is the
+    // NORMAL idle state, not a failure.
+    for (double now = 10.0; now <= 5000.0; now += 10.0)
+        EXPECT_EQ(mon.observe(0, 3, /*busy=*/false, now),
+                  ShardHealth::kHealthy)
+            << "at t=" << now;
+    // And the idle period must not bank staleness: once busy again,
+    // the full thresholds (degraded at timeout/4 = 12.5, dead at 50)
+    // apply from the last (idle) observation at t=5000.
+    EXPECT_EQ(mon.observe(0, 3, true, 5010.0), ShardHealth::kHealthy);
+    EXPECT_EQ(mon.observe(0, 3, true, 5049.0), ShardHealth::kDegraded);
+    EXPECT_EQ(mon.observe(0, 3, true, 5050.0), ShardHealth::kDead);
+}
+
+TEST(Health, DegradedShardRecoversOnEpochProgress)
+{
+    HealthMonitor mon(1, cfg(100.0, 25.0));
+    mon.observe(0, 1, true, 0.0);
+    EXPECT_EQ(mon.observe(0, 1, true, 30.0), ShardHealth::kDegraded);
+    // The circuit breaker closes the moment progress resumes...
+    EXPECT_EQ(mon.observe(0, 2, true, 40.0), ShardHealth::kHealthy);
+    EXPECT_EQ(mon.recoveries(), 1u);
+    // ...and the staleness clock restarts from the recovery.
+    EXPECT_EQ(mon.observe(0, 2, true, 64.0), ShardHealth::kHealthy);
+    EXPECT_EQ(mon.observe(0, 2, true, 65.0), ShardHealth::kDegraded);
+    EXPECT_EQ(mon.degradedTransitions(), 2u);
+}
+
+TEST(Health, VerdictSequenceIsAPureFunctionOfObservations)
+{
+    // Replay an identical observation tape through two monitors: every
+    // verdict and every counter must match — the property that makes
+    // any detection-latency failure reproducible from its tape.
+    struct Obs
+    {
+        size_t shard;
+        uint64_t epoch;
+        bool busy;
+        double now;
+    };
+    std::vector<Obs> tape;
+    uint64_t e0 = 0;
+    for (int i = 0; i < 200; ++i) {
+        const double now = 5.0 * i;
+        tape.push_back({0, (i % 3 == 0) ? ++e0 : e0, true, now});
+        // Shard 1: busy for the first 40 ticks with a frozen epoch
+        // (wedged), idle afterwards — dead must latch before the idle
+        // phase could have exempted it.
+        tape.push_back({1, 42, i < 40, now});
+    }
+    auto run = [&tape](std::string *verdicts, size_t *dead) {
+        HealthMonitor mon(2, cfg(60.0, 15.0));
+        for (const Obs &o : tape)
+            verdicts->push_back(static_cast<char>(
+                '0' +
+                static_cast<int>(
+                    mon.observe(o.shard, o.epoch, o.busy, o.now))));
+        *dead = mon.deadDetected();
+    };
+    std::string va, vb;
+    size_t da = 0, db = 0;
+    run(&va, &da);
+    run(&vb, &db);
+    EXPECT_EQ(va, vb);
+    EXPECT_EQ(da, db);
+    EXPECT_EQ(da, 1u) << "shard 1's wedge fires exactly one detection";
+}
+
+TEST(Health, MarkDeadIsStickyAndNotCountedAsDetection)
+{
+    HealthMonitor mon(3, cfg(100.0));
+    mon.markDead(1); // manual failShard path
+    EXPECT_EQ(mon.state(1), ShardHealth::kDead);
+    EXPECT_EQ(mon.observe(1, 5, true, 1.0), ShardHealth::kDead);
+    EXPECT_EQ(mon.deadDetected(), 0u);
+    EXPECT_EQ(mon.state(0), ShardHealth::kHealthy);
+    EXPECT_EQ(mon.state(2), ShardHealth::kHealthy);
+}
+
+TEST(Health, ZeroTimeoutDisablesTheDetector)
+{
+    HealthMonitor mon(1, cfg(0.0));
+    mon.observe(0, 1, true, 0.0);
+    EXPECT_EQ(mon.observe(0, 1, true, 1e9), ShardHealth::kHealthy);
+    EXPECT_EQ(mon.deadDetected(), 0u);
+}
+
+TEST(Health, DegradedDefaultResolvesToAQuarterTimeout)
+{
+    HealthMonitor mon(1, cfg(100.0)); // degraded_after_ms = 0 -> 25
+    EXPECT_DOUBLE_EQ(mon.degradedAfterMs(), 25.0);
+    mon.observe(0, 1, true, 0.0);
+    EXPECT_EQ(mon.observe(0, 1, true, 24.0), ShardHealth::kHealthy);
+    EXPECT_EQ(mon.observe(0, 1, true, 25.0), ShardHealth::kDegraded);
+
+    HealthMonitor explicit_mon(1, cfg(100.0, 40.0));
+    EXPECT_DOUBLE_EQ(explicit_mon.degradedAfterMs(), 40.0);
+}
+
+TEST(Health, StaleMsTracksTheLastProgressMark)
+{
+    HealthMonitor mon(1, cfg(100.0));
+    EXPECT_DOUBLE_EQ(mon.staleMs(0, 50.0), 0.0); // never observed
+    mon.observe(0, 1, true, 10.0);
+    EXPECT_DOUBLE_EQ(mon.staleMs(0, 35.0), 25.0);
+    mon.observe(0, 2, true, 40.0); // progress resets the mark
+    EXPECT_DOUBLE_EQ(mon.staleMs(0, 41.0), 1.0);
+}
+
+TEST(Health, ShardHealthNamesAreStable)
+{
+    // The names appear in failure artifacts and docs tables.
+    EXPECT_STREQ(shardHealthName(ShardHealth::kHealthy), "healthy");
+    EXPECT_STREQ(shardHealthName(ShardHealth::kDegraded), "degraded");
+    EXPECT_STREQ(shardHealthName(ShardHealth::kDead), "dead");
+}
+
+} // namespace
+} // namespace mxplus

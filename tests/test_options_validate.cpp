@@ -135,6 +135,47 @@ TEST(RouterOptionsValidate, OutOfRangeFaultProbabilityIsDescriptive)
     router.fault.p_clock_skew = 0.5;
     router.fault.skew_ms_max = 0.0;
     EXPECT_TRUE(contains(router.validate(), "skew_ms_max"));
+    // The shard-level sites validate through the same probability net.
+    router.fault.skew_ms_max = 32.0;
+    router.fault.p_clock_skew = 0.0;
+    router.fault.p_shard_wedge = -0.1;
+    EXPECT_TRUE(contains(router.validate(), "probabilities"));
+    router.fault.p_shard_wedge = 0.0;
+    router.fault.p_shard_slow = 1.0;
+    router.fault.slow_sleep_ms = -1.0;
+    EXPECT_TRUE(contains(router.validate(), "slow_sleep_ms"));
+}
+
+TEST(RouterOptionsValidate, HealthKnobsAreDescriptive)
+{
+    RouterOptions router;
+    router.heartbeat_timeout_ms = -1.0;
+    EXPECT_TRUE(contains(router.validate(), "heartbeat_timeout_ms"));
+
+    // Degraded must classify strictly before dead.
+    router.heartbeat_timeout_ms = 50.0;
+    router.degraded_after_ms = 50.0;
+    EXPECT_TRUE(contains(router.validate(),
+                         "degraded_after_ms must be < "
+                         "heartbeat_timeout_ms"));
+    router.degraded_after_ms = 10.0;
+    EXPECT_EQ(router.validate(), "");
+
+    router.degraded_load_penalty = 0.5;
+    EXPECT_TRUE(contains(router.validate(), "degraded_load_penalty"));
+    router.degraded_load_penalty = 4.0;
+
+    // A supervisor thread without a detector is a misconfiguration,
+    // not a silent no-op.
+    router.heartbeat_timeout_ms = 0.0;
+    router.degraded_after_ms = 0.0;
+    router.health_tick_ms = 5.0;
+    EXPECT_TRUE(contains(router.validate(),
+                         "health_tick_ms requires heartbeat_timeout_ms"));
+    router.health_tick_ms = 0.0;
+
+    router.submit_timeout_ms = -2.0;
+    EXPECT_TRUE(contains(router.validate(), "submit_timeout_ms"));
 }
 
 } // namespace

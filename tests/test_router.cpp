@@ -5,21 +5,36 @@
  * abstract ServingClient surface, and the canonical invariant extended
  * to sharding — every completed stream is bit-identical to a
  * single-engine golden run in every format, including under forced
- * re-routing (retireShard), racing submits/cancels, and per-shard
- * chaos injection.
+ * re-routing (retireShard), racing submits/cancels, per-shard chaos
+ * injection — and now fleet health: crash failover without drain
+ * (failShard), heartbeat detection on a virtual clock (superviseOnce),
+ * shard-level chaos (wedge/death/slow) with supervised recovery, and
+ * the bounded-wait guarantee that no producer can hang on a wedged
+ * shard.
+ *
+ * Failing chaos episodes write chaos_failure_router_<fmt>_<seed>.txt
+ * (seed, per-shard fault schedules, repro command) into the working
+ * directory; CI uploads them. MXPLUS_CHAOS_SEED / MXPLUS_CHAOS_SEEDS
+ * narrow/widen the seed sweep exactly like tests/test_chaos.cpp.
  *
  * This file runs under the ThreadSanitizer CI job (labels
- * `router;serving`), so the router's accept-guard, re-route hand-off
- * and fleet-stats merge are all TSan proof obligations too.
+ * `router;serving`), so the router's accept-guard, re-route hand-off,
+ * failover ownership protocol and fleet-stats merge are all TSan
+ * proof obligations too.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/async_engine.h"
+#include "serve/health.h"
 #include "serve/router.h"
 #include "serve/serving_client.h"
 #include "serve/serving_engine.h"
@@ -575,6 +590,432 @@ TEST(Router, NextTokenStreamsTheExactFinalSequenceAcrossShards)
         EXPECT_EQ(fe.wait(tickets[i]), RequestOutcome::kCompleted);
         EXPECT_EQ(delivered[i], fe.stats(tickets[i]).generated);
     }
+}
+
+// --------------------------------------------------- crash failover --
+
+TEST(Router, FailShardReroutesWithoutDrainBitExactly)
+{
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    EngineOptions opts;
+    opts.max_batch = 2;
+
+    std::vector<ServeRequest> reqs(9);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].prompt = tokenRamp(20 + 4 * (i % 3), static_cast<int>(3 + i));
+        reqs[i].max_new_tokens = 32; // long: failover lands mid-generation
+    }
+
+    ServingEngine golden(model, qc, opts);
+    std::vector<size_t> gids;
+    for (const auto &r : reqs)
+        gids.push_back(golden.submit(r));
+    golden.runToCompletion();
+
+    RouterOptions router;
+    router.num_shards = 3;
+    ShardedFrontEnd fe(model, qc, opts, router);
+    std::vector<uint64_t> tickets;
+    for (const auto &r : reqs)
+        tickets.push_back(fe.submit(r));
+
+    // Crash failover mid-flight: unlike retireShard there is NO
+    // cooperative drain — the shard's ring and engine are abandoned
+    // outright and every ticket it owned restarts from router-side
+    // records. Back-to-back failures leave a single survivor.
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    ASSERT_TRUE(fe.failShard(0));
+    EXPECT_TRUE(fe.shardFailed(0));
+    EXPECT_TRUE(fe.shardRetired(0));
+    EXPECT_FALSE(fe.failShard(0)); // already sealed
+    ASSERT_TRUE(fe.failShard(1));
+    EXPECT_FALSE(fe.failShard(2)); // someone must keep serving
+    EXPECT_EQ(fe.liveShards(), 1u);
+
+    fe.drain();
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        const RequestStats &s = fe.stats(tickets[i]);
+        EXPECT_EQ(s.outcome, RequestOutcome::kCompleted) << "req " << i;
+        ASSERT_EQ(s.generated, golden.stats(gids[i]).generated)
+            << "req " << i;
+    }
+
+    // Ticket truth survives the crashes: every request counts once,
+    // completed, and the failover bookkeeping is visible.
+    const EngineStats &fleet = fe.engineStats();
+    EXPECT_EQ(fleet.cancelled_requests, 0u);
+    EXPECT_DOUBLE_EQ(fleet.goodput_ok_fraction, 1.0);
+    const FleetHealthStats hs = fe.healthStats();
+    EXPECT_EQ(hs.failed_shards, 2u);
+    EXPECT_EQ(hs.refused_submits, 0u);
+    // The surviving fleet audits to zero; failed shards' engines are
+    // abandoned and explicitly excluded.
+    EXPECT_TRUE(fe.auditInvariants());
+    EXPECT_EQ(fe.shardEngine(2).kvBytesLive(), 0u);
+}
+
+TEST(Router, SuperviseOnceDetectsAWedgeOnTheVirtualClock)
+{
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP8");
+    EngineOptions opts;
+    opts.max_batch = 2;
+
+    // All requests share one prompt head, so prefix affinity pins the
+    // whole workload to ONE shard (the spill threshold below never
+    // trips). The other shards stay idle — and an idle shard is
+    // busy=false-exempt, so it can never be falsely suspected no
+    // matter how this test's threads are scheduled: only the busy,
+    // wedge-destined shard can ever be declared dead.
+    std::vector<ServeRequest> reqs(8);
+    const auto head = tokenRamp(40, 3);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].prompt = head;
+        const auto tail = tokenRamp(4 + i, static_cast<int>(31 + i));
+        reqs[i].prompt.insert(reqs[i].prompt.end(), tail.begin(),
+                              tail.end());
+        reqs[i].max_new_tokens = 12;
+    }
+    ServingEngine golden(model, qc, opts);
+    std::vector<size_t> gids;
+    for (const auto &r : reqs)
+        gids.push_back(golden.submit(r));
+    golden.runToCompletion();
+
+    RouterOptions router;
+    router.num_shards = 3;
+    router.spill_threshold = 100.0; // affinity never spills
+    router.heartbeat_timeout_ms = 50.0; // VIRTUAL ms (see below)
+    router.health_tick_ms = 0.0; // no supervisor thread: the test ticks
+    router.fault.seed = 7;
+    router.fault.p_shard_wedge = 1.0; // wedges at the first busy poll
+    router.max_crash_faults = 1;      // at most one real wedge fires
+    ShardedFrontEnd fe(model, qc, opts, router);
+
+    std::vector<uint64_t> tickets;
+    for (const auto &r : reqs)
+        tickets.push_back(fe.submit(r));
+
+    // The supervisor role, on a clock this test owns: tick
+    // superviseOnce with a virtual timestamp until the fleet drains.
+    // The detector only ever sees these timestamps, so staleness — and
+    // with it detection — is measured purely in virtual ms; the 1 ms
+    // wall sleep per 10 virtual ms only paces the loop. auto_failover
+    // then re-routes the wedged shard's tickets from inside our tick.
+    std::atomic<bool> drained{false};
+    std::thread ticker([&] {
+        double vnow = 0.0;
+        while (!drained.load(std::memory_order_acquire)) {
+            fe.superviseOnce(vnow);
+            vnow += 10.0;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+    fe.drain();
+    drained.store(true, std::memory_order_release);
+    ticker.join();
+
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        const RequestStats &s = fe.stats(tickets[i]);
+        EXPECT_EQ(s.outcome, RequestOutcome::kCompleted) << "req " << i;
+        ASSERT_EQ(s.generated, golden.stats(gids[i]).generated)
+            << "req " << i;
+    }
+    const FleetHealthStats hs = fe.healthStats();
+    EXPECT_GE(hs.dead_detected, 1u) << "wedged shard never detected";
+    EXPECT_GE(hs.failed_shards, 1u); // auto_failover recovered it
+    EXPECT_EQ(hs.refused_submits, 0u);
+    EXPECT_GE(fe.liveShards(), 1u);
+    EXPECT_DOUBLE_EQ(fe.engineStats().goodput_ok_fraction, 1.0);
+    EXPECT_TRUE(fe.auditInvariants());
+}
+
+TEST(Router, HealthySlowFleetIsNeverFalselyFailed)
+{
+    // False-positive guard: a fleet that is merely SLOW (every step
+    // sleeps) but progressing must never be declared dead, no matter
+    // how aggressively the wall-clock supervisor ticks.
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    EngineOptions opts;
+    opts.max_batch = 2;
+
+    RouterOptions router;
+    router.num_shards = 2;
+    router.heartbeat_timeout_ms = 60000.0; // generous vs ~1ms steps
+    router.health_tick_ms = 1.0;           // tick as hard as possible
+    router.fault.seed = 11;
+    router.fault.p_shard_slow = 1.0; // every step delayed
+    router.fault.slow_sleep_ms = 1.0;
+    ShardedFrontEnd fe(model, qc, opts, router);
+
+    const auto reqs = makeRequests(8);
+    const auto stats = runThroughClient(fe, reqs);
+    for (const auto &s : stats)
+        EXPECT_EQ(s.outcome, RequestOutcome::kCompleted);
+
+    const FleetHealthStats hs = fe.healthStats();
+    EXPECT_EQ(hs.dead_detected, 0u);
+    EXPECT_EQ(hs.failed_shards, 0u);
+    EXPECT_EQ(fe.liveShards(), 2u);
+    EXPECT_EQ(fe.shardHealth(0), ShardHealth::kHealthy);
+    EXPECT_EQ(fe.shardHealth(1), ShardHealth::kHealthy);
+    EXPECT_TRUE(fe.auditInvariants());
+}
+
+// ----------------------------------------------- bounded-wait submission --
+
+TEST(Router, ProducerNeverHangsOnWedgedShards)
+{
+    // The satellite regression: both shards wedge with tiny rings and
+    // NO health monitor (nothing will ever recover them) — every
+    // submit must still return within the bound, refused tickets must
+    // be terminal kShed, and destruction must not hang.
+    const Transformer model(tinyConfig());
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP8");
+    EngineOptions opts;
+    opts.max_batch = 2;
+
+    RouterOptions router;
+    router.num_shards = 2;
+    router.ring_capacity = 2;
+    router.policy = RoutePolicy::kRoundRobin;
+    router.submit_timeout_ms = 150.0;
+    router.fault.seed = 3;
+    router.fault.p_shard_wedge = 1.0;
+    router.max_crash_faults = 2; // BOTH shards may wedge
+    ShardedFrontEnd fe(model, qc, opts, router);
+
+    ServeRequest seedreq;
+    seedreq.prompt = tokenRamp(16, 5);
+    seedreq.max_new_tokens = 8;
+    // Two tickets make both shards busy so their wedges fire, then a
+    // short wait lets the wedges land.
+    const uint64_t t0 = fe.submit(seedreq);
+    const uint64_t t1 = fe.submit(seedreq);
+    (void)t0;
+    (void)t1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // Burst against the dead fleet. Per submit the wait is bounded by
+    // submit_timeout_ms; the generous wall assertion below only guards
+    // against the old unbounded spin (which would hang forever).
+    constexpr size_t kBurst = 8;
+    std::vector<uint64_t> tickets;
+    std::vector<double> submit_ms;
+    for (size_t i = 0; i < kBurst; ++i) {
+        const auto begin = std::chrono::steady_clock::now();
+        tickets.push_back(fe.submit(seedreq));
+        submit_ms.push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - begin)
+                .count());
+    }
+    for (size_t i = 0; i < kBurst; ++i)
+        EXPECT_LT(submit_ms[i], 10 * router.submit_timeout_ms)
+            << "submit " << i << " exceeded the bound";
+
+    // With both rings (capacity 2 each) frozen, the burst must
+    // overflow: refusals happened, and each refused ticket is already
+    // terminal kShed — wait() returns immediately instead of hanging
+    // on a stream no shard will ever publish.
+    const FleetHealthStats hs = fe.healthStats();
+    EXPECT_GT(hs.refused_submits, 0u);
+    size_t shed = 0;
+    for (size_t i = 0; i < kBurst; ++i) {
+        if (submit_ms[i] >= router.submit_timeout_ms) {
+            EXPECT_EQ(fe.wait(tickets[i]), RequestOutcome::kShed);
+            ++shed;
+        }
+    }
+    EXPECT_EQ(shed, hs.refused_submits);
+
+    // cancel() against the wedged fleet is bounded too (flag-only
+    // fallback past the deadline).
+    const auto cbegin = std::chrono::steady_clock::now();
+    fe.cancel(tickets.back());
+    const double cancel_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - cbegin)
+            .count();
+    EXPECT_LT(cancel_ms, 10 * router.submit_timeout_ms);
+    // Destructor liveness: ~ShardedFrontEnd stops the wedged threads
+    // (the wedge loop polls stop) — the test RETURNING is the proof.
+}
+
+// --------------------------------------- shard-level chaos episodes --
+
+std::vector<uint64_t>
+routerChaosSeeds()
+{
+    if (const char *one = std::getenv("MXPLUS_CHAOS_SEED"))
+        return {std::strtoull(one, nullptr, 10)};
+    if (const char *many = std::getenv("MXPLUS_CHAOS_SEEDS")) {
+        std::vector<uint64_t> seeds;
+        const std::string s(many);
+        size_t pos = 0;
+        while (pos < s.size()) {
+            size_t next = s.find(',', pos);
+            if (next == std::string::npos)
+                next = s.size();
+            if (next > pos) {
+                seeds.push_back(std::strtoull(
+                    s.substr(pos, next - pos).c_str(), nullptr, 10));
+            }
+            pos = next + 1;
+        }
+        if (!seeds.empty())
+            return seeds;
+    }
+    return {1, 2, 3};
+}
+
+/** Repro artifact for a failed shard-chaos episode (CI uploads every
+    chaos_failure_*.txt): seed, knobs, and each shard's exact fault
+    schedule. */
+void
+writeRouterFailureArtifact(const ShardedFrontEnd &fe, const char *fmt,
+                           uint64_t seed)
+{
+    std::string clean;
+    for (const char *p = fmt; *p != '\0'; ++p)
+        clean.push_back(*p == '+' ? 'p' : *p);
+    std::ofstream out("chaos_failure_router_" + clean + "_" +
+                      std::to_string(seed) + ".txt");
+    out << "router shard-chaos episode FAILED\n"
+        << "format: " << fmt << "\n"
+        << "seed:   " << seed << "\n"
+        << "repro:  MXPLUS_CHAOS_SEED=" << seed
+        << " ./test_router --gtest_filter="
+        << "'Router.ShardChaosFailoverKeepsStreamsBitExact'\n";
+    const FleetHealthStats hs = fe.healthStats();
+    out << "detections: " << hs.dead_detected
+        << "  failovers: " << hs.failed_shards
+        << "  reroutes: " << hs.failover_reroutes
+        << "  refusals: " << hs.refused_submits << "\n";
+    for (size_t s = 0; s < fe.numShards(); ++s) {
+        out << "shard " << s << " ("
+            << (fe.shardFailed(s) ? "failed"
+                                  : fe.shardRetired(s) ? "retired"
+                                                       : "live")
+            << ") fault schedule (seed " << seed + s << "):\n"
+            << fe.shardFaultSchedule(s) << "\n";
+    }
+}
+
+/** One shard-chaos episode: all three shard-level fault sites armed on
+    every shard, wall-clock supervision with auto-failover, streams
+    checked bit-exact against a fault-free golden with exactly-once
+    delivery through nextToken(). Returns shards crash-failed. */
+size_t
+runShardChaosEpisode(const Transformer &model, const char *fmt,
+                     uint64_t seed)
+{
+    SCOPED_TRACE(std::string(fmt) + " seed " + std::to_string(seed));
+    const bool failed_before = ::testing::Test::HasFailure();
+    const QuantConfig qc = QuantConfig::fromFormat(fmt);
+
+    EngineOptions opts;
+    opts.max_batch = 2; // long busy window: crash sites get many draws
+
+    std::vector<ServeRequest> reqs(12);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].prompt = tokenRamp(18 + 5 * (i % 3), static_cast<int>(3 + i));
+        reqs[i].max_new_tokens = 20;
+        if (i % 4 == 1) {
+            reqs[i].temperature = 0.8; // rng reseed must survive failover
+            reqs[i].seed = 500 + i;
+        }
+    }
+
+    ServingEngine golden(model, qc, opts);
+    std::vector<size_t> gids;
+    for (const auto &r : reqs)
+        gids.push_back(golden.submit(r));
+    golden.runToCompletion();
+
+    RouterOptions router;
+    router.num_shards = 4;
+    router.fault.seed = seed;
+    router.fault.p_shard_wedge = 0.05;
+    router.fault.p_shard_death = 0.05;
+    router.fault.p_shard_slow = 0.10;
+    router.fault.slow_sleep_ms = 1.0;
+    router.heartbeat_timeout_ms = 60.0; // wall: wedge/death detect fast
+    router.degraded_after_ms = 15.0;    // slow shards route around
+    router.health_tick_ms = 5.0;
+    router.auto_failover = true;
+    router.submit_timeout_ms = 30000.0; // refusal would mask a hang
+    // max_crash_faults defaults to num_shards - 1: chaos may kill up
+    // to three of the four shards, never the last.
+    ShardedFrontEnd fe(model, qc, opts, router);
+
+    std::vector<uint64_t> tickets;
+    for (const auto &r : reqs)
+        tickets.push_back(fe.submit(r));
+
+    // Exactly-once delivery is asserted at the STREAM surface: each
+    // consumer collects its ticket's tokens across any number of
+    // wedges, deaths and failovers underneath.
+    std::vector<std::vector<int>> delivered(tickets.size());
+    std::vector<std::thread> consumers;
+    for (size_t i = 0; i < tickets.size(); ++i) {
+        consumers.emplace_back([&, i] {
+            int tok = 0;
+            while (fe.nextToken(tickets[i], &tok))
+                delivered[i].push_back(tok);
+        });
+    }
+    for (auto &t : consumers)
+        t.join();
+    fe.drain();
+
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        const RequestStats &s = fe.stats(tickets[i]);
+        // Nothing cancels and the submit timeout is generous, so every
+        // ticket must complete — and bit-equal the fault-free golden,
+        // delivered exactly once.
+        EXPECT_EQ(s.outcome, RequestOutcome::kCompleted) << "req " << i;
+        EXPECT_EQ(s.generated, golden.stats(gids[i]).generated)
+            << "req " << i;
+        EXPECT_EQ(delivered[i], s.generated) << "req " << i;
+    }
+
+    // Surviving-fleet closure: per-ticket ledger exact, detection and
+    // failover counters consistent, survivors' pools at zero.
+    const EngineStats &fleet = fe.engineStats();
+    EXPECT_DOUBLE_EQ(fleet.goodput_ok_fraction, 1.0);
+    EXPECT_EQ(fleet.cancelled_requests, 0u);
+    const FleetHealthStats hs = fe.healthStats();
+    EXPECT_EQ(hs.refused_submits, 0u);
+    EXPECT_LE(hs.failed_shards, router.num_shards - 1);
+    EXPECT_GE(fe.liveShards(), 1u);
+    EXPECT_TRUE(fe.auditInvariants());
+    for (size_t s = 0; s < fe.numShards(); ++s) {
+        if (!fe.shardFailed(s)) {
+            EXPECT_EQ(fe.shardEngine(s).kvBytesLive(), 0u)
+                << "shard " << s;
+        }
+    }
+
+    if (!failed_before && ::testing::Test::HasFailure())
+        writeRouterFailureArtifact(fe, fmt, seed);
+    return hs.failed_shards;
+}
+
+TEST(Router, ShardChaosFailoverKeepsStreamsBitExact)
+{
+    const Transformer model(tinyConfig());
+    size_t total_failovers = 0;
+    for (const char *fmt : kFormats) {
+        for (const uint64_t seed : routerChaosSeeds())
+            total_failovers += runShardChaosEpisode(model, fmt, seed);
+    }
+    // Across 9 episodes with every shard-level site armed, chaos that
+    // never once crashed a shard means the sites are dead code, not
+    // that the fleet got lucky.
+    EXPECT_GT(total_failovers, 0u);
 }
 
 } // namespace

@@ -22,7 +22,11 @@ compared apples-to-apples:
                         and judged machine-independent), sharded-fleet
                         workloads ttft_p50_ms and kv_bytes_peak (serial
                         lock-step simulation on the virtual clock — the
-                        affinity-vs-round-robin routing delta). Rows with
+                        affinity-vs-round-robin routing delta), and the
+                        sharded-failover workload ttft_p99_ms and
+                        goodput_ok_fraction (one shard killed mid-run;
+                        the rerouted tail must hold and no request may
+                        be lost). Rows with
                         num_threads != 1 (decode worker pool, async
                         front end) are never gated — CI runners are
                         single-core — but their token streams are
@@ -86,11 +90,11 @@ MACHINE_INDEPENDENT = {"kv_bytes_peak", "goodput_ok_fraction"}
 # against the folded key, which is space-delimited — "poisson-async"
 # does not match " poisson " (and is never gated anyway). The serial
 # sharded-fleet rows (sharded-ref / sharded-affinity /
-# sharded-roundrobin) are deterministic lock-step simulations on the
-# same virtual clock; "sharded-async" runs real shard threads and is
-# already excluded by its num_threads.
+# sharded-roundrobin / sharded-failover) are deterministic lock-step
+# simulations on the same virtual clock; "sharded-async" runs real
+# shard threads and is already excluded by its num_threads.
 VIRTUAL_CLOCK_WORKLOADS = ("poisson", "sharded-ref", "sharded-affinity",
-                           "sharded-roundrobin")
+                           "sharded-roundrobin", "sharded-failover")
 # Extra metrics gated per workload family, on top of the throughput
 # metrics every serving row gets: the shared-prefix rows exist for
 # their latency/memory wins, the bursty rows for the tail-latency
@@ -106,6 +110,11 @@ WORKLOAD_GATED_METRICS = {
     # is the load-balance price it pays — both must hold steady, and
     # both are deterministic on the virtual clock.
     "sharded": ("ttft_p50_ms", "kv_bytes_peak"),
+    # Crash-failover row: goodput must stay 1.0 (a killed shard never
+    # loses a request) and ttft_p99_ms bounds the rerouted tail (the
+    # re-prefill on the survivor) — both pure functions of scheduling
+    # on the virtual clock.
+    "sharded-failover": ("ttft_p99_ms", "goodput_ok_fraction"),
 }
 
 
@@ -190,6 +199,12 @@ def serving_metrics(doc):
         elif workload.startswith("bursty"):
             workload = "%s %s" % (workload, bursty_tag)
             gated = WORKLOAD_GATED_METRICS["bursty"]
+        elif workload.startswith("sharded-failover"):
+            # Must match before the generic sharded branch: the
+            # failover row gates the rerouted tail + goodput, not the
+            # routing-policy metrics.
+            workload = "%s %s" % (workload, sharded_tag)
+            gated = WORKLOAD_GATED_METRICS["sharded-failover"]
         elif workload.startswith("sharded"):
             # "sharded-async" never reaches here (num_threads ==
             # num_shards, filtered above); the serial fleet rows and
