@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/page_codec.h"
 #include "common/rng.h"
 #include "kernels/kernel_dispatch.h"
 #include "mx/mx_quantizer.h"
@@ -169,6 +170,53 @@ benchPack(ElementFormat fmt, MxMode mode, size_t rows, size_t cols,
     return r;
 }
 
+/**
+ * Page-codec encode/decode GB/s over fakeQuantized K/V codes — the
+ * exact data frozen KV pages hold, so the throughput (and the ratio
+ * the encoder achieves) matches what KvPagePool::compressPage and
+ * pageRegion see in serving. GB/s counts payload (float) bytes, the
+ * serving-relevant side of the stream. ref_gbps is the scalar
+ * "reference" codec, simd_gbps the AVX2 "simd" codec (falls back to
+ * reference where AVX2 is unavailable, like KernelDispatch does).
+ */
+QuantResult
+benchCodec(const char *api, ElementFormat fmt, MxMode mode, size_t rows,
+           size_t cols, double min_time)
+{
+    const MxQuantizer q(fmt, mode);
+    const auto data = randomActivations(rows * cols, 5);
+    std::vector<float> codes(data.size());
+    KernelDispatch::quantizeRows(KernelBackend::Reference, q, data.data(),
+                                 codes.data(), rows, cols);
+    const double bytes =
+        static_cast<double>(codes.size()) * sizeof(float);
+    const bool decode = std::strcmp(api, "codecDecode") == 0;
+
+    auto run = [&](const PageCodec *codec) {
+        std::vector<uint8_t> stream;
+        codec->encode(codes.data(), codes.size(), stream);
+        std::vector<float> out(codes.size());
+        std::vector<uint8_t> scratch;
+        const double sec = timeIt(
+            [&] {
+                if (decode) {
+                    codec->decode(stream.data(), stream.size(),
+                                  out.data(), out.size());
+                } else {
+                    codec->encode(codes.data(), codes.size(), scratch);
+                }
+            },
+            min_time);
+        return bytes / sec * 1e-9;
+    };
+    const PageCodec *reference = pageCodecByName("reference");
+    const PageCodec *simd = pageCodecByName("simd");
+    QuantResult r{q.name(), mxModeName(mode), api, 0.0, 0.0};
+    r.ref_gbps = run(reference);
+    r.simd_gbps = run(simd != nullptr ? simd : reference);
+    return r;
+}
+
 } // namespace
 } // namespace mxplus
 
@@ -230,6 +278,20 @@ main(int argc, char **argv)
     quant.push_back(
         benchPack(ElementFormat::E2M1, MxMode::Plus, qrows, qcols,
                   min_time));
+    // Frozen-page codec rows: encode and decode throughput over the
+    // K/V code distributions the serving pool actually compresses.
+    for (const char *api : {"codecEncode", "codecDecode"}) {
+        for (const auto &[fmt, mode] :
+             {std::pair<ElementFormat, MxMode>{ElementFormat::E2M1,
+                                               MxMode::Plus},
+              std::pair<ElementFormat, MxMode>{ElementFormat::E4M3,
+                                               MxMode::Standard}}) {
+            std::fprintf(stderr, "codec %s %d/%d...\n", api,
+                         static_cast<int>(fmt), static_cast<int>(mode));
+            quant.push_back(
+                benchCodec(api, fmt, mode, qrows, qcols, min_time));
+        }
+    }
 
     FILE *out = stdout;
     if (out_path != nullptr) {

@@ -59,6 +59,18 @@
  * prefix instead of N); tools/check_bench.py gates both for this
  * workload.
  *
+ * The compressed pairs measure frozen-page compression's capacity win
+ * at unchanged numerics: "shared-prefix-budget" vs
+ * "shared-prefix-compressed" run the shared-prefix workload under the
+ * SAME kv_budget_tokens (warmed, so the head is published — and, when
+ * on, compressed — before the burst), and the bench FATALs unless the
+ * compressed run's streams are bit-identical, its kv_bytes_peak is
+ * lower AND it admits strictly more of the burst before the first
+ * deferral. "sharded-compressed" reruns the affinity fleet with
+ * compression armed on every shard under the same stream-equality and
+ * lower-residency requirements. tools/check_bench.py gates ttft_p50_ms
+ * and kv_bytes_peak for all three rows.
+ *
  * The sharded workload is four request families (per-family shared
  * system prompts + distinct tails) served by a 4-shard fleet under
  * both routing policies, next to a single-engine reference, a
@@ -126,6 +138,9 @@ struct RunResult
     size_t timed_out = 0;
     size_t cancelled = 0;
     size_t checksum_failures = 0;
+    size_t kv_bytes_reserved_peak = 0;
+    double compressed_ratio = 1.0;
+    size_t admitted_before_first_defer = 0;
     double goodput_ok_fraction = 0.0;
     double speedup_vs_batch1 = 0.0;
     size_t num_threads = 1;    ///< EngineOptions::num_threads of the run
@@ -376,6 +391,9 @@ collectResult(const ServingEngine &engine, const Transformer &model,
     res.timed_out = es.timed_out_requests;
     res.cancelled = es.cancelled_requests;
     res.checksum_failures = es.checksum_failures;
+    res.kv_bytes_reserved_peak = es.kv_bytes_reserved_peak;
+    res.compressed_ratio = es.compressed_ratio;
+    res.admitted_before_first_defer = es.admitted_before_first_defer;
     res.goodput_ok_fraction = es.goodput_ok_fraction;
 
     std::vector<double> ttfts;
@@ -408,6 +426,43 @@ runConfig(const Transformer &model, const std::string &format,
         ids.push_back(engine.submit(req));
 
     if (!engine.runToCompletion(kMaxBenchSteps)) {
+        std::fprintf(stderr,
+                     "bench_serving: FATAL %s %s did not drain within "
+                     "%zu steps — scheduler livelock\n",
+                     format.c_str(), workload_name.c_str(),
+                     kMaxBenchSteps);
+        std::exit(1);
+    }
+    return collectResult(engine, model, format, workload_name, reqs, ids,
+                         opts);
+}
+
+/**
+ * Budgeted shared-prefix pair runner: request 0 runs alone first, so
+ * the shared head is published (and, when compression is on,
+ * compressed) before the rest of the requests arrive as one burst.
+ * The admission window therefore sees the cached head at its
+ * RESIDENT charge — with compress_frozen_pages the same
+ * kv_budget_tokens leaves a strictly wider window, so strictly more
+ * of the burst admits before the first deferral. That capacity win
+ * (admitted_before_first_defer, plus the lower kv_bytes_peak) is what
+ * the shared-prefix-budget / shared-prefix-compressed pair measures.
+ */
+RunResult
+runWarmedBudgetConfig(const Transformer &model, const std::string &format,
+                      const std::string &workload_name,
+                      const std::vector<ServeRequest> &reqs,
+                      EngineOptions opts)
+{
+    const QuantConfig qc = QuantConfig::fromFormat(format);
+    ServingEngine engine(model, qc, opts);
+    std::vector<size_t> ids(reqs.size());
+    ids[0] = engine.submit(reqs[0]);
+    bool drained = engine.runToCompletion(kMaxBenchSteps);
+    for (size_t r = 1; drained && r < reqs.size(); ++r)
+        ids[r] = engine.submit(reqs[r]);
+    drained = drained && engine.runToCompletion(kMaxBenchSteps);
+    if (!drained) {
         std::fprintf(stderr,
                      "bench_serving: FATAL %s %s did not drain within "
                      "%zu steps — scheduler livelock\n",
@@ -532,6 +587,9 @@ runPoissonAsync(const Transformer &model, const std::string &format,
     res.timed_out = es.timed_out_requests;
     res.cancelled = es.cancelled_requests;
     res.checksum_failures = es.checksum_failures;
+    res.kv_bytes_reserved_peak = es.kv_bytes_reserved_peak;
+    res.compressed_ratio = es.compressed_ratio;
+    res.admitted_before_first_defer = es.admitted_before_first_defer;
     res.goodput_ok_fraction = es.goodput_ok_fraction;
     std::vector<double> ttfts;
     std::vector<double> token_ms;
@@ -614,6 +672,7 @@ runShardedSim(const Transformer &model, const std::string &format,
             (tokens + pt - 1) / pt * layers * page_bytes;
     }
     double occupancy_weight = 0.0;
+    double ratio_sum = 0.0;
     for (const auto &sh : shards) {
         const EngineStats &es = sh->engineStats();
         res.throughput_tok_s += es.throughput_tokens_per_s;
@@ -632,9 +691,15 @@ runShardedSim(const Transformer &model, const std::string &format,
         res.timed_out += es.timed_out_requests;
         res.cancelled += es.cancelled_requests;
         res.checksum_failures += es.checksum_failures;
+        res.kv_bytes_reserved_peak += es.kv_bytes_reserved_peak;
+        res.admitted_before_first_defer += es.admitted_before_first_defer;
+        ratio_sum += es.compressed_ratio;
     }
     if (occupancy_weight > 0.0)
         res.mean_batch_occupancy /= occupancy_weight;
+    // Every shard sees the same traffic mix, so the plain mean is an
+    // honest fleet-level compression figure.
+    res.compressed_ratio = ratio_sum / static_cast<double>(num_shards);
 
     std::vector<double> ttfts;
     std::vector<double> token_ms;
@@ -810,6 +875,8 @@ runShardedFailoverSim(const Transformer &model, const std::string &format,
         res.timed_out += es.timed_out_requests;
         res.cancelled += es.cancelled_requests;
         res.checksum_failures += es.checksum_failures;
+        res.kv_bytes_reserved_peak += es.kv_bytes_reserved_peak;
+        res.admitted_before_first_defer += es.admitted_before_first_defer;
     }
     if (occupancy_weight > 0.0)
         res.mean_batch_occupancy /= occupancy_weight;
@@ -891,6 +958,9 @@ runShardedAsync(const Transformer &model, const std::string &format,
     res.timed_out = es.timed_out_requests;
     res.cancelled = es.cancelled_requests;
     res.checksum_failures = es.checksum_failures;
+    res.kv_bytes_reserved_peak = es.kv_bytes_reserved_peak;
+    res.compressed_ratio = es.compressed_ratio;
+    res.admitted_before_first_defer = es.admitted_before_first_defer;
     res.goodput_ok_fraction = es.goodput_ok_fraction;
     std::vector<double> ttfts;
     std::vector<double> token_ms;
@@ -935,6 +1005,8 @@ printResult(FILE *out, const RunResult &r, bool last)
         "\"queue_wait_ms_p50\": %.2f, \"queue_wait_ms_p99\": %.2f, "
         "\"shed\": %zu, \"timed_out\": %zu, \"cancelled\": %zu, "
         "\"checksum_failures\": %zu, "
+        "\"kv_bytes_reserved_peak\": %zu, \"compressed_ratio\": %.2f, "
+        "\"admitted_before_first_defer\": %zu, "
         "\"goodput_ok_fraction\": %.3f}%s\n",
         r.format.c_str(), r.workload.c_str(), r.batch, r.num_threads,
         rps, r.throughput_tok_s, r.decode_tok_s, r.speedup_vs_batch1,
@@ -944,7 +1016,9 @@ printResult(FILE *out, const RunResult &r, bool last)
         r.admission_deferred_steps, r.prefix_hit_tokens, r.preemptions,
         r.preempted_recompute_tokens, r.queue_wait_ms_p50,
         r.queue_wait_ms_p99, r.shed, r.timed_out, r.cancelled,
-        r.checksum_failures, r.goodput_ok_fraction, last ? "" : ",");
+        r.checksum_failures, r.kv_bytes_reserved_peak,
+        r.compressed_ratio, r.admitted_before_first_defer,
+        r.goodput_ok_fraction, last ? "" : ",");
 }
 
 } // namespace
@@ -1168,6 +1242,7 @@ main(int argc, char **argv)
     const size_t tail_len = 32;
     const size_t shared_new = 16;
     const size_t shared_cache_tokens = 1024;
+    const size_t shared_budget_tokens = 512;
     for (const auto &fmt : shared_formats) {
         std::fprintf(stderr, "serving %s shared-prefix...\n",
                      fmt.c_str());
@@ -1190,8 +1265,53 @@ main(int argc, char **argv)
                          fmt.c_str());
             return 1;
         }
+
+        // Compressed frozen pages vs the plain pool at the SAME
+        // kv_budget_tokens, both warmed so the shared head is already
+        // published (and compressed) when the burst arrives. Streams
+        // must stay bit-identical, residency must drop, and the burst
+        // must admit strictly further before the first deferral —
+        // compression is a capacity decision, never a numerics one.
+        EngineOptions budgeted = opts;
+        budgeted.kv_budget_tokens = shared_budget_tokens;
+        RunResult base = runWarmedBudgetConfig(
+            model, fmt, "shared-prefix-budget", reqs, budgeted);
+        EngineOptions comp_opts = budgeted;
+        comp_opts.compress_frozen_pages = true;
+        RunResult comp = runWarmedBudgetConfig(
+            model, fmt, "shared-prefix-compressed", reqs, comp_opts);
+        if (comp.streams != base.streams ||
+            base.streams != cached.streams) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s shared-prefix token "
+                         "streams diverge with compressed frozen pages "
+                         "— the codec must be bit-lossless\n",
+                         fmt.c_str());
+            return 1;
+        }
+        if (comp.admitted_before_first_defer <=
+                base.admitted_before_first_defer ||
+            comp.kv_bytes_peak >= base.kv_bytes_peak) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s shared-prefix-"
+                         "compressed shows no capacity win at equal "
+                         "budget (admitted %zu vs %zu before first "
+                         "deferral, kv_bytes_peak %zu vs %zu)\n",
+                         fmt.c_str(), comp.admitted_before_first_defer,
+                         base.admitted_before_first_defer,
+                         comp.kv_bytes_peak, base.kv_bytes_peak);
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "  %s shared-prefix-compressed: ratio %.2fx, "
+                     "admitted %zu vs %zu before first deferral\n",
+                     fmt.c_str(), comp.compressed_ratio,
+                     comp.admitted_before_first_defer,
+                     base.admitted_before_first_defer);
         shared.push_back(std::move(cached));
         shared.push_back(std::move(plain));
+        shared.push_back(std::move(base));
+        shared.push_back(std::move(comp));
     }
 
     // Sharded fleet: the SAME multi-family workload served five ways —
@@ -1267,9 +1387,19 @@ main(int argc, char **argv)
             sharded_shards, affinity[0], sharded_kill_tick, opts);
         RunResult live = runShardedAsync(model, fmt, "sharded-async",
                                          reqs, router, opts);
+        // The affinity fleet again with frozen-page compression armed
+        // on every shard: per-family prefix copies shrink to their
+        // stream size, so the fleet's resident peak drops while the
+        // streams stay bit-identical to the single-engine reference.
+        EngineOptions comp_opts = opts;
+        comp_opts.compress_frozen_pages = true;
+        RunResult comp = runShardedSim(model, fmt, "sharded-compressed",
+                                       reqs, affinity, sharded_shards,
+                                       comp_opts);
         if (aff.streams != ref.streams || rr.streams != ref.streams ||
             failover.streams != ref.streams ||
-            live.streams != ref.streams) {
+            live.streams != ref.streams ||
+            comp.streams != ref.streams) {
             std::fprintf(stderr,
                          "bench_serving: FATAL %s sharded token streams "
                          "diverge from the single-engine reference — "
@@ -1277,11 +1407,26 @@ main(int argc, char **argv)
                          fmt.c_str());
             return 1;
         }
+        if (comp.kv_bytes_peak >= aff.kv_bytes_peak) {
+            std::fprintf(stderr,
+                         "bench_serving: FATAL %s sharded-compressed "
+                         "resident peak %zu did not drop below the "
+                         "uncompressed affinity fleet's %zu\n",
+                         fmt.c_str(), comp.kv_bytes_peak,
+                         aff.kv_bytes_peak);
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "  %s sharded-compressed: ratio %.2fx, "
+                     "kv_bytes_peak %zu vs %zu uncompressed\n",
+                     fmt.c_str(), comp.compressed_ratio,
+                     comp.kv_bytes_peak, aff.kv_bytes_peak);
         sharded.push_back(std::move(ref));
         sharded.push_back(std::move(aff));
         sharded.push_back(std::move(rr));
         sharded.push_back(std::move(failover));
         sharded.push_back(std::move(live));
+        sharded.push_back(std::move(comp));
     }
 
     FILE *out = stdout;
@@ -1353,9 +1498,11 @@ main(int argc, char **argv)
                  "\"shared_tokens\": %zu, \"tail_tokens\": %zu, "
                  "\"new_tokens_per_request\": %zu, "
                  "\"prefix_cache_tokens\": %zu, "
-                 "\"tokens_match_nocache\": true},\n",
+                 "\"budget_kv_tokens\": %zu, "
+                 "\"tokens_match_nocache\": true, "
+                 "\"tokens_match_compressed\": true},\n",
                  requests, shared_len, tail_len, shared_new,
-                 shared_cache_tokens);
+                 shared_cache_tokens, shared_budget_tokens);
     std::fprintf(out, "  \"shared\": [\n");
     for (size_t i = 0; i < shared.size(); ++i)
         printResult(out, shared[i], i + 1 == shared.size());
@@ -1369,7 +1516,8 @@ main(int argc, char **argv)
                  "\"failover_kill_tick\": %zu, "
                  "\"failover_kill_shard\": \"affinity-of-request-0\", "
                  "\"tokens_match_reference\": true, "
-                 "\"tokens_match_failover\": true},\n",
+                 "\"tokens_match_failover\": true, "
+                 "\"tokens_match_compressed\": true},\n",
                  sharded_families, sharded_per, sharded_shared_len,
                  sharded_tail_len, sharded_new, sharded_shards,
                  sharded_cache_tokens, sharded_kill_tick);

@@ -1,0 +1,32 @@
+#pragma once
+
+// Internals shared between the scalar page codec (src/codec) and its
+// AVX2 block unpacker (src/kernels/page_codec_avx2.cpp). Not part of
+// the public codec API.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mxplus::codec {
+
+/// Bitstream constants (see page_codec.cpp for the full layout).
+inline constexpr uint8_t kStreamVersion = 0xC1;
+inline constexpr unsigned kBlockElems = 32;
+inline constexpr size_t kHeaderBytes = 6; // version, block size, n (u32 LE)
+inline constexpr uint8_t kCtrlPacked = 0x80;
+inline constexpr uint8_t kCtrlHasZero = 0x40;
+inline constexpr uint8_t kCtrlEbitsMask = 0x0F;
+
+/// Unpacks one packed block of n elements (w = 1 + ebits + mbits bits
+/// each, LSB-first) starting at `p`. `avail` is the number of bytes
+/// readable at `p` up to the end of the whole stream buffer — the
+/// vector path may over-read within it past the block's own payload.
+/// Returns false when the AVX2 path cannot run (CPU without AVX2, or
+/// w too wide for the 32-bit gather window); the caller then uses the
+/// scalar unpacker. The unpacked bits are a bit-exact reconstruction,
+/// identical to the scalar path by construction.
+bool unpackBlockAvx2(const uint8_t *p, size_t avail, size_t n, unsigned w,
+                     unsigned ebits, unsigned mbits, unsigned ebase,
+                     bool has_zero, float *out);
+
+} // namespace mxplus::codec

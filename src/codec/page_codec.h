@@ -1,0 +1,68 @@
+#pragma once
+
+// Lossless block codecs for frozen KV pages.
+//
+// A frozen page's quantized K/V payload is a stream of fake-quantized
+// IEEE-754 floats whose entropy is far below 32 bits per element: a
+// block quantizer emits values drawn from a tiny code book around a
+// shared per-block exponent. The codecs here exploit exactly that —
+// per 32-element block they bitpack [sign | exponent-delta | used
+// mantissa bits] against the block's maximum biased exponent — while
+// staying *unconditionally lossless*: any element the packed form
+// cannot represent bit-exactly (denormals, infinities, NaNs, or a
+// block that simply does not compress) falls back to a raw 4-byte
+// copy. Decoding therefore reproduces the input float stream
+// bit-for-bit in every format, which is what keeps the serving
+// invariant (token streams bit-identical regardless of storage
+// layout) intact when compressed pages are read back.
+//
+// The registry follows the pisa codec family pattern: codecs are
+// looked up by name, `MXPLUS_PAGE_CODEC` overrides the request, and
+// "auto" resolves to the AVX2 decoder when the CPU supports it. Both
+// codecs share one scalar encoder so the bitstream is identical
+// across backends; they differ only in how blocks are unpacked.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mxplus {
+
+/// Abstract page codec. Implementations must be stateless and
+/// thread-safe: decode() runs concurrently from worker threads that
+/// share a compressed span.
+class PageCodec {
+  public:
+    virtual ~PageCodec() = default;
+
+    /// Registry name ("reference", "simd").
+    virtual const char *name() const = 0;
+
+    /// Encodes n floats into `out` (replaced, not appended). Returns
+    /// the encoded byte size. The bitstream is identical across
+    /// codecs — only decoding differs per backend.
+    virtual size_t encode(const float *in, size_t n,
+                          std::vector<uint8_t> &out) const = 0;
+
+    /// Decodes exactly n floats from `in`/`size` into `out`. Returns
+    /// false when the stream is malformed (bad header, truncated or
+    /// trailing bytes, out-of-range field widths); `out` contents are
+    /// unspecified in that case.
+    virtual bool decode(const uint8_t *in, size_t size, float *out,
+                        size_t n) const = 0;
+};
+
+/// Looks up a codec by registry name; nullptr when unknown.
+const PageCodec *pageCodecByName(const std::string &name);
+
+/// Resolves the codec to use: the MXPLUS_PAGE_CODEC environment
+/// variable overrides `requested`; "auto" picks "simd" when the CPU
+/// has AVX2+FMA and "reference" otherwise. Returns nullptr when the
+/// resulting name is unknown.
+const PageCodec *resolvePageCodec(const std::string &requested);
+
+/// All registered codecs, for property-test sweeps.
+std::vector<const PageCodec *> allPageCodecs();
+
+} // namespace mxplus

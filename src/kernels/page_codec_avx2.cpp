@@ -1,0 +1,148 @@
+// AVX2 block unpacker for the page codec bitstream (see
+// src/codec/page_codec.cpp for the layout). Eight elements per step:
+// a 32-bit gather at each element's byte offset, a variable right
+// shift by the residual bit offset, then mask/shift reassembly of
+// [sign | delta | mantissa] into IEEE-754 bits. The reconstruction is
+// pure bit manipulation — no arithmetic on float values — so the
+// output is identical to the scalar unpacker by construction; the
+// property harness (tests/test_page_codec.cpp) checks both backends
+// against each other on every stream.
+
+#include "codec/codec_internal.h"
+#include "kernels/kernel_dispatch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include <cstring>
+
+namespace mxplus::codec {
+
+namespace {
+
+/// Scalar reconstruction of one element, bit-identical to the vector
+/// lane math below; used for ragged tails and guard fallback.
+inline void
+unpackOneScalar(const uint8_t *p, size_t i, unsigned w, unsigned ebits,
+                unsigned mbits, unsigned ebase, bool has_zero, float *out)
+{
+    const size_t bit = i * w;
+    const size_t byte = bit >> 3;
+    const unsigned shift = static_cast<unsigned>(bit & 7);
+    uint64_t acc = 0;
+    const unsigned need = (shift + w + 7) / 8;
+    for (unsigned k = 0; k < need; ++k)
+        acc |= static_cast<uint64_t>(p[byte + k]) << (8 * k);
+    const uint32_t x =
+        static_cast<uint32_t>((acc >> shift) & ((1ull << w) - 1ull));
+    const uint32_t emask = (ebits == 0) ? 0u : ((1u << ebits) - 1u);
+    const uint32_t mmask = (mbits == 0) ? 0u : ((1u << mbits) - 1u);
+    const uint32_t s = x & 1u;
+    const uint32_t dlt = (x >> 1) & emask;
+    const uint32_t m = (x >> (1 + ebits)) & mmask;
+    uint32_t u;
+    if (has_zero && (ebits == 0 || dlt == emask)) {
+        u = s << 31;
+    } else {
+        const uint32_t e = (ebase - dlt) & 0xFF;
+        u = (s << 31) | (e << 23) | (m << (23 - mbits));
+    }
+    std::memcpy(out + i, &u, sizeof(u));
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("avx2"))) void
+unpackChunkAvx2(const uint8_t *p, size_t i0, unsigned w, unsigned ebits,
+                unsigned mbits, unsigned ebase, bool has_zero, float *out)
+{
+    alignas(32) int32_t offs[8];
+    alignas(32) int32_t shifts[8];
+    for (int k = 0; k < 8; ++k) {
+        const size_t bit = (i0 + static_cast<size_t>(k)) * w;
+        offs[k] = static_cast<int32_t>(bit >> 3);
+        shifts[k] = static_cast<int32_t>(bit & 7);
+    }
+    const __m256i off =
+        _mm256_load_si256(reinterpret_cast<const __m256i *>(offs));
+    const __m256i sh =
+        _mm256_load_si256(reinterpret_cast<const __m256i *>(shifts));
+    const __m256i raw =
+        _mm256_i32gather_epi32(reinterpret_cast<const int *>(p), off, 1);
+    __m256i x = _mm256_srlv_epi32(raw, sh);
+    x = _mm256_and_si256(x, _mm256_set1_epi32(
+                                static_cast<int>((1u << w) - 1u)));
+
+    const uint32_t emask = (ebits == 0) ? 0u : ((1u << ebits) - 1u);
+    const uint32_t mmask = (mbits == 0) ? 0u : ((1u << mbits) - 1u);
+    const __m256i sign = _mm256_slli_epi32(
+        _mm256_and_si256(x, _mm256_set1_epi32(1)), 31);
+    const __m256i dlt = _mm256_and_si256(
+        _mm256_srli_epi32(x, 1), _mm256_set1_epi32(static_cast<int>(emask)));
+    const __m256i mant = _mm256_and_si256(
+        _mm256_srli_epi32(x, static_cast<int>(1 + ebits)),
+        _mm256_set1_epi32(static_cast<int>(mmask)));
+    const __m256i expo = _mm256_and_si256(
+        _mm256_sub_epi32(_mm256_set1_epi32(static_cast<int>(ebase)), dlt),
+        _mm256_set1_epi32(0xFF));
+    __m256i u = _mm256_or_si256(
+        sign, _mm256_or_si256(
+                  _mm256_slli_epi32(expo, 23),
+                  _mm256_slli_epi32(mant, static_cast<int>(23 - mbits))));
+    if (has_zero) {
+        const __m256i zero_mask =
+            (ebits == 0)
+                ? _mm256_set1_epi32(-1)
+                : _mm256_cmpeq_epi32(
+                      dlt, _mm256_set1_epi32(static_cast<int>(emask)));
+        u = _mm256_blendv_epi8(u, sign, zero_mask);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i0), u);
+}
+
+#endif // x86
+
+} // namespace
+
+bool
+unpackBlockAvx2(const uint8_t *p, size_t avail, size_t n, unsigned w,
+                unsigned ebits, unsigned mbits, unsigned ebase,
+                bool has_zero, float *out)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    // The gather window is 32 bits starting at a byte boundary, so
+    // after the ≤7-bit residual shift only w ≤ 25 fits; wider blocks
+    // (near-raw entropy anyway) take the scalar path.
+    if (w > 25 || !KernelDispatch::cpuHasAvx2Fma())
+        return false;
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // Each lane gathers 4 bytes; stop vectorizing once the last
+        // lane of this chunk would read past the stream buffer (the
+        // over-read stays inside later blocks of the same buffer
+        // otherwise, which is safe).
+        const size_t last_byte = ((i + 7) * w) >> 3;
+        if (last_byte + 4 > avail)
+            break;
+        unpackChunkAvx2(p, i, w, ebits, mbits, ebase, has_zero, out);
+    }
+    for (; i < n; ++i)
+        unpackOneScalar(p, i, w, ebits, mbits, ebase, has_zero, out);
+    return true;
+#else
+    (void)p;
+    (void)avail;
+    (void)n;
+    (void)w;
+    (void)ebits;
+    (void)mbits;
+    (void)ebase;
+    (void)has_zero;
+    (void)out;
+    (void)&unpackOneScalar;
+    return false;
+#endif
+}
+
+} // namespace mxplus::codec

@@ -222,6 +222,18 @@ Transformer::attentionBlock(size_t layer, const Matrix &x,
     const TensorQuantizer &qk_quant =
         qc.qk_override ? *qc.qk_override : *qc.attention;
 
+    // Whole-layer K/V gathered from the cache ONCE, outside the head
+    // loop: each page is visited (and, when compressed, decoded) once
+    // per layer instead of once per head. The per-head operands below
+    // are pure column/row slices of these, so every head's arithmetic
+    // — and therefore the tokens — is unchanged.
+    Matrix all_k;  // [kv_len x d], quantized K rows
+    Matrix all_vt; // [d x kv_len], quantized seq-major V
+    if (cache != nullptr) {
+        cache->gatherKeys(layer, all_k);
+        cache->gatherValuesT(layer, all_vt);
+    }
+
     for (size_t hd = 0; hd < heads; ++hd) {
         const size_t c0 = hd * dh;
         // Slice this head's Q ([T x dh], contiguous along head dim so MX
@@ -238,8 +250,16 @@ Transformer::attentionBlock(size_t layer, const Matrix &x,
         Matrix khq; // [kv_len x dh]
         Matrix vtq; // [dh x kv_len]
         if (cache != nullptr) {
-            cache->headKeys(layer, hd, khq);
-            cache->headValuesT(layer, hd, vtq);
+            khq = Matrix(kv_len, dh);
+            for (size_t t = 0; t < kv_len; ++t) {
+                for (size_t c = 0; c < dh; ++c)
+                    khq.at(t, c) = all_k.at(t, c0 + c);
+            }
+            vtq = Matrix(dh, kv_len);
+            for (size_t c = 0; c < dh; ++c) {
+                for (size_t t = 0; t < kv_len; ++t)
+                    vtq.at(c, t) = all_vt.at(c0 + c, t);
+            }
         } else {
             Matrix kh(t_len, dh);
             Matrix vt(dh, t_len);
@@ -303,45 +323,71 @@ Transformer::attendRowOverCache(size_t layer, const float *q_row,
     // (prefix sharing); both are read through the same pageData views,
     // so sharing changes which slab an address resolves to, never the
     // arithmetic.
-    std::vector<float> qhq(dh);
-    std::vector<float> scores(len);
+    // The walk is PAGE-OUTER, heads inner: with compressed shared
+    // pages each page region decodes once per token instead of once
+    // per head (the decode scratch caches a single page). Every score
+    // and every head's reduction is independent, so interchanging the
+    // head and page loops leaves each head's arithmetic — operands,
+    // order, accumulators — exactly as in the head-outer original.
+    const size_t d = cfg_.d_model;
+    std::vector<float> qhq(heads * dh);
+    std::vector<float> scores(heads * len);
     std::vector<float> pq(len);
     // Gather scratch for the multi-page P·V case only; while the
     // sequence fits one page the matvec reads the page slab directly.
     std::vector<float> vhead;
     if (len > pt)
-        vhead.resize(dh * len);
-    for (size_t hd = 0; hd < heads; ++hd) {
-        const size_t c0 = hd * dh;
-        qk_quant.quantizeRows(q_row + c0, qhq.data(), 1, dh);
+        vhead.resize(d * len);
 
+    for (size_t hd = 0; hd < heads; ++hd) {
+        qk_quant.quantizeRows(q_row + hd * dh, qhq.data() + hd * dh, 1,
+                              dh);
+    }
+    for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt) {
+        const size_t n = std::min(pt, len - pos);
+        const float *kpage = cache.keyPageData(layer, p);
+        for (size_t hd = 0; hd < heads; ++hd) {
+            KernelDispatch::matvecStrided(
+                kpage + hd * dh, cache.keyRowStride(), n, dh,
+                qhq.data() + hd * dh, scores.data() + hd * len + pos);
+        }
+    }
+    if (len > pt) {
+        // One page walk gathers EVERY head's V channels (the per-head
+        // matvec below slices by channel offset).
         for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt) {
             const size_t n = std::min(pt, len - pos);
-            KernelDispatch::matvecStrided(
-                cache.keyPageData(layer, p) + c0, cache.keyRowStride(),
-                n, dh, qhq.data(), scores.data() + pos);
+            const float *vq = cache.valuePageData(layer, p);
+            for (size_t c = 0; c < d; ++c) {
+                std::copy(vq + c * pt, vq + c * pt + n,
+                          vhead.data() + c * len + pos);
+            }
         }
+    }
+
+    for (size_t hd = 0; hd < heads; ++hd) {
+        const size_t c0 = hd * dh;
+        float *sc = scores.data() + hd * len;
         // The row sits at the last position, so every cached entry is
         // visible: scale only, no causal mask needed. Softmax is the
         // one-row transcription of softmaxRowsInPlace (FP64, paper
         // baseline).
         for (size_t j = 0; j < len; ++j)
-            scores[j] *= inv_sqrt_dh;
-        double mx = scores[0];
+            sc[j] *= inv_sqrt_dh;
+        double mx = sc[0];
         for (size_t j = 1; j < len; ++j)
-            mx = std::max(mx, static_cast<double>(scores[j]));
+            mx = std::max(mx, static_cast<double>(sc[j]));
         double sum = 0.0;
         for (size_t j = 0; j < len; ++j) {
-            const double e =
-                std::exp(static_cast<double>(scores[j]) - mx);
-            scores[j] = static_cast<float>(e);
+            const double e = std::exp(static_cast<double>(sc[j]) - mx);
+            sc[j] = static_cast<float>(e);
             sum += e;
         }
         const double inv = 1.0 / sum;
         for (size_t j = 0; j < len; ++j)
-            scores[j] = static_cast<float>(scores[j] * inv);
+            sc[j] = static_cast<float>(sc[j] * inv);
 
-        qc.attention->quantizeRows(scores.data(), pq.data(), 1, len);
+        qc.attention->quantizeRows(sc, pq.data(), 1, len);
         if (len <= pt) {
             // Single page: the head's V rows are contiguous in the
             // slab with row stride pageTokens() — zero-copy, exactly
@@ -350,17 +396,9 @@ Transformer::attendRowOverCache(size_t layer, const float *q_row,
                 cache.valuePageData(layer, 0) + c0 * pt, pt, dh, len,
                 pq.data(), out_row + c0);
         } else {
-            for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt) {
-                const size_t n = std::min(pt, len - pos);
-                const float *vq = cache.valuePageData(layer, p);
-                for (size_t c = 0; c < dh; ++c) {
-                    std::copy(vq + (c0 + c) * pt,
-                              vq + (c0 + c) * pt + n,
-                              vhead.data() + c * len + pos);
-                }
-            }
-            KernelDispatch::matvecStrided(vhead.data(), len, dh, len,
-                                          pq.data(), out_row + c0);
+            KernelDispatch::matvecStrided(vhead.data() + c0 * len, len,
+                                          dh, len, pq.data(),
+                                          out_row + c0);
         }
     }
 }

@@ -31,6 +31,17 @@ KvCache::floatsPerPage(const ModelConfig &cfg, bool teacher,
     return (teacher ? 2 : 3) * page_tokens * cfg.d_model;
 }
 
+KvPagePool::PageRegions
+KvCache::payloadRegions(const ModelConfig &cfg, size_t page_tokens)
+{
+    KvPagePool::PageRegions r;
+    r.k_off = 0; // kOff()
+    r.k_floats = page_tokens * cfg.d_model;
+    r.v_off = 2 * page_tokens * cfg.d_model; // vQuantOff()
+    r.v_floats = page_tokens * cfg.d_model;
+    return r;
+}
+
 KvCache::KvCache(const ModelConfig &cfg, QuantizerPtr k_quant,
                  QuantizerPtr v_quant, size_t capacity_hint,
                  std::shared_ptr<KvPagePool> pool)
@@ -350,6 +361,9 @@ KvCache::releaseForPreemption()
     }
     std::fill(appended_.begin(), appended_.end(), 0);
     len_ = 0;
+    // The released pages may be recycled to new contents; the decode
+    // scratch is keyed by page id, so drop it with the mappings.
+    dscratch_.reset();
 }
 
 void
@@ -363,17 +377,37 @@ KvCache::commit(size_t n_tokens)
 }
 
 const float *
+KvCache::regionView(size_t layer, size_t page,
+                    KvPagePool::PageRegion region) const
+{
+    MXPLUS_CHECK(layer < n_layers_ && page < pages_[layer].size());
+    const uint32_t id = pages_[layer][page];
+    if (!pool_->compressionEnabled()) {
+        const size_t off = region == KvPagePool::PageRegion::kKey
+                               ? kOff()
+                               : vQuantOff();
+        const KvPagePool &pool = *pool_;
+        return pool.pageData(id) + off;
+    }
+    const float *ptr = pool_->pageRegion(id, region, dscratch_);
+    MXPLUS_CHECK_MSG(ptr != nullptr,
+                     "KvCache: compressed page failed to decode — an "
+                     "active request's stream must never be corrupt");
+    return ptr;
+}
+
+const float *
 KvCache::keyPageData(size_t layer, size_t page) const
 {
     MXPLUS_CHECK(!isTeacher());
-    return slab(layer, page) + kOff();
+    return regionView(layer, page, KvPagePool::PageRegion::kKey);
 }
 
 const float *
 KvCache::valuePageData(size_t layer, size_t page) const
 {
     MXPLUS_CHECK(!isTeacher());
-    return slab(layer, page) + vQuantOff();
+    return regionView(layer, page, KvPagePool::PageRegion::kValue);
 }
 
 void
@@ -384,9 +418,14 @@ KvCache::headKeys(size_t layer, size_t head, Matrix &out) const
     const size_t len = appended_[layer];
     const size_t c0 = head * dh_;
     out = Matrix(len, dh_);
-    for (size_t r = 0; r < len; ++r) {
-        const float *kq = slab(layer, r / pt_) + kOff() + (r % pt_) * d_;
-        std::copy(kq + c0, kq + c0 + dh_, out.row(r));
+    for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt_) {
+        const size_t n = std::min(pt_, len - pos);
+        const float *kpage =
+            regionView(layer, p, KvPagePool::PageRegion::kKey);
+        for (size_t r = 0; r < n; ++r) {
+            const float *kq = kpage + r * d_;
+            std::copy(kq + c0, kq + c0 + dh_, out.row(pos + r));
+        }
     }
 }
 
@@ -400,10 +439,44 @@ KvCache::headValuesT(size_t layer, size_t head, Matrix &out) const
     out = Matrix(dh_, len);
     for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt_) {
         const size_t n = std::min(pt_, len - pos);
-        const float *vq = slab(layer, p) + vQuantOff();
+        const float *vq =
+            regionView(layer, p, KvPagePool::PageRegion::kValue);
         for (size_t c = 0; c < dh_; ++c) {
             std::copy(vq + (c0 + c) * pt_, vq + (c0 + c) * pt_ + n,
                       out.row(c) + pos);
+        }
+    }
+}
+
+void
+KvCache::gatherKeys(size_t layer, Matrix &out) const
+{
+    MXPLUS_CHECK(!isTeacher());
+    MXPLUS_CHECK(layer < n_layers_);
+    const size_t len = appended_[layer];
+    out = Matrix(len, d_);
+    for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt_) {
+        const size_t n = std::min(pt_, len - pos);
+        const float *kq =
+            regionView(layer, p, KvPagePool::PageRegion::kKey);
+        for (size_t r = 0; r < n; ++r)
+            std::copy(kq + r * d_, kq + (r + 1) * d_, out.row(pos + r));
+    }
+}
+
+void
+KvCache::gatherValuesT(size_t layer, Matrix &out) const
+{
+    MXPLUS_CHECK(!isTeacher());
+    MXPLUS_CHECK(layer < n_layers_);
+    const size_t len = appended_[layer];
+    out = Matrix(d_, len);
+    for (size_t p = 0, pos = 0; pos < len; ++p, pos += pt_) {
+        const size_t n = std::min(pt_, len - pos);
+        const float *vq =
+            regionView(layer, p, KvPagePool::PageRegion::kValue);
+        for (size_t c = 0; c < d_; ++c) {
+            std::copy(vq + c * pt_, vq + c * pt_ + n, out.row(c) + pos);
         }
     }
 }

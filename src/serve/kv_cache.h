@@ -128,6 +128,16 @@ class KvCache
     static size_t floatsPerPage(const ModelConfig &cfg, bool teacher,
                                 size_t page_tokens);
 
+    /**
+     * The payload regions of a quantized page that survive freezing —
+     * quantized K rows and quantized seq-major V rows; the raw V
+     * staging copy is dead once every block of the page is frozen.
+     * This is what the engine hands KvPagePool::enableCompression so
+     * layout knowledge stays in one place.
+     */
+    static KvPagePool::PageRegions payloadRegions(const ModelConfig &cfg,
+                                                  size_t page_tokens);
+
     /** Committed token count (positions fully appended to every layer). */
     size_t length() const { return len_; }
 
@@ -216,20 +226,25 @@ class KvCache
     // ---------------------------------------------- quantized-mode views --
 
     /**
-     * Zero-copy view of one page of quantized keys: rows of d_model
-     * floats with row stride keyRowStride(), covering positions
+     * View of one page of quantized keys: rows of d_model floats with
+     * row stride keyRowStride(), covering positions
      * [page * pageTokens(), ...); head h's slice starts at column
      * h * head_dim. The decode attention walks the page table and feeds
      * each page to KernelDispatch::matvecStrided — every score is the
-     * same dot product a contiguous cache would compute.
+     * same dot product a contiguous cache would compute. Uncompressed
+     * pages are zero-copy slab views; a compressed frozen page is
+     * transparently decoded (bit-exact) into this cache's scratch, so
+     * the pointer is only stable until the next compressed-page view
+     * through this cache.
      */
     const float *keyPageData(size_t layer, size_t page) const;
     size_t keyRowStride() const { return d_; }
 
     /**
-     * Zero-copy view of one page of quantized values, sequence-major:
-     * d_model channel rows of pageTokens() floats (row stride
+     * View of one page of quantized values, sequence-major: d_model
+     * channel rows of pageTokens() floats (row stride
      * valuePageRowStride()); head h's rows start at h * head_dim.
+     * Same decode-on-read and pointer-stability rules as keyPageData.
      */
     const float *valuePageData(size_t layer, size_t page) const;
     size_t valuePageRowStride() const { return pt_; }
@@ -243,6 +258,21 @@ class KvCache
      */
     void headValuesT(size_t layer, size_t head, Matrix &out) const;
 
+    /**
+     * Copy the whole layer's quantized keys into @p out as
+     * [len x d_model]. The prefill attention gathers once per layer and
+     * slices per head, so a compressed page is decoded once instead of
+     * once per head.
+     */
+    void gatherKeys(size_t layer, Matrix &out) const;
+
+    /**
+     * Copy the whole layer's quantized values into @p out as
+     * [d_model x len] (sequence-major); per-layer counterpart of
+     * headValuesT, same single-decode rationale as gatherKeys.
+     */
+    void gatherValuesT(size_t layer, Matrix &out) const;
+
     // ------------------------------------------------ teacher-mode views --
 
     const float *rawKeyRow(size_t layer, size_t pos) const;
@@ -253,6 +283,14 @@ class KvCache
     float *slabFor(size_t layer, size_t pos);
     float *slab(size_t layer, size_t page);
     const float *slab(size_t layer, size_t page) const;
+    /**
+     * Read view of a payload region: direct slab pointer, or the
+     * decoded scratch when the page is compressed (CHECK-fails if the
+     * stream will not decode — an active request's pages are never
+     * corrupted by the fault sites, which only target idle spans).
+     */
+    const float *regionView(size_t layer, size_t page,
+                            KvPagePool::PageRegion region) const;
     void requantizeValueTail(size_t layer, size_t old_len,
                              size_t new_len);
 
@@ -279,6 +317,12 @@ class KvCache
     // Tail re-quantization scratch (gather/scatter staging).
     std::vector<float> scratch_in_;
     std::vector<float> scratch_out_;
+
+    // Decode target for compressed frozen pages (one per cache: the
+    // engine gives each request its own cache, so concurrent decodes
+    // of a shared span never share scratch). Mutable because reads of
+    // a compressed page materialize through const views.
+    mutable KvPagePool::DecodeScratch dscratch_;
 };
 
 } // namespace mxplus

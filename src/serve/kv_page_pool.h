@@ -27,13 +27,30 @@
  * in-flight decode loop out of that branch entirely. Unbounded pools
  * grow on demand and are what standalone caches use.
  *
+ * A bounded pool can additionally compress frozen pages
+ * (enableCompression): compressPage() encodes the page's K/V payload
+ * regions with a lossless PageCodec, frees the float slab, and from
+ * then on charges the page's *compressed* byte size against the
+ * budget, so the same byte budget holds more frozen pages. Readers go
+ * through pageRegion(), which transparently decodes a compressed page
+ * into a caller-owned scratch; refcount, CoW-fork and free-list
+ * semantics are unchanged, and a recycled page gets a fresh slab
+ * again. The ledger switches from page counts to bytes: freePages()
+ * reports how many more *uncompressed* pages the remaining byte
+ * budget can hold, so admission conservatism is preserved.
+ *
  * Thread safety: acquire()/ref()/release() take an internal mutex, so
  * caches of different requests may append concurrently (the batched
  * decode loop is OpenMP-parallel over requests). pageData() itself is
  * lock-free; for bounded pools the slab-pointer table is preallocated
  * so concurrent growth never moves it. Unbounded pools must only be
  * grown from one thread at a time (a standalone cache has exactly one
- * user).
+ * user). pageRegion() is lock-free as well: a compressed page's
+ * stream is immutable while any owner holds a reference, so worker
+ * threads sharing a span may decode it concurrently, each into its
+ * own scratch. compressPage() must only run while no reader touches
+ * the page's slab (the engine compresses on publish, between compute
+ * phases, from the engine thread).
  */
 
 #ifndef MXPLUS_SERVE_KV_PAGE_POOL_H
@@ -48,12 +65,64 @@
 
 namespace mxplus {
 
+class PageCodec;
+
 /** Recycling, refcounting allocator of fixed-size KV page slabs. */
 class KvPagePool
 {
   public:
     /** acquire() result when a bounded pool is exhausted. */
     static constexpr uint32_t kNoPage = 0xffffffffu;
+
+    /**
+     * Compressed pages charge at least pageBytes()/kMaxCompressedRatio
+     * against the byte budget, which bounds how many slabs the table
+     * must be able to address and keeps the floor deterministic.
+     */
+    static constexpr size_t kMaxCompressedRatio = 16;
+
+    /** Which payload region of a page to read through pageRegion(). */
+    enum class PageRegion
+    {
+        kKey = 0,  ///< quantized key rows
+        kValue = 1 ///< quantized (seq-major) value rows
+    };
+
+    /**
+     * The two regions of a page that survive freezing (the cache's raw
+     * value staging area is dead once a page is frozen and is simply
+     * dropped by compression). Offsets/lengths are in floats.
+     */
+    struct PageRegions
+    {
+        size_t k_off = 0;
+        size_t k_floats = 0;
+        size_t v_off = 0;
+        size_t v_floats = 0;
+    };
+
+    /**
+     * Caller-owned decode target for pageRegion(). Each reader (a
+     * request's cache, the prefix index's verifier) keeps its own, so
+     * concurrent decodes of a shared span never contend; the (page,
+     * region) key makes repeated walks over the same page free.
+     */
+    struct DecodeScratch
+    {
+        uint32_t page = kNoPage;
+        int region = -1;
+        /** Page-id generation the cached decode belongs to: a recycled
+            id bumps its generation, so a reader that outlives one of
+            its pages' former lives can never serve the stale bytes. */
+        uint32_t gen = 0;
+        std::vector<float> data;
+
+        void reset()
+        {
+            page = kNoPage;
+            region = -1;
+        }
+    };
 
     /**
      * @param page_tokens tokens per page (the cache aligns this with the
@@ -78,8 +147,19 @@ class KvPagePool
      * is handled between steps — never as a partial mid-append state.
      */
     size_t freePages() const;
-    /** Resident bytes of live pages (used, not reserved). */
-    size_t usedBytes() const { return usedPages() * pageBytes(); }
+    /**
+     * Resident bytes of live pages. With compression enabled this is
+     * the sum of per-page charges (compressed pages charge their
+     * stream size), i.e. true residency; otherwise it is
+     * usedPages() * pageBytes().
+     */
+    size_t usedBytes() const;
+    /**
+     * Reserved bytes at slab granularity: usedPages() * pageBytes().
+     * This is what the pre-compression ledger reported; stats expose
+     * both so the admission ledger and the bench rows agree.
+     */
+    size_t reservedBytes() const { return usedPages() * pageBytes(); }
     /** Slabs ever materialized (high-water mark; shows free-list reuse). */
     size_t allocatedPages() const;
 
@@ -112,10 +192,85 @@ class KvPagePool
      */
     bool auditInvariants() const;
 
+    /**
+     * Writable slab access. CHECK-fails on a compressed page: frozen
+     * pages are immutable, so every legitimate writer (append paths,
+     * value re-quantization) only ever touches uncompressed pages.
+     */
     float *pageData(uint32_t id);
     const float *pageData(uint32_t id) const;
 
+    // ------------------------------------------ frozen-page compression --
+
+    /**
+     * Arms compression for this (bounded) pool. Must be called before
+     * the first acquire(); @p codec stays owned by the caller and must
+     * outlive the pool. The capacity ledger switches to bytes:
+     * budget = maxPages() * pageBytes(), with compressed pages charged
+     * by stream size (floored at pageBytes()/kMaxCompressedRatio).
+     */
+    void enableCompression(const PageCodec *codec,
+                           const PageRegions &regions);
+    bool compressionEnabled() const { return codec_ != nullptr; }
+    /** The regions handed to enableCompression (valid once enabled). */
+    const PageRegions &payloadRegions() const { return regions_; }
+    /** The codec handed to enableCompression (nullptr when disabled). */
+    const PageCodec *codec() const { return codec_; }
+
+    /**
+     * Compresses a live frozen page: encodes both payload regions,
+     * frees the float slab and re-charges the budget by the stream
+     * size. Returns false (page stays raw) when the encoded form would
+     * not be smaller than the slab. Engine-thread only — no reader may
+     * be inside the page's slab during the call.
+     */
+    bool compressPage(uint32_t id);
+
+    bool isCompressed(uint32_t id) const;
+
+    /**
+     * Read access to a payload region. Uncompressed pages return the
+     * slab pointer at the region offset (zero copy); compressed pages
+     * are decoded into @p scratch (cached by (page, region), so
+     * walking a page repeatedly decodes once). Returns nullptr when a
+     * compressed stream fails to decode — the checksum layer treats
+     * that as corruption. Only valid once compression is enabled.
+     */
+    const float *pageRegion(uint32_t id, PageRegion region,
+                            DecodeScratch &scratch) const;
+
+    /** Bytes this live page charges against the budget right now. */
+    size_t pageResidentBytes(uint32_t id) const;
+
+    /** Currently-compressed live pages. */
+    size_t compressedPages() const;
+    /**
+     * Cumulative payload-bytes / stream-bytes over every successful
+     * compressPage() (1.0 when nothing compressed yet).
+     */
+    double compressedRatio() const;
+    /** Cumulative pageRegion() decode invocations. */
+    size_t codecDecodeCalls() const
+    {
+        return decode_calls_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Fault-injection hook: flips one bit of the page's resident
+     * representation — the compressed stream when the page is
+     * compressed, the float slab otherwise — so chaos episodes
+     * exercise the decode path's corruption handling too.
+     */
+    void debugFlipPageBit(uint32_t id, uint64_t bit_draw);
+
   private:
+    /** Bitstream + bookkeeping of one compressed page. */
+    struct CompressedPage
+    {
+        std::vector<uint8_t> bytes; ///< K stream then V stream
+        size_t k_bytes = 0;         ///< byte length of the K stream
+    };
+
     const size_t page_tokens_;
     const size_t floats_per_page_;
     const size_t max_pages_;
@@ -127,6 +282,24 @@ class KvPagePool
     size_t used_ = 0;
     /** slabs_.size() mirrored for lock-free pageData bounds checks. */
     std::atomic<size_t> slab_count_{0};
+
+    // Compression state (codec_ == nullptr => everything below idle).
+    const PageCodec *codec_ = nullptr;
+    PageRegions regions_{};
+    size_t slab_limit_ = 0;   ///< slab-table capacity
+    size_t budget_bytes_ = 0; ///< byte budget replacing the page budget
+    size_t used_bytes_ = 0;   ///< sum of live pages' charges
+    std::vector<size_t> charges_;         ///< per-page byte charge
+    std::vector<CompressedPage> streams_; ///< preallocated, index = page
+    /** Per-page recycle generation (bumped in acquire()); see
+        DecodeScratch::gen. Stable for any referenced page. */
+    std::vector<uint32_t> generations_;
+    /** Lock-free "is compressed" flags for pageRegion()/pageData(). */
+    std::unique_ptr<std::atomic<uint8_t>[]> compressed_flags_;
+    size_t compressed_pages_ = 0;
+    size_t payload_bytes_total_ = 0; ///< cumulative, successful compressions
+    size_t stream_bytes_total_ = 0;
+    mutable std::atomic<size_t> decode_calls_{0};
 };
 
 } // namespace mxplus

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "serve/fault.h"
 
 namespace mxplus {
@@ -155,8 +156,29 @@ PrefixIndex::lruEvictableLeaf(Node *node) const
 uint64_t
 PrefixIndex::pageChecksum(uint32_t page_id) const
 {
-    return hashFloats(pool_->pageData(page_id),
-                      pool_->floatsPerPage());
+    if (!pool_->compressionEnabled()) {
+        return hashFloats(pool_->pageData(page_id),
+                          pool_->floatsPerPage());
+    }
+    // With compression armed, checksums cover the *decoded* payload
+    // regions (the raw-V staging area is dead on frozen pages), so the
+    // sum snapshotted at insert — before the engine compresses — still
+    // matches what pageRegion() serves afterwards. A stream that fails
+    // to decode hashes to a sentinel no insert-time sum can plausibly
+    // equal, so verify() quarantines it like any other mismatch.
+    static constexpr uint64_t kUndecodable = 0x636f727275707421ull;
+    const KvPagePool::PageRegions &regions = pool_->payloadRegions();
+    const float *k = pool_->pageRegion(page_id, KvPagePool::PageRegion::kKey,
+                                       scratch_);
+    if (k == nullptr)
+        return kUndecodable;
+    const uint64_t hk = hashFloats(k, regions.k_floats);
+    const float *v = pool_->pageRegion(
+        page_id, KvPagePool::PageRegion::kValue, scratch_);
+    if (v == nullptr)
+        return kUndecodable;
+    const uint64_t hv = hashFloats(v, regions.v_floats);
+    return mix64(hk ^ mix64(hv));
 }
 
 bool
@@ -211,15 +233,33 @@ PrefixIndex::debugCorruptIdleLeaf(uint64_t node_draw, uint64_t layer_draw,
         return false;
     Node *victim = targets[node_draw % targets.size()];
     const uint32_t page = victim->pages[layer_draw % n_layers_];
-    float *data = pool_->pageData(page);
-    const size_t bit = bit_draw % (pool_->floatsPerPage() * 32);
-    uint32_t word;
-    std::memcpy(&word, &data[bit / 32], sizeof(word));
-    word ^= 1u << (bit % 32);
-    std::memcpy(&data[bit / 32], &word, sizeof(word));
+    // The pool flips a bit of the page's *resident* representation —
+    // the compressed stream when the page is compressed — so chaos
+    // episodes exercise the decode path's corruption handling too.
+    pool_->debugFlipPageBit(page, bit_draw);
     victim->injected = true;
     ++injected_corruptions_;
     return true;
+}
+
+size_t
+PrefixIndex::heldPageEquivalents() const
+{
+    if (!pool_->compressionEnabled())
+        return heldPages();
+    size_t bytes = 0;
+    std::vector<const Node *> stack{&root_};
+    while (!stack.empty()) {
+        const Node *n = stack.back();
+        stack.pop_back();
+        for (const auto &c : n->children)
+            stack.push_back(c.get());
+        if (n == &root_)
+            continue;
+        for (const uint32_t id : n->pages)
+            bytes += pool_->pageResidentBytes(id);
+    }
+    return (bytes + pool_->pageBytes() - 1) / pool_->pageBytes();
 }
 
 size_t

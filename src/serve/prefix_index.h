@@ -89,6 +89,14 @@ class PrefixIndex
     size_t cachedTokens() const { return node_count_ * pt_; }
     /** Physical pool pages held by cached spans (nodes × layers). */
     size_t heldPages() const { return node_count_ * n_layers_; }
+    /**
+     * Held pages in *budget-charge* units: with pool compression on,
+     * the sum of the spans' resident bytes rounded up to whole pages —
+     * this is what admission charges, so compressed spans free up
+     * window for more requests. Equals heldPages() when compression is
+     * off (bit-for-bit the old admission behavior).
+     */
+    size_t heldPageEquivalents() const;
     size_t capacityTokens() const { return capacity_pages_ * pt_; }
     /** Spans evicted over the index's lifetime (every evictOne path —
         admission headroom, capacity pressure inside insert, clear). */
@@ -189,6 +197,9 @@ class PrefixIndex
     uint64_t pageChecksum(uint32_t page_id) const;
 
     std::shared_ptr<KvPagePool> pool_;
+    /** Decode target for checksumming compressed pages (verify()
+        runs on the engine thread, so one scratch suffices). */
+    mutable KvPagePool::DecodeScratch scratch_;
     size_t n_layers_;
     size_t pt_;
     size_t capacity_pages_;

@@ -1116,7 +1116,10 @@ ShardedFrontEnd::mergeFleetStats() const
         f.preempted_recompute_tokens += es.preempted_recompute_tokens;
         f.checksum_failures += es.checksum_failures;
         f.kv_bytes_peak += es.kv_bytes_peak;
+        f.kv_bytes_reserved_peak += es.kv_bytes_reserved_peak;
         f.kv_pages_peak += es.kv_pages_peak;
+        f.admitted_before_first_defer += es.admitted_before_first_defer;
+        f.codec_decode_calls += es.codec_decode_calls;
         f.wall_ms = std::max(f.wall_ms, es.wall_ms);
         occupancy_weighted += es.mean_batch_occupancy *
             static_cast<double>(es.decode_batches);
@@ -1124,6 +1127,18 @@ ShardedFrontEnd::mergeFleetStats() const
     f.mean_batch_occupancy = f.decode_batches > 0
         ? occupancy_weighted / static_cast<double>(f.decode_batches)
         : 0.0;
+    // Fleet-level compression figure: every shard sees the same
+    // traffic mix, so the plain mean over live shards is honest.
+    double ratio_sum = 0.0;
+    size_t live = 0;
+    for (const auto &sh : shards_) {
+        if (sh->failed.load(std::memory_order_acquire))
+            continue;
+        ratio_sum += sh->engine->engineStats().compressed_ratio;
+        ++live;
+    }
+    f.compressed_ratio = live > 0 ? ratio_sum / static_cast<double>(live)
+                                  : 1.0;
 
     // Outcome counters and goodput are per TICKET (client truth): a
     // re-routed or failed-over request counts once, by its final

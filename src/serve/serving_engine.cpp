@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "codec/page_codec.h"
 #include "common/check.h"
 
 namespace mxplus {
@@ -83,6 +84,10 @@ EngineOptions::validate(const QuantConfig &qc) const
     if (prefix_cache_tokens > 0 && period == 0)
         return "prefix_cache_tokens > 0 requires a value quantizer "
                "with known block structure (blockPeriod() > 0)";
+    if (compress_frozen_pages &&
+        resolvePageCodec(page_codec) == nullptr)
+        return "unknown page codec \"" + page_codec +
+            "\" (expected auto, simd or reference)";
     return std::string();
 }
 
@@ -125,12 +130,39 @@ ServingEngine::ServingEngine(const Transformer &model, QuantConfig qc,
     pool_ = std::make_shared<KvPagePool>(
         pt, KvCache::floatsPerPage(cfg, /*teacher=*/false, pt),
         budget_pages_ > 0 ? budget_pages_ : hard_cap);
+    admit_budget_pages_ = budget_pages_;
+    if (opts_.compress_frozen_pages) {
+        codec_ = resolvePageCodec(opts_.page_codec);
+        MXPLUS_CHECK_MSG(codec_ != nullptr,
+                         "unknown page codec (see EngineOptions::"
+                         "validate)");
+        pool_->enableCompression(codec_,
+                                 KvCache::payloadRegions(cfg, pt));
+        if (budget_pages_ > 0) {
+            // Decode scratch is real memory outside the pool: one
+            // region (pt * d_model floats) per concurrent reader —
+            // every slot's cache plus the prefix verifier. Charge it
+            // against the ADMISSION window (not the physical pool) so
+            // the engine's true footprint never exceeds what
+            // kv_budget_tokens promised, clamped so at least one
+            // request's single layer can always admit.
+            const size_t scratch_bytes = (opts_.max_batch + 1) *
+                pt * cfg.d_model * sizeof(float);
+            const size_t shave =
+                (scratch_bytes + pool_->pageBytes() - 1) /
+                pool_->pageBytes();
+            admit_budget_pages_ =
+                budget_pages_ > shave + cfg.n_layers
+                ? budget_pages_ - shave
+                : cfg.n_layers;
+        }
+    }
     if (sharing) {
         prefix_ = std::make_unique<PrefixIndex>(pool_, cfg.n_layers,
                                                 opts_.prefix_cache_tokens);
     }
     SchedulerOptions sched;
-    sched.budget_pages = budget_pages_;
+    sched.budget_pages = admit_budget_pages_;
     sched.over_admission = opts_.over_admission;
     sched.aging_rate = opts_.aging_rate;
     sched.sjf = opts_.sjf_admission;
@@ -495,6 +527,16 @@ ServingEngine::registerFrozenPages(Slot &slot)
             // references and is counted by admission as span pages).
             creditReservation(slot);
             engine_stats_.prefix_inserted_tokens += pt;
+            if (codec_ != nullptr) {
+                // Compress on publish: the page is frozen (no writer
+                // will ever touch it), insert() already snapshotted
+                // its checksums over the decoded-byte regions, and we
+                // are on the engine thread between compute phases so
+                // no reader is inside the slab. An incompressible
+                // page simply stays raw.
+                for (size_t l = 0; l < layers; ++l)
+                    pool_->compressPage(ids[l]);
+            }
         }
         // An identical span may already exist (two slots computed the
         // same page in one step): advance along it without inserting —
@@ -816,6 +858,9 @@ ServingEngine::samplePoolPeak()
 {
     engine_stats_.kv_bytes_peak =
         std::max(engine_stats_.kv_bytes_peak, pool_->usedBytes());
+    engine_stats_.kv_bytes_reserved_peak =
+        std::max(engine_stats_.kv_bytes_reserved_peak,
+                 pool_->reservedBytes());
     engine_stats_.kv_pages_peak =
         std::max(engine_stats_.kv_pages_peak, pool_->usedPages());
 }
@@ -895,7 +940,7 @@ ServingEngine::step()
         const ServeRequest &req = pending_[id];
 
         const size_t total_pages = pagesPerLayerFor(req) * layers;
-        if (budget_pages_ > 0 && total_pages > budget_pages_) {
+        if (budget_pages_ > 0 && total_pages > admit_budget_pages_) {
             // Even with maximal sharing the request's RESIDENT demand
             // (shared span pages, which must stay mapped, plus the
             // private tail) is its full page count — a request bigger
@@ -922,9 +967,16 @@ ServingEngine::step()
         // when to give up and defer: everything reserved or resident —
         // admitted reservations, cached span pages, this request's
         // unshared tail — must fit the scheduler's admission window.
+        // Span pages are charged at their RESIDENT size: compressed
+        // spans count page-equivalents of their stream bytes, so the
+        // window a compressed cache leaves open is strictly wider —
+        // that is the capacity win compression buys. Without
+        // compression heldPageEquivalents() == heldPages() exactly.
         const auto within = [&] {
             return scheduler_->withinWindow(
-                need, prefix_ != nullptr ? prefix_->heldPages() : 0);
+                need,
+                prefix_ != nullptr ? prefix_->heldPageEquivalents()
+                                   : 0);
         };
         if (budget_pages_ > 0) {
             while (!within() && prefix_ != nullptr &&
@@ -940,9 +992,13 @@ ServingEngine::step()
         if (scheduler_->candidateBypassesFifo())
             engine_stats_.sjf_reorders += 1;
         admitCandidate(node, matched, need);
+        if (!first_defer_seen_)
+            engine_stats_.admitted_before_first_defer += 1;
     }
-    if (budget_deferred)
+    if (budget_deferred) {
         engine_stats_.admission_deferred_steps += 1;
+        first_defer_seen_ = true;
+    }
 
     // One prefill quantum per prefilling slot per step: the latency a
     // prompt can add to a decode step is bounded by max_batch * chunk
@@ -1136,6 +1192,8 @@ ServingEngine::finalizeRun()
             1000.0 * static_cast<double>(engine_stats_.decode_tokens) /
             engine_stats_.decode_ms;
     }
+    engine_stats_.compressed_ratio = pool_->compressedRatio();
+    engine_stats_.codec_decode_calls = pool_->codecDecodeCalls();
     engine_stats_.queue_wait_ms_p50 =
         latencyPercentile(queue_wait_samples_, 0.50);
     engine_stats_.queue_wait_ms_p99 =

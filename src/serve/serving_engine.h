@@ -287,6 +287,27 @@ struct EngineOptions
      * docs/ARCHITECTURE.md for the threading model.
      */
     size_t num_threads = 1;
+    /**
+     * Compress frozen (published) KV pages with a lossless block
+     * codec: on publication each span page's K/V payload is encoded
+     * (src/codec/), its float slab freed, and the pool's budget
+     * charged by COMPRESSED bytes — so the same kv_budget_tokens
+     * holds more cached prefix state and admission opens a wider
+     * window (PrefixIndex::heldPageEquivalents). Readers decode
+     * transparently into per-reader scratch; streams stay bit-exact
+     * in every format (the codec is lossless on IEEE-754 bits, with
+     * a raw fallback for incompressible blocks). Off by default.
+     */
+    bool compress_frozen_pages = false;
+    /**
+     * Which PageCodec compresses frozen pages: "auto" (AVX2 decode
+     * when the CPU has it, else scalar), "simd", or "reference".
+     * The MXPLUS_PAGE_CODEC environment variable overrides this.
+     * Encoded streams are byte-identical across codecs — the choice
+     * is decode speed, never representation. Ignored unless
+     * compress_frozen_pages is set.
+     */
+    std::string page_codec = "auto";
 
     /**
      * Check this option set against @p qc for knob combinations the
@@ -345,8 +366,16 @@ struct EngineStats
     /** Decode-phase throughput (excludes prefill/admission time). */
     double decode_tokens_per_s = 0.0;
     double mean_batch_occupancy = 0.0;
-    /** Peak of live KV pool bytes (pages in use, never reserved). */
+    /**
+     * Peak of live KV pool bytes — TRUE residency: with
+     * compress_frozen_pages on, compressed span pages count their
+     * stream size, not their slab size. Equals kv_bytes_reserved_peak
+     * exactly when compression is off.
+     */
     size_t kv_bytes_peak = 0;
+    /** Peak of live KV bytes at slab granularity (usedPages() *
+        pageBytes()) — the pre-compression ledger's view. */
+    size_t kv_bytes_reserved_peak = 0;
     /** Peak of live KV pool pages. */
     size_t kv_pages_peak = 0;
     /** Prefill chunks computed (adopted pages don't count). */
@@ -382,6 +411,14 @@ struct EngineStats
     size_t cancelled_requests = 0;
     /** Shared-page checksum mismatches caught before adoption. */
     size_t checksum_failures = 0;
+    /** Requests admitted before the first budget deferral (capacity
+        proxy: compression should raise it at equal budget). */
+    size_t admitted_before_first_defer = 0;
+    /** Uncompressed-payload over stream bytes across every page the
+        pool compressed (1.0 when compression is off or idle). */
+    double compressed_ratio = 1.0;
+    /** Codec decode invocations (pageRegion cache misses). */
+    size_t codec_decode_calls = 0;
     /** Completed requests over all submitted (goodput, not just
         throughput: sheds, timeouts, cancels and rejects all count
         against it). */
@@ -598,6 +635,11 @@ class ServingEngine
 
     std::shared_ptr<KvPagePool> pool_;
     size_t budget_pages_ = 0;    ///< 0 = unbounded
+    /** Admission window base: budget_pages_ minus the decode-scratch
+        headroom compression needs (== budget_pages_ otherwise). */
+    size_t admit_budget_pages_ = 0;
+    /** Frozen-page codec (null unless compress_frozen_pages). */
+    const PageCodec *codec_ = nullptr;
     std::unique_ptr<PrefixIndex> prefix_; ///< null when sharing is off
     std::unique_ptr<Scheduler> scheduler_; ///< the policy layer
     /** Decode worker pool (null when num_threads resolves to 1). */
@@ -614,6 +656,9 @@ class ServingEngine
     EngineStats engine_stats_;
     std::vector<double> queue_wait_samples_;
     uint64_t next_admit_seq_ = 0;
+    /** Latches once admission first defers on the budget (gates the
+        admitted_before_first_defer capacity counter). */
+    bool first_defer_seen_ = false;
     double start_ms_ = -1.0;       ///< wall clock at first step (perf)
     double clock_start_ms_ = -1.0; ///< request clock at first step
     double occupancy_sum_ = 0.0;

@@ -156,9 +156,11 @@ isPrefixOf(const std::vector<int> &partial, const std::vector<int> &full)
 }
 
 void
-runEpisode(const Transformer &model, const char *fmt, uint64_t seed)
+runEpisode(const Transformer &model, const char *fmt, uint64_t seed,
+           bool compress = false)
 {
-    SCOPED_TRACE(std::string(fmt) + " seed " + std::to_string(seed));
+    SCOPED_TRACE(std::string(fmt) + " seed " + std::to_string(seed) +
+                 (compress ? " (compressed)" : ""));
     const bool failed_before = ::testing::Test::HasFailure();
     const QuantConfig qc = QuantConfig::fromFormat(fmt);
     const auto reqs = chaosWorkload(seed);
@@ -198,6 +200,7 @@ runEpisode(const Transformer &model, const char *fmt, uint64_t seed)
     opts.queue_cap = 8;
     opts.shed_policy = ShedPolicy::kLowestPriority;
     opts.checksum_pages = true;
+    opts.compress_frozen_pages = compress;
     opts.fault = &fault;
     ServingEngine engine(model, qc, opts);
 
@@ -277,6 +280,14 @@ runEpisode(const Transformer &model, const char *fmt, uint64_t seed)
                   idx->evictedUndetectedCorruptions());
     EXPECT_GE(es.checksum_failures, idx->detectedCorruptions());
 
+    if (compress) {
+        // The episode must actually have exercised the codec path —
+        // published spans compressed, adoptions decoded — so the
+        // bit-equal checks above genuinely covered decode-on-read.
+        EXPECT_GT(engine.pool().compressedRatio(), 1.0);
+        EXPECT_GT(engine.pool().codecDecodeCalls(), 0u);
+    }
+
     if (fault.events().empty()) {
         // With every site armed at these rates an episode with zero
         // fired faults means the schedule is broken, not lucky.
@@ -297,6 +308,19 @@ TEST(Chaos, EpisodesSurviveEveryFaultSiteBitExactly)
         for (const uint64_t seed : seeds)
             runEpisode(model, fmt, seed);
     }
+}
+
+TEST(Chaos, CompressedEpisodesSurviveEveryFaultSiteBitExactly)
+{
+    // One seed per format with frozen-page compression armed: the
+    // decode-on-read path must uphold the same bit-exactness and
+    // corruption-closure contract under every fault site — including
+    // injected bit flips that now land in compressed streams and are
+    // caught by the undecodable-page checksum sentinel.
+    const Transformer model(tinyConfig());
+    const uint64_t seed = chaosSeeds().front();
+    for (const char *fmt : {"BF16", "MXFP8", "MXFP4+"})
+        runEpisode(model, fmt, seed, /*compress=*/true);
 }
 
 TEST(Chaos, EpisodesAreDeterministicPerSeed)

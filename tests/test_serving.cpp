@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "baselines/format_quantizers.h"
+#include "codec/page_codec.h"
 #include "kernels/kernel_dispatch.h"
 #include "model/eval.h"
 #include "model/layers.h"
@@ -1595,6 +1596,218 @@ TEST(ServingEngine, SamplingKnobsReproducibleAcrossBatchWidths)
         EXPECT_EQ(engine.stats(ids[r]).generated, serial[r])
             << "request " << r;
     }
+}
+
+// ------------------------------------------------ compressed frozen pages --
+
+TEST(CompressedPages, PoolCompressesDecodesAndRecyclesPages)
+{
+    // Pool-level contract: compressPage swaps the slab for a smaller
+    // stream, pageRegion decodes back the exact bytes, the freed
+    // budget admits MORE than maxPages() live pages, and a recycled id
+    // comes back as a fresh writable slab.
+    KvPagePool pool(/*page_tokens=*/4, /*floats_per_page=*/24,
+                    /*max_pages=*/2);
+    KvPagePool::PageRegions regions;
+    regions.k_off = 0;
+    regions.k_floats = 8;
+    regions.v_off = 16;
+    regions.v_floats = 8;
+    const PageCodec *codec = pageCodecByName("reference");
+    ASSERT_NE(codec, nullptr);
+    pool.enableCompression(codec, regions);
+
+    const auto fill = [&](uint32_t id) {
+        float *slab = pool.pageData(id);
+        for (size_t i = 0; i < 24; ++i)
+            slab[i] = static_cast<float>(i % 4) * 0.5f;
+    };
+    const uint32_t a = pool.acquire();
+    ASSERT_NE(a, KvPagePool::kNoPage);
+    fill(a);
+    std::vector<float> k_orig(pool.pageData(a) + regions.k_off,
+                              pool.pageData(a) + regions.k_off + 8);
+    std::vector<float> v_orig(pool.pageData(a) + regions.v_off,
+                              pool.pageData(a) + regions.v_off + 8);
+
+    EXPECT_FALSE(pool.isCompressed(a));
+    EXPECT_EQ(pool.usedBytes(), pool.pageBytes());
+    ASSERT_TRUE(pool.compressPage(a));
+    EXPECT_TRUE(pool.isCompressed(a));
+    EXPECT_TRUE(pool.compressPage(a)); // idempotent
+    EXPECT_LT(pool.usedBytes(), pool.pageBytes());
+    EXPECT_EQ(pool.compressedPages(), 1u);
+    EXPECT_GT(pool.compressedRatio(), 1.0);
+    EXPECT_LT(pool.pageResidentBytes(a), pool.pageBytes());
+    EXPECT_TRUE(pool.auditInvariants());
+
+    KvPagePool::DecodeScratch scratch;
+    const float *k =
+        pool.pageRegion(a, KvPagePool::PageRegion::kKey, scratch);
+    ASSERT_NE(k, nullptr);
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(k[i], k_orig[i]) << i;
+    const float *v =
+        pool.pageRegion(a, KvPagePool::PageRegion::kValue, scratch);
+    ASSERT_NE(v, nullptr);
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(v[i], v_orig[i]) << i;
+    EXPECT_GE(pool.codecDecodeCalls(), 2u);
+
+    // Two compressed pages leave room for a THIRD raw page on a
+    // 2-page byte budget — the capacity win, measured at pool level.
+    const uint32_t b = pool.acquire();
+    ASSERT_NE(b, KvPagePool::kNoPage);
+    fill(b);
+    ASSERT_TRUE(pool.compressPage(b));
+    const uint32_t c = pool.acquire();
+    EXPECT_NE(c, KvPagePool::kNoPage);
+    EXPECT_EQ(pool.usedPages(), 3u);
+    EXPECT_TRUE(pool.auditInvariants());
+
+    pool.release(c);
+    pool.release(b);
+    pool.release(a);
+    EXPECT_EQ(pool.usedBytes(), 0u);
+    EXPECT_EQ(pool.compressedPages(), 0u);
+    const uint32_t again = pool.acquire();
+    ASSERT_NE(again, KvPagePool::kNoPage);
+    EXPECT_FALSE(pool.isCompressed(again));
+    // Writable again — pageData would CHECK-fail on a compressed page.
+    pool.pageData(again)[0] = 1.0f;
+    pool.release(again);
+    EXPECT_TRUE(pool.auditInvariants());
+}
+
+TEST(CompressedPages, EngineTokensBitIdenticalWithCompressionOnEveryCodec)
+{
+    // The engine-level acceptance gate for the codec path: turning
+    // compress_frozen_pages on — with either codec backend — must not
+    // move a single token relative to the plain shared engine, while
+    // the retained spans really are compressed (ratio > 1, decodes
+    // happened, live bytes strictly below the uncompressed run).
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const auto reqs = sharedPrefixRequests(4, 64, 10, 6);
+
+    for (const char *fmt : {"BF16", "MXFP4+", "MXFP8"}) {
+        const QuantConfig qc = QuantConfig::fromFormat(fmt);
+        EngineOptions off;
+        off.max_batch = 4;
+        off.prefix_cache_tokens = 256;
+        ServingEngine plain(model, qc, off);
+        std::vector<size_t> plain_ids;
+        for (const auto &req : reqs)
+            plain_ids.push_back(plain.submit(req));
+        plain.runToCompletion();
+
+        for (const char *codec : {"reference", "simd"}) {
+            EngineOptions on = off;
+            on.compress_frozen_pages = true;
+            on.page_codec = codec;
+            ASSERT_EQ(on.validate(qc), "");
+            ServingEngine comp(model, qc, on);
+            std::vector<size_t> ids;
+            for (const auto &req : reqs)
+                ids.push_back(comp.submit(req));
+            comp.runToCompletion();
+
+            for (size_t r = 0; r < reqs.size(); ++r) {
+                EXPECT_EQ(comp.stats(ids[r]).generated,
+                          plain.stats(plain_ids[r]).generated)
+                    << fmt << " codec " << codec << " request " << r;
+            }
+            const EngineStats &es = comp.engineStats();
+            EXPECT_GT(es.compressed_ratio, 1.0) << fmt << " " << codec;
+            EXPECT_GT(es.codec_decode_calls, 0u) << fmt << " " << codec;
+            EXPECT_GT(comp.pool().compressedPages(), 0u)
+                << fmt << " " << codec;
+            // Same pages, same timeline: the slab-granularity peak
+            // matches the uncompressed engine's peak exactly, and the
+            // true-residency peak can only sit below it.
+            EXPECT_EQ(es.kv_bytes_reserved_peak,
+                      plain.engineStats().kv_bytes_peak)
+                << fmt << " " << codec;
+            EXPECT_LE(es.kv_bytes_peak, es.kv_bytes_reserved_peak);
+            // The retained spans are all frozen and compressed: the
+            // resident tail is strictly smaller than the plain run's.
+            EXPECT_LT(comp.kvBytesLive(), plain.kvBytesLive())
+                << fmt << " " << codec;
+        }
+    }
+}
+
+TEST(CompressedPages, PeakAccountingConvergesWithCompressionOff)
+{
+    // Regression gate for the accounting split: with compression off
+    // the two peaks are THE SAME number — any drift means the byte
+    // ledger and the page ledger disagree about what was resident.
+    const Transformer model(tinyConfig());
+    EngineOptions opts;
+    opts.max_batch = 3;
+    opts.prefix_cache_tokens = 128;
+    ServingEngine engine(model, QuantConfig::fromFormat("MXFP4+"), opts);
+    for (const auto &req : sharedPrefixRequests(3, 64, 8, 5))
+        engine.submit(req);
+    engine.runToCompletion();
+    const EngineStats &es = engine.engineStats();
+    EXPECT_GT(es.kv_bytes_peak, 0u);
+    EXPECT_EQ(es.kv_bytes_peak, es.kv_bytes_reserved_peak);
+    EXPECT_EQ(es.compressed_ratio, 1.0);
+    EXPECT_EQ(es.codec_decode_calls, 0u);
+}
+
+TEST(CompressedPages, CompressionAdmitsNoFewerBeforeFirstDeferralAtEqualBudget)
+{
+    // Capacity direction under a REAL budget: at the same
+    // kv_budget_tokens, charging spans by compressed residency must
+    // never admit fewer requests before the first deferral — and the
+    // tokens stay identical, because admission order is a throughput
+    // decision, never a numerics one.
+    const ModelConfig cfg = tinyConfig();
+    const Transformer model(cfg);
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    const auto reqs = sharedPrefixRequests(6, 128, 10, 6);
+
+    EngineOptions off;
+    off.max_batch = 6;
+    off.prefix_cache_tokens = 256;
+    off.kv_budget_tokens = 256;
+    EngineOptions on = off;
+    on.compress_frozen_pages = true;
+
+    ServingEngine base(model, qc, off);
+    ServingEngine comp(model, qc, on);
+    std::vector<size_t> base_ids;
+    std::vector<size_t> comp_ids;
+    for (const auto &req : reqs) {
+        base_ids.push_back(base.submit(req));
+        comp_ids.push_back(comp.submit(req));
+    }
+    base.runToCompletion();
+    comp.runToCompletion();
+
+    for (size_t r = 0; r < reqs.size(); ++r) {
+        EXPECT_EQ(comp.stats(comp_ids[r]).generated,
+                  base.stats(base_ids[r]).generated)
+            << "request " << r;
+    }
+    EXPECT_GT(comp.engineStats().admitted_before_first_defer, 0u);
+    EXPECT_GE(comp.engineStats().admitted_before_first_defer,
+              base.engineStats().admitted_before_first_defer);
+    EXPECT_GT(comp.engineStats().compressed_ratio, 1.0);
+}
+
+TEST(CompressedPages, ValidateRejectsUnknownCodecName)
+{
+    EngineOptions opts;
+    opts.compress_frozen_pages = true;
+    opts.page_codec = "zstd";
+    const QuantConfig qc = QuantConfig::fromFormat("MXFP4+");
+    EXPECT_NE(opts.validate(qc).find("unknown page codec"),
+              std::string::npos);
+    opts.page_codec = "auto";
+    EXPECT_EQ(opts.validate(qc), "");
 }
 
 } // namespace

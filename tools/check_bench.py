@@ -94,7 +94,8 @@ MACHINE_INDEPENDENT = {"kv_bytes_peak", "goodput_ok_fraction"}
 # simulations on the same virtual clock; "sharded-async" runs real
 # shard threads and is already excluded by its num_threads.
 VIRTUAL_CLOCK_WORKLOADS = ("poisson", "sharded-ref", "sharded-affinity",
-                           "sharded-roundrobin", "sharded-failover")
+                           "sharded-roundrobin", "sharded-failover",
+                           "sharded-compressed")
 # Extra metrics gated per workload family, on top of the throughput
 # metrics every serving row gets: the shared-prefix rows exist for
 # their latency/memory wins, the bursty rows for the tail-latency
